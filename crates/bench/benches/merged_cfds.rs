@@ -1,0 +1,35 @@
+//! Criterion bench for the merged-CFD study: validating a set of CFDs with
+//! one query pair per CFD vs the single merged query pair of Section 4.2.
+
+use cfd_bench::tax_data;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::Detector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let data = tax_data(10_000, 5.0, 47);
+    let workload = CfdWorkload::new(53);
+    let cfds = vec![
+        workload.single(EmbeddedFd::ZipToState, 100, 100.0),
+        workload.single(EmbeddedFd::ZipCityToState, 100, 100.0),
+        workload.single(EmbeddedFd::ZipToCity, 100, 100.0),
+    ];
+    let detector = Detector::new();
+    let mut group = c.benchmark_group("merged_cfds");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("per_cfd_pairs", |b| {
+        b.iter(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
+    });
+    group.bench_function("merged_pair", |b| {
+        b.iter(|| detector.detect_set_merged(&cfds, Arc::clone(&data)).unwrap());
+    });
+    group.bench_function("parallel_4_threads", |b| {
+        b.iter(|| detector.detect_set_parallel(&cfds, Arc::clone(&data), 4).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

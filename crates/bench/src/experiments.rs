@@ -1,0 +1,411 @@
+//! The experiment functions, one per panel of Figure 9 plus the merged-CFD
+//! study and the ablations called out in DESIGN.md.
+
+use crate::{fmt_size, tax_data, time, Experiment, Point};
+use cfd_core::CfdSet;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::{Detector, DirectDetector};
+use cfd_sql::Strategy;
+use std::sync::Arc;
+
+/// Sizes (SZ) swept by the SZ-scalability experiments.
+fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![10_000, 40_000, 70_000, 100_000]
+    } else {
+        (1..=10).map(|i| i * 10_000).collect()
+    }
+}
+
+/// Tableau size used by the CNF/DNF and QC/QV experiments.
+fn tabsz(quick: bool) -> usize {
+    if quick {
+        200
+    } else {
+        1_000
+    }
+}
+
+/// Fig. 9(a): CNF vs DNF evaluation of the detection query pair,
+/// NUMCONSTs = 100%.
+pub fn fig9a(quick: bool) -> Experiment {
+    cnf_vs_dnf("fig9a", 100.0, quick)
+}
+
+/// Fig. 9(b): CNF vs DNF, NUMCONSTs = 50%.
+pub fn fig9b(quick: bool) -> Experiment {
+    cnf_vs_dnf("fig9b", 50.0, quick)
+}
+
+fn cnf_vs_dnf(id: &'static str, pct_consts: f64, quick: bool) -> Experiment {
+    let tab = tabsz(quick);
+    let cfd = CfdWorkload::new(11).single(EmbeddedFd::ZipCityToState, tab, pct_consts);
+    let mut points = Vec::new();
+    for sz in sizes(quick) {
+        let data = tax_data(sz, 5.0, 17);
+        for (name, strategy) in [("CNF", Strategy::cnf()), ("DNF", Strategy::dnf())] {
+            let detector = Detector::new().with_strategy(strategy);
+            let (result, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)));
+            let (violations, _) = result.expect("detection succeeds");
+            points.push(Point {
+                x: fmt_size(sz),
+                series: name.into(),
+                seconds,
+                detail: format!("{} violations", violations.total()),
+            });
+        }
+    }
+    Experiment {
+        id,
+        title: format!("CNF vs DNF detection time (NUMCONSTs = {pct_consts}%)"),
+        parameters: format!(
+            "NOISE 5%, one CFD [ZIP, CT] -> [ST] (NUMATTRs 3), TABSZ {tab}, SZ {:?}",
+            sizes(quick)
+        ),
+        points,
+    }
+}
+
+/// Fig. 9(c): how detection time splits between the `QC` and `QV` queries.
+pub fn fig9c(quick: bool) -> Experiment {
+    let tab = tabsz(quick);
+    let cfd = CfdWorkload::new(13).single(EmbeddedFd::ZipCityToState, tab, 100.0);
+    let detector = Detector::new();
+    let mut points = Vec::new();
+    for sz in sizes(quick) {
+        let data = tax_data(sz, 5.0, 19);
+        let (_, qc_seconds) = time(|| detector.qc_only(&cfd, Arc::clone(&data)).unwrap());
+        let (_, qv_seconds) = time(|| detector.qv_only(&cfd, Arc::clone(&data)).unwrap());
+        points.push(Point {
+            x: fmt_size(sz),
+            series: "Q^C".into(),
+            seconds: qc_seconds,
+            detail: String::new(),
+        });
+        points.push(Point {
+            x: fmt_size(sz),
+            series: "Q^V".into(),
+            seconds: qv_seconds,
+            detail: String::new(),
+        });
+    }
+    Experiment {
+        id: "fig9c",
+        title: "QC vs QV detection time".into(),
+        parameters: format!("NOISE 5%, NUMATTRs 3, TABSZ {tab}, NUMCONSTs 100%, DNF strategy"),
+        points,
+    }
+}
+
+/// Fig. 9(d): scalability in the tableau size TABSZ, for NUMATTRs 3 and 4.
+pub fn fig9d(quick: bool) -> Experiment {
+    let sz = if quick { 50_000 } else { 500_000 };
+    let tab_sizes: Vec<usize> = if quick {
+        vec![500, 1_000, 1_500, 2_000, 2_500]
+    } else {
+        (1..=10).map(|i| i * 1_000).collect()
+    };
+    let data = tax_data(sz, 5.0, 23);
+    let detector = Detector::new();
+    let mut points = Vec::new();
+    for &tab in &tab_sizes {
+        for (series, fd) in [
+            ("NumAttrs=3", EmbeddedFd::ZipCityToState),
+            ("NumAttrs=4", EmbeddedFd::AreaCityToState),
+        ] {
+            let cfd = CfdWorkload::new(29).single(fd, tab, 50.0);
+            let (result, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)));
+            let (violations, _) = result.expect("detection succeeds");
+            points.push(Point {
+                x: fmt_size(tab),
+                series: series.into(),
+                seconds,
+                detail: format!("{} violations", violations.total()),
+            });
+        }
+    }
+    Experiment {
+        id: "fig9d",
+        title: "Scalability in TABSZ".into(),
+        parameters: format!("SZ {}, NOISE 5%, NUMCONSTs 50%, DNF strategy", fmt_size(sz)),
+        points,
+    }
+}
+
+/// Fig. 9(e): scalability in the percentage of constant pattern rows.
+pub fn fig9e(quick: bool) -> Experiment {
+    let sz = if quick { 30_000 } else { 100_000 };
+    let tab = if quick { 300 } else { 1_000 };
+    let data = tax_data(sz, 5.0, 31);
+    let detector = Detector::new();
+    let mut points = Vec::new();
+    for pct in (1..=10).rev().map(|i| i as f64 * 10.0) {
+        let cfd = CfdWorkload::new(37).single(EmbeddedFd::ZipCityToState, tab, pct);
+        let (result, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)));
+        let (violations, _) = result.expect("detection succeeds");
+        points.push(Point {
+            x: format!("{pct}%"),
+            series: "detection".into(),
+            seconds,
+            detail: format!("{} violations", violations.total()),
+        });
+    }
+    Experiment {
+        id: "fig9e",
+        title: "Scalability in NUMCONSTs".into(),
+        parameters: format!("SZ {}, NOISE 5%, TABSZ {tab}, NUMATTRs 3, DNF strategy", fmt_size(sz)),
+        points,
+    }
+}
+
+/// Fig. 9(f): scalability in the NOISE percentage, using the zip→state CFD
+/// with a pattern row for every zip→state pair.
+pub fn fig9f(quick: bool) -> Experiment {
+    let sz = if quick { 30_000 } else { 100_000 };
+    let cfd = CfdWorkload::new(41).zip_state_full();
+    let detector = Detector::new();
+    let mut points = Vec::new();
+    for noise in 0..=9 {
+        let data = tax_data(sz, noise as f64, 43 + noise as u64);
+        let (result, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)));
+        let (violations, _) = result.expect("detection succeeds");
+        points.push(Point {
+            x: format!("{noise}%"),
+            series: "detection".into(),
+            seconds,
+            detail: format!("{} violations", violations.total()),
+        });
+    }
+    Experiment {
+        id: "fig9f",
+        title: "Scalability in NOISE".into(),
+        parameters: format!(
+            "SZ {}, zip→state CFD with all {} zip→state pattern rows (NUMATTRs 2, NUMCONSTs 100%), DNF strategy",
+            fmt_size(sz),
+            cfd.tableau().len()
+        ),
+        points,
+    }
+}
+
+/// The merged-CFD study discussed (without a figure) at the end of Section 5:
+/// per-CFD query pairs (2 × |Σ| passes) vs the single merged pair (2 passes),
+/// for a set of *related* CFDs (shared attributes) and *unrelated* CFDs.
+pub fn merged(quick: bool) -> Experiment {
+    let sz = if quick { 30_000 } else { 100_000 };
+    let tab = if quick { 200 } else { 1_000 };
+    let data = tax_data(sz, 5.0, 47);
+    let workload = CfdWorkload::new(53);
+    let related = vec![
+        workload.single(EmbeddedFd::ZipToState, tab, 100.0),
+        workload.single(EmbeddedFd::ZipCityToState, tab, 100.0),
+        workload.single(EmbeddedFd::ZipToCity, tab, 100.0),
+    ];
+    let unrelated = vec![
+        workload.single(EmbeddedFd::ZipToState, tab, 100.0),
+        workload.single(EmbeddedFd::AreaToCity, tab, 100.0),
+        workload.single(EmbeddedFd::StateMaritalToExemption, tab, 100.0),
+    ];
+    let detector = Detector::new();
+    let mut points = Vec::new();
+    for (group, cfds) in [("related", &related), ("unrelated", &unrelated)] {
+        let (_, per_cfd_seconds) =
+            time(|| detector.detect_set(cfds, Arc::clone(&data)).unwrap());
+        let (_, merged_seconds) =
+            time(|| detector.detect_set_merged(cfds, Arc::clone(&data)).unwrap());
+        points.push(Point {
+            x: group.into(),
+            series: "per-CFD query pairs".into(),
+            seconds: per_cfd_seconds,
+            detail: String::new(),
+        });
+        points.push(Point {
+            x: group.into(),
+            series: "merged query pair".into(),
+            seconds: merged_seconds,
+            detail: String::new(),
+        });
+    }
+    Experiment {
+        id: "merged",
+        title: "Validating multiple CFDs: per-CFD vs merged tableaux".into(),
+        parameters: format!("SZ {}, NOISE 5%, 3 CFDs, TABSZ {tab}, NUMCONSTs 100%", fmt_size(sz)),
+        points,
+    }
+}
+
+/// Ablation: SQL detection (DNF indexed / DNF unindexed / CNF) vs the direct
+/// hash-based detector.
+pub fn ablation_detectors(quick: bool) -> Experiment {
+    let sz = if quick { 30_000 } else { 100_000 };
+    let tab = if quick { 200 } else { 1_000 };
+    let data = tax_data(sz, 5.0, 59);
+    let cfd = CfdWorkload::new(61).single(EmbeddedFd::ZipCityToState, tab, 100.0);
+    let mut points = Vec::new();
+    for (name, strategy) in [
+        ("DNF + indexes", Strategy::dnf()),
+        ("DNF, no indexes", Strategy::dnf_unindexed()),
+        ("CNF", Strategy::cnf()),
+    ] {
+        let detector = Detector::new().with_strategy(strategy);
+        let (_, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)).unwrap());
+        points.push(Point { x: "SQL".into(), series: name.into(), seconds, detail: String::new() });
+    }
+    let (_, direct_seconds) = time(|| DirectDetector::new().detect(&cfd, &data));
+    points.push(Point {
+        x: "non-SQL".into(),
+        series: "direct hash detector".into(),
+        seconds: direct_seconds,
+        detail: String::new(),
+    });
+    Experiment {
+        id: "ablation-detectors",
+        title: "Detection strategies (SQL plans vs direct detector)".into(),
+        parameters: format!("SZ {}, NOISE 5%, TABSZ {tab}, NUMATTRs 3", fmt_size(sz)),
+        points,
+    }
+}
+
+/// Ablation: detecting with the raw CFD set vs its minimal cover (Section 3.3
+/// motivates MinCover as a detection optimization).
+pub fn ablation_mincover(quick: bool) -> Experiment {
+    let sz = if quick { 20_000 } else { 50_000 };
+    let data = tax_data(sz, 5.0, 67);
+    let workload = CfdWorkload::new(71);
+    // A deliberately redundant set: the same zip→state CFD repeated plus a
+    // wider variant whose extra attribute is redundant.
+    let mut cfds = vec![
+        workload.single(EmbeddedFd::ZipToState, 100, 100.0),
+        workload.single(EmbeddedFd::ZipToState, 100, 100.0),
+        workload.single(EmbeddedFd::ZipCityToState, 100, 100.0),
+    ];
+    cfds.push(cfds[0].clone());
+    let set = CfdSet::from_cfds(cfds.clone()).expect("same schema");
+    let cover = set.minimal_cover().expect("consistent");
+    let cover_cfds: Vec<_> = cover.clone().into_iter().collect();
+    let detector = Detector::new();
+    let (_, raw_seconds) = time(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
+    let (_, cover_seconds) =
+        time(|| detector.detect_set(&cover_cfds, Arc::clone(&data)).unwrap());
+    Experiment {
+        id: "ablation-mincover",
+        title: "Detection with raw Σ vs its minimal cover".into(),
+        parameters: format!(
+            "SZ {}, NOISE 5%; raw Σ: {} CFDs / {} pattern rows; cover: {} CFDs / {} pattern rows",
+            fmt_size(sz),
+            cfds.len(),
+            cfds.iter().map(|c| c.tableau().len()).sum::<usize>(),
+            cover_cfds.len(),
+            cover.total_patterns(),
+        ),
+        points: vec![
+            Point {
+                x: "detection".into(),
+                series: "raw Σ".into(),
+                seconds: raw_seconds,
+                detail: String::new(),
+            },
+            Point {
+                x: "detection".into(),
+                series: "minimal cover".into(),
+                seconds: cover_seconds,
+                detail: String::new(),
+            },
+        ],
+    }
+}
+
+/// Ablation: single-threaded vs parallel per-CFD detection (extension).
+pub fn ablation_parallel(quick: bool) -> Experiment {
+    let sz = if quick { 30_000 } else { 100_000 };
+    let tab = if quick { 200 } else { 1_000 };
+    let data = tax_data(sz, 5.0, 73);
+    let cfds = CfdWorkload::new(79).many(6, 4, tab, 100.0);
+    let detector = Detector::new();
+    let (_, serial) = time(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
+    let (_, parallel) =
+        time(|| detector.detect_set_parallel(&cfds, Arc::clone(&data), 4).unwrap());
+    Experiment {
+        id: "ablation-parallel",
+        title: "Per-CFD detection: single-threaded vs 4 worker threads".into(),
+        parameters: format!("SZ {}, NOISE 5%, 6 CFDs, TABSZ {tab}", fmt_size(sz)),
+        points: vec![
+            Point { x: "6 CFDs".into(), series: "serial".into(), seconds: serial, detail: String::new() },
+            Point {
+                x: "6 CFDs".into(),
+                series: "4 threads".into(),
+                seconds: parallel,
+                detail: String::new(),
+            },
+        ],
+    }
+}
+
+/// Every experiment, in presentation order.
+pub fn all(quick: bool) -> Vec<Experiment> {
+    vec![
+        fig9a(quick),
+        fig9b(quick),
+        fig9c(quick),
+        fig9d(quick),
+        fig9e(quick),
+        fig9f(quick),
+        merged(quick),
+        ablation_detectors(quick),
+        ablation_mincover(quick),
+        ablation_parallel(quick),
+    ]
+}
+
+/// Looks an experiment up by id, using the quick/full parameterization.
+pub fn by_id(id: &str, quick: bool) -> Option<Experiment> {
+    match id {
+        "fig9a" => Some(fig9a(quick)),
+        "fig9b" => Some(fig9b(quick)),
+        "fig9c" => Some(fig9c(quick)),
+        "fig9d" => Some(fig9d(quick)),
+        "fig9e" => Some(fig9e(quick)),
+        "fig9f" => Some(fig9f(quick)),
+        "merged" => Some(merged(quick)),
+        "ablation-detectors" => Some(ablation_detectors(quick)),
+        "ablation-mincover" => Some(ablation_mincover(quick)),
+        "ablation-parallel" => Some(ablation_parallel(quick)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_resolve() {
+        for id in [
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig9d",
+            "fig9e",
+            "fig9f",
+            "merged",
+            "ablation-detectors",
+            "ablation-mincover",
+            "ablation-parallel",
+        ] {
+            // Only check that the id is known; running them is the binary's job.
+            assert!(
+                matches!(id, "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "merged")
+                    || id.starts_with("ablation-"),
+                "unknown id {id}"
+            );
+        }
+        assert!(by_id("nope", true).is_none());
+    }
+
+    #[test]
+    fn sizes_and_tabsz_depend_on_mode() {
+        assert_eq!(sizes(true).len(), 4);
+        assert_eq!(sizes(false).len(), 10);
+        assert!(tabsz(false) > tabsz(true));
+    }
+}

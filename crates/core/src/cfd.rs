@@ -1,0 +1,603 @@
+//! The CFD type: an embedded FD plus a pattern tableau, with satisfaction
+//! semantics (Section 2 of the paper).
+
+use crate::error::{CfdError, Result};
+use crate::pattern::PatternValue;
+use crate::tableau::{PatternTableau, PatternTuple};
+use cfd_relation::{AttrId, Relation, Schema, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A conditional functional dependency `ϕ = (R: X → Y, Tp)`.
+///
+/// * `X` (`lhs`) and `Y` (`rhs`) are attribute lists of the schema `R`;
+///   `R: X → Y` is the *embedded FD*.
+/// * `Tp` is the pattern tableau: each row has one cell per attribute of
+///   `X` and of `Y`, holding a constant or the unnamed variable `_`.
+///
+/// `I ⊨ ϕ` iff for every pair of tuples `t1, t2 ∈ I` and every pattern row
+/// `tc`, if `t1[X] = t2[X] ≍ tc[X]` then `t1[Y] = t2[Y] ≍ tc[Y]`.
+/// Note that taking `t1 = t2` yields the single-tuple violations caused by
+/// constants on the RHS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfd {
+    schema: Schema,
+    lhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+    tableau: PatternTableau,
+    name: Option<String>,
+}
+
+impl Cfd {
+    /// Starts building a CFD over `schema` with the embedded FD
+    /// `lhs → rhs` (attribute names).
+    pub fn builder<'a, L, R>(schema: Schema, lhs: L, rhs: R) -> CfdBuilder
+    where
+        L: IntoIterator<Item = &'a str>,
+        R: IntoIterator<Item = &'a str>,
+    {
+        CfdBuilder {
+            schema,
+            lhs: lhs.into_iter().map(str::to_owned).collect(),
+            rhs: rhs.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            name: None,
+        }
+    }
+
+    /// Constructs a CFD from already-resolved attribute ids and a tableau.
+    pub fn from_parts(
+        schema: Schema,
+        lhs: Vec<AttrId>,
+        rhs: Vec<AttrId>,
+        tableau: PatternTableau,
+    ) -> Result<Self> {
+        let cfd = Cfd { schema, lhs, rhs, tableau, name: None };
+        cfd.validate()?;
+        Ok(cfd)
+    }
+
+    /// Expresses a plain FD `lhs → rhs` as a CFD: a single all-wildcard
+    /// pattern row (the first special case noted in Section 2).
+    pub fn fd<'a, L, R>(schema: Schema, lhs: L, rhs: R) -> Result<Self>
+    where
+        L: IntoIterator<Item = &'a str>,
+        R: IntoIterator<Item = &'a str>,
+    {
+        let lhs: Vec<&str> = lhs.into_iter().collect();
+        let rhs: Vec<&str> = rhs.into_iter().collect();
+        let row = PatternTuple::all_wildcards(lhs.len(), rhs.len());
+        let mut b = Cfd::builder(schema, lhs, rhs);
+        b.rows.push(row);
+        b.build()
+    }
+
+    /// Expresses an instance-level FD (the second special case of Section 2):
+    /// a single pattern row consisting only of constants.
+    pub fn instance_level<'a, L, R>(
+        schema: Schema,
+        lhs: L,
+        lhs_consts: Vec<Value>,
+        rhs: R,
+        rhs_consts: Vec<Value>,
+    ) -> Result<Self>
+    where
+        L: IntoIterator<Item = &'a str>,
+        R: IntoIterator<Item = &'a str>,
+    {
+        let row = PatternTuple::new(
+            lhs_consts.into_iter().map(PatternValue::Const).collect(),
+            rhs_consts.into_iter().map(PatternValue::Const).collect(),
+        );
+        let mut b = Cfd::builder(schema, lhs, rhs);
+        b.rows.push(row);
+        b.build()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.rhs.is_empty() {
+            return Err(CfdError::EmptyRhs);
+        }
+        if self.tableau.is_empty() {
+            return Err(CfdError::EmptyTableau);
+        }
+        for row in self.tableau.rows() {
+            if row.lhs().len() != self.lhs.len() || row.rhs().len() != self.rhs.len() {
+                return Err(CfdError::PatternArity {
+                    expected_lhs: self.lhs.len(),
+                    expected_rhs: self.rhs.len(),
+                    got_lhs: row.lhs().len(),
+                    got_rhs: row.rhs().len(),
+                });
+            }
+            // Constants must belong to the attribute's domain.
+            for (attr, cell) in self.lhs.iter().zip(row.lhs()).chain(self.rhs.iter().zip(row.rhs()))
+            {
+                if let PatternValue::Const(v) = cell {
+                    let a = self.schema.attribute(*attr)?;
+                    if !a.domain.contains(v) {
+                        return Err(CfdError::PatternConstantOutsideDomain {
+                            attribute: a.name.clone(),
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The relation schema the CFD is defined on.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// LHS (`X`) attribute ids.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// RHS (`Y`) attribute ids.
+    pub fn rhs(&self) -> &[AttrId] {
+        &self.rhs
+    }
+
+    /// LHS attribute names.
+    pub fn lhs_names(&self) -> Vec<&str> {
+        self.lhs.iter().map(|a| self.schema.attr_name(*a)).collect()
+    }
+
+    /// RHS attribute names.
+    pub fn rhs_names(&self) -> Vec<&str> {
+        self.rhs.iter().map(|a| self.schema.attr_name(*a)).collect()
+    }
+
+    /// The pattern tableau `Tp`.
+    pub fn tableau(&self) -> &PatternTableau {
+        &self.tableau
+    }
+
+    /// Optional human-readable name (e.g. `"ϕ2"`).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Whether any pattern cell is the don't-care symbol `@` (only merged
+    /// tableaux produced by the detection layer contain it).
+    pub fn has_dont_care(&self) -> bool {
+        self.tableau.iter().any(PatternTuple::has_dont_care)
+    }
+
+    /// Whether the CFD is a plain FD in disguise (single all-wildcard row).
+    pub fn is_plain_fd(&self) -> bool {
+        self.tableau.len() == 1 && self.tableau.rows()[0].is_all_wildcards()
+    }
+
+    /// `I ⊨ ϕ`: checks satisfaction of this CFD by `rel`.
+    pub fn satisfied_by(&self, rel: &Relation) -> bool {
+        self.first_violation(rel).is_none()
+    }
+
+    /// Finds one violation witness, or `None` when the CFD is satisfied.
+    pub fn first_violation(&self, rel: &Relation) -> Option<ViolationWitness> {
+        self.violations_internal(rel, true).into_iter().next()
+    }
+
+    /// Finds all violation witnesses (one per violating tuple, de-duplicated).
+    ///
+    /// This is the straightforward semantic detector; the `cfd-detect` crate
+    /// provides the scalable SQL-based detectors used by the experiments.
+    pub fn violations(&self, rel: &Relation) -> Vec<ViolationWitness> {
+        self.violations_internal(rel, false)
+    }
+
+    fn violations_internal(&self, rel: &Relation, stop_at_first: bool) -> Vec<ViolationWitness> {
+        let mut out = Vec::new();
+        for (pattern_idx, pattern) in self.tableau.iter().enumerate() {
+            // Effective attribute lists for this row: skip don't-care cells.
+            let lhs_eff: Vec<AttrId> = self
+                .lhs
+                .iter()
+                .zip(pattern.lhs())
+                .filter(|(_, p)| !p.is_dont_care())
+                .map(|(a, _)| *a)
+                .collect();
+            let rhs_eff: Vec<AttrId> = self
+                .rhs
+                .iter()
+                .zip(pattern.rhs())
+                .filter(|(_, p)| !p.is_dont_care())
+                .map(|(a, _)| *a)
+                .collect();
+
+            // Group matching tuples by their X projection.
+            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, t) in rel.iter() {
+                let x_vals = t.project_ref(&self.lhs);
+                if pattern.lhs_matches(&x_vals) {
+                    groups.entry(t.project(&lhs_eff)).or_default().push(i);
+                }
+            }
+
+            for (_, members) in groups {
+                // Single-tuple (constant) violations: RHS constants not matched.
+                let mut constant_violators = Vec::new();
+                for &i in &members {
+                    let t = rel.row(i).expect("member in range");
+                    let y_vals = t.project_ref(&self.rhs);
+                    if !pattern.rhs_matches(&y_vals) {
+                        constant_violators.push(i);
+                    }
+                }
+                // Multi-tuple violations: two members with different Y projections.
+                let mut y_groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for &i in &members {
+                    let t = rel.row(i).expect("member in range");
+                    y_groups.entry(t.project(&rhs_eff)).or_default().push(i);
+                }
+                let multi = y_groups.len() > 1;
+
+                for i in constant_violators {
+                    out.push(ViolationWitness {
+                        pattern_index: pattern_idx,
+                        kind: ViolationKind::SingleTuple,
+                        rows: vec![i],
+                    });
+                    if stop_at_first {
+                        return out;
+                    }
+                }
+                if multi {
+                    let mut rows: Vec<usize> = members.clone();
+                    rows.sort_unstable();
+                    out.push(ViolationWitness {
+                        pattern_index: pattern_idx,
+                        kind: ViolationKind::MultiTuple,
+                        rows,
+                    });
+                    if stop_at_first {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [", self.schema.name())?;
+        for (i, a) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.schema.attr_name(*a))?;
+        }
+        write!(f, "] -> [")?;
+        for (i, a) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.schema.attr_name(*a))?;
+        }
+        writeln!(f, "], tableau:")?;
+        write!(f, "{}", self.tableau)
+    }
+}
+
+/// How a violation manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A single tuple matches the LHS pattern but contradicts an RHS constant
+    /// (the `QC` query of Section 4 finds these).
+    SingleTuple,
+    /// Two or more tuples agree (and match the pattern) on the LHS but differ
+    /// on the RHS (the `QV` query finds these).
+    MultiTuple,
+}
+
+/// A concrete witness of a CFD violation in a relation instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationWitness {
+    /// Index of the pattern tuple that is violated.
+    pub pattern_index: usize,
+    /// Single- or multi-tuple violation.
+    pub kind: ViolationKind,
+    /// Indices of the involved rows (one row for single-tuple violations, the
+    /// whole agreeing group for multi-tuple violations).
+    pub rows: Vec<usize>,
+}
+
+/// Builder returned by [`Cfd::builder`].
+#[derive(Debug, Clone)]
+pub struct CfdBuilder {
+    schema: Schema,
+    lhs: Vec<String>,
+    rhs: Vec<String>,
+    rows: Vec<PatternTuple>,
+    name: Option<String>,
+}
+
+impl CfdBuilder {
+    /// Adds a pattern row given as string tokens (`"_"` for the unnamed
+    /// variable, `"@"` for don't-care, anything else a constant).
+    pub fn pattern<L, R>(mut self, lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator,
+        L::Item: AsRef<str>,
+        R: IntoIterator,
+        R::Item: AsRef<str>,
+    {
+        self.rows.push(PatternTuple::parse(lhs, rhs));
+        self
+    }
+
+    /// Adds an already-constructed pattern row.
+    pub fn pattern_row(mut self, row: PatternTuple) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Sets a human-readable name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Finishes the CFD, resolving attribute names and validating patterns.
+    pub fn build(self) -> Result<Cfd> {
+        let lhs = self.schema.resolve_all(self.lhs.iter().map(String::as_str))?;
+        let rhs = self.schema.resolve_all(self.rhs.iter().map(String::as_str))?;
+        let cfd = Cfd {
+            schema: self.schema,
+            lhs,
+            rhs,
+            tableau: PatternTableau::from_rows(self.rows),
+            name: self.name,
+        };
+        cfd.validate()?;
+        Ok(cfd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::{Domain, Tuple};
+
+    /// The cust schema of Example 1.1.
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .text("CC")
+            .text("AC")
+            .text("PN")
+            .text("NM")
+            .text("STR")
+            .text("CT")
+            .text("ZIP")
+            .build()
+    }
+
+    /// The cust instance of Fig. 1.
+    fn cust_instance() -> Relation {
+        let mut rel = Relation::new(cust_schema());
+        for r in [
+            ["01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974"],
+            ["01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"],
+            ["01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202"],
+            ["01", "212", "2222222", "Jim", "Elm Str.", "NYC", "01202"],
+            ["01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"],
+            ["44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"],
+        ] {
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+        }
+        rel
+    }
+
+    /// ϕ1 = (cust: [CC, ZIP] -> [STR], T1) of Fig. 2.
+    fn phi1() -> Cfd {
+        Cfd::builder(cust_schema(), ["CC", "ZIP"], ["STR"])
+            .pattern(["44", "_"], ["_"])
+            .named("phi1")
+            .build()
+            .unwrap()
+    }
+
+    /// ϕ2 = (cust: [CC, AC, PN] -> [STR, CT, ZIP], T2) of Fig. 2.
+    fn phi2() -> Cfd {
+        Cfd::builder(cust_schema(), ["CC", "AC", "PN"], ["STR", "CT", "ZIP"])
+            .pattern(["01", "908", "_"], ["_", "MH", "_"])
+            .pattern(["01", "212", "_"], ["_", "NYC", "_"])
+            .pattern(["_", "_", "_"], ["_", "_", "_"])
+            .named("phi2")
+            .build()
+            .unwrap()
+    }
+
+    /// ϕ3 = (cust: [CC, AC] -> [CT], T3) of Fig. 2.
+    fn phi3() -> Cfd {
+        Cfd::builder(cust_schema(), ["CC", "AC"], ["CT"])
+            .pattern(["01", "215"], ["PHI"])
+            .pattern(["44", "141"], ["GLA"])
+            .named("phi3")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_2_2_phi1_and_phi3_hold_phi2_fails() {
+        let rel = cust_instance();
+        assert!(phi1().satisfied_by(&rel));
+        assert!(phi3().satisfied_by(&rel));
+        assert!(!phi2().satisfied_by(&rel));
+    }
+
+    #[test]
+    fn example_2_2_phi2_violators_are_t1_and_t2() {
+        let rel = cust_instance();
+        let violations = phi2().violations(&rel);
+        let single: Vec<usize> = violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::SingleTuple)
+            .flat_map(|v| v.rows.clone())
+            .collect();
+        assert!(single.contains(&0), "t1 violates the (01, 908, _ || _, MH, _) pattern");
+        assert!(single.contains(&1), "t2 violates it too");
+        // Pattern index 0 is the 908/MH row.
+        assert!(violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::SingleTuple)
+            .all(|v| v.pattern_index == 0));
+    }
+
+    #[test]
+    fn traditional_fds_hold_on_fig1() {
+        let rel = cust_instance();
+        let f1 = Cfd::fd(cust_schema(), ["CC", "AC", "PN"], ["STR", "CT", "ZIP"]).unwrap();
+        let f2 = Cfd::fd(cust_schema(), ["CC", "AC"], ["CT"]).unwrap();
+        assert!(f1.is_plain_fd());
+        assert!(f1.satisfied_by(&rel));
+        assert!(f2.satisfied_by(&rel));
+    }
+
+    #[test]
+    fn multi_tuple_violation_detected() {
+        // Break the plain FD [CC, AC] -> [CT] by giving area code 131 two cities.
+        let mut rel = cust_instance();
+        let mut extra = rel.row(5).unwrap().clone();
+        extra.set(AttrId(3), Value::from("Amy"));
+        extra.set(AttrId(5), Value::from("GLA"));
+        rel.push(extra).unwrap();
+        let f2 = Cfd::fd(cust_schema(), ["CC", "AC"], ["CT"]).unwrap();
+        let violations = f2.violations(&rel);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::MultiTuple);
+        assert_eq!(violations[0].rows, vec![5, 6]);
+        assert!(!f2.satisfied_by(&rel));
+    }
+
+    #[test]
+    fn single_tuple_can_violate_a_cfd() {
+        // One UK tuple with the "wrong" city under ϕ3's (44, 141 || GLA) row.
+        let mut rel = Relation::new(cust_schema());
+        rel.push(Tuple::new(
+            ["44", "141", "5555555", "Una", "Kelvin Way", "EDI", "G12"]
+                .iter()
+                .map(|s| Value::from(*s))
+                .collect(),
+        ))
+        .unwrap();
+        let violations = phi3().violations(&rel);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::SingleTuple);
+        assert_eq!(violations[0].pattern_index, 1);
+        assert_eq!(violations[0].rows, vec![0]);
+    }
+
+    #[test]
+    fn instance_level_fd_constructor() {
+        let cfd = Cfd::instance_level(
+            cust_schema(),
+            ["CC", "AC"],
+            vec![Value::from("01"), Value::from("215")],
+            ["CT"],
+            vec![Value::from("PHI")],
+        )
+        .unwrap();
+        assert!(cfd.tableau().rows()[0].is_all_constants());
+        assert!(cfd.satisfied_by(&cust_instance()));
+    }
+
+    #[test]
+    fn builder_validation_errors() {
+        // Arity mismatch in a pattern.
+        let err = Cfd::builder(cust_schema(), ["CC", "AC"], ["CT"])
+            .pattern(["01"], ["PHI"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CfdError::PatternArity { .. }));
+
+        // Empty RHS.
+        let err = Cfd::builder(cust_schema(), ["CC"], [])
+            .pattern(["01"], Vec::<&str>::new())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CfdError::EmptyRhs);
+
+        // Empty tableau.
+        let err = Cfd::builder(cust_schema(), ["CC"], ["CT"]).build().unwrap_err();
+        assert_eq!(err, CfdError::EmptyTableau);
+
+        // Unknown attribute.
+        let err = Cfd::builder(cust_schema(), ["NOPE"], ["CT"])
+            .pattern(["_"], ["_"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CfdError::Relation(_)));
+    }
+
+    #[test]
+    fn pattern_constants_checked_against_domains() {
+        let schema = Schema::builder("r")
+            .text("A")
+            .attr_domain("MR", Domain::finite(["single", "married"]))
+            .build();
+        let err = Cfd::builder(schema.clone(), ["A"], ["MR"])
+            .pattern(["_"], ["widowed"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CfdError::PatternConstantOutsideDomain { .. }));
+        assert!(Cfd::builder(schema, ["A"], ["MR"])
+            .pattern(["_"], ["married"])
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn dont_care_rows_restrict_only_free_attributes() {
+        // Merged-style row: [CC=01, AC=215, CT=@] -> [CT=PHI, AC=@]
+        // (shape of Fig. 7, id 2). The @ attributes are ignored.
+        let schema = cust_schema();
+        let cfd = Cfd::builder(schema, ["CC", "AC", "CT"], ["CT", "AC"])
+            .pattern(["01", "215", "@"], ["PHI", "@"])
+            .build()
+            .unwrap();
+        assert!(cfd.has_dont_care());
+        assert!(cfd.satisfied_by(&cust_instance()));
+        // Now corrupt Ben's city: the @-free RHS cell (CT = PHI) is violated.
+        let mut rel = cust_instance();
+        rel.rows_mut()[4].set(AttrId(5), Value::from("NYC"));
+        assert!(!cfd.satisfied_by(&rel));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let cfd = phi2();
+        assert_eq!(cfd.lhs_names(), vec!["CC", "AC", "PN"]);
+        assert_eq!(cfd.rhs_names(), vec!["STR", "CT", "ZIP"]);
+        assert_eq!(cfd.name(), Some("phi2"));
+        assert_eq!(cfd.tableau().len(), 3);
+        assert!(!cfd.is_plain_fd());
+        let shown = cfd.to_string();
+        assert!(shown.contains("[CC, AC, PN] -> [STR, CT, ZIP]"));
+        assert!(shown.contains("(01, 908, _ || _, MH, _)"));
+    }
+
+    #[test]
+    fn first_violation_stops_early_and_agrees_with_violations() {
+        let rel = cust_instance();
+        let first = phi2().first_violation(&rel).unwrap();
+        let all = phi2().violations(&rel);
+        assert!(all.contains(&first));
+        assert!(phi1().first_violation(&rel).is_none());
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let rel = Relation::new(cust_schema());
+        assert!(phi1().satisfied_by(&rel));
+        assert!(phi2().satisfied_by(&rel));
+        assert!(phi3().satisfied_by(&rel));
+    }
+}

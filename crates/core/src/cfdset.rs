@@ -1,0 +1,275 @@
+//! A set of CFDs over a single schema, with the reasoning operations of
+//! Section 3 exposed as methods.
+
+use crate::cfd::{Cfd, ViolationWitness};
+use crate::consistency;
+use crate::error::{CfdError, Result};
+use crate::implication;
+use crate::mincover;
+use crate::normalize::NormalCfd;
+use cfd_relation::{Relation, Schema};
+use std::fmt;
+
+/// A collection of CFDs (`Σ` in the paper) defined over one relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CfdSet {
+    cfds: Vec<Cfd>,
+}
+
+impl CfdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CfdSet { cfds: Vec::new() }
+    }
+
+    /// Builds a set from CFDs, checking they share a schema.
+    pub fn from_cfds(cfds: Vec<Cfd>) -> Result<Self> {
+        let mut set = CfdSet::new();
+        for cfd in cfds {
+            set.push(cfd)?;
+        }
+        Ok(set)
+    }
+
+    /// Adds a CFD, checking it is defined over the same schema as the others.
+    pub fn push(&mut self, cfd: Cfd) -> Result<()> {
+        if let Some(first) = self.cfds.first() {
+            if first.schema() != cfd.schema() {
+                return Err(CfdError::MixedSchemas {
+                    left: first.schema().name().to_owned(),
+                    right: cfd.schema().name().to_owned(),
+                });
+            }
+        }
+        self.cfds.push(cfd);
+        Ok(())
+    }
+
+    /// The CFDs in insertion order.
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Number of CFDs.
+    pub fn len(&self) -> usize {
+        self.cfds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cfds.is_empty()
+    }
+
+    /// The schema the CFDs are defined over (None for an empty set).
+    pub fn schema(&self) -> Option<&Schema> {
+        self.cfds.first().map(Cfd::schema)
+    }
+
+    /// Iterates the CFDs.
+    pub fn iter(&self) -> impl Iterator<Item = &Cfd> + '_ {
+        self.cfds.iter()
+    }
+
+    /// Total number of pattern rows across the set (`Σ`'s tableau size).
+    pub fn total_patterns(&self) -> usize {
+        self.cfds.iter().map(|c| c.tableau().len()).sum()
+    }
+
+    /// Converts every CFD into its normal form `(X → A, tp)` (Section 3).
+    pub fn normalize(&self) -> Result<Vec<NormalCfd>> {
+        let mut out = Vec::new();
+        for cfd in &self.cfds {
+            out.extend(NormalCfd::normalize(cfd)?);
+        }
+        Ok(out)
+    }
+
+    /// Whether the set is consistent (some nonempty instance satisfies it).
+    pub fn is_consistent(&self) -> Result<bool> {
+        Ok(consistency::is_consistent(&self.normalize()?))
+    }
+
+    /// Whether this set implies the given normal-form CFD.
+    pub fn implies(&self, phi: &NormalCfd) -> Result<bool> {
+        Ok(implication::implies(&self.normalize()?, phi))
+    }
+
+    /// Whether this set and `other` are equivalent.
+    pub fn equivalent_to(&self, other: &CfdSet) -> Result<bool> {
+        Ok(mincover::equivalent(&self.normalize()?, &other.normalize()?))
+    }
+
+    /// Computes a minimal cover and re-packages it as general CFDs grouped by
+    /// embedded FD (Section 3.3).
+    pub fn minimal_cover(&self) -> Result<CfdSet> {
+        let cover = mincover::minimal_cover(&self.normalize()?);
+        let packed = NormalCfd::denormalize(&cover)?;
+        CfdSet::from_cfds(packed)
+    }
+
+    /// `I ⊨ Σ`: whether the instance satisfies every CFD in the set.
+    pub fn satisfied_by(&self, rel: &Relation) -> bool {
+        self.cfds.iter().all(|c| c.satisfied_by(rel))
+    }
+
+    /// All violation witnesses, tagged with the index of the violated CFD.
+    pub fn violations(&self, rel: &Relation) -> Vec<(usize, ViolationWitness)> {
+        let mut out = Vec::new();
+        for (i, cfd) in self.cfds.iter().enumerate() {
+            for w in cfd.violations(rel) {
+                out.push((i, w));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CfdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cfd) in self.cfds.iter().enumerate() {
+            writeln!(f, "ϕ{}: {}", i + 1, cfd)?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for CfdSet {
+    type Item = Cfd;
+    type IntoIter = std::vec::IntoIter<Cfd>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cfds.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::{Tuple, Value};
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .text("CC")
+            .text("AC")
+            .text("PN")
+            .text("NM")
+            .text("STR")
+            .text("CT")
+            .text("ZIP")
+            .build()
+    }
+
+    fn cust_instance() -> Relation {
+        let mut rel = Relation::new(cust_schema());
+        for r in [
+            ["01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974"],
+            ["01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"],
+            ["01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202"],
+            ["01", "212", "2222222", "Jim", "Elm Str.", "NYC", "01202"],
+            ["01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"],
+            ["44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"],
+        ] {
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+        }
+        rel
+    }
+
+    fn fig2_cfds() -> CfdSet {
+        let s = cust_schema();
+        let phi1 = Cfd::builder(s.clone(), ["CC", "ZIP"], ["STR"])
+            .pattern(["44", "_"], ["_"])
+            .build()
+            .unwrap();
+        let phi2 = Cfd::builder(s.clone(), ["CC", "AC", "PN"], ["STR", "CT", "ZIP"])
+            .pattern(["01", "908", "_"], ["_", "MH", "_"])
+            .pattern(["01", "212", "_"], ["_", "NYC", "_"])
+            .pattern(["_", "_", "_"], ["_", "_", "_"])
+            .build()
+            .unwrap();
+        let phi3 = Cfd::builder(s, ["CC", "AC"], ["CT"])
+            .pattern(["01", "215"], ["PHI"])
+            .pattern(["44", "141"], ["GLA"])
+            .build()
+            .unwrap();
+        CfdSet::from_cfds(vec![phi1, phi2, phi3]).unwrap()
+    }
+
+    #[test]
+    fn push_rejects_mixed_schemas() {
+        let mut set = CfdSet::new();
+        let s1 = Schema::builder("r1").text("A").text("B").build();
+        let s2 = Schema::builder("r2").text("A").text("B").build();
+        set.push(Cfd::fd(s1, ["A"], ["B"]).unwrap()).unwrap();
+        let err = set.push(Cfd::fd(s2, ["A"], ["B"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CfdError::MixedSchemas { .. }));
+    }
+
+    #[test]
+    fn fig2_set_statistics_and_satisfaction() {
+        let set = fig2_cfds();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.total_patterns(), 6);
+        assert!(!set.is_empty());
+        assert_eq!(set.schema().unwrap().name(), "cust");
+        let rel = cust_instance();
+        // ϕ2 is violated on Fig. 1, so the whole set is violated.
+        assert!(!set.satisfied_by(&rel));
+        let violations = set.violations(&rel);
+        assert!(violations.iter().all(|(idx, _)| *idx == 1), "only ϕ2 is violated");
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn normalization_counts() {
+        let set = fig2_cfds();
+        let normal = set.normalize().unwrap();
+        // ϕ1: 1 row x 1 rhs; ϕ2: 3 rows x 3 rhs; ϕ3: 2 rows x 1 rhs.
+        assert_eq!(normal.len(), 1 + 9 + 2);
+    }
+
+    #[test]
+    fn fig2_set_is_consistent() {
+        let set = fig2_cfds();
+        assert!(set.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn implication_via_set_api() {
+        let set = fig2_cfds();
+        let s = cust_schema();
+        // ϕ3 contains the pattern ([CC=01, AC=215] -> CT=PHI); it is implied.
+        let phi = NormalCfd::parse(&s, ["CC", "AC"], &["01", "215"], "CT", "PHI").unwrap();
+        assert!(set.implies(&phi).unwrap());
+        // Nothing implies a fresh unrelated constant constraint.
+        let not_implied = NormalCfd::parse(&s, ["CC"], &["01"], "CT", "NYC").unwrap();
+        assert!(!set.implies(&not_implied).unwrap());
+    }
+
+    #[test]
+    fn minimal_cover_roundtrip_is_equivalent() {
+        let set = fig2_cfds();
+        let cover = set.minimal_cover().unwrap();
+        assert!(set.equivalent_to(&cover).unwrap());
+        assert!(cover.total_patterns() <= set.total_patterns() * 3);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let set = CfdSet::new();
+        assert!(set.is_empty());
+        assert!(set.schema().is_none());
+        assert!(set.is_consistent().unwrap());
+        assert!(set.satisfied_by(&cust_instance()));
+        assert_eq!(set.minimal_cover().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn display_and_into_iter() {
+        let set = fig2_cfds();
+        let text = set.to_string();
+        assert!(text.contains("ϕ1"));
+        assert!(text.contains("[CC, AC] -> [CT]"));
+        let collected: Vec<Cfd> = set.clone().into_iter().collect();
+        assert_eq!(collected.len(), set.len());
+    }
+}

@@ -1,0 +1,412 @@
+//! Consistency analysis of CFD sets (Section 3.1).
+//!
+//! Unlike standard FDs, a set of CFDs can be *inconsistent*: no nonempty
+//! instance satisfies it (Example 3.1). The consistency problem is
+//! NP-complete in general (Theorem 3.1) because finite-domain attributes can
+//! be "used up" by pattern constants, but it is solvable in `O(|Σ|²)` time
+//! when the schema is predefined or no finite-domain attribute occurs in `Σ`
+//! (Theorem 3.2).
+//!
+//! The implementation relies on the observation that satisfaction of CFDs is
+//! preserved under taking sub-instances, so `Σ` is consistent iff some
+//! **single-tuple** instance satisfies it. The search for such a witness
+//! tuple is a chase:
+//!
+//! * attributes with infinite domains start out as *fresh* symbols — values
+//!   chosen to differ from every constant in `Σ`, which can only make fewer
+//!   LHS patterns applicable and is therefore the optimal choice;
+//! * attributes with finite domains are branched over their domain values
+//!   (this branching is the source of the NP-hardness and only happens when
+//!   such attributes occur in `Σ`);
+//! * whenever a CFD's LHS pattern is matched by the current partial tuple,
+//!   its RHS constant (if any) is forced; conflicting forced constants mean
+//!   the current branch is dead.
+
+use crate::normalize::NormalCfd;
+use crate::pattern::PatternValue;
+use cfd_relation::{AttrId, Schema, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The value of one attribute in the candidate witness tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cell {
+    /// A value chosen to differ from every constant of `Σ` on this attribute.
+    Fresh,
+    /// A concrete, forced (or branched) constant.
+    Const(Value),
+}
+
+/// Determines whether `sigma` is consistent: whether some nonempty instance
+/// of the schema satisfies every CFD in it.
+///
+/// All CFDs must be defined over the same schema; an empty `sigma` is
+/// trivially consistent.
+pub fn is_consistent(sigma: &[NormalCfd]) -> bool {
+    find_witness(sigma).is_some()
+}
+
+/// Determines whether `(Σ, B = b)` is consistent (Section 3.2): whether some
+/// instance satisfies `Σ` *and* contains a tuple whose `B` attribute is `b`.
+/// This is the side condition of inference rules FD7 and FD8.
+pub fn is_consistent_binding(sigma: &[NormalCfd], attr: AttrId, value: &Value) -> bool {
+    if sigma.is_empty() {
+        return true;
+    }
+    let schema = sigma[0].schema();
+    match schema.domain(attr) {
+        Ok(d) if d.contains(value) => {}
+        _ => return false,
+    }
+    let mut forced = BTreeMap::new();
+    forced.insert(attr, value.clone());
+    solve(sigma, schema, &forced).is_some()
+}
+
+/// Finds a single-tuple witness of consistency, as `(attribute, value)` pairs
+/// for every attribute of the schema, or `None` if `sigma` is inconsistent.
+///
+/// Fresh cells are materialized with a value outside the constants of
+/// `sigma`; the returned tuple therefore genuinely satisfies every CFD.
+pub fn find_witness(sigma: &[NormalCfd]) -> Option<Vec<(AttrId, Value)>> {
+    if sigma.is_empty() {
+        return Some(Vec::new());
+    }
+    let schema = sigma[0].schema();
+    solve(sigma, schema, &BTreeMap::new())
+}
+
+/// Core search: branches over finite-domain attributes mentioned in `sigma`,
+/// chases forced assignments, and materializes a witness on success.
+fn solve(
+    sigma: &[NormalCfd],
+    schema: &Schema,
+    pre_forced: &BTreeMap<AttrId, Value>,
+) -> Option<Vec<(AttrId, Value)>> {
+    // Constants of sigma per attribute (used to materialize fresh values).
+    let mut constants: HashMap<AttrId, Vec<Value>> = HashMap::new();
+    for cfd in sigma {
+        for (a, v) in cfd.constants() {
+            constants.entry(a).or_default().push(v);
+        }
+    }
+    for (a, v) in pre_forced {
+        constants.entry(*a).or_default().push(v.clone());
+    }
+
+    // Finite-domain attributes mentioned in sigma are branched over.
+    let mut finite_attrs: BTreeSet<AttrId> = BTreeSet::new();
+    for cfd in sigma {
+        for a in cfd.lhs().iter().copied().chain([cfd.rhs()]) {
+            if schema.domain(a).map(|d| d.is_finite()).unwrap_or(false) {
+                finite_attrs.insert(a);
+            }
+        }
+    }
+    let finite_attrs: Vec<AttrId> =
+        finite_attrs.into_iter().filter(|a| !pre_forced.contains_key(a)).collect();
+
+    let mut assignment: BTreeMap<AttrId, Cell> = BTreeMap::new();
+    for id in schema.attr_ids() {
+        assignment.insert(id, Cell::Fresh);
+    }
+    for (a, v) in pre_forced {
+        assignment.insert(*a, Cell::Const(v.clone()));
+    }
+
+    branch(sigma, schema, &finite_attrs, 0, assignment, &constants)
+}
+
+/// Recursively assigns domain values to the finite-domain attributes, then
+/// chases; returns a materialized witness for the first branch that survives.
+fn branch(
+    sigma: &[NormalCfd],
+    schema: &Schema,
+    finite_attrs: &[AttrId],
+    depth: usize,
+    assignment: BTreeMap<AttrId, Cell>,
+    constants: &HashMap<AttrId, Vec<Value>>,
+) -> Option<Vec<(AttrId, Value)>> {
+    if depth == finite_attrs.len() {
+        let mut chased = assignment;
+        if !chase(sigma, &mut chased) {
+            return None;
+        }
+        return materialize(schema, &chased, constants);
+    }
+    let attr = finite_attrs[depth];
+    let domain = schema.domain(attr).ok()?;
+    let values: Vec<Value> = domain.values().cloned().collect();
+    for v in values {
+        let mut next = assignment.clone();
+        next.insert(attr, Cell::Const(v));
+        if let Some(witness) = branch(sigma, schema, finite_attrs, depth + 1, next, constants) {
+            return Some(witness);
+        }
+    }
+    None
+}
+
+/// Chases forced RHS constants to a fixpoint. Returns `false` on conflict.
+fn chase(sigma: &[NormalCfd], assignment: &mut BTreeMap<AttrId, Cell>) -> bool {
+    loop {
+        let mut changed = false;
+        for cfd in sigma {
+            if !lhs_matched(cfd, assignment) {
+                continue;
+            }
+            match cfd.rhs_pattern() {
+                PatternValue::Wildcard | PatternValue::DontCare => {}
+                PatternValue::Const(c) => match assignment.get(&cfd.rhs()) {
+                    Some(Cell::Const(existing)) => {
+                        if existing != c {
+                            return false;
+                        }
+                    }
+                    _ => {
+                        assignment.insert(cfd.rhs(), Cell::Const(c.clone()));
+                        changed = true;
+                    }
+                },
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+/// Whether the single-tuple assignment matches the CFD's LHS pattern.
+/// A fresh cell never matches a constant pattern cell (fresh values are
+/// chosen outside the constants of `Σ`).
+fn lhs_matched(cfd: &NormalCfd, assignment: &BTreeMap<AttrId, Cell>) -> bool {
+    cfd.lhs().iter().zip(cfd.lhs_pattern()).all(|(a, p)| match p {
+        PatternValue::Wildcard | PatternValue::DontCare => true,
+        PatternValue::Const(c) => matches!(assignment.get(a), Some(Cell::Const(v)) if v == c),
+    })
+}
+
+/// Materializes fresh cells with values outside the constants of `Σ`.
+/// For attributes not mentioned in `Σ` whose finite domain offers no "fresh"
+/// value, any domain value works, so the first one is used.
+fn materialize(
+    schema: &Schema,
+    assignment: &BTreeMap<AttrId, Cell>,
+    constants: &HashMap<AttrId, Vec<Value>>,
+) -> Option<Vec<(AttrId, Value)>> {
+    let mut out = Vec::with_capacity(assignment.len());
+    for (attr, cell) in assignment {
+        let value = match cell {
+            Cell::Const(v) => v.clone(),
+            Cell::Fresh => {
+                let avoid = constants.get(attr).cloned().unwrap_or_default();
+                let domain = schema.domain(*attr).ok()?;
+                match domain.fresh_value_avoiding(&avoid) {
+                    Some(v) => v,
+                    None => domain.values().next()?.clone(),
+                }
+            }
+        };
+        out.push((*attr, value));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::{Domain, Relation, Tuple};
+
+    fn schema_ab() -> Schema {
+        Schema::builder("R").text("A").text("B").build()
+    }
+
+    fn schema_bool_a() -> Schema {
+        Schema::builder("R").attr_domain("A", Domain::boolean()).text("B").build()
+    }
+
+    /// Builds a normal CFD where `"true"`/`"false"` tokens become boolean
+    /// constants (needed for the finite-domain examples).
+    fn booly(schema: &Schema, lhs: &str, lhs_pattern: &str, rhs: &str, rhs_pattern: &str) -> NormalCfd {
+        let to_pv = |s: &str| match s {
+            "_" => PatternValue::Wildcard,
+            "true" => PatternValue::Const(Value::Bool(true)),
+            "false" => PatternValue::Const(Value::Bool(false)),
+            other => PatternValue::Const(Value::from(other)),
+        };
+        NormalCfd::new(
+            schema.clone(),
+            vec![schema.resolve(lhs).unwrap()],
+            vec![to_pv(lhs_pattern)],
+            schema.resolve(rhs).unwrap(),
+            to_pv(rhs_pattern),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_set_is_consistent() {
+        assert!(is_consistent(&[]));
+        assert_eq!(find_witness(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn example_3_1_conflicting_rhs_constants() {
+        // ψ1 = (A -> B, {(_, b), (_, c)}) is inconsistent on its own.
+        let s = schema_ab();
+        let p1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        let p2 = NormalCfd::parse(&s, ["A"], &["_"], "B", "c").unwrap();
+        assert!(is_consistent(&[p1.clone()]));
+        assert!(is_consistent(&[p2.clone()]));
+        assert!(!is_consistent(&[p1, p2]));
+    }
+
+    #[test]
+    fn example_3_1_finite_domain_interaction() {
+        // dom(A) = bool; ψ2 = (A -> B, {(true, b1), (false, b2)}),
+        // ψ3 = (B -> A, {(b1, false), (b2, true)}). Separately satisfiable,
+        // together inconsistent.
+        let s = schema_bool_a();
+        let psi2a = booly(&s, "A", "true", "B", "b1");
+        let psi2b = booly(&s, "A", "false", "B", "b2");
+        let psi3a = booly(&s, "B", "b1", "A", "false");
+        let psi3b = booly(&s, "B", "b2", "A", "true");
+        assert!(is_consistent(&[psi2a.clone(), psi2b.clone()]));
+        assert!(is_consistent(&[psi3a.clone(), psi3b.clone()]));
+        assert!(!is_consistent(&[psi2a, psi2b, psi3a, psi3b]));
+    }
+
+    #[test]
+    fn consistent_set_yields_a_real_witness() {
+        // Cascade: (∅ -> A, a) forces A=a, then (A=a -> B, b) forces B=b.
+        let s = schema_ab();
+        let c1 = NormalCfd::parse(&s, [], &[], "A", "a").unwrap();
+        let c2 = NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap();
+        let sigma = vec![c1.clone(), c2.clone()];
+        let witness = find_witness(&sigma).expect("consistent");
+        let mut tuple = Tuple::nulls(s.arity());
+        for (a, v) in &witness {
+            tuple.set(*a, v.clone());
+        }
+        let mut rel = Relation::new(s);
+        rel.push(tuple).unwrap();
+        assert!(c1.to_cfd().unwrap().satisfied_by(&rel));
+        assert!(c2.to_cfd().unwrap().satisfied_by(&rel));
+    }
+
+    #[test]
+    fn cascading_forced_constants_can_conflict() {
+        // (∅ -> A, a); (A=a -> B, b); (B=b -> A, a2): forces A to both a and a2.
+        let s = schema_ab();
+        let c1 = NormalCfd::parse(&s, [], &[], "A", "a").unwrap();
+        let c2 = NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap();
+        let c3 = NormalCfd::parse(&s, ["B"], &["b"], "A", "a2").unwrap();
+        assert!(!is_consistent(&[c1, c2, c3]));
+    }
+
+    #[test]
+    fn wildcard_rhs_never_causes_inconsistency() {
+        let s = schema_ab();
+        let c1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let c2 = NormalCfd::parse(&s, ["B"], &["_"], "A", "_").unwrap();
+        assert!(is_consistent(&[c1, c2]));
+    }
+
+    #[test]
+    fn binding_consistency_examples() {
+        // With Σ = {ψ2, ψ3} over bool A, neither (Σ, A=true) nor (Σ, A=false)
+        // is consistent (Section 3.2's example).
+        let s = schema_bool_a();
+        let a = s.resolve("A").unwrap();
+        let sigma = vec![
+            booly(&s, "A", "true", "B", "b1"),
+            booly(&s, "A", "false", "B", "b2"),
+            booly(&s, "B", "b1", "A", "false"),
+            booly(&s, "B", "b2", "A", "true"),
+        ];
+        assert!(!is_consistent_binding(&sigma, a, &Value::Bool(true)));
+        assert!(!is_consistent_binding(&sigma, a, &Value::Bool(false)));
+
+        // With only ψ2, both bindings are consistent.
+        let sigma2 = vec![sigma[0].clone(), sigma[1].clone()];
+        assert!(is_consistent_binding(&sigma2, a, &Value::Bool(true)));
+        assert!(is_consistent_binding(&sigma2, a, &Value::Bool(false)));
+    }
+
+    #[test]
+    fn binding_outside_domain_is_inconsistent() {
+        let s = schema_bool_a();
+        let a = s.resolve("A").unwrap();
+        let sigma = vec![booly(&s, "A", "_", "B", "_")];
+        assert!(!is_consistent_binding(&sigma, a, &Value::from("not-a-bool")));
+    }
+
+    #[test]
+    fn binding_on_infinite_attribute() {
+        let s = schema_ab();
+        let b = s.resolve("B").unwrap();
+        // Σ forces B=b only when A=a; nothing forces A=a, so B=zzz is fine.
+        let sigma = vec![NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap()];
+        assert!(is_consistent_binding(&sigma, b, &Value::from("zzz")));
+        // Σ with (∅ -> B, b) forces B=b in every tuple; B=zzz is inconsistent.
+        let sigma = vec![NormalCfd::parse(&s, [], &[], "B", "b").unwrap()];
+        assert!(!is_consistent_binding(&sigma, b, &Value::from("zzz")));
+        assert!(is_consistent_binding(&sigma, b, &Value::from("b")));
+    }
+
+    #[test]
+    fn finite_domain_forced_from_both_sides() {
+        // dom(A)=bool; (∅ -> A, true) and (∅ -> A, false) conflict.
+        let s = schema_bool_a();
+        let a = s.resolve("A").unwrap();
+        let a_true =
+            NormalCfd::new(s.clone(), vec![], vec![], a, PatternValue::Const(Value::Bool(true)))
+                .unwrap();
+        let a_false =
+            NormalCfd::new(s.clone(), vec![], vec![], a, PatternValue::Const(Value::Bool(false)))
+                .unwrap();
+        assert!(is_consistent(&[a_true.clone()]));
+        assert!(!is_consistent(&[a_true, a_false]));
+    }
+
+    #[test]
+    fn witness_single_tuple_satisfies_every_cfd_in_a_mixed_set() {
+        let s = schema_bool_a();
+        let sigma = vec![
+            booly(&s, "A", "true", "B", "b1"),
+            booly(&s, "A", "false", "B", "b2"),
+            booly(&s, "B", "b1", "A", "true"),
+        ];
+        let witness = find_witness(&sigma).expect("consistent");
+        let mut tuple = Tuple::nulls(s.arity());
+        for (a, v) in &witness {
+            tuple.set(*a, v.clone());
+        }
+        let mut rel = Relation::new(s);
+        rel.push(tuple).unwrap();
+        for cfd in &sigma {
+            assert!(cfd.to_cfd().unwrap().satisfied_by(&rel), "witness violates {cfd}");
+        }
+    }
+
+    #[test]
+    fn large_consistent_set_stays_fast() {
+        // A chain of ~60 CFDs over 30 attributes with distinct constants:
+        // consistency must hold and the chase should not blow up.
+        let mut builder = Schema::builder("R");
+        for i in 0..30 {
+            builder = builder.text(format!("A{i}"));
+        }
+        let s = builder.build();
+        let mut sigma = Vec::new();
+        for i in 0..29 {
+            let a = format!("A{i}");
+            let b = format!("A{}", i + 1);
+            sigma.push(NormalCfd::parse(&s, [a.as_str()], &["_"], b.as_str(), "_").unwrap());
+            sigma.push(
+                NormalCfd::parse(&s, [a.as_str()], &[format!("v{i}").as_str()], b.as_str(), "w")
+                    .unwrap(),
+            );
+        }
+        assert!(is_consistent(&sigma));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for CFD construction and reasoning.
+
+use cfd_relation::RelationError;
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CfdError>;
+
+/// Errors raised while constructing or reasoning about CFDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfdError {
+    /// A pattern tuple's arity does not match the embedded FD.
+    PatternArity {
+        /// Expected number of LHS cells.
+        expected_lhs: usize,
+        /// Expected number of RHS cells.
+        expected_rhs: usize,
+        /// Provided number of LHS cells.
+        got_lhs: usize,
+        /// Provided number of RHS cells.
+        got_rhs: usize,
+    },
+    /// A pattern constant lies outside the attribute's declared domain.
+    PatternConstantOutsideDomain {
+        /// The attribute name.
+        attribute: String,
+        /// The offending constant, rendered.
+        value: String,
+    },
+    /// The embedded FD has an empty right-hand side.
+    EmptyRhs,
+    /// The CFD's tableau is empty (it would constrain nothing; almost always
+    /// a caller bug, so it is rejected).
+    EmptyTableau,
+    /// An operation that requires `_`/constant-only patterns was given a
+    /// pattern containing the don't-care symbol `@` (which only appears in
+    /// merged tableaux, Section 4.2).
+    DontCareNotAllowed,
+    /// The CFDs passed to an operation are defined over different schemas.
+    MixedSchemas {
+        /// First schema name.
+        left: String,
+        /// Second schema name.
+        right: String,
+    },
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+}
+
+impl fmt::Display for CfdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfdError::PatternArity { expected_lhs, expected_rhs, got_lhs, got_rhs } => write!(
+                f,
+                "pattern arity mismatch: expected {expected_lhs}+{expected_rhs} cells, got {got_lhs}+{got_rhs}"
+            ),
+            CfdError::PatternConstantOutsideDomain { attribute, value } => {
+                write!(f, "pattern constant `{value}` outside domain of `{attribute}`")
+            }
+            CfdError::EmptyRhs => write!(f, "the embedded FD has an empty right-hand side"),
+            CfdError::EmptyTableau => write!(f, "the pattern tableau is empty"),
+            CfdError::DontCareNotAllowed => {
+                write!(f, "the don't-care symbol `@` is not allowed in this context")
+            }
+            CfdError::MixedSchemas { left, right } => {
+                write!(f, "CFDs defined over different schemas: `{left}` vs `{right}`")
+            }
+            CfdError::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CfdError {}
+
+impl From<RelationError> for CfdError {
+    fn from(e: RelationError) -> Self {
+        CfdError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CfdError::PatternArity { expected_lhs: 2, expected_rhs: 1, got_lhs: 1, got_rhs: 1 };
+        assert!(e.to_string().contains("2+1"));
+        assert!(CfdError::EmptyRhs.to_string().contains("right-hand side"));
+        assert!(CfdError::EmptyTableau.to_string().contains("empty"));
+        assert!(CfdError::DontCareNotAllowed.to_string().contains("@"));
+        assert!(CfdError::MixedSchemas { left: "a".into(), right: "b".into() }
+            .to_string()
+            .contains("a"));
+        assert!(CfdError::PatternConstantOutsideDomain {
+            attribute: "MR".into(),
+            value: "x".into()
+        }
+        .to_string()
+        .contains("MR"));
+    }
+
+    #[test]
+    fn relation_error_converts() {
+        let e: CfdError = RelationError::Parse("oops".into()).into();
+        assert!(matches!(e, CfdError::Relation(_)));
+    }
+}

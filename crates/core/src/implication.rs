@@ -1,0 +1,422 @@
+//! Implication analysis of CFDs (Section 3.2).
+//!
+//! `Σ ⊨ ϕ` holds iff every instance satisfying `Σ` also satisfies `ϕ`.
+//! The problem is coNP-complete in general (Theorem 3.4) and quadratic when
+//! the schema is predefined or no finite-domain attribute occurs (Theorem
+//! 3.5). The algorithm here generalizes the classical two-tuple chase used
+//! for FD implication:
+//!
+//! 1. Build a symbolic two-tuple tableau `{t1, t2}` embodying the premise of
+//!    `ϕ = (X → A, tp)`: on each `B ∈ X`, `t1[B] = t2[B]` and the shared
+//!    cell is `tp[B]` when that is a constant; all other cells are distinct
+//!    variables.
+//! 2. Chase with the CFDs of `Σ`, merging cells (union-find) and forcing
+//!    constants; deriving two distinct constants for one cell means the
+//!    premise cannot occur in any instance satisfying `Σ`, so `ϕ` holds
+//!    vacuously.
+//! 3. If the chase terminates without contradiction, instantiate the
+//!    remaining variable cells with fresh values (one per equivalence class,
+//!    outside the constants of `Σ ∪ {ϕ}`): the result is a two-tuple
+//!    counterexample candidate. `Σ ⊨ ϕ` iff that candidate satisfies the
+//!    conclusion of `ϕ`. Variable cells over *finite* domains may not admit
+//!    fresh values; those are branched over their domain values, which is
+//!    where the coNP-hardness lives.
+
+use crate::normalize::NormalCfd;
+use crate::pattern::PatternValue;
+use cfd_relation::{AttrId, Schema, Value};
+use std::collections::HashMap;
+
+/// Decides whether `sigma ⊨ phi`.
+pub fn implies(sigma: &[NormalCfd], phi: &NormalCfd) -> bool {
+    // A tableau cell is identified by (tuple index, attribute).
+    let schema = phi.schema();
+    let mut tableau = Tableau::new(schema);
+
+    // Premise: t1[X] = t2[X] ≍ tp[X].
+    for (attr, pattern) in phi.lhs().iter().zip(phi.lhs_pattern()) {
+        tableau.merge(Tableau::cell(0, *attr), Tableau::cell(1, *attr));
+        if let PatternValue::Const(c) = pattern {
+            if !tableau.assign(Tableau::cell(0, *attr), c.clone()) {
+                // The premise itself is contradictory (cannot happen with a
+                // well-formed pattern); ϕ holds vacuously.
+                return true;
+            }
+        }
+    }
+
+    // Fresh values must avoid every constant of Σ ∪ {ϕ} per attribute.
+    let mut avoid: HashMap<AttrId, Vec<Value>> = HashMap::new();
+    for cfd in sigma.iter().chain(std::iter::once(phi)) {
+        for (a, v) in cfd.constants() {
+            avoid.entry(a).or_default().push(v);
+        }
+    }
+
+    // `true` means "a counterexample instance exists", i.e. NOT entailed.
+    !counterexample_exists(sigma, phi, tableau, &avoid)
+}
+
+/// Chases, branches finite-domain variable cells, and reports whether some
+/// completion of the two-tuple tableau satisfies `Σ` but violates `ϕ`.
+fn counterexample_exists(
+    sigma: &[NormalCfd],
+    phi: &NormalCfd,
+    mut tableau: Tableau,
+    avoid: &HashMap<AttrId, Vec<Value>>,
+) -> bool {
+    if !tableau.chase(sigma) {
+        // Contradiction: no instance satisfying Σ contains the premise.
+        return false;
+    }
+
+    // Branch over variable cells whose attribute has a finite domain: the
+    // fresh-value argument does not apply to them, so completeness requires
+    // trying every admissible constant.
+    let schema = phi.schema().clone();
+    for tuple_idx in 0..2 {
+        for attr in schema.attr_ids() {
+            let cell = Tableau::cell(tuple_idx, attr);
+            if tableau.constant_of(cell).is_some() {
+                continue;
+            }
+            let domain = match schema.domain(attr) {
+                Ok(d) if d.is_finite() => d.clone(),
+                _ => continue,
+            };
+            // Only branch when the finite domain offers no fresh value; if a
+            // fresh value exists, instantiating it is always the best choice
+            // for a counterexample (it triggers no additional CFDs).
+            let avoid_vals = avoid.get(&attr).cloned().unwrap_or_default();
+            if domain.fresh_value_avoiding(&avoid_vals).is_some() {
+                continue;
+            }
+            return domain.values().any(|v| {
+                let mut branched = tableau.clone();
+                if !branched.assign(cell, v.clone()) {
+                    return false;
+                }
+                counterexample_exists(sigma, phi, branched, avoid)
+            });
+        }
+    }
+
+    // Fresh instantiation: distinct values per remaining class. The chase
+    // fixpoint guarantees the resulting two-tuple instance satisfies Σ, so it
+    // is a counterexample iff it violates ϕ's conclusion.
+    !conclusion_holds(&mut tableau, phi)
+}
+
+/// Checks `t1[A] = t2[A] ≍ tp[A]` on the (possibly still symbolic) tableau.
+///
+/// Under the fresh instantiation two cells are equal iff they are in the same
+/// class *or* both classes are pinned to the same constant.
+fn conclusion_holds(tableau: &mut Tableau, phi: &NormalCfd) -> bool {
+    let a = phi.rhs();
+    let cell0 = Tableau::cell(0, a);
+    let cell1 = Tableau::cell(1, a);
+    if !tableau.cells_equal(cell0, cell1) {
+        // Distinct variable classes instantiate to distinct fresh values.
+        return false;
+    }
+    match (phi.rhs_pattern(), tableau.constant_of(cell0)) {
+        (PatternValue::Wildcard | PatternValue::DontCare, _) => true,
+        (PatternValue::Const(want), Some(have)) => want == &have,
+        // A variable class instantiates to a fresh value, which cannot equal
+        // the required constant.
+        (PatternValue::Const(_), None) => false,
+    }
+}
+
+/// A two-tuple symbolic tableau with union-find cells.
+#[derive(Debug, Clone)]
+struct Tableau {
+    arity: usize,
+    parent: Vec<usize>,
+    constant: Vec<Option<Value>>,
+}
+
+impl Tableau {
+    fn new(schema: &Schema) -> Self {
+        let arity = schema.arity();
+        Tableau { arity, parent: (0..2 * arity).collect(), constant: vec![None; 2 * arity] }
+    }
+
+    /// Cell index of `(tuple, attribute)`: attribute-major interleaving.
+    fn cell(tuple: usize, attr: AttrId) -> usize {
+        debug_assert!(tuple < 2);
+        tuple + attr.index() * 2
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges two cells. Returns `false` on constant conflict.
+    fn merge(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        match (self.constant[ra].clone(), self.constant[rb].clone()) {
+            (Some(x), Some(y)) if x != y => return false,
+            (Some(x), None) => self.constant[rb] = Some(x),
+            (None, Some(y)) => self.constant[ra] = Some(y),
+            _ => {}
+        }
+        self.parent[ra] = rb;
+        true
+    }
+
+    /// Forces a cell's class to a constant. Returns `false` on conflict.
+    fn assign(&mut self, cell: usize, value: Value) -> bool {
+        let root = self.find(cell);
+        match &self.constant[root] {
+            Some(existing) => existing == &value,
+            None => {
+                self.constant[root] = Some(value);
+                true
+            }
+        }
+    }
+
+    /// The constant of a cell's class, if any.
+    fn constant_of(&mut self, cell: usize) -> Option<Value> {
+        let root = self.find(cell);
+        self.constant[root].clone()
+    }
+
+    /// Whether the two cells are equal under the fresh instantiation: same
+    /// equivalence class, or both classes pinned to the same constant.
+    fn cells_equal(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        match (&self.constant[ra], &self.constant[rb]) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Applies every CFD of `sigma` to every tuple pair until fixpoint.
+    /// Returns `false` when a contradiction (two constants in one class) is
+    /// derived.
+    fn chase(&mut self, sigma: &[NormalCfd]) -> bool {
+        let pairs = [(0usize, 0usize), (1, 1), (0, 1), (1, 0)];
+        loop {
+            let before = self.snapshot();
+            for cfd in sigma {
+                for (i, j) in pairs {
+                    if !self.lhs_applies(cfd, i, j) {
+                        continue;
+                    }
+                    let ci = Tableau::cell(i, cfd.rhs());
+                    let cj = Tableau::cell(j, cfd.rhs());
+                    if !self.merge(ci, cj) {
+                        return false;
+                    }
+                    if let PatternValue::Const(c) = cfd.rhs_pattern() {
+                        if !self.assign(ci, c.clone()) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            if self.snapshot() == before {
+                return true;
+            }
+        }
+    }
+
+    /// Whether `ti[W] = tj[W] ≍ sp[W]` necessarily holds under the fresh
+    /// instantiation: the cells are equal (same class or same pinned
+    /// constant) and, for constant pattern cells, that constant is the
+    /// pattern's constant.
+    fn lhs_applies(&mut self, cfd: &NormalCfd, i: usize, j: usize) -> bool {
+        for (attr, pattern) in cfd.lhs().iter().zip(cfd.lhs_pattern()) {
+            let ci = Tableau::cell(i, *attr);
+            let cj = Tableau::cell(j, *attr);
+            if !self.cells_equal(ci, cj) {
+                return false;
+            }
+            if let PatternValue::Const(c) = pattern {
+                if self.constant_of(ci).as_ref() != Some(c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A cheap fingerprint used to detect the chase fixpoint.
+    fn snapshot(&mut self) -> (Vec<usize>, Vec<Option<Value>>) {
+        let roots: Vec<usize> = (0..2 * self.arity).map(|c| self.find(c)).collect();
+        (roots, self.constant.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Domain;
+
+    fn schema_abc() -> Schema {
+        Schema::builder("R").text("A").text("B").text("C").build()
+    }
+
+    #[test]
+    fn example_3_2_transitivity_with_patterns() {
+        // Σ = { ψ1 = (A -> B, (_ || b)), ψ2 = (B -> C, (_ || c)) },
+        // ϕ = (A -> C, (a || _)). The paper proves Σ ⊢ ϕ; by soundness and
+        // completeness Σ ⊨ ϕ as well.
+        let s = schema_abc();
+        let psi1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        let psi2 = NormalCfd::parse(&s, ["B"], &["_"], "C", "c").unwrap();
+        let phi = NormalCfd::parse(&s, ["A"], &["a"], "C", "_").unwrap();
+        assert!(implies(&[psi1.clone(), psi2.clone()], &phi));
+
+        // The intermediate steps of the derivation are also entailed.
+        let step3 = NormalCfd::parse(&s, ["A"], &["_"], "C", "c").unwrap();
+        let step4 = NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap();
+        assert!(implies(&[psi1.clone(), psi2.clone()], &step3));
+        assert!(implies(&[psi1, psi2], &step4));
+    }
+
+    #[test]
+    fn plain_fd_transitivity() {
+        let s = schema_abc();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
+        let ac = NormalCfd::parse(&s, ["A"], &["_"], "C", "_").unwrap();
+        let ca = NormalCfd::parse(&s, ["C"], &["_"], "A", "_").unwrap();
+        assert!(implies(&[ab.clone(), bc.clone()], &ac));
+        assert!(!implies(&[ab, bc], &ca));
+    }
+
+    #[test]
+    fn reflexivity_and_augmentation_are_entailed_without_premises() {
+        let s = schema_abc();
+        // A ∈ {A, B}: [A, B] -> A always holds.
+        let refl = NormalCfd::parse(&s, ["A", "B"], &["_", "_"], "A", "_").unwrap();
+        assert!(implies(&[], &refl));
+        // But [A] -> B does not hold vacuously.
+        let not_valid = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        assert!(!implies(&[], &not_valid));
+    }
+
+    #[test]
+    fn pattern_restriction_weakens_conclusions() {
+        let s = schema_abc();
+        // Premise: "when A = a, B is b".
+        let premise = NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap();
+        // It entails nothing about other A values.
+        let general = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        assert!(!implies(&[premise.clone()], &general));
+        // It does entail the weaker "when A = a, two tuples agree on B".
+        let weaker = NormalCfd::parse(&s, ["A"], &["a"], "B", "_").unwrap();
+        assert!(implies(&[premise], &weaker));
+    }
+
+    #[test]
+    fn constant_propagation_through_constants() {
+        let s = schema_abc();
+        // (∅ -> A, a) and (A=a -> B, b) entail (∅ -> B, b).
+        let c1 = NormalCfd::parse(&s, [], &[], "A", "a").unwrap();
+        let c2 = NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap();
+        let goal = NormalCfd::parse(&s, [], &[], "B", "b").unwrap();
+        assert!(implies(&[c1.clone(), c2.clone()], &goal));
+        // But they do not entail (∅ -> B, c) for a different constant.
+        let wrong = NormalCfd::parse(&s, [], &[], "B", "c").unwrap();
+        assert!(!implies(&[c1, c2], &wrong));
+    }
+
+    #[test]
+    fn inconsistent_premise_entails_everything() {
+        let s = schema_abc();
+        let p1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        let p2 = NormalCfd::parse(&s, ["A"], &["_"], "B", "c").unwrap();
+        let anything = NormalCfd::parse(&s, ["C"], &["_"], "A", "zzz").unwrap();
+        assert!(crate::consistency::is_consistent(&[p1.clone()]));
+        assert!(!crate::consistency::is_consistent(&[p1.clone(), p2.clone()]));
+        assert!(implies(&[p1, p2], &anything));
+    }
+
+    #[test]
+    fn vacuous_premise_within_a_consistent_sigma() {
+        // Σ is consistent, but no instance satisfying Σ has a tuple with
+        // A = a (because Σ forces B to two different constants when A = a).
+        // Then any CFD conditioned on A = a is entailed.
+        let s = schema_abc();
+        let p1 = NormalCfd::parse(&s, ["A"], &["a"], "B", "b1").unwrap();
+        let p2 = NormalCfd::parse(&s, ["A"], &["a"], "B", "b2").unwrap();
+        assert!(crate::consistency::is_consistent(&[p1.clone(), p2.clone()]));
+        let phi = NormalCfd::parse(&s, ["A"], &["a"], "C", "anything").unwrap();
+        assert!(implies(&[p1, p2], &phi));
+    }
+
+    #[test]
+    fn upgrade_over_exhausted_finite_domain() {
+        // dom(A) = {x, y}. Σ says: [A=x] -> B=b and [A=y] -> B=b.
+        // Every admissible A value forces B=b, so (A -> B, (_ || b)) is
+        // entailed even though no single pattern covers the wildcard — this
+        // is the semantic counterpart of inference rule FD7.
+        let s = Schema::builder("R")
+            .attr_domain("A", Domain::finite(["x", "y"]))
+            .text("B")
+            .text("C")
+            .build();
+        let px = NormalCfd::parse(&s, ["A"], &["x"], "B", "b").unwrap();
+        let py = NormalCfd::parse(&s, ["A"], &["y"], "B", "b").unwrap();
+        let goal = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        assert!(implies(&[px.clone(), py.clone()], &goal));
+        // With only one of them it is not entailed.
+        assert!(!implies(&[px], &goal));
+    }
+
+    #[test]
+    fn finite_domain_with_room_left_is_not_upgraded() {
+        // dom(A) = {x, y, z}: the pattern A=z is unconstrained, so the
+        // wildcard version is not entailed.
+        let s = Schema::builder("R")
+            .attr_domain("A", Domain::finite(["x", "y", "z"]))
+            .text("B")
+            .text("C")
+            .build();
+        let px = NormalCfd::parse(&s, ["A"], &["x"], "B", "b").unwrap();
+        let py = NormalCfd::parse(&s, ["A"], &["y"], "B", "b").unwrap();
+        let goal = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        assert!(!implies(&[px, py], &goal));
+    }
+
+    #[test]
+    fn rhs_attribute_in_lhs_is_trivial() {
+        let s = schema_abc();
+        let phi = NormalCfd::parse(&s, ["A", "C"], &["_", "c0"], "C", "_").unwrap();
+        assert!(implies(&[], &phi));
+        // With a constant conclusion it is only entailed if the premise pins it.
+        let pinned = NormalCfd::parse(&s, ["A", "C"], &["_", "c0"], "C", "c0").unwrap();
+        assert!(implies(&[], &pinned));
+        let not_pinned = NormalCfd::parse(&s, ["A", "C"], &["_", "_"], "C", "c0").unwrap();
+        assert!(!implies(&[], &not_pinned));
+    }
+
+    #[test]
+    fn implication_is_monotone_in_sigma_on_these_samples() {
+        let s = schema_abc();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
+        let ac = NormalCfd::parse(&s, ["A"], &["_"], "C", "_").unwrap();
+        assert!(!implies(&[ab.clone()], &ac));
+        assert!(implies(&[ab.clone(), bc.clone()], &ac));
+        // Adding more premises never loses the entailment.
+        let extra = NormalCfd::parse(&s, ["C"], &["_"], "B", "_").unwrap();
+        assert!(implies(&[ab, bc, extra], &ac));
+    }
+}

@@ -1,0 +1,59 @@
+//! # cfd-core — conditional functional dependencies
+//!
+//! This crate implements the central contribution of *Conditional Functional
+//! Dependencies for Data Cleaning* (ICDE 2007):
+//!
+//! * the **CFD model** (Section 2): a CFD `ϕ = (R: X → Y, Tp)` pairs a
+//!   standard FD with a *pattern tableau* whose cells are either constants or
+//!   the unnamed variable `_`; see [`Cfd`], [`PatternTableau`],
+//!   [`PatternValue`];
+//! * **satisfaction** `I ⊨ ϕ` and violation finding at the semantic level
+//!   (the scalable SQL-based detection lives in the `cfd-detect` crate);
+//! * **normalization** to the `(X → A, tp)` form used by the reasoning
+//!   machinery ([`normalize`]);
+//! * **consistency** of a set of CFDs (Section 3.1) via a chase that branches
+//!   only on finite-domain attributes ([`consistency`]);
+//! * **implication** `Σ ⊨ ϕ` (Section 3.2) via a two-tuple chase
+//!   ([`implication`]), and the inference system `I` with rules FD1–FD8
+//!   ([`inference`]);
+//! * **minimal covers** (Section 3.3, algorithm `MinCover`) in [`mincover`].
+//!
+//! ```
+//! use cfd_core::{Cfd, PatternTableau, PatternValue};
+//! use cfd_relation::{Relation, Schema, Tuple, Value};
+//!
+//! // cust: [CC, ZIP] -> [STR] with pattern (44, _ || _): "in the UK, ZIP determines STR".
+//! let schema = Schema::builder("cust").text("CC").text("ZIP").text("STR").build();
+//! let cfd = Cfd::builder(schema.clone(), ["CC", "ZIP"], ["STR"])
+//!     .pattern(["44", "_"], ["_"])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut rel = Relation::new(schema);
+//! rel.push(Tuple::new(vec!["44".into(), "EH4".into(), "High St.".into()])).unwrap();
+//! rel.push(Tuple::new(vec!["44".into(), "EH4".into(), "Low St.".into()])).unwrap();
+//! assert!(!cfd.satisfied_by(&rel));
+//! ```
+
+pub mod cfd;
+pub mod cfdset;
+pub mod closure;
+pub mod consistency;
+pub mod error;
+pub mod implication;
+pub mod inference;
+pub mod mincover;
+pub mod normalize;
+pub mod pattern;
+pub mod tableau;
+
+pub use cfd::{Cfd, CfdBuilder, ViolationKind, ViolationWitness};
+pub use cfdset::CfdSet;
+pub use consistency::{is_consistent, is_consistent_binding};
+pub use error::{CfdError, Result};
+pub use implication::implies;
+pub use inference::{Derivation, InferenceRule};
+pub use mincover::minimal_cover;
+pub use normalize::NormalCfd;
+pub use pattern::PatternValue;
+pub use tableau::{PatternTableau, PatternTuple};

@@ -1,0 +1,201 @@
+//! Minimal covers of CFD sets (Section 3.3, algorithm `MinCover`, Fig. 4).
+//!
+//! A minimal cover `Σmc` of `Σ` is an equivalent set of normal-form CFDs with
+//! no redundant CFDs and no redundant LHS attributes. Because detection and
+//! repair costs grow with the size of the constraint set, computing a minimal
+//! cover first is the paper's optimization step before validation.
+
+use crate::consistency::is_consistent;
+use crate::implication::implies;
+use crate::normalize::NormalCfd;
+
+/// Computes a minimal cover of `sigma` following algorithm `MinCover`:
+///
+/// 1. return `∅` if `sigma` is inconsistent (lines 1–2);
+/// 2. drop redundant LHS attributes: replace `(X → A, tp)` by
+///    `(X − {B} → A, tp[X − {B}] ∪ tp(A))` whenever the latter is implied
+///    (lines 3–6);
+/// 3. drop redundant CFDs: remove `ϕ` whenever `Σ − {ϕ} ⊨ ϕ` (lines 8–10).
+///
+/// The result is equivalent to `sigma` (for consistent inputs) and contains
+/// no redundant CFDs, attributes or patterns.
+pub fn minimal_cover(sigma: &[NormalCfd]) -> Vec<NormalCfd> {
+    if sigma.is_empty() {
+        return Vec::new();
+    }
+    if !is_consistent(sigma) {
+        return Vec::new();
+    }
+
+    // Step 1: remove redundant attributes from each CFD's LHS.
+    let mut current: Vec<NormalCfd> = sigma.to_vec();
+    for idx in 0..current.len() {
+        loop {
+            let cfd = current[idx].clone();
+            let mut reduced = None;
+            for attr in cfd.lhs().to_vec() {
+                let Some(candidate) = cfd.without_lhs_attr(attr) else { continue };
+                if implies(&current, &candidate) {
+                    reduced = Some(candidate);
+                    break;
+                }
+            }
+            match reduced {
+                Some(candidate) => current[idx] = candidate,
+                None => break,
+            }
+        }
+    }
+
+    // Step 2: remove redundant CFDs.
+    let mut cover = current.clone();
+    let mut i = 0;
+    while i < cover.len() {
+        let candidate = cover[i].clone();
+        let mut rest: Vec<NormalCfd> = cover.clone();
+        rest.remove(i);
+        if implies(&rest, &candidate) {
+            cover = rest;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Deduplicate structurally identical CFDs (they are trivially redundant
+    // but the implication loop above removes at most one copy per pass).
+    let mut seen = Vec::new();
+    for cfd in cover {
+        if !seen.contains(&cfd) {
+            seen.push(cfd);
+        }
+    }
+    seen
+}
+
+/// Whether two sets of CFDs are equivalent: each implies every member of the
+/// other. Both sets must be defined on the same schema.
+pub fn equivalent(left: &[NormalCfd], right: &[NormalCfd]) -> bool {
+    right.iter().all(|c| implies(left, c)) && left.iter().all(|c| implies(right, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder("R").text("A").text("B").text("C").build()
+    }
+
+    #[test]
+    fn example_3_3_minimal_cover() {
+        // Σ = {ψ1 = (A→B, (_ ‖ b)), ψ2 = (B→C, (_ ‖ c)), ϕ = (A→C, (a ‖ _))}.
+        // The minimal cover is {(∅→B, b), (∅→C, c)}.
+        let s = schema();
+        let psi1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        let psi2 = NormalCfd::parse(&s, ["B"], &["_"], "C", "c").unwrap();
+        let phi = NormalCfd::parse(&s, ["A"], &["a"], "C", "_").unwrap();
+        let sigma = vec![psi1, psi2, phi];
+
+        let cover = minimal_cover(&sigma);
+        let expect_b = NormalCfd::parse(&s, [], &[], "B", "b").unwrap();
+        let expect_c = NormalCfd::parse(&s, [], &[], "C", "c").unwrap();
+        assert_eq!(cover.len(), 2, "cover = {cover:?}");
+        assert!(cover.contains(&expect_b));
+        assert!(cover.contains(&expect_c));
+        assert!(equivalent(&sigma, &cover));
+    }
+
+    #[test]
+    fn inconsistent_input_yields_empty_cover() {
+        let s = schema();
+        let p1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
+        let p2 = NormalCfd::parse(&s, ["A"], &["_"], "B", "c").unwrap();
+        assert!(minimal_cover(&[p1, p2]).is_empty());
+        assert!(minimal_cover(&[]).is_empty());
+    }
+
+    #[test]
+    fn plain_fd_transitive_redundancy_is_removed() {
+        let s = schema();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
+        let ac = NormalCfd::parse(&s, ["A"], &["_"], "C", "_").unwrap();
+        let cover = minimal_cover(&[ab.clone(), bc.clone(), ac.clone()]);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&ab));
+        assert!(cover.contains(&bc));
+        assert!(!cover.contains(&ac));
+        assert!(equivalent(&cover, &[ab, bc, ac]));
+    }
+
+    #[test]
+    fn redundant_lhs_attribute_is_dropped() {
+        // ([A, B] → C, (a, _ ‖ c)) can be simplified to ([A] → C, (a ‖ c))
+        // (rule FD4), so MinCover must produce the reduced form.
+        let s = schema();
+        let wide = NormalCfd::parse(&s, ["A", "B"], &["a", "_"], "C", "c").unwrap();
+        let cover = minimal_cover(&[wide.clone()]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0], NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap());
+        assert!(equivalent(&cover, &[wide]));
+    }
+
+    #[test]
+    fn irredundant_sets_are_unchanged_up_to_order() {
+        let s = schema();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let cb = NormalCfd::parse(&s, ["C"], &["_"], "B", "_").unwrap();
+        let cover = minimal_cover(&[ab.clone(), cb.clone()]);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&ab));
+        assert!(cover.contains(&cb));
+    }
+
+    #[test]
+    fn duplicate_cfds_collapse() {
+        let s = schema();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let cover = minimal_cover(&[ab.clone(), ab.clone(), ab.clone()]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0], ab);
+    }
+
+    #[test]
+    fn cover_is_always_equivalent_to_consistent_input() {
+        let s = schema();
+        let sets: Vec<Vec<NormalCfd>> = vec![
+            vec![
+                NormalCfd::parse(&s, ["A"], &["a1"], "B", "b1").unwrap(),
+                NormalCfd::parse(&s, ["A"], &["a2"], "B", "b2").unwrap(),
+                NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap(),
+            ],
+            vec![
+                NormalCfd::parse(&s, ["A", "C"], &["_", "_"], "B", "_").unwrap(),
+                NormalCfd::parse(&s, ["A"], &["_"], "C", "_").unwrap(),
+            ],
+            vec![
+                NormalCfd::parse(&s, [], &[], "A", "a").unwrap(),
+                NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap(),
+                NormalCfd::parse(&s, [], &[], "B", "b").unwrap(),
+            ],
+        ];
+        for sigma in sets {
+            assert!(is_consistent(&sigma));
+            let cover = minimal_cover(&sigma);
+            assert!(equivalent(&sigma, &cover), "cover not equivalent for {sigma:?}");
+            assert!(cover.len() <= sigma.len());
+        }
+    }
+
+    #[test]
+    fn equivalent_is_symmetric_and_detects_differences() {
+        let s = schema();
+        let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
+        let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
+        assert!(equivalent(&[ab.clone(), bc.clone()], &[bc.clone(), ab.clone()]));
+        assert!(!equivalent(&[ab.clone()], &[bc]));
+        assert!(equivalent(&[], &[]));
+        assert!(!equivalent(&[], &[ab]));
+    }
+}

@@ -1,0 +1,400 @@
+//! Normalization of CFDs to the form `(R: X → A, tp)`.
+//!
+//! Section 3 of the paper simplifies the reasoning machinery by considering
+//! CFDs whose RHS is a single attribute and whose tableau has a single pattern
+//! row; a general CFD `ϕ = (X → Y, Tp)` is equivalent to the set
+//! `Σϕ = { (X → A, tp[X ∪ A]) | A ∈ Y, tp ∈ Tp }`. [`NormalCfd`] is that
+//! normal form; [`NormalCfd::normalize`] and [`NormalCfd::denormalize`]
+//! convert back and forth.
+
+use crate::cfd::Cfd;
+use crate::error::{CfdError, Result};
+use crate::pattern::PatternValue;
+use crate::tableau::{PatternTableau, PatternTuple};
+use cfd_relation::{AttrId, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CFD in normal form: single RHS attribute, single pattern row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalCfd {
+    schema: Schema,
+    lhs: Vec<AttrId>,
+    lhs_pattern: Vec<PatternValue>,
+    rhs: AttrId,
+    rhs_pattern: PatternValue,
+}
+
+impl NormalCfd {
+    /// Creates a normal-form CFD. LHS attributes are kept sorted by id so
+    /// structural equality coincides with semantic identity of the LHS set.
+    pub fn new(
+        schema: Schema,
+        lhs: Vec<AttrId>,
+        lhs_pattern: Vec<PatternValue>,
+        rhs: AttrId,
+        rhs_pattern: PatternValue,
+    ) -> Result<Self> {
+        if lhs.len() != lhs_pattern.len() {
+            return Err(CfdError::PatternArity {
+                expected_lhs: lhs.len(),
+                expected_rhs: 1,
+                got_lhs: lhs_pattern.len(),
+                got_rhs: 1,
+            });
+        }
+        if lhs_pattern.iter().any(PatternValue::is_dont_care) || rhs_pattern.is_dont_care() {
+            return Err(CfdError::DontCareNotAllowed);
+        }
+        // Deduplicate and sort the LHS (keeping the more specific pattern on
+        // conflict is unnecessary: duplicates only arise from programmatic
+        // construction, where both cells are identical).
+        let mut combined: BTreeMap<AttrId, PatternValue> = BTreeMap::new();
+        for (a, p) in lhs.into_iter().zip(lhs_pattern) {
+            combined.entry(a).or_insert(p);
+        }
+        let (lhs, lhs_pattern): (Vec<AttrId>, Vec<PatternValue>) = combined.into_iter().unzip();
+        Ok(NormalCfd { schema, lhs, lhs_pattern, rhs, rhs_pattern })
+    }
+
+    /// Builds a normal-form CFD from attribute names and string tokens.
+    pub fn parse<'a, L>(
+        schema: &Schema,
+        lhs: L,
+        lhs_pattern: &[&str],
+        rhs: &str,
+        rhs_pattern: &str,
+    ) -> Result<Self>
+    where
+        L: IntoIterator<Item = &'a str>,
+    {
+        let lhs_ids = schema.resolve_all(lhs)?;
+        let rhs_id = schema.resolve(rhs)?;
+        NormalCfd::new(
+            schema.clone(),
+            lhs_ids,
+            lhs_pattern.iter().map(|s| PatternValue::parse(s)).collect(),
+            rhs_id,
+            PatternValue::parse(rhs_pattern),
+        )
+    }
+
+    /// The schema the CFD is defined on.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// LHS attribute ids (sorted).
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// LHS pattern cells, aligned with [`NormalCfd::lhs`].
+    pub fn lhs_pattern(&self) -> &[PatternValue] {
+        &self.lhs_pattern
+    }
+
+    /// The single RHS attribute.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// The RHS pattern cell.
+    pub fn rhs_pattern(&self) -> &PatternValue {
+        &self.rhs_pattern
+    }
+
+    /// The pattern cell of LHS attribute `attr`, if `attr` is in the LHS.
+    pub fn lhs_pattern_of(&self, attr: AttrId) -> Option<&PatternValue> {
+        self.lhs.iter().position(|a| *a == attr).map(|i| &self.lhs_pattern[i])
+    }
+
+    /// Returns a copy with attribute `attr` removed from the LHS (used by
+    /// `MinCover` when testing attribute redundancy). Returns `None` if
+    /// `attr` is not in the LHS.
+    pub fn without_lhs_attr(&self, attr: AttrId) -> Option<NormalCfd> {
+        let pos = self.lhs.iter().position(|a| *a == attr)?;
+        let mut lhs = self.lhs.clone();
+        let mut lhs_pattern = self.lhs_pattern.clone();
+        lhs.remove(pos);
+        lhs_pattern.remove(pos);
+        Some(NormalCfd {
+            schema: self.schema.clone(),
+            lhs,
+            lhs_pattern,
+            rhs: self.rhs,
+            rhs_pattern: self.rhs_pattern.clone(),
+        })
+    }
+
+    /// Returns a copy with the given LHS cell replaced (used by inference
+    /// rules FD5/FD7).
+    pub fn with_lhs_pattern(&self, attr: AttrId, pattern: PatternValue) -> Option<NormalCfd> {
+        let pos = self.lhs.iter().position(|a| *a == attr)?;
+        let mut lhs_pattern = self.lhs_pattern.clone();
+        lhs_pattern[pos] = pattern;
+        Some(NormalCfd {
+            schema: self.schema.clone(),
+            lhs: self.lhs.clone(),
+            lhs_pattern,
+            rhs: self.rhs,
+            rhs_pattern: self.rhs_pattern.clone(),
+        })
+    }
+
+    /// Returns a copy with the RHS cell replaced (used by inference rule FD6).
+    pub fn with_rhs_pattern(&self, pattern: PatternValue) -> NormalCfd {
+        NormalCfd { rhs_pattern: pattern, ..self.clone() }
+    }
+
+    /// All constants appearing in the CFD's patterns, per attribute. Used by
+    /// the consistency and implication chases to bound the search space.
+    pub fn constants(&self) -> Vec<(AttrId, cfd_relation::Value)> {
+        let mut out = Vec::new();
+        for (a, p) in self.lhs.iter().zip(&self.lhs_pattern) {
+            if let PatternValue::Const(v) = p {
+                out.push((*a, v.clone()));
+            }
+        }
+        if let PatternValue::Const(v) = &self.rhs_pattern {
+            out.push((self.rhs, v.clone()));
+        }
+        out
+    }
+
+    /// Converts a general CFD into its equivalent set `Σϕ` of normal-form
+    /// CFDs (one per RHS attribute per pattern row).
+    pub fn normalize(cfd: &Cfd) -> Result<Vec<NormalCfd>> {
+        if cfd.has_dont_care() {
+            return Err(CfdError::DontCareNotAllowed);
+        }
+        let mut out = Vec::with_capacity(cfd.tableau().len() * cfd.rhs().len());
+        for row in cfd.tableau().iter() {
+            for (pos, rhs_attr) in cfd.rhs().iter().enumerate() {
+                out.push(NormalCfd::new(
+                    cfd.schema().clone(),
+                    cfd.lhs().to_vec(),
+                    row.lhs().to_vec(),
+                    *rhs_attr,
+                    row.rhs()[pos].clone(),
+                )?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-packages a collection of normal-form CFDs as general [`Cfd`]s,
+    /// grouping the ones that share an embedded FD (same LHS set and RHS
+    /// attribute) into a single tableau. The result is equivalent to the
+    /// input set.
+    pub fn denormalize(cfds: &[NormalCfd]) -> Result<Vec<Cfd>> {
+        let mut grouped: BTreeMap<(Vec<AttrId>, AttrId), Vec<&NormalCfd>> = BTreeMap::new();
+        for c in cfds {
+            grouped.entry((c.lhs.clone(), c.rhs)).or_default().push(c);
+        }
+        let mut out = Vec::with_capacity(grouped.len());
+        for ((lhs, rhs), members) in grouped {
+            let schema = members[0].schema.clone();
+            let mut tableau = PatternTableau::new();
+            for m in members {
+                tableau.push(PatternTuple::new(
+                    m.lhs_pattern.clone(),
+                    vec![m.rhs_pattern.clone()],
+                ));
+            }
+            out.push(Cfd::from_parts(schema, lhs, vec![rhs], tableau)?);
+        }
+        Ok(out)
+    }
+
+    /// Converts this normal-form CFD into a single-row general [`Cfd`].
+    pub fn to_cfd(&self) -> Result<Cfd> {
+        Cfd::from_parts(
+            self.schema.clone(),
+            self.lhs.clone(),
+            vec![self.rhs],
+            PatternTableau::from_rows(vec![PatternTuple::new(
+                self.lhs_pattern.clone(),
+                vec![self.rhs_pattern.clone()],
+            )]),
+        )
+    }
+
+    /// Rough size of the CFD (number of cells), used for `|Σ|` bounds in
+    /// complexity-oriented tests.
+    pub fn size(&self) -> usize {
+        self.lhs.len() + 1
+    }
+}
+
+impl fmt::Display for NormalCfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (a, p)) in self.lhs.iter().zip(&self.lhs_pattern).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", self.schema.attr_name(*a), p)?;
+        }
+        write!(f, "] -> {}={}", self.schema.attr_name(self.rhs), self.rhs_pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::{Relation, Tuple, Value};
+
+    fn schema() -> Schema {
+        Schema::builder("cust")
+            .text("CC")
+            .text("AC")
+            .text("PN")
+            .text("STR")
+            .text("CT")
+            .text("ZIP")
+            .build()
+    }
+
+    fn phi2() -> Cfd {
+        Cfd::builder(schema(), ["CC", "AC", "PN"], ["STR", "CT", "ZIP"])
+            .pattern(["01", "908", "_"], ["_", "MH", "_"])
+            .pattern(["01", "212", "_"], ["_", "NYC", "_"])
+            .pattern(["_", "_", "_"], ["_", "_", "_"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn normalize_produces_one_cfd_per_row_and_rhs_attribute() {
+        let normal = NormalCfd::normalize(&phi2()).unwrap();
+        // 3 pattern rows x 3 RHS attributes.
+        assert_eq!(normal.len(), 9);
+        assert!(normal.iter().all(|n| n.lhs().len() == 3));
+    }
+
+    #[test]
+    fn normalization_preserves_satisfaction() {
+        let cfd = phi2();
+        let normal = NormalCfd::normalize(&cfd).unwrap();
+        let mut rel = Relation::new(schema());
+        for r in [
+            ["01", "908", "1111111", "Tree Ave.", "NYC", "07974"],
+            ["01", "212", "2222222", "Elm Str.", "NYC", "01202"],
+            ["44", "131", "4444444", "High St.", "EDI", "EH4 1DT"],
+        ] {
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+        }
+        // The original CFD is violated (NYC with area code 908) and so must be
+        // at least one of its normal-form constituents — and vice versa for a
+        // clean instance.
+        assert!(!cfd.satisfied_by(&rel));
+        assert!(normal.iter().any(|n| !n.to_cfd().unwrap().satisfied_by(&rel)));
+
+        let mut clean = Relation::new(schema());
+        clean
+            .push(Tuple::new(
+                ["01", "908", "1111111", "Tree Ave.", "MH", "07974"]
+                    .iter()
+                    .map(|s| Value::from(*s))
+                    .collect(),
+            ))
+            .unwrap();
+        assert!(cfd.satisfied_by(&clean));
+        assert!(normal.iter().all(|n| n.to_cfd().unwrap().satisfied_by(&clean)));
+    }
+
+    #[test]
+    fn denormalize_groups_by_embedded_fd() {
+        let normal = NormalCfd::normalize(&phi2()).unwrap();
+        let packed = NormalCfd::denormalize(&normal).unwrap();
+        // One general CFD per RHS attribute (STR, CT, ZIP), each with 3 rows.
+        assert_eq!(packed.len(), 3);
+        assert!(packed.iter().all(|c| c.tableau().len() == 3));
+    }
+
+    #[test]
+    fn parse_and_accessors() {
+        let s = schema();
+        let n = NormalCfd::parse(&s, ["CC", "AC"], &["01", "215"], "CT", "PHI").unwrap();
+        assert_eq!(n.lhs().len(), 2);
+        assert_eq!(n.rhs(), s.resolve("CT").unwrap());
+        assert!(n.rhs_pattern().is_const());
+        assert_eq!(n.constants().len(), 3);
+        assert_eq!(n.to_string(), "[CC=01, AC=215] -> CT=PHI");
+        assert_eq!(n.size(), 3);
+        let cc = s.resolve("CC").unwrap();
+        assert_eq!(n.lhs_pattern_of(cc), Some(&PatternValue::constant("01")));
+        assert_eq!(n.lhs_pattern_of(s.resolve("ZIP").unwrap()), None);
+    }
+
+    #[test]
+    fn lhs_is_sorted_and_deduplicated() {
+        let s = schema();
+        let ac = s.resolve("AC").unwrap();
+        let cc = s.resolve("CC").unwrap();
+        let ct = s.resolve("CT").unwrap();
+        let n = NormalCfd::new(
+            s.clone(),
+            vec![ac, cc, ac],
+            vec![PatternValue::Wildcard, PatternValue::constant("01"), PatternValue::Wildcard],
+            ct,
+            PatternValue::Wildcard,
+        )
+        .unwrap();
+        assert_eq!(n.lhs(), &[cc, ac]);
+        assert_eq!(n.lhs_pattern().len(), 2);
+    }
+
+    #[test]
+    fn dont_care_is_rejected_in_normal_form() {
+        let s = schema();
+        let err = NormalCfd::parse(&s, ["CC"], &["@"], "CT", "_").unwrap_err();
+        assert_eq!(err, CfdError::DontCareNotAllowed);
+
+        let merged = Cfd::builder(s, ["CC", "AC"], ["CT"])
+            .pattern(["01", "@"], ["_"])
+            .build()
+            .unwrap();
+        assert_eq!(NormalCfd::normalize(&merged).unwrap_err(), CfdError::DontCareNotAllowed);
+    }
+
+    #[test]
+    fn without_lhs_attr_and_pattern_updates() {
+        let s = schema();
+        let n = NormalCfd::parse(&s, ["CC", "AC"], &["01", "_"], "CT", "PHI").unwrap();
+        let cc = s.resolve("CC").unwrap();
+        let ac = s.resolve("AC").unwrap();
+        let ct = s.resolve("CT").unwrap();
+
+        let dropped = n.without_lhs_attr(ac).unwrap();
+        assert_eq!(dropped.lhs(), &[cc]);
+        assert!(n.without_lhs_attr(ct).is_none());
+
+        let replaced = n.with_lhs_pattern(ac, PatternValue::constant("908")).unwrap();
+        assert_eq!(replaced.lhs_pattern_of(ac), Some(&PatternValue::constant("908")));
+        assert!(n.with_lhs_pattern(ct, PatternValue::Wildcard).is_none());
+
+        let general = n.with_rhs_pattern(PatternValue::Wildcard);
+        assert!(general.rhs_pattern().is_wildcard());
+    }
+
+    #[test]
+    fn empty_lhs_is_allowed() {
+        // ∅ -> B with a constant pattern arises in Example 3.3's minimal cover.
+        let s = Schema::builder("r").text("A").text("B").build();
+        let n = NormalCfd::parse(&s, [], &[], "B", "b").unwrap();
+        assert!(n.lhs().is_empty());
+        assert_eq!(n.to_string(), "[] -> B=b");
+        assert!(n.to_cfd().is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        let cc = s.resolve("CC").unwrap();
+        let ct = s.resolve("CT").unwrap();
+        let err = NormalCfd::new(s, vec![cc], vec![], ct, PatternValue::Wildcard).unwrap_err();
+        assert!(matches!(err, CfdError::PatternArity { .. }));
+    }
+}

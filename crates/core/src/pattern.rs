@@ -1,0 +1,211 @@
+//! Pattern values: the cells of a pattern tableau.
+//!
+//! A cell of a pattern tuple is either a constant `a`, the *unnamed variable*
+//! `_` (written `‘_’` in the paper), or — only inside *merged* tableaux built
+//! by the detection layer (Section 4.2) — the *don't-care* symbol `@`.
+//!
+//! Two relations over pattern values matter:
+//!
+//! * the **match** relation `≍` between a data value and a pattern value
+//!   ([`PatternValue::matches`]): a data value matches `_`, matches `@`, and
+//!   matches a constant iff it equals it;
+//! * the **order** `⪯` between pattern values used by inference rule FD3
+//!   ([`PatternValue::leq`]): `η1 ⪯ η2` iff `η1 = η2 = a` for some constant
+//!   `a`, or `η2 = _`.
+
+use cfd_relation::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The textual representation of the unnamed variable in tableaux rendered to
+/// relations (and in the generated SQL).
+pub const WILDCARD_TOKEN: &str = "_";
+/// The textual representation of the don't-care symbol in merged tableaux.
+pub const DONT_CARE_TOKEN: &str = "@";
+
+/// A cell of a pattern tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternValue {
+    /// A constant from the attribute's domain.
+    Const(Value),
+    /// The unnamed variable `_`: matches any data value.
+    Wildcard,
+    /// The don't-care symbol `@` used when merging tableaux that are not
+    /// union-compatible (Section 4.2.1). An attribute whose cell is `@` is
+    /// excluded from the CFD's condition for that pattern tuple.
+    DontCare,
+}
+
+impl PatternValue {
+    /// A constant pattern cell.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        PatternValue::Const(v.into())
+    }
+
+    /// Parses the textual form used throughout examples and generators:
+    /// `"_"` is the unnamed variable, `"@"` the don't-care symbol, everything
+    /// else a string constant.
+    pub fn parse(token: &str) -> Self {
+        match token {
+            WILDCARD_TOKEN => PatternValue::Wildcard,
+            DONT_CARE_TOKEN => PatternValue::DontCare,
+            other => PatternValue::Const(Value::from(other)),
+        }
+    }
+
+    /// Whether this cell is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, PatternValue::Const(_))
+    }
+
+    /// Whether this cell is the unnamed variable `_`.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, PatternValue::Wildcard)
+    }
+
+    /// Whether this cell is the don't-care symbol `@`.
+    pub fn is_dont_care(&self) -> bool {
+        matches!(self, PatternValue::DontCare)
+    }
+
+    /// The constant held by this cell, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The match relation `v ≍ self` between a data value and this pattern
+    /// cell: constants must be equal, `_` and `@` match anything.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PatternValue::Const(c) => c == v,
+            PatternValue::Wildcard | PatternValue::DontCare => true,
+        }
+    }
+
+    /// The order `self ⪯ other` used by inference rule FD3: `η1 ⪯ η2` iff
+    /// both are the same constant, or `η2` is the unnamed variable.
+    ///
+    /// `@` participates like a constant that only compares to itself; FD3 is
+    /// never applied to merged tableaux, so this choice is inconsequential
+    /// but keeps the relation reflexive.
+    pub fn leq(&self, other: &PatternValue) -> bool {
+        match (self, other) {
+            (_, PatternValue::Wildcard) => true,
+            (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
+            (PatternValue::DontCare, PatternValue::DontCare) => true,
+            _ => false,
+        }
+    }
+
+    /// Renders the cell the way pattern tableaux are stored as relations for
+    /// the SQL detection queries: constants as their value, `_` and `@` as
+    /// their tokens.
+    pub fn to_value(&self) -> Value {
+        match self {
+            PatternValue::Const(v) => v.clone(),
+            PatternValue::Wildcard => Value::from(WILDCARD_TOKEN),
+            PatternValue::DontCare => Value::from(DONT_CARE_TOKEN),
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Const(v) => write!(f, "{v}"),
+            PatternValue::Wildcard => write!(f, "{WILDCARD_TOKEN}"),
+            PatternValue::DontCare => write!(f, "{DONT_CARE_TOKEN}"),
+        }
+    }
+}
+
+impl From<&str> for PatternValue {
+    fn from(s: &str) -> Self {
+        PatternValue::parse(s)
+    }
+}
+
+impl From<Value> for PatternValue {
+    fn from(v: Value) -> Self {
+        PatternValue::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tokens() {
+        assert_eq!(PatternValue::parse("_"), PatternValue::Wildcard);
+        assert_eq!(PatternValue::parse("@"), PatternValue::DontCare);
+        assert_eq!(PatternValue::parse("NYC"), PatternValue::Const(Value::from("NYC")));
+        assert_eq!(PatternValue::from("44"), PatternValue::Const(Value::from("44")));
+    }
+
+    #[test]
+    fn match_relation() {
+        let c = PatternValue::constant("NYC");
+        assert!(c.matches(&Value::from("NYC")));
+        assert!(!c.matches(&Value::from("MH")));
+        assert!(PatternValue::Wildcard.matches(&Value::from("anything")));
+        assert!(PatternValue::DontCare.matches(&Value::Int(5)));
+    }
+
+    #[test]
+    fn order_relation_leq() {
+        let a = PatternValue::constant("a");
+        let b = PatternValue::constant("b");
+        let w = PatternValue::Wildcard;
+        // (a, b) ⪯ (_, b) example from the paper.
+        assert!(a.leq(&w));
+        assert!(b.leq(&b));
+        assert!(!a.leq(&b));
+        assert!(!w.leq(&a));
+        assert!(w.leq(&w));
+        assert!(PatternValue::DontCare.leq(&PatternValue::DontCare));
+        assert!(!PatternValue::DontCare.leq(&a));
+        assert!(PatternValue::DontCare.leq(&w));
+    }
+
+    #[test]
+    fn leq_is_reflexive_and_transitive_on_samples() {
+        let samples = [
+            PatternValue::constant("x"),
+            PatternValue::constant("y"),
+            PatternValue::Wildcard,
+            PatternValue::DontCare,
+        ];
+        for a in &samples {
+            assert!(a.leq(a), "{a} not reflexive");
+            for b in &samples {
+                for c in &samples {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c), "transitivity broken: {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_predicates_and_accessors() {
+        assert!(PatternValue::constant(1i64).is_const());
+        assert!(PatternValue::Wildcard.is_wildcard());
+        assert!(PatternValue::DontCare.is_dont_care());
+        assert_eq!(PatternValue::constant("x").as_const(), Some(&Value::from("x")));
+        assert_eq!(PatternValue::Wildcard.as_const(), None);
+    }
+
+    #[test]
+    fn rendering_to_value_and_display() {
+        assert_eq!(PatternValue::Wildcard.to_value(), Value::from("_"));
+        assert_eq!(PatternValue::DontCare.to_value(), Value::from("@"));
+        assert_eq!(PatternValue::constant("MH").to_value(), Value::from("MH"));
+        assert_eq!(PatternValue::Wildcard.to_string(), "_");
+        assert_eq!(PatternValue::constant(7i64).to_string(), "7");
+    }
+}

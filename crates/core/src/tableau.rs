@@ -1,0 +1,289 @@
+//! Pattern tuples and pattern tableaux.
+//!
+//! A [`PatternTuple`] holds one cell per attribute of the embedded FD, split
+//! into its LHS (`X`) and RHS (`Y`) parts — this mirrors the paper's
+//! `tp[A_L]` / `tp[A_R]` notation and makes CFDs whose embedded FD mentions
+//! the same attribute on both sides unambiguous. A [`PatternTableau`] is an
+//! ordered list of pattern tuples (`Tp` in the paper).
+
+use crate::pattern::PatternValue;
+use cfd_relation::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of a pattern tableau.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternTuple {
+    lhs: Vec<PatternValue>,
+    rhs: Vec<PatternValue>,
+}
+
+impl PatternTuple {
+    /// Creates a pattern tuple from its LHS and RHS cells.
+    pub fn new(lhs: Vec<PatternValue>, rhs: Vec<PatternValue>) -> Self {
+        PatternTuple { lhs, rhs }
+    }
+
+    /// Creates a pattern tuple by parsing string tokens (`"_"`, `"@"`, or a
+    /// constant) for both sides.
+    pub fn parse<L, R>(lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator,
+        L::Item: AsRef<str>,
+        R: IntoIterator,
+        R::Item: AsRef<str>,
+    {
+        PatternTuple {
+            lhs: lhs.into_iter().map(|s| PatternValue::parse(s.as_ref())).collect(),
+            rhs: rhs.into_iter().map(|s| PatternValue::parse(s.as_ref())).collect(),
+        }
+    }
+
+    /// The all-wildcard pattern of the given arities — the pattern that turns
+    /// the CFD into the plain embedded FD.
+    pub fn all_wildcards(lhs_arity: usize, rhs_arity: usize) -> Self {
+        PatternTuple {
+            lhs: vec![PatternValue::Wildcard; lhs_arity],
+            rhs: vec![PatternValue::Wildcard; rhs_arity],
+        }
+    }
+
+    /// LHS (X-side) cells.
+    pub fn lhs(&self) -> &[PatternValue] {
+        &self.lhs
+    }
+
+    /// RHS (Y-side) cells.
+    pub fn rhs(&self) -> &[PatternValue] {
+        &self.rhs
+    }
+
+    /// Mutable access to LHS cells (used by the merge logic in `cfd-detect`).
+    pub fn lhs_mut(&mut self) -> &mut Vec<PatternValue> {
+        &mut self.lhs
+    }
+
+    /// Mutable access to RHS cells.
+    pub fn rhs_mut(&mut self) -> &mut Vec<PatternValue> {
+        &mut self.rhs
+    }
+
+    /// Whether the data values `values` (aligned with the LHS attributes)
+    /// match the LHS cells, skipping don't-care cells.
+    pub fn lhs_matches(&self, values: &[&Value]) -> bool {
+        self.lhs.len() == values.len()
+            && self.lhs.iter().zip(values).all(|(p, v)| p.is_dont_care() || p.matches(v))
+    }
+
+    /// Whether the data values `values` (aligned with the RHS attributes)
+    /// match the RHS cells, skipping don't-care cells.
+    pub fn rhs_matches(&self, values: &[&Value]) -> bool {
+        self.rhs.len() == values.len()
+            && self.rhs.iter().zip(values).all(|(p, v)| p.is_dont_care() || p.matches(v))
+    }
+
+    /// Whether any cell (either side) is the don't-care symbol.
+    pub fn has_dont_care(&self) -> bool {
+        self.lhs.iter().chain(self.rhs.iter()).any(PatternValue::is_dont_care)
+    }
+
+    /// Whether every cell is a constant (an *instance-level* FD row, cf. the
+    /// special case from [Lim & Prabhakar, ICDE 1993] noted in Section 2).
+    pub fn is_all_constants(&self) -> bool {
+        self.lhs.iter().chain(self.rhs.iter()).all(PatternValue::is_const)
+    }
+
+    /// Whether every cell is the unnamed variable (the row expressing the
+    /// plain embedded FD).
+    pub fn is_all_wildcards(&self) -> bool {
+        self.lhs.iter().chain(self.rhs.iter()).all(PatternValue::is_wildcard)
+    }
+
+    /// Number of constant cells (used by workload generators to report the
+    /// NUMCONSTs statistic).
+    pub fn constant_count(&self) -> usize {
+        self.lhs.iter().chain(self.rhs.iter()).filter(|p| p.is_const()).count()
+    }
+
+    /// The pointwise order `self ⪯ other` lifted from
+    /// [`PatternValue::leq`]; used by inference rule FD3.
+    pub fn leq(&self, other: &PatternTuple) -> bool {
+        self.lhs.len() == other.lhs.len()
+            && self.rhs.len() == other.rhs.len()
+            && self.lhs.iter().zip(&other.lhs).all(|(a, b)| a.leq(b))
+            && self.rhs.iter().zip(&other.rhs).all(|(a, b)| a.leq(b))
+    }
+}
+
+impl fmt::Display for PatternTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " || ")?;
+        for (i, p) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A pattern tableau: the ordered list of pattern tuples of one CFD.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PatternTableau {
+    rows: Vec<PatternTuple>,
+}
+
+impl PatternTableau {
+    /// An empty tableau (to be filled with [`PatternTableau::push`]).
+    pub fn new() -> Self {
+        PatternTableau { rows: Vec::new() }
+    }
+
+    /// A tableau with the given rows.
+    pub fn from_rows(rows: Vec<PatternTuple>) -> Self {
+        PatternTableau { rows }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: PatternTuple) {
+        self.rows.push(row);
+    }
+
+    /// The rows in order.
+    pub fn rows(&self) -> &[PatternTuple] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows.
+    pub fn rows_mut(&mut self) -> &mut Vec<PatternTuple> {
+        &mut self.rows
+    }
+
+    /// Number of rows (`TABSZ` in the experiments).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the tableau has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &PatternTuple> + '_ {
+        self.rows.iter()
+    }
+
+    /// Fraction of rows that consist of constants only, in percent — the
+    /// NUMCONSTs statistic the experiments vary.
+    pub fn percent_constant_rows(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let n = self.rows.iter().filter(|r| r.is_all_constants()).count();
+        100.0 * n as f64 / self.rows.len() as f64
+    }
+}
+
+impl fmt::Display for PatternTableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_accessors() {
+        let row = PatternTuple::parse(["01", "908", "_"], ["_", "MH", "_"]);
+        assert_eq!(row.lhs().len(), 3);
+        assert_eq!(row.rhs().len(), 3);
+        assert!(row.lhs()[0].is_const());
+        assert!(row.lhs()[2].is_wildcard());
+        assert_eq!(row.constant_count(), 3);
+        assert!(!row.is_all_constants());
+        assert!(!row.is_all_wildcards());
+        assert!(!row.has_dont_care());
+    }
+
+    #[test]
+    fn all_wildcards_is_the_embedded_fd_row() {
+        let row = PatternTuple::all_wildcards(2, 1);
+        assert!(row.is_all_wildcards());
+        assert_eq!(row.lhs().len(), 2);
+        assert_eq!(row.rhs().len(), 1);
+    }
+
+    #[test]
+    fn lhs_and_rhs_matching() {
+        let row = PatternTuple::parse(["01", "908", "_"], ["_", "MH", "_"]);
+        let cc = Value::from("01");
+        let ac = Value::from("908");
+        let pn = Value::from("1111111");
+        assert!(row.lhs_matches(&[&cc, &ac, &pn]));
+        let ac2 = Value::from("212");
+        assert!(!row.lhs_matches(&[&cc, &ac2, &pn]));
+        // Arity mismatch never matches.
+        assert!(!row.lhs_matches(&[&cc, &ac]));
+
+        let street = Value::from("Tree Ave.");
+        let mh = Value::from("MH");
+        let nyc = Value::from("NYC");
+        let zip = Value::from("07974");
+        assert!(row.rhs_matches(&[&street, &mh, &zip]));
+        assert!(!row.rhs_matches(&[&street, &nyc, &zip]));
+    }
+
+    #[test]
+    fn dont_care_cells_are_skipped_in_matching() {
+        let row = PatternTuple::parse(["01", "@"], ["@"]);
+        assert!(row.has_dont_care());
+        let cc = Value::from("01");
+        let anything = Value::from("whatever");
+        assert!(row.lhs_matches(&[&cc, &anything]));
+        assert!(row.rhs_matches(&[&anything]));
+    }
+
+    #[test]
+    fn tuple_order_lifts_pointwise() {
+        let specific = PatternTuple::parse(["a", "b"], ["c"]);
+        let general = PatternTuple::parse(["_", "b"], ["_"]);
+        assert!(specific.leq(&general));
+        assert!(!general.leq(&specific));
+        let mismatched = PatternTuple::parse(["a"], ["c"]);
+        assert!(!mismatched.leq(&general));
+    }
+
+    #[test]
+    fn tableau_statistics() {
+        let mut t = PatternTableau::new();
+        assert!(t.is_empty());
+        assert_eq!(t.percent_constant_rows(), 0.0);
+        t.push(PatternTuple::parse(["01", "215"], ["PHI"]));
+        t.push(PatternTuple::parse(["44", "141"], ["GLA"]));
+        t.push(PatternTuple::parse(["_", "_"], ["_"]));
+        assert_eq!(t.len(), 3);
+        assert!((t.percent_constant_rows() - 66.666).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let row = PatternTuple::parse(["44", "_"], ["_"]);
+        assert_eq!(row.to_string(), "(44, _ || _)");
+        let t = PatternTableau::from_rows(vec![row]);
+        assert!(t.to_string().contains("(44, _ || _)"));
+    }
+}

@@ -1,0 +1,399 @@
+//! The CFD workload generator (the `NUMCFDs`, `NUMATTRs`, `TABSZ` and
+//! `NUMCONSTs` knobs of Section 5).
+//!
+//! The generated CFDs express the real-world constraints the paper lists —
+//! zip codes determine states, zip code and city determine the state, state
+//! and salary determine the tax rate, state and marital status determine the
+//! exemption — instantiated against the synthetic geography/tax tables so
+//! that **clean** generated data satisfies them and injected `NOISE` is the
+//! only source of violations.
+//!
+//! Pattern rows come in two flavours, following the `NUMCONSTs` parameter:
+//! all-constant rows (taken from the geography/tax tables) and rows with
+//! variables. Rows with variables keep the RHS cell a variable too, so they
+//! only assert the embedded FD on their scope and remain valid on clean data.
+
+use crate::geo;
+use crate::records::tax_schema;
+use crate::tax;
+use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd_relation::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The embedded FDs available to the workload generator, named after the
+/// real-world constraint they encode. `attribute_count` is the paper's
+/// NUMATTRs for a CFD built on that FD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmbeddedFd {
+    /// `[ZIP] → [ST]` — zip codes determine states (2 attributes).
+    ZipToState,
+    /// `[ZIP] → [CT]` — zip codes determine cities (2 attributes).
+    ZipToCity,
+    /// `[ZIP, CT] → [ST]` — zip and city determine the state (3 attributes).
+    ZipCityToState,
+    /// `[CC, AC] → [CT]` — country and area code determine the city
+    /// (3 attributes).
+    AreaToCity,
+    /// `[ST, SA] → [TX]` — state and salary (bracket) determine the tax rate
+    /// (3 attributes). Salary cells are always variables.
+    StateSalaryToTax,
+    /// `[ST, MR] → [STX]` — state and marital status determine the single
+    /// exemption (3 attributes).
+    StateMaritalToExemption,
+    /// `[CC, AC, CT] → [ST]` — country code, area code and city determine the
+    /// state (4 attributes).
+    AreaCityToState,
+    /// `[ST, MR, CH] → [CTX]` — state, marital status and dependents
+    /// determine the child exemption (4 attributes).
+    StateMaritalChildToExemption,
+}
+
+impl EmbeddedFd {
+    /// LHS attribute names.
+    pub fn lhs(&self) -> &'static [&'static str] {
+        match self {
+            EmbeddedFd::ZipToState | EmbeddedFd::ZipToCity => &["ZIP"],
+            EmbeddedFd::ZipCityToState => &["ZIP", "CT"],
+            EmbeddedFd::AreaToCity => &["CC", "AC"],
+            EmbeddedFd::StateSalaryToTax => &["ST", "SA"],
+            EmbeddedFd::StateMaritalToExemption => &["ST", "MR"],
+            EmbeddedFd::AreaCityToState => &["CC", "AC", "CT"],
+            EmbeddedFd::StateMaritalChildToExemption => &["ST", "MR", "CH"],
+        }
+    }
+
+    /// RHS attribute name.
+    pub fn rhs(&self) -> &'static str {
+        match self {
+            EmbeddedFd::ZipToState | EmbeddedFd::ZipCityToState | EmbeddedFd::AreaCityToState => {
+                "ST"
+            }
+            EmbeddedFd::ZipToCity | EmbeddedFd::AreaToCity => "CT",
+            EmbeddedFd::StateSalaryToTax => "TX",
+            EmbeddedFd::StateMaritalToExemption => "STX",
+            EmbeddedFd::StateMaritalChildToExemption => "CTX",
+        }
+    }
+
+    /// Total number of attributes in the embedded FD (the paper's NUMATTRs).
+    pub fn attribute_count(&self) -> usize {
+        self.lhs().len() + 1
+    }
+
+    /// An embedded FD with the requested attribute count, for the experiments
+    /// that vary NUMATTRs.
+    pub fn with_attribute_count(n: usize) -> EmbeddedFd {
+        match n {
+            0..=2 => EmbeddedFd::ZipToState,
+            3 => EmbeddedFd::ZipCityToState,
+            _ => EmbeddedFd::AreaCityToState,
+        }
+    }
+
+    /// All variants (useful for iterating workloads).
+    pub fn all() -> [EmbeddedFd; 8] {
+        [
+            EmbeddedFd::ZipToState,
+            EmbeddedFd::ZipToCity,
+            EmbeddedFd::ZipCityToState,
+            EmbeddedFd::AreaToCity,
+            EmbeddedFd::StateSalaryToTax,
+            EmbeddedFd::StateMaritalToExemption,
+            EmbeddedFd::AreaCityToState,
+            EmbeddedFd::StateMaritalChildToExemption,
+        ]
+    }
+}
+
+/// Workload generator for CFDs over the tax-records schema.
+#[derive(Debug, Clone)]
+pub struct CfdWorkload {
+    seed: u64,
+}
+
+impl CfdWorkload {
+    /// Creates a generator with a reproducible seed.
+    pub fn new(seed: u64) -> Self {
+        CfdWorkload { seed }
+    }
+
+    /// Generates one CFD on the given embedded FD with `tab_size` pattern
+    /// rows, of which roughly `pct_consts` percent are all-constant rows.
+    pub fn single(&self, fd: EmbeddedFd, tab_size: usize, pct_consts: f64) -> Cfd {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fd as u64);
+        let sources = source_rows(fd);
+        let mut tableau = PatternTableau::new();
+        for i in 0..tab_size {
+            let (lhs_consts, rhs_const) = &sources[i % sources.len()];
+            let constant_row = (rng.gen_range(0.0..100.0)) < pct_consts;
+            let row = if constant_row {
+                PatternTuple::new(
+                    lhs_consts.iter().cloned().map(PatternValue::Const).collect(),
+                    vec![PatternValue::Const(rhs_const.clone())],
+                )
+            } else {
+                // Variable row: at least one LHS variable, RHS variable, so the
+                // row stays valid on clean data.
+                let mut lhs: Vec<PatternValue> =
+                    lhs_consts.iter().cloned().map(PatternValue::Const).collect();
+                let forced = rng.gen_range(0..lhs.len());
+                for (j, cell) in lhs.iter_mut().enumerate() {
+                    if j == forced || rng.gen_bool(0.5) {
+                        *cell = PatternValue::Wildcard;
+                    }
+                }
+                PatternTuple::new(lhs, vec![PatternValue::Wildcard])
+            };
+            tableau.push(row);
+        }
+        build_cfd(fd, tableau)
+    }
+
+    /// Generates one CFD whose embedded FD has the requested attribute count.
+    pub fn by_attrs(&self, num_attrs: usize, tab_size: usize, pct_consts: f64) -> Cfd {
+        self.single(EmbeddedFd::with_attribute_count(num_attrs), tab_size, pct_consts)
+    }
+
+    /// Generates `num_cfds` CFDs, cycling through the embedded FDs that have
+    /// at most `num_attrs` attributes.
+    pub fn many(
+        &self,
+        num_cfds: usize,
+        num_attrs: usize,
+        tab_size: usize,
+        pct_consts: f64,
+    ) -> Vec<Cfd> {
+        let candidates: Vec<EmbeddedFd> = EmbeddedFd::all()
+            .into_iter()
+            .filter(|fd| fd.attribute_count() <= num_attrs.max(2))
+            .collect();
+        (0..num_cfds)
+            .map(|i| {
+                let fd = candidates[i % candidates.len()];
+                CfdWorkload::new(self.seed.wrapping_add(i as u64)).single(fd, tab_size, pct_consts)
+            })
+            .collect()
+    }
+
+    /// The Fig. 9(f) constraint: `[ZIP] → [ST]` with a pattern row for every
+    /// zip→state pair in the geography, all constants ("we used all possible
+    /// zip to state pairs, so as not to miss a violation").
+    pub fn zip_state_full(&self) -> Cfd {
+        let mut tableau = PatternTableau::new();
+        for (zip, state) in geo::zip_state_pairs() {
+            tableau.push(PatternTuple::new(
+                vec![PatternValue::Const(Value::from(zip.as_str()))],
+                vec![PatternValue::Const(Value::from(state.as_str()))],
+            ));
+        }
+        build_cfd(EmbeddedFd::ZipToState, tableau)
+    }
+}
+
+/// Constant sources per embedded FD: `(LHS constants, RHS constant)` rows
+/// drawn from the synthetic geography / tax tables, so the resulting
+/// patterns hold on clean data.
+fn source_rows(fd: EmbeddedFd) -> Vec<(Vec<Value>, Value)> {
+    let table = geo::geo_table();
+    match fd {
+        EmbeddedFd::ZipToState => {
+            geo::zip_state_pairs()
+                .into_iter()
+                .map(|(z, s)| (vec![Value::from(z)], Value::from(s)))
+                .collect()
+        }
+        EmbeddedFd::ZipToCity => table
+            .iter()
+            .map(|e| (vec![Value::from(e.zip.as_str())], Value::from(e.city.as_str())))
+            .collect(),
+        EmbeddedFd::ZipCityToState => table
+            .iter()
+            .map(|e| {
+                (
+                    vec![Value::from(e.zip.as_str()), Value::from(e.city.as_str())],
+                    Value::from(e.state.as_str()),
+                )
+            })
+            .collect(),
+        EmbeddedFd::AreaToCity => geo::area_city_pairs()
+            .into_iter()
+            .map(|(ac, ct)| (vec![Value::from("01"), Value::from(ac)], Value::from(ct)))
+            .collect(),
+        EmbeddedFd::StateSalaryToTax => (0..geo::NUM_STATES)
+            .map(|s| {
+                // Salary is always a variable; the RHS rate therefore must be
+                // a variable as well (it depends on the bracket).
+                (vec![Value::from(format!("S{s:02}")), Value::from("_ignored_")], Value::Null)
+            })
+            .collect(),
+        EmbeddedFd::StateMaritalToExemption => (0..geo::NUM_STATES)
+            .flat_map(|s| {
+                ["single", "married"].into_iter().map(move |mr| {
+                    (
+                        vec![Value::from(format!("S{s:02}")), Value::from(mr)],
+                        Value::Int(tax::single_exemption(s, mr == "married")),
+                    )
+                })
+            })
+            .collect(),
+        EmbeddedFd::AreaCityToState => {
+            let mut rows: Vec<(Vec<Value>, Value)> = table
+                .iter()
+                .map(|e| {
+                    (
+                        vec![
+                            Value::from("01"),
+                            Value::from(e.area_code.as_str()),
+                            Value::from(e.city.as_str()),
+                        ],
+                        Value::from(e.state.as_str()),
+                    )
+                })
+                .collect();
+            rows.dedup();
+            rows
+        }
+        EmbeddedFd::StateMaritalChildToExemption => (0..geo::NUM_STATES)
+            .flat_map(|s| {
+                ["single", "married"].into_iter().flat_map(move |mr| {
+                    ["yes", "no"].into_iter().map(move |ch| {
+                        (
+                            vec![
+                                Value::from(format!("S{s:02}")),
+                                Value::from(mr),
+                                Value::from(ch),
+                            ],
+                            Value::Int(tax::child_exemption(s, ch == "yes")),
+                        )
+                    })
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Assembles the CFD, handling the salary-to-tax special case where the
+/// salary cell and the RHS are always variables.
+fn build_cfd(fd: EmbeddedFd, mut tableau: PatternTableau) -> Cfd {
+    if fd == EmbeddedFd::StateSalaryToTax {
+        for row in tableau.rows_mut() {
+            // The SA cell (index 1) and the RHS are forced to variables.
+            row.lhs_mut()[1] = PatternValue::Wildcard;
+            if row.rhs()[0].is_const() {
+                row.rhs_mut()[0] = PatternValue::Wildcard;
+            }
+        }
+    }
+    let schema = tax_schema();
+    Cfd::from_parts(
+        schema.clone(),
+        schema.resolve_all(fd.lhs().iter().copied()).expect("workload attributes exist"),
+        vec![schema.resolve(fd.rhs()).expect("workload attribute exists")],
+        tableau,
+    )
+    .expect("workload CFD is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{TaxConfig, TaxGenerator};
+
+    #[test]
+    fn attribute_counts_match_embedded_fds() {
+        assert_eq!(EmbeddedFd::ZipToState.attribute_count(), 2);
+        assert_eq!(EmbeddedFd::ZipCityToState.attribute_count(), 3);
+        assert_eq!(EmbeddedFd::AreaCityToState.attribute_count(), 4);
+        assert_eq!(EmbeddedFd::with_attribute_count(2), EmbeddedFd::ZipToState);
+        assert_eq!(EmbeddedFd::with_attribute_count(3), EmbeddedFd::ZipCityToState);
+        assert_eq!(EmbeddedFd::with_attribute_count(4), EmbeddedFd::AreaCityToState);
+    }
+
+    #[test]
+    fn single_generates_requested_tableau_size() {
+        let w = CfdWorkload::new(1);
+        let cfd = w.single(EmbeddedFd::ZipToState, 250, 100.0);
+        assert_eq!(cfd.tableau().len(), 250);
+        assert!((cfd.tableau().percent_constant_rows() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn pct_consts_controls_constant_rows() {
+        let w = CfdWorkload::new(2);
+        let cfd = w.single(EmbeddedFd::ZipCityToState, 400, 50.0);
+        let pct = cfd.tableau().percent_constant_rows();
+        assert!((35.0..65.0).contains(&pct), "constant fraction {pct}% too far from 50%");
+        // Variable rows always have a variable RHS.
+        for row in cfd.tableau().iter() {
+            if !row.is_all_constants() {
+                assert!(row.rhs()[0].is_wildcard());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_cfds_hold_on_clean_data() {
+        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 11 })
+            .generate();
+        let w = CfdWorkload::new(3);
+        for fd in EmbeddedFd::all() {
+            let cfd = w.single(fd, 60, 70.0);
+            assert!(cfd.satisfied_by(&data.relation), "{fd:?} violated by clean data");
+        }
+        assert!(w.zip_state_full().satisfied_by(&data.relation));
+    }
+
+    #[test]
+    fn noisy_data_violates_the_full_zip_state_cfd() {
+        let data = TaxGenerator::new(TaxConfig { size: 3_000, noise_percent: 8.0, seed: 12 })
+            .generate();
+        let w = CfdWorkload::new(4);
+        let cfd = w.zip_state_full();
+        assert!(!data.dirty_rows.is_empty());
+        assert!(!cfd.satisfied_by(&data.relation), "noise must produce violations");
+    }
+
+    #[test]
+    fn many_produces_the_requested_number_of_cfds() {
+        let w = CfdWorkload::new(5);
+        let cfds = w.many(7, 3, 50, 80.0);
+        assert_eq!(cfds.len(), 7);
+        for cfd in &cfds {
+            assert!(cfd.lhs().len() + cfd.rhs().len() <= 3);
+            assert_eq!(cfd.tableau().len(), 50);
+        }
+    }
+
+    #[test]
+    fn zip_state_full_covers_every_zip() {
+        let w = CfdWorkload::new(6);
+        let cfd = w.zip_state_full();
+        assert_eq!(cfd.tableau().len(), geo::zip_state_pairs().len());
+        assert!((cfd.tableau().percent_constant_rows() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CfdWorkload::new(9).single(EmbeddedFd::AreaToCity, 100, 40.0);
+        let b = CfdWorkload::new(9).single(EmbeddedFd::AreaToCity, 100, 40.0);
+        assert_eq!(a, b);
+        let c = CfdWorkload::new(10).single(EmbeddedFd::AreaToCity, 100, 40.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn salary_cells_are_always_variables() {
+        let w = CfdWorkload::new(7);
+        let cfd = w.single(EmbeddedFd::StateSalaryToTax, 80, 100.0);
+        let sa_pos = cfd
+            .lhs_names()
+            .iter()
+            .position(|n| *n == "SA")
+            .expect("SA in LHS");
+        for row in cfd.tableau().iter() {
+            assert!(row.lhs()[sa_pos].is_wildcard());
+            assert!(row.rhs()[0].is_wildcard());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic US-style geography.
+//!
+//! The paper populated its tax-records relation from real zip codes, area
+//! codes, cities and states. That data set is not redistributable, so this
+//! module generates a deterministic synthetic equivalent with the same
+//! functional structure:
+//!
+//! * every zip code belongs to exactly one city and one state
+//!   (`ZIP → CT, ST`),
+//! * every area code belongs to exactly one city (`AC → CT, ST`),
+//! * city names are *not* unique across states (mirroring the paper's remark
+//!   that "a city by itself does not suffice"), so `CT → ST` does **not**
+//!   hold, while `(ZIP, CT) → ST` does.
+
+use std::sync::OnceLock;
+
+/// Number of states in the synthetic geography.
+pub const NUM_STATES: usize = 50;
+/// Cities per state.
+pub const CITIES_PER_STATE: usize = 8;
+/// Zip codes per city.
+pub const ZIPS_PER_CITY: usize = 3;
+
+/// One `(state, city, zip, area code)` association.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeoEntry {
+    /// Two-letter state code, e.g. `"S07"` (synthetic).
+    pub state: String,
+    /// City name; deliberately reused across a few states.
+    pub city: String,
+    /// Five-digit zip code, unique across the table.
+    pub zip: String,
+    /// Three-to-four digit area code, unique per city.
+    pub area_code: String,
+}
+
+/// The full geography table. Built once and cached.
+pub fn geo_table() -> &'static [GeoEntry] {
+    static TABLE: OnceLock<Vec<GeoEntry>> = OnceLock::new();
+    TABLE.get_or_init(build_table)
+}
+
+/// All distinct `(zip, state)` pairs — the tableau source for the
+/// "zip codes determine states" CFD and for the Fig. 9(f) experiment, which
+/// uses *all* zip→state pairs.
+pub fn zip_state_pairs() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        geo_table().iter().map(|e| (e.zip.clone(), e.state.clone())).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// All distinct `(area code, city)` pairs.
+pub fn area_city_pairs() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        geo_table().iter().map(|e| (e.area_code.clone(), e.city.clone())).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The state of a zip code, if the zip exists.
+pub fn state_of_zip(zip: &str) -> Option<&'static str> {
+    geo_table().iter().find(|e| e.zip == zip).map(|e| e.state.as_str())
+}
+
+fn build_table() -> Vec<GeoEntry> {
+    // A pool of base city names, shorter than NUM_STATES * CITIES_PER_STATE so
+    // that names repeat across states (CT alone does not determine ST).
+    let base_names = [
+        "Springfield", "Franklin", "Clinton", "Georgetown", "Salem", "Madison", "Arlington",
+        "Ashland", "Dover", "Hudson", "Kingston", "Milton", "Newport", "Oxford", "Riverside",
+        "Winchester",
+    ];
+    let mut table = Vec::with_capacity(NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY);
+    let mut zip_counter = 10_000u32;
+    let mut area_counter = 200u32;
+    for s in 0..NUM_STATES {
+        let state = format!("S{s:02}");
+        for c in 0..CITIES_PER_STATE {
+            let city = base_names[(s * CITIES_PER_STATE + c) % base_names.len()].to_owned();
+            let area_code = format!("{area_counter}");
+            area_counter += 1;
+            for _ in 0..ZIPS_PER_CITY {
+                let zip = format!("{zip_counter:05}");
+                zip_counter += 1;
+                table.push(GeoEntry {
+                    state: state.clone(),
+                    city: city.clone(),
+                    zip,
+                    area_code: area_code.clone(),
+                });
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn table_has_expected_size() {
+        let t = geo_table();
+        assert_eq!(t.len(), NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY);
+    }
+
+    #[test]
+    fn zip_determines_state_and_city() {
+        let mut seen: HashMap<&str, (&str, &str)> = HashMap::new();
+        for e in geo_table() {
+            let entry = seen.entry(&e.zip).or_insert((&e.state, &e.city));
+            assert_eq!(entry.0, e.state, "ZIP -> ST must be a function");
+            assert_eq!(entry.1, e.city, "ZIP -> CT must be a function");
+        }
+        assert_eq!(seen.len(), NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY, "zips are unique");
+    }
+
+    #[test]
+    fn area_code_determines_city_and_state() {
+        let mut seen: HashMap<&str, (&str, &str)> = HashMap::new();
+        for e in geo_table() {
+            let entry = seen.entry(&e.area_code).or_insert((&e.state, &e.city));
+            assert_eq!(entry.0, e.state);
+            assert_eq!(entry.1, e.city);
+        }
+        assert_eq!(seen.len(), NUM_STATES * CITIES_PER_STATE);
+    }
+
+    #[test]
+    fn city_name_alone_does_not_determine_state() {
+        let mut states_per_city: HashMap<&str, std::collections::HashSet<&str>> = HashMap::new();
+        for e in geo_table() {
+            states_per_city.entry(&e.city).or_default().insert(&e.state);
+        }
+        assert!(
+            states_per_city.values().any(|s| s.len() > 1),
+            "some city name must repeat across states"
+        );
+    }
+
+    #[test]
+    fn zip_and_city_together_determine_state() {
+        let mut seen: HashMap<(&str, &str), &str> = HashMap::new();
+        for e in geo_table() {
+            let entry = seen.entry((&e.zip, &e.city)).or_insert(&e.state);
+            assert_eq!(*entry, e.state);
+        }
+    }
+
+    #[test]
+    fn pair_helpers_are_deduplicated() {
+        assert_eq!(zip_state_pairs().len(), NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY);
+        assert_eq!(area_city_pairs().len(), NUM_STATES * CITIES_PER_STATE);
+        assert_eq!(state_of_zip("10000"), Some("S00"));
+        assert_eq!(state_of_zip("99999"), None);
+    }
+}

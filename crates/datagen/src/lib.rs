@@ -1,0 +1,38 @@
+//! # cfd-datagen — workloads for the CFD evaluation
+//!
+//! The paper's experiments (Section 5) run over a synthetic *tax-records*
+//! relation populated from real US geography (zip codes, area codes, cities,
+//! states) and per-state tax tables, with a controllable fraction of noisy
+//! tuples. This crate provides:
+//!
+//! * [`cust`] — the `cust` running example of Fig. 1 and the CFDs of Fig. 2,
+//!   used throughout examples and tests;
+//! * [`geo`] — an embedded synthetic geography (states, cities, zips, area
+//!   codes) standing in for the real data collected by the authors;
+//! * [`tax`] — per-state tax rates and exemptions;
+//! * [`records`] — the tax-records generator with the paper's `SZ` and
+//!   `NOISE` knobs;
+//! * [`cfdgen`] — the CFD workload generator with the paper's `NUMCFDs`,
+//!   `NUMATTRs`, `TABSZ` and `NUMCONSTs` knobs.
+//!
+//! ```
+//! use cfd_datagen::records::{TaxGenerator, TaxConfig};
+//! use cfd_datagen::cfdgen::{CfdWorkload, EmbeddedFd};
+//!
+//! let gen = TaxGenerator::new(TaxConfig { size: 1_000, noise_percent: 5.0, seed: 7 });
+//! let data = gen.generate();
+//! assert_eq!(data.relation.len(), 1_000);
+//!
+//! let cfd = CfdWorkload::new(42).single(EmbeddedFd::ZipCityToState, 100, 100.0);
+//! assert_eq!(cfd.tableau().len(), 100);
+//! ```
+
+pub mod cfdgen;
+pub mod cust;
+pub mod geo;
+pub mod records;
+pub mod tax;
+
+pub use cfdgen::{CfdWorkload, EmbeddedFd};
+pub use cust::{cust_instance, cust_schema, fig2_cfd_set};
+pub use records::{GeneratedData, TaxConfig, TaxGenerator};

@@ -1,0 +1,270 @@
+//! The tax-records generator (the `SZ` / `NOISE` knobs of Section 5).
+//!
+//! The generated relation extends the `cust` schema of Fig. 1 with eight
+//! additional attributes — state (ST), marital status (MR), dependents (CH),
+//! salary (SA), tax rate (TX) and three exemption amounts (STX, MTX, CTX) —
+//! exactly the extension described in the experimental setup. Clean tuples
+//! are drawn from the synthetic geography and tax tables so that the
+//! workload CFDs of [`crate::cfdgen`] hold on them; with probability
+//! `NOISE`, one attribute on the RHS of a CFD is flipped to an incorrect
+//! value (e.g. a record with a New-York zip code but a Chicago-style city).
+
+use crate::geo::{self, GeoEntry};
+use crate::tax;
+use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxConfig {
+    /// Number of tuples to generate (`SZ`).
+    pub size: usize,
+    /// Percentage (0–100) of tuples that receive an injected error (`NOISE`).
+    pub noise_percent: f64,
+    /// RNG seed, for reproducible workloads.
+    pub seed: u64,
+}
+
+impl Default for TaxConfig {
+    fn default() -> Self {
+        TaxConfig { size: 10_000, noise_percent: 5.0, seed: 42 }
+    }
+}
+
+/// A generated workload: the relation plus the indices of the tuples that
+/// received injected noise (useful as ground truth in tests).
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The tax-records instance.
+    pub relation: Relation,
+    /// Indices of the dirtied rows, in increasing order.
+    pub dirty_rows: Vec<usize>,
+}
+
+/// The tax-records generator.
+#[derive(Debug, Clone)]
+pub struct TaxGenerator {
+    config: TaxConfig,
+}
+
+/// Attribute names of the tax-records schema, in order.
+pub const TAX_ATTRS: [&str; 15] = [
+    "CC", "AC", "PN", "NM", "STR", "CT", "ZIP", "ST", "MR", "CH", "SA", "TX", "STX", "MTX", "CTX",
+];
+
+/// The tax-records schema: the `cust` attributes plus the eight tax-related
+/// attributes of the experimental setup.
+pub fn tax_schema() -> Schema {
+    Schema::builder("tax_records")
+        .text("CC")
+        .text("AC")
+        .text("PN")
+        .text("NM")
+        .text("STR")
+        .text("CT")
+        .text("ZIP")
+        .text("ST")
+        .attr_domain("MR", Domain::finite(["single", "married"]))
+        .attr_domain("CH", Domain::finite(["yes", "no"]))
+        .attr("SA", AttrType::Integer)
+        .attr("TX", AttrType::Integer)
+        .attr("STX", AttrType::Integer)
+        .attr("MTX", AttrType::Integer)
+        .attr("CTX", AttrType::Integer)
+        .build()
+}
+
+impl TaxGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: TaxConfig) -> Self {
+        TaxGenerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TaxConfig {
+        self.config
+    }
+
+    /// Generates the workload.
+    pub fn generate(&self) -> GeneratedData {
+        let schema = tax_schema();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let table = geo::geo_table();
+        let mut relation = Relation::with_capacity(schema.clone(), self.config.size);
+        let mut dirty_rows = Vec::new();
+
+        for i in 0..self.config.size {
+            let entry = &table[rng.gen_range(0..table.len())];
+            let mut values = clean_tuple(&mut rng, entry);
+            if rng.gen_range(0.0..100.0) < self.config.noise_percent {
+                corrupt(&mut rng, &mut values, entry);
+                dirty_rows.push(i);
+            }
+            relation.push(Tuple::new(values)).expect("generated tuple matches schema");
+        }
+        GeneratedData { relation, dirty_rows }
+    }
+}
+
+/// Builds one clean tuple from a geography entry.
+fn clean_tuple(rng: &mut StdRng, entry: &GeoEntry) -> Vec<Value> {
+    let state_idx = tax::state_index(&entry.state);
+    let married = rng.gen_bool(0.5);
+    let children = rng.gen_bool(0.4);
+    let salary: i64 = rng.gen_range(10_000..200_000);
+    vec![
+        Value::from("01"),
+        Value::from(entry.area_code.as_str()),
+        Value::from(format!("{:07}", rng.gen_range(0..10_000_000))),
+        Value::from(format!("N{:06}", rng.gen_range(0..1_000_000))),
+        Value::from(format!("{} St. #{}", entry.city, rng.gen_range(1..500))),
+        Value::from(entry.city.as_str()),
+        Value::from(entry.zip.as_str()),
+        Value::from(entry.state.as_str()),
+        Value::from(if married { "married" } else { "single" }),
+        Value::from(if children { "yes" } else { "no" }),
+        Value::Int(salary),
+        Value::Int(tax::tax_rate(state_idx, salary)),
+        Value::Int(tax::single_exemption(state_idx, married)),
+        Value::Int(tax::married_exemption(state_idx, married)),
+        Value::Int(tax::child_exemption(state_idx, children)),
+    ]
+}
+
+/// Injects one error into a tuple: an attribute on the RHS of one of the
+/// workload CFDs (ST, CT, TX or an exemption) is replaced by a wrong value.
+fn corrupt(rng: &mut StdRng, values: &mut [Value], entry: &GeoEntry) {
+    // Attribute positions in TAX_ATTRS order.
+    const CT: usize = 5;
+    const ST: usize = 7;
+    const TX: usize = 11;
+    const STX: usize = 12;
+    const CTX: usize = 14;
+    match rng.gen_range(0..5) {
+        0 => {
+            // Wrong state for this zip code.
+            let wrong = format!("S{:02}", (tax::state_index(&entry.state) + 1) % geo::NUM_STATES);
+            values[ST] = Value::from(wrong);
+        }
+        1 => {
+            // Wrong city for this zip / area code.
+            values[CT] = Value::from(format!("{}-X", entry.city));
+        }
+        2 => {
+            // Wrong tax rate for this state and salary.
+            let current = values[TX].as_int().unwrap_or(0);
+            values[TX] = Value::Int(current + 1 + rng.gen_range(0..5));
+        }
+        3 => {
+            let current = values[STX].as_int().unwrap_or(0);
+            values[STX] = Value::Int(current + 123);
+        }
+        _ => {
+            let current = values[CTX].as_int().unwrap_or(0);
+            values[CTX] = Value::Int(current + 77);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generates_requested_size_and_schema() {
+        let data = TaxGenerator::new(TaxConfig { size: 500, noise_percent: 0.0, seed: 1 }).generate();
+        assert_eq!(data.relation.len(), 500);
+        assert_eq!(data.relation.schema().arity(), TAX_ATTRS.len());
+        assert!(data.dirty_rows.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = TaxConfig { size: 200, noise_percent: 5.0, seed: 99 };
+        let a = TaxGenerator::new(cfg).generate();
+        let b = TaxGenerator::new(cfg).generate();
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.dirty_rows, b.dirty_rows);
+        let c = TaxGenerator::new(TaxConfig { seed: 100, ..cfg }).generate();
+        assert_ne!(a.relation, c.relation);
+    }
+
+    #[test]
+    fn noise_fraction_is_roughly_honoured() {
+        let data =
+            TaxGenerator::new(TaxConfig { size: 5_000, noise_percent: 10.0, seed: 3 }).generate();
+        let frac = data.dirty_rows.len() as f64 / 5_000.0 * 100.0;
+        assert!((5.0..15.0).contains(&frac), "noise fraction {frac}% too far from 10%");
+    }
+
+    #[test]
+    fn clean_data_respects_zip_to_state() {
+        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 5 }).generate();
+        let schema = data.relation.schema().clone();
+        let zip = schema.resolve("ZIP").unwrap();
+        let st = schema.resolve("ST").unwrap();
+        let mut mapping: HashMap<Value, Value> = HashMap::new();
+        for (_, row) in data.relation.iter() {
+            let entry = mapping.entry(row[zip].clone()).or_insert_with(|| row[st].clone());
+            assert_eq!(entry, &row[st], "ZIP -> ST violated on clean data");
+        }
+    }
+
+    #[test]
+    fn clean_data_respects_state_salary_to_tax_and_exemptions() {
+        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 6 }).generate();
+        let schema = data.relation.schema().clone();
+        let st = schema.resolve("ST").unwrap();
+        let sa = schema.resolve("SA").unwrap();
+        let tx = schema.resolve("TX").unwrap();
+        let mr = schema.resolve("MR").unwrap();
+        let stx = schema.resolve("STX").unwrap();
+        for (_, row) in data.relation.iter() {
+            let sidx = tax::state_index(row[st].as_str().unwrap());
+            let salary = row[sa].as_int().unwrap();
+            assert_eq!(row[tx].as_int().unwrap(), tax::tax_rate(sidx, salary));
+            let married = row[mr].as_str().unwrap() == "married";
+            assert_eq!(row[stx].as_int().unwrap(), tax::single_exemption(sidx, married));
+        }
+    }
+
+    #[test]
+    fn noisy_rows_really_differ_from_clean_regeneration() {
+        let cfg = TaxConfig { size: 1_000, noise_percent: 20.0, seed: 7 };
+        let noisy = TaxGenerator::new(cfg).generate();
+        assert!(!noisy.dirty_rows.is_empty());
+        // Every dirty row must violate at least one of the functional
+        // relationships (zip->state, tax formula, exemption formulas, city).
+        let schema = noisy.relation.schema().clone();
+        let zip = schema.resolve("ZIP").unwrap();
+        let st = schema.resolve("ST").unwrap();
+        let ct = schema.resolve("CT").unwrap();
+        let sa = schema.resolve("SA").unwrap();
+        let tx = schema.resolve("TX").unwrap();
+        let mr = schema.resolve("MR").unwrap();
+        let ch = schema.resolve("CH").unwrap();
+        let stx = schema.resolve("STX").unwrap();
+        let ctx = schema.resolve("CTX").unwrap();
+        for &i in &noisy.dirty_rows {
+            let row = noisy.relation.row(i).unwrap();
+            let zip_v = row[zip].as_str().unwrap();
+            let true_state = crate::geo::state_of_zip(zip_v).unwrap();
+            let sidx = tax::state_index(true_state);
+            let married = row[mr].as_str().unwrap() == "married";
+            let children = row[ch].as_str().unwrap() == "yes";
+            let clean_city = crate::geo::geo_table()
+                .iter()
+                .find(|e| e.zip == zip_v)
+                .map(|e| e.city.clone())
+                .unwrap();
+            let is_dirty = row[st].as_str().unwrap() != true_state
+                || row[ct].as_str().unwrap() != clean_city
+                || row[tx].as_int().unwrap() != tax::tax_rate(sidx, row[sa].as_int().unwrap())
+                || row[stx].as_int().unwrap() != tax::single_exemption(sidx, married)
+                || row[ctx].as_int().unwrap() != tax::child_exemption(sidx, children);
+            assert!(is_dirty, "row {i} was marked dirty but looks clean");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic per-state tax rates, brackets and exemptions.
+//!
+//! The paper collected real tax rates, tax/income brackets and exemptions for
+//! every US state. This module provides a deterministic synthetic equivalent
+//! with the same functional structure: the tax rate is a function of the
+//! state and the salary bracket, and each exemption amount is a function of
+//! the state and the relevant status attribute (marital status / dependents).
+
+/// Salary bracket boundaries (upper bounds, in dollars). The last bracket is
+/// open-ended.
+pub const BRACKET_BOUNDS: [i64; 3] = [30_000, 60_000, 120_000];
+
+/// Number of salary brackets.
+pub const NUM_BRACKETS: usize = BRACKET_BOUNDS.len() + 1;
+
+/// The bracket index (0-based) a salary falls into.
+pub fn bracket_of(salary: i64) -> usize {
+    BRACKET_BOUNDS.iter().position(|b| salary < *b).unwrap_or(BRACKET_BOUNDS.len())
+}
+
+/// The synthetic tax rate (in percent) for a state index and salary.
+/// Deterministic: base rate depends on the state, progression on the bracket.
+pub fn tax_rate(state_index: usize, salary: i64) -> i64 {
+    let base = 2 + (state_index % 7) as i64;
+    base + 2 * bracket_of(salary) as i64
+}
+
+/// Exemption amount for single filers in a state (0 for married filers).
+pub fn single_exemption(state_index: usize, married: bool) -> i64 {
+    if married {
+        0
+    } else {
+        1_000 + 100 * (state_index % 10) as i64
+    }
+}
+
+/// Exemption amount for married filers in a state (0 for single filers).
+pub fn married_exemption(state_index: usize, married: bool) -> i64 {
+    if married {
+        2_000 + 150 * (state_index % 10) as i64
+    } else {
+        0
+    }
+}
+
+/// Exemption amount per dependent child in a state (0 without dependents).
+pub fn child_exemption(state_index: usize, has_children: bool) -> i64 {
+    if has_children {
+        500 + 50 * (state_index % 12) as i64
+    } else {
+        0
+    }
+}
+
+/// Parses the numeric index out of a synthetic state code (`"S07"` → 7).
+pub fn state_index(state: &str) -> usize {
+    state.trim_start_matches('S').parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_partition_salaries() {
+        assert_eq!(bracket_of(0), 0);
+        assert_eq!(bracket_of(29_999), 0);
+        assert_eq!(bracket_of(30_000), 1);
+        assert_eq!(bracket_of(59_999), 1);
+        assert_eq!(bracket_of(60_000), 2);
+        assert_eq!(bracket_of(119_999), 2);
+        assert_eq!(bracket_of(120_000), 3);
+        assert_eq!(bracket_of(1_000_000), 3);
+    }
+
+    #[test]
+    fn tax_rate_is_a_function_of_state_and_bracket() {
+        // Same state, same bracket -> same rate.
+        assert_eq!(tax_rate(3, 10_000), tax_rate(3, 20_000));
+        // Higher bracket -> strictly higher rate within a state.
+        assert!(tax_rate(3, 70_000) > tax_rate(3, 20_000));
+        // Different states can have different rates.
+        assert_ne!(tax_rate(0, 10_000), tax_rate(1, 10_000));
+    }
+
+    #[test]
+    fn exemptions_depend_on_status() {
+        assert_eq!(single_exemption(4, true), 0);
+        assert!(single_exemption(4, false) > 0);
+        assert_eq!(married_exemption(4, false), 0);
+        assert!(married_exemption(4, true) > 0);
+        assert_eq!(child_exemption(4, false), 0);
+        assert!(child_exemption(4, true) > 0);
+    }
+
+    #[test]
+    fn exemptions_are_functions_of_state_and_status() {
+        for st in 0..50 {
+            assert_eq!(single_exemption(st, false), single_exemption(st, false));
+            assert_eq!(child_exemption(st, true), child_exemption(st, true));
+        }
+        // They vary across states (for at least one pair).
+        assert!((0..50).any(|s| single_exemption(s, false) != single_exemption(0, false)));
+    }
+
+    #[test]
+    fn state_index_parses_synthetic_codes() {
+        assert_eq!(state_index("S00"), 0);
+        assert_eq!(state_index("S37"), 37);
+        assert_eq!(state_index("garbage"), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The high-level detector: runs the generated SQL queries on the in-memory
+//! engine, per CFD, merged, or across threads.
+
+use crate::merge::MergedTableaux;
+use crate::merged;
+use crate::report::Violations;
+use crate::single;
+use cfd_core::Cfd;
+use cfd_relation::Relation;
+use cfd_sql::{Catalog, ExecStats, Executor, SelectQuery, SqlError, Strategy};
+use std::sync::Arc;
+
+/// Result alias: detection surfaces SQL-layer errors unchanged.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Execution counters for one detection run (one CFD or one merged set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Counters of the `QC` (constant-violation) query.
+    pub qc: ExecStats,
+    /// Counters of the `QV` (multi-tuple) query.
+    pub qv: ExecStats,
+}
+
+/// Internal catalog names used by the detector.
+const DATA_NAME: &str = "__data";
+const TABLEAU_NAME: &str = "__tableau";
+const JOINED_NAME: &str = "__tableau_xy";
+const TX_NAME: &str = "__tableau_x";
+const TY_NAME: &str = "__tableau_y";
+
+/// SQL-based CFD violation detector (Section 4).
+#[derive(Debug, Clone, Copy)]
+pub struct Detector {
+    strategy: Strategy,
+}
+
+impl Detector {
+    /// A detector using the default (DNF + indexes) evaluation strategy.
+    pub fn new() -> Self {
+        Detector { strategy: Strategy::default() }
+    }
+
+    /// Sets the SQL evaluation strategy (CNF vs DNF — the Fig. 9(a)/(b) knob).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Detects violations of a single CFD. Convenience wrapper that clones
+    /// the relation into the internal catalog; use [`Detector::detect_shared`]
+    /// when the relation is already shared.
+    pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Result<Violations> {
+        self.detect_shared(cfd, Arc::new(rel.clone())).map(|(v, _)| v)
+    }
+
+    /// Detects violations of a single CFD, returning execution counters too.
+    pub fn detect_shared(&self, cfd: &Cfd, data: Arc<Relation>) -> Result<(Violations, DetectStats)> {
+        let mut catalog = Catalog::new();
+        catalog.register_arc(DATA_NAME, data);
+        catalog.register_as(TABLEAU_NAME, single::tableau_relation(cfd, TABLEAU_NAME));
+        let executor = Executor::new(&catalog).with_strategy(self.strategy);
+
+        let mut stats = DetectStats::default();
+        let mut violations = Violations::new();
+        let (qc_rows, qc_stats) =
+            executor.run_with_stats(&single::qc_query(cfd, DATA_NAME, TABLEAU_NAME))?;
+        stats.qc = qc_stats;
+        for row in qc_rows.rows() {
+            violations.add_constant_violation(row.clone());
+        }
+        let (qv_rows, qv_stats) =
+            executor.run_with_stats(&single::qv_query(cfd, DATA_NAME, TABLEAU_NAME))?;
+        stats.qv = qv_stats;
+        for row in qv_rows.rows() {
+            violations.add_multi_tuple_key(row.clone());
+        }
+        Ok((violations, stats))
+    }
+
+    /// Runs only the `QC` query of one CFD (used by the Fig. 9(c) split).
+    pub fn qc_only(&self, cfd: &Cfd, data: Arc<Relation>) -> Result<(Violations, ExecStats)> {
+        self.run_one(cfd, data, true)
+    }
+
+    /// Runs only the `QV` query of one CFD (used by the Fig. 9(c) split).
+    pub fn qv_only(&self, cfd: &Cfd, data: Arc<Relation>) -> Result<(Violations, ExecStats)> {
+        self.run_one(cfd, data, false)
+    }
+
+    fn run_one(
+        &self,
+        cfd: &Cfd,
+        data: Arc<Relation>,
+        constant_side: bool,
+    ) -> Result<(Violations, ExecStats)> {
+        let mut catalog = Catalog::new();
+        catalog.register_arc(DATA_NAME, data);
+        catalog.register_as(TABLEAU_NAME, single::tableau_relation(cfd, TABLEAU_NAME));
+        let executor = Executor::new(&catalog).with_strategy(self.strategy);
+        let query = if constant_side {
+            single::qc_query(cfd, DATA_NAME, TABLEAU_NAME)
+        } else {
+            single::qv_query(cfd, DATA_NAME, TABLEAU_NAME)
+        };
+        let (rows, stats) = executor.run_with_stats(&query)?;
+        let mut violations = Violations::new();
+        for row in rows.rows() {
+            if constant_side {
+                violations.add_constant_violation(row.clone());
+            } else {
+                violations.add_multi_tuple_key(row.clone());
+            }
+        }
+        Ok((violations, stats))
+    }
+
+    /// Validates a set of CFDs with one query pair per CFD (the naive
+    /// `2 × |Σ|`-pass approach of Section 4.2).
+    pub fn detect_set(&self, cfds: &[Cfd], data: Arc<Relation>) -> Result<Violations> {
+        let mut out = Violations::new();
+        for cfd in cfds {
+            let (v, _) = self.detect_shared(cfd, Arc::clone(&data))?;
+            out.merge(v);
+        }
+        Ok(out)
+    }
+
+    /// Validates a set of CFDs with a single merged query pair (two passes,
+    /// Section 4.2). The multi-tuple keys are reported over the merged `X`
+    /// attribute union, with `@` masking don't-care positions.
+    pub fn detect_set_merged(&self, cfds: &[Cfd], data: Arc<Relation>) -> Result<Violations> {
+        let merged = MergedTableaux::build(cfds)
+            .map_err(|e| SqlError::Unsupported(format!("cannot merge tableaux: {e}")))?;
+        let mut catalog = Catalog::new();
+        catalog.register_arc(DATA_NAME, data);
+        catalog.register_as(JOINED_NAME, merged.joined_relation(JOINED_NAME));
+        let executor = Executor::new(&catalog).with_strategy(self.strategy);
+
+        let mut out = Violations::new();
+        let qc = executor.run(&merged::qc_merged(&merged, DATA_NAME, JOINED_NAME))?;
+        for row in qc.rows() {
+            out.add_constant_violation(row.clone());
+        }
+        let qv = executor.run(&merged::qv_merged(&merged, DATA_NAME, JOINED_NAME))?;
+        for row in qv.rows() {
+            out.add_multi_tuple_key(row.clone());
+        }
+        Ok(out)
+    }
+
+    /// Like [`Detector::detect_set_merged`] but executing the queries in the
+    /// exact three-table form printed in the paper (data ⋈ `T^X_Σ` ⋈ `T^Y_Σ`
+    /// on id). Intended for small instances and for inspecting plans; the
+    /// pre-joined form is preferred for large data.
+    pub fn detect_set_merged_paper_form(
+        &self,
+        cfds: &[Cfd],
+        data: Arc<Relation>,
+    ) -> Result<Violations> {
+        let merged = MergedTableaux::build(cfds)
+            .map_err(|e| SqlError::Unsupported(format!("cannot merge tableaux: {e}")))?;
+        let mut catalog = Catalog::new();
+        catalog.register_arc(DATA_NAME, data);
+        catalog.register_as(TX_NAME, merged.x_relation(TX_NAME));
+        catalog.register_as(TY_NAME, merged.y_relation(TY_NAME));
+        let executor = Executor::new(&catalog).with_strategy(self.strategy);
+
+        let mut out = Violations::new();
+        let qc = executor.run(&merged::qc_merged_paper(&merged, DATA_NAME, TX_NAME, TY_NAME))?;
+        for row in qc.rows() {
+            out.add_constant_violation(row.clone());
+        }
+        let qv = executor.run(&merged::qv_merged_paper(&merged, DATA_NAME, TX_NAME, TY_NAME))?;
+        for row in qv.rows() {
+            out.add_multi_tuple_key(row.clone());
+        }
+        Ok(out)
+    }
+
+    /// Validates a set of CFDs with one query pair per CFD, spreading the
+    /// CFDs over `threads` worker threads (an extension beyond the paper —
+    /// the per-CFD query pairs are embarrassingly parallel).
+    pub fn detect_set_parallel(
+        &self,
+        cfds: &[Cfd],
+        data: Arc<Relation>,
+        threads: usize,
+    ) -> Result<Violations> {
+        if cfds.is_empty() {
+            return Ok(Violations::new());
+        }
+        let threads = threads.max(1).min(cfds.len());
+        let chunk_size = cfds.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in cfds.chunks(chunk_size) {
+                let data = Arc::clone(&data);
+                let detector = *self;
+                handles.push(scope.spawn(move |_| detector.detect_set(chunk, data)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detection worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("detection scope panicked");
+
+        let mut out = Violations::new();
+        for r in results {
+            out.merge(r?);
+        }
+        Ok(out)
+    }
+
+    /// The SQL text of the query pair for one CFD, for inspection and
+    /// documentation (Fig. 5).
+    pub fn sql_for(&self, cfd: &Cfd, data_name: &str) -> (SelectQuery, SelectQuery) {
+        (single::qc_query(cfd, data_name, "Tp"), single::qv_query(cfd, data_name, "Tp"))
+    }
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Detector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectDetector;
+    use cfd_datagen::cust::{cust_instance, fig2_cfd_set, phi1, phi2, phi3_with_fd, phi5};
+    use cfd_datagen::records::{TaxConfig, TaxGenerator};
+    use cfd_datagen::{CfdWorkload, EmbeddedFd};
+    use cfd_relation::Value;
+
+    #[test]
+    fn example_4_1_detection_via_sql() {
+        let v = Detector::new().detect(&phi2(), &cust_instance()).unwrap();
+        assert_eq!(v.constant_violations().len(), 2);
+        assert!(v.multi_tuple_keys().is_empty());
+        let clean = Detector::new().detect(&phi1(), &cust_instance()).unwrap();
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn sql_and_direct_detectors_agree_on_the_running_example() {
+        let rel = cust_instance();
+        for cfd in [phi1(), phi2(), phi3_with_fd(), phi5()] {
+            let sql = Detector::new().detect(&cfd, &rel).unwrap();
+            let direct = DirectDetector::new().detect(&cfd, &rel);
+            assert_eq!(sql, direct, "detectors disagree on {:?}", cfd.name());
+        }
+    }
+
+    #[test]
+    fn cnf_and_dnf_strategies_agree() {
+        let rel = Arc::new(cust_instance());
+        for cfd in [phi2(), phi3_with_fd(), phi5()] {
+            let dnf = Detector::new()
+                .with_strategy(Strategy::dnf())
+                .detect_shared(&cfd, Arc::clone(&rel))
+                .unwrap()
+                .0;
+            let cnf = Detector::new()
+                .with_strategy(Strategy::cnf())
+                .detect_shared(&cfd, Arc::clone(&rel))
+                .unwrap()
+                .0;
+            assert_eq!(dnf, cnf);
+        }
+    }
+
+    #[test]
+    fn qc_and_qv_split_match_the_combined_run() {
+        let rel = Arc::new(cust_instance());
+        let cfd = phi2();
+        let (combined, stats) = Detector::new().detect_shared(&cfd, Arc::clone(&rel)).unwrap();
+        let (qc, qc_stats) = Detector::new().qc_only(&cfd, Arc::clone(&rel)).unwrap();
+        let (qv, qv_stats) = Detector::new().qv_only(&cfd, Arc::clone(&rel)).unwrap();
+        assert_eq!(qc.constant_violations(), combined.constant_violations());
+        assert_eq!(qv.multi_tuple_keys(), combined.multi_tuple_keys());
+        assert_eq!(qc_stats.output_rows, stats.qc.output_rows);
+        assert_eq!(qv_stats.output_rows, stats.qv.output_rows);
+    }
+
+    #[test]
+    fn per_cfd_merged_and_parallel_set_detection_agree_on_qc() {
+        let rel = Arc::new(cust_instance());
+        let cfds: Vec<_> = fig2_cfd_set().into_iter().collect();
+        let per_cfd = Detector::new().detect_set(&cfds, Arc::clone(&rel)).unwrap();
+        let merged = Detector::new().detect_set_merged(&cfds, Arc::clone(&rel)).unwrap();
+        let parallel = Detector::new().detect_set_parallel(&cfds, Arc::clone(&rel), 3).unwrap();
+        // Constant violations are full tuples in every scheme, so they agree
+        // exactly; multi-tuple keys use different key spaces (per-CFD X vs the
+        // merged X union), so only their emptiness is compared here.
+        assert_eq!(per_cfd.constant_violations(), merged.constant_violations());
+        assert_eq!(per_cfd, parallel);
+        assert_eq!(per_cfd.multi_tuple_keys().is_empty(), merged.multi_tuple_keys().is_empty());
+    }
+
+    #[test]
+    fn merged_paper_form_agrees_with_exec_form() {
+        let rel = Arc::new(cust_instance());
+        let cfds = vec![phi2(), phi3_with_fd(), phi5()];
+        let exec_form = Detector::new().detect_set_merged(&cfds, Arc::clone(&rel)).unwrap();
+        let paper_form =
+            Detector::new().detect_set_merged_paper_form(&cfds, Arc::clone(&rel)).unwrap();
+        assert_eq!(exec_form, paper_form);
+    }
+
+    #[test]
+    fn detection_on_generated_tax_workload_finds_only_noise() {
+        let clean = TaxGenerator::new(TaxConfig { size: 800, noise_percent: 0.0, seed: 21 })
+            .generate();
+        let noisy = TaxGenerator::new(TaxConfig { size: 800, noise_percent: 10.0, seed: 21 })
+            .generate();
+        let cfd = CfdWorkload::new(5).single(EmbeddedFd::ZipToState, 200, 100.0);
+        let detector = Detector::new();
+        assert!(detector.detect(&cfd, &clean.relation).unwrap().is_clean());
+        let report = detector.detect(&cfd, &noisy.relation).unwrap();
+        assert!(!report.is_clean(), "noise must be detected");
+        // Every reported constant violation is indeed a dirty row.
+        let schema = noisy.relation.schema().clone();
+        let zip = schema.resolve("ZIP").unwrap();
+        let st = schema.resolve("ST").unwrap();
+        for tuple in report.constant_violations() {
+            let zip_v = tuple[zip.index()].clone();
+            let st_v = tuple[st.index()].clone();
+            let true_state = cfd_datagen::geo::state_of_zip(zip_v.as_str().unwrap()).unwrap();
+            assert_ne!(st_v, Value::from(true_state), "reported tuple is actually clean");
+        }
+    }
+
+    #[test]
+    fn sql_and_direct_agree_on_the_tax_workload() {
+        let noisy = TaxGenerator::new(TaxConfig { size: 600, noise_percent: 8.0, seed: 33 })
+            .generate();
+        let workload = CfdWorkload::new(9);
+        for fd in [EmbeddedFd::ZipToState, EmbeddedFd::ZipCityToState, EmbeddedFd::AreaToCity] {
+            let cfd = workload.single(fd, 120, 60.0);
+            let sql = Detector::new().detect(&cfd, &noisy.relation).unwrap();
+            let direct = DirectDetector::new().detect(&cfd, &noisy.relation);
+            assert_eq!(sql, direct, "detectors disagree on {fd:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_detection_handles_edge_cases() {
+        let rel = Arc::new(cust_instance());
+        let none = Detector::new().detect_set_parallel(&[], Arc::clone(&rel), 4).unwrap();
+        assert!(none.is_clean());
+        let one = Detector::new()
+            .detect_set_parallel(&[phi2()], Arc::clone(&rel), 16)
+            .unwrap();
+        assert_eq!(one.constant_violations().len(), 2);
+    }
+
+    #[test]
+    fn sql_for_returns_the_query_pair() {
+        let (qc, qv) = Detector::new().sql_for(&phi2(), "cust");
+        assert!(qc.to_string().contains("SELECT t.* FROM cust t, Tp tp"));
+        assert!(qv.to_string().contains("HAVING count(distinct"));
+    }
+}

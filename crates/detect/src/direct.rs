@@ -1,0 +1,146 @@
+//! A direct, hash-based violation detector.
+//!
+//! This detector computes exactly what the `QC`/`QV` SQL queries of Section 4
+//! compute, but without going through the SQL layer: it groups tuples in one
+//! pass per CFD. It serves two purposes:
+//!
+//! * it is an **independent oracle** for the SQL-based
+//!   [`Detector`](crate::Detector) — the property tests assert that both
+//!   return identical reports on arbitrary data;
+//! * it is the non-SQL fast path used by the repair algorithm, which needs to
+//!   know the violating row indices rather than tuple values.
+
+use crate::report::Violations;
+use cfd_core::Cfd;
+use cfd_relation::{Relation, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Stateless direct detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectDetector;
+
+impl DirectDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        DirectDetector
+    }
+
+    /// Detects violations of one CFD, reporting the same items as the SQL
+    /// query pair: full tuples for single-tuple violations, `X`-projection
+    /// keys for multi-tuple violations.
+    pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Violations {
+        let mut out = Violations::new();
+        let lhs = cfd.lhs();
+        let rhs = cfd.rhs();
+
+        // QC: tuples matching a pattern on X but contradicting a constant on Y.
+        for (_, tuple) in rel.iter() {
+            let x_vals = tuple.project_ref(lhs);
+            let y_vals = tuple.project_ref(rhs);
+            for pattern in cfd.tableau().iter() {
+                if pattern.lhs_matches(&x_vals) && !pattern.rhs_matches(&y_vals) {
+                    out.add_constant_violation(tuple.values().to_vec());
+                    break;
+                }
+            }
+        }
+
+        // QV: groups agreeing (and matching a pattern) on X with more than one
+        // distinct Y projection. Whether an X value matches some pattern
+        // depends on the X value only, so the check is memoized per key.
+        let mut groups: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
+        let mut matched_cache: HashMap<Vec<Value>, bool> = HashMap::new();
+        for (_, tuple) in rel.iter() {
+            let key = tuple.project(lhs);
+            let matched = *matched_cache.entry(key.clone()).or_insert_with(|| {
+                let refs: Vec<&Value> = key.iter().collect();
+                cfd.tableau().iter().any(|p| p.lhs_matches(&refs))
+            });
+            if matched {
+                groups.entry(key).or_default().insert(tuple.project(rhs));
+            }
+        }
+        for (key, y_projs) in groups {
+            if y_projs.len() > 1 {
+                out.add_multi_tuple_key(key);
+            }
+        }
+        out
+    }
+
+    /// Detects violations of a set of CFDs by running [`DirectDetector::detect`]
+    /// per CFD and merging the reports.
+    pub fn detect_set(&self, cfds: &[Cfd], rel: &Relation) -> Violations {
+        let mut out = Violations::new();
+        for cfd in cfds {
+            out.merge(self.detect(cfd, rel));
+        }
+        out
+    }
+
+    /// Row indices involved in any violation of `cfd` (both kinds). This is
+    /// the form the repair algorithm consumes.
+    pub fn violating_rows(&self, cfd: &Cfd, rel: &Relation) -> Vec<usize> {
+        let mut rows: HashSet<usize> = HashSet::new();
+        for witness in cfd.violations(rel) {
+            rows.extend(witness.rows.iter().copied());
+        }
+        let mut out: Vec<usize> = rows.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::{cust_instance, phi1, phi2, phi3_with_fd};
+    use cfd_relation::AttrId;
+
+    #[test]
+    fn example_4_1_qc_part() {
+        let v = DirectDetector::new().detect(&phi2(), &cust_instance());
+        // t1 and t2 are the constant violations (city should be MH for 908).
+        assert_eq!(v.constant_violations().len(), 2);
+        assert!(v
+            .constant_violations()
+            .iter()
+            .all(|t| t.contains(&Value::from("908")) && t.contains(&Value::from("NYC"))));
+        // No group with the same (CC, AC, PN) has two distinct (STR, CT, ZIP).
+        assert!(v.multi_tuple_keys().is_empty());
+    }
+
+    #[test]
+    fn multi_tuple_group_detection() {
+        let mut rel = cust_instance();
+        // Give Rick a different street: the (01, 908, 1111111) group now has
+        // two distinct Y projections.
+        rel.rows_mut()[1].set(AttrId(4), Value::from("Other Ave."));
+        let v = DirectDetector::new().detect(&phi2(), &rel);
+        assert_eq!(v.multi_tuple_keys().len(), 1);
+        let key = v.multi_tuple_keys().iter().next().unwrap();
+        assert_eq!(key, &vec![Value::from("01"), Value::from("908"), Value::from("1111111")]);
+    }
+
+    #[test]
+    fn clean_cfds_report_nothing() {
+        let rel = cust_instance();
+        assert!(DirectDetector::new().detect(&phi1(), &rel).is_clean());
+        assert!(DirectDetector::new().detect(&phi3_with_fd(), &rel).is_clean());
+    }
+
+    #[test]
+    fn detect_set_merges_reports() {
+        let rel = cust_instance();
+        let v = DirectDetector::new().detect_set(&[phi1(), phi2(), phi3_with_fd()], &rel);
+        assert_eq!(v.constant_violations().len(), 2);
+    }
+
+    #[test]
+    fn violating_rows_lists_indices() {
+        let rel = cust_instance();
+        let rows = DirectDetector::new().violating_rows(&phi2(), &rel);
+        assert_eq!(rows, vec![0, 1]);
+        assert!(DirectDetector::new().violating_rows(&phi1(), &rel).is_empty());
+    }
+}

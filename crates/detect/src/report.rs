@@ -1,0 +1,130 @@
+//! Violation reports.
+
+use cfd_relation::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The result of running the detection queries of Section 4.
+///
+/// * `constant_violations` are full data tuples returned by the `QC` query:
+///   each matches some pattern row on `X` but contradicts a constant on `Y`.
+/// * `multi_tuple_keys` are the `X`-projections returned by the `QV` query:
+///   groups of tuples that agree (and match a pattern) on `X` but disagree on
+///   `Y`. As in the paper, the keys are reported rather than the full tuples;
+///   the tuples are recoverable with one more (simple) query.
+///
+/// Both components are kept as ordered sets so reports are deterministic and
+/// directly comparable across detection strategies (SQL vs direct, per-CFD vs
+/// merged).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Violations {
+    constant_violations: BTreeSet<Vec<Value>>,
+    multi_tuple_keys: BTreeSet<Vec<Value>>,
+}
+
+impl Violations {
+    /// An empty report.
+    pub fn new() -> Self {
+        Violations::default()
+    }
+
+    /// Records a single-tuple (constant) violation.
+    pub fn add_constant_violation(&mut self, tuple: Vec<Value>) {
+        self.constant_violations.insert(tuple);
+    }
+
+    /// Records a multi-tuple violation key.
+    pub fn add_multi_tuple_key(&mut self, key: Vec<Value>) {
+        self.multi_tuple_keys.insert(key);
+    }
+
+    /// The single-tuple violations (full tuples), ordered.
+    pub fn constant_violations(&self) -> &BTreeSet<Vec<Value>> {
+        &self.constant_violations
+    }
+
+    /// The multi-tuple violation keys (`X` projections), ordered.
+    pub fn multi_tuple_keys(&self) -> &BTreeSet<Vec<Value>> {
+        &self.multi_tuple_keys
+    }
+
+    /// Total number of reported items.
+    pub fn total(&self) -> usize {
+        self.constant_violations.len() + self.multi_tuple_keys.len()
+    }
+
+    /// Whether no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.constant_violations.is_empty() && self.multi_tuple_keys.is_empty()
+    }
+
+    /// Merges another report into this one (used when validating a set of
+    /// CFDs one by one).
+    pub fn merge(&mut self, other: Violations) {
+        self.constant_violations.extend(other.constant_violations);
+        self.multi_tuple_keys.extend(other.multi_tuple_keys);
+    }
+}
+
+impl fmt::Display for Violations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} single-tuple violation(s), {} multi-tuple group key(s)",
+            self.constant_violations.len(),
+            self.multi_tuple_keys.len()
+        )?;
+        for t in &self.constant_violations {
+            writeln!(f, "  QC: ({})", t.iter().map(Value::to_string).collect::<Vec<_>>().join(", "))?;
+        }
+        for k in &self.multi_tuple_keys {
+            writeln!(f, "  QV: ({})", k.iter().map(Value::to_string).collect::<Vec<_>>().join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean() {
+        let v = Violations::new();
+        assert!(v.is_clean());
+        assert_eq!(v.total(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let mut v = Violations::new();
+        v.add_constant_violation(vec![Value::from("a")]);
+        v.add_constant_violation(vec![Value::from("a")]);
+        v.add_multi_tuple_key(vec![Value::from("k")]);
+        assert_eq!(v.total(), 2);
+        assert!(!v.is_clean());
+    }
+
+    #[test]
+    fn merge_unions_both_components() {
+        let mut a = Violations::new();
+        a.add_constant_violation(vec![Value::from("x")]);
+        let mut b = Violations::new();
+        b.add_constant_violation(vec![Value::from("x")]);
+        b.add_multi_tuple_key(vec![Value::from("y")]);
+        a.merge(b);
+        assert_eq!(a.constant_violations().len(), 1);
+        assert_eq!(a.multi_tuple_keys().len(), 1);
+    }
+
+    #[test]
+    fn display_lists_both_kinds() {
+        let mut v = Violations::new();
+        v.add_constant_violation(vec![Value::from("01"), Value::from("908")]);
+        v.add_multi_tuple_key(vec![Value::from("01")]);
+        let text = v.to_string();
+        assert!(text.contains("QC: (01, 908)"));
+        assert!(text.contains("QV: (01)"));
+        assert!(text.contains("1 single-tuple violation(s)"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Levelwise discovery of FDs and constant CFD patterns.
+
+use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd_relation::{AttrId, Relation, Value};
+use std::collections::HashMap;
+
+/// Parameters of the discovery search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryConfig {
+    /// Maximum number of LHS attributes considered (levelwise bound).
+    pub max_lhs_size: usize,
+    /// Minimum number of supporting tuples for a constant pattern row.
+    pub min_support: usize,
+    /// Minimum fraction (0–1) of tuples that must conform for an *approximate*
+    /// FD to be reported; `1.0` keeps only exact FDs.
+    pub min_confidence: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { max_lhs_size: 2, min_support: 3, min_confidence: 1.0 }
+    }
+}
+
+/// A discovered dependency with its quality measures.
+#[derive(Debug, Clone)]
+pub struct DiscoveredCfd {
+    /// The dependency, as a CFD (all-wildcard pattern for plain FDs,
+    /// all-constant rows for mined constant patterns).
+    pub cfd: Cfd,
+    /// Fraction of tuples conforming to the embedded FD.
+    pub confidence: f64,
+    /// Number of tuples supporting the reported pattern rows (equals the
+    /// relation size for plain FDs).
+    pub support: usize,
+}
+
+/// Discovers embedded FDs `X → A` with `|X| ≤ max_lhs_size` whose confidence
+/// reaches `min_confidence`. Exact FDs (confidence 1.0) are returned as
+/// plain-FD CFDs; approximate ones are still reported with their confidence
+/// so callers can inspect them.
+pub fn discover_fds(rel: &Relation, config: &DiscoveryConfig) -> Vec<DiscoveredCfd> {
+    let mut out = Vec::new();
+    if rel.is_empty() {
+        return out;
+    }
+    let schema = rel.schema();
+    let attrs: Vec<AttrId> = schema.attr_ids().collect();
+    for lhs in attribute_subsets(&attrs, config.max_lhs_size) {
+        for &rhs in &attrs {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            let (confidence, _) = fd_confidence(rel, &lhs, rhs);
+            if confidence >= config.min_confidence {
+                let cfd = Cfd::from_parts(
+                    schema.clone(),
+                    lhs.clone(),
+                    vec![rhs],
+                    PatternTableau::from_rows(vec![PatternTuple::all_wildcards(lhs.len(), 1)]),
+                )
+                .expect("discovered FD is well-formed");
+                out.push(DiscoveredCfd { cfd, confidence, support: rel.len() });
+            }
+        }
+    }
+    out
+}
+
+/// Mines constant CFD pattern rows: for every LHS set and RHS attribute, every
+/// LHS value combination seen at least `min_support` times whose RHS value is
+/// unique becomes an all-constant pattern row. Rows for the same embedded FD
+/// are collected into a single CFD.
+pub fn discover_constant_cfds(rel: &Relation, config: &DiscoveryConfig) -> Vec<DiscoveredCfd> {
+    let mut out = Vec::new();
+    if rel.is_empty() {
+        return out;
+    }
+    let schema = rel.schema();
+    let attrs: Vec<AttrId> = schema.attr_ids().collect();
+    for lhs in attribute_subsets(&attrs, config.max_lhs_size) {
+        if lhs.is_empty() {
+            continue;
+        }
+        for &rhs in &attrs {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            let groups = rel.group_by(&lhs);
+            let mut rows = Vec::new();
+            let mut support = 0usize;
+            for (key, members) in &groups {
+                if members.len() < config.min_support {
+                    continue;
+                }
+                let mut rhs_values: Vec<&Value> =
+                    members.iter().map(|&i| &rel.rows()[i][rhs]).collect();
+                rhs_values.sort();
+                rhs_values.dedup();
+                if rhs_values.len() == 1 {
+                    rows.push(PatternTuple::new(
+                        key.iter().cloned().map(PatternValue::Const).collect(),
+                        vec![PatternValue::Const(rhs_values[0].clone())],
+                    ));
+                    support += members.len();
+                }
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort_by_key(|r| format!("{r}"));
+            let (confidence, _) = fd_confidence(rel, &lhs, rhs);
+            let cfd =
+                Cfd::from_parts(schema.clone(), lhs.clone(), vec![rhs], PatternTableau::from_rows(rows))
+                    .expect("discovered constant CFD is well-formed");
+            out.push(DiscoveredCfd { cfd, confidence, support });
+        }
+    }
+    out
+}
+
+/// Confidence of `X → A`: the fraction of tuples that would remain after
+/// keeping, in every `X`-group, only the tuples with the plurality `A` value.
+/// Returns `(confidence, number of X-groups)`.
+fn fd_confidence(rel: &Relation, lhs: &[AttrId], rhs: AttrId) -> (f64, usize) {
+    let groups = rel.group_by(lhs);
+    let mut kept = 0usize;
+    for members in groups.values() {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for &i in members {
+            *counts.entry(&rel.rows()[i][rhs]).or_insert(0) += 1;
+        }
+        kept += counts.values().copied().max().unwrap_or(0);
+    }
+    (kept as f64 / rel.len() as f64, groups.len())
+}
+
+/// All non-empty subsets of `attrs` of size at most `max_size`, in a
+/// deterministic order (plus the empty set when `max_size == 0` is never
+/// requested — LHS sets of discovered dependencies are non-empty).
+fn attribute_subsets(attrs: &[AttrId], max_size: usize) -> Vec<Vec<AttrId>> {
+    let mut out: Vec<Vec<AttrId>> = Vec::new();
+    let mut current: Vec<Vec<AttrId>> = vec![Vec::new()];
+    for _ in 0..max_size {
+        let mut next = Vec::new();
+        for subset in &current {
+            let start = subset.last().map(|a| a.index() + 1).unwrap_or(0);
+            for attr in attrs.iter().filter(|a| a.index() >= start) {
+                let mut grown = subset.clone();
+                grown.push(*attr);
+                next.push(grown);
+            }
+        }
+        out.extend(next.iter().cloned());
+        current = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::cust_instance;
+    use cfd_datagen::records::{TaxConfig, TaxGenerator};
+    use cfd_relation::Schema;
+
+    #[test]
+    fn subsets_enumeration() {
+        let attrs = vec![AttrId(0), AttrId(1), AttrId(2)];
+        let subsets = attribute_subsets(&attrs, 2);
+        // 3 singletons + 3 pairs.
+        assert_eq!(subsets.len(), 6);
+        assert!(subsets.contains(&vec![AttrId(0), AttrId(2)]));
+        let singletons = attribute_subsets(&attrs, 1);
+        assert_eq!(singletons.len(), 3);
+    }
+
+    #[test]
+    fn exact_fds_are_discovered_on_fig1() {
+        let rel = cust_instance();
+        let config = DiscoveryConfig { max_lhs_size: 2, min_support: 1, min_confidence: 1.0 };
+        let fds = discover_fds(&rel, &config);
+        let has = |lhs: &[&str], rhs: &str| {
+            fds.iter().any(|d| {
+                d.cfd.lhs_names() == lhs.to_vec() && d.cfd.rhs_names() == vec![rhs]
+            })
+        };
+        // f2: [CC, AC] -> [CT] holds on Fig. 1.
+        assert!(has(&["CC", "AC"], "CT"));
+        // ZIP -> CT holds as well.
+        assert!(has(&["ZIP"], "CT"));
+        // NM -> CT holds trivially (names are unique); PN -> NM does not.
+        assert!(has(&["NM"], "CT"));
+        assert!(!has(&["PN"], "NM"));
+        // Every reported exact FD is indeed satisfied.
+        for d in &fds {
+            assert!(d.cfd.satisfied_by(&rel), "{} reported but violated", d.cfd);
+            assert!(d.confidence >= 1.0);
+        }
+    }
+
+    #[test]
+    fn approximate_fds_respect_the_confidence_threshold() {
+        // A -> B holds for 3 of 4 tuples (confidence 0.75).
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let mut rel = Relation::new(schema);
+        for (a, b) in [("x", "1"), ("x", "1"), ("x", "2"), ("y", "3")] {
+            rel.push_values(vec![a.into(), b.into()]).unwrap();
+        }
+        let strict = DiscoveryConfig { max_lhs_size: 1, min_support: 1, min_confidence: 1.0 };
+        assert!(discover_fds(&rel, &strict)
+            .iter()
+            .all(|d| !(d.cfd.lhs_names() == vec!["A"] && d.cfd.rhs_names() == vec!["B"])));
+        let relaxed = DiscoveryConfig { min_confidence: 0.7, ..strict };
+        let found = discover_fds(&rel, &relaxed);
+        let ab = found
+            .iter()
+            .find(|d| d.cfd.lhs_names() == vec!["A"] && d.cfd.rhs_names() == vec!["B"])
+            .expect("approximate FD reported");
+        assert!((ab.confidence - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_patterns_are_mined_with_support() {
+        let rel = cust_instance();
+        let config = DiscoveryConfig { max_lhs_size: 2, min_support: 2, min_confidence: 0.0 };
+        let mined = discover_constant_cfds(&rel, &config);
+        // The (CC=01, AC=908 ‖ CT=NYC) pattern has support 2 on Fig. 1.
+        let found = mined.iter().find(|d| {
+            d.cfd.lhs_names() == vec!["CC", "AC"] && d.cfd.rhs_names() == vec!["CT"]
+        });
+        let found = found.expect("[CC, AC] -> CT constant patterns mined");
+        assert!(found.cfd.tableau().iter().any(|row| {
+            row.lhs()[1] == PatternValue::constant("908")
+                && row.rhs()[0] == PatternValue::constant("NYC")
+        }));
+        // All mined patterns hold on the data they were mined from.
+        for d in &mined {
+            assert!(d.cfd.satisfied_by(&rel), "{} mined but violated", d.cfd);
+            assert!(d.support >= config.min_support);
+        }
+    }
+
+    #[test]
+    fn zip_to_state_is_rediscovered_from_clean_tax_data() {
+        let data = TaxGenerator::new(TaxConfig { size: 600, noise_percent: 0.0, seed: 5 })
+            .generate();
+        let config = DiscoveryConfig { max_lhs_size: 1, min_support: 2, min_confidence: 1.0 };
+        let fds = discover_fds(&data.relation, &config);
+        assert!(
+            fds.iter()
+                .any(|d| d.cfd.lhs_names() == vec!["ZIP"] && d.cfd.rhs_names() == vec!["ST"]),
+            "ZIP -> ST must be rediscovered from clean data"
+        );
+        let mined = discover_constant_cfds(&data.relation, &config);
+        let zip_st = mined
+            .iter()
+            .find(|d| d.cfd.lhs_names() == vec!["ZIP"] && d.cfd.rhs_names() == vec!["ST"])
+            .expect("constant zip->state patterns mined");
+        assert!(zip_st.cfd.tableau().len() > 10);
+    }
+
+    #[test]
+    fn empty_relation_discovers_nothing() {
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let rel = Relation::new(schema);
+        let config = DiscoveryConfig::default();
+        assert!(discover_fds(&rel, &config).is_empty());
+        assert!(discover_constant_cfds(&rel, &config).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Convenience builder for populating relations from string literals.
+//!
+//! Examples and tests throughout the workspace need small, readable relation
+//! literals (e.g. the `cust` instance of Fig. 1). [`RelationBuilder`] keeps
+//! those call sites compact.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Builder that accumulates rows and produces a [`Relation`].
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    check_domains: bool,
+}
+
+impl RelationBuilder {
+    /// Starts a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        RelationBuilder { schema, rows: Vec::new(), check_domains: false }
+    }
+
+    /// Enables domain checking for every row added afterwards.
+    pub fn checked(mut self) -> Self {
+        self.check_domains = true;
+        self
+    }
+
+    /// Adds a row of already-typed values.
+    pub fn row<I, V>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.rows.push(Tuple::new(values.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Adds a row of string values (the common case for the paper examples).
+    pub fn row_strs(self, values: &[&str]) -> Self {
+        self.row(values.iter().map(|s| Value::from(*s)))
+    }
+
+    /// Finishes the relation, validating arity (and domains when enabled).
+    pub fn build(self) -> Result<Relation> {
+        let mut rel = Relation::with_capacity(self.schema, self.rows.len());
+        for row in self.rows {
+            if self.check_domains {
+                rel.push_checked(row)?;
+            } else {
+                rel.push(row)?;
+            }
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn build_from_string_rows() {
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let rel = RelationBuilder::new(schema)
+            .row_strs(&["1", "x"])
+            .row_strs(&["2", "y"])
+            .build()
+            .unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(0).unwrap()[AttrId(1)], Value::from("x"));
+    }
+
+    #[test]
+    fn build_mixed_typed_rows() {
+        let schema = Schema::builder("r").text("NAME").integer("SA").build();
+        let rel = RelationBuilder::new(schema)
+            .row(vec![Value::from("ann"), Value::from(50_000i64)])
+            .build()
+            .unwrap();
+        assert_eq!(rel.row(0).unwrap()[AttrId(1)], Value::Int(50_000));
+    }
+
+    #[test]
+    fn checked_builder_rejects_domain_violation() {
+        let schema = Schema::builder("r")
+            .attr_domain("MR", Domain::finite(["single", "married"]))
+            .build();
+        let res = RelationBuilder::new(schema).checked().row_strs(&["widowed"]).build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected_at_build() {
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let res = RelationBuilder::new(schema).row_strs(&["only"]).build();
+        assert!(res.is_err());
+    }
+}

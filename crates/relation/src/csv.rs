@@ -1,0 +1,198 @@
+//! Minimal CSV-style import/export for relation instances.
+//!
+//! The evaluation workload is generated in-process, but being able to dump a
+//! generated instance (or a violation report) to a text file and load it back
+//! is convenient for debugging and for sharing reproducible inputs. The format
+//! is deliberately simple: one header line with attribute names, comma
+//! separation, double-quote quoting, and typed parsing driven by the schema.
+
+use crate::domain::AttrType;
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Serializes the relation as CSV text (header + one line per row).
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = rel.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for (_, row) in rel.iter() {
+        let cells: Vec<String> = row.values().iter().map(render_cell).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text into an instance of `schema`.
+///
+/// The header must list exactly the schema's attribute names in order; every
+/// cell is parsed according to the attribute's primitive type.
+pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| RelationError::Parse("empty input".into()))?;
+    let header_names: Vec<String> = split_line(header);
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if header_names.len() != expected.len()
+        || header_names.iter().zip(&expected).any(|(h, e)| h != e)
+    {
+        return Err(RelationError::Parse(format!(
+            "header {:?} does not match schema attributes {:?}",
+            header_names, expected
+        )));
+    }
+
+    let mut rel = Relation::new(schema.clone());
+    for (line_no, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells = split_line(line);
+        if cells.len() != schema.arity() {
+            return Err(RelationError::Parse(format!(
+                "line {} has {} cells, expected {}",
+                line_no + 2,
+                cells.len(),
+                schema.arity()
+            )));
+        }
+        let mut values = Vec::with_capacity(cells.len());
+        for (id, cell) in schema.attr_ids().zip(cells.iter()) {
+            values.push(parse_cell(schema, id.index(), cell)?);
+        }
+        rel.push(Tuple::new(values))?;
+    }
+    Ok(rel)
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+    }
+}
+
+fn split_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+fn parse_cell(schema: &Schema, idx: usize, cell: &str) -> Result<Value> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    let attr = &schema.attributes()[idx];
+    match attr.domain.attr_type() {
+        AttrType::Text => Ok(Value::Str(cell.to_owned())),
+        AttrType::Integer => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RelationError::Parse(format!("`{cell}` is not an integer ({})", attr.name))),
+        AttrType::Boolean => match cell {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            _ => Err(RelationError::Parse(format!("`{cell}` is not a boolean ({})", attr.name))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    fn schema() -> Schema {
+        Schema::builder("t").text("NAME").integer("SA").build()
+    }
+
+    #[test]
+    fn round_trip_simple_relation() {
+        let mut rel = Relation::new(schema());
+        rel.push(Tuple::new(vec![Value::from("ann"), Value::Int(100)])).unwrap();
+        rel.push(Tuple::new(vec![Value::from("bob, jr."), Value::Int(200)])).unwrap();
+        let text = to_csv(&rel);
+        let back = from_csv(&schema(), &text).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn quotes_are_escaped_and_restored() {
+        let mut rel = Relation::new(schema());
+        rel.push(Tuple::new(vec![Value::from("say \"hi\""), Value::Int(1)])).unwrap();
+        let back = from_csv(&schema(), &to_csv(&rel)).unwrap();
+        assert_eq!(back.row(0).unwrap()[AttrId(0)], Value::from("say \"hi\""));
+    }
+
+    #[test]
+    fn empty_cell_parses_as_null() {
+        let text = "NAME,SA\nann,\n";
+        let rel = from_csv(&schema(), text).unwrap();
+        assert_eq!(rel.row(0).unwrap()[AttrId(1)], Value::Null);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let text = "NAME,SALARY\nann,1\n";
+        assert!(from_csv(&schema(), text).is_err());
+    }
+
+    #[test]
+    fn bad_integer_is_an_error() {
+        let text = "NAME,SA\nann,notanumber\n";
+        assert!(from_csv(&schema(), text).is_err());
+    }
+
+    #[test]
+    fn wrong_cell_count_is_an_error() {
+        let text = "NAME,SA\nann\n";
+        assert!(from_csv(&schema(), text).is_err());
+    }
+
+    #[test]
+    fn boolean_parsing() {
+        let schema = Schema::builder("t").attr("CH", AttrType::Boolean).build();
+        let rel = from_csv(&schema, "CH\ntrue\n0\n").unwrap();
+        assert_eq!(rel.row(0).unwrap()[AttrId(0)], Value::Bool(true));
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::Bool(false));
+        assert!(from_csv(&schema, "CH\nmaybe\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "NAME,SA\nann,1\n\nbob,2\n";
+        let rel = from_csv(&schema(), text).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

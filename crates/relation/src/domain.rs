@@ -1,0 +1,253 @@
+//! Attribute domains.
+//!
+//! Section 3 of the paper distinguishes attributes with *finite* domains
+//! (e.g. `bool`, enumerations such as marital status) from attributes with
+//! effectively infinite domains (names, free-form strings, integers). The
+//! distinction is load-bearing: consistency and implication of CFDs are
+//! NP-complete / coNP-complete precisely because finite-domain attributes can
+//! be "used up" by pattern tuples (Example 3.1), and inference rules FD7/FD8
+//! only fire for finite-domain attributes.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The primitive type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Free-form text (infinite domain).
+    Text,
+    /// 64-bit integers (treated as an infinite domain).
+    Integer,
+    /// Booleans (finite domain of size 2).
+    Boolean,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Text => write!(f, "TEXT"),
+            AttrType::Integer => write!(f, "INTEGER"),
+            AttrType::Boolean => write!(f, "BOOLEAN"),
+        }
+    }
+}
+
+/// The domain of an attribute: either unrestricted values of a primitive type
+/// or an explicit finite set of admissible values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// All values of the given primitive type are admissible.
+    Unrestricted(AttrType),
+    /// Only the listed values are admissible. The set is kept ordered so
+    /// enumeration (needed by inference rules FD7/FD8) is deterministic.
+    Finite(BTreeSet<Value>),
+}
+
+impl Domain {
+    /// Unrestricted text domain.
+    pub fn text() -> Self {
+        Domain::Unrestricted(AttrType::Text)
+    }
+
+    /// Unrestricted integer domain.
+    pub fn integer() -> Self {
+        Domain::Unrestricted(AttrType::Integer)
+    }
+
+    /// The boolean domain `{false, true}`. Booleans are always finite.
+    pub fn boolean() -> Self {
+        Domain::Finite([Value::Bool(false), Value::Bool(true)].into_iter().collect())
+    }
+
+    /// A finite domain over the given values. Duplicates are collapsed.
+    pub fn finite<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Domain::Finite(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Returns `true` iff this is a finite domain (including booleans).
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Domain::Finite(_))
+    }
+
+    /// Number of admissible values, or `None` when the domain is infinite.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Unrestricted(_) => None,
+            Domain::Finite(vs) => Some(vs.len()),
+        }
+    }
+
+    /// Iterates the admissible values of a finite domain in sorted order.
+    /// Returns an empty iterator for unrestricted domains.
+    pub fn values(&self) -> impl Iterator<Item = &Value> + '_ {
+        match self {
+            Domain::Unrestricted(_) => None,
+            Domain::Finite(vs) => Some(vs.iter()),
+        }
+        .into_iter()
+        .flatten()
+    }
+
+    /// Checks whether `v` belongs to the domain. `Null` is always admitted so
+    /// partially-populated rows can be represented while loading.
+    pub fn contains(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return true;
+        }
+        match self {
+            Domain::Unrestricted(AttrType::Text) => matches!(v, Value::Str(_)),
+            Domain::Unrestricted(AttrType::Integer) => matches!(v, Value::Int(_)),
+            Domain::Unrestricted(AttrType::Boolean) => matches!(v, Value::Bool(_)),
+            Domain::Finite(vs) => vs.contains(v),
+        }
+    }
+
+    /// The primitive type underlying the domain, when it is unambiguous.
+    ///
+    /// A finite domain reports the type of its first element; an empty finite
+    /// domain defaults to [`AttrType::Text`].
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Domain::Unrestricted(t) => *t,
+            Domain::Finite(vs) => match vs.iter().next() {
+                Some(Value::Bool(_)) => AttrType::Boolean,
+                Some(Value::Int(_)) => AttrType::Integer,
+                _ => AttrType::Text,
+            },
+        }
+    }
+
+    /// Picks some value that belongs to the domain and differs from every
+    /// value in `avoid`, if one exists. Used by the chase-based consistency
+    /// algorithm to witness "a fresh constant exists".
+    pub fn fresh_value_avoiding(&self, avoid: &[Value]) -> Option<Value> {
+        match self {
+            Domain::Finite(vs) => vs.iter().find(|v| !avoid.contains(v)).cloned(),
+            Domain::Unrestricted(AttrType::Boolean) => {
+                [Value::Bool(false), Value::Bool(true)].into_iter().find(|v| !avoid.contains(v))
+            }
+            Domain::Unrestricted(AttrType::Integer) => {
+                // Infinite domain: one more than the max avoided integer is fresh.
+                let max = avoid.iter().filter_map(Value::as_int).max().unwrap_or(0);
+                Some(Value::Int(max.saturating_add(1)))
+            }
+            Domain::Unrestricted(AttrType::Text) => {
+                let mut candidate = String::from("#fresh");
+                while avoid.iter().any(|v| v.as_str() == Some(candidate.as_str())) {
+                    candidate.push('_');
+                }
+                Some(Value::Str(candidate))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Unrestricted(t) => write!(f, "{t}"),
+            Domain::Finite(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_domain_admits_strings_only() {
+        let d = Domain::text();
+        assert!(d.contains(&Value::from("NYC")));
+        assert!(!d.contains(&Value::Int(1)));
+        assert!(d.contains(&Value::Null));
+        assert!(!d.is_finite());
+        assert_eq!(d.cardinality(), None);
+    }
+
+    #[test]
+    fn boolean_domain_is_finite_of_two() {
+        let d = Domain::boolean();
+        assert!(d.is_finite());
+        assert_eq!(d.cardinality(), Some(2));
+        assert!(d.contains(&Value::Bool(true)));
+        assert!(!d.contains(&Value::Int(1)));
+        assert_eq!(d.attr_type(), AttrType::Boolean);
+    }
+
+    #[test]
+    fn finite_domain_membership_and_values() {
+        let d = Domain::finite(["single", "married"]);
+        assert!(d.contains(&Value::from("single")));
+        assert!(!d.contains(&Value::from("divorced")));
+        let vals: Vec<_> = d.values().cloned().collect();
+        assert_eq!(vals, vec![Value::from("married"), Value::from("single")]);
+    }
+
+    #[test]
+    fn finite_domain_collapses_duplicates() {
+        let d = Domain::finite(["a", "a", "b"]);
+        assert_eq!(d.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn fresh_value_in_finite_domain() {
+        let d = Domain::finite(["a", "b", "c"]);
+        let fresh = d.fresh_value_avoiding(&[Value::from("a"), Value::from("b")]).unwrap();
+        assert_eq!(fresh, Value::from("c"));
+        assert!(d
+            .fresh_value_avoiding(&[Value::from("a"), Value::from("b"), Value::from("c")])
+            .is_none());
+    }
+
+    #[test]
+    fn fresh_value_in_infinite_domains_always_exists() {
+        let ints = Domain::integer();
+        let avoid: Vec<Value> = (0..100).map(Value::Int).collect();
+        let fresh = ints.fresh_value_avoiding(&avoid).unwrap();
+        assert!(!avoid.contains(&fresh));
+
+        let text = Domain::text();
+        let avoid = vec![Value::from("#fresh"), Value::from("#fresh_")];
+        let fresh = text.fresh_value_avoiding(&avoid).unwrap();
+        assert!(!avoid.contains(&fresh));
+    }
+
+    #[test]
+    fn boolean_fresh_value_respects_avoid() {
+        let d = Domain::boolean();
+        assert_eq!(
+            d.fresh_value_avoiding(&[Value::Bool(false)]),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(d.fresh_value_avoiding(&[Value::Bool(false), Value::Bool(true)]), None);
+    }
+
+    #[test]
+    fn attr_type_of_finite_domains() {
+        assert_eq!(Domain::finite([1i64, 2]).attr_type(), AttrType::Integer);
+        assert_eq!(Domain::finite(["x"]).attr_type(), AttrType::Text);
+        assert_eq!(Domain::Finite(Default::default()).attr_type(), AttrType::Text);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Domain::text().to_string(), "TEXT");
+        assert_eq!(Domain::finite(["a", "b"]).to_string(), "{a, b}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// Relation name of the schema that was searched.
+        relation: String,
+        /// The attribute name that could not be resolved.
+        attribute: String,
+    },
+    /// An attribute index was out of bounds for a schema.
+    AttributeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes in the schema.
+        arity: usize,
+    },
+    /// A tuple's arity does not match the schema's arity.
+    ArityMismatch {
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity the tuple provided.
+        got: usize,
+    },
+    /// A value was outside the declared domain of its attribute.
+    DomainViolation {
+        /// The attribute whose domain was violated.
+        attribute: String,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// Two schemas that had to be identical were not.
+    SchemaMismatch {
+        /// First schema's relation name.
+        left: String,
+        /// Second schema's relation name.
+        right: String,
+    },
+    /// A duplicate attribute name was used while building a schema.
+    DuplicateAttribute(String),
+    /// CSV (or other textual) input could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            }
+            RelationError::AttributeOutOfRange { index, arity } => {
+                write!(f, "attribute index {index} out of range for arity {arity}")
+            }
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema expects {expected} values, got {got}")
+            }
+            RelationError::DomainViolation { attribute, value } => {
+                write!(f, "value `{value}` is outside the domain of attribute `{attribute}`")
+            }
+            RelationError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch between `{left}` and `{right}`")
+            }
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}`")
+            }
+            RelationError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = RelationError::UnknownAttribute {
+            relation: "cust".into(),
+            attribute: "ZIP".into(),
+        };
+        assert_eq!(e.to_string(), "unknown attribute `ZIP` in relation `cust`");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expects 3"));
+        assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn display_domain_violation() {
+        let e = RelationError::DomainViolation { attribute: "MR".into(), value: "maybe".into() };
+        assert!(e.to_string().contains("MR"));
+        assert!(e.to_string().contains("maybe"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<RelationError>();
+    }
+
+    #[test]
+    fn display_parse_and_duplicate() {
+        assert!(RelationError::Parse("bad line".into()).to_string().contains("bad line"));
+        assert!(RelationError::DuplicateAttribute("CC".into()).to_string().contains("CC"));
+    }
+}

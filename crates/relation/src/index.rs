@@ -1,0 +1,140 @@
+//! Hash indexes over relation instances.
+//!
+//! The paper observes (Section 5, "Scalability in NUMCONSTs") that pattern
+//! variables restrict index use while joining the relation with the tableau.
+//! Our SQL executor mirrors that behaviour: an [`Index`] maps the projection
+//! of a row onto a fixed attribute list to the list of row indices with that
+//! projection, and is only usable for equality predicates on *constants*.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index on a fixed list of attributes of one relation instance.
+#[derive(Debug, Clone)]
+pub struct Index {
+    attrs: Vec<AttrId>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl Index {
+    /// Builds the index by a single scan of `rel`.
+    pub fn build(rel: &Relation, attrs: &[AttrId]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in rel.iter() {
+            map.entry(t.project(attrs)).or_default().push(i);
+        }
+        Index { attrs: attrs.to_vec(), map }
+    }
+
+    /// The attributes this index covers, in key order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Row indices whose projection equals `key` (empty slice when absent).
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` iff this index can serve an equality probe on exactly
+    /// the given attributes (order-insensitive).
+    pub fn covers(&self, attrs: &[AttrId]) -> bool {
+        if attrs.len() != self.attrs.len() {
+            return false;
+        }
+        let mut a: Vec<AttrId> = attrs.to_vec();
+        let mut b: Vec<AttrId> = self.attrs.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Reorders `key_values` given in the order of `attrs` into this index's
+    /// key order, returning `None` if the attribute sets differ.
+    pub fn reorder_key(&self, attrs: &[AttrId], key_values: &[Value]) -> Option<Vec<Value>> {
+        if attrs.len() != self.attrs.len() || attrs.len() != key_values.len() {
+            return None;
+        }
+        let mut key = Vec::with_capacity(self.attrs.len());
+        for want in &self.attrs {
+            let pos = attrs.iter().position(|a| a == want)?;
+            key.push(key_values[pos].clone());
+        }
+        Some(key)
+    }
+
+    /// Iterates all `(key, row_indices)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<usize>)> + '_ {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+
+    fn rel() -> Relation {
+        let schema = Schema::builder("r").text("A").text("B").text("C").build();
+        let mut rel = Relation::new(schema);
+        for (a, b, c) in [("1", "x", "p"), ("1", "y", "q"), ("2", "x", "r")] {
+            rel.push(Tuple::new(vec![a.into(), b.into(), c.into()])).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn lookup_returns_matching_rows() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0)]);
+        assert_eq!(idx.lookup(&[Value::from("1")]), &[0, 1]);
+        assert_eq!(idx.lookup(&[Value::from("2")]), &[2]);
+        assert!(idx.lookup(&[Value::from("3")]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_key_lookup() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0), AttrId(1)]);
+        assert_eq!(idx.lookup(&[Value::from("1"), Value::from("y")]), &[1]);
+        assert!(idx.lookup(&[Value::from("2"), Value::from("y")]).is_empty());
+    }
+
+    #[test]
+    fn covers_is_order_insensitive() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0), AttrId(2)]);
+        assert!(idx.covers(&[AttrId(2), AttrId(0)]));
+        assert!(!idx.covers(&[AttrId(0)]));
+        assert!(!idx.covers(&[AttrId(0), AttrId(1)]));
+    }
+
+    #[test]
+    fn reorder_key_maps_probe_order_to_index_order() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0), AttrId(1)]);
+        let key = idx
+            .reorder_key(&[AttrId(1), AttrId(0)], &[Value::from("x"), Value::from("2")])
+            .unwrap();
+        assert_eq!(key, vec![Value::from("2"), Value::from("x")]);
+        assert_eq!(idx.lookup(&key), &[2]);
+        assert!(idx.reorder_key(&[AttrId(1)], &[Value::from("x")]).is_none());
+    }
+
+    #[test]
+    fn iter_visits_all_groups() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(1)]);
+        let total: usize = idx.iter().map(|(_, rows)| rows.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

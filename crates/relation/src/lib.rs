@@ -1,0 +1,45 @@
+//! Relational substrate for the CFD data-cleaning library.
+//!
+//! This crate provides the data model every other crate in the workspace builds
+//! on: [`Value`]s, attribute [`Domain`]s, relation [`Schema`]s, [`Tuple`]s,
+//! in-memory [`Relation`] instances and hash [`Index`]es over them.
+//!
+//! The paper ("Conditional Functional Dependencies for Data Cleaning",
+//! ICDE 2007) assumes a conventional relational store (DB2 in the original
+//! evaluation). Because this reproduction is self-contained, the store is an
+//! in-memory column-agnostic row store; the SQL layer that the paper's
+//! detection queries run on lives in the `cfd-sql` crate.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cfd_relation::{Schema, AttrType, Relation, Value};
+//!
+//! let schema = Schema::builder("cust")
+//!     .attr("CC", AttrType::Text)
+//!     .attr("AC", AttrType::Text)
+//!     .attr("CT", AttrType::Text)
+//!     .build();
+//! let mut rel = Relation::new(schema);
+//! rel.push_values(vec!["01".into(), "908".into(), Value::from("MH")]).unwrap();
+//! assert_eq!(rel.len(), 1);
+//! ```
+
+pub mod builder;
+pub mod csv;
+pub mod domain;
+pub mod error;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use builder::RelationBuilder;
+pub use domain::{AttrType, Domain};
+pub use error::{RelationError, Result};
+pub use index::Index;
+pub use relation::Relation;
+pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,277 @@
+//! In-memory relation instances.
+//!
+//! A [`Relation`] is a schema plus a vector of rows. It intentionally keeps
+//! a very small surface: insertion (with optional domain checking), iteration,
+//! projection and grouping. Query processing proper lives in `cfd-sql`.
+
+use crate::error::{RelationError, Result};
+use crate::index::Index;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An in-memory instance `I` of a relation schema `R`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty instance of `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Creates an empty instance with pre-allocated capacity.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        Relation { schema, rows: Vec::with_capacity(capacity) }
+    }
+
+    /// Creates an instance from existing rows, validating arity.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
+        for row in &rows {
+            if row.arity() != schema.arity() {
+                return Err(RelationError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.arity(),
+                });
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// The schema of the instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples (`SZ` in the paper's experiments).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows (used by the repair algorithm, which edits
+    /// attribute values in place).
+    pub fn rows_mut(&mut self) -> &mut [Tuple] {
+        &mut self.rows
+    }
+
+    /// The row at `idx`, if present.
+    pub fn row(&self, idx: usize) -> Option<&Tuple> {
+        self.rows.get(idx)
+    }
+
+    /// Appends a tuple after checking its arity.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a tuple built from raw values.
+    pub fn push_values(&mut self, values: Vec<Value>) -> Result<()> {
+        self.push(Tuple::new(values))
+    }
+
+    /// Appends a tuple after checking arity *and* every attribute domain.
+    pub fn push_checked(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        for id in self.schema.attr_ids() {
+            let attr = self.schema.attribute(id)?;
+            let v = &tuple[id];
+            if !attr.domain.contains(v) {
+                return Err(RelationError::DomainViolation {
+                    attribute: attr.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Iterates `(row_index, &Tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> + '_ {
+        self.rows.iter().enumerate()
+    }
+
+    /// Projects the whole instance onto `ids`, keeping duplicates.
+    pub fn project(&self, ids: &[AttrId]) -> Vec<Vec<Value>> {
+        self.rows.iter().map(|t| t.project(ids)).collect()
+    }
+
+    /// Groups row indices by their projection onto `ids`.
+    ///
+    /// This is the building block for the `QV` detection query's
+    /// `GROUP BY t[X]` and for the equivalence classes used by repair.
+    pub fn group_by(&self, ids: &[AttrId]) -> HashMap<Vec<Value>, Vec<usize>> {
+        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in self.rows.iter().enumerate() {
+            groups.entry(t.project(ids)).or_default().push(i);
+        }
+        groups
+    }
+
+    /// Builds a hash index on the given attributes.
+    pub fn build_index(&self, ids: &[AttrId]) -> Index {
+        Index::build(self, ids)
+    }
+
+    /// The set of distinct values of a single attribute (its *active domain*).
+    pub fn active_domain(&self, id: AttrId) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.rows.iter().map(|t| t[id].clone()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Retains only the rows whose indices are in `keep` (sorted or not).
+    /// Used by tests and by repair roll-backs.
+    pub fn retain_rows(&mut self, keep: &[usize]) {
+        let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
+        let mut idx = 0usize;
+        self.rows.retain(|_| {
+            let k = keep_set.contains(&idx);
+            idx += 1;
+            k
+        });
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    fn schema() -> Schema {
+        Schema::builder("r").text("A").text("B").build()
+    }
+
+    fn row(a: &str, b: &str) -> Tuple {
+        Tuple::new(vec![Value::from(a), Value::from(b)])
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut rel = Relation::new(schema());
+        assert!(rel.is_empty());
+        rel.push(row("1", "x")).unwrap();
+        rel.push(row("2", "y")).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1).unwrap()[AttrId(1)], Value::from("y"));
+        assert!(rel.row(5).is_none());
+    }
+
+    #[test]
+    fn push_wrong_arity_fails() {
+        let mut rel = Relation::new(schema());
+        let err = rel.push(Tuple::new(vec![Value::from("only-one")])).unwrap_err();
+        assert_eq!(err, RelationError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn push_checked_enforces_domains() {
+        let s = Schema::builder("r")
+            .text("A")
+            .attr_domain("MR", Domain::finite(["single", "married"]))
+            .build();
+        let mut rel = Relation::new(s);
+        rel.push_checked(Tuple::new(vec![Value::from("joe"), Value::from("single")])).unwrap();
+        let err = rel
+            .push_checked(Tuple::new(vec![Value::from("ann"), Value::from("divorced")]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DomainViolation { .. }));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn group_by_collects_indices() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("1", "x")).unwrap();
+        rel.push(row("1", "y")).unwrap();
+        rel.push(row("2", "z")).unwrap();
+        let groups = rel.group_by(&[AttrId(0)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&vec![Value::from("1")]], vec![0, 1]);
+        assert_eq!(groups[&vec![Value::from("2")]], vec![2]);
+    }
+
+    #[test]
+    fn active_domain_sorted_deduped() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("b", "1")).unwrap();
+        rel.push(row("a", "2")).unwrap();
+        rel.push(row("b", "3")).unwrap();
+        assert_eq!(rel.active_domain(AttrId(0)), vec![Value::from("a"), Value::from("b")]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let ok = Relation::from_rows(schema(), vec![row("1", "x")]);
+        assert!(ok.is_ok());
+        let bad = Relation::from_rows(schema(), vec![Tuple::nulls(3)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn retain_rows_keeps_selected() {
+        let mut rel = Relation::new(schema());
+        for i in 0..5 {
+            rel.push(row(&i.to_string(), "v")).unwrap();
+        }
+        rel.retain_rows(&[0, 2, 4]);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("2"));
+    }
+
+    #[test]
+    fn projection_of_relation() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("1", "x")).unwrap();
+        rel.push(row("2", "y")).unwrap();
+        let proj = rel.project(&[AttrId(1)]);
+        assert_eq!(proj, vec![vec![Value::from("x")], vec![Value::from("y")]]);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("1", "x")).unwrap();
+        let s = rel.to_string();
+        assert!(s.contains("r(A: TEXT, B: TEXT)"));
+        assert!(s.contains("(1, x)"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] fixes the relation name and an ordered list of attributes
+//! (`attr(R)` in the paper's notation), each with a [`Domain`]. Attribute
+//! positions are exposed as [`AttrId`]s — small integer newtypes that the rest
+//! of the workspace uses to refer to attributes without string lookups.
+
+use crate::domain::{AttrType, Domain};
+use crate::error::{RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The underlying position.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(i: usize) -> Self {
+        AttrId(i)
+    }
+}
+
+/// A single attribute: a name plus its domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"ZIP"`.
+    pub name: String,
+    /// Declared domain of the attribute.
+    pub domain: Domain,
+}
+
+/// An immutable relation schema shared by relations, tableaux and queries.
+///
+/// Schemas are cheap to clone: the attribute list is reference-counted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attributes: Arc<Vec<Attribute>>,
+    by_name: Arc<HashMap<String, AttrId>>,
+}
+
+impl Schema {
+    /// Starts building a schema for a relation called `name`.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder { name: name.into(), attributes: Vec::new() }
+    }
+
+    /// Builds a schema directly from `(name, domain)` pairs.
+    pub fn new<I, S>(name: impl Into<String>, attrs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (S, Domain)>,
+        S: Into<String>,
+    {
+        let mut b = Schema::builder(name);
+        for (n, d) in attrs {
+            b = b.attr_domain(n, d);
+        }
+        b.try_build()
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// All attribute ids in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.arity()).map(AttrId)
+    }
+
+    /// The attribute at `id`.
+    pub fn attribute(&self, id: AttrId) -> Result<&Attribute> {
+        self.attributes.get(id.0).ok_or(RelationError::AttributeOutOfRange {
+            index: id.0,
+            arity: self.arity(),
+        })
+    }
+
+    /// The name of the attribute at `id` (panics if out of range — use
+    /// [`Schema::attribute`] for the fallible form).
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attributes[id.0].name
+    }
+
+    /// The domain of the attribute at `id`.
+    pub fn domain(&self, id: AttrId) -> Result<&Domain> {
+        Ok(&self.attribute(id)?.domain)
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn resolve(&self, name: &str) -> Result<AttrId> {
+        self.by_name.get(name).copied().ok_or_else(|| RelationError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_owned(),
+        })
+    }
+
+    /// Resolves several attribute names at once, preserving order.
+    pub fn resolve_all<'a, I>(&self, names: I) -> Result<Vec<AttrId>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        names.into_iter().map(|n| self.resolve(n)).collect()
+    }
+
+    /// Returns `true` iff any attribute in `ids` has a finite domain.
+    /// This is the guard used by Theorems 3.2 and 3.5: the efficient
+    /// consistency/implication algorithms apply when no finite-domain
+    /// attribute occurs in the constraints (or the schema is fixed).
+    pub fn has_finite_domain_attr(&self, ids: &[AttrId]) -> bool {
+        ids.iter().any(|id| {
+            self.attributes.get(id.0).map(|a| a.domain.is_finite()).unwrap_or(false)
+        })
+    }
+
+    /// Creates a schema identical to this one but renamed.
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            attributes: Arc::clone(&self.attributes),
+            by_name: Arc::clone(&self.by_name),
+        }
+    }
+
+    /// Creates a schema projecting this one onto the given attributes,
+    /// keeping their order as supplied.
+    pub fn project(&self, ids: &[AttrId], name: impl Into<String>) -> Result<Self> {
+        let mut b = Schema::builder(name);
+        for id in ids {
+            let a = self.attribute(*id)?;
+            b = b.attr_domain(a.name.clone(), a.domain.clone());
+        }
+        b.try_build()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.domain)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental builder returned by [`Schema::builder`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Adds an attribute with an unrestricted domain of the given type.
+    pub fn attr(self, name: impl Into<String>, ty: AttrType) -> Self {
+        self.attr_domain(name, Domain::Unrestricted(ty))
+    }
+
+    /// Adds a text attribute (the common case in the paper's examples).
+    pub fn text(self, name: impl Into<String>) -> Self {
+        self.attr(name, AttrType::Text)
+    }
+
+    /// Adds an integer attribute.
+    pub fn integer(self, name: impl Into<String>) -> Self {
+        self.attr(name, AttrType::Integer)
+    }
+
+    /// Adds an attribute with an explicit domain.
+    pub fn attr_domain(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.attributes.push(Attribute { name: name.into(), domain });
+        self
+    }
+
+    /// Finishes the schema, panicking on duplicate attribute names.
+    /// Use [`SchemaBuilder::try_build`] for the fallible form.
+    pub fn build(self) -> Schema {
+        self.try_build().expect("invalid schema")
+    }
+
+    /// Finishes the schema, returning an error on duplicate attribute names.
+    pub fn try_build(self) -> Result<Schema> {
+        let mut by_name = HashMap::with_capacity(self.attributes.len());
+        for (i, a) in self.attributes.iter().enumerate() {
+            if by_name.insert(a.name.clone(), AttrId(i)).is_some() {
+                return Err(RelationError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema {
+            name: self.name,
+            attributes: Arc::new(self.attributes),
+            by_name: Arc::new(by_name),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cust_schema() -> Schema {
+        Schema::builder("cust")
+            .text("CC")
+            .text("AC")
+            .text("PN")
+            .text("NM")
+            .text("STR")
+            .text("CT")
+            .text("ZIP")
+            .build()
+    }
+
+    #[test]
+    fn resolve_and_names_round_trip() {
+        let s = cust_schema();
+        assert_eq!(s.arity(), 7);
+        let zip = s.resolve("ZIP").unwrap();
+        assert_eq!(s.attr_name(zip), "ZIP");
+        assert_eq!(zip, AttrId(6));
+    }
+
+    #[test]
+    fn resolve_unknown_attribute_errors() {
+        let s = cust_schema();
+        let err = s.resolve("SALARY").unwrap_err();
+        assert!(matches!(err, RelationError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::builder("r").text("A").text("A").try_build().unwrap_err();
+        assert_eq!(err, RelationError::DuplicateAttribute("A".into()));
+    }
+
+    #[test]
+    fn resolve_all_preserves_order() {
+        let s = cust_schema();
+        let ids = s.resolve_all(["CT", "CC"]).unwrap();
+        assert_eq!(ids, vec![AttrId(5), AttrId(0)]);
+    }
+
+    #[test]
+    fn finite_domain_detection() {
+        let s = Schema::builder("r")
+            .text("A")
+            .attr_domain("MR", Domain::finite(["single", "married"]))
+            .build();
+        let a = s.resolve("A").unwrap();
+        let mr = s.resolve("MR").unwrap();
+        assert!(!s.has_finite_domain_attr(&[a]));
+        assert!(s.has_finite_domain_attr(&[a, mr]));
+    }
+
+    #[test]
+    fn projection_keeps_requested_order() {
+        let s = cust_schema();
+        let ids = s.resolve_all(["ZIP", "CC"]).unwrap();
+        let p = s.project(&ids, "proj").unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.attr_name(AttrId(0)), "ZIP");
+        assert_eq!(p.attr_name(AttrId(1)), "CC");
+    }
+
+    #[test]
+    fn attribute_out_of_range() {
+        let s = cust_schema();
+        assert!(matches!(
+            s.attribute(AttrId(99)),
+            Err(RelationError::AttributeOutOfRange { index: 99, arity: 7 })
+        ));
+    }
+
+    #[test]
+    fn renamed_shares_attributes() {
+        let s = cust_schema();
+        let r = s.renamed("cust2");
+        assert_eq!(r.name(), "cust2");
+        assert_eq!(r.arity(), s.arity());
+        assert_eq!(r.resolve("ZIP").unwrap(), s.resolve("ZIP").unwrap());
+    }
+
+    #[test]
+    fn display_contains_name_and_attrs() {
+        let s = Schema::builder("r").text("A").integer("B").build();
+        let d = s.to_string();
+        assert!(d.starts_with("r("));
+        assert!(d.contains("A: TEXT"));
+        assert!(d.contains("B: INTEGER"));
+    }
+
+    #[test]
+    fn schema_new_from_pairs() {
+        let s = Schema::new("r", [("A", Domain::text()), ("B", Domain::boolean())]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert!(s.domain(AttrId(1)).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,183 @@
+//! Data tuples.
+//!
+//! A [`Tuple`] is a fixed-arity vector of [`Value`]s aligned with a
+//! [`Schema`](crate::Schema). Projection onto attribute lists (`t[X]` in the
+//! paper) is the operation used everywhere: CFD satisfaction, grouping,
+//! detection and repair.
+
+use crate::schema::AttrId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A row of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from the given values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple of `arity` NULLs.
+    pub fn nulls(arity: usize) -> Self {
+        Tuple { values: vec![Value::Null; arity] }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Immutable access to all values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// The value at attribute `id`, if in range.
+    pub fn get(&self, id: AttrId) -> Option<&Value> {
+        self.values.get(id.index())
+    }
+
+    /// Sets the value at attribute `id`. Returns `false` when out of range.
+    pub fn set(&mut self, id: AttrId, v: Value) -> bool {
+        match self.values.get_mut(id.index()) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Projects the tuple onto the given attributes (the paper's `t[X]`),
+    /// preserving the order of `ids`.
+    pub fn project(&self, ids: &[AttrId]) -> Vec<Value> {
+        ids.iter().map(|id| self.values[id.index()].clone()).collect()
+    }
+
+    /// Borrowing variant of [`Tuple::project`]: no cloning, returns references.
+    pub fn project_ref<'a>(&'a self, ids: &[AttrId]) -> Vec<&'a Value> {
+        ids.iter().map(|id| &self.values[id.index()]).collect()
+    }
+
+    /// Returns `true` iff the projections of `self` and `other` onto `ids`
+    /// are equal field-by-field (the paper's `t1[X] = t2[X]`).
+    pub fn agree_on(&self, other: &Tuple, ids: &[AttrId]) -> bool {
+        ids.iter().all(|id| self.values.get(id.index()) == other.values.get(id.index()))
+    }
+
+    /// Iterates over `(AttrId, &Value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> + '_ {
+        self.values.iter().enumerate().map(|(i, v)| (AttrId(i), v))
+    }
+}
+
+impl Index<AttrId> for Tuple {
+    type Output = Value;
+
+    fn index(&self, id: AttrId) -> &Value {
+        &self.values[id.index()]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[&str]) -> Tuple {
+        Tuple::new(vals.iter().map(|s| Value::from(*s)).collect())
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let tup = t(&["01", "908", "1111111"]);
+        let proj = tup.project(&[AttrId(2), AttrId(0)]);
+        assert_eq!(proj, vec![Value::from("1111111"), Value::from("01")]);
+    }
+
+    #[test]
+    fn agree_on_subset_of_attributes() {
+        let a = t(&["01", "908", "NYC"]);
+        let b = t(&["01", "908", "MH"]);
+        assert!(a.agree_on(&b, &[AttrId(0), AttrId(1)]));
+        assert!(!a.agree_on(&b, &[AttrId(0), AttrId(2)]));
+        assert!(a.agree_on(&b, &[]));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut tup = Tuple::nulls(3);
+        assert!(tup.set(AttrId(1), Value::from("x")));
+        assert_eq!(tup.get(AttrId(1)), Some(&Value::from("x")));
+        assert_eq!(tup.get(AttrId(0)), Some(&Value::Null));
+        assert!(!tup.set(AttrId(9), Value::from("y")));
+        assert!(tup.get(AttrId(9)).is_none());
+    }
+
+    #[test]
+    fn index_operator_and_display() {
+        let tup = t(&["a", "b"]);
+        assert_eq!(tup[AttrId(1)], Value::from("b"));
+        assert_eq!(tup.to_string(), "(a, b)");
+    }
+
+    #[test]
+    fn agree_on_out_of_range_is_false_unless_both_missing() {
+        let a = t(&["x"]);
+        let b = t(&["x"]);
+        // Both out of range -> both None -> equal; that's fine, callers never
+        // pass out-of-range ids for well-formed schemas.
+        assert!(a.agree_on(&b, &[AttrId(5)]));
+    }
+
+    #[test]
+    fn from_iterator_and_into_values() {
+        let tup: Tuple = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(tup.arity(), 2);
+        assert_eq!(tup.into_values(), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn project_ref_matches_project() {
+        let tup = t(&["p", "q", "r"]);
+        let ids = [AttrId(1), AttrId(2)];
+        let owned = tup.project(&ids);
+        let borrowed: Vec<Value> = tup.project_ref(&ids).into_iter().cloned().collect();
+        assert_eq!(owned, borrowed);
+    }
+}

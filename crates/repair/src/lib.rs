@@ -1,0 +1,28 @@
+//! # cfd-repair — heuristic repair of CFD violations (Section 6)
+//!
+//! The paper shows that finding a minimal repair w.r.t. a set of CFDs is
+//! NP-complete (Theorem 6.1) and observes that, unlike standard FDs, CFD
+//! violations cannot always be resolved by editing right-hand-side attributes
+//! only: sometimes an attribute on the *left-hand side* of an embedded FD
+//! must change. The repair algorithm itself is deferred in the paper ("we
+//! defer report on the heuristic"); this crate implements the approach the
+//! paper sketches — cost-based attribute-value modification in the style of
+//! Bohannon et al. (SIGMOD 2005) extended to pattern tableaux:
+//!
+//! 1. single-tuple violations are resolved by overwriting the offending RHS
+//!    attribute with the pattern constant;
+//! 2. multi-tuple violations are resolved per equivalence class (tuples that
+//!    agree and match a pattern on `X`) by moving the minority to the
+//!    plurality `Y` value;
+//! 3. when neither step makes progress (the cross-CFD interaction the paper
+//!    uses to motivate LHS edits), one LHS attribute of a violating tuple is
+//!    set to a fresh value, which removes it from the pattern's scope.
+//!
+//! The result carries the full modification list and its cost under a
+//! configurable [`CostModel`], and is re-verified against the input CFDs.
+
+pub mod cost;
+pub mod repair;
+
+pub use cost::CostModel;
+pub use repair::{Modification, RepairConfig, RepairResult, Repairer};

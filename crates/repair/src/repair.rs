@@ -1,0 +1,371 @@
+//! The heuristic repair algorithm.
+
+use crate::cost::{placeholder, CostModel};
+use cfd_core::{Cfd, ViolationKind};
+use cfd_relation::{AttrId, Relation, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One cell modification performed by the repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modification {
+    /// Index of the modified row.
+    pub row: usize,
+    /// Modified attribute.
+    pub attr: AttrId,
+    /// Value before the modification.
+    pub old: Value,
+    /// Value after the modification.
+    pub new: Value,
+}
+
+impl fmt::Display for Modification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row {} attr {}: {} -> {}", self.row, self.attr, self.old, self.new)
+    }
+}
+
+/// Configuration of the repair heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// Maximum number of full passes over the CFD set before giving up.
+    pub max_passes: usize,
+    /// Cost model used to price modifications.
+    pub cost_model: CostModel,
+    /// Whether LHS placeholder edits are allowed as a last resort.
+    pub allow_lhs_edits: bool,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { max_passes: 16, cost_model: CostModel::default(), allow_lhs_edits: true }
+    }
+}
+
+/// The outcome of a repair run.
+#[derive(Debug, Clone)]
+pub struct RepairResult {
+    /// The repaired instance.
+    pub repaired: Relation,
+    /// Every modification applied, in application order.
+    pub modifications: Vec<Modification>,
+    /// Total cost of the modifications under the configured cost model.
+    pub cost: f64,
+    /// Whether the repaired instance satisfies every input CFD.
+    pub satisfied: bool,
+    /// Number of passes the heuristic used.
+    pub passes: usize,
+}
+
+impl RepairResult {
+    /// Number of modified cells.
+    pub fn changes(&self) -> usize {
+        self.modifications.len()
+    }
+}
+
+/// The heuristic repairer.
+#[derive(Debug, Clone, Default)]
+pub struct Repairer {
+    config: RepairConfig,
+}
+
+impl Repairer {
+    /// A repairer with the default configuration.
+    pub fn new() -> Self {
+        Repairer::default()
+    }
+
+    /// A repairer with an explicit configuration.
+    pub fn with_config(config: RepairConfig) -> Self {
+        Repairer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RepairConfig {
+        &self.config
+    }
+
+    /// Repairs `rel` with respect to `cfds` by attribute-value modification.
+    ///
+    /// The input CFD set should be consistent (an inconsistent set admits no
+    /// repair; the result will report `satisfied == false`).
+    pub fn repair(&self, cfds: &[Cfd], rel: &Relation) -> RepairResult {
+        let mut repaired = rel.clone();
+        let mut modifications: Vec<Modification> = Vec::new();
+        let mut placeholder_counter = 0usize;
+        let mut passes = 0usize;
+
+        let violation_count =
+            |rel: &Relation| cfds.iter().map(|c| c.violations(rel).len()).sum::<usize>();
+
+        for _ in 0..self.config.max_passes {
+            passes += 1;
+            let before = violation_count(&repaired);
+
+            for cfd in cfds {
+                self.resolve_constant_violations(cfd, &mut repaired, &mut modifications);
+                self.resolve_group_violations(cfd, &mut repaired, &mut modifications);
+            }
+
+            let after = violation_count(&repaired);
+            if after == 0 {
+                break;
+            }
+            if after >= before {
+                // RHS edits are oscillating or stuck (the cross-CFD interaction
+                // of Section 6): fall back to an LHS edit, which removes one
+                // violating tuple from the pattern's scope.
+                if !self.config.allow_lhs_edits
+                    || !self.apply_lhs_edit(
+                        cfds,
+                        &mut repaired,
+                        &mut modifications,
+                        &mut placeholder_counter,
+                    )
+                {
+                    break;
+                }
+            }
+        }
+
+        let satisfied = cfds.iter().all(|c| c.satisfied_by(&repaired));
+        let cost = modifications
+            .iter()
+            .map(|m| self.config.cost_model.change_cost(&m.old, &m.new))
+            .sum();
+        RepairResult { repaired, modifications, cost, satisfied, passes }
+    }
+
+    /// Overwrites RHS attributes that contradict a pattern constant.
+    fn resolve_constant_violations(
+        &self,
+        cfd: &Cfd,
+        rel: &mut Relation,
+        modifications: &mut Vec<Modification>,
+    ) {
+        let witnesses: Vec<_> = cfd
+            .violations(rel)
+            .into_iter()
+            .filter(|w| w.kind == ViolationKind::SingleTuple)
+            .collect();
+        for w in witnesses {
+            let pattern = &cfd.tableau().rows()[w.pattern_index];
+            for &row_idx in &w.rows {
+                for (attr, cell) in cfd.rhs().iter().zip(pattern.rhs()) {
+                    if let Some(target) = cell.as_const() {
+                        let current = rel.rows()[row_idx][*attr].clone();
+                        if &current != target {
+                            rel.rows_mut()[row_idx].set(*attr, target.clone());
+                            modifications.push(Modification {
+                                row: row_idx,
+                                attr: *attr,
+                                old: current,
+                                new: target.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves multi-tuple violations per equivalence class by moving the
+    /// minority to the plurality `Y` projection.
+    fn resolve_group_violations(
+        &self,
+        cfd: &Cfd,
+        rel: &mut Relation,
+        modifications: &mut Vec<Modification>,
+    ) {
+        let witnesses: Vec<_> = cfd
+            .violations(rel)
+            .into_iter()
+            .filter(|w| w.kind == ViolationKind::MultiTuple)
+            .collect();
+        for w in witnesses {
+            // Count the Y projections in this class and pick the plurality.
+            let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+            for &row_idx in &w.rows {
+                *counts.entry(rel.rows()[row_idx].project(cfd.rhs())).or_insert(0) += 1;
+            }
+            let Some((target, _)) = counts.into_iter().max_by_key(|(_, c)| *c) else { continue };
+            for &row_idx in &w.rows {
+                for (pos, attr) in cfd.rhs().iter().enumerate() {
+                    let current = rel.rows()[row_idx][*attr].clone();
+                    if current != target[pos] {
+                        rel.rows_mut()[row_idx].set(*attr, target[pos].clone());
+                        modifications.push(Modification {
+                            row: row_idx,
+                            attr: *attr,
+                            old: current,
+                            new: target[pos].clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Breaks one remaining violation by overwriting an LHS attribute of one
+    /// violating tuple with a fresh placeholder, taking it out of the
+    /// pattern's scope. Returns whether an edit was applied.
+    fn apply_lhs_edit(
+        &self,
+        cfds: &[Cfd],
+        rel: &mut Relation,
+        modifications: &mut Vec<Modification>,
+        placeholder_counter: &mut usize,
+    ) -> bool {
+        for cfd in cfds {
+            let Some(witness) = cfd.first_violation(rel) else { continue };
+            let Some(&row_idx) = witness.rows.first() else { continue };
+            // Prefer an LHS attribute whose pattern cell is a constant (so the
+            // placeholder breaks the match); otherwise take the first LHS attr.
+            let pattern = &cfd.tableau().rows()[witness.pattern_index];
+            let attr = cfd
+                .lhs()
+                .iter()
+                .zip(pattern.lhs())
+                .find(|(_, cell)| cell.is_const())
+                .map(|(a, _)| *a)
+                .or_else(|| cfd.lhs().first().copied());
+            let Some(attr) = attr else { continue };
+            let old = rel.rows()[row_idx][attr].clone();
+            let new = placeholder(*placeholder_counter);
+            *placeholder_counter += 1;
+            rel.rows_mut()[row_idx].set(attr, new.clone());
+            modifications.push(Modification { row: row_idx, attr, old, new });
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_core::CfdSet;
+    use cfd_datagen::cust::{cust_instance, cust_schema, fig2_cfd_set, phi2};
+    use cfd_datagen::records::{TaxConfig, TaxGenerator};
+    use cfd_datagen::{CfdWorkload, EmbeddedFd};
+    use cfd_relation::Schema;
+
+    #[test]
+    fn repairs_the_running_example() {
+        // Fig. 1 violates ϕ2 (area code 908 should imply city MH).
+        let rel = cust_instance();
+        let cfds: Vec<Cfd> = fig2_cfd_set().into_iter().collect();
+        let result = Repairer::new().repair(&cfds, &rel);
+        assert!(result.satisfied, "repair must satisfy the CFDs");
+        assert!(result.changes() >= 2, "both t1 and t2 need their city fixed");
+        let ct = cust_schema().resolve("CT").unwrap();
+        assert_eq!(result.repaired.rows()[0][ct], Value::from("MH"));
+        assert_eq!(result.repaired.rows()[1][ct], Value::from("MH"));
+        assert!(result.cost >= 2.0);
+        // Untouched rows stay untouched.
+        assert_eq!(result.repaired.rows()[4], rel.rows()[4]);
+    }
+
+    #[test]
+    fn clean_data_is_left_unchanged() {
+        let rel = cust_instance();
+        let result = Repairer::new().repair(&[cfd_datagen::cust::phi1()], &rel);
+        assert!(result.satisfied);
+        assert_eq!(result.changes(), 0);
+        assert_eq!(result.cost, 0.0);
+        assert_eq!(result.repaired, rel);
+    }
+
+    #[test]
+    fn multi_tuple_violations_move_minority_to_plurality() {
+        // Three tuples agree on the LHS; two say "PHI", one says "NYC".
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let mut rel = Relation::new(schema.clone());
+        for b in ["PHI", "PHI", "NYC"] {
+            rel.push_values(vec![Value::from("x"), Value::from(b)]).unwrap();
+        }
+        let fd = Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap();
+        let result = Repairer::new().repair(&[fd], &rel);
+        assert!(result.satisfied);
+        assert_eq!(result.changes(), 1);
+        let b = schema.resolve("B").unwrap();
+        assert!(result.repaired.rows().iter().all(|t| t[b] == Value::from("PHI")));
+    }
+
+    #[test]
+    fn lhs_edit_needed_for_the_paper_example() {
+        // Section 6's example: attr(R) = (A, B, C), I = {(a1,b1,c1), (a1,b2,c2)},
+        // Σ = { (A -> B, (_ ‖ _)), (C -> B, {(c1, b1), (c2, b2)}) }.
+        // Any repair must touch an LHS attribute of one of the embedded FDs.
+        let schema = Schema::builder("R").text("A").text("B").text("C").build();
+        let mut rel = Relation::new(schema.clone());
+        rel.push_values(vec!["a1".into(), "b1".into(), "c1".into()]).unwrap();
+        rel.push_values(vec!["a1".into(), "b2".into(), "c2".into()]).unwrap();
+        let fd_ab = Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap();
+        let cfd_cb = Cfd::builder(schema.clone(), ["C"], ["B"])
+            .pattern(["c1"], ["b1"])
+            .pattern(["c2"], ["b2"])
+            .build()
+            .unwrap();
+        let sigma = vec![fd_ab, cfd_cb];
+        assert!(CfdSet::from_cfds(sigma.clone()).unwrap().is_consistent().unwrap());
+
+        let result = Repairer::new().repair(&sigma, &rel);
+        assert!(result.satisfied, "the heuristic must find a repair");
+        // At least one modification touches A or C (an LHS attribute).
+        let a = schema.resolve("A").unwrap();
+        let c = schema.resolve("C").unwrap();
+        assert!(
+            result.modifications.iter().any(|m| m.attr == a || m.attr == c),
+            "this instance cannot be repaired by RHS edits alone: {:?}",
+            result.modifications
+        );
+
+        // With LHS edits disabled the heuristic cannot fully repair it.
+        let stuck = Repairer::with_config(RepairConfig {
+            allow_lhs_edits: false,
+            ..RepairConfig::default()
+        })
+        .repair(&sigma, &rel);
+        assert!(!stuck.satisfied);
+    }
+
+    #[test]
+    fn repairs_noisy_tax_records() {
+        let noisy = TaxGenerator::new(TaxConfig { size: 400, noise_percent: 10.0, seed: 77 })
+            .generate();
+        let workload = CfdWorkload::new(3);
+        let cfds = vec![
+            workload.zip_state_full(),
+            workload.single(EmbeddedFd::AreaToCity, 400, 100.0),
+        ];
+        assert!(cfds.iter().any(|c| !c.satisfied_by(&noisy.relation)));
+        let result = Repairer::new().repair(&cfds, &noisy.relation);
+        assert!(result.satisfied, "tax workload must be repairable");
+        assert!(result.changes() > 0);
+        assert!(
+            result.changes() <= noisy.dirty_rows.len() * 3,
+            "repair should not rewrite much more than the injected noise"
+        );
+    }
+
+    #[test]
+    fn repair_of_phi2_only_touches_rhs_attributes() {
+        let rel = cust_instance();
+        let result = Repairer::new().repair(&[phi2()], &rel);
+        assert!(result.satisfied);
+        let rhs: Vec<AttrId> = phi2().rhs().to_vec();
+        assert!(result.modifications.iter().all(|m| rhs.contains(&m.attr)));
+    }
+
+    #[test]
+    fn result_reports_passes_and_display() {
+        let rel = cust_instance();
+        let result = Repairer::new().repair(&[phi2()], &rel);
+        assert!(result.passes >= 1);
+        let m = &result.modifications[0];
+        let shown = m.to_string();
+        assert!(shown.contains("->"));
+    }
+}

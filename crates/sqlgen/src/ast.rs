@@ -1,0 +1,553 @@
+//! Abstract syntax for the SQL fragment needed by CFD detection.
+//!
+//! The fragment is exactly what Section 4 of the paper generates:
+//!
+//! ```sql
+//! SELECT [DISTINCT] <items>
+//! FROM   R t, T_p tp [, T_y tpy]
+//! WHERE  <boolean combination of equality comparisons, possibly with CASE>
+//! [GROUP BY <exprs> HAVING COUNT(DISTINCT <exprs>) > k]
+//! ```
+//!
+//! Queries are plain data: they can be rendered to SQL text (for inspection,
+//! documentation, or feeding an external engine) via [`std::fmt::Display`],
+//! and executed in-process by [`crate::exec::Executor`].
+
+use cfd_relation::Value;
+use std::fmt;
+
+/// A reference to a base relation in the FROM clause, with an alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Name of the relation in the catalog.
+    pub name: String,
+    /// Alias used to qualify column references (`t`, `tp`, …).
+    pub alias: String,
+}
+
+impl TableRef {
+    /// A table whose alias equals its name.
+    pub fn named(name: impl Into<String>) -> Self {
+        let name = name.into();
+        TableRef { alias: name.clone(), name }
+    }
+
+    /// A table with an explicit alias.
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef { name: name.into(), alias: alias.into() }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name == self.alias {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{} {}", self.name, self.alias)
+        }
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A column reference `alias.column`.
+    Column {
+        /// Table alias.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// Equality comparison.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality comparison.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Conjunction of one or more operands.
+    And(Vec<Expr>),
+    /// Disjunction of one or more operands.
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Simple `CASE <operand> WHEN <match> THEN <result> … ELSE <else> END`.
+    ///
+    /// The merged detection queries of Section 4.2.2 use this to mask data
+    /// values with the don't-care symbol `@`:
+    /// `CASE tp.Xi WHEN '@' THEN '@' ELSE t.Xi END`.
+    Case {
+        /// The expression compared against each WHEN arm.
+        operand: Box<Expr>,
+        /// `(match, result)` arms, evaluated in order.
+        arms: Vec<(Expr, Expr)>,
+        /// Result when no arm matches.
+        otherwise: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Column reference `table.column`.
+    pub fn col(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Expr::Column { table: table.into(), column: column.into() }
+    }
+
+    /// Literal value.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Expr::Literal(v.into())
+    }
+
+    /// String literal (common case).
+    pub fn str(s: impl Into<String>) -> Self {
+        Expr::Literal(Value::Str(s.into()))
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Self {
+        Expr::Eq(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <> rhs`.
+    pub fn ne(self, rhs: Expr) -> Self {
+        Expr::Ne(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction that flattens nested ANDs and drops duplicates of `TRUE`.
+    pub fn and(operands: Vec<Expr>) -> Self {
+        let mut flat = Vec::with_capacity(operands.len());
+        for op in operands {
+            match op {
+                Expr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// Disjunction that flattens nested ORs.
+    pub fn or(operands: Vec<Expr>) -> Self {
+        let mut flat = Vec::with_capacity(operands.len());
+        for op in operands {
+            match op {
+                Expr::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Simple CASE expression.
+    pub fn case(operand: Expr, arms: Vec<(Expr, Expr)>, otherwise: Expr) -> Self {
+        Expr::Case { operand: Box::new(operand), arms, otherwise: Box::new(otherwise) }
+    }
+
+    /// Returns `true` iff the expression contains no column of the given
+    /// table alias, i.e. it can be evaluated without binding that table.
+    pub fn is_independent_of(&self, alias: &str) -> bool {
+        match self {
+            Expr::Column { table, .. } => table != alias,
+            Expr::Literal(_) => true,
+            Expr::Eq(a, b) | Expr::Ne(a, b) => {
+                a.is_independent_of(alias) && b.is_independent_of(alias)
+            }
+            Expr::And(ops) | Expr::Or(ops) => ops.iter().all(|e| e.is_independent_of(alias)),
+            Expr::Not(e) => e.is_independent_of(alias),
+            Expr::Case { operand, arms, otherwise } => {
+                operand.is_independent_of(alias)
+                    && otherwise.is_independent_of(alias)
+                    && arms
+                        .iter()
+                        .all(|(m, r)| m.is_independent_of(alias) && r.is_independent_of(alias))
+            }
+        }
+    }
+
+    /// Collects every `(table, column)` pair referenced by the expression.
+    pub fn referenced_columns(&self, out: &mut Vec<(String, String)>) {
+        match self {
+            Expr::Column { table, column } => out.push((table.clone(), column.clone())),
+            Expr::Literal(_) => {}
+            Expr::Eq(a, b) | Expr::Ne(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::And(ops) | Expr::Or(ops) => {
+                for e in ops {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Not(e) => e.referenced_columns(out),
+            Expr::Case { operand, arms, otherwise } => {
+                operand.referenced_columns(out);
+                for (m, r) in arms {
+                    m.referenced_columns(out);
+                    r.referenced_columns(out);
+                }
+                otherwise.referenced_columns(out);
+            }
+        }
+    }
+
+    /// Number of atomic (non-AND/OR/NOT) nodes; used to report query sizes in
+    /// the ablation benchmarks and to assert the "bounded by the embedded FD"
+    /// property of the generated detection queries.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Expr::And(ops) | Expr::Or(ops) => ops.iter().map(Expr::atom_count).sum(),
+            Expr::Not(e) => e.atom_count(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table, column } => write!(f, "{table}.{column}"),
+            Expr::Literal(v) => write!(f, "{}", v.render_sql()),
+            Expr::Eq(a, b) => write!(f, "{a} = {b}"),
+            Expr::Ne(a, b) => write!(f, "{a} <> {b}"),
+            Expr::And(ops) => {
+                if ops.is_empty() {
+                    return write!(f, "TRUE");
+                }
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    if matches!(op, Expr::Or(_)) {
+                        write!(f, "({op})")?;
+                    } else {
+                        write!(f, "{op}")?;
+                    }
+                }
+                Ok(())
+            }
+            Expr::Or(ops) => {
+                if ops.is_empty() {
+                    return write!(f, "FALSE");
+                }
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    if matches!(op, Expr::And(_)) {
+                        write!(f, "({op})")?;
+                    } else {
+                        write!(f, "{op}")?;
+                    }
+                }
+                Ok(())
+            }
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Case { operand, arms, otherwise } => {
+                write!(f, "CASE {operand}")?;
+                for (m, r) in arms {
+                    write!(f, " WHEN {m} THEN {r}")?;
+                }
+                write!(f, " ELSE {otherwise} END")
+            }
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `alias.*` — all columns of one FROM-clause table.
+    Wildcard {
+        /// The table alias whose columns are selected.
+        table: String,
+    },
+    /// A scalar expression with an optional output name.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name (`AS alias`).
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// `alias.*`.
+    pub fn wildcard(table: impl Into<String>) -> Self {
+        SelectItem::Wildcard { table: table.into() }
+    }
+
+    /// A bare expression item.
+    pub fn expr(expr: Expr) -> Self {
+        SelectItem::Expr { expr, alias: None }
+    }
+
+    /// An expression item with an output alias.
+    pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
+        SelectItem::Expr { expr, alias: Some(alias.into()) }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard { table } => write!(f, "{table}.*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+/// The HAVING clause supported by the executor:
+/// `COUNT(DISTINCT e1, …, ek) > threshold`, exactly the shape used by the
+/// multi-tuple violation query `QV`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Having {
+    /// Expressions whose distinct combined value is counted per group.
+    pub count_distinct: Vec<Expr>,
+    /// Groups pass iff the distinct count strictly exceeds this threshold.
+    pub greater_than: u64,
+}
+
+impl fmt::Display for Having {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "count(distinct ")?;
+        for (i, e) in self.count_distinct.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ") > {}", self.greater_than)
+    }
+}
+
+/// A SELECT query over the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectQuery {
+    /// Whether duplicate output rows are removed.
+    pub distinct: bool,
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM-clause tables; the executor computes their join filtered by
+    /// [`SelectQuery::where_clause`].
+    pub from: Vec<TableRef>,
+    /// Optional WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// Optional GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// Optional HAVING clause (requires a non-empty GROUP BY).
+    pub having: Option<Having>,
+}
+
+impl SelectQuery {
+    /// An empty query to be filled in with the builder-style methods.
+    pub fn new() -> Self {
+        SelectQuery {
+            distinct: false,
+            items: Vec::new(),
+            from: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+
+    /// Marks the query `SELECT DISTINCT`.
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Adds a SELECT item.
+    pub fn item(mut self, item: SelectItem) -> Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Adds a FROM table.
+    pub fn from(mut self, table: TableRef) -> Self {
+        self.from.push(table);
+        self
+    }
+
+    /// Sets the WHERE clause (replacing any previous one).
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.where_clause = Some(predicate);
+        self
+    }
+
+    /// Adds a GROUP BY expression.
+    pub fn group(mut self, expr: Expr) -> Self {
+        self.group_by.push(expr);
+        self
+    }
+
+    /// Sets the HAVING clause.
+    pub fn having_count_distinct_gt(mut self, exprs: Vec<Expr>, threshold: u64) -> Self {
+        self.having = Some(Having { count_distinct: exprs, greater_than: threshold });
+        self
+    }
+}
+
+impl Default for SelectQuery {
+    fn default() -> Self {
+        SelectQuery::new()
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_and_display() {
+        let e = Expr::col("t", "CC").eq(Expr::str("01"));
+        assert_eq!(e.to_string(), "t.CC = '01'");
+        let e = Expr::or(vec![
+            Expr::col("t", "CT").ne(Expr::col("tp", "CT")),
+            Expr::col("tp", "CT").eq(Expr::str("_")),
+        ]);
+        assert_eq!(e.to_string(), "t.CT <> tp.CT OR tp.CT = '_'");
+    }
+
+    #[test]
+    fn and_or_flatten_nested_operands() {
+        let e = Expr::and(vec![
+            Expr::and(vec![Expr::lit(1), Expr::lit(2)]),
+            Expr::lit(3),
+        ]);
+        match e {
+            Expr::And(ops) => assert_eq!(ops.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        let single = Expr::or(vec![Expr::lit(1)]);
+        assert_eq!(single, Expr::lit(1));
+    }
+
+    #[test]
+    fn parenthesization_of_mixed_and_or() {
+        let e = Expr::and(vec![
+            Expr::col("t", "A").eq(Expr::str("a")),
+            Expr::or(vec![
+                Expr::col("t", "B").eq(Expr::str("b")),
+                Expr::col("t", "C").eq(Expr::str("c")),
+            ]),
+        ]);
+        assert_eq!(e.to_string(), "t.A = 'a' AND (t.B = 'b' OR t.C = 'c')");
+    }
+
+    #[test]
+    fn case_display_matches_sql() {
+        let e = Expr::case(
+            Expr::col("tp", "CC"),
+            vec![(Expr::str("@"), Expr::str("@"))],
+            Expr::col("t", "CC"),
+        );
+        assert_eq!(e.to_string(), "CASE tp.CC WHEN '@' THEN '@' ELSE t.CC END");
+    }
+
+    #[test]
+    fn independence_and_column_collection() {
+        let e = Expr::col("t", "A").eq(Expr::col("tp", "A"));
+        assert!(!e.is_independent_of("t"));
+        assert!(!e.is_independent_of("tp"));
+        assert!(e.is_independent_of("other"));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![("t".into(), "A".into()), ("tp".into(), "A".into())]);
+    }
+
+    #[test]
+    fn atom_count_ignores_connectives() {
+        let e = Expr::and(vec![
+            Expr::col("t", "A").eq(Expr::str("a")),
+            Expr::or(vec![
+                Expr::col("t", "B").eq(Expr::str("b")),
+                Expr::col("t", "C").eq(Expr::str("c")),
+            ]),
+        ]);
+        assert_eq!(e.atom_count(), 3);
+    }
+
+    #[test]
+    fn query_display_full_shape() {
+        let q = SelectQuery::new()
+            .distinct()
+            .item(SelectItem::expr(Expr::col("t", "CC")))
+            .item(SelectItem::aliased(Expr::col("t", "AC"), "AC"))
+            .from(TableRef::aliased("cust", "t"))
+            .from(TableRef::aliased("T2", "tp"))
+            .filter(Expr::col("t", "CC").eq(Expr::col("tp", "CC")))
+            .group(Expr::col("t", "CC"))
+            .having_count_distinct_gt(vec![Expr::col("t", "CT")], 1);
+        let sql = q.to_string();
+        assert!(sql.starts_with("SELECT DISTINCT t.CC, t.AC AS AC FROM cust t, T2 tp"));
+        assert!(sql.contains("WHERE t.CC = tp.CC"));
+        assert!(sql.contains("GROUP BY t.CC"));
+        assert!(sql.contains("HAVING count(distinct t.CT) > 1"));
+    }
+
+    #[test]
+    fn wildcard_item_display() {
+        assert_eq!(SelectItem::wildcard("t").to_string(), "t.*");
+    }
+
+    #[test]
+    fn empty_connectives_render_as_constants() {
+        assert_eq!(Expr::And(vec![]).to_string(), "TRUE");
+        assert_eq!(Expr::Or(vec![]).to_string(), "FALSE");
+    }
+
+    #[test]
+    fn table_ref_display() {
+        assert_eq!(TableRef::named("cust").to_string(), "cust");
+        assert_eq!(TableRef::aliased("cust", "t").to_string(), "cust t");
+    }
+}

@@ -1,0 +1,130 @@
+//! The catalog: a set of named relation instances visible to queries.
+
+use crate::error::{Result, SqlError};
+use cfd_relation::Relation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A collection of named relations. Relations are stored behind [`Arc`] so
+/// catalogs are cheap to clone and can be shared with worker threads by the
+/// parallel detector.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Arc<Relation>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation under its schema name, replacing any previous
+    /// relation with that name. Returns the name used.
+    pub fn register(&mut self, relation: Relation) -> String {
+        let name = relation.schema().name().to_owned();
+        self.relations.insert(name.clone(), Arc::new(relation));
+        name
+    }
+
+    /// Registers a relation under an explicit name.
+    pub fn register_as(&mut self, name: impl Into<String>, relation: Relation) -> String {
+        let name = name.into();
+        self.relations.insert(name.clone(), Arc::new(relation));
+        name
+    }
+
+    /// Registers an already-shared relation under an explicit name.
+    pub fn register_arc(&mut self, name: impl Into<String>, relation: Arc<Relation>) -> String {
+        let name = name.into();
+        self.relations.insert(name.clone(), relation);
+        name
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Arc<Relation>> {
+        self.relations.get(name).ok_or_else(|| SqlError::UnknownTable(name.to_owned()))
+    }
+
+    /// Removes a relation by name, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.remove(name)
+    }
+
+    /// Names of all registered relations (unsorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Schema;
+
+    fn rel(name: &str) -> Relation {
+        Relation::new(Schema::builder(name).text("A").build())
+    }
+
+    #[test]
+    fn register_and_lookup_by_schema_name() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let name = c.register(rel("cust"));
+        assert_eq!(name, "cust");
+        assert_eq!(c.get("cust").unwrap().schema().name(), "cust");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn register_as_overrides_name() {
+        let mut c = Catalog::new();
+        c.register_as("T2", rel("tableau"));
+        assert!(c.get("T2").is_ok());
+        assert!(c.get("tableau").is_err());
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let c = Catalog::new();
+        assert_eq!(c.get("nope").unwrap_err(), SqlError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn re_registering_replaces() {
+        let mut c = Catalog::new();
+        c.register_as("r", rel("first"));
+        c.register_as("r", rel("second"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("r").unwrap().schema().name(), "second");
+    }
+
+    #[test]
+    fn remove_returns_relation() {
+        let mut c = Catalog::new();
+        c.register(rel("r"));
+        assert!(c.remove("r").is_some());
+        assert!(c.remove("r").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn names_lists_registered() {
+        let mut c = Catalog::new();
+        c.register(rel("a"));
+        c.register(rel("b"));
+        let mut names: Vec<&str> = c.names().collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

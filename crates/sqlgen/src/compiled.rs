@@ -1,0 +1,273 @@
+//! Compiled expressions: column references resolved to `(table slot, AttrId)`.
+//!
+//! The symbolic [`Expr`](crate::ast::Expr) AST is convenient to build and
+//! render, but evaluating it per joined row resolves attribute names through
+//! hash maps and clones cell values. The detection workloads evaluate the
+//! WHERE clause for up to `SZ × TABSZ` row pairs (hundreds of millions for
+//! the CNF strategy of Fig. 9), so the executor first *compiles* expressions
+//! into this resolved form and evaluates them against a slot-indexed array of
+//! tuples with borrow-based comparisons.
+
+use crate::ast::Expr;
+use crate::error::{Result, SqlError};
+use cfd_relation::{AttrId, Relation, Tuple, Value};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// An expression with all column references resolved to table slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledExpr {
+    /// Column of the tuple bound at `table` slot.
+    Col {
+        /// Index into the row-slot array.
+        table: usize,
+        /// Attribute within that table's schema.
+        attr: AttrId,
+    },
+    /// A literal value.
+    Lit(Value),
+    /// Equality.
+    Eq(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Inequality.
+    Ne(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Conjunction.
+    And(Vec<CompiledExpr>),
+    /// Disjunction.
+    Or(Vec<CompiledExpr>),
+    /// Negation.
+    Not(Box<CompiledExpr>),
+    /// Simple CASE.
+    Case {
+        /// Compared operand.
+        operand: Box<CompiledExpr>,
+        /// `(match, result)` arms.
+        arms: Vec<(CompiledExpr, CompiledExpr)>,
+        /// Fallback result.
+        otherwise: Box<CompiledExpr>,
+    },
+}
+
+impl CompiledExpr {
+    /// Resolves `expr` against the FROM-clause tables (`(alias, relation)`
+    /// pairs, in slot order).
+    pub fn compile(expr: &Expr, tables: &[(String, Arc<Relation>)]) -> Result<CompiledExpr> {
+        Ok(match expr {
+            Expr::Column { table, column } => {
+                let slot = tables
+                    .iter()
+                    .position(|(alias, _)| alias == table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+                let attr = tables[slot].1.schema().resolve(column).map_err(|_| {
+                    SqlError::UnknownColumn { table: table.clone(), column: column.clone() }
+                })?;
+                CompiledExpr::Col { table: slot, attr }
+            }
+            Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Eq(a, b) => CompiledExpr::Eq(
+                Box::new(Self::compile(a, tables)?),
+                Box::new(Self::compile(b, tables)?),
+            ),
+            Expr::Ne(a, b) => CompiledExpr::Ne(
+                Box::new(Self::compile(a, tables)?),
+                Box::new(Self::compile(b, tables)?),
+            ),
+            Expr::And(ops) => CompiledExpr::And(
+                ops.iter().map(|e| Self::compile(e, tables)).collect::<Result<_>>()?,
+            ),
+            Expr::Or(ops) => CompiledExpr::Or(
+                ops.iter().map(|e| Self::compile(e, tables)).collect::<Result<_>>()?,
+            ),
+            Expr::Not(e) => CompiledExpr::Not(Box::new(Self::compile(e, tables)?)),
+            Expr::Case { operand, arms, otherwise } => CompiledExpr::Case {
+                operand: Box::new(Self::compile(operand, tables)?),
+                arms: arms
+                    .iter()
+                    .map(|(m, r)| Ok((Self::compile(m, tables)?, Self::compile(r, tables)?)))
+                    .collect::<Result<_>>()?,
+                otherwise: Box::new(Self::compile(otherwise, tables)?),
+            },
+        })
+    }
+
+    /// Whether the expression references the given table slot.
+    pub fn references_slot(&self, slot: usize) -> bool {
+        match self {
+            CompiledExpr::Col { table, .. } => *table == slot,
+            CompiledExpr::Lit(_) => false,
+            CompiledExpr::Eq(a, b) | CompiledExpr::Ne(a, b) => {
+                a.references_slot(slot) || b.references_slot(slot)
+            }
+            CompiledExpr::And(ops) | CompiledExpr::Or(ops) => {
+                ops.iter().any(|e| e.references_slot(slot))
+            }
+            CompiledExpr::Not(e) => e.references_slot(slot),
+            CompiledExpr::Case { operand, arms, otherwise } => {
+                operand.references_slot(slot)
+                    || otherwise.references_slot(slot)
+                    || arms
+                        .iter()
+                        .any(|(m, r)| m.references_slot(slot) || r.references_slot(slot))
+            }
+        }
+    }
+
+    /// Evaluates to a (possibly borrowed) value. `rows[slot]` may be `None`
+    /// for tables not yet bound; referencing such a slot is an error.
+    pub fn eval_value<'a>(&'a self, rows: &[Option<&'a Tuple>]) -> Result<Cow<'a, Value>> {
+        match self {
+            CompiledExpr::Col { table, attr } => {
+                let tuple = rows
+                    .get(*table)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| SqlError::Unsupported("unbound table slot".into()))?;
+                Ok(Cow::Borrowed(&tuple[*attr]))
+            }
+            CompiledExpr::Lit(v) => Ok(Cow::Borrowed(v)),
+            CompiledExpr::Eq(a, b) => {
+                Ok(Cow::Owned(Value::Bool(a.eval_value(rows)? == b.eval_value(rows)?)))
+            }
+            CompiledExpr::Ne(a, b) => {
+                Ok(Cow::Owned(Value::Bool(a.eval_value(rows)? != b.eval_value(rows)?)))
+            }
+            CompiledExpr::And(ops) => {
+                for op in ops {
+                    if !op.eval_bool(rows)? {
+                        return Ok(Cow::Owned(Value::Bool(false)));
+                    }
+                }
+                Ok(Cow::Owned(Value::Bool(true)))
+            }
+            CompiledExpr::Or(ops) => {
+                for op in ops {
+                    if op.eval_bool(rows)? {
+                        return Ok(Cow::Owned(Value::Bool(true)));
+                    }
+                }
+                Ok(Cow::Owned(Value::Bool(false)))
+            }
+            CompiledExpr::Not(e) => Ok(Cow::Owned(Value::Bool(!e.eval_bool(rows)?))),
+            CompiledExpr::Case { operand, arms, otherwise } => {
+                let op = operand.eval_value(rows)?;
+                for (m, r) in arms {
+                    if m.eval_value(rows)?.as_ref() == op.as_ref() {
+                        return r.eval_value(rows);
+                    }
+                }
+                otherwise.eval_value(rows)
+            }
+        }
+    }
+
+    /// Evaluates to an owned value.
+    pub fn eval(&self, rows: &[Option<&Tuple>]) -> Result<Value> {
+        Ok(self.eval_value(rows)?.into_owned())
+    }
+
+    /// Evaluates as a predicate; non-boolean results are an error.
+    pub fn eval_bool(&self, rows: &[Option<&Tuple>]) -> Result<bool> {
+        match self.eval_value(rows)?.as_ref() {
+            Value::Bool(b) => Ok(*b),
+            other => Err(SqlError::Unsupported(format!(
+                "predicate evaluated to non-boolean value `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Schema;
+
+    fn tables() -> Vec<(String, Arc<Relation>)> {
+        let data = {
+            let schema = Schema::builder("r").text("A").text("B").build();
+            let mut rel = Relation::new(schema);
+            rel.push_values(vec!["x".into(), "y".into()]).unwrap();
+            Arc::new(rel)
+        };
+        let tab = {
+            let schema = Schema::builder("tp").text("A").text("B").build();
+            let mut rel = Relation::new(schema);
+            rel.push_values(vec!["x".into(), "_".into()]).unwrap();
+            Arc::new(rel)
+        };
+        vec![("t".to_owned(), data), ("tp".to_owned(), tab)]
+    }
+
+    #[test]
+    fn compile_resolves_columns_to_slots() {
+        let ts = tables();
+        let e = Expr::col("tp", "B").eq(Expr::str("_"));
+        let c = CompiledExpr::compile(&e, &ts).unwrap();
+        assert!(c.references_slot(1));
+        assert!(!c.references_slot(0));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_references() {
+        let ts = tables();
+        assert!(matches!(
+            CompiledExpr::compile(&Expr::col("zz", "A"), &ts),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            CompiledExpr::compile(&Expr::col("t", "NOPE"), &ts),
+            Err(SqlError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluation_matches_symbolic_semantics() {
+        let ts = tables();
+        let data_row = ts[0].1.row(0).unwrap();
+        let tab_row = ts[1].1.row(0).unwrap();
+        let rows = vec![Some(data_row), Some(tab_row)];
+
+        // (t.A = tp.A OR tp.A = '_') AND (t.B = tp.B OR tp.B = '_')
+        let e = Expr::and(vec![
+            Expr::or(vec![
+                Expr::col("t", "A").eq(Expr::col("tp", "A")),
+                Expr::col("tp", "A").eq(Expr::str("_")),
+            ]),
+            Expr::or(vec![
+                Expr::col("t", "B").eq(Expr::col("tp", "B")),
+                Expr::col("tp", "B").eq(Expr::str("_")),
+            ]),
+        ]);
+        let c = CompiledExpr::compile(&e, &ts).unwrap();
+        assert!(c.eval_bool(&rows).unwrap());
+
+        let case = Expr::case(
+            Expr::col("tp", "B"),
+            vec![(Expr::str("_"), Expr::str("masked"))],
+            Expr::col("t", "B"),
+        );
+        let c = CompiledExpr::compile(&case, &ts).unwrap();
+        assert_eq!(c.eval(&rows).unwrap(), Value::from("masked"));
+    }
+
+    #[test]
+    fn unbound_slot_is_an_error_but_short_circuit_avoids_it() {
+        let ts = tables();
+        let tab_row = ts[1].1.row(0).unwrap();
+        let rows: Vec<Option<&Tuple>> = vec![None, Some(tab_row)];
+        let needs_t = CompiledExpr::compile(&Expr::col("t", "A"), &ts).unwrap();
+        assert!(needs_t.eval(&rows).is_err());
+        // The independent disjunct is true, so the data column is never read.
+        let e = Expr::or(vec![
+            Expr::col("tp", "B").eq(Expr::str("_")),
+            Expr::col("t", "A").eq(Expr::str("x")),
+        ]);
+        let c = CompiledExpr::compile(&e, &ts).unwrap();
+        assert!(c.eval_bool(&rows).unwrap());
+    }
+
+    #[test]
+    fn non_boolean_predicate_is_an_error() {
+        let ts = tables();
+        let c = CompiledExpr::compile(&Expr::str("zzz"), &ts).unwrap();
+        assert!(c.eval_bool(&[None, None]).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the SQL substrate.
+
+use cfd_relation::RelationError;
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Errors raised while binding or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A table alias or relation name in the query could not be resolved.
+    UnknownTable(String),
+    /// A column reference could not be resolved against the FROM clause.
+    UnknownColumn {
+        /// Table alias the column was qualified with.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// Two relations with the same alias appear in the FROM clause.
+    DuplicateAlias(String),
+    /// The query shape is not supported by this mini executor.
+    Unsupported(String),
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnknownTable(t) => write!(f, "unknown table or alias `{t}`"),
+            SqlError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{table}.{column}`")
+            }
+            SqlError::DuplicateAlias(a) => write!(f, "duplicate table alias `{a}`"),
+            SqlError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            SqlError::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<RelationError> for SqlError {
+    fn from(e: RelationError) -> Self {
+        SqlError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SqlError::UnknownTable("T2".into()).to_string().contains("T2"));
+        assert!(SqlError::UnknownColumn { table: "t".into(), column: "ZIP".into() }
+            .to_string()
+            .contains("t.ZIP"));
+        assert!(SqlError::DuplicateAlias("t".into()).to_string().contains("duplicate"));
+        assert!(SqlError::Unsupported("no joins".into()).to_string().contains("no joins"));
+    }
+
+    #[test]
+    fn relation_error_converts() {
+        let e: SqlError = RelationError::Parse("bad".into()).into();
+        assert!(matches!(e, SqlError::Relation(_)));
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Scalar expression evaluation over joined rows.
+//!
+//! A [`Bindings`] value represents one row of the (partial) join computed by
+//! the executor: for each FROM-clause alias it holds the schema and the
+//! current tuple. Expressions are evaluated against those bindings.
+
+use crate::ast::Expr;
+use crate::error::{Result, SqlError};
+use cfd_relation::{Schema, Tuple, Value};
+
+/// The row context an expression is evaluated in: one bound tuple per alias.
+#[derive(Debug, Clone)]
+pub struct Bindings<'a> {
+    entries: Vec<(&'a str, &'a Schema, &'a Tuple)>,
+}
+
+impl<'a> Bindings<'a> {
+    /// An empty context.
+    pub fn new() -> Self {
+        Bindings { entries: Vec::new() }
+    }
+
+    /// Adds (or replaces) the binding for `alias`.
+    pub fn bind(&mut self, alias: &'a str, schema: &'a Schema, tuple: &'a Tuple) {
+        if let Some(slot) = self.entries.iter_mut().find(|(a, _, _)| *a == alias) {
+            *slot = (alias, schema, tuple);
+        } else {
+            self.entries.push((alias, schema, tuple));
+        }
+    }
+
+    /// Removes the binding for `alias`, if any.
+    pub fn unbind(&mut self, alias: &str) {
+        self.entries.retain(|(a, _, _)| *a != alias);
+    }
+
+    /// Whether `alias` is currently bound.
+    pub fn is_bound(&self, alias: &str) -> bool {
+        self.entries.iter().any(|(a, _, _)| *a == alias)
+    }
+
+    /// The tuple bound to `alias`.
+    pub fn tuple(&self, alias: &str) -> Option<&'a Tuple> {
+        self.entries.iter().find(|(a, _, _)| *a == alias).map(|(_, _, t)| *t)
+    }
+
+    /// The schema bound to `alias`.
+    pub fn schema(&self, alias: &str) -> Option<&'a Schema> {
+        self.entries.iter().find(|(a, _, _)| *a == alias).map(|(_, s, _)| *s)
+    }
+
+    /// Resolves `alias.column` to the bound value.
+    pub fn value(&self, alias: &str, column: &str) -> Result<&'a Value> {
+        let (_, schema, tuple) = self
+            .entries
+            .iter()
+            .find(|(a, _, _)| *a == alias)
+            .ok_or_else(|| SqlError::UnknownTable(alias.to_owned()))?;
+        let id = schema.resolve(column).map_err(|_| SqlError::UnknownColumn {
+            table: alias.to_owned(),
+            column: column.to_owned(),
+        })?;
+        Ok(&tuple[id])
+    }
+}
+
+impl Default for Bindings<'_> {
+    fn default() -> Self {
+        Bindings::new()
+    }
+}
+
+/// Evaluates `expr` to a value under `bindings`.
+pub fn eval_expr(expr: &Expr, bindings: &Bindings<'_>) -> Result<Value> {
+    match expr {
+        Expr::Column { table, column } => Ok(bindings.value(table, column)?.clone()),
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Eq(a, b) => {
+            Ok(Value::Bool(eval_expr(a, bindings)? == eval_expr(b, bindings)?))
+        }
+        Expr::Ne(a, b) => {
+            Ok(Value::Bool(eval_expr(a, bindings)? != eval_expr(b, bindings)?))
+        }
+        Expr::And(ops) => {
+            for op in ops {
+                if !eval_predicate(op, bindings)? {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Or(ops) => {
+            for op in ops {
+                if eval_predicate(op, bindings)? {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        Expr::Not(e) => Ok(Value::Bool(!eval_predicate(e, bindings)?)),
+        Expr::Case { operand, arms, otherwise } => {
+            let op_val = eval_expr(operand, bindings)?;
+            for (m, r) in arms {
+                if eval_expr(m, bindings)? == op_val {
+                    return eval_expr(r, bindings);
+                }
+            }
+            eval_expr(otherwise, bindings)
+        }
+    }
+}
+
+/// Evaluates `expr` as a predicate: the result must be a boolean; every other
+/// value type is an [`SqlError::Unsupported`] (it would indicate a malformed
+/// generated query, which we prefer to surface loudly).
+pub fn eval_predicate(expr: &Expr, bindings: &Bindings<'_>) -> Result<bool> {
+    match eval_expr(expr, bindings)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(SqlError::Unsupported(format!(
+            "predicate evaluated to non-boolean value `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder("r").text("A").text("B").build()
+    }
+
+    fn tuple(a: &str, b: &str) -> Tuple {
+        Tuple::new(vec![Value::from(a), Value::from(b)])
+    }
+
+    #[test]
+    fn column_resolution() {
+        let s = schema();
+        let t = tuple("x", "y");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t);
+        assert_eq!(eval_expr(&Expr::col("t", "B"), &b).unwrap(), Value::from("y"));
+        assert!(matches!(
+            eval_expr(&Expr::col("t", "Z"), &b),
+            Err(SqlError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            eval_expr(&Expr::col("u", "A"), &b),
+            Err(SqlError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn comparisons_and_connectives() {
+        let s = schema();
+        let t = tuple("x", "y");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t);
+        let p = Expr::and(vec![
+            Expr::col("t", "A").eq(Expr::str("x")),
+            Expr::col("t", "B").ne(Expr::str("z")),
+        ]);
+        assert!(eval_predicate(&p, &b).unwrap());
+        let q = Expr::or(vec![
+            Expr::col("t", "A").eq(Expr::str("nope")),
+            Expr::col("t", "B").eq(Expr::str("y")),
+        ]);
+        assert!(eval_predicate(&q, &b).unwrap());
+        assert!(!eval_predicate(&q.clone().not(), &b).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_does_not_touch_unbound_tables() {
+        // OR short-circuits before reaching the column of an unbound alias.
+        let s = schema();
+        let t = tuple("x", "y");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t);
+        let p = Expr::or(vec![
+            Expr::col("t", "A").eq(Expr::str("x")),
+            Expr::col("missing", "A").eq(Expr::str("x")),
+        ]);
+        assert!(eval_predicate(&p, &b).unwrap());
+    }
+
+    #[test]
+    fn case_expression_masks_values() {
+        let s = schema();
+        let t = tuple("NYC", "y");
+        let tp_schema = Schema::builder("tp").text("A").text("B").build();
+        let tp = tuple("@", "_");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t);
+        b.bind("tp", &tp_schema, &tp);
+        // CASE tp.A WHEN '@' THEN '@' ELSE t.A END  ->  '@'
+        let mask_a = Expr::case(
+            Expr::col("tp", "A"),
+            vec![(Expr::str("@"), Expr::str("@"))],
+            Expr::col("t", "A"),
+        );
+        assert_eq!(eval_expr(&mask_a, &b).unwrap(), Value::from("@"));
+        // CASE tp.B WHEN '@' THEN '@' ELSE t.B END  ->  t.B
+        let mask_b = Expr::case(
+            Expr::col("tp", "B"),
+            vec![(Expr::str("@"), Expr::str("@"))],
+            Expr::col("t", "B"),
+        );
+        assert_eq!(eval_expr(&mask_b, &b).unwrap(), Value::from("y"));
+    }
+
+    #[test]
+    fn predicates_must_be_boolean() {
+        let b = Bindings::new();
+        assert!(matches!(
+            eval_predicate(&Expr::str("not-a-bool"), &b),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn bindings_rebind_and_unbind() {
+        let s = schema();
+        let t1 = tuple("1", "a");
+        let t2 = tuple("2", "b");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t1);
+        assert_eq!(b.value("t", "A").unwrap(), &Value::from("1"));
+        b.bind("t", &s, &t2);
+        assert_eq!(b.value("t", "A").unwrap(), &Value::from("2"));
+        assert!(b.is_bound("t"));
+        b.unbind("t");
+        assert!(!b.is_bound("t"));
+        assert!(b.value("t", "A").is_err());
+    }
+
+    #[test]
+    fn schema_and_tuple_accessors() {
+        let s = schema();
+        let t = tuple("1", "a");
+        let mut b = Bindings::new();
+        b.bind("t", &s, &t);
+        assert_eq!(b.schema("t").unwrap().name(), "r");
+        assert_eq!(b.tuple("t").unwrap(), &t);
+        assert!(b.schema("nope").is_none());
+    }
+}

@@ -1,0 +1,332 @@
+//! CNF / DNF rewriting of WHERE clauses.
+//!
+//! The paper's detection queries come out of the generator in conjunctive
+//! normal form: a conjunction of per-attribute disjunctions such as
+//! `(t.CC = tp.CC OR tp.CC = '_')`. Section 5 observes that DBMS optimizers
+//! handle CNF poorly (the ORs block index selection) and that converting to
+//! disjunctive normal form — at the cost of a blow-up that is exponential in
+//! the *number of CFD attributes*, not the data — makes detection much
+//! faster. This module implements both conversions so the executor (and the
+//! Figure 9(a)/9(b) benchmarks) can compare the two strategies.
+
+use crate::ast::Expr;
+
+/// Which normal form a WHERE clause should be evaluated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormalForm {
+    /// Leave the predicate exactly as generated (CNF for our generators).
+    #[default]
+    AsWritten,
+    /// Conjunctive normal form: AND of ORs of atoms.
+    Cnf,
+    /// Disjunctive normal form: OR of ANDs of atoms.
+    Dnf,
+}
+
+/// Rewrites `expr` into conjunctive normal form.
+///
+/// Atoms (comparisons, literals, CASE expressions) are treated as opaque.
+/// Negation is pushed down over AND/OR (De Morgan) and double negations are
+/// removed; `NOT atom` stays an atom.
+pub fn to_cnf(expr: &Expr) -> Expr {
+    let nnf = to_nnf(expr, false);
+    cnf_of_nnf(&nnf)
+}
+
+/// Rewrites `expr` into disjunctive normal form. See [`to_cnf`] for atom
+/// handling.
+pub fn to_dnf(expr: &Expr) -> Expr {
+    let nnf = to_nnf(expr, false);
+    dnf_of_nnf(&nnf)
+}
+
+/// Number of top-level conjuncts when viewed as CNF (1 for a bare atom/OR).
+pub fn cnf_clause_count(expr: &Expr) -> usize {
+    match expr {
+        Expr::And(ops) => ops.len(),
+        _ => 1,
+    }
+}
+
+/// Number of top-level disjuncts when viewed as DNF (1 for a bare atom/AND).
+pub fn dnf_clause_count(expr: &Expr) -> usize {
+    match expr {
+        Expr::Or(ops) => ops.len(),
+        _ => 1,
+    }
+}
+
+/// Pushes negations down to atoms (negation normal form).
+fn to_nnf(expr: &Expr, negate: bool) -> Expr {
+    match expr {
+        Expr::Not(inner) => to_nnf(inner, !negate),
+        Expr::And(ops) => {
+            let children: Vec<Expr> = ops.iter().map(|e| to_nnf(e, negate)).collect();
+            if negate {
+                Expr::or(children)
+            } else {
+                Expr::and(children)
+            }
+        }
+        Expr::Or(ops) => {
+            let children: Vec<Expr> = ops.iter().map(|e| to_nnf(e, negate)).collect();
+            if negate {
+                Expr::and(children)
+            } else {
+                Expr::or(children)
+            }
+        }
+        // Negated equality/inequality atoms flip into their dual; other atoms
+        // keep an explicit NOT.
+        Expr::Eq(a, b) if negate => Expr::Ne(a.clone(), b.clone()),
+        Expr::Ne(a, b) if negate => Expr::Eq(a.clone(), b.clone()),
+        atom => {
+            if negate {
+                Expr::Not(Box::new(atom.clone()))
+            } else {
+                atom.clone()
+            }
+        }
+    }
+}
+
+/// CNF of an expression already in negation normal form.
+fn cnf_of_nnf(expr: &Expr) -> Expr {
+    match expr {
+        Expr::And(ops) => {
+            let mut clauses: Vec<Expr> = Vec::new();
+            for op in ops {
+                match cnf_of_nnf(op) {
+                    Expr::And(inner) => clauses.extend(inner),
+                    other => clauses.push(other),
+                }
+            }
+            Expr::and(clauses)
+        }
+        Expr::Or(ops) => {
+            // OR over children each in CNF: distribute.
+            let children: Vec<Vec<Expr>> = ops
+                .iter()
+                .map(|op| match cnf_of_nnf(op) {
+                    Expr::And(inner) => inner,
+                    other => vec![other],
+                })
+                .collect();
+            // Cross product of clause choices.
+            let mut result: Vec<Vec<Expr>> = vec![Vec::new()];
+            for clauses in children {
+                let mut next = Vec::with_capacity(result.len() * clauses.len());
+                for partial in &result {
+                    for clause in &clauses {
+                        let mut combined = partial.clone();
+                        combined.push(clause.clone());
+                        next.push(combined);
+                    }
+                }
+                result = next;
+            }
+            let clauses: Vec<Expr> =
+                result.into_iter().map(|disjuncts| Expr::or(disjuncts)).collect();
+            Expr::and(clauses)
+        }
+        atom => atom.clone(),
+    }
+}
+
+/// DNF of an expression already in negation normal form.
+fn dnf_of_nnf(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Or(ops) => {
+            let mut terms: Vec<Expr> = Vec::new();
+            for op in ops {
+                match dnf_of_nnf(op) {
+                    Expr::Or(inner) => terms.extend(inner),
+                    other => terms.push(other),
+                }
+            }
+            Expr::or(terms)
+        }
+        Expr::And(ops) => {
+            let children: Vec<Vec<Expr>> = ops
+                .iter()
+                .map(|op| match dnf_of_nnf(op) {
+                    Expr::Or(inner) => inner,
+                    other => vec![other],
+                })
+                .collect();
+            let mut result: Vec<Vec<Expr>> = vec![Vec::new()];
+            for terms in children {
+                let mut next = Vec::with_capacity(result.len() * terms.len());
+                for partial in &result {
+                    for term in &terms {
+                        let mut combined = partial.clone();
+                        combined.push(term.clone());
+                        next.push(combined);
+                    }
+                }
+                result = next;
+            }
+            let terms: Vec<Expr> = result.into_iter().map(|conjs| Expr::and(conjs)).collect();
+            Expr::or(terms)
+        }
+        atom => atom.clone(),
+    }
+}
+
+/// Applies the requested normal form to an optional WHERE clause.
+pub fn apply(form: NormalForm, where_clause: Option<&Expr>) -> Option<Expr> {
+    where_clause.map(|e| match form {
+        NormalForm::AsWritten => e.clone(),
+        NormalForm::Cnf => to_cnf(e),
+        NormalForm::Dnf => to_dnf(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str) -> Expr {
+        Expr::col("t", name).eq(Expr::str(name.to_lowercase()))
+    }
+
+    /// Evaluates a boolean expression under an assignment of atoms to truth
+    /// values; used to check that rewrites preserve semantics.
+    fn eval(expr: &Expr, truth: &dyn Fn(&Expr) -> bool) -> bool {
+        match expr {
+            Expr::And(ops) => ops.iter().all(|e| eval(e, truth)),
+            Expr::Or(ops) => ops.iter().any(|e| eval(e, truth)),
+            Expr::Not(e) => !eval(e, truth),
+            other => truth(other),
+        }
+    }
+
+    #[test]
+    fn dnf_of_cnf_distributes() {
+        // (a OR b) AND (c OR d) -> 4 disjuncts.
+        let e = Expr::and(vec![
+            Expr::or(vec![atom("A"), atom("B")]),
+            Expr::or(vec![atom("C"), atom("D")]),
+        ]);
+        let dnf = to_dnf(&e);
+        assert_eq!(dnf_clause_count(&dnf), 4);
+        // Every disjunct is a conjunction of atoms.
+        if let Expr::Or(terms) = &dnf {
+            for t in terms {
+                assert!(matches!(t, Expr::And(_)));
+            }
+        } else {
+            panic!("expected OR at top of DNF");
+        }
+    }
+
+    #[test]
+    fn cnf_of_dnf_distributes() {
+        let e = Expr::or(vec![
+            Expr::and(vec![atom("A"), atom("B")]),
+            Expr::and(vec![atom("C"), atom("D")]),
+        ]);
+        let cnf = to_cnf(&e);
+        assert_eq!(cnf_clause_count(&cnf), 4);
+    }
+
+    #[test]
+    fn already_normal_forms_are_stable() {
+        let cnf_shape = Expr::and(vec![
+            Expr::or(vec![atom("A"), atom("B")]),
+            atom("C"),
+        ]);
+        assert_eq!(to_cnf(&cnf_shape), cnf_shape);
+        let dnf_shape = Expr::or(vec![
+            Expr::and(vec![atom("A"), atom("B")]),
+            atom("C"),
+        ]);
+        assert_eq!(to_dnf(&dnf_shape), dnf_shape);
+    }
+
+    #[test]
+    fn negation_is_pushed_to_atoms() {
+        let e = Expr::Not(Box::new(Expr::and(vec![atom("A"), atom("B")])));
+        let dnf = to_dnf(&e);
+        // NOT (A AND B) == (NOT A) OR (NOT B); our Eq atoms flip to Ne.
+        match dnf {
+            Expr::Or(ops) => {
+                assert_eq!(ops.len(), 2);
+                assert!(ops.iter().all(|o| matches!(o, Expr::Ne(_, _))));
+            }
+            other => panic!("expected OR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrites_preserve_truth_tables() {
+        // Three atoms; enumerate all 8 assignments.
+        let a = atom("A");
+        let b = atom("B");
+        let c = atom("C");
+        let expr = Expr::and(vec![
+            Expr::or(vec![a.clone(), b.clone()]),
+            Expr::or(vec![b.clone(), c.clone()]),
+            Expr::Not(Box::new(a.clone())),
+        ]);
+        let cnf = to_cnf(&expr);
+        let dnf = to_dnf(&expr);
+        for mask in 0..8u8 {
+            let truth = |e: &Expr| -> bool {
+                // Map each atom (or its Ne dual) to its assigned bit.
+                let (base, negated) = match e {
+                    Expr::Ne(x, y) => (Expr::Eq(x.clone(), y.clone()), true),
+                    Expr::Not(inner) => ((**inner).clone(), true),
+                    other => (other.clone(), false),
+                };
+                let bit = if base == a {
+                    mask & 1 != 0
+                } else if base == b {
+                    mask & 2 != 0
+                } else if base == c {
+                    mask & 4 != 0
+                } else {
+                    panic!("unexpected atom {base:?}")
+                };
+                bit != negated
+            };
+            let expected = eval(&expr, &truth);
+            assert_eq!(eval(&cnf, &truth), expected, "CNF differs at mask {mask}");
+            assert_eq!(eval(&dnf, &truth), expected, "DNF differs at mask {mask}");
+        }
+    }
+
+    #[test]
+    fn blow_up_is_exponential_in_attributes_only() {
+        // k per-attribute OR-clauses of 2 atoms each -> 2^k DNF disjuncts.
+        let k = 6;
+        let clauses: Vec<Expr> = (0..k)
+            .map(|i| {
+                Expr::or(vec![
+                    Expr::col("t", format!("X{i}")).eq(Expr::col("tp", format!("X{i}"))),
+                    Expr::col("tp", format!("X{i}")).eq(Expr::str("_")),
+                ])
+            })
+            .collect();
+        let cnf = Expr::and(clauses);
+        let dnf = to_dnf(&cnf);
+        assert_eq!(dnf_clause_count(&dnf), 1 << k);
+    }
+
+    #[test]
+    fn apply_respects_requested_form() {
+        let e = Expr::or(vec![
+            Expr::and(vec![atom("A"), atom("B")]),
+            atom("C"),
+        ]);
+        assert_eq!(apply(NormalForm::AsWritten, Some(&e)), Some(e.clone()));
+        assert_eq!(apply(NormalForm::Dnf, Some(&e)), Some(to_dnf(&e)));
+        assert_eq!(apply(NormalForm::Cnf, Some(&e)), Some(to_cnf(&e)));
+        assert_eq!(apply(NormalForm::Cnf, None), None);
+    }
+
+    #[test]
+    fn default_form_is_as_written() {
+        assert_eq!(NormalForm::default(), NormalForm::AsWritten);
+    }
+}

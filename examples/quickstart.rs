@@ -1,0 +1,45 @@
+//! Quickstart: define CFDs, check data against them, look at the generated
+//! SQL, and repair the violations.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cfd::prelude::*;
+use cfd_datagen::cust::{phi1, phi2, phi3};
+
+fn main() {
+    // The cust relation of Fig. 1 and the CFDs of Fig. 2.
+    let data = cust_instance();
+    let cfds = vec![phi1(), phi2(), phi3()];
+
+    println!("== data ==\n{data}");
+
+    // 1. Satisfaction: ϕ2 is violated (area code 908 should imply city MH).
+    for cfd in &cfds {
+        println!(
+            "{} is {}",
+            cfd.name().unwrap_or("cfd"),
+            if cfd.satisfied_by(&data) { "satisfied" } else { "VIOLATED" }
+        );
+    }
+
+    // 2. The SQL a relational backend would run (Fig. 5).
+    let detector = Detector::new();
+    let (qc, qv) = detector.sql_for(&phi2(), "cust");
+    println!("\n== generated SQL for phi2 ==\nQC: {qc}\nQV: {qv}");
+
+    // 3. Detection via the in-memory SQL engine.
+    let violations = detector.detect(&phi2(), &data).expect("detection succeeds");
+    println!("\n== violations of phi2 ==\n{violations}");
+
+    // 4. Repair by value modification (Section 6).
+    let repair = Repairer::new().repair(&cfds, &data);
+    println!(
+        "== repair ==\n{} change(s), cost {:.1}, satisfied afterwards: {}",
+        repair.changes(),
+        repair.cost,
+        repair.satisfied
+    );
+    for m in &repair.modifications {
+        println!("  {m}");
+    }
+}

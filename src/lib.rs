@@ -1,0 +1,36 @@
+//! # cfd — Conditional Functional Dependencies for Data Cleaning
+//!
+//! Facade crate for the reproduction of *Conditional Functional Dependencies
+//! for Data Cleaning* (Bohannon, Fan, Geerts, Jia, Kementsietsidis,
+//! ICDE 2007). It re-exports the workspace crates so applications can depend
+//! on a single crate:
+//!
+//! * [`relation`] — values, schemas, tuples, in-memory relations.
+//! * [`sql`] — the SQL AST/executor used by the detection queries.
+//! * [`core`] — CFDs, pattern tableaux, satisfaction, consistency, the
+//!   inference system and minimal covers.
+//! * [`detect`] — SQL-based and direct violation detection.
+//! * [`repair`] — heuristic, cost-based repair (Section 6).
+//! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
+//! * [`datagen`] — the `cust` running example and the synthetic tax-records
+//!   workload used by the evaluation.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use cfd_core as core;
+pub use cfd_datagen as datagen;
+pub use cfd_detect as detect;
+pub use cfd_discovery as discovery;
+pub use cfd_relation as relation;
+pub use cfd_repair as repair;
+pub use cfd_sql as sql;
+
+/// Commonly used items, importable with `use cfd::prelude::*;`.
+pub mod prelude {
+    pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
+    pub use cfd_datagen::cust::{cust_instance, cust_schema};
+    pub use cfd_detect::{Detector, Violations};
+    pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, Value};
+    pub use cfd_repair::Repairer;
+    pub use cfd_sql::{Catalog, Executor, Strategy};
+}

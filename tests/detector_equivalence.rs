@@ -1,0 +1,132 @@
+//! Property-based tests: the SQL-based detector, under every evaluation
+//! strategy, agrees with the independent direct detector on arbitrary data
+//! and arbitrary CFDs, and the paper's invariants about query generation
+//! hold (query size independent of tableau size, merged vs per-CFD
+//! consistency of the QC component).
+
+use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd_detect::{Detector, DirectDetector};
+use cfd_relation::{Relation, Schema, Tuple, Value};
+use cfd_sql::Strategy as SqlStrategy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Small value alphabet: collisions are likely, so FD/CFD violations are too.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::from("a")), Just(Value::from("b")), Just(Value::from("c"))]
+}
+
+fn schema() -> Schema {
+    Schema::builder("r").text("A").text("B").text("C").text("D").build()
+}
+
+/// A relation with up to 24 rows over the 4-attribute schema.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(value_strategy(), 4), 0..24).prop_map(|rows| {
+        let mut rel = Relation::new(schema());
+        for row in rows {
+            rel.push(Tuple::new(row)).unwrap();
+        }
+        rel
+    })
+}
+
+/// A pattern cell: a constant from the alphabet or the unnamed variable.
+fn pattern_cell() -> impl Strategy<Value = PatternValue> {
+    prop_oneof![
+        3 => Just(PatternValue::Wildcard),
+        2 => value_strategy().prop_map(PatternValue::Const),
+    ]
+}
+
+/// A CFD over the fixed schema: X = {A, B}, Y = {C} or {C, D}, 1..4 pattern rows.
+fn cfd_strategy() -> impl Strategy<Value = Cfd> {
+    let row = (prop::collection::vec(pattern_cell(), 2), prop::collection::vec(pattern_cell(), 2));
+    (prop::collection::vec(row, 1..4), any::<bool>()).prop_map(|(rows, wide_rhs)| {
+        let schema = schema();
+        let lhs = schema.resolve_all(["A", "B"]).unwrap();
+        let rhs = if wide_rhs {
+            schema.resolve_all(["C", "D"]).unwrap()
+        } else {
+            schema.resolve_all(["C"]).unwrap()
+        };
+        let mut tableau = PatternTableau::new();
+        for (l, r) in rows {
+            let r = if wide_rhs { r } else { r[..1].to_vec() };
+            tableau.push(PatternTuple::new(l, r));
+        }
+        Cfd::from_parts(schema, lhs, rhs, tableau).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SQL detector (any strategy) and the direct detector are identical.
+    #[test]
+    fn sql_equals_direct(rel in relation_strategy(), cfd in cfd_strategy()) {
+        let expected = DirectDetector::new().detect(&cfd, &rel);
+        let shared = Arc::new(rel);
+        for strategy in [SqlStrategy::dnf(), SqlStrategy::cnf(), SqlStrategy::dnf_unindexed(), SqlStrategy::as_written()] {
+            let got = Detector::new()
+                .with_strategy(strategy)
+                .detect_shared(&cfd, Arc::clone(&shared))
+                .unwrap()
+                .0;
+            prop_assert_eq!(&got, &expected, "strategy {:?}", strategy);
+        }
+    }
+
+    /// Detection is empty iff the CFD is satisfied (semantics agreement with cfd-core).
+    #[test]
+    fn detection_matches_satisfaction(rel in relation_strategy(), cfd in cfd_strategy()) {
+        let report = Detector::new().detect(&cfd, &rel).unwrap();
+        prop_assert_eq!(report.is_clean(), cfd.satisfied_by(&rel));
+    }
+
+    /// The merged query pair finds exactly the same single-tuple (QC)
+    /// violations as running one query pair per CFD.
+    #[test]
+    fn merged_qc_equals_per_cfd_qc(
+        rel in relation_strategy(),
+        cfd_a in cfd_strategy(),
+        cfd_b in cfd_strategy(),
+    ) {
+        let cfds = vec![cfd_a, cfd_b];
+        let shared = Arc::new(rel);
+        let per_cfd = Detector::new().detect_set(&cfds, Arc::clone(&shared)).unwrap();
+        let merged = Detector::new().detect_set_merged(&cfds, Arc::clone(&shared)).unwrap();
+        prop_assert_eq!(per_cfd.constant_violations(), merged.constant_violations());
+        // Multi-tuple violations use different key spaces, but emptiness must agree
+        // with the semantic satisfaction of the set.
+        let all_satisfied = cfds.iter().all(|c| c.satisfied_by(&shared));
+        prop_assert_eq!(merged.is_clean(), all_satisfied);
+        prop_assert_eq!(per_cfd.is_clean(), all_satisfied);
+    }
+
+    /// Query size (number of WHERE atoms) does not depend on the tableau size.
+    #[test]
+    fn query_size_independent_of_tableau(cfd in cfd_strategy()) {
+        let detector = Detector::new();
+        let (qc, qv) = detector.sql_for(&cfd, "r");
+        let expected_qc_atoms = cfd.lhs().len() * 3 + cfd.rhs().len() * 3;
+        prop_assert_eq!(qc.where_clause.unwrap().atom_count(), expected_qc_atoms);
+        prop_assert_eq!(qv.where_clause.unwrap().atom_count(), cfd.lhs().len() * 3);
+        prop_assert_eq!(qv.group_by.len(), cfd.lhs().len());
+    }
+
+    /// Parallel set detection returns exactly the same report as serial.
+    #[test]
+    fn parallel_equals_serial(
+        rel in relation_strategy(),
+        cfd_a in cfd_strategy(),
+        cfd_b in cfd_strategy(),
+        cfd_c in cfd_strategy(),
+    ) {
+        let cfds = vec![cfd_a, cfd_b, cfd_c];
+        let shared = Arc::new(rel);
+        let serial = Detector::new().detect_set(&cfds, Arc::clone(&shared)).unwrap();
+        let parallel = Detector::new().detect_set_parallel(&cfds, Arc::clone(&shared), 3).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the reasoning machinery of Section 3:
+//! normalization preserves satisfaction, consistency witnesses really satisfy
+//! the set, implication is sound on sampled instances, and minimal covers are
+//! equivalent to (and never larger than) their input.
+
+use cfd_core::{consistency, Cfd, NormalCfd, PatternValue};
+use cfd_relation::{Relation, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::builder("r").text("A").text("B").text("C").build()
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::from("x")), Just(Value::from("y")), Just(Value::from("z"))]
+}
+
+fn pattern_cell() -> impl Strategy<Value = PatternValue> {
+    prop_oneof![
+        2 => Just(PatternValue::Wildcard),
+        1 => value_strategy().prop_map(PatternValue::Const),
+    ]
+}
+
+/// A normal-form CFD over the 3-attribute schema with a 1- or 2-attribute LHS.
+fn normal_cfd_strategy() -> impl Strategy<Value = NormalCfd> {
+    (0usize..3, 0usize..3, prop::collection::vec(pattern_cell(), 3))
+        .prop_map(|(rhs_idx, lhs_variant, cells)| {
+            let schema = schema();
+            let attrs: Vec<_> = schema.attr_ids().collect();
+            let rhs = attrs[rhs_idx];
+            let lhs: Vec<_> = attrs
+                .iter()
+                .copied()
+                .filter(|a| *a != rhs)
+                .take(1 + lhs_variant % 2)
+                .collect();
+            let lhs_pattern = cells[..lhs.len()].to_vec();
+            let rhs_pattern = cells[2].clone();
+            NormalCfd::new(schema, lhs, lhs_pattern, rhs, rhs_pattern).unwrap()
+        })
+}
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec(prop::collection::vec(value_strategy(), 3), 0..16).prop_map(|rows| {
+        let mut rel = Relation::new(schema());
+        for row in rows {
+            rel.push(Tuple::new(row)).unwrap();
+        }
+        rel
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A general CFD is satisfied iff every CFD of its normalization is.
+    #[test]
+    fn normalization_preserves_satisfaction(rel in relation_strategy(), n in normal_cfd_strategy()) {
+        // Build a general CFD by denormalizing a couple of normal ones that
+        // share the embedded FD, then compare satisfaction.
+        let generals = NormalCfd::denormalize(std::slice::from_ref(&n)).unwrap();
+        for general in &generals {
+            let renormalized = NormalCfd::normalize(general).unwrap();
+            let direct = general.satisfied_by(&rel);
+            let via_normal = renormalized.iter().all(|m| m.to_cfd().unwrap().satisfied_by(&rel));
+            prop_assert_eq!(direct, via_normal);
+        }
+    }
+
+    /// If the consistency check produces a witness, the single-tuple instance
+    /// built from it satisfies every CFD of the set.
+    #[test]
+    fn consistency_witness_satisfies_sigma(cfds in prop::collection::vec(normal_cfd_strategy(), 1..5)) {
+        match consistency::find_witness(&cfds) {
+            None => {
+                // Inconsistent: there must be no single-tuple model among the
+                // constants mentioned in the CFDs (spot-check a few).
+                let schema = schema();
+                for v in ["x", "y", "z"] {
+                    let mut rel = Relation::new(schema.clone());
+                    rel.push(Tuple::new(vec![Value::from(v); 3])).unwrap();
+                    let all = cfds.iter().all(|c| c.to_cfd().unwrap().satisfied_by(&rel));
+                    prop_assert!(!all, "claimed inconsistent but {v}-tuple satisfies all");
+                }
+            }
+            Some(witness) => {
+                let schema = schema();
+                let mut tuple = Tuple::nulls(schema.arity());
+                for (attr, value) in witness {
+                    tuple.set(attr, value);
+                }
+                let mut rel = Relation::new(schema);
+                rel.push(tuple).unwrap();
+                for c in &cfds {
+                    prop_assert!(c.to_cfd().unwrap().satisfied_by(&rel), "witness violates {c}");
+                }
+            }
+        }
+    }
+
+    /// Soundness of implication: if Σ ⊨ ϕ then every sampled instance that
+    /// satisfies Σ also satisfies ϕ.
+    #[test]
+    fn implication_is_sound_on_samples(
+        sigma in prop::collection::vec(normal_cfd_strategy(), 0..4),
+        phi in normal_cfd_strategy(),
+        rel in relation_strategy(),
+    ) {
+        if cfd_core::implies(&sigma, &phi) {
+            let sigma_holds = sigma.iter().all(|c| c.to_cfd().unwrap().satisfied_by(&rel));
+            if sigma_holds {
+                prop_assert!(
+                    phi.to_cfd().unwrap().satisfied_by(&rel),
+                    "Σ ⊨ ϕ claimed, but found instance satisfying Σ and violating ϕ"
+                );
+            }
+        }
+    }
+
+    /// The minimal cover is equivalent to its (consistent) input and not larger.
+    #[test]
+    fn minimal_cover_is_equivalent_and_no_larger(
+        sigma in prop::collection::vec(normal_cfd_strategy(), 1..5),
+    ) {
+        let cover = cfd_core::minimal_cover(&sigma);
+        if consistency::is_consistent(&sigma) {
+            prop_assert!(cfd_core::mincover::equivalent(&sigma, &cover));
+            prop_assert!(cover.len() <= sigma.len());
+        } else {
+            prop_assert!(cover.is_empty());
+        }
+    }
+
+    /// Members of Σ are always implied by Σ (reflexivity of implication).
+    #[test]
+    fn sigma_implies_its_members(sigma in prop::collection::vec(normal_cfd_strategy(), 1..5)) {
+        for phi in &sigma {
+            prop_assert!(cfd_core::implies(&sigma, phi));
+        }
+    }
+
+    /// Repairing always yields an instance satisfying a consistent Σ, and a
+    /// clean instance is never modified.
+    #[test]
+    fn repair_reaches_satisfaction(
+        rel in relation_strategy(),
+        n in normal_cfd_strategy(),
+    ) {
+        let generals: Vec<Cfd> = NormalCfd::denormalize(std::slice::from_ref(&n)).unwrap();
+        if !consistency::is_consistent(std::slice::from_ref(&n)) {
+            return Ok(());
+        }
+        let result = cfd_repair::Repairer::new().repair(&generals, &rel);
+        prop_assert!(result.satisfied, "repair failed for {n} on {rel}");
+        if generals.iter().all(|c| c.satisfied_by(&rel)) {
+            prop_assert_eq!(result.changes(), 0);
+        }
+    }
+}
