@@ -17,7 +17,9 @@ fn detection_strategies(c: &mut Criterion) {
     let data = tax_data(10_000, 5.0, 59);
     let cfd = CfdWorkload::new(61).single(EmbeddedFd::ZipCityToState, 100, 100.0);
     let mut group = c.benchmark_group("ablation_detection_strategy");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("sql_dnf_indexed", |b| {
         let d = Detector::new().with_strategy(Strategy::dnf());
         b.iter(|| d.detect_shared(&cfd, Arc::clone(&data)).unwrap());
@@ -41,7 +43,9 @@ fn reasoning(c: &mut Criterion) {
     let set = fig2_cfd_set();
     let normal = set.normalize().unwrap();
     let mut group = c.benchmark_group("ablation_reasoning");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("consistency_fig2", |b| {
         b.iter(|| cfd_core::is_consistent(&normal));
     });
@@ -71,7 +75,9 @@ fn mincover_vs_raw_detection(c: &mut Criterion) {
         .collect();
     let detector = Detector::new();
     let mut group = c.benchmark_group("ablation_mincover");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("raw_sigma", |b| {
         b.iter(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
     });
@@ -85,7 +91,9 @@ fn repair(c: &mut Criterion) {
     let data = tax_data(2_000, 10.0, 73);
     let cfd = CfdWorkload::new(79).zip_state_full();
     let mut group = c.benchmark_group("ablation_repair");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("repair_zip_state", |b| {
         let repairer = Repairer::new();
         b.iter(|| repairer.repair(std::slice::from_ref(&cfd), &data));
@@ -93,5 +101,11 @@ fn repair(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, detection_strategies, reasoning, mincover_vs_raw_detection, repair);
+criterion_group!(
+    benches,
+    detection_strategies,
+    reasoning,
+    mincover_vs_raw_detection,
+    repair
+);
 criterion_main!(benches);

@@ -13,7 +13,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let cfd = CfdWorkload::new(11).single(EmbeddedFd::ZipCityToState, 100, 100.0);
     let mut group = c.benchmark_group("fig9a_cnf_dnf_const");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for sz in [5_000usize, 10_000] {
         let data = tax_data(sz, 5.0, 17);
         for (name, strategy) in [("cnf", Strategy::cnf()), ("dnf", Strategy::dnf())] {

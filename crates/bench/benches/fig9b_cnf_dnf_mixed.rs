@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let cfd = CfdWorkload::new(12).single(EmbeddedFd::ZipCityToState, 100, 50.0);
     let mut group = c.benchmark_group("fig9b_cnf_dnf_mixed");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for sz in [5_000usize, 10_000] {
         let data = tax_data(sz, 5.0, 18);
         for (name, strategy) in [("cnf", Strategy::cnf()), ("dnf", Strategy::dnf())] {

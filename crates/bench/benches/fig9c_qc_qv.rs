@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let cfd = CfdWorkload::new(13).single(EmbeddedFd::ZipCityToState, 100, 100.0);
     let detector = Detector::new();
     let mut group = c.benchmark_group("fig9c_qc_qv");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for sz in [10_000usize, 20_000] {
         let data = tax_data(sz, 5.0, 19);
         group.bench_with_input(BenchmarkId::new("qc", sz), &data, |b, data| {

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let data = tax_data(10_000, 5.0, 23);
     let detector = Detector::new();
     let mut group = c.benchmark_group("fig9d_tabsz");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for tabsz in [200usize, 500, 1_000] {
         for (name, fd) in [
             ("attrs3", EmbeddedFd::ZipCityToState),

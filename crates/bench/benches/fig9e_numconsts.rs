@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let data = tax_data(20_000, 5.0, 31);
     let detector = Detector::new();
     let mut group = c.benchmark_group("fig9e_numconsts");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for pct in [100.0f64, 60.0, 20.0] {
         let cfd = CfdWorkload::new(37).single(EmbeddedFd::ZipCityToState, 200, pct);
         group.bench_with_input(BenchmarkId::new("consts", pct as u64), &data, |b, data| {

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let cfd = CfdWorkload::new(41).zip_state_full();
     let detector = Detector::new();
     let mut group = c.benchmark_group("fig9f_noise");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for noise in [0u64, 5, 9] {
         let data = tax_data(20_000, noise as f64, 43 + noise);
         group.bench_with_input(BenchmarkId::new("noise", noise), &data, |b, data| {

@@ -1,9 +1,13 @@
 //! Criterion bench for the merged-CFD study: validating a set of CFDs with
-//! one query pair per CFD vs the single merged query pair of Section 4.2.
+//! one query pair per CFD vs the single merged query pair of Section 4.2,
+//! plus an interned-vs-naive comparison point: the same detection work done
+//! through `ValueId` (u32) equality vs resolved-`Value` (string) equality.
+//! The latter pair is the perf baseline for the interning refactor; record
+//! future results against it in `BENCH_*.json`.
 
 use cfd_bench::tax_data;
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
-use cfd_detect::Detector;
+use cfd_detect::{Detector, DirectDetector};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,15 +22,46 @@ fn bench(c: &mut Criterion) {
     ];
     let detector = Detector::new();
     let mut group = c.benchmark_group("merged_cfds");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("per_cfd_pairs", |b| {
         b.iter(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
     });
     group.bench_function("merged_pair", |b| {
-        b.iter(|| detector.detect_set_merged(&cfds, Arc::clone(&data)).unwrap());
+        b.iter(|| {
+            detector
+                .detect_set_merged(&cfds, Arc::clone(&data))
+                .unwrap()
+        });
     });
     group.bench_function("parallel_4_threads", |b| {
-        b.iter(|| detector.detect_set_parallel(&cfds, Arc::clone(&data), 4).unwrap());
+        b.iter(|| {
+            detector
+                .detect_set_parallel(&cfds, Arc::clone(&data), 4)
+                .unwrap()
+        });
+    });
+    // Interned (ValueId) vs naive (resolved-Value) direct detection of the
+    // same CFD set: isolates the gain of the dictionary-encoded hot path.
+    let direct = DirectDetector::new();
+    group.bench_function("direct_interned_ids", |b| {
+        b.iter(|| {
+            let mut out = cfd_detect::Violations::new();
+            for cfd in &cfds {
+                out.merge(direct.detect(cfd, &data));
+            }
+            out
+        });
+    });
+    group.bench_function("direct_naive_values", |b| {
+        b.iter(|| {
+            let mut out = cfd_detect::Violations::new();
+            for cfd in &cfds {
+                out.merge(direct.detect_value_path(cfd, &data));
+            }
+            out
+        });
     });
     group.finish();
 }

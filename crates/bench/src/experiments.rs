@@ -153,7 +153,10 @@ pub fn fig9e(quick: bool) -> Experiment {
     Experiment {
         id: "fig9e",
         title: "Scalability in NUMCONSTs".into(),
-        parameters: format!("SZ {}, NOISE 5%, TABSZ {tab}, NUMATTRs 3, DNF strategy", fmt_size(sz)),
+        parameters: format!(
+            "SZ {}, NOISE 5%, TABSZ {tab}, NUMATTRs 3, DNF strategy",
+            fmt_size(sz)
+        ),
         points,
     }
 }
@@ -209,8 +212,7 @@ pub fn merged(quick: bool) -> Experiment {
     let detector = Detector::new();
     let mut points = Vec::new();
     for (group, cfds) in [("related", &related), ("unrelated", &unrelated)] {
-        let (_, per_cfd_seconds) =
-            time(|| detector.detect_set(cfds, Arc::clone(&data)).unwrap());
+        let (_, per_cfd_seconds) = time(|| detector.detect_set(cfds, Arc::clone(&data)).unwrap());
         let (_, merged_seconds) =
             time(|| detector.detect_set_merged(cfds, Arc::clone(&data)).unwrap());
         points.push(Point {
@@ -229,7 +231,10 @@ pub fn merged(quick: bool) -> Experiment {
     Experiment {
         id: "merged",
         title: "Validating multiple CFDs: per-CFD vs merged tableaux".into(),
-        parameters: format!("SZ {}, NOISE 5%, 3 CFDs, TABSZ {tab}, NUMCONSTs 100%", fmt_size(sz)),
+        parameters: format!(
+            "SZ {}, NOISE 5%, 3 CFDs, TABSZ {tab}, NUMCONSTs 100%",
+            fmt_size(sz)
+        ),
         points,
     }
 }
@@ -249,7 +254,12 @@ pub fn ablation_detectors(quick: bool) -> Experiment {
     ] {
         let detector = Detector::new().with_strategy(strategy);
         let (_, seconds) = time(|| detector.detect_shared(&cfd, Arc::clone(&data)).unwrap());
-        points.push(Point { x: "SQL".into(), series: name.into(), seconds, detail: String::new() });
+        points.push(Point {
+            x: "SQL".into(),
+            series: name.into(),
+            seconds,
+            detail: String::new(),
+        });
     }
     let (_, direct_seconds) = time(|| DirectDetector::new().detect(&cfd, &data));
     points.push(Point {
@@ -285,8 +295,7 @@ pub fn ablation_mincover(quick: bool) -> Experiment {
     let cover_cfds: Vec<_> = cover.clone().into_iter().collect();
     let detector = Detector::new();
     let (_, raw_seconds) = time(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
-    let (_, cover_seconds) =
-        time(|| detector.detect_set(&cover_cfds, Arc::clone(&data)).unwrap());
+    let (_, cover_seconds) = time(|| detector.detect_set(&cover_cfds, Arc::clone(&data)).unwrap());
     Experiment {
         id: "ablation-mincover",
         title: "Detection with raw Σ vs its minimal cover".into(),
@@ -323,14 +332,22 @@ pub fn ablation_parallel(quick: bool) -> Experiment {
     let cfds = CfdWorkload::new(79).many(6, 4, tab, 100.0);
     let detector = Detector::new();
     let (_, serial) = time(|| detector.detect_set(&cfds, Arc::clone(&data)).unwrap());
-    let (_, parallel) =
-        time(|| detector.detect_set_parallel(&cfds, Arc::clone(&data), 4).unwrap());
+    let (_, parallel) = time(|| {
+        detector
+            .detect_set_parallel(&cfds, Arc::clone(&data), 4)
+            .unwrap()
+    });
     Experiment {
         id: "ablation-parallel",
         title: "Per-CFD detection: single-threaded vs 4 worker threads".into(),
         parameters: format!("SZ {}, NOISE 5%, 6 CFDs, TABSZ {tab}", fmt_size(sz)),
         points: vec![
-            Point { x: "6 CFDs".into(), series: "serial".into(), seconds: serial, detail: String::new() },
+            Point {
+                x: "6 CFDs".into(),
+                series: "serial".into(),
+                seconds: serial,
+                detail: String::new(),
+            },
             Point {
                 x: "6 CFDs".into(),
                 series: "4 threads".into(),
@@ -394,8 +411,10 @@ mod tests {
         ] {
             // Only check that the id is known; running them is the binary's job.
             assert!(
-                matches!(id, "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "merged")
-                    || id.starts_with("ablation-"),
+                matches!(
+                    id,
+                    "fig9a" | "fig9b" | "fig9c" | "fig9d" | "fig9e" | "fig9f" | "merged"
+                ) || id.starts_with("ablation-"),
                 "unknown id {id}"
             );
         }

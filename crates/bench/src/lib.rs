@@ -100,7 +100,15 @@ impl Experiment {
 /// Generates a tax-records instance of the given size and noise, wrapped for
 /// sharing with detectors. Callers should reuse the returned `Arc`.
 pub fn tax_data(size: usize, noise_percent: f64, seed: u64) -> Arc<Relation> {
-    Arc::new(TaxGenerator::new(TaxConfig { size, noise_percent, seed }).generate().relation)
+    Arc::new(
+        TaxGenerator::new(TaxConfig {
+            size,
+            noise_percent,
+            seed,
+        })
+        .generate()
+        .relation,
+    )
 }
 
 /// Times a closure, returning its result and the elapsed seconds.
@@ -112,7 +120,7 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Formats a tuple count the way the paper labels its x axes (`10K`, `500K`).
 pub fn fmt_size(n: usize) -> String {
-    if n % 1000 == 0 {
+    if n.is_multiple_of(1000) {
         format!("{}K", n / 1000)
     } else {
         n.to_string()
@@ -130,9 +138,24 @@ mod tests {
             title: "demo".into(),
             parameters: "none".into(),
             points: vec![
-                Point { x: "10K".into(), series: "CNF".into(), seconds: 1.0, detail: String::new() },
-                Point { x: "10K".into(), series: "DNF".into(), seconds: 0.5, detail: String::new() },
-                Point { x: "20K".into(), series: "CNF".into(), seconds: 2.0, detail: String::new() },
+                Point {
+                    x: "10K".into(),
+                    series: "CNF".into(),
+                    seconds: 1.0,
+                    detail: String::new(),
+                },
+                Point {
+                    x: "10K".into(),
+                    series: "DNF".into(),
+                    seconds: 0.5,
+                    detail: String::new(),
+                },
+                Point {
+                    x: "20K".into(),
+                    series: "CNF".into(),
+                    seconds: 2.0,
+                    detail: String::new(),
+                },
             ],
         };
         let md = exp.to_markdown();

@@ -4,7 +4,7 @@
 use crate::error::{CfdError, Result};
 use crate::pattern::PatternValue;
 use crate::tableau::{PatternTableau, PatternTuple};
-use cfd_relation::{AttrId, Relation, Schema, Value};
+use cfd_relation::{AttrId, Relation, Schema, Value, ValueId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -52,7 +52,13 @@ impl Cfd {
         rhs: Vec<AttrId>,
         tableau: PatternTableau,
     ) -> Result<Self> {
-        let cfd = Cfd { schema, lhs, rhs, tableau, name: None };
+        let cfd = Cfd {
+            schema,
+            lhs,
+            rhs,
+            tableau,
+            name: None,
+        };
         cfd.validate()?;
         Ok(cfd)
     }
@@ -86,8 +92,8 @@ impl Cfd {
         R: IntoIterator<Item = &'a str>,
     {
         let row = PatternTuple::new(
-            lhs_consts.into_iter().map(PatternValue::Const).collect(),
-            rhs_consts.into_iter().map(PatternValue::Const).collect(),
+            lhs_consts.into_iter().map(PatternValue::from).collect(),
+            rhs_consts.into_iter().map(PatternValue::from).collect(),
         );
         let mut b = Cfd::builder(schema, lhs, rhs);
         b.rows.push(row);
@@ -111,9 +117,14 @@ impl Cfd {
                 });
             }
             // Constants must belong to the attribute's domain.
-            for (attr, cell) in self.lhs.iter().zip(row.lhs()).chain(self.rhs.iter().zip(row.rhs()))
+            for (attr, cell) in self
+                .lhs
+                .iter()
+                .zip(row.lhs())
+                .chain(self.rhs.iter().zip(row.rhs()))
             {
-                if let PatternValue::Const(v) = cell {
+                if let PatternValue::Const(id) = cell {
+                    let v = id.resolve();
                     let a = self.schema.attribute(*attr)?;
                     if !a.domain.contains(v) {
                         return Err(CfdError::PatternConstantOutsideDomain {
@@ -210,12 +221,12 @@ impl Cfd {
                 .map(|(a, _)| *a)
                 .collect();
 
-            // Group matching tuples by their X projection.
-            let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            // Group matching tuples by their (interned) X projection.
+            let mut groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
             for (i, t) in rel.iter() {
-                let x_vals = t.project_ref(&self.lhs);
-                if pattern.lhs_matches(&x_vals) {
-                    groups.entry(t.project(&lhs_eff)).or_default().push(i);
+                let x_vals = t.project_ids(&self.lhs);
+                if pattern.lhs_matches_ids(&x_vals) {
+                    groups.entry(t.project_ids(&lhs_eff)).or_default().push(i);
                 }
             }
 
@@ -224,16 +235,16 @@ impl Cfd {
                 let mut constant_violators = Vec::new();
                 for &i in &members {
                     let t = rel.row(i).expect("member in range");
-                    let y_vals = t.project_ref(&self.rhs);
-                    if !pattern.rhs_matches(&y_vals) {
+                    let y_vals = t.project_ids(&self.rhs);
+                    if !pattern.rhs_matches_ids(&y_vals) {
                         constant_violators.push(i);
                     }
                 }
                 // Multi-tuple violations: two members with different Y projections.
-                let mut y_groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                let mut y_groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
                 for &i in &members {
                     let t = rel.row(i).expect("member in range");
-                    y_groups.entry(t.project(&rhs_eff)).or_default().push(i);
+                    y_groups.entry(t.project_ids(&rhs_eff)).or_default().push(i);
                 }
                 let multi = y_groups.len() > 1;
 
@@ -347,8 +358,12 @@ impl CfdBuilder {
 
     /// Finishes the CFD, resolving attribute names and validating patterns.
     pub fn build(self) -> Result<Cfd> {
-        let lhs = self.schema.resolve_all(self.lhs.iter().map(String::as_str))?;
-        let rhs = self.schema.resolve_all(self.rhs.iter().map(String::as_str))?;
+        let lhs = self
+            .schema
+            .resolve_all(self.lhs.iter().map(String::as_str))?;
+        let rhs = self
+            .schema
+            .resolve_all(self.rhs.iter().map(String::as_str))?;
         let cfd = Cfd {
             schema: self.schema,
             lhs,
@@ -390,7 +405,8 @@ mod tests {
             ["01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"],
             ["44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"],
         ] {
-            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
         }
         rel
     }
@@ -442,7 +458,10 @@ mod tests {
             .filter(|v| v.kind == ViolationKind::SingleTuple)
             .flat_map(|v| v.rows.clone())
             .collect();
-        assert!(single.contains(&0), "t1 violates the (01, 908, _ || _, MH, _) pattern");
+        assert!(
+            single.contains(&0),
+            "t1 violates the (01, 908, _ || _, MH, _) pattern"
+        );
         assert!(single.contains(&1), "t2 violates it too");
         // Pattern index 0 is the 908/MH row.
         assert!(violations
@@ -526,7 +545,9 @@ mod tests {
         assert_eq!(err, CfdError::EmptyRhs);
 
         // Empty tableau.
-        let err = Cfd::builder(cust_schema(), ["CC"], ["CT"]).build().unwrap_err();
+        let err = Cfd::builder(cust_schema(), ["CC"], ["CT"])
+            .build()
+            .unwrap_err();
         assert_eq!(err, CfdError::EmptyTableau);
 
         // Unknown attribute.

@@ -96,7 +96,10 @@ impl CfdSet {
 
     /// Whether this set and `other` are equivalent.
     pub fn equivalent_to(&self, other: &CfdSet) -> Result<bool> {
-        Ok(mincover::equivalent(&self.normalize()?, &other.normalize()?))
+        Ok(mincover::equivalent(
+            &self.normalize()?,
+            &other.normalize()?,
+        ))
     }
 
     /// Computes a minimal cover and re-packages it as general CFDs grouped by
@@ -169,7 +172,8 @@ mod tests {
             ["01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"],
             ["44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"],
         ] {
-            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
         }
         rel
     }
@@ -215,7 +219,10 @@ mod tests {
         // ϕ2 is violated on Fig. 1, so the whole set is violated.
         assert!(!set.satisfied_by(&rel));
         let violations = set.violations(&rel);
-        assert!(violations.iter().all(|(idx, _)| *idx == 1), "only ϕ2 is violated");
+        assert!(
+            violations.iter().all(|(idx, _)| *idx == 1),
+            "only ϕ2 is violated"
+        );
         assert!(!violations.is_empty());
     }
 

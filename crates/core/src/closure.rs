@@ -28,7 +28,12 @@ pub type Context = BTreeMap<AttrId, Value>;
 /// the implication oracle once per candidate attribute, so it is
 /// `O(arity · cost(implies))`; for the schema sizes CFDs are used with this
 /// is negligible, and it inherits the exactness of the implication chase.
-pub fn closure(sigma: &[NormalCfd], schema: &Schema, x: &[AttrId], context: &Context) -> Vec<AttrId> {
+pub fn closure(
+    sigma: &[NormalCfd],
+    schema: &Schema,
+    x: &[AttrId],
+    context: &Context,
+) -> Vec<AttrId> {
     let mut out = Vec::new();
     for a in schema.attr_ids() {
         if x.contains(&a) {
@@ -38,13 +43,17 @@ pub fn closure(sigma: &[NormalCfd], schema: &Schema, x: &[AttrId], context: &Con
         let lhs_pattern: Vec<PatternValue> = x
             .iter()
             .map(|attr| match context.get(attr) {
-                Some(v) => PatternValue::Const(v.clone()),
+                Some(v) => PatternValue::constant(v.clone()),
                 None => PatternValue::Wildcard,
             })
             .collect();
-        let Ok(phi) =
-            NormalCfd::new(schema.clone(), x.to_vec(), lhs_pattern, a, PatternValue::Wildcard)
-        else {
+        let Ok(phi) = NormalCfd::new(
+            schema.clone(),
+            x.to_vec(),
+            lhs_pattern,
+            a,
+            PatternValue::Wildcard,
+        ) else {
             continue;
         };
         if implies(sigma, &phi) {
@@ -66,7 +75,12 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::builder("R").text("A").text("B").text("C").text("D").build()
+        Schema::builder("R")
+            .text("A")
+            .text("B")
+            .text("C")
+            .text("D")
+            .build()
     }
 
     fn ids(s: &Schema, names: &[&str]) -> Vec<AttrId> {

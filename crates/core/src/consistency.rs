@@ -102,8 +102,10 @@ fn solve(
             }
         }
     }
-    let finite_attrs: Vec<AttrId> =
-        finite_attrs.into_iter().filter(|a| !pre_forced.contains_key(a)).collect();
+    let finite_attrs: Vec<AttrId> = finite_attrs
+        .into_iter()
+        .filter(|a| !pre_forced.contains_key(a))
+        .collect();
 
     let mut assignment: BTreeMap<AttrId, Cell> = BTreeMap::new();
     for id in schema.attr_ids() {
@@ -156,17 +158,20 @@ fn chase(sigma: &[NormalCfd], assignment: &mut BTreeMap<AttrId, Cell>) -> bool {
             }
             match cfd.rhs_pattern() {
                 PatternValue::Wildcard | PatternValue::DontCare => {}
-                PatternValue::Const(c) => match assignment.get(&cfd.rhs()) {
-                    Some(Cell::Const(existing)) => {
-                        if existing != c {
-                            return false;
+                PatternValue::Const(id) => {
+                    let c = id.resolve();
+                    match assignment.get(&cfd.rhs()) {
+                        Some(Cell::Const(existing)) => {
+                            if existing != c {
+                                return false;
+                            }
+                        }
+                        _ => {
+                            assignment.insert(cfd.rhs(), Cell::Const(c.clone()));
+                            changed = true;
                         }
                     }
-                    _ => {
-                        assignment.insert(cfd.rhs(), Cell::Const(c.clone()));
-                        changed = true;
-                    }
-                },
+                }
             }
         }
         if !changed {
@@ -179,10 +184,15 @@ fn chase(sigma: &[NormalCfd], assignment: &mut BTreeMap<AttrId, Cell>) -> bool {
 /// A fresh cell never matches a constant pattern cell (fresh values are
 /// chosen outside the constants of `Σ`).
 fn lhs_matched(cfd: &NormalCfd, assignment: &BTreeMap<AttrId, Cell>) -> bool {
-    cfd.lhs().iter().zip(cfd.lhs_pattern()).all(|(a, p)| match p {
-        PatternValue::Wildcard | PatternValue::DontCare => true,
-        PatternValue::Const(c) => matches!(assignment.get(a), Some(Cell::Const(v)) if v == c),
-    })
+    cfd.lhs()
+        .iter()
+        .zip(cfd.lhs_pattern())
+        .all(|(a, p)| match p {
+            PatternValue::Wildcard | PatternValue::DontCare => true,
+            PatternValue::Const(id) => {
+                matches!(assignment.get(a), Some(Cell::Const(v)) if v == id.resolve())
+            }
+        })
 }
 
 /// Materializes fresh cells with values outside the constants of `Σ`.
@@ -221,17 +231,26 @@ mod tests {
     }
 
     fn schema_bool_a() -> Schema {
-        Schema::builder("R").attr_domain("A", Domain::boolean()).text("B").build()
+        Schema::builder("R")
+            .attr_domain("A", Domain::boolean())
+            .text("B")
+            .build()
     }
 
     /// Builds a normal CFD where `"true"`/`"false"` tokens become boolean
     /// constants (needed for the finite-domain examples).
-    fn booly(schema: &Schema, lhs: &str, lhs_pattern: &str, rhs: &str, rhs_pattern: &str) -> NormalCfd {
+    fn booly(
+        schema: &Schema,
+        lhs: &str,
+        lhs_pattern: &str,
+        rhs: &str,
+        rhs_pattern: &str,
+    ) -> NormalCfd {
         let to_pv = |s: &str| match s {
             "_" => PatternValue::Wildcard,
-            "true" => PatternValue::Const(Value::Bool(true)),
-            "false" => PatternValue::Const(Value::Bool(false)),
-            other => PatternValue::Const(Value::from(other)),
+            "true" => PatternValue::constant(Value::Bool(true)),
+            "false" => PatternValue::constant(Value::Bool(false)),
+            other => PatternValue::constant(other),
         };
         NormalCfd::new(
             schema.clone(),
@@ -255,8 +274,8 @@ mod tests {
         let s = schema_ab();
         let p1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
         let p2 = NormalCfd::parse(&s, ["A"], &["_"], "B", "c").unwrap();
-        assert!(is_consistent(&[p1.clone()]));
-        assert!(is_consistent(&[p2.clone()]));
+        assert!(is_consistent(std::slice::from_ref(&p1)));
+        assert!(is_consistent(std::slice::from_ref(&p2)));
         assert!(!is_consistent(&[p1, p2]));
     }
 
@@ -337,7 +356,11 @@ mod tests {
         let s = schema_bool_a();
         let a = s.resolve("A").unwrap();
         let sigma = vec![booly(&s, "A", "_", "B", "_")];
-        assert!(!is_consistent_binding(&sigma, a, &Value::from("not-a-bool")));
+        assert!(!is_consistent_binding(
+            &sigma,
+            a,
+            &Value::from("not-a-bool")
+        ));
     }
 
     #[test]
@@ -358,13 +381,23 @@ mod tests {
         // dom(A)=bool; (∅ -> A, true) and (∅ -> A, false) conflict.
         let s = schema_bool_a();
         let a = s.resolve("A").unwrap();
-        let a_true =
-            NormalCfd::new(s.clone(), vec![], vec![], a, PatternValue::Const(Value::Bool(true)))
-                .unwrap();
-        let a_false =
-            NormalCfd::new(s.clone(), vec![], vec![], a, PatternValue::Const(Value::Bool(false)))
-                .unwrap();
-        assert!(is_consistent(&[a_true.clone()]));
+        let a_true = NormalCfd::new(
+            s.clone(),
+            vec![],
+            vec![],
+            a,
+            PatternValue::constant(Value::Bool(true)),
+        )
+        .unwrap();
+        let a_false = NormalCfd::new(
+            s.clone(),
+            vec![],
+            vec![],
+            a,
+            PatternValue::constant(Value::Bool(false)),
+        )
+        .unwrap();
+        assert!(is_consistent(std::slice::from_ref(&a_true)));
         assert!(!is_consistent(&[a_true, a_false]));
     }
 
@@ -384,7 +417,10 @@ mod tests {
         let mut rel = Relation::new(s);
         rel.push(tuple).unwrap();
         for cfd in &sigma {
-            assert!(cfd.to_cfd().unwrap().satisfied_by(&rel), "witness violates {cfd}");
+            assert!(
+                cfd.to_cfd().unwrap().satisfied_by(&rel),
+                "witness violates {cfd}"
+            );
         }
     }
 
@@ -403,8 +439,14 @@ mod tests {
             let b = format!("A{}", i + 1);
             sigma.push(NormalCfd::parse(&s, [a.as_str()], &["_"], b.as_str(), "_").unwrap());
             sigma.push(
-                NormalCfd::parse(&s, [a.as_str()], &[format!("v{i}").as_str()], b.as_str(), "w")
-                    .unwrap(),
+                NormalCfd::parse(
+                    &s,
+                    [a.as_str()],
+                    &[format!("v{i}").as_str()],
+                    b.as_str(),
+                    "w",
+                )
+                .unwrap(),
             );
         }
         assert!(is_consistent(&sigma));

@@ -84,14 +84,22 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CfdError::PatternArity { expected_lhs: 2, expected_rhs: 1, got_lhs: 1, got_rhs: 1 };
+        let e = CfdError::PatternArity {
+            expected_lhs: 2,
+            expected_rhs: 1,
+            got_lhs: 1,
+            got_rhs: 1,
+        };
         assert!(e.to_string().contains("2+1"));
         assert!(CfdError::EmptyRhs.to_string().contains("right-hand side"));
         assert!(CfdError::EmptyTableau.to_string().contains("empty"));
         assert!(CfdError::DontCareNotAllowed.to_string().contains("@"));
-        assert!(CfdError::MixedSchemas { left: "a".into(), right: "b".into() }
-            .to_string()
-            .contains("a"));
+        assert!(CfdError::MixedSchemas {
+            left: "a".into(),
+            right: "b".into()
+        }
+        .to_string()
+        .contains("a"));
         assert!(CfdError::PatternConstantOutsideDomain {
             attribute: "MR".into(),
             value: "x".into()

@@ -24,7 +24,7 @@
 
 use crate::normalize::NormalCfd;
 use crate::pattern::PatternValue;
-use cfd_relation::{AttrId, Schema, Value};
+use cfd_relation::{AttrId, Schema, Value, ValueId};
 use std::collections::HashMap;
 
 /// Decides whether `sigma ⊨ phi`.
@@ -37,7 +37,7 @@ pub fn implies(sigma: &[NormalCfd], phi: &NormalCfd) -> bool {
     for (attr, pattern) in phi.lhs().iter().zip(phi.lhs_pattern()) {
         tableau.merge(Tableau::cell(0, *attr), Tableau::cell(1, *attr));
         if let PatternValue::Const(c) = pattern {
-            if !tableau.assign(Tableau::cell(0, *attr), c.clone()) {
+            if !tableau.assign(Tableau::cell(0, *attr), *c) {
                 // The premise itself is contradictory (cannot happen with a
                 // well-formed pattern); ϕ holds vacuously.
                 return true;
@@ -93,7 +93,7 @@ fn counterexample_exists(
             }
             return domain.values().any(|v| {
                 let mut branched = tableau.clone();
-                if !branched.assign(cell, v.clone()) {
+                if !branched.assign(cell, ValueId::of(v)) {
                     return false;
                 }
                 counterexample_exists(sigma, phi, branched, avoid)
@@ -121,25 +121,31 @@ fn conclusion_holds(tableau: &mut Tableau, phi: &NormalCfd) -> bool {
     }
     match (phi.rhs_pattern(), tableau.constant_of(cell0)) {
         (PatternValue::Wildcard | PatternValue::DontCare, _) => true,
-        (PatternValue::Const(want), Some(have)) => want == &have,
+        (PatternValue::Const(want), Some(have)) => *want == have,
         // A variable class instantiates to a fresh value, which cannot equal
         // the required constant.
         (PatternValue::Const(_), None) => false,
     }
 }
 
-/// A two-tuple symbolic tableau with union-find cells.
+/// A two-tuple symbolic tableau with union-find cells. Class constants are
+/// interned [`ValueId`]s, so merging, conflict detection and the fixpoint
+/// snapshot all work on `u32`s (no value cloning during the chase).
 #[derive(Debug, Clone)]
 struct Tableau {
     arity: usize,
     parent: Vec<usize>,
-    constant: Vec<Option<Value>>,
+    constant: Vec<Option<ValueId>>,
 }
 
 impl Tableau {
     fn new(schema: &Schema) -> Self {
         let arity = schema.arity();
-        Tableau { arity, parent: (0..2 * arity).collect(), constant: vec![None; 2 * arity] }
+        Tableau {
+            arity,
+            parent: (0..2 * arity).collect(),
+            constant: vec![None; 2 * arity],
+        }
     }
 
     /// Cell index of `(tuple, attribute)`: attribute-major interleaving.
@@ -163,7 +169,7 @@ impl Tableau {
         if ra == rb {
             return true;
         }
-        match (self.constant[ra].clone(), self.constant[rb].clone()) {
+        match (self.constant[ra], self.constant[rb]) {
             (Some(x), Some(y)) if x != y => return false,
             (Some(x), None) => self.constant[rb] = Some(x),
             (None, Some(y)) => self.constant[ra] = Some(y),
@@ -174,10 +180,10 @@ impl Tableau {
     }
 
     /// Forces a cell's class to a constant. Returns `false` on conflict.
-    fn assign(&mut self, cell: usize, value: Value) -> bool {
+    fn assign(&mut self, cell: usize, value: ValueId) -> bool {
         let root = self.find(cell);
-        match &self.constant[root] {
-            Some(existing) => existing == &value,
+        match self.constant[root] {
+            Some(existing) => existing == value,
             None => {
                 self.constant[root] = Some(value);
                 true
@@ -186,9 +192,9 @@ impl Tableau {
     }
 
     /// The constant of a cell's class, if any.
-    fn constant_of(&mut self, cell: usize) -> Option<Value> {
+    fn constant_of(&mut self, cell: usize) -> Option<ValueId> {
         let root = self.find(cell);
-        self.constant[root].clone()
+        self.constant[root]
     }
 
     /// Whether the two cells are equal under the fresh instantiation: same
@@ -199,7 +205,7 @@ impl Tableau {
         if ra == rb {
             return true;
         }
-        match (&self.constant[ra], &self.constant[rb]) {
+        match (self.constant[ra], self.constant[rb]) {
             (Some(x), Some(y)) => x == y,
             _ => false,
         }
@@ -223,7 +229,7 @@ impl Tableau {
                         return false;
                     }
                     if let PatternValue::Const(c) = cfd.rhs_pattern() {
-                        if !self.assign(ci, c.clone()) {
+                        if !self.assign(ci, *c) {
                             return false;
                         }
                     }
@@ -247,7 +253,7 @@ impl Tableau {
                 return false;
             }
             if let PatternValue::Const(c) = pattern {
-                if self.constant_of(ci).as_ref() != Some(c) {
+                if self.constant_of(ci) != Some(*c) {
                     return false;
                 }
             }
@@ -256,7 +262,7 @@ impl Tableau {
     }
 
     /// A cheap fingerprint used to detect the chase fixpoint.
-    fn snapshot(&mut self) -> (Vec<usize>, Vec<Option<Value>>) {
+    fn snapshot(&mut self) -> (Vec<usize>, Vec<Option<ValueId>>) {
         let roots: Vec<usize> = (0..2 * self.arity).map(|c| self.find(c)).collect();
         (roots, self.constant.clone())
     }
@@ -318,7 +324,7 @@ mod tests {
         let premise = NormalCfd::parse(&s, ["A"], &["a"], "B", "b").unwrap();
         // It entails nothing about other A values.
         let general = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
-        assert!(!implies(&[premise.clone()], &general));
+        assert!(!implies(std::slice::from_ref(&premise), &general));
         // It does entail the weaker "when A = a, two tuples agree on B".
         let weaker = NormalCfd::parse(&s, ["A"], &["a"], "B", "_").unwrap();
         assert!(implies(&[premise], &weaker));
@@ -343,8 +349,11 @@ mod tests {
         let p1 = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
         let p2 = NormalCfd::parse(&s, ["A"], &["_"], "B", "c").unwrap();
         let anything = NormalCfd::parse(&s, ["C"], &["_"], "A", "zzz").unwrap();
-        assert!(crate::consistency::is_consistent(&[p1.clone()]));
-        assert!(!crate::consistency::is_consistent(&[p1.clone(), p2.clone()]));
+        assert!(crate::consistency::is_consistent(std::slice::from_ref(&p1)));
+        assert!(!crate::consistency::is_consistent(&[
+            p1.clone(),
+            p2.clone()
+        ]));
         assert!(implies(&[p1, p2], &anything));
     }
 
@@ -413,7 +422,7 @@ mod tests {
         let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
         let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
         let ac = NormalCfd::parse(&s, ["A"], &["_"], "C", "_").unwrap();
-        assert!(!implies(&[ab.clone()], &ac));
+        assert!(!implies(std::slice::from_ref(&ab), &ac));
         assert!(implies(&[ab.clone(), bc.clone()], &ac));
         // Adding more premises never loses the entailment.
         let extra = NormalCfd::parse(&s, ["C"], &["_"], "B", "_").unwrap();

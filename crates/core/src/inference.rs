@@ -76,7 +76,11 @@ impl Derivation {
 
     /// Records a step.
     pub fn record(&mut self, rule: InferenceRule, premises: Vec<String>, conclusion: NormalCfd) {
-        self.steps.push(DerivationStep { rule, premises, conclusion });
+        self.steps.push(DerivationStep {
+            rule,
+            premises,
+            conclusion,
+        });
     }
 
     /// The recorded steps in order.
@@ -99,7 +103,11 @@ impl fmt::Display for Derivation {
                 i + 1,
                 step.conclusion,
                 step.rule,
-                if step.premises.is_empty() { "axioms".to_owned() } else { step.premises.join(", ") }
+                if step.premises.is_empty() {
+                    "axioms".to_owned()
+                } else {
+                    step.premises.join(", ")
+                }
             )?;
         }
         Ok(())
@@ -140,7 +148,7 @@ pub fn fd2(premise: &NormalCfd, b: AttrId) -> Result<Option<NormalCfd>> {
         lhs,
         pattern,
         premise.rhs(),
-        premise.rhs_pattern().clone(),
+        *premise.rhs_pattern(),
     )?))
 }
 
@@ -177,7 +185,7 @@ pub fn fd3(premises: &[NormalCfd], bridge: &NormalCfd) -> Result<Option<NormalCf
         first.lhs().to_vec(),
         first.lhs_pattern().to_vec(),
         bridge.rhs(),
-        bridge.rhs_pattern().clone(),
+        *bridge.rhs_pattern(),
     )?))
 }
 
@@ -208,7 +216,7 @@ pub fn fd5(premise: &NormalCfd, b_attr: AttrId, b_value: Value) -> Result<Option
             value: b_value.to_string(),
         });
     }
-    Ok(premise.with_lhs_pattern(b_attr, PatternValue::Const(b_value)))
+    Ok(premise.with_lhs_pattern(b_attr, PatternValue::from(b_value)))
 }
 
 /// FD6: from `(X → A, tp)` with `tp[A] = a`, derive the CFD with `tp[A]`
@@ -235,17 +243,20 @@ pub fn fd7(sigma: &[NormalCfd], premises: &[NormalCfd], b: AttrId) -> Result<Opt
         return Ok(None);
     }
     // All premises must share the embedded FD, the X pattern and the A pattern,
-    // and differ only in their (constant) B cell.
-    let mut covered: Vec<Value> = Vec::new();
+    // and differ only in their (constant) B cell. Covered constants are
+    // collected as interned ids — no value cloning in this loop.
+    let mut covered: Vec<cfd_relation::ValueId> = Vec::new();
     for p in premises {
-        if p.lhs() != first.lhs() || p.rhs() != first.rhs() || p.rhs_pattern() != first.rhs_pattern()
+        if p.lhs() != first.lhs()
+            || p.rhs() != first.rhs()
+            || p.rhs_pattern() != first.rhs_pattern()
         {
             return Ok(None);
         }
         for (attr, cell) in p.lhs().iter().zip(p.lhs_pattern()) {
             if *attr == b {
                 match cell {
-                    PatternValue::Const(v) => covered.push(v.clone()),
+                    PatternValue::Const(id) => covered.push(*id),
                     _ => return Ok(None),
                 }
             } else if Some(cell) != first.lhs_pattern_of(*attr) {
@@ -255,7 +266,7 @@ pub fn fd7(sigma: &[NormalCfd], premises: &[NormalCfd], b: AttrId) -> Result<Opt
     }
     // The covered values must include every consistent value of dom(B).
     for v in domain.values() {
-        if is_consistent_binding(sigma, b, v) && !covered.contains(v) {
+        if is_consistent_binding(sigma, b, v) && !covered.contains(&cfd_relation::ValueId::of(v)) {
             return Ok(None);
         }
     }
@@ -269,8 +280,10 @@ pub fn fd8(sigma: &[NormalCfd], schema: &Schema, b: AttrId) -> Result<Option<Nor
     if !domain.is_finite() {
         return Ok(None);
     }
-    let consistent: Vec<&Value> =
-        domain.values().filter(|v| is_consistent_binding(sigma, b, v)).collect();
+    let consistent: Vec<&Value> = domain
+        .values()
+        .filter(|v| is_consistent_binding(sigma, b, v))
+        .collect();
     if consistent.len() != 1 {
         return Ok(None);
     }
@@ -279,7 +292,7 @@ pub fn fd8(sigma: &[NormalCfd], schema: &Schema, b: AttrId) -> Result<Option<Nor
         vec![b],
         vec![PatternValue::Wildcard],
         b,
-        PatternValue::Const(consistent[0].clone()),
+        PatternValue::constant(consistent[0].clone()),
     )?))
 }
 
@@ -305,24 +318,45 @@ mod tests {
         proof.record(InferenceRule::FD3, vec![], psi2.clone());
 
         // (3) FD3: (A → C, (_ ‖ c)).
-        let step3 = fd3(&[psi1.clone()], &psi2).unwrap().expect("FD3 applies");
-        assert_eq!(step3, NormalCfd::parse(&s, ["A"], &["_"], "C", "c").unwrap());
-        proof.record(InferenceRule::FD3, vec![psi1.to_string(), psi2.to_string()], step3.clone());
+        let step3 = fd3(std::slice::from_ref(&psi1), &psi2)
+            .unwrap()
+            .expect("FD3 applies");
+        assert_eq!(
+            step3,
+            NormalCfd::parse(&s, ["A"], &["_"], "C", "c").unwrap()
+        );
+        proof.record(
+            InferenceRule::FD3,
+            vec![psi1.to_string(), psi2.to_string()],
+            step3.clone(),
+        );
 
         // (4) FD5: substitute the constant a for _ in the LHS.
         let a_attr = s.resolve("A").unwrap();
-        let step4 = fd5(&step3, a_attr, Value::from("a")).unwrap().expect("FD5 applies");
-        assert_eq!(step4, NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap());
+        let step4 = fd5(&step3, a_attr, Value::from("a"))
+            .unwrap()
+            .expect("FD5 applies");
+        assert_eq!(
+            step4,
+            NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap()
+        );
         proof.record(InferenceRule::FD5, vec![step3.to_string()], step4.clone());
 
         // (5) FD6: replace the RHS constant by _.
         let step5 = fd6(&step4).unwrap().expect("FD6 applies");
-        assert_eq!(step5, NormalCfd::parse(&s, ["A"], &["a"], "C", "_").unwrap());
+        assert_eq!(
+            step5,
+            NormalCfd::parse(&s, ["A"], &["a"], "C", "_").unwrap()
+        );
         proof.record(InferenceRule::FD6, vec![step4.to_string()], step5.clone());
 
         // Soundness: every derived CFD is semantically implied by Σ.
         for step in proof.steps().iter().skip(2) {
-            assert!(implies(&sigma, &step.conclusion), "unsound step: {}", step.conclusion);
+            assert!(
+                implies(&sigma, &step.conclusion),
+                "unsound step: {}",
+                step.conclusion
+            );
         }
         assert_eq!(proof.conclusion(), Some(&step5));
         let rendered = proof.to_string();
@@ -347,7 +381,7 @@ mod tests {
         let b = s.resolve("B").unwrap();
         let got = fd2(&premise, b).unwrap().expect("B exists");
         assert_eq!(got.lhs().len(), 2);
-        assert!(implies(&[premise.clone()], &got));
+        assert!(implies(std::slice::from_ref(&premise), &got));
         // Augmenting with an attribute already present is a no-op.
         let a = s.resolve("A").unwrap();
         assert_eq!(fd2(&premise, a).unwrap().unwrap(), premise);
@@ -359,10 +393,14 @@ mod tests {
         // Premise concludes B = b; the bridge requires B = b' — the ⪯ check fails.
         let premise = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
         let bridge_bad = NormalCfd::parse(&s, ["B"], &["b2"], "C", "c").unwrap();
-        assert!(fd3(&[premise.clone()], &bridge_bad).unwrap().is_none());
+        assert!(fd3(std::slice::from_ref(&premise), &bridge_bad)
+            .unwrap()
+            .is_none());
         // Matching constant is fine.
         let bridge_const = NormalCfd::parse(&s, ["B"], &["b"], "C", "c").unwrap();
-        let got = fd3(&[premise.clone()], &bridge_const).unwrap().expect("⪯ holds (b ⪯ b)");
+        let got = fd3(std::slice::from_ref(&premise), &bridge_const)
+            .unwrap()
+            .expect("⪯ holds (b ⪯ b)");
         assert!(implies(&[premise.clone(), bridge_const], &got));
         // Premises with mismatched LHS patterns are rejected.
         let other = NormalCfd::parse(&s, ["A"], &["x"], "B", "b").unwrap();
@@ -376,11 +414,18 @@ mod tests {
         let s = schema();
         // X = {A}; premises (A→B, (_ ‖ _)) and (A→C, (_ ‖ _)); bridge ([B,C]→A later? no:
         // bridge ([B,C] → A) is cyclic; use a 4-attribute schema instead.
-        let s4 = Schema::builder("R").text("A").text("B").text("C").text("D").build();
+        let s4 = Schema::builder("R")
+            .text("A")
+            .text("B")
+            .text("C")
+            .text("D")
+            .build();
         let p1 = NormalCfd::parse(&s4, ["A"], &["_"], "B", "_").unwrap();
         let p2 = NormalCfd::parse(&s4, ["A"], &["_"], "C", "_").unwrap();
         let bridge = NormalCfd::parse(&s4, ["B", "C"], &["_", "_"], "D", "_").unwrap();
-        let got = fd3(&[p1.clone(), p2.clone()], &bridge).unwrap().expect("applies");
+        let got = fd3(&[p1.clone(), p2.clone()], &bridge)
+            .unwrap()
+            .expect("applies");
         assert_eq!(got, NormalCfd::parse(&s4, ["A"], &["_"], "D", "_").unwrap());
         assert!(implies(&[p1, p2, bridge], &got));
         let _ = s; // silence unused in this branch
@@ -394,7 +439,7 @@ mod tests {
         let b = s.resolve("B").unwrap();
         let got = fd4(&premise, b).unwrap().expect("applies");
         assert_eq!(got, NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap());
-        assert!(implies(&[premise.clone()], &got));
+        assert!(implies(std::slice::from_ref(&premise), &got));
         // Not applicable when the RHS is a wildcard…
         let premise_wild = NormalCfd::parse(&s, ["A", "B"], &["a", "_"], "C", "_").unwrap();
         assert!(fd4(&premise_wild, b).unwrap().is_none());
@@ -414,8 +459,10 @@ mod tests {
             .build();
         let premise = NormalCfd::parse(&s, ["MR"], &["_"], "TX", "low").unwrap();
         let mr = s.resolve("MR").unwrap();
-        let got = fd5(&premise, mr, Value::from("single")).unwrap().expect("applies");
-        assert!(implies(&[premise.clone()], &got));
+        let got = fd5(&premise, mr, Value::from("single"))
+            .unwrap()
+            .expect("applies");
+        assert!(implies(std::slice::from_ref(&premise), &got));
         assert!(matches!(
             fd5(&premise, mr, Value::from("divorced")),
             Err(CfdError::PatternConstantOutsideDomain { .. })
@@ -446,8 +493,13 @@ mod tests {
         let p_x = NormalCfd::parse(&s, ["X", "B"], &["_", "x"], "A", "a").unwrap();
         let p_y = NormalCfd::parse(&s, ["X", "B"], &["_", "y"], "A", "a").unwrap();
         let b = s.resolve("B").unwrap();
-        let got = fd7(&sigma, &[p_x.clone(), p_y.clone()], b).unwrap().expect("covers dom(B)");
-        assert_eq!(got, NormalCfd::parse(&s, ["X", "B"], &["_", "_"], "A", "a").unwrap());
+        let got = fd7(&sigma, &[p_x.clone(), p_y.clone()], b)
+            .unwrap()
+            .expect("covers dom(B)");
+        assert_eq!(
+            got,
+            NormalCfd::parse(&s, ["X", "B"], &["_", "_"], "A", "a").unwrap()
+        );
         // Soundness relative to the premises:
         assert!(implies(&[p_x.clone(), p_y.clone()], &got));
         // Missing one value -> rule does not apply.
@@ -470,7 +522,9 @@ mod tests {
         assert!(!is_consistent_binding(&sigma, b, &Value::from("z")));
         let p_x = NormalCfd::parse(&s, ["X", "B"], &["_", "x"], "A", "a").unwrap();
         let p_y = NormalCfd::parse(&s, ["X", "B"], &["_", "y"], "A", "a").unwrap();
-        assert!(fd7(&sigma, &[p_x.clone(), p_y.clone()], b).unwrap().is_some());
+        assert!(fd7(&sigma, &[p_x.clone(), p_y.clone()], b)
+            .unwrap()
+            .is_some());
         // Without Σ the same premises do not cover dom(B).
         assert!(fd7(&[], &[p_x, p_y], b).unwrap().is_none());
     }
@@ -488,7 +542,7 @@ mod tests {
             NormalCfd::parse(&s, ["B"], &["y"], "A", "q").unwrap(),
         ];
         let got = fd8(&sigma, &s, b).unwrap().expect("only x is consistent");
-        assert_eq!(got.rhs_pattern(), &PatternValue::Const(Value::from("x")));
+        assert_eq!(got.rhs_pattern(), &PatternValue::constant("x"));
         assert!(implies(&sigma, &got), "FD8 conclusion follows semantically");
         // With an unconstrained Σ both values are consistent: rule not applicable.
         assert!(fd8(&[], &s, b).unwrap().is_none());
@@ -502,7 +556,10 @@ mod tests {
         let s = schema();
         let b = s.resolve("B").unwrap();
         let p = NormalCfd::parse(&s, ["A", "B"], &["_", "x"], "C", "c").unwrap();
-        assert!(fd7(&[], &[p.clone()], b).unwrap().is_none(), "B has an infinite domain");
+        assert!(
+            fd7(&[], std::slice::from_ref(&p), b).unwrap().is_none(),
+            "B has an infinite domain"
+        );
 
         let s2 = Schema::builder("R")
             .text("X")
@@ -512,6 +569,9 @@ mod tests {
         let b2 = s2.resolve("B").unwrap();
         let p_x = NormalCfd::parse(&s2, ["X", "B"], &["_", "x"], "A", "a").unwrap();
         let p_y_diff = NormalCfd::parse(&s2, ["X", "B"], &["_", "y"], "A", "other").unwrap();
-        assert!(fd7(&[], &[p_x, p_y_diff], b2).unwrap().is_none(), "RHS patterns differ");
+        assert!(
+            fd7(&[], &[p_x, p_y_diff], b2).unwrap().is_none(),
+            "RHS patterns differ"
+        );
     }
 }

@@ -34,7 +34,9 @@ pub fn minimal_cover(sigma: &[NormalCfd]) -> Vec<NormalCfd> {
             let cfd = current[idx].clone();
             let mut reduced = None;
             for attr in cfd.lhs().to_vec() {
-                let Some(candidate) = cfd.without_lhs_attr(attr) else { continue };
+                let Some(candidate) = cfd.without_lhs_attr(attr) else {
+                    continue;
+                };
                 if implies(&current, &candidate) {
                     reduced = Some(candidate);
                     break;
@@ -135,9 +137,12 @@ mod tests {
         // (rule FD4), so MinCover must produce the reduced form.
         let s = schema();
         let wide = NormalCfd::parse(&s, ["A", "B"], &["a", "_"], "C", "c").unwrap();
-        let cover = minimal_cover(&[wide.clone()]);
+        let cover = minimal_cover(std::slice::from_ref(&wide));
         assert_eq!(cover.len(), 1);
-        assert_eq!(cover[0], NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap());
+        assert_eq!(
+            cover[0],
+            NormalCfd::parse(&s, ["A"], &["a"], "C", "c").unwrap()
+        );
         assert!(equivalent(&cover, &[wide]));
     }
 
@@ -183,7 +188,10 @@ mod tests {
         for sigma in sets {
             assert!(is_consistent(&sigma));
             let cover = minimal_cover(&sigma);
-            assert!(equivalent(&sigma, &cover), "cover not equivalent for {sigma:?}");
+            assert!(
+                equivalent(&sigma, &cover),
+                "cover not equivalent for {sigma:?}"
+            );
             assert!(cover.len() <= sigma.len());
         }
     }
@@ -193,8 +201,11 @@ mod tests {
         let s = schema();
         let ab = NormalCfd::parse(&s, ["A"], &["_"], "B", "_").unwrap();
         let bc = NormalCfd::parse(&s, ["B"], &["_"], "C", "_").unwrap();
-        assert!(equivalent(&[ab.clone(), bc.clone()], &[bc.clone(), ab.clone()]));
-        assert!(!equivalent(&[ab.clone()], &[bc]));
+        assert!(equivalent(
+            &[ab.clone(), bc.clone()],
+            &[bc.clone(), ab.clone()]
+        ));
+        assert!(!equivalent(std::slice::from_ref(&ab), &[bc]));
         assert!(equivalent(&[], &[]));
         assert!(!equivalent(&[], &[ab]));
     }

@@ -54,7 +54,13 @@ impl NormalCfd {
             combined.entry(a).or_insert(p);
         }
         let (lhs, lhs_pattern): (Vec<AttrId>, Vec<PatternValue>) = combined.into_iter().unzip();
-        Ok(NormalCfd { schema, lhs, lhs_pattern, rhs, rhs_pattern })
+        Ok(NormalCfd {
+            schema,
+            lhs,
+            lhs_pattern,
+            rhs,
+            rhs_pattern,
+        })
     }
 
     /// Builds a normal-form CFD from attribute names and string tokens.
@@ -106,7 +112,10 @@ impl NormalCfd {
 
     /// The pattern cell of LHS attribute `attr`, if `attr` is in the LHS.
     pub fn lhs_pattern_of(&self, attr: AttrId) -> Option<&PatternValue> {
-        self.lhs.iter().position(|a| *a == attr).map(|i| &self.lhs_pattern[i])
+        self.lhs
+            .iter()
+            .position(|a| *a == attr)
+            .map(|i| &self.lhs_pattern[i])
     }
 
     /// Returns a copy with attribute `attr` removed from the LHS (used by
@@ -123,7 +132,7 @@ impl NormalCfd {
             lhs,
             lhs_pattern,
             rhs: self.rhs,
-            rhs_pattern: self.rhs_pattern.clone(),
+            rhs_pattern: self.rhs_pattern,
         })
     }
 
@@ -138,13 +147,16 @@ impl NormalCfd {
             lhs: self.lhs.clone(),
             lhs_pattern,
             rhs: self.rhs,
-            rhs_pattern: self.rhs_pattern.clone(),
+            rhs_pattern: self.rhs_pattern,
         })
     }
 
     /// Returns a copy with the RHS cell replaced (used by inference rule FD6).
     pub fn with_rhs_pattern(&self, pattern: PatternValue) -> NormalCfd {
-        NormalCfd { rhs_pattern: pattern, ..self.clone() }
+        NormalCfd {
+            rhs_pattern: pattern,
+            ..self.clone()
+        }
     }
 
     /// All constants appearing in the CFD's patterns, per attribute. Used by
@@ -152,12 +164,12 @@ impl NormalCfd {
     pub fn constants(&self) -> Vec<(AttrId, cfd_relation::Value)> {
         let mut out = Vec::new();
         for (a, p) in self.lhs.iter().zip(&self.lhs_pattern) {
-            if let PatternValue::Const(v) = p {
-                out.push((*a, v.clone()));
+            if let PatternValue::Const(id) = p {
+                out.push((*a, id.resolve().clone()));
             }
         }
-        if let PatternValue::Const(v) = &self.rhs_pattern {
-            out.push((self.rhs, v.clone()));
+        if let PatternValue::Const(id) = &self.rhs_pattern {
+            out.push((self.rhs, id.resolve().clone()));
         }
         out
     }
@@ -176,7 +188,7 @@ impl NormalCfd {
                     cfd.lhs().to_vec(),
                     row.lhs().to_vec(),
                     *rhs_attr,
-                    row.rhs()[pos].clone(),
+                    row.rhs()[pos],
                 )?);
             }
         }
@@ -199,7 +211,7 @@ impl NormalCfd {
             for m in members {
                 tableau.push(PatternTuple::new(
                     m.lhs_pattern.clone(),
-                    vec![m.rhs_pattern.clone()],
+                    vec![m.rhs_pattern],
                 ));
             }
             out.push(Cfd::from_parts(schema, lhs, vec![rhs], tableau)?);
@@ -215,7 +227,7 @@ impl NormalCfd {
             vec![self.rhs],
             PatternTableau::from_rows(vec![PatternTuple::new(
                 self.lhs_pattern.clone(),
-                vec![self.rhs_pattern.clone()],
+                vec![self.rhs_pattern],
             )]),
         )
     }
@@ -236,7 +248,12 @@ impl fmt::Display for NormalCfd {
             }
             write!(f, "{}={}", self.schema.attr_name(*a), p)?;
         }
-        write!(f, "] -> {}={}", self.schema.attr_name(self.rhs), self.rhs_pattern)
+        write!(
+            f,
+            "] -> {}={}",
+            self.schema.attr_name(self.rhs),
+            self.rhs_pattern
+        )
     }
 }
 
@@ -283,13 +300,16 @@ mod tests {
             ["01", "212", "2222222", "Elm Str.", "NYC", "01202"],
             ["44", "131", "4444444", "High St.", "EDI", "EH4 1DT"],
         ] {
-            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
         }
         // The original CFD is violated (NYC with area code 908) and so must be
         // at least one of its normal-form constituents — and vice versa for a
         // clean instance.
         assert!(!cfd.satisfied_by(&rel));
-        assert!(normal.iter().any(|n| !n.to_cfd().unwrap().satisfied_by(&rel)));
+        assert!(normal
+            .iter()
+            .any(|n| !n.to_cfd().unwrap().satisfied_by(&rel)));
 
         let mut clean = Relation::new(schema());
         clean
@@ -301,7 +321,9 @@ mod tests {
             ))
             .unwrap();
         assert!(cfd.satisfied_by(&clean));
-        assert!(normal.iter().all(|n| n.to_cfd().unwrap().satisfied_by(&clean)));
+        assert!(normal
+            .iter()
+            .all(|n| n.to_cfd().unwrap().satisfied_by(&clean)));
     }
 
     #[test]
@@ -337,7 +359,11 @@ mod tests {
         let n = NormalCfd::new(
             s.clone(),
             vec![ac, cc, ac],
-            vec![PatternValue::Wildcard, PatternValue::constant("01"), PatternValue::Wildcard],
+            vec![
+                PatternValue::Wildcard,
+                PatternValue::constant("01"),
+                PatternValue::Wildcard,
+            ],
             ct,
             PatternValue::Wildcard,
         )
@@ -356,7 +382,10 @@ mod tests {
             .pattern(["01", "@"], ["_"])
             .build()
             .unwrap();
-        assert_eq!(NormalCfd::normalize(&merged).unwrap_err(), CfdError::DontCareNotAllowed);
+        assert_eq!(
+            NormalCfd::normalize(&merged).unwrap_err(),
+            CfdError::DontCareNotAllowed
+        );
     }
 
     #[test]
@@ -371,8 +400,13 @@ mod tests {
         assert_eq!(dropped.lhs(), &[cc]);
         assert!(n.without_lhs_attr(ct).is_none());
 
-        let replaced = n.with_lhs_pattern(ac, PatternValue::constant("908")).unwrap();
-        assert_eq!(replaced.lhs_pattern_of(ac), Some(&PatternValue::constant("908")));
+        let replaced = n
+            .with_lhs_pattern(ac, PatternValue::constant("908"))
+            .unwrap();
+        assert_eq!(
+            replaced.lhs_pattern_of(ac),
+            Some(&PatternValue::constant("908"))
+        );
         assert!(n.with_lhs_pattern(ct, PatternValue::Wildcard).is_none());
 
         let general = n.with_rhs_pattern(PatternValue::Wildcard);

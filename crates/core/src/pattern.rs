@@ -4,17 +4,21 @@
 //! `_` (written `‘_’` in the paper), or — only inside *merged* tableaux built
 //! by the detection layer (Section 4.2) — the *don't-care* symbol `@`.
 //!
+//! Constants are stored as interned [`ValueId`]s, so the match relation on
+//! the detection hot paths is a `u32` compare ([`PatternValue::matches_id`]).
+//! The interner is injective (id equality ⇔ value equality, `Null` only
+//! equals `Null`), so the id-based and value-based match relations coincide.
+//!
 //! Two relations over pattern values matter:
 //!
 //! * the **match** relation `≍` between a data value and a pattern value
-//!   ([`PatternValue::matches`]): a data value matches `_`, matches `@`, and
-//!   matches a constant iff it equals it;
+//!   ([`PatternValue::matches`] / [`PatternValue::matches_id`]): a data value
+//!   matches `_`, matches `@`, and matches a constant iff it equals it;
 //! * the **order** `⪯` between pattern values used by inference rule FD3
 //!   ([`PatternValue::leq`]): `η1 ⪯ η2` iff `η1 = η2 = a` for some constant
 //!   `a`, or `η2 = _`.
 
-use cfd_relation::Value;
-use serde::{Deserialize, Serialize};
+use cfd_relation::{Value, ValueId};
 use std::fmt;
 
 /// The textual representation of the unnamed variable in tableaux rendered to
@@ -24,10 +28,10 @@ pub const WILDCARD_TOKEN: &str = "_";
 pub const DONT_CARE_TOKEN: &str = "@";
 
 /// A cell of a pattern tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternValue {
-    /// A constant from the attribute's domain.
-    Const(Value),
+    /// A constant from the attribute's domain, interned.
+    Const(ValueId),
     /// The unnamed variable `_`: matches any data value.
     Wildcard,
     /// The don't-care symbol `@` used when merging tableaux that are not
@@ -39,7 +43,7 @@ pub enum PatternValue {
 impl PatternValue {
     /// A constant pattern cell.
     pub fn constant(v: impl Into<Value>) -> Self {
-        PatternValue::Const(v.into())
+        PatternValue::Const(ValueId::from_value(v.into()))
     }
 
     /// Parses the textual form used throughout examples and generators:
@@ -49,7 +53,7 @@ impl PatternValue {
         match token {
             WILDCARD_TOKEN => PatternValue::Wildcard,
             DONT_CARE_TOKEN => PatternValue::DontCare,
-            other => PatternValue::Const(Value::from(other)),
+            other => PatternValue::constant(other),
         }
     }
 
@@ -68,10 +72,18 @@ impl PatternValue {
         matches!(self, PatternValue::DontCare)
     }
 
-    /// The constant held by this cell, if any.
-    pub fn as_const(&self) -> Option<&Value> {
+    /// The constant held by this cell, if any (resolved through the interner).
+    pub fn as_const(&self) -> Option<&'static Value> {
         match self {
-            PatternValue::Const(v) => Some(v),
+            PatternValue::Const(id) => Some(id.resolve()),
+            _ => None,
+        }
+    }
+
+    /// The interned id of the constant held by this cell, if any.
+    pub fn const_id(&self) -> Option<ValueId> {
+        match self {
+            PatternValue::Const(id) => Some(*id),
             _ => None,
         }
     }
@@ -80,7 +92,16 @@ impl PatternValue {
     /// cell: constants must be equal, `_` and `@` match anything.
     pub fn matches(&self, v: &Value) -> bool {
         match self {
-            PatternValue::Const(c) => c == v,
+            PatternValue::Const(id) => id.resolve() == v,
+            PatternValue::Wildcard | PatternValue::DontCare => true,
+        }
+    }
+
+    /// Interned match relation: the hot-path variant of
+    /// [`PatternValue::matches`] — one `u32` compare per constant cell.
+    pub fn matches_id(&self, v: ValueId) -> bool {
+        match self {
+            PatternValue::Const(id) => *id == v,
             PatternValue::Wildcard | PatternValue::DontCare => true,
         }
     }
@@ -105,7 +126,7 @@ impl PatternValue {
     /// their tokens.
     pub fn to_value(&self) -> Value {
         match self {
-            PatternValue::Const(v) => v.clone(),
+            PatternValue::Const(id) => id.resolve().clone(),
             PatternValue::Wildcard => Value::from(WILDCARD_TOKEN),
             PatternValue::DontCare => Value::from(DONT_CARE_TOKEN),
         }
@@ -115,7 +136,7 @@ impl PatternValue {
 impl fmt::Display for PatternValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PatternValue::Const(v) => write!(f, "{v}"),
+            PatternValue::Const(id) => write!(f, "{}", id.resolve()),
             PatternValue::Wildcard => write!(f, "{WILDCARD_TOKEN}"),
             PatternValue::DontCare => write!(f, "{DONT_CARE_TOKEN}"),
         }
@@ -130,7 +151,13 @@ impl From<&str> for PatternValue {
 
 impl From<Value> for PatternValue {
     fn from(v: Value) -> Self {
-        PatternValue::Const(v)
+        PatternValue::Const(ValueId::from_value(v))
+    }
+}
+
+impl From<ValueId> for PatternValue {
+    fn from(id: ValueId) -> Self {
+        PatternValue::Const(id)
     }
 }
 
@@ -142,8 +169,8 @@ mod tests {
     fn parse_tokens() {
         assert_eq!(PatternValue::parse("_"), PatternValue::Wildcard);
         assert_eq!(PatternValue::parse("@"), PatternValue::DontCare);
-        assert_eq!(PatternValue::parse("NYC"), PatternValue::Const(Value::from("NYC")));
-        assert_eq!(PatternValue::from("44"), PatternValue::Const(Value::from("44")));
+        assert_eq!(PatternValue::parse("NYC"), PatternValue::constant("NYC"));
+        assert_eq!(PatternValue::from("44"), PatternValue::constant("44"));
     }
 
     #[test]
@@ -153,6 +180,32 @@ mod tests {
         assert!(!c.matches(&Value::from("MH")));
         assert!(PatternValue::Wildcard.matches(&Value::from("anything")));
         assert!(PatternValue::DontCare.matches(&Value::Int(5)));
+    }
+
+    #[test]
+    fn interned_match_agrees_with_value_match() {
+        let samples = [
+            Value::from("NYC"),
+            Value::from("MH"),
+            Value::Int(5),
+            Value::Bool(true),
+            Value::Null,
+        ];
+        let cells = [
+            PatternValue::constant("NYC"),
+            PatternValue::constant(5i64),
+            PatternValue::Wildcard,
+            PatternValue::DontCare,
+        ];
+        for cell in &cells {
+            for v in &samples {
+                assert_eq!(
+                    cell.matches_id(ValueId::of(v)),
+                    cell.matches(v),
+                    "id-based and value-based match disagree for {cell} vs {v}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -196,8 +249,16 @@ mod tests {
         assert!(PatternValue::constant(1i64).is_const());
         assert!(PatternValue::Wildcard.is_wildcard());
         assert!(PatternValue::DontCare.is_dont_care());
-        assert_eq!(PatternValue::constant("x").as_const(), Some(&Value::from("x")));
+        assert_eq!(
+            PatternValue::constant("x").as_const(),
+            Some(&Value::from("x"))
+        );
         assert_eq!(PatternValue::Wildcard.as_const(), None);
+        assert_eq!(
+            PatternValue::constant("x").const_id(),
+            Some(ValueId::of(&Value::from("x")))
+        );
+        assert_eq!(PatternValue::DontCare.const_id(), None);
     }
 
     #[test]

@@ -7,12 +7,11 @@
 //! ordered list of pattern tuples (`Tp` in the paper).
 
 use crate::pattern::PatternValue;
-use cfd_relation::Value;
-use serde::{Deserialize, Serialize};
+use cfd_relation::{Value, ValueId};
 use std::fmt;
 
 /// One row of a pattern tableau.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PatternTuple {
     lhs: Vec<PatternValue>,
     rhs: Vec<PatternValue>,
@@ -34,8 +33,14 @@ impl PatternTuple {
         R::Item: AsRef<str>,
     {
         PatternTuple {
-            lhs: lhs.into_iter().map(|s| PatternValue::parse(s.as_ref())).collect(),
-            rhs: rhs.into_iter().map(|s| PatternValue::parse(s.as_ref())).collect(),
+            lhs: lhs
+                .into_iter()
+                .map(|s| PatternValue::parse(s.as_ref()))
+                .collect(),
+            rhs: rhs
+                .into_iter()
+                .map(|s| PatternValue::parse(s.as_ref()))
+                .collect(),
         }
     }
 
@@ -72,37 +77,69 @@ impl PatternTuple {
     /// match the LHS cells, skipping don't-care cells.
     pub fn lhs_matches(&self, values: &[&Value]) -> bool {
         self.lhs.len() == values.len()
-            && self.lhs.iter().zip(values).all(|(p, v)| p.is_dont_care() || p.matches(v))
+            && self
+                .lhs
+                .iter()
+                .zip(values)
+                .all(|(p, v)| p.is_dont_care() || p.matches(v))
     }
 
     /// Whether the data values `values` (aligned with the RHS attributes)
     /// match the RHS cells, skipping don't-care cells.
     pub fn rhs_matches(&self, values: &[&Value]) -> bool {
         self.rhs.len() == values.len()
-            && self.rhs.iter().zip(values).all(|(p, v)| p.is_dont_care() || p.matches(v))
+            && self
+                .rhs
+                .iter()
+                .zip(values)
+                .all(|(p, v)| p.is_dont_care() || p.matches(v))
+    }
+
+    /// Interned variant of [`PatternTuple::lhs_matches`]: each constant cell
+    /// is one `u32` compare. This is the detection hot path.
+    pub fn lhs_matches_ids(&self, values: &[ValueId]) -> bool {
+        self.lhs.len() == values.len() && self.lhs.iter().zip(values).all(|(p, v)| p.matches_id(*v))
+    }
+
+    /// Interned variant of [`PatternTuple::rhs_matches`].
+    pub fn rhs_matches_ids(&self, values: &[ValueId]) -> bool {
+        self.rhs.len() == values.len() && self.rhs.iter().zip(values).all(|(p, v)| p.matches_id(*v))
     }
 
     /// Whether any cell (either side) is the don't-care symbol.
     pub fn has_dont_care(&self) -> bool {
-        self.lhs.iter().chain(self.rhs.iter()).any(PatternValue::is_dont_care)
+        self.lhs
+            .iter()
+            .chain(self.rhs.iter())
+            .any(PatternValue::is_dont_care)
     }
 
     /// Whether every cell is a constant (an *instance-level* FD row, cf. the
     /// special case from [Lim & Prabhakar, ICDE 1993] noted in Section 2).
     pub fn is_all_constants(&self) -> bool {
-        self.lhs.iter().chain(self.rhs.iter()).all(PatternValue::is_const)
+        self.lhs
+            .iter()
+            .chain(self.rhs.iter())
+            .all(PatternValue::is_const)
     }
 
     /// Whether every cell is the unnamed variable (the row expressing the
     /// plain embedded FD).
     pub fn is_all_wildcards(&self) -> bool {
-        self.lhs.iter().chain(self.rhs.iter()).all(PatternValue::is_wildcard)
+        self.lhs
+            .iter()
+            .chain(self.rhs.iter())
+            .all(PatternValue::is_wildcard)
     }
 
     /// Number of constant cells (used by workload generators to report the
     /// NUMCONSTs statistic).
     pub fn constant_count(&self) -> usize {
-        self.lhs.iter().chain(self.rhs.iter()).filter(|p| p.is_const()).count()
+        self.lhs
+            .iter()
+            .chain(self.rhs.iter())
+            .filter(|p| p.is_const())
+            .count()
     }
 
     /// The pointwise order `self ⪯ other` lifted from
@@ -136,7 +173,7 @@ impl fmt::Display for PatternTuple {
 }
 
 /// A pattern tableau: the ordered list of pattern tuples of one CFD.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PatternTableau {
     rows: Vec<PatternTuple>,
 }

@@ -1,0 +1,273 @@
+//! A self-contained, offline stand-in for the subset of the `criterion` API
+//! this workspace's benches use.
+//!
+//! The build environment has no network access, so the real `criterion` crate
+//! cannot be fetched. This shim keeps every `benches/*.rs` file source- and
+//! invocation-compatible (`cargo bench`, `cargo bench --no-run`) while
+//! implementing a deliberately simple measurement loop: each benchmark is
+//! warmed up once and then timed for `sample_size` iterations (bounded by
+//! `measurement_time`), reporting the min / mean / max wall-clock time per
+//! iteration. The numbers are indicative, not statistically rigorous — the
+//! `experiments` binary in `cfd-bench` remains the reproduction-quality
+//! harness — but the shapes (who is faster, what scales how) are preserved.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered into the printed label (`name/param`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    max_total: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one sample per call.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up (also primes caches the measured runs rely on).
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() >= self.max_total {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<50} {:>12.6?} min {:>12.6?} mean {:>12.6?} max  ({} samples)",
+        min,
+        mean,
+        max,
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks with shared sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Shortens the warm-up phase. Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (purely cosmetic in the shim).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+            max_total: self.measurement_time,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher.samples);
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.default_sample_size),
+            target_samples: self.default_sample_size,
+            max_total: self.default_measurement_time,
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &bencher.samples);
+        self
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_group(fns: &[&dyn Fn(&mut Criterion)]) {
+    let mut c = Criterion::new();
+    for f in fns {
+        f(&mut c);
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            $crate::__run_group(&[$(&$target),+]);
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: 3,
+            max_total: Duration::from_secs(1),
+        };
+        let mut count = 0u32;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        // 1 warm-up + up to 3 samples.
+        assert!(!b.samples.is_empty() && b.samples.len() <= 3);
+        assert_eq!(count as usize, b.samples.len() + 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("cnf", 5000).to_string(), "cnf/5000");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("in", 1), &41, |b, i| b.iter(|| i + 1));
+        group.finish();
+    }
+}

@@ -15,11 +15,10 @@
 
 use crate::geo;
 use crate::records::tax_schema;
+use crate::rng::StdRng;
 use crate::tax;
 use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
 use cfd_relation::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The embedded FDs available to the workload generator, named after the
 /// real-world constraint they encode. `attribute_count` is the paper's
@@ -129,14 +128,19 @@ impl CfdWorkload {
             let constant_row = (rng.gen_range(0.0..100.0)) < pct_consts;
             let row = if constant_row {
                 PatternTuple::new(
-                    lhs_consts.iter().cloned().map(PatternValue::Const).collect(),
-                    vec![PatternValue::Const(rhs_const.clone())],
+                    lhs_consts
+                        .iter()
+                        .map(|v| PatternValue::constant(v.clone()))
+                        .collect(),
+                    vec![PatternValue::constant(rhs_const.clone())],
                 )
             } else {
                 // Variable row: at least one LHS variable, RHS variable, so the
                 // row stays valid on clean data.
-                let mut lhs: Vec<PatternValue> =
-                    lhs_consts.iter().cloned().map(PatternValue::Const).collect();
+                let mut lhs: Vec<PatternValue> = lhs_consts
+                    .iter()
+                    .map(|v| PatternValue::constant(v.clone()))
+                    .collect();
                 let forced = rng.gen_range(0..lhs.len());
                 for (j, cell) in lhs.iter_mut().enumerate() {
                     if j == forced || rng.gen_bool(0.5) {
@@ -152,7 +156,11 @@ impl CfdWorkload {
 
     /// Generates one CFD whose embedded FD has the requested attribute count.
     pub fn by_attrs(&self, num_attrs: usize, tab_size: usize, pct_consts: f64) -> Cfd {
-        self.single(EmbeddedFd::with_attribute_count(num_attrs), tab_size, pct_consts)
+        self.single(
+            EmbeddedFd::with_attribute_count(num_attrs),
+            tab_size,
+            pct_consts,
+        )
     }
 
     /// Generates `num_cfds` CFDs, cycling through the embedded FDs that have
@@ -183,8 +191,8 @@ impl CfdWorkload {
         let mut tableau = PatternTableau::new();
         for (zip, state) in geo::zip_state_pairs() {
             tableau.push(PatternTuple::new(
-                vec![PatternValue::Const(Value::from(zip.as_str()))],
-                vec![PatternValue::Const(Value::from(state.as_str()))],
+                vec![PatternValue::constant(zip.as_str())],
+                vec![PatternValue::constant(state.as_str())],
             ));
         }
         build_cfd(EmbeddedFd::ZipToState, tableau)
@@ -197,15 +205,18 @@ impl CfdWorkload {
 fn source_rows(fd: EmbeddedFd) -> Vec<(Vec<Value>, Value)> {
     let table = geo::geo_table();
     match fd {
-        EmbeddedFd::ZipToState => {
-            geo::zip_state_pairs()
-                .into_iter()
-                .map(|(z, s)| (vec![Value::from(z)], Value::from(s)))
-                .collect()
-        }
+        EmbeddedFd::ZipToState => geo::zip_state_pairs()
+            .into_iter()
+            .map(|(z, s)| (vec![Value::from(z)], Value::from(s)))
+            .collect(),
         EmbeddedFd::ZipToCity => table
             .iter()
-            .map(|e| (vec![Value::from(e.zip.as_str())], Value::from(e.city.as_str())))
+            .map(|e| {
+                (
+                    vec![Value::from(e.zip.as_str())],
+                    Value::from(e.city.as_str()),
+                )
+            })
             .collect(),
         EmbeddedFd::ZipCityToState => table
             .iter()
@@ -224,7 +235,10 @@ fn source_rows(fd: EmbeddedFd) -> Vec<(Vec<Value>, Value)> {
             .map(|s| {
                 // Salary is always a variable; the RHS rate therefore must be
                 // a variable as well (it depends on the bracket).
-                (vec![Value::from(format!("S{s:02}")), Value::from("_ignored_")], Value::Null)
+                (
+                    vec![Value::from(format!("S{s:02}")), Value::from("_ignored_")],
+                    Value::Null,
+                )
             })
             .collect(),
         EmbeddedFd::StateMaritalToExemption => (0..geo::NUM_STATES)
@@ -288,7 +302,9 @@ fn build_cfd(fd: EmbeddedFd, mut tableau: PatternTableau) -> Cfd {
     let schema = tax_schema();
     Cfd::from_parts(
         schema.clone(),
-        schema.resolve_all(fd.lhs().iter().copied()).expect("workload attributes exist"),
+        schema
+            .resolve_all(fd.lhs().iter().copied())
+            .expect("workload attributes exist"),
         vec![schema.resolve(fd.rhs()).expect("workload attribute exists")],
         tableau,
     )
@@ -306,8 +322,14 @@ mod tests {
         assert_eq!(EmbeddedFd::ZipCityToState.attribute_count(), 3);
         assert_eq!(EmbeddedFd::AreaCityToState.attribute_count(), 4);
         assert_eq!(EmbeddedFd::with_attribute_count(2), EmbeddedFd::ZipToState);
-        assert_eq!(EmbeddedFd::with_attribute_count(3), EmbeddedFd::ZipCityToState);
-        assert_eq!(EmbeddedFd::with_attribute_count(4), EmbeddedFd::AreaCityToState);
+        assert_eq!(
+            EmbeddedFd::with_attribute_count(3),
+            EmbeddedFd::ZipCityToState
+        );
+        assert_eq!(
+            EmbeddedFd::with_attribute_count(4),
+            EmbeddedFd::AreaCityToState
+        );
     }
 
     #[test]
@@ -323,7 +345,10 @@ mod tests {
         let w = CfdWorkload::new(2);
         let cfd = w.single(EmbeddedFd::ZipCityToState, 400, 50.0);
         let pct = cfd.tableau().percent_constant_rows();
-        assert!((35.0..65.0).contains(&pct), "constant fraction {pct}% too far from 50%");
+        assert!(
+            (35.0..65.0).contains(&pct),
+            "constant fraction {pct}% too far from 50%"
+        );
         // Variable rows always have a variable RHS.
         for row in cfd.tableau().iter() {
             if !row.is_all_constants() {
@@ -334,24 +359,38 @@ mod tests {
 
     #[test]
     fn generated_cfds_hold_on_clean_data() {
-        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 11 })
-            .generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 2_000,
+            noise_percent: 0.0,
+            seed: 11,
+        })
+        .generate();
         let w = CfdWorkload::new(3);
         for fd in EmbeddedFd::all() {
             let cfd = w.single(fd, 60, 70.0);
-            assert!(cfd.satisfied_by(&data.relation), "{fd:?} violated by clean data");
+            assert!(
+                cfd.satisfied_by(&data.relation),
+                "{fd:?} violated by clean data"
+            );
         }
         assert!(w.zip_state_full().satisfied_by(&data.relation));
     }
 
     #[test]
     fn noisy_data_violates_the_full_zip_state_cfd() {
-        let data = TaxGenerator::new(TaxConfig { size: 3_000, noise_percent: 8.0, seed: 12 })
-            .generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 3_000,
+            noise_percent: 8.0,
+            seed: 12,
+        })
+        .generate();
         let w = CfdWorkload::new(4);
         let cfd = w.zip_state_full();
         assert!(!data.dirty_rows.is_empty());
-        assert!(!cfd.satisfied_by(&data.relation), "noise must produce violations");
+        assert!(
+            !cfd.satisfied_by(&data.relation),
+            "noise must produce violations"
+        );
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub fn geo_table() -> &'static [GeoEntry] {
 /// "zip codes determine states" CFD and for the Fig. 9(f) experiment, which
 /// uses *all* zip→state pairs.
 pub fn zip_state_pairs() -> Vec<(String, String)> {
-    let mut out: Vec<(String, String)> =
-        geo_table().iter().map(|e| (e.zip.clone(), e.state.clone())).collect();
+    let mut out: Vec<(String, String)> = geo_table()
+        .iter()
+        .map(|e| (e.zip.clone(), e.state.clone()))
+        .collect();
     out.sort();
     out.dedup();
     out
@@ -53,8 +55,10 @@ pub fn zip_state_pairs() -> Vec<(String, String)> {
 
 /// All distinct `(area code, city)` pairs.
 pub fn area_city_pairs() -> Vec<(String, String)> {
-    let mut out: Vec<(String, String)> =
-        geo_table().iter().map(|e| (e.area_code.clone(), e.city.clone())).collect();
+    let mut out: Vec<(String, String)> = geo_table()
+        .iter()
+        .map(|e| (e.area_code.clone(), e.city.clone()))
+        .collect();
     out.sort();
     out.dedup();
     out
@@ -62,15 +66,31 @@ pub fn area_city_pairs() -> Vec<(String, String)> {
 
 /// The state of a zip code, if the zip exists.
 pub fn state_of_zip(zip: &str) -> Option<&'static str> {
-    geo_table().iter().find(|e| e.zip == zip).map(|e| e.state.as_str())
+    geo_table()
+        .iter()
+        .find(|e| e.zip == zip)
+        .map(|e| e.state.as_str())
 }
 
 fn build_table() -> Vec<GeoEntry> {
     // A pool of base city names, shorter than NUM_STATES * CITIES_PER_STATE so
     // that names repeat across states (CT alone does not determine ST).
     let base_names = [
-        "Springfield", "Franklin", "Clinton", "Georgetown", "Salem", "Madison", "Arlington",
-        "Ashland", "Dover", "Hudson", "Kingston", "Milton", "Newport", "Oxford", "Riverside",
+        "Springfield",
+        "Franklin",
+        "Clinton",
+        "Georgetown",
+        "Salem",
+        "Madison",
+        "Arlington",
+        "Ashland",
+        "Dover",
+        "Hudson",
+        "Kingston",
+        "Milton",
+        "Newport",
+        "Oxford",
+        "Riverside",
         "Winchester",
     ];
     let mut table = Vec::with_capacity(NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY);
@@ -116,7 +136,11 @@ mod tests {
             assert_eq!(entry.0, e.state, "ZIP -> ST must be a function");
             assert_eq!(entry.1, e.city, "ZIP -> CT must be a function");
         }
-        assert_eq!(seen.len(), NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY, "zips are unique");
+        assert_eq!(
+            seen.len(),
+            NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY,
+            "zips are unique"
+        );
     }
 
     #[test]
@@ -153,7 +177,10 @@ mod tests {
 
     #[test]
     fn pair_helpers_are_deduplicated() {
-        assert_eq!(zip_state_pairs().len(), NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY);
+        assert_eq!(
+            zip_state_pairs().len(),
+            NUM_STATES * CITIES_PER_STATE * ZIPS_PER_CITY
+        );
         assert_eq!(area_city_pairs().len(), NUM_STATES * CITIES_PER_STATE);
         assert_eq!(state_of_zip("10000"), Some("S00"));
         assert_eq!(state_of_zip("99999"), None);

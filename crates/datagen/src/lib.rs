@@ -31,6 +31,7 @@ pub mod cfdgen;
 pub mod cust;
 pub mod geo;
 pub mod records;
+pub mod rng;
 pub mod tax;
 
 pub use cfdgen::{CfdWorkload, EmbeddedFd};

@@ -10,10 +10,9 @@
 //! value (e.g. a record with a New-York zip code but a Chicago-style city).
 
 use crate::geo::{self, GeoEntry};
+use crate::rng::StdRng;
 use crate::tax;
 use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +27,11 @@ pub struct TaxConfig {
 
 impl Default for TaxConfig {
     fn default() -> Self {
-        TaxConfig { size: 10_000, noise_percent: 5.0, seed: 42 }
+        TaxConfig {
+            size: 10_000,
+            noise_percent: 5.0,
+            seed: 42,
+        }
     }
 }
 
@@ -101,9 +104,14 @@ impl TaxGenerator {
                 corrupt(&mut rng, &mut values, entry);
                 dirty_rows.push(i);
             }
-            relation.push(Tuple::new(values)).expect("generated tuple matches schema");
+            relation
+                .push(Tuple::new(values))
+                .expect("generated tuple matches schema");
         }
-        GeneratedData { relation, dirty_rows }
+        GeneratedData {
+            relation,
+            dirty_rows,
+        }
     }
 }
 
@@ -144,7 +152,10 @@ fn corrupt(rng: &mut StdRng, values: &mut [Value], entry: &GeoEntry) {
     match rng.gen_range(0..5) {
         0 => {
             // Wrong state for this zip code.
-            let wrong = format!("S{:02}", (tax::state_index(&entry.state) + 1) % geo::NUM_STATES);
+            let wrong = format!(
+                "S{:02}",
+                (tax::state_index(&entry.state) + 1) % geo::NUM_STATES
+            );
             values[ST] = Value::from(wrong);
         }
         1 => {
@@ -174,7 +185,12 @@ mod tests {
 
     #[test]
     fn generates_requested_size_and_schema() {
-        let data = TaxGenerator::new(TaxConfig { size: 500, noise_percent: 0.0, seed: 1 }).generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 500,
+            noise_percent: 0.0,
+            seed: 1,
+        })
+        .generate();
         assert_eq!(data.relation.len(), 500);
         assert_eq!(data.relation.schema().arity(), TAX_ATTRS.len());
         assert!(data.dirty_rows.is_empty());
@@ -182,7 +198,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_for_a_seed() {
-        let cfg = TaxConfig { size: 200, noise_percent: 5.0, seed: 99 };
+        let cfg = TaxConfig {
+            size: 200,
+            noise_percent: 5.0,
+            seed: 99,
+        };
         let a = TaxGenerator::new(cfg).generate();
         let b = TaxGenerator::new(cfg).generate();
         assert_eq!(a.relation, b.relation);
@@ -193,28 +213,47 @@ mod tests {
 
     #[test]
     fn noise_fraction_is_roughly_honoured() {
-        let data =
-            TaxGenerator::new(TaxConfig { size: 5_000, noise_percent: 10.0, seed: 3 }).generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 5_000,
+            noise_percent: 10.0,
+            seed: 3,
+        })
+        .generate();
         let frac = data.dirty_rows.len() as f64 / 5_000.0 * 100.0;
-        assert!((5.0..15.0).contains(&frac), "noise fraction {frac}% too far from 10%");
+        assert!(
+            (5.0..15.0).contains(&frac),
+            "noise fraction {frac}% too far from 10%"
+        );
     }
 
     #[test]
     fn clean_data_respects_zip_to_state() {
-        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 5 }).generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 2_000,
+            noise_percent: 0.0,
+            seed: 5,
+        })
+        .generate();
         let schema = data.relation.schema().clone();
         let zip = schema.resolve("ZIP").unwrap();
         let st = schema.resolve("ST").unwrap();
         let mut mapping: HashMap<Value, Value> = HashMap::new();
         for (_, row) in data.relation.iter() {
-            let entry = mapping.entry(row[zip].clone()).or_insert_with(|| row[st].clone());
+            let entry = mapping
+                .entry(row[zip].clone())
+                .or_insert_with(|| row[st].clone());
             assert_eq!(entry, &row[st], "ZIP -> ST violated on clean data");
         }
     }
 
     #[test]
     fn clean_data_respects_state_salary_to_tax_and_exemptions() {
-        let data = TaxGenerator::new(TaxConfig { size: 2_000, noise_percent: 0.0, seed: 6 }).generate();
+        let data = TaxGenerator::new(TaxConfig {
+            size: 2_000,
+            noise_percent: 0.0,
+            seed: 6,
+        })
+        .generate();
         let schema = data.relation.schema().clone();
         let st = schema.resolve("ST").unwrap();
         let sa = schema.resolve("SA").unwrap();
@@ -226,13 +265,20 @@ mod tests {
             let salary = row[sa].as_int().unwrap();
             assert_eq!(row[tx].as_int().unwrap(), tax::tax_rate(sidx, salary));
             let married = row[mr].as_str().unwrap() == "married";
-            assert_eq!(row[stx].as_int().unwrap(), tax::single_exemption(sidx, married));
+            assert_eq!(
+                row[stx].as_int().unwrap(),
+                tax::single_exemption(sidx, married)
+            );
         }
     }
 
     #[test]
     fn noisy_rows_really_differ_from_clean_regeneration() {
-        let cfg = TaxConfig { size: 1_000, noise_percent: 20.0, seed: 7 };
+        let cfg = TaxConfig {
+            size: 1_000,
+            noise_percent: 20.0,
+            seed: 7,
+        };
         let noisy = TaxGenerator::new(cfg).generate();
         assert!(!noisy.dirty_rows.is_empty());
         // Every dirty row must violate at least one of the functional

@@ -1,0 +1,172 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The build environment is offline, so the `rand` crate is unavailable. The
+//! generators only need reproducible, reasonably-distributed pseudo-random
+//! numbers — cryptographic quality is irrelevant — so this module provides a
+//! SplitMix64-seeded xoshiro256++ generator exposing the tiny slice of the
+//! `rand` API the workload generators (and the randomized property tests)
+//! use: [`StdRng::seed_from_u64`], [`StdRng::gen_range`] and
+//! [`StdRng::gen_bool`].
+//!
+//! Determinism contract: for a fixed seed, the sequence of draws is stable
+//! across runs and platforms (all arithmetic is explicit wrapping `u64`
+//! math), which the generator tests rely on.
+
+use std::ops::Range;
+
+/// A deterministic pseudo-random number generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the generator from a single `u64` (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        self.state = [s0n, s1n, s2n, s3n.rotate_left(45)];
+        result
+    }
+
+    /// A uniformly distributed value in `range` (half-open, like `rand`).
+    ///
+    /// Panics when the range is empty, mirroring `rand`'s behaviour.
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_range(0.0..1.0) < p
+    }
+}
+
+/// Types [`StdRng::gen_range`] can sample uniformly from a half-open range.
+pub trait SampleRange: Sized {
+    /// Draws a uniform sample in `range`.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+fn sample_u64(rng: &mut StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift rejection-free mapping (Lemire); the tiny modulo bias is
+    // irrelevant for workload generation.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange for usize {
+    fn sample(rng: &mut StdRng, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + sample_u64(rng, (range.end - range.start) as u64) as usize
+    }
+}
+
+impl SampleRange for u64 {
+    fn sample(rng: &mut StdRng, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + sample_u64(rng, range.end - range.start)
+    }
+}
+
+impl SampleRange for u32 {
+    fn sample(rng: &mut StdRng, range: Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + sample_u64(rng, (range.end - range.start) as u64) as u32
+    }
+}
+
+impl SampleRange for i64 {
+    fn sample(rng: &mut StdRng, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(sample_u64(rng, span) as i64)
+    }
+}
+
+impl SampleRange for i32 {
+    fn sample(rng: &mut StdRng, range: Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end as i64 - range.start as i64) as u64;
+        range.start.wrapping_add(sample_u64(rng, span) as i32)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut StdRng, range: Range<f64>) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let f = rng.gen_range(0.0..100.0);
+            assert!((0.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&frac), "p=0.3 produced {frac}");
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(rng.gen_range(0usize..10));
+        }
+        assert_eq!(seen.len(), 10, "all buckets of 0..10 must be hit");
+    }
+}

@@ -15,7 +15,10 @@ pub const NUM_BRACKETS: usize = BRACKET_BOUNDS.len() + 1;
 
 /// The bracket index (0-based) a salary falls into.
 pub fn bracket_of(salary: i64) -> usize {
-    BRACKET_BOUNDS.iter().position(|b| salary < *b).unwrap_or(BRACKET_BOUNDS.len())
+    BRACKET_BOUNDS
+        .iter()
+        .position(|b| salary < *b)
+        .unwrap_or(BRACKET_BOUNDS.len())
 }
 
 /// The synthetic tax rate (in percent) for a state index and salary.

@@ -38,7 +38,9 @@ pub struct Detector {
 impl Detector {
     /// A detector using the default (DNF + indexes) evaluation strategy.
     pub fn new() -> Self {
-        Detector { strategy: Strategy::default() }
+        Detector {
+            strategy: Strategy::default(),
+        }
     }
 
     /// Sets the SQL evaluation strategy (CNF vs DNF — the Fig. 9(a)/(b) knob).
@@ -56,11 +58,16 @@ impl Detector {
     /// the relation into the internal catalog; use [`Detector::detect_shared`]
     /// when the relation is already shared.
     pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Result<Violations> {
-        self.detect_shared(cfd, Arc::new(rel.clone())).map(|(v, _)| v)
+        self.detect_shared(cfd, Arc::new(rel.clone()))
+            .map(|(v, _)| v)
     }
 
     /// Detects violations of a single CFD, returning execution counters too.
-    pub fn detect_shared(&self, cfd: &Cfd, data: Arc<Relation>) -> Result<(Violations, DetectStats)> {
+    pub fn detect_shared(
+        &self,
+        cfd: &Cfd,
+        data: Arc<Relation>,
+    ) -> Result<(Violations, DetectStats)> {
         let mut catalog = Catalog::new();
         catalog.register_arc(DATA_NAME, data);
         catalog.register_as(TABLEAU_NAME, single::tableau_relation(cfd, TABLEAU_NAME));
@@ -172,11 +179,15 @@ impl Detector {
         let executor = Executor::new(&catalog).with_strategy(self.strategy);
 
         let mut out = Violations::new();
-        let qc = executor.run(&merged::qc_merged_paper(&merged, DATA_NAME, TX_NAME, TY_NAME))?;
+        let qc = executor.run(&merged::qc_merged_paper(
+            &merged, DATA_NAME, TX_NAME, TY_NAME,
+        ))?;
         for row in qc.rows() {
             out.add_constant_violation(row.clone());
         }
-        let qv = executor.run(&merged::qv_merged_paper(&merged, DATA_NAME, TX_NAME, TY_NAME))?;
+        let qv = executor.run(&merged::qv_merged_paper(
+            &merged, DATA_NAME, TX_NAME, TY_NAME,
+        ))?;
         for row in qv.rows() {
             out.add_multi_tuple_key(row.clone());
         }
@@ -197,19 +208,18 @@ impl Detector {
         }
         let threads = threads.max(1).min(cfds.len());
         let chunk_size = cfds.len().div_ceil(threads);
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in cfds.chunks(chunk_size) {
                 let data = Arc::clone(&data);
                 let detector = *self;
-                handles.push(scope.spawn(move |_| detector.detect_set(chunk, data)));
+                handles.push(scope.spawn(move || detector.detect_set(chunk, data)));
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("detection worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("detection scope panicked");
+        });
 
         let mut out = Violations::new();
         for r in results {
@@ -221,7 +231,10 @@ impl Detector {
     /// The SQL text of the query pair for one CFD, for inspection and
     /// documentation (Fig. 5).
     pub fn sql_for(&self, cfd: &Cfd, data_name: &str) -> (SelectQuery, SelectQuery) {
-        (single::qc_query(cfd, data_name, "Tp"), single::qv_query(cfd, data_name, "Tp"))
+        (
+            single::qc_query(cfd, data_name, "Tp"),
+            single::qv_query(cfd, data_name, "Tp"),
+        )
     }
 }
 
@@ -281,7 +294,9 @@ mod tests {
     fn qc_and_qv_split_match_the_combined_run() {
         let rel = Arc::new(cust_instance());
         let cfd = phi2();
-        let (combined, stats) = Detector::new().detect_shared(&cfd, Arc::clone(&rel)).unwrap();
+        let (combined, stats) = Detector::new()
+            .detect_shared(&cfd, Arc::clone(&rel))
+            .unwrap();
         let (qc, qc_stats) = Detector::new().qc_only(&cfd, Arc::clone(&rel)).unwrap();
         let (qv, qv_stats) = Detector::new().qv_only(&cfd, Arc::clone(&rel)).unwrap();
         assert_eq!(qc.constant_violations(), combined.constant_violations());
@@ -295,32 +310,50 @@ mod tests {
         let rel = Arc::new(cust_instance());
         let cfds: Vec<_> = fig2_cfd_set().into_iter().collect();
         let per_cfd = Detector::new().detect_set(&cfds, Arc::clone(&rel)).unwrap();
-        let merged = Detector::new().detect_set_merged(&cfds, Arc::clone(&rel)).unwrap();
-        let parallel = Detector::new().detect_set_parallel(&cfds, Arc::clone(&rel), 3).unwrap();
+        let merged = Detector::new()
+            .detect_set_merged(&cfds, Arc::clone(&rel))
+            .unwrap();
+        let parallel = Detector::new()
+            .detect_set_parallel(&cfds, Arc::clone(&rel), 3)
+            .unwrap();
         // Constant violations are full tuples in every scheme, so they agree
         // exactly; multi-tuple keys use different key spaces (per-CFD X vs the
         // merged X union), so only their emptiness is compared here.
         assert_eq!(per_cfd.constant_violations(), merged.constant_violations());
         assert_eq!(per_cfd, parallel);
-        assert_eq!(per_cfd.multi_tuple_keys().is_empty(), merged.multi_tuple_keys().is_empty());
+        assert_eq!(
+            per_cfd.multi_tuple_keys().is_empty(),
+            merged.multi_tuple_keys().is_empty()
+        );
     }
 
     #[test]
     fn merged_paper_form_agrees_with_exec_form() {
         let rel = Arc::new(cust_instance());
         let cfds = vec![phi2(), phi3_with_fd(), phi5()];
-        let exec_form = Detector::new().detect_set_merged(&cfds, Arc::clone(&rel)).unwrap();
-        let paper_form =
-            Detector::new().detect_set_merged_paper_form(&cfds, Arc::clone(&rel)).unwrap();
+        let exec_form = Detector::new()
+            .detect_set_merged(&cfds, Arc::clone(&rel))
+            .unwrap();
+        let paper_form = Detector::new()
+            .detect_set_merged_paper_form(&cfds, Arc::clone(&rel))
+            .unwrap();
         assert_eq!(exec_form, paper_form);
     }
 
     #[test]
     fn detection_on_generated_tax_workload_finds_only_noise() {
-        let clean = TaxGenerator::new(TaxConfig { size: 800, noise_percent: 0.0, seed: 21 })
-            .generate();
-        let noisy = TaxGenerator::new(TaxConfig { size: 800, noise_percent: 10.0, seed: 21 })
-            .generate();
+        let clean = TaxGenerator::new(TaxConfig {
+            size: 800,
+            noise_percent: 0.0,
+            seed: 21,
+        })
+        .generate();
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 800,
+            noise_percent: 10.0,
+            seed: 21,
+        })
+        .generate();
         let cfd = CfdWorkload::new(5).single(EmbeddedFd::ZipToState, 200, 100.0);
         let detector = Detector::new();
         assert!(detector.detect(&cfd, &clean.relation).unwrap().is_clean());
@@ -334,16 +367,28 @@ mod tests {
             let zip_v = tuple[zip.index()].clone();
             let st_v = tuple[st.index()].clone();
             let true_state = cfd_datagen::geo::state_of_zip(zip_v.as_str().unwrap()).unwrap();
-            assert_ne!(st_v, Value::from(true_state), "reported tuple is actually clean");
+            assert_ne!(
+                st_v,
+                Value::from(true_state),
+                "reported tuple is actually clean"
+            );
         }
     }
 
     #[test]
     fn sql_and_direct_agree_on_the_tax_workload() {
-        let noisy = TaxGenerator::new(TaxConfig { size: 600, noise_percent: 8.0, seed: 33 })
-            .generate();
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 600,
+            noise_percent: 8.0,
+            seed: 33,
+        })
+        .generate();
         let workload = CfdWorkload::new(9);
-        for fd in [EmbeddedFd::ZipToState, EmbeddedFd::ZipCityToState, EmbeddedFd::AreaToCity] {
+        for fd in [
+            EmbeddedFd::ZipToState,
+            EmbeddedFd::ZipCityToState,
+            EmbeddedFd::AreaToCity,
+        ] {
             let cfd = workload.single(fd, 120, 60.0);
             let sql = Detector::new().detect(&cfd, &noisy.relation).unwrap();
             let direct = DirectDetector::new().detect(&cfd, &noisy.relation);
@@ -354,7 +399,9 @@ mod tests {
     #[test]
     fn parallel_detection_handles_edge_cases() {
         let rel = Arc::new(cust_instance());
-        let none = Detector::new().detect_set_parallel(&[], Arc::clone(&rel), 4).unwrap();
+        let none = Detector::new()
+            .detect_set_parallel(&[], Arc::clone(&rel), 4)
+            .unwrap();
         assert!(none.is_clean());
         let one = Detector::new()
             .detect_set_parallel(&[phi2()], Arc::clone(&rel), 16)

@@ -12,7 +12,7 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Value};
+use cfd_relation::{Relation, Value, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Stateless direct detector.
@@ -28,6 +28,10 @@ impl DirectDetector {
     /// Detects violations of one CFD, reporting the same items as the SQL
     /// query pair: full tuples for single-tuple violations, `X`-projection
     /// keys for multi-tuple violations.
+    ///
+    /// Entirely interned: pattern matching, grouping and the distinct-`Y`
+    /// sets all work on [`ValueId`]s (`u32` compares and hashes); values are
+    /// resolved only when a finding enters the report.
     pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Violations {
         let mut out = Violations::new();
         let lhs = cfd.lhs();
@@ -35,11 +39,11 @@ impl DirectDetector {
 
         // QC: tuples matching a pattern on X but contradicting a constant on Y.
         for (_, tuple) in rel.iter() {
-            let x_vals = tuple.project_ref(lhs);
-            let y_vals = tuple.project_ref(rhs);
+            let x_vals = tuple.project_ids(lhs);
+            let y_vals = tuple.project_ids(rhs);
             for pattern in cfd.tableau().iter() {
-                if pattern.lhs_matches(&x_vals) && !pattern.rhs_matches(&y_vals) {
-                    out.add_constant_violation(tuple.values().to_vec());
+                if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
+                    out.add_constant_violation(tuple.to_values());
                     break;
                 }
             }
@@ -48,6 +52,52 @@ impl DirectDetector {
         // QV: groups agreeing (and matching a pattern) on X with more than one
         // distinct Y projection. Whether an X value matches some pattern
         // depends on the X value only, so the check is memoized per key.
+        let mut groups: HashMap<Vec<ValueId>, HashSet<Vec<ValueId>>> = HashMap::new();
+        let mut matched_cache: HashMap<Vec<ValueId>, bool> = HashMap::new();
+        for (_, tuple) in rel.iter() {
+            let key = tuple.project_ids(lhs);
+            let matched = *matched_cache
+                .entry(key.clone())
+                .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(&key)));
+            if matched {
+                groups
+                    .entry(key)
+                    .or_default()
+                    .insert(tuple.project_ids(rhs));
+            }
+        }
+        for (key, y_projs) in groups {
+            if y_projs.len() > 1 {
+                out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+            }
+        }
+        out
+    }
+
+    /// The pre-interning reference implementation: identical semantics to
+    /// [`DirectDetector::detect`], but comparing resolved [`Value`]s (string
+    /// compares, owned-value hash keys) instead of dictionary ids.
+    ///
+    /// Kept for two purposes: the detector-equivalence tests prove the
+    /// interned path returns byte-identical [`Violations`], and the
+    /// `merged_cfds` bench uses it as the "naive" baseline for the interned
+    /// hot path.
+    pub fn detect_value_path(&self, cfd: &Cfd, rel: &Relation) -> Violations {
+        let mut out = Violations::new();
+        let lhs = cfd.lhs();
+        let rhs = cfd.rhs();
+
+        for (_, tuple) in rel.iter() {
+            let x_vals = tuple.project_ref(lhs);
+            let y_vals = tuple.project_ref(rhs);
+            for pattern in cfd.tableau().iter() {
+                if pattern.lhs_matches(&x_vals) && !pattern.rhs_matches(&y_vals) {
+                    out.add_constant_violation(tuple.to_values());
+                    break;
+                }
+            }
+        }
+
         let mut groups: HashMap<Vec<Value>, HashSet<Vec<Value>>> = HashMap::new();
         let mut matched_cache: HashMap<Vec<Value>, bool> = HashMap::new();
         for (_, tuple) in rel.iter() {
@@ -119,14 +169,23 @@ mod tests {
         let v = DirectDetector::new().detect(&phi2(), &rel);
         assert_eq!(v.multi_tuple_keys().len(), 1);
         let key = v.multi_tuple_keys().iter().next().unwrap();
-        assert_eq!(key, &vec![Value::from("01"), Value::from("908"), Value::from("1111111")]);
+        assert_eq!(
+            key,
+            &vec![
+                Value::from("01"),
+                Value::from("908"),
+                Value::from("1111111")
+            ]
+        );
     }
 
     #[test]
     fn clean_cfds_report_nothing() {
         let rel = cust_instance();
         assert!(DirectDetector::new().detect(&phi1(), &rel).is_clean());
-        assert!(DirectDetector::new().detect(&phi3_with_fd(), &rel).is_clean());
+        assert!(DirectDetector::new()
+            .detect(&phi3_with_fd(), &rel)
+            .is_clean());
     }
 
     #[test]
@@ -141,6 +200,8 @@ mod tests {
         let rel = cust_instance();
         let rows = DirectDetector::new().violating_rows(&phi2(), &rel);
         assert_eq!(rows, vec![0, 1]);
-        assert!(DirectDetector::new().violating_rows(&phi1(), &rel).is_empty());
+        assert!(DirectDetector::new()
+            .violating_rows(&phi1(), &rel)
+            .is_empty());
     }
 }

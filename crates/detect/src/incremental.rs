@@ -21,7 +21,7 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Tuple, Value};
+use cfd_relation::{Relation, Tuple, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Incremental detector over a clean base instance.
@@ -41,7 +41,11 @@ impl<'a> IncrementalDetector<'a> {
     /// are not re-reported.
     pub fn new(base: &'a Relation, cfds: Vec<Cfd>) -> Self {
         let indexes = cfds.iter().map(|c| base.build_index(c.lhs())).collect();
-        IncrementalDetector { base, indexes, cfds }
+        IncrementalDetector {
+            base,
+            indexes,
+            cfds,
+        }
     }
 
     /// The CFDs being enforced.
@@ -69,12 +73,13 @@ impl<'a> IncrementalDetector<'a> {
         let rhs = cfd.rhs();
 
         // Single-tuple (QC-style) violations among the inserted tuples.
+        // Interned: constant-cell checks are u32 compares.
         for tuple in batch {
-            let x_vals = tuple.project_ref(lhs);
-            let y_vals = tuple.project_ref(rhs);
+            let x_vals = tuple.project_ids(lhs);
+            let y_vals = tuple.project_ids(rhs);
             for pattern in cfd.tableau().iter() {
-                if pattern.lhs_matches(&x_vals) && !pattern.rhs_matches(&y_vals) {
-                    out.add_constant_violation(tuple.values().to_vec());
+                if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
+                    out.add_constant_violation(tuple.to_values());
                     break;
                 }
             }
@@ -83,22 +88,24 @@ impl<'a> IncrementalDetector<'a> {
         // Multi-tuple (QV-style) violations: group the batch by LHS value,
         // keep only groups matching some pattern, and union each group with
         // the base tuples sharing that LHS value (via the prebuilt index).
-        let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        let mut groups: HashMap<Vec<ValueId>, Vec<&Tuple>> = HashMap::new();
         for tuple in batch {
-            groups.entry(tuple.project(lhs)).or_default().push(tuple);
+            groups
+                .entry(tuple.project_ids(lhs))
+                .or_default()
+                .push(tuple);
         }
         for (key, members) in groups {
-            let key_refs: Vec<&Value> = key.iter().collect();
-            if !cfd.tableau().iter().any(|p| p.lhs_matches(&key_refs)) {
+            if !cfd.tableau().iter().any(|p| p.lhs_matches_ids(&key)) {
                 continue;
             }
-            let mut y_projections: HashSet<Vec<Value>> =
-                members.iter().map(|t| t.project(rhs)).collect();
-            for &row in index.lookup(&key) {
-                y_projections.insert(self.base.rows()[row].project(rhs));
+            let mut y_projections: HashSet<Vec<ValueId>> =
+                members.iter().map(|t| t.project_ids(rhs)).collect();
+            for &row in index.lookup_ids(&key) {
+                y_projections.insert(self.base.rows()[row].project_ids(rhs));
             }
             if y_projections.len() > 1 {
-                out.add_multi_tuple_key(key);
+                out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
             }
         }
     }
@@ -111,6 +118,7 @@ mod tests {
     use cfd_datagen::cust::{cust_instance, cust_schema, phi2, phi3_with_fd};
     use cfd_datagen::records::{TaxConfig, TaxGenerator};
     use cfd_datagen::{CfdWorkload, EmbeddedFd};
+    use cfd_relation::Value;
     use std::sync::Arc;
 
     fn tuple(values: &[&str]) -> Tuple {
@@ -130,7 +138,9 @@ mod tests {
     fn clean_insertions_report_nothing() {
         let base = clean_base();
         let detector = IncrementalDetector::new(&base, vec![phi2(), phi3_with_fd()]);
-        let batch = vec![tuple(&["01", "215", "5555555", "Deb", "Oak Ave.", "PHI", "02394"])];
+        let batch = vec![tuple(&[
+            "01", "215", "5555555", "Deb", "Oak Ave.", "PHI", "02394",
+        ])];
         assert!(detector.detect_insertions(&batch).is_clean());
         assert_eq!(detector.cfds().len(), 2);
     }
@@ -177,26 +187,35 @@ mod tests {
     fn incremental_matches_full_detection_on_the_combined_instance() {
         // Build a clean tax base, a noisy batch, and compare against running
         // the full SQL detector on base ∪ batch.
-        let base = TaxGenerator::new(TaxConfig { size: 600, noise_percent: 0.0, seed: 3 })
-            .generate()
-            .relation;
-        let batch_rel = TaxGenerator::new(TaxConfig { size: 80, noise_percent: 20.0, seed: 4 })
-            .generate()
-            .relation;
+        let base = TaxGenerator::new(TaxConfig {
+            size: 600,
+            noise_percent: 0.0,
+            seed: 3,
+        })
+        .generate()
+        .relation;
+        let batch_rel = TaxGenerator::new(TaxConfig {
+            size: 80,
+            noise_percent: 20.0,
+            seed: 4,
+        })
+        .generate()
+        .relation;
         let batch: Vec<Tuple> = batch_rel.rows().to_vec();
         let cfds = vec![
             CfdWorkload::new(1).zip_state_full(),
             CfdWorkload::new(1).single(EmbeddedFd::AreaToCity, 200, 100.0),
         ];
 
-        let incremental =
-            IncrementalDetector::new(&base, cfds.clone()).detect_insertions(&batch);
+        let incremental = IncrementalDetector::new(&base, cfds.clone()).detect_insertions(&batch);
 
         let mut combined = base.clone();
         for t in &batch {
             combined.push(t.clone()).unwrap();
         }
-        let full = Detector::new().detect_set(&cfds, Arc::new(combined)).unwrap();
+        let full = Detector::new()
+            .detect_set(&cfds, Arc::new(combined))
+            .unwrap();
 
         // The base is clean, so every full-detection finding involves the
         // batch and must be found incrementally, and vice versa.

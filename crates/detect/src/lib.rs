@@ -37,8 +37,8 @@
 //! ```
 
 pub mod detector;
-pub mod incremental;
 pub mod direct;
+pub mod incremental;
 pub mod merge;
 pub mod merged;
 pub mod report;

@@ -50,10 +50,14 @@ impl MergedTableaux {
         let mut y_ids: Vec<_> = cfds.iter().flat_map(|c| c.rhs().iter().copied()).collect();
         y_ids.sort();
         y_ids.dedup();
-        let x_attrs: Vec<String> =
-            x_ids.iter().map(|a| schema.attr_name(*a).to_owned()).collect();
-        let y_attrs: Vec<String> =
-            y_ids.iter().map(|a| schema.attr_name(*a).to_owned()).collect();
+        let x_attrs: Vec<String> = x_ids
+            .iter()
+            .map(|a| schema.attr_name(*a).to_owned())
+            .collect();
+        let y_attrs: Vec<String> = y_ids
+            .iter()
+            .map(|a| schema.attr_name(*a).to_owned())
+            .collect();
 
         let mut x_rows = Vec::new();
         let mut y_rows = Vec::new();
@@ -64,18 +68,23 @@ impl MergedTableaux {
                 let mut x_cells = vec![PatternValue::DontCare; x_ids.len()];
                 for (attr, cell) in cfd.lhs().iter().zip(row.lhs()) {
                     let pos = x_ids.iter().position(|a| a == attr).expect("attr in union");
-                    x_cells[pos] = cell.clone();
+                    x_cells[pos] = *cell;
                 }
                 let mut y_cells = vec![PatternValue::DontCare; y_ids.len()];
                 for (attr, cell) in cfd.rhs().iter().zip(row.rhs()) {
                     let pos = y_ids.iter().position(|a| a == attr).expect("attr in union");
-                    y_cells[pos] = cell.clone();
+                    y_cells[pos] = *cell;
                 }
                 x_rows.push((id, x_cells));
                 y_rows.push((id, y_cells));
             }
         }
-        Ok(MergedTableaux { x_attrs, y_attrs, x_rows, y_rows })
+        Ok(MergedTableaux {
+            x_attrs,
+            y_attrs,
+            x_rows,
+            y_rows,
+        })
     }
 
     /// The union of LHS attribute names.
@@ -131,7 +140,8 @@ impl MergedTableaux {
             values.push(Value::from(id.to_string()));
             values.extend(x_cells.iter().map(PatternValue::to_value));
             values.extend(y_cells.iter().map(PatternValue::to_value));
-            rel.push(Tuple::new(values)).expect("joined row matches schema");
+            rel.push(Tuple::new(values))
+                .expect("joined row matches schema");
         }
         rel
     }
@@ -145,16 +155,15 @@ impl MergedTableaux {
         let rhs = schema.resolve_all(self.y_attrs.iter().map(String::as_str))?;
         let mut tableau = cfd_core::PatternTableau::new();
         for ((_, x_cells), (_, y_cells)) in self.x_rows.iter().zip(&self.y_rows) {
-            tableau.push(cfd_core::PatternTuple::new(x_cells.clone(), y_cells.clone()));
+            tableau.push(cfd_core::PatternTuple::new(
+                x_cells.clone(),
+                y_cells.clone(),
+            ));
         }
         Cfd::from_parts(schema.clone(), lhs, rhs, tableau)
     }
 
-    fn materialize(
-        name: &str,
-        attrs: &[String],
-        rows: &[(usize, Vec<PatternValue>)],
-    ) -> Relation {
+    fn materialize(name: &str, attrs: &[String], rows: &[(usize, Vec<PatternValue>)]) -> Relation {
         let mut builder = Schema::builder(name).text("id");
         for a in attrs {
             builder = builder.text(a.clone());
@@ -165,7 +174,8 @@ impl MergedTableaux {
             let mut values = Vec::with_capacity(1 + cells.len());
             values.push(Value::from(id.to_string()));
             values.extend(cells.iter().map(PatternValue::to_value));
-            rel.push(Tuple::new(values)).expect("merged row matches schema");
+            rel.push(Tuple::new(values))
+                .expect("merged row matches schema");
         }
         rel
     }
@@ -186,7 +196,7 @@ mod tests {
 
         let tx = merged.x_relation("TX");
         assert_eq!(tx.schema().arity(), 4); // id + CC, AC, CT
-        // The ϕ5 row has '@' on CC and AC in T^X_Σ (Fig. 7a, id 4).
+                                            // The ϕ5 row has '@' on CC and AC in T^X_Σ (Fig. 7a, id 4).
         let cc = tx.schema().resolve("CC").unwrap();
         let ct = tx.schema().resolve("CT").unwrap();
         assert_eq!(tx.row(3).unwrap()[cc], Value::from("@"));
@@ -194,7 +204,7 @@ mod tests {
 
         let ty = merged.y_relation("TY");
         assert_eq!(ty.schema().arity(), 3); // id + AC, CT
-        // The ϕ3 constant rows have their city constants in T^Y_Σ and '@' on AC.
+                                            // The ϕ3 constant rows have their city constants in T^Y_Σ and '@' on AC.
         let ac = ty.schema().resolve("AC").unwrap();
         let cty = ty.schema().resolve("CT").unwrap();
         assert_eq!(ty.row(0).unwrap()[ac], Value::from("@"));
@@ -258,7 +268,10 @@ mod tests {
 
     #[test]
     fn build_rejects_empty_and_mixed_schemas() {
-        assert!(matches!(MergedTableaux::build(&[]), Err(CfdError::EmptyTableau)));
+        assert!(matches!(
+            MergedTableaux::build(&[]),
+            Err(CfdError::EmptyTableau)
+        ));
         let other_schema = Schema::builder("other").text("CT").text("AC").build();
         let other = Cfd::fd(other_schema, ["CT"], ["AC"]).unwrap();
         assert!(matches!(

@@ -111,14 +111,21 @@ pub fn qv_merged(merged: &MergedTableaux, data_name: &str, joined_name: &str) ->
         .from(TableRef::aliased(joined_name, JOINED_ALIAS));
     for a in merged.x_attrs() {
         let m = mask(a, JOINED_ALIAS, &format!("X_{a}"));
-        query = query.item(SelectItem::aliased(m.clone(), a.clone())).group(m);
+        query = query
+            .item(SelectItem::aliased(m.clone(), a.clone()))
+            .group(m);
     }
     for a in merged.y_attrs() {
         query = query.group(y_mask_signature(JOINED_ALIAS, &format!("Y_{a}")));
     }
-    let distinct_y: Vec<Expr> =
-        merged.y_attrs().iter().map(|a| mask(a, JOINED_ALIAS, &format!("Y_{a}"))).collect();
-    query.filter(Expr::and(conjuncts)).having_count_distinct_gt(distinct_y, 1)
+    let distinct_y: Vec<Expr> = merged
+        .y_attrs()
+        .iter()
+        .map(|a| mask(a, JOINED_ALIAS, &format!("Y_{a}")))
+        .collect();
+    query
+        .filter(Expr::and(conjuncts))
+        .having_count_distinct_gt(distinct_y, 1)
 }
 
 /// `QC_Σ` exactly as printed in the paper: data ⋈ `T^X_Σ` ⋈ `T^Y_Σ` on id.
@@ -128,11 +135,13 @@ pub fn qc_merged_paper(
     tx_name: &str,
     ty_name: &str,
 ) -> SelectQuery {
-    let mut conjuncts: Vec<Expr> =
-        vec![Expr::col(TX_ALIAS, "id").eq(Expr::col(TY_ALIAS, "id"))];
+    let mut conjuncts: Vec<Expr> = vec![Expr::col(TX_ALIAS, "id").eq(Expr::col(TY_ALIAS, "id"))];
     conjuncts.extend(merged.x_attrs().iter().map(|a| x_match(a, TX_ALIAS, a)));
-    let mismatches: Vec<Expr> =
-        merged.y_attrs().iter().map(|a| y_mismatch(a, TY_ALIAS, a)).collect();
+    let mismatches: Vec<Expr> = merged
+        .y_attrs()
+        .iter()
+        .map(|a| y_mismatch(a, TY_ALIAS, a))
+        .collect();
     conjuncts.push(Expr::or(mismatches));
     SelectQuery::new()
         .item(SelectItem::wildcard(DATA_ALIAS))
@@ -150,8 +159,7 @@ pub fn qv_merged_paper(
     tx_name: &str,
     ty_name: &str,
 ) -> SelectQuery {
-    let mut conjuncts: Vec<Expr> =
-        vec![Expr::col(TX_ALIAS, "id").eq(Expr::col(TY_ALIAS, "id"))];
+    let mut conjuncts: Vec<Expr> = vec![Expr::col(TX_ALIAS, "id").eq(Expr::col(TY_ALIAS, "id"))];
     conjuncts.extend(merged.x_attrs().iter().map(|a| x_match(a, TX_ALIAS, a)));
     let mut query = SelectQuery::new()
         .distinct()
@@ -160,13 +168,21 @@ pub fn qv_merged_paper(
         .from(TableRef::aliased(ty_name, TY_ALIAS));
     for a in merged.x_attrs() {
         let m = mask(a, TX_ALIAS, a);
-        query = query.item(SelectItem::aliased(m.clone(), a.clone())).group(m);
+        query = query
+            .item(SelectItem::aliased(m.clone(), a.clone()))
+            .group(m);
     }
     for a in merged.y_attrs() {
         query = query.group(y_mask_signature(TY_ALIAS, a));
     }
-    let distinct_y: Vec<Expr> = merged.y_attrs().iter().map(|a| mask(a, TY_ALIAS, a)).collect();
-    query.filter(Expr::and(conjuncts)).having_count_distinct_gt(distinct_y, 1)
+    let distinct_y: Vec<Expr> = merged
+        .y_attrs()
+        .iter()
+        .map(|a| mask(a, TY_ALIAS, a))
+        .collect();
+    query
+        .filter(Expr::and(conjuncts))
+        .having_count_distinct_gt(distinct_y, 1)
 }
 
 #[cfg(test)]
@@ -219,7 +235,8 @@ mod tests {
         // The NYC group (masked key (@, @, NYC)) is reported.
         let keys: Vec<&Vec<Value>> = result.rows().iter().collect();
         assert!(
-            keys.iter().any(|k| k.contains(&Value::from("NYC")) && k.contains(&Value::from("@"))),
+            keys.iter()
+                .any(|k| k.contains(&Value::from("NYC")) && k.contains(&Value::from("@"))),
             "expected a masked NYC group key, got {keys:?}"
         );
     }
@@ -231,7 +248,9 @@ mod tests {
         for strategy in [Strategy::dnf(), Strategy::cnf()] {
             let exec = Executor::new(&catalog).with_strategy(strategy);
             let qc_a = exec.run(&qc_merged(&merged, "cust", "TXY")).unwrap();
-            let qc_b = exec.run(&qc_merged_paper(&merged, "cust", "TX", "TY")).unwrap();
+            let qc_b = exec
+                .run(&qc_merged_paper(&merged, "cust", "TX", "TY"))
+                .unwrap();
             let mut rows_a = qc_a.rows().to_vec();
             let mut rows_b = qc_b.rows().to_vec();
             rows_a.sort();
@@ -241,7 +260,9 @@ mod tests {
             assert_eq!(rows_a, rows_b, "QC forms disagree under {strategy:?}");
 
             let qv_a = exec.run(&qv_merged(&merged, "cust", "TXY")).unwrap();
-            let qv_b = exec.run(&qv_merged_paper(&merged, "cust", "TX", "TY")).unwrap();
+            let qv_b = exec
+                .run(&qv_merged_paper(&merged, "cust", "TX", "TY"))
+                .unwrap();
             let mut rows_a = qv_a.rows().to_vec();
             let mut rows_b = qv_b.rows().to_vec();
             rows_a.sort();

@@ -75,10 +75,24 @@ impl fmt::Display for Violations {
             self.multi_tuple_keys.len()
         )?;
         for t in &self.constant_violations {
-            writeln!(f, "  QC: ({})", t.iter().map(Value::to_string).collect::<Vec<_>>().join(", "))?;
+            writeln!(
+                f,
+                "  QC: ({})",
+                t.iter()
+                    .map(Value::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
         }
         for k in &self.multi_tuple_keys {
-            writeln!(f, "  QV: ({})", k.iter().map(Value::to_string).collect::<Vec<_>>().join(", "))?;
+            writeln!(
+                f,
+                "  QV: ({})",
+                k.iter()
+                    .map(Value::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
         }
         Ok(())
     }

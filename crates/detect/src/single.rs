@@ -45,9 +45,14 @@ pub fn tableau_relation(cfd: &Cfd, name: &str) -> Relation {
     let schema = builder.build();
     let mut rel = Relation::with_capacity(schema, cfd.tableau().len());
     for row in cfd.tableau().iter() {
-        let values =
-            row.lhs().iter().chain(row.rhs().iter()).map(|p| p.to_value()).collect::<Vec<_>>();
-        rel.push(Tuple::new(values)).expect("tableau row matches its schema");
+        let values = row
+            .lhs()
+            .iter()
+            .chain(row.rhs().iter())
+            .map(|p| p.to_value())
+            .collect::<Vec<_>>();
+        rel.push(Tuple::new(values))
+            .expect("tableau row matches its schema");
     }
     rel
 }
@@ -125,16 +130,21 @@ pub fn qv_query(cfd: &Cfd, data_name: &str, tableau_name: &str) -> SelectQuery {
             .item(SelectItem::expr(Expr::col(DATA_ALIAS, attr)))
             .group(Expr::col(DATA_ALIAS, attr));
     }
-    let distinct_y: Vec<Expr> =
-        cfd.rhs_names().iter().map(|attr| Expr::col(DATA_ALIAS, *attr)).collect();
-    query.filter(Expr::and(conjuncts)).having_count_distinct_gt(distinct_y, 1)
+    let distinct_y: Vec<Expr> = cfd
+        .rhs_names()
+        .iter()
+        .map(|attr| Expr::col(DATA_ALIAS, *attr))
+        .collect();
+    query
+        .filter(Expr::and(conjuncts))
+        .having_count_distinct_gt(distinct_y, 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_datagen::cust::{cust_schema, phi2};
     use cfd_core::Cfd;
+    use cfd_datagen::cust::{cust_schema, phi2};
     use cfd_relation::Value;
 
     #[test]

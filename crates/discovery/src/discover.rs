@@ -18,7 +18,11 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig { max_lhs_size: 2, min_support: 3, min_confidence: 1.0 }
+        DiscoveryConfig {
+            max_lhs_size: 2,
+            min_support: 3,
+            min_confidence: 1.0,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ pub fn discover_fds(rel: &Relation, config: &DiscoveryConfig) -> Vec<DiscoveredC
                     PatternTableau::from_rows(vec![PatternTuple::all_wildcards(lhs.len(), 1)]),
                 )
                 .expect("discovered FD is well-formed");
-                out.push(DiscoveredCfd { cfd, confidence, support: rel.len() });
+                out.push(DiscoveredCfd {
+                    cfd,
+                    confidence,
+                    support: rel.len(),
+                });
             }
         }
     }
@@ -99,8 +107,10 @@ pub fn discover_constant_cfds(rel: &Relation, config: &DiscoveryConfig) -> Vec<D
                 rhs_values.dedup();
                 if rhs_values.len() == 1 {
                     rows.push(PatternTuple::new(
-                        key.iter().cloned().map(PatternValue::Const).collect(),
-                        vec![PatternValue::Const(rhs_values[0].clone())],
+                        key.iter()
+                            .map(|v| PatternValue::constant(v.clone()))
+                            .collect(),
+                        vec![PatternValue::constant(rhs_values[0].clone())],
                     ));
                     support += members.len();
                 }
@@ -110,10 +120,18 @@ pub fn discover_constant_cfds(rel: &Relation, config: &DiscoveryConfig) -> Vec<D
             }
             rows.sort_by_key(|r| format!("{r}"));
             let (confidence, _) = fd_confidence(rel, &lhs, rhs);
-            let cfd =
-                Cfd::from_parts(schema.clone(), lhs.clone(), vec![rhs], PatternTableau::from_rows(rows))
-                    .expect("discovered constant CFD is well-formed");
-            out.push(DiscoveredCfd { cfd, confidence, support });
+            let cfd = Cfd::from_parts(
+                schema.clone(),
+                lhs.clone(),
+                vec![rhs],
+                PatternTableau::from_rows(rows),
+            )
+            .expect("discovered constant CFD is well-formed");
+            out.push(DiscoveredCfd {
+                cfd,
+                confidence,
+                support,
+            });
         }
     }
     out
@@ -178,12 +196,15 @@ mod tests {
     #[test]
     fn exact_fds_are_discovered_on_fig1() {
         let rel = cust_instance();
-        let config = DiscoveryConfig { max_lhs_size: 2, min_support: 1, min_confidence: 1.0 };
+        let config = DiscoveryConfig {
+            max_lhs_size: 2,
+            min_support: 1,
+            min_confidence: 1.0,
+        };
         let fds = discover_fds(&rel, &config);
         let has = |lhs: &[&str], rhs: &str| {
-            fds.iter().any(|d| {
-                d.cfd.lhs_names() == lhs.to_vec() && d.cfd.rhs_names() == vec![rhs]
-            })
+            fds.iter()
+                .any(|d| d.cfd.lhs_names() == lhs.to_vec() && d.cfd.rhs_names() == vec![rhs])
         };
         // f2: [CC, AC] -> [CT] holds on Fig. 1.
         assert!(has(&["CC", "AC"], "CT"));
@@ -207,11 +228,18 @@ mod tests {
         for (a, b) in [("x", "1"), ("x", "1"), ("x", "2"), ("y", "3")] {
             rel.push_values(vec![a.into(), b.into()]).unwrap();
         }
-        let strict = DiscoveryConfig { max_lhs_size: 1, min_support: 1, min_confidence: 1.0 };
+        let strict = DiscoveryConfig {
+            max_lhs_size: 1,
+            min_support: 1,
+            min_confidence: 1.0,
+        };
         assert!(discover_fds(&rel, &strict)
             .iter()
             .all(|d| !(d.cfd.lhs_names() == vec!["A"] && d.cfd.rhs_names() == vec!["B"])));
-        let relaxed = DiscoveryConfig { min_confidence: 0.7, ..strict };
+        let relaxed = DiscoveryConfig {
+            min_confidence: 0.7,
+            ..strict
+        };
         let found = discover_fds(&rel, &relaxed);
         let ab = found
             .iter()
@@ -223,12 +251,16 @@ mod tests {
     #[test]
     fn constant_patterns_are_mined_with_support() {
         let rel = cust_instance();
-        let config = DiscoveryConfig { max_lhs_size: 2, min_support: 2, min_confidence: 0.0 };
+        let config = DiscoveryConfig {
+            max_lhs_size: 2,
+            min_support: 2,
+            min_confidence: 0.0,
+        };
         let mined = discover_constant_cfds(&rel, &config);
         // The (CC=01, AC=908 ‖ CT=NYC) pattern has support 2 on Fig. 1.
-        let found = mined.iter().find(|d| {
-            d.cfd.lhs_names() == vec!["CC", "AC"] && d.cfd.rhs_names() == vec!["CT"]
-        });
+        let found = mined
+            .iter()
+            .find(|d| d.cfd.lhs_names() == vec!["CC", "AC"] && d.cfd.rhs_names() == vec!["CT"]);
         let found = found.expect("[CC, AC] -> CT constant patterns mined");
         assert!(found.cfd.tableau().iter().any(|row| {
             row.lhs()[1] == PatternValue::constant("908")
@@ -243,9 +275,17 @@ mod tests {
 
     #[test]
     fn zip_to_state_is_rediscovered_from_clean_tax_data() {
-        let data = TaxGenerator::new(TaxConfig { size: 600, noise_percent: 0.0, seed: 5 })
-            .generate();
-        let config = DiscoveryConfig { max_lhs_size: 1, min_support: 2, min_confidence: 1.0 };
+        let data = TaxGenerator::new(TaxConfig {
+            size: 600,
+            noise_percent: 0.0,
+            seed: 5,
+        })
+        .generate();
+        let config = DiscoveryConfig {
+            max_lhs_size: 1,
+            min_support: 2,
+            min_confidence: 1.0,
+        };
         let fds = discover_fds(&data.relation, &config);
         assert!(
             fds.iter()

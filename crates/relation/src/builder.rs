@@ -21,7 +21,11 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Starts a builder for the given schema.
     pub fn new(schema: Schema) -> Self {
-        RelationBuilder { schema, rows: Vec::new(), check_domains: false }
+        RelationBuilder {
+            schema,
+            rows: Vec::new(),
+            check_domains: false,
+        }
     }
 
     /// Enables domain checking for every row added afterwards.
@@ -36,7 +40,8 @@ impl RelationBuilder {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        self.rows.push(Tuple::new(values.into_iter().map(Into::into).collect()));
+        self.rows
+            .push(Tuple::new(values.into_iter().map(Into::into).collect()));
         self
     }
 
@@ -92,7 +97,10 @@ mod tests {
         let schema = Schema::builder("r")
             .attr_domain("MR", Domain::finite(["single", "married"]))
             .build();
-        let res = RelationBuilder::new(schema).checked().row_strs(&["widowed"]).build();
+        let res = RelationBuilder::new(schema)
+            .checked()
+            .row_strs(&["widowed"])
+            .build();
         assert!(res.is_err());
     }
 

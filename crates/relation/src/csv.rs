@@ -16,11 +16,16 @@ use crate::value::Value;
 /// Serializes the relation as CSV text (header + one line per row).
 pub fn to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = rel.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+    let names: Vec<&str> = rel
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for (_, row) in rel.iter() {
-        let cells: Vec<String> = row.values().iter().map(render_cell).collect();
+        let cells: Vec<String> = row.values().map(render_cell).collect();
         out.push_str(&cells.join(","));
         out.push('\n');
     }
@@ -33,9 +38,15 @@ pub fn to_csv(rel: &Relation) -> String {
 /// cell is parsed according to the attribute's primitive type.
 pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| RelationError::Parse("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| RelationError::Parse("empty input".into()))?;
     let header_names: Vec<String> = split_line(header);
-    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     if header_names.len() != expected.len()
         || header_names.iter().zip(&expected).any(|(h, e)| h != e)
     {
@@ -116,14 +127,16 @@ fn parse_cell(schema: &Schema, idx: usize, cell: &str) -> Result<Value> {
     let attr = &schema.attributes()[idx];
     match attr.domain.attr_type() {
         AttrType::Text => Ok(Value::Str(cell.to_owned())),
-        AttrType::Integer => cell
-            .parse::<i64>()
-            .map(Value::Int)
-            .map_err(|_| RelationError::Parse(format!("`{cell}` is not an integer ({})", attr.name))),
+        AttrType::Integer => cell.parse::<i64>().map(Value::Int).map_err(|_| {
+            RelationError::Parse(format!("`{cell}` is not an integer ({})", attr.name))
+        }),
         AttrType::Boolean => match cell {
             "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
             "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
-            _ => Err(RelationError::Parse(format!("`{cell}` is not a boolean ({})", attr.name))),
+            _ => Err(RelationError::Parse(format!(
+                "`{cell}` is not a boolean ({})",
+                attr.name
+            ))),
         },
     }
 }
@@ -140,8 +153,10 @@ mod tests {
     #[test]
     fn round_trip_simple_relation() {
         let mut rel = Relation::new(schema());
-        rel.push(Tuple::new(vec![Value::from("ann"), Value::Int(100)])).unwrap();
-        rel.push(Tuple::new(vec![Value::from("bob, jr."), Value::Int(200)])).unwrap();
+        rel.push(Tuple::new(vec![Value::from("ann"), Value::Int(100)]))
+            .unwrap();
+        rel.push(Tuple::new(vec![Value::from("bob, jr."), Value::Int(200)]))
+            .unwrap();
         let text = to_csv(&rel);
         let back = from_csv(&schema(), &text).unwrap();
         assert_eq!(back, rel);
@@ -150,7 +165,8 @@ mod tests {
     #[test]
     fn quotes_are_escaped_and_restored() {
         let mut rel = Relation::new(schema());
-        rel.push(Tuple::new(vec![Value::from("say \"hi\""), Value::Int(1)])).unwrap();
+        rel.push(Tuple::new(vec![Value::from("say \"hi\""), Value::Int(1)]))
+            .unwrap();
         let back = from_csv(&schema(), &to_csv(&rel)).unwrap();
         assert_eq!(back.row(0).unwrap()[AttrId(0)], Value::from("say \"hi\""));
     }

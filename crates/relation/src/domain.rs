@@ -9,12 +9,11 @@
 //! only fire for finite-domain attributes.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// The primitive type of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// Free-form text (infinite domain).
     Text,
@@ -36,7 +35,7 @@ impl fmt::Display for AttrType {
 
 /// The domain of an attribute: either unrestricted values of a primitive type
 /// or an explicit finite set of admissible values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Domain {
     /// All values of the given primitive type are admissible.
     Unrestricted(AttrType),
@@ -58,7 +57,11 @@ impl Domain {
 
     /// The boolean domain `{false, true}`. Booleans are always finite.
     pub fn boolean() -> Self {
-        Domain::Finite([Value::Bool(false), Value::Bool(true)].into_iter().collect())
+        Domain::Finite(
+            [Value::Bool(false), Value::Bool(true)]
+                .into_iter()
+                .collect(),
+        )
     }
 
     /// A finite domain over the given values. Duplicates are collapsed.
@@ -129,9 +132,9 @@ impl Domain {
     pub fn fresh_value_avoiding(&self, avoid: &[Value]) -> Option<Value> {
         match self {
             Domain::Finite(vs) => vs.iter().find(|v| !avoid.contains(v)).cloned(),
-            Domain::Unrestricted(AttrType::Boolean) => {
-                [Value::Bool(false), Value::Bool(true)].into_iter().find(|v| !avoid.contains(v))
-            }
+            Domain::Unrestricted(AttrType::Boolean) => [Value::Bool(false), Value::Bool(true)]
+                .into_iter()
+                .find(|v| !avoid.contains(v)),
             Domain::Unrestricted(AttrType::Integer) => {
                 // Infinite domain: one more than the max avoided integer is fresh.
                 let max = avoid.iter().filter_map(Value::as_int).max().unwrap_or(0);
@@ -208,7 +211,9 @@ mod tests {
     #[test]
     fn fresh_value_in_finite_domain() {
         let d = Domain::finite(["a", "b", "c"]);
-        let fresh = d.fresh_value_avoiding(&[Value::from("a"), Value::from("b")]).unwrap();
+        let fresh = d
+            .fresh_value_avoiding(&[Value::from("a"), Value::from("b")])
+            .unwrap();
         assert_eq!(fresh, Value::from("c"));
         assert!(d
             .fresh_value_avoiding(&[Value::from("a"), Value::from("b"), Value::from("c")])
@@ -235,14 +240,20 @@ mod tests {
             d.fresh_value_avoiding(&[Value::Bool(false)]),
             Some(Value::Bool(true))
         );
-        assert_eq!(d.fresh_value_avoiding(&[Value::Bool(false), Value::Bool(true)]), None);
+        assert_eq!(
+            d.fresh_value_avoiding(&[Value::Bool(false), Value::Bool(true)]),
+            None
+        );
     }
 
     #[test]
     fn attr_type_of_finite_domains() {
         assert_eq!(Domain::finite([1i64, 2]).attr_type(), AttrType::Integer);
         assert_eq!(Domain::finite(["x"]).attr_type(), AttrType::Text);
-        assert_eq!(Domain::Finite(Default::default()).attr_type(), AttrType::Text);
+        assert_eq!(
+            Domain::Finite(Default::default()).attr_type(),
+            AttrType::Text
+        );
     }
 
     #[test]

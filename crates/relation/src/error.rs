@@ -52,17 +52,29 @@ pub enum RelationError {
 impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationError::UnknownAttribute { relation, attribute } => {
-                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            RelationError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "unknown attribute `{attribute}` in relation `{relation}`"
+                )
             }
             RelationError::AttributeOutOfRange { index, arity } => {
                 write!(f, "attribute index {index} out of range for arity {arity}")
             }
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema expects {expected} values, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema expects {expected} values, got {got}"
+                )
             }
             RelationError::DomainViolation { attribute, value } => {
-                write!(f, "value `{value}` is outside the domain of attribute `{attribute}`")
+                write!(
+                    f,
+                    "value `{value}` is outside the domain of attribute `{attribute}`"
+                )
             }
             RelationError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch between `{left}` and `{right}`")
@@ -92,14 +104,20 @@ mod tests {
 
     #[test]
     fn display_arity_mismatch() {
-        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expects 3"));
         assert!(e.to_string().contains("got 2"));
     }
 
     #[test]
     fn display_domain_violation() {
-        let e = RelationError::DomainViolation { attribute: "MR".into(), value: "maybe".into() };
+        let e = RelationError::DomainViolation {
+            attribute: "MR".into(),
+            value: "maybe".into(),
+        };
         assert!(e.to_string().contains("MR"));
         assert!(e.to_string().contains("maybe"));
     }
@@ -112,7 +130,11 @@ mod tests {
 
     #[test]
     fn display_parse_and_duplicate() {
-        assert!(RelationError::Parse("bad line".into()).to_string().contains("bad line"));
-        assert!(RelationError::DuplicateAttribute("CC".into()).to_string().contains("CC"));
+        assert!(RelationError::Parse("bad line".into())
+            .to_string()
+            .contains("bad line"));
+        assert!(RelationError::DuplicateAttribute("CC".into())
+            .to_string()
+            .contains("CC"));
     }
 }

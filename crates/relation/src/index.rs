@@ -5,7 +5,12 @@
 //! Our SQL executor mirrors that behaviour: an [`Index`] maps the projection
 //! of a row onto a fixed attribute list to the list of row indices with that
 //! projection, and is only usable for equality predicates on *constants*.
+//!
+//! Keys are stored as interned [`ValueId`]s, so building the index hashes
+//! `u32`s rather than strings, and a probe whose value has never been
+//! interned (hence cannot occur in any relation) short-circuits to "empty".
 
+use crate::interner::ValueId;
 use crate::relation::Relation;
 use crate::schema::AttrId;
 use crate::value::Value;
@@ -15,17 +20,20 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct Index {
     attrs: Vec<AttrId>,
-    map: HashMap<Vec<Value>, Vec<usize>>,
+    map: HashMap<Vec<ValueId>, Vec<usize>>,
 }
 
 impl Index {
     /// Builds the index by a single scan of `rel`.
     pub fn build(rel: &Relation, attrs: &[AttrId]) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut map: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
         for (i, t) in rel.iter() {
-            map.entry(t.project(attrs)).or_default().push(i);
+            map.entry(t.project_ids(attrs)).or_default().push(i);
         }
-        Index { attrs: attrs.to_vec(), map }
+        Index {
+            attrs: attrs.to_vec(),
+            map,
+        }
     }
 
     /// The attributes this index covers, in key order.
@@ -38,9 +46,23 @@ impl Index {
         self.map.len()
     }
 
-    /// Row indices whose projection equals `key` (empty slice when absent).
-    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+    /// Row indices whose projection equals the interned `key` (empty slice
+    /// when absent). This is the hot probe path.
+    pub fn lookup_ids(&self, key: &[ValueId]) -> &[usize] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row indices whose projection equals `key` (empty slice when absent).
+    /// A key value that was never interned cannot match any row.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        let mut ids = Vec::with_capacity(key.len());
+        for v in key {
+            match ValueId::get(v) {
+                Some(id) => ids.push(id),
+                None => return &[],
+            }
+        }
+        self.lookup_ids(&ids)
     }
 
     /// Returns `true` iff this index can serve an equality probe on exactly
@@ -70,8 +92,21 @@ impl Index {
         Some(key)
     }
 
-    /// Iterates all `(key, row_indices)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<usize>)> + '_ {
+    /// Interned variant of [`Index::reorder_key`].
+    pub fn reorder_key_ids(&self, attrs: &[AttrId], key: &[ValueId]) -> Option<Vec<ValueId>> {
+        if attrs.len() != self.attrs.len() || attrs.len() != key.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.attrs.len());
+        for want in &self.attrs {
+            let pos = attrs.iter().position(|a| a == want)?;
+            out.push(key[pos]);
+        }
+        Some(out)
+    }
+
+    /// Iterates all `(key, row_indices)` pairs (interned keys).
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<ValueId>, &Vec<usize>)> + '_ {
         self.map.iter()
     }
 }
@@ -86,7 +121,8 @@ mod tests {
         let schema = Schema::builder("r").text("A").text("B").text("C").build();
         let mut rel = Relation::new(schema);
         for (a, b, c) in [("1", "x", "p"), ("1", "y", "q"), ("2", "x", "r")] {
-            rel.push(Tuple::new(vec![a.into(), b.into(), c.into()])).unwrap();
+            rel.push(Tuple::new(vec![a.into(), b.into(), c.into()]))
+                .unwrap();
         }
         rel
     }
@@ -99,6 +135,24 @@ mod tests {
         assert_eq!(idx.lookup(&[Value::from("2")]), &[2]);
         assert!(idx.lookup(&[Value::from("3")]).is_empty());
         assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn lookup_of_never_interned_value_is_empty() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0)]);
+        assert!(idx
+            .lookup(&[Value::from("__never_interned_index_probe__")])
+            .is_empty());
+    }
+
+    #[test]
+    fn interned_lookup_agrees_with_value_lookup() {
+        let r = rel();
+        let idx = r.build_index(&[AttrId(0), AttrId(1)]);
+        let key = [Value::from("1"), Value::from("y")];
+        let ids: Vec<ValueId> = key.iter().map(ValueId::of).collect();
+        assert_eq!(idx.lookup(&key), idx.lookup_ids(&ids));
     }
 
     #[test]
@@ -123,7 +177,10 @@ mod tests {
         let r = rel();
         let idx = r.build_index(&[AttrId(0), AttrId(1)]);
         let key = idx
-            .reorder_key(&[AttrId(1), AttrId(0)], &[Value::from("x"), Value::from("2")])
+            .reorder_key(
+                &[AttrId(1), AttrId(0)],
+                &[Value::from("x"), Value::from("2")],
+            )
             .unwrap();
         assert_eq!(key, vec![Value::from("2"), Value::from("x")]);
         assert_eq!(idx.lookup(&key), &[2]);

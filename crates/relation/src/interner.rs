@@ -1,0 +1,250 @@
+//! Global value interning: the dictionary behind every relation cell.
+//!
+//! # Why interning
+//!
+//! Every hot path of the CFD pipeline — pattern matching, the `QC`/`QV`
+//! detection joins, hash indexes, `GROUP BY` keys — ultimately reduces to
+//! *equality* of attribute values. The seed implementation compared and
+//! cloned [`Value::Str(String)`](crate::Value) everywhere, making a string
+//! comparison (and often an allocation) out of every probe. Discovery-
+//! oriented systems avoid this with dictionary encoding: each distinct value
+//! is assigned a small integer once, and all further equality is an integer
+//! compare.
+//!
+//! This module provides that dictionary. It is **global and append-only**:
+//! interned values live for the lifetime of the process (they are leaked into
+//! a stable arena), so a [`ValueId`] is meaningful across relations, pattern
+//! tableaux, indexes and threads, and [`ValueId::resolve`] can hand out
+//! `&'static Value` borrows without lifetime gymnastics.
+//!
+//! # The equality contract
+//!
+//! The interner is *injective*: two [`ValueId`]s are equal **iff** the
+//! [`Value`]s they denote are equal (`ValueId` equality ⇔ `Value` equality).
+//! In particular the CFD semantics for `NULL` are preserved exactly:
+//!
+//! * [`Value::Null`] interns to the fixed id [`ValueId::NULL`];
+//! * `NULL = NULL` holds (id 0 == id 0) and `NULL` equals **no other value**
+//!   — matching how this workspace treats `Null` as an ordinary constant that
+//!   is only equal to itself (see [`crate::value`]).
+//!
+//! `Value::Bool(false)` / `Value::Bool(true)` also get fixed ids
+//! ([`ValueId::FALSE`] / [`ValueId::TRUE`]) so the SQL layer can evaluate
+//! predicates entirely on ids.
+//!
+//! # What a `ValueId` is *not*
+//!
+//! Ids are assigned in first-intern order, so **`ValueId` ordering is not
+//! `Value` ordering**. Code that needs the total order of
+//! [`Value`](crate::Value) (sorted active domains, deterministic reports)
+//! must resolve ids first. Similarly, ids must never be persisted: they are
+//! only stable within one process.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Dictionary id of an interned [`Value`]. Equality of ids is equivalent to
+/// equality of the underlying values; comparison is a single `u32` compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The id of [`Value::Null`]. `NULL` equals only itself, which the
+    /// interner preserves by construction (one id per distinct value).
+    pub const NULL: ValueId = ValueId(0);
+    /// The id of `Value::Bool(false)`.
+    pub const FALSE: ValueId = ValueId(1);
+    /// The id of `Value::Bool(true)`.
+    pub const TRUE: ValueId = ValueId(2);
+
+    /// Interns `v`, returning its id. Inserts on first sight.
+    pub fn of(v: &Value) -> ValueId {
+        if v.is_null() {
+            return ValueId::NULL;
+        }
+        if let Some(&id) = state().read().expect("interner poisoned").map.get(v) {
+            return ValueId(id);
+        }
+        ValueId::from_value(v.clone())
+    }
+
+    /// Interns an owned value without cloning it on first sight. This is the
+    /// single insertion path; [`ValueId::of`] delegates here on a miss.
+    pub fn from_value(v: Value) -> ValueId {
+        if v.is_null() {
+            return ValueId::NULL;
+        }
+        let lock = state();
+        if let Some(&id) = lock.read().expect("interner poisoned").map.get(&v) {
+            return ValueId(id);
+        }
+        let mut st = lock.write().expect("interner poisoned");
+        if let Some(&id) = st.map.get(&v) {
+            return ValueId(id);
+        }
+        let leaked: &'static Value = Box::leak(Box::new(v));
+        let id = st.values.len() as u32;
+        st.values.push(leaked);
+        st.map.insert(leaked, id);
+        ValueId(id)
+    }
+
+    /// Looks `v` up **without** inserting. `None` means the value has never
+    /// been interned — and therefore cannot occur in any interned relation,
+    /// which probe paths (index lookups) exploit to answer "no match" early.
+    pub fn get(v: &Value) -> Option<ValueId> {
+        if v.is_null() {
+            return Some(ValueId::NULL);
+        }
+        state()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(v)
+            .copied()
+            .map(ValueId)
+    }
+
+    /// The interned value this id denotes.
+    pub fn resolve(self) -> &'static Value {
+        state().read().expect("interner poisoned").values[self.0 as usize]
+    }
+
+    /// The raw dictionary index (diagnostics / tests only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+impl From<&Value> for ValueId {
+    fn from(v: &Value) -> Self {
+        ValueId::of(v)
+    }
+}
+
+impl From<Value> for ValueId {
+    fn from(v: Value) -> Self {
+        ValueId::from_value(v)
+    }
+}
+
+struct InternerState {
+    map: HashMap<&'static Value, u32>,
+    values: Vec<&'static Value>,
+}
+
+fn state() -> &'static RwLock<InternerState> {
+    static STATE: OnceLock<RwLock<InternerState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        // Seed the fixed-id values in the order of the ValueId constants.
+        static NULL: Value = Value::Null;
+        static FALSE: Value = Value::Bool(false);
+        static TRUE: Value = Value::Bool(true);
+        let seeded: [&'static Value; 3] = [&NULL, &FALSE, &TRUE];
+        let mut map = HashMap::with_capacity(1024);
+        let mut values = Vec::with_capacity(1024);
+        for (i, v) in seeded.into_iter().enumerate() {
+            map.insert(v, i as u32);
+            values.push(v);
+        }
+        RwLock::new(InternerState { map, values })
+    })
+}
+
+/// Number of distinct values interned so far (diagnostics).
+pub fn interned_count() -> usize {
+    state().read().expect("interner poisoned").values.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ids_for_null_and_booleans() {
+        assert_eq!(ValueId::of(&Value::Null), ValueId::NULL);
+        assert_eq!(ValueId::of(&Value::Bool(false)), ValueId::FALSE);
+        assert_eq!(ValueId::of(&Value::Bool(true)), ValueId::TRUE);
+        assert_eq!(ValueId::NULL.resolve(), &Value::Null);
+        assert_eq!(ValueId::TRUE.resolve(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn intern_resolve_round_trip() {
+        for v in [
+            Value::from("NYC"),
+            Value::from(""),
+            Value::Int(42),
+            Value::Int(-42),
+            Value::Bool(true),
+            Value::Null,
+            Value::from("O'Hare"),
+        ] {
+            let id = ValueId::of(&v);
+            assert_eq!(id.resolve(), &v, "intern→resolve must be the identity");
+            assert_eq!(ValueId::from_value(v.clone()), id);
+            assert_eq!(ValueId::get(&v), Some(id));
+        }
+    }
+
+    #[test]
+    fn id_equality_iff_value_equality() {
+        let samples = [
+            Value::from("a"),
+            Value::from("b"),
+            Value::from("42"),
+            Value::Int(42),
+            Value::Bool(true),
+            Value::Null,
+        ];
+        for x in &samples {
+            for y in &samples {
+                assert_eq!(
+                    ValueId::of(x) == ValueId::of(y),
+                    x == y,
+                    "id equality must coincide with value equality for {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn null_only_equals_null() {
+        assert_eq!(ValueId::of(&Value::Null), ValueId::of(&Value::Null));
+        assert_ne!(ValueId::of(&Value::Null), ValueId::of(&Value::Int(0)));
+        assert_ne!(ValueId::of(&Value::Null), ValueId::of(&Value::from("")));
+        assert_ne!(ValueId::of(&Value::Null), ValueId::of(&Value::from("NULL")));
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        // Note: the global count cannot be asserted here — parallel tests in
+        // this process may intern values concurrently. Probe the value itself.
+        let probe = Value::from("__interner_get_probe_never_used_elsewhere__");
+        assert_eq!(ValueId::get(&probe), None);
+        assert_eq!(ValueId::get(&probe), None, "a lookup miss must not insert");
+        let id = ValueId::of(&probe);
+        assert_eq!(ValueId::get(&probe), Some(id));
+    }
+
+    #[test]
+    fn interning_is_idempotent_across_threads() {
+        let ids: Vec<ValueId> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| ValueId::of(&Value::from("shared-value"))))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

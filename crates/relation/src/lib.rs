@@ -1,8 +1,11 @@
 //! Relational substrate for the CFD data-cleaning library.
 //!
 //! This crate provides the data model every other crate in the workspace builds
-//! on: [`Value`]s, attribute [`Domain`]s, relation [`Schema`]s, [`Tuple`]s,
-//! in-memory [`Relation`] instances and hash [`Index`]es over them.
+//! on: [`Value`]s and their global dictionary ids ([`ValueId`], see
+//! [`interner`]), attribute [`Domain`]s, relation [`Schema`]s, [`Tuple`]s
+//! (stored as interned cells), in-memory [`Relation`] instances and hash
+//! [`Index`]es over them. Equality on every hot path is a `u32` compare; the
+//! `Value`-typed accessors resolve through the interner at the API boundary.
 //!
 //! The paper ("Conditional Functional Dependencies for Data Cleaning",
 //! ICDE 2007) assumes a conventional relational store (DB2 in the original
@@ -30,6 +33,7 @@ pub mod csv;
 pub mod domain;
 pub mod error;
 pub mod index;
+pub mod interner;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -39,6 +43,7 @@ pub use builder::RelationBuilder;
 pub use domain::{AttrType, Domain};
 pub use error::{RelationError, Result};
 pub use index::Index;
+pub use interner::ValueId;
 pub use relation::Relation;
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
 pub use tuple::Tuple;

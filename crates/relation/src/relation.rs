@@ -6,6 +6,7 @@
 
 use crate::error::{RelationError, Result};
 use crate::index::Index;
+use crate::interner::ValueId;
 use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -22,12 +23,18 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty instance of `schema`.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates an empty instance with pre-allocated capacity.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
-        Relation { schema, rows: Vec::with_capacity(capacity) }
+        Relation {
+            schema,
+            rows: Vec::with_capacity(capacity),
+        }
     }
 
     /// Creates an instance from existing rows, validating arity.
@@ -135,16 +142,30 @@ impl Relation {
         groups
     }
 
+    /// Interned variant of [`Relation::group_by`]: keys are dictionary ids,
+    /// so grouping hashes `u32`s instead of cloning values.
+    pub fn group_by_ids(&self, ids: &[AttrId]) -> HashMap<Vec<ValueId>, Vec<usize>> {
+        let mut groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
+        for (i, t) in self.rows.iter().enumerate() {
+            groups.entry(t.project_ids(ids)).or_default().push(i);
+        }
+        groups
+    }
+
     /// Builds a hash index on the given attributes.
     pub fn build_index(&self, ids: &[AttrId]) -> Index {
         Index::build(self, ids)
     }
 
-    /// The set of distinct values of a single attribute (its *active domain*).
+    /// The set of distinct values of a single attribute (its *active
+    /// domain*), sorted by [`Value`] order (dictionary ids are dedup'd first
+    /// so only distinct values are resolved and cloned).
     pub fn active_domain(&self, id: AttrId) -> Vec<Value> {
-        let mut vals: Vec<Value> = self.rows.iter().map(|t| t[id].clone()).collect();
+        let mut ids: Vec<ValueId> = self.rows.iter().map(|t| t.id_at(id)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut vals: Vec<Value> = ids.into_iter().map(|c| c.resolve().clone()).collect();
         vals.sort();
-        vals.dedup();
         vals
     }
 
@@ -198,8 +219,16 @@ mod tests {
     #[test]
     fn push_wrong_arity_fails() {
         let mut rel = Relation::new(schema());
-        let err = rel.push(Tuple::new(vec![Value::from("only-one")])).unwrap_err();
-        assert_eq!(err, RelationError::ArityMismatch { expected: 2, got: 1 });
+        let err = rel
+            .push(Tuple::new(vec![Value::from("only-one")]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -209,9 +238,13 @@ mod tests {
             .attr_domain("MR", Domain::finite(["single", "married"]))
             .build();
         let mut rel = Relation::new(s);
-        rel.push_checked(Tuple::new(vec![Value::from("joe"), Value::from("single")])).unwrap();
+        rel.push_checked(Tuple::new(vec![Value::from("joe"), Value::from("single")]))
+            .unwrap();
         let err = rel
-            .push_checked(Tuple::new(vec![Value::from("ann"), Value::from("divorced")]))
+            .push_checked(Tuple::new(vec![
+                Value::from("ann"),
+                Value::from("divorced"),
+            ]))
             .unwrap_err();
         assert!(matches!(err, RelationError::DomainViolation { .. }));
         assert_eq!(rel.len(), 1);
@@ -235,7 +268,10 @@ mod tests {
         rel.push(row("b", "1")).unwrap();
         rel.push(row("a", "2")).unwrap();
         rel.push(row("b", "3")).unwrap();
-        assert_eq!(rel.active_domain(AttrId(0)), vec![Value::from("a"), Value::from("b")]);
+        assert_eq!(
+            rel.active_domain(AttrId(0)),
+            vec![Value::from("a"), Value::from("b")]
+        );
     }
 
     #[test]

@@ -7,13 +7,12 @@
 
 use crate::domain::{AttrType, Domain};
 use crate::error::{RelationError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Index of an attribute within a [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrId(pub usize);
 
 impl AttrId {
@@ -36,7 +35,7 @@ impl From<usize> for AttrId {
 }
 
 /// A single attribute: a name plus its domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name, e.g. `"ZIP"`.
     pub name: String,
@@ -57,7 +56,10 @@ pub struct Schema {
 impl Schema {
     /// Starts building a schema for a relation called `name`.
     pub fn builder(name: impl Into<String>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), attributes: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Builds a schema directly from `(name, domain)` pairs.
@@ -95,10 +97,12 @@ impl Schema {
 
     /// The attribute at `id`.
     pub fn attribute(&self, id: AttrId) -> Result<&Attribute> {
-        self.attributes.get(id.0).ok_or(RelationError::AttributeOutOfRange {
-            index: id.0,
-            arity: self.arity(),
-        })
+        self.attributes
+            .get(id.0)
+            .ok_or(RelationError::AttributeOutOfRange {
+                index: id.0,
+                arity: self.arity(),
+            })
     }
 
     /// The name of the attribute at `id` (panics if out of range — use
@@ -114,10 +118,13 @@ impl Schema {
 
     /// Resolves an attribute name to its id.
     pub fn resolve(&self, name: &str) -> Result<AttrId> {
-        self.by_name.get(name).copied().ok_or_else(|| RelationError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_owned(),
-        })
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_owned(),
+            })
     }
 
     /// Resolves several attribute names at once, preserving order.
@@ -134,7 +141,10 @@ impl Schema {
     /// attribute occurs in the constraints (or the schema is fixed).
     pub fn has_finite_domain_attr(&self, ids: &[AttrId]) -> bool {
         ids.iter().any(|id| {
-            self.attributes.get(id.0).map(|a| a.domain.is_finite()).unwrap_or(false)
+            self.attributes
+                .get(id.0)
+                .map(|a| a.domain.is_finite())
+                .unwrap_or(false)
         })
     }
 
@@ -197,7 +207,10 @@ impl SchemaBuilder {
 
     /// Adds an attribute with an explicit domain.
     pub fn attr_domain(mut self, name: impl Into<String>, domain: Domain) -> Self {
-        self.attributes.push(Attribute { name: name.into(), domain });
+        self.attributes.push(Attribute {
+            name: name.into(),
+            domain,
+        });
         self
     }
 
@@ -257,7 +270,11 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        let err = Schema::builder("r").text("A").text("A").try_build().unwrap_err();
+        let err = Schema::builder("r")
+            .text("A")
+            .text("A")
+            .try_build()
+            .unwrap_err();
         assert_eq!(err, RelationError::DuplicateAttribute("A".into()));
     }
 
@@ -295,7 +312,10 @@ mod tests {
         let s = cust_schema();
         assert!(matches!(
             s.attribute(AttrId(99)),
-            Err(RelationError::AttributeOutOfRange { index: 99, arity: 7 })
+            Err(RelationError::AttributeOutOfRange {
+                index: 99,
+                arity: 7
+            })
         ));
     }
 

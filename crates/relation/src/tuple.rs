@@ -1,56 +1,95 @@
 //! Data tuples.
 //!
-//! A [`Tuple`] is a fixed-arity vector of [`Value`]s aligned with a
-//! [`Schema`](crate::Schema). Projection onto attribute lists (`t[X]` in the
-//! paper) is the operation used everywhere: CFD satisfaction, grouping,
-//! detection and repair.
+//! A [`Tuple`] is a fixed-arity vector of interned cell ids ([`ValueId`])
+//! aligned with a [`Schema`](crate::Schema). Projection onto attribute lists
+//! (`t[X]` in the paper) is the operation used everywhere: CFD satisfaction,
+//! grouping, detection and repair. Cells are stored as dictionary ids so all
+//! of those reduce to `u32` compares; the [`Value`]-typed accessors resolve
+//! through the global interner at the API boundary.
 
+use crate::interner::ValueId;
 use crate::schema::AttrId;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
 
-/// A row of a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+/// A row of a relation: one interned cell per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
-    values: Vec<Value>,
+    cells: Vec<ValueId>,
 }
 
 impl Tuple {
-    /// Creates a tuple from the given values.
+    /// Creates a tuple from the given values, interning each cell.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple {
+            cells: values.into_iter().map(ValueId::from_value).collect(),
+        }
+    }
+
+    /// Creates a tuple directly from interned cell ids.
+    pub fn from_ids(cells: Vec<ValueId>) -> Self {
+        Tuple { cells }
     }
 
     /// Creates a tuple of `arity` NULLs.
     pub fn nulls(arity: usize) -> Self {
-        Tuple { values: vec![Value::Null; arity] }
+        Tuple {
+            cells: vec![ValueId::NULL; arity],
+        }
     }
 
     /// Number of fields.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.cells.len()
     }
 
-    /// Immutable access to all values.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// The interned cell ids, in attribute order. This is the hot-path view:
+    /// comparing two cells is comparing two `u32`s.
+    pub fn ids(&self) -> &[ValueId] {
+        &self.cells
     }
 
-    /// Consumes the tuple, returning its values.
+    /// Iterates the cell values (resolved through the interner).
+    pub fn values(&self) -> impl Iterator<Item = &'static Value> + '_ {
+        self.cells.iter().map(|id| id.resolve())
+    }
+
+    /// The cells as owned values (boundary/serialization use).
+    pub fn to_values(&self) -> Vec<Value> {
+        self.cells.iter().map(|id| id.resolve().clone()).collect()
+    }
+
+    /// Consumes the tuple, returning its cells as owned values.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.to_values()
     }
 
     /// The value at attribute `id`, if in range.
-    pub fn get(&self, id: AttrId) -> Option<&Value> {
-        self.values.get(id.index())
+    pub fn get(&self, id: AttrId) -> Option<&'static Value> {
+        self.cells.get(id.index()).map(|c| c.resolve())
+    }
+
+    /// The interned cell id at attribute `id`, if in range.
+    pub fn id(&self, id: AttrId) -> Option<ValueId> {
+        self.cells.get(id.index()).copied()
+    }
+
+    /// The interned cell id at attribute `id` (panics when out of range).
+    pub fn id_at(&self, id: AttrId) -> ValueId {
+        self.cells[id.index()]
     }
 
     /// Sets the value at attribute `id`. Returns `false` when out of range.
     pub fn set(&mut self, id: AttrId, v: Value) -> bool {
-        match self.values.get_mut(id.index()) {
+        self.set_id(id, ValueId::from_value(v))
+    }
+
+    /// Sets the interned cell at attribute `id`. Returns `false` when out of
+    /// range.
+    pub fn set_id(&mut self, id: AttrId, v: ValueId) -> bool {
+        match self.cells.get_mut(id.index()) {
             Some(slot) => {
                 *slot = v;
                 true
@@ -60,25 +99,41 @@ impl Tuple {
     }
 
     /// Projects the tuple onto the given attributes (the paper's `t[X]`),
-    /// preserving the order of `ids`.
+    /// preserving the order of `ids`, as owned values.
     pub fn project(&self, ids: &[AttrId]) -> Vec<Value> {
-        ids.iter().map(|id| self.values[id.index()].clone()).collect()
+        ids.iter()
+            .map(|id| self.cells[id.index()].resolve().clone())
+            .collect()
     }
 
-    /// Borrowing variant of [`Tuple::project`]: no cloning, returns references.
-    pub fn project_ref<'a>(&'a self, ids: &[AttrId]) -> Vec<&'a Value> {
-        ids.iter().map(|id| &self.values[id.index()]).collect()
+    /// Interned projection: the hot-path variant of [`Tuple::project`]. The
+    /// result is directly usable as a hash key (`u32`s, no cloning).
+    pub fn project_ids(&self, ids: &[AttrId]) -> Vec<ValueId> {
+        ids.iter().map(|id| self.cells[id.index()]).collect()
+    }
+
+    /// Borrowing variant of [`Tuple::project`]: no cloning, returns
+    /// interner-resolved references.
+    pub fn project_ref(&self, ids: &[AttrId]) -> Vec<&'static Value> {
+        ids.iter()
+            .map(|id| self.cells[id.index()].resolve())
+            .collect()
     }
 
     /// Returns `true` iff the projections of `self` and `other` onto `ids`
-    /// are equal field-by-field (the paper's `t1[X] = t2[X]`).
+    /// are equal field-by-field (the paper's `t1[X] = t2[X]`). Interned:
+    /// each field check is one `u32` compare.
     pub fn agree_on(&self, other: &Tuple, ids: &[AttrId]) -> bool {
-        ids.iter().all(|id| self.values.get(id.index()) == other.values.get(id.index()))
+        ids.iter()
+            .all(|id| self.cells.get(id.index()) == other.cells.get(id.index()))
     }
 
     /// Iterates over `(AttrId, &Value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> + '_ {
-        self.values.iter().enumerate().map(|(i, v)| (AttrId(i), v))
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &'static Value)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (AttrId(i), c.resolve()))
     }
 }
 
@@ -86,7 +141,23 @@ impl Index<AttrId> for Tuple {
     type Output = Value;
 
     fn index(&self, id: AttrId) -> &Value {
-        &self.values[id.index()]
+        self.cells[id.index()].resolve()
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    /// Orders by the resolved [`Value`]s, not by dictionary ids: id order is
+    /// first-intern order and would not be deterministic across runs.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.cells.iter().map(|c| c.resolve());
+        let rhs = other.cells.iter().map(|c| c.resolve());
+        lhs.cmp(rhs)
     }
 }
 
@@ -102,10 +173,16 @@ impl FromIterator<Value> for Tuple {
     }
 }
 
+impl FromIterator<ValueId> for Tuple {
+    fn from_iter<T: IntoIterator<Item = ValueId>>(iter: T) -> Self {
+        Tuple::from_ids(iter.into_iter().collect())
+    }
+}
+
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -179,5 +256,39 @@ mod tests {
         let owned = tup.project(&ids);
         let borrowed: Vec<Value> = tup.project_ref(&ids).into_iter().cloned().collect();
         assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn interned_projection_agrees_with_value_projection() {
+        let tup = t(&["p", "q", "r"]);
+        let ids = [AttrId(0), AttrId(2)];
+        let by_id: Vec<Value> = tup
+            .project_ids(&ids)
+            .into_iter()
+            .map(|c| c.resolve().clone())
+            .collect();
+        assert_eq!(by_id, tup.project(&ids));
+    }
+
+    #[test]
+    fn equality_and_hash_are_by_value() {
+        use std::collections::HashSet;
+        let a = t(&["x", "y"]);
+        let b = Tuple::new(vec![Value::from("x"), Value::from("y")]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn ordering_is_by_resolved_values() {
+        // Intern "zz" before "aa" so dictionary ids and value order disagree.
+        let z = t(&["zz-ordering-test"]);
+        let a = t(&["aa-ordering-test"]);
+        assert!(
+            a < z,
+            "Tuple order must follow Value order, not intern order"
+        );
     }
 }

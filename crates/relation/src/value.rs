@@ -5,7 +5,6 @@
 //! order so values can be sorted and used as B-tree keys, and integers so the
 //! tax-records workload (salary brackets, rates) can be expressed naturally.
 
-use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
@@ -15,8 +14,10 @@ use std::fmt;
 /// `Null` is included for completeness (the SQL layer needs a placeholder for
 /// missing cells) but CFD semantics in this workspace treat `Null` as an
 /// ordinary constant that is only equal to itself, which matches how the
-/// paper's detection queries behave on non-null data.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// paper's detection queries behave on non-null data. The interner
+/// ([`crate::interner`]) preserves this: `Null` has a dedicated dictionary id
+/// equal only to itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// The SQL NULL / missing value.
     Null,
@@ -169,7 +170,7 @@ mod tests {
 
     #[test]
     fn ordering_across_types_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::from("x"),
             Value::Int(7),
             Value::Null,

@@ -24,7 +24,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { tuple_weight: 1.0, replace_distance: 1.0, placeholder_distance: 1.5 }
+        CostModel {
+            tuple_weight: 1.0,
+            replace_distance: 1.0,
+            placeholder_distance: 1.5,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ mod tests {
 
     #[test]
     fn weights_scale_costs() {
-        let m = CostModel { tuple_weight: 2.0, ..CostModel::default() };
+        let m = CostModel {
+            tuple_weight: 2.0,
+            ..CostModel::default()
+        };
         assert_eq!(m.change_cost(&Value::from("a"), &Value::from("b")), 2.0);
     }
 

@@ -21,7 +21,11 @@ pub struct Modification {
 
 impl fmt::Display for Modification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "row {} attr {}: {} -> {}", self.row, self.attr, self.old, self.new)
+        write!(
+            f,
+            "row {} attr {}: {} -> {}",
+            self.row, self.attr, self.old, self.new
+        )
     }
 }
 
@@ -38,7 +42,11 @@ pub struct RepairConfig {
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { max_passes: 16, cost_model: CostModel::default(), allow_lhs_edits: true }
+        RepairConfig {
+            max_passes: 16,
+            cost_model: CostModel::default(),
+            allow_lhs_edits: true,
+        }
     }
 }
 
@@ -134,7 +142,13 @@ impl Repairer {
             .iter()
             .map(|m| self.config.cost_model.change_cost(&m.old, &m.new))
             .sum();
-        RepairResult { repaired, modifications, cost, satisfied, passes }
+        RepairResult {
+            repaired,
+            modifications,
+            cost,
+            satisfied,
+            passes,
+        }
     }
 
     /// Overwrites RHS attributes that contradict a pattern constant.
@@ -187,9 +201,13 @@ impl Repairer {
             // Count the Y projections in this class and pick the plurality.
             let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
             for &row_idx in &w.rows {
-                *counts.entry(rel.rows()[row_idx].project(cfd.rhs())).or_insert(0) += 1;
+                *counts
+                    .entry(rel.rows()[row_idx].project(cfd.rhs()))
+                    .or_insert(0) += 1;
             }
-            let Some((target, _)) = counts.into_iter().max_by_key(|(_, c)| *c) else { continue };
+            let Some((target, _)) = counts.into_iter().max_by_key(|(_, c)| *c) else {
+                continue;
+            };
             for &row_idx in &w.rows {
                 for (pos, attr) in cfd.rhs().iter().enumerate() {
                     let current = rel.rows()[row_idx][*attr].clone();
@@ -218,8 +236,12 @@ impl Repairer {
         placeholder_counter: &mut usize,
     ) -> bool {
         for cfd in cfds {
-            let Some(witness) = cfd.first_violation(rel) else { continue };
-            let Some(&row_idx) = witness.rows.first() else { continue };
+            let Some(witness) = cfd.first_violation(rel) else {
+                continue;
+            };
+            let Some(&row_idx) = witness.rows.first() else {
+                continue;
+            };
             // Prefer an LHS attribute whose pattern cell is a constant (so the
             // placeholder breaks the match); otherwise take the first LHS attr.
             let pattern = &cfd.tableau().rows()[witness.pattern_index];
@@ -235,7 +257,12 @@ impl Repairer {
             let new = placeholder(*placeholder_counter);
             *placeholder_counter += 1;
             rel.rows_mut()[row_idx].set(attr, new.clone());
-            modifications.push(Modification { row: row_idx, attr, old, new });
+            modifications.push(Modification {
+                row: row_idx,
+                attr,
+                old,
+                new,
+            });
             return true;
         }
         false
@@ -258,7 +285,10 @@ mod tests {
         let cfds: Vec<Cfd> = fig2_cfd_set().into_iter().collect();
         let result = Repairer::new().repair(&cfds, &rel);
         assert!(result.satisfied, "repair must satisfy the CFDs");
-        assert!(result.changes() >= 2, "both t1 and t2 need their city fixed");
+        assert!(
+            result.changes() >= 2,
+            "both t1 and t2 need their city fixed"
+        );
         let ct = cust_schema().resolve("CT").unwrap();
         assert_eq!(result.repaired.rows()[0][ct], Value::from("MH"));
         assert_eq!(result.repaired.rows()[1][ct], Value::from("MH"));
@@ -283,14 +313,19 @@ mod tests {
         let schema = Schema::builder("r").text("A").text("B").build();
         let mut rel = Relation::new(schema.clone());
         for b in ["PHI", "PHI", "NYC"] {
-            rel.push_values(vec![Value::from("x"), Value::from(b)]).unwrap();
+            rel.push_values(vec![Value::from("x"), Value::from(b)])
+                .unwrap();
         }
         let fd = Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap();
         let result = Repairer::new().repair(&[fd], &rel);
         assert!(result.satisfied);
         assert_eq!(result.changes(), 1);
         let b = schema.resolve("B").unwrap();
-        assert!(result.repaired.rows().iter().all(|t| t[b] == Value::from("PHI")));
+        assert!(result
+            .repaired
+            .rows()
+            .iter()
+            .all(|t| t[b] == Value::from("PHI")));
     }
 
     #[test]
@@ -300,8 +335,10 @@ mod tests {
         // Any repair must touch an LHS attribute of one of the embedded FDs.
         let schema = Schema::builder("R").text("A").text("B").text("C").build();
         let mut rel = Relation::new(schema.clone());
-        rel.push_values(vec!["a1".into(), "b1".into(), "c1".into()]).unwrap();
-        rel.push_values(vec!["a1".into(), "b2".into(), "c2".into()]).unwrap();
+        rel.push_values(vec!["a1".into(), "b1".into(), "c1".into()])
+            .unwrap();
+        rel.push_values(vec!["a1".into(), "b2".into(), "c2".into()])
+            .unwrap();
         let fd_ab = Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap();
         let cfd_cb = Cfd::builder(schema.clone(), ["C"], ["B"])
             .pattern(["c1"], ["b1"])
@@ -309,7 +346,10 @@ mod tests {
             .build()
             .unwrap();
         let sigma = vec![fd_ab, cfd_cb];
-        assert!(CfdSet::from_cfds(sigma.clone()).unwrap().is_consistent().unwrap());
+        assert!(CfdSet::from_cfds(sigma.clone())
+            .unwrap()
+            .is_consistent()
+            .unwrap());
 
         let result = Repairer::new().repair(&sigma, &rel);
         assert!(result.satisfied, "the heuristic must find a repair");
@@ -317,7 +357,10 @@ mod tests {
         let a = schema.resolve("A").unwrap();
         let c = schema.resolve("C").unwrap();
         assert!(
-            result.modifications.iter().any(|m| m.attr == a || m.attr == c),
+            result
+                .modifications
+                .iter()
+                .any(|m| m.attr == a || m.attr == c),
             "this instance cannot be repaired by RHS edits alone: {:?}",
             result.modifications
         );
@@ -333,8 +376,12 @@ mod tests {
 
     #[test]
     fn repairs_noisy_tax_records() {
-        let noisy = TaxGenerator::new(TaxConfig { size: 400, noise_percent: 10.0, seed: 77 })
-            .generate();
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 400,
+            noise_percent: 10.0,
+            seed: 77,
+        })
+        .generate();
         let workload = CfdWorkload::new(3);
         let cfds = vec![
             workload.zip_state_full(),

@@ -29,12 +29,18 @@ impl TableRef {
     /// A table whose alias equals its name.
     pub fn named(name: impl Into<String>) -> Self {
         let name = name.into();
-        TableRef { alias: name.clone(), name }
+        TableRef {
+            alias: name.clone(),
+            name,
+        }
     }
 
     /// A table with an explicit alias.
     pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
-        TableRef { name: name.into(), alias: alias.into() }
+        TableRef {
+            name: name.into(),
+            alias: alias.into(),
+        }
     }
 }
 
@@ -88,7 +94,10 @@ pub enum Expr {
 impl Expr {
     /// Column reference `table.column`.
     pub fn col(table: impl Into<String>, column: impl Into<String>) -> Self {
-        Expr::Column { table: table.into(), column: column.into() }
+        Expr::Column {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 
     /// Literal value.
@@ -149,7 +158,11 @@ impl Expr {
 
     /// Simple CASE expression.
     pub fn case(operand: Expr, arms: Vec<(Expr, Expr)>, otherwise: Expr) -> Self {
-        Expr::Case { operand: Box::new(operand), arms, otherwise: Box::new(otherwise) }
+        Expr::Case {
+            operand: Box::new(operand),
+            arms,
+            otherwise: Box::new(otherwise),
+        }
     }
 
     /// Returns `true` iff the expression contains no column of the given
@@ -163,7 +176,11 @@ impl Expr {
             }
             Expr::And(ops) | Expr::Or(ops) => ops.iter().all(|e| e.is_independent_of(alias)),
             Expr::Not(e) => e.is_independent_of(alias),
-            Expr::Case { operand, arms, otherwise } => {
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
                 operand.is_independent_of(alias)
                     && otherwise.is_independent_of(alias)
                     && arms
@@ -188,7 +205,11 @@ impl Expr {
                 }
             }
             Expr::Not(e) => e.referenced_columns(out),
-            Expr::Case { operand, arms, otherwise } => {
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
                 operand.referenced_columns(out);
                 for (m, r) in arms {
                     m.referenced_columns(out);
@@ -251,7 +272,11 @@ impl fmt::Display for Expr {
                 Ok(())
             }
             Expr::Not(e) => write!(f, "NOT ({e})"),
-            Expr::Case { operand, arms, otherwise } => {
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
                 write!(f, "CASE {operand}")?;
                 for (m, r) in arms {
                     write!(f, " WHEN {m} THEN {r}")?;
@@ -282,7 +307,9 @@ pub enum SelectItem {
 impl SelectItem {
     /// `alias.*`.
     pub fn wildcard(table: impl Into<String>) -> Self {
-        SelectItem::Wildcard { table: table.into() }
+        SelectItem::Wildcard {
+            table: table.into(),
+        }
     }
 
     /// A bare expression item.
@@ -292,7 +319,10 @@ impl SelectItem {
 
     /// An expression item with an output alias.
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
-        SelectItem::Expr { expr, alias: Some(alias.into()) }
+        SelectItem::Expr {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 }
 
@@ -300,7 +330,10 @@ impl fmt::Display for SelectItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SelectItem::Wildcard { table } => write!(f, "{table}.*"),
-            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
             SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
         }
     }
@@ -393,7 +426,10 @@ impl SelectQuery {
 
     /// Sets the HAVING clause.
     pub fn having_count_distinct_gt(mut self, exprs: Vec<Expr>, threshold: u64) -> Self {
-        self.having = Some(Having { count_distinct: exprs, greater_than: threshold });
+        self.having = Some(Having {
+            count_distinct: exprs,
+            greater_than: threshold,
+        });
         self
     }
 }
@@ -501,7 +537,10 @@ mod tests {
         assert!(e.is_independent_of("other"));
         let mut cols = Vec::new();
         e.referenced_columns(&mut cols);
-        assert_eq!(cols, vec![("t".into(), "A".into()), ("tp".into(), "A".into())]);
+        assert_eq!(
+            cols,
+            vec![("t".into(), "A".into()), ("tp".into(), "A".into())]
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl Catalog {
 
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Result<&Arc<Relation>> {
-        self.relations.get(name).ok_or_else(|| SqlError::UnknownTable(name.to_owned()))
+        self.relations
+            .get(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.to_owned()))
     }
 
     /// Removes a relation by name, returning it if present.
@@ -97,7 +99,10 @@ mod tests {
     #[test]
     fn unknown_table_is_an_error() {
         let c = Catalog::new();
-        assert_eq!(c.get("nope").unwrap_err(), SqlError::UnknownTable("nope".into()));
+        assert_eq!(
+            c.get("nope").unwrap_err(),
+            SqlError::UnknownTable("nope".into())
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Compiled expressions: column references resolved to `(table slot, AttrId)`.
+//! Compiled expressions: column references resolved to `(table slot, AttrId)`
+//! and literals resolved to interned [`ValueId`]s.
 //!
 //! The symbolic [`Expr`](crate::ast::Expr) AST is convenient to build and
 //! render, but evaluating it per joined row resolves attribute names through
@@ -6,15 +7,18 @@
 //! WHERE clause for up to `SZ × TABSZ` row pairs (hundreds of millions for
 //! the CNF strategy of Fig. 9), so the executor first *compiles* expressions
 //! into this resolved form and evaluates them against a slot-indexed array of
-//! tuples with borrow-based comparisons.
+//! tuples. Evaluation is entirely id-based: a column read is an array index,
+//! an equality is a `u32` compare, and boolean results are the interner's
+//! fixed [`ValueId::TRUE`]/[`ValueId::FALSE`] ids — no allocation, no string
+//! comparison, no cloning anywhere in the per-row loop.
 
 use crate::ast::Expr;
 use crate::error::{Result, SqlError};
-use cfd_relation::{AttrId, Relation, Tuple, Value};
-use std::borrow::Cow;
+use cfd_relation::{AttrId, Relation, Tuple, Value, ValueId};
 use std::sync::Arc;
 
-/// An expression with all column references resolved to table slots.
+/// An expression with all column references resolved to table slots and all
+/// literals interned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledExpr {
     /// Column of the tuple bound at `table` slot.
@@ -24,8 +28,8 @@ pub enum CompiledExpr {
         /// Attribute within that table's schema.
         attr: AttrId,
     },
-    /// A literal value.
-    Lit(Value),
+    /// An interned literal value.
+    Lit(ValueId),
     /// Equality.
     Eq(Box<CompiledExpr>, Box<CompiledExpr>),
     /// Inequality.
@@ -58,11 +62,14 @@ impl CompiledExpr {
                     .position(|(alias, _)| alias == table)
                     .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
                 let attr = tables[slot].1.schema().resolve(column).map_err(|_| {
-                    SqlError::UnknownColumn { table: table.clone(), column: column.clone() }
+                    SqlError::UnknownColumn {
+                        table: table.clone(),
+                        column: column.clone(),
+                    }
                 })?;
                 CompiledExpr::Col { table: slot, attr }
             }
-            Expr::Literal(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Literal(v) => CompiledExpr::Lit(ValueId::of(v)),
             Expr::Eq(a, b) => CompiledExpr::Eq(
                 Box::new(Self::compile(a, tables)?),
                 Box::new(Self::compile(b, tables)?),
@@ -72,13 +79,21 @@ impl CompiledExpr {
                 Box::new(Self::compile(b, tables)?),
             ),
             Expr::And(ops) => CompiledExpr::And(
-                ops.iter().map(|e| Self::compile(e, tables)).collect::<Result<_>>()?,
+                ops.iter()
+                    .map(|e| Self::compile(e, tables))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Or(ops) => CompiledExpr::Or(
-                ops.iter().map(|e| Self::compile(e, tables)).collect::<Result<_>>()?,
+                ops.iter()
+                    .map(|e| Self::compile(e, tables))
+                    .collect::<Result<_>>()?,
             ),
             Expr::Not(e) => CompiledExpr::Not(Box::new(Self::compile(e, tables)?)),
-            Expr::Case { operand, arms, otherwise } => CompiledExpr::Case {
+            Expr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => CompiledExpr::Case {
                 operand: Box::new(Self::compile(operand, tables)?),
                 arms: arms
                     .iter()
@@ -101,7 +116,11 @@ impl CompiledExpr {
                 ops.iter().any(|e| e.references_slot(slot))
             }
             CompiledExpr::Not(e) => e.references_slot(slot),
-            CompiledExpr::Case { operand, arms, otherwise } => {
+            CompiledExpr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
                 operand.references_slot(slot)
                     || otherwise.references_slot(slot)
                     || arms
@@ -111,9 +130,12 @@ impl CompiledExpr {
         }
     }
 
-    /// Evaluates to a (possibly borrowed) value. `rows[slot]` may be `None`
-    /// for tables not yet bound; referencing such a slot is an error.
-    pub fn eval_value<'a>(&'a self, rows: &[Option<&'a Tuple>]) -> Result<Cow<'a, Value>> {
+    /// Evaluates to an interned value id. `rows[slot]` may be `None` for
+    /// tables not yet bound; referencing such a slot is an error.
+    ///
+    /// This is the hot path: every comparison is a `u32` compare and boolean
+    /// results are the fixed [`ValueId::TRUE`]/[`ValueId::FALSE`] ids.
+    pub fn eval_id(&self, rows: &[Option<&Tuple>]) -> Result<ValueId> {
         match self {
             CompiledExpr::Col { table, attr } => {
                 let tuple = rows
@@ -121,57 +143,71 @@ impl CompiledExpr {
                     .copied()
                     .flatten()
                     .ok_or_else(|| SqlError::Unsupported("unbound table slot".into()))?;
-                Ok(Cow::Borrowed(&tuple[*attr]))
+                Ok(tuple.id_at(*attr))
             }
-            CompiledExpr::Lit(v) => Ok(Cow::Borrowed(v)),
-            CompiledExpr::Eq(a, b) => {
-                Ok(Cow::Owned(Value::Bool(a.eval_value(rows)? == b.eval_value(rows)?)))
-            }
-            CompiledExpr::Ne(a, b) => {
-                Ok(Cow::Owned(Value::Bool(a.eval_value(rows)? != b.eval_value(rows)?)))
-            }
+            CompiledExpr::Lit(id) => Ok(*id),
+            CompiledExpr::Eq(a, b) => Ok(bool_id(a.eval_id(rows)? == b.eval_id(rows)?)),
+            CompiledExpr::Ne(a, b) => Ok(bool_id(a.eval_id(rows)? != b.eval_id(rows)?)),
             CompiledExpr::And(ops) => {
                 for op in ops {
                     if !op.eval_bool(rows)? {
-                        return Ok(Cow::Owned(Value::Bool(false)));
+                        return Ok(ValueId::FALSE);
                     }
                 }
-                Ok(Cow::Owned(Value::Bool(true)))
+                Ok(ValueId::TRUE)
             }
             CompiledExpr::Or(ops) => {
                 for op in ops {
                     if op.eval_bool(rows)? {
-                        return Ok(Cow::Owned(Value::Bool(true)));
+                        return Ok(ValueId::TRUE);
                     }
                 }
-                Ok(Cow::Owned(Value::Bool(false)))
+                Ok(ValueId::FALSE)
             }
-            CompiledExpr::Not(e) => Ok(Cow::Owned(Value::Bool(!e.eval_bool(rows)?))),
-            CompiledExpr::Case { operand, arms, otherwise } => {
-                let op = operand.eval_value(rows)?;
+            CompiledExpr::Not(e) => Ok(bool_id(!e.eval_bool(rows)?)),
+            CompiledExpr::Case {
+                operand,
+                arms,
+                otherwise,
+            } => {
+                let op = operand.eval_id(rows)?;
                 for (m, r) in arms {
-                    if m.eval_value(rows)?.as_ref() == op.as_ref() {
-                        return r.eval_value(rows);
+                    if m.eval_id(rows)? == op {
+                        return r.eval_id(rows);
                     }
                 }
-                otherwise.eval_value(rows)
+                otherwise.eval_id(rows)
             }
         }
     }
 
-    /// Evaluates to an owned value.
+    /// Evaluates to an owned value (boundary use; resolves the id).
     pub fn eval(&self, rows: &[Option<&Tuple>]) -> Result<Value> {
-        Ok(self.eval_value(rows)?.into_owned())
+        Ok(self.eval_id(rows)?.resolve().clone())
     }
 
     /// Evaluates as a predicate; non-boolean results are an error.
     pub fn eval_bool(&self, rows: &[Option<&Tuple>]) -> Result<bool> {
-        match self.eval_value(rows)?.as_ref() {
-            Value::Bool(b) => Ok(*b),
-            other => Err(SqlError::Unsupported(format!(
-                "predicate evaluated to non-boolean value `{other}`"
-            ))),
+        let id = self.eval_id(rows)?;
+        if id == ValueId::TRUE {
+            Ok(true)
+        } else if id == ValueId::FALSE {
+            Ok(false)
+        } else {
+            Err(SqlError::Unsupported(format!(
+                "predicate evaluated to non-boolean value `{}`",
+                id.resolve()
+            )))
         }
+    }
+}
+
+#[inline]
+fn bool_id(b: bool) -> ValueId {
+    if b {
+        ValueId::TRUE
+    } else {
+        ValueId::FALSE
     }
 }
 
@@ -246,6 +282,17 @@ mod tests {
         );
         let c = CompiledExpr::compile(&case, &ts).unwrap();
         assert_eq!(c.eval(&rows).unwrap(), Value::from("masked"));
+    }
+
+    #[test]
+    fn boolean_results_use_fixed_ids() {
+        let ts = tables();
+        let rows: Vec<Option<&Tuple>> = vec![None, None];
+        let truthy = CompiledExpr::compile(&Expr::lit(1).eq(Expr::lit(1)), &ts).unwrap();
+        assert_eq!(truthy.eval_id(&rows).unwrap(), ValueId::TRUE);
+        let falsy = CompiledExpr::compile(&Expr::lit(1).eq(Expr::lit(2)), &ts).unwrap();
+        assert_eq!(falsy.eval_id(&rows).unwrap(), ValueId::FALSE);
+        assert_eq!(truthy.eval(&rows).unwrap(), Value::Bool(true));
     }
 
     #[test]

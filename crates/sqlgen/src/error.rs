@@ -54,12 +54,21 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SqlError::UnknownTable("T2".into()).to_string().contains("T2"));
-        assert!(SqlError::UnknownColumn { table: "t".into(), column: "ZIP".into() }
+        assert!(SqlError::UnknownTable("T2".into())
             .to_string()
-            .contains("t.ZIP"));
-        assert!(SqlError::DuplicateAlias("t".into()).to_string().contains("duplicate"));
-        assert!(SqlError::Unsupported("no joins".into()).to_string().contains("no joins"));
+            .contains("T2"));
+        assert!(SqlError::UnknownColumn {
+            table: "t".into(),
+            column: "ZIP".into()
+        }
+        .to_string()
+        .contains("t.ZIP"));
+        assert!(SqlError::DuplicateAlias("t".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(SqlError::Unsupported("no joins".into())
+            .to_string()
+            .contains("no joins"));
     }
 
     #[test]

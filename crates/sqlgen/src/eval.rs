@@ -17,7 +17,9 @@ pub struct Bindings<'a> {
 impl<'a> Bindings<'a> {
     /// An empty context.
     pub fn new() -> Self {
-        Bindings { entries: Vec::new() }
+        Bindings {
+            entries: Vec::new(),
+        }
     }
 
     /// Adds (or replaces) the binding for `alias`.
@@ -41,12 +43,18 @@ impl<'a> Bindings<'a> {
 
     /// The tuple bound to `alias`.
     pub fn tuple(&self, alias: &str) -> Option<&'a Tuple> {
-        self.entries.iter().find(|(a, _, _)| *a == alias).map(|(_, _, t)| *t)
+        self.entries
+            .iter()
+            .find(|(a, _, _)| *a == alias)
+            .map(|(_, _, t)| *t)
     }
 
     /// The schema bound to `alias`.
     pub fn schema(&self, alias: &str) -> Option<&'a Schema> {
-        self.entries.iter().find(|(a, _, _)| *a == alias).map(|(_, s, _)| *s)
+        self.entries
+            .iter()
+            .find(|(a, _, _)| *a == alias)
+            .map(|(_, s, _)| *s)
     }
 
     /// Resolves `alias.column` to the bound value.
@@ -56,10 +64,12 @@ impl<'a> Bindings<'a> {
             .iter()
             .find(|(a, _, _)| *a == alias)
             .ok_or_else(|| SqlError::UnknownTable(alias.to_owned()))?;
-        let id = schema.resolve(column).map_err(|_| SqlError::UnknownColumn {
-            table: alias.to_owned(),
-            column: column.to_owned(),
-        })?;
+        let id = schema
+            .resolve(column)
+            .map_err(|_| SqlError::UnknownColumn {
+                table: alias.to_owned(),
+                column: column.to_owned(),
+            })?;
         Ok(&tuple[id])
     }
 }
@@ -75,12 +85,12 @@ pub fn eval_expr(expr: &Expr, bindings: &Bindings<'_>) -> Result<Value> {
     match expr {
         Expr::Column { table, column } => Ok(bindings.value(table, column)?.clone()),
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Eq(a, b) => {
-            Ok(Value::Bool(eval_expr(a, bindings)? == eval_expr(b, bindings)?))
-        }
-        Expr::Ne(a, b) => {
-            Ok(Value::Bool(eval_expr(a, bindings)? != eval_expr(b, bindings)?))
-        }
+        Expr::Eq(a, b) => Ok(Value::Bool(
+            eval_expr(a, bindings)? == eval_expr(b, bindings)?,
+        )),
+        Expr::Ne(a, b) => Ok(Value::Bool(
+            eval_expr(a, bindings)? != eval_expr(b, bindings)?,
+        )),
         Expr::And(ops) => {
             for op in ops {
                 if !eval_predicate(op, bindings)? {
@@ -98,7 +108,11 @@ pub fn eval_expr(expr: &Expr, bindings: &Bindings<'_>) -> Result<Value> {
             Ok(Value::Bool(false))
         }
         Expr::Not(e) => Ok(Value::Bool(!eval_predicate(e, bindings)?)),
-        Expr::Case { operand, arms, otherwise } => {
+        Expr::Case {
+            operand,
+            arms,
+            otherwise,
+        } => {
             let op_val = eval_expr(operand, bindings)?;
             for (m, r) in arms {
                 if eval_expr(m, bindings)? == op_val {
@@ -141,7 +155,10 @@ mod tests {
         let t = tuple("x", "y");
         let mut b = Bindings::new();
         b.bind("t", &s, &t);
-        assert_eq!(eval_expr(&Expr::col("t", "B"), &b).unwrap(), Value::from("y"));
+        assert_eq!(
+            eval_expr(&Expr::col("t", "B"), &b).unwrap(),
+            Value::from("y")
+        );
         assert!(matches!(
             eval_expr(&Expr::col("t", "Z"), &b),
             Err(SqlError::UnknownColumn { .. })

@@ -28,10 +28,9 @@ use crate::catalog::Catalog;
 use crate::compiled::CompiledExpr;
 use crate::error::{Result, SqlError};
 use crate::normal_form::{self, NormalForm};
-use cfd_relation::{AttrId, Index, Relation, Tuple, Value};
-use parking_lot::Mutex;
+use cfd_relation::{AttrId, Index, Relation, Tuple, Value, ValueId};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How the executor evaluates the WHERE clause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,23 +44,35 @@ pub struct Strategy {
 impl Strategy {
     /// CNF evaluation with full scans (the slow baseline of Fig. 9(a)/(b)).
     pub fn cnf() -> Self {
-        Strategy { form: NormalForm::Cnf, use_indexes: false }
+        Strategy {
+            form: NormalForm::Cnf,
+            use_indexes: false,
+        }
     }
 
     /// DNF evaluation with hash-index probes (the fast strategy).
     pub fn dnf() -> Self {
-        Strategy { form: NormalForm::Dnf, use_indexes: true }
+        Strategy {
+            form: NormalForm::Dnf,
+            use_indexes: true,
+        }
     }
 
     /// DNF evaluation without indexes; isolates the benefit of the rewrite
     /// itself from the benefit of index probes (used by the join ablation).
     pub fn dnf_unindexed() -> Self {
-        Strategy { form: NormalForm::Dnf, use_indexes: false }
+        Strategy {
+            form: NormalForm::Dnf,
+            use_indexes: false,
+        }
     }
 
     /// Evaluate the WHERE clause exactly as written, scanning.
     pub fn as_written() -> Self {
-        Strategy { form: NormalForm::AsWritten, use_indexes: false }
+        Strategy {
+            form: NormalForm::AsWritten,
+            use_indexes: false,
+        }
     }
 }
 
@@ -130,16 +141,23 @@ impl ResultSet {
 }
 
 /// Executes [`SelectQuery`] values against a [`Catalog`].
+/// Cache of hash indexes built per (relation name, key attributes).
+type IndexCache = Mutex<HashMap<(String, Vec<AttrId>), Arc<Index>>>;
+
 pub struct Executor<'c> {
     catalog: &'c Catalog,
     strategy: Strategy,
-    index_cache: Mutex<HashMap<(String, Vec<AttrId>), Arc<Index>>>,
+    index_cache: IndexCache,
 }
 
 impl<'c> Executor<'c> {
     /// An executor with the default (DNF + indexes) strategy.
     pub fn new(catalog: &'c Catalog) -> Self {
-        Executor { catalog, strategy: Strategy::default(), index_cache: Mutex::new(HashMap::new()) }
+        Executor {
+            catalog,
+            strategy: Strategy::default(),
+            index_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Sets the evaluation strategy.
@@ -192,8 +210,10 @@ impl<'c> Executor<'c> {
 
         // Expand and compile the SELECT list, GROUP BY and HAVING.
         let (out_names, out_exprs) = expand_select_items(query, &tables)?;
-        let out_compiled: Vec<CompiledExpr> =
-            out_exprs.iter().map(|e| CompiledExpr::compile(e, &tables)).collect::<Result<_>>()?;
+        let out_compiled: Vec<CompiledExpr> = out_exprs
+            .iter()
+            .map(|e| CompiledExpr::compile(e, &tables))
+            .collect::<Result<_>>()?;
         let group_compiled: Vec<CompiledExpr> = query
             .group_by
             .iter()
@@ -223,9 +243,15 @@ impl<'c> Executor<'c> {
         let outer_sizes: Vec<usize> = outer_slots.iter().map(|&s| tables[s].1.len()).collect();
         let mut rows: Vec<Option<&Tuple>> = vec![None; tables.len()];
 
-        if outer_sizes.iter().any(|&n| n == 0) {
+        if outer_sizes.contains(&0) {
             let out = acc.finish(query, &mut stats);
-            return Ok((ResultSet { columns: out_names, rows: out }, stats));
+            return Ok((
+                ResultSet {
+                    columns: out_names,
+                    rows: out,
+                },
+                stats,
+            ));
         }
 
         let mut counters = vec![0usize; outer_slots.len()];
@@ -246,7 +272,13 @@ impl<'c> Executor<'c> {
             for row_idx in candidates {
                 rows[probe_slot] = probe_rel.row(row_idx);
                 stats.joined_rows += 1;
-                acc.add(query, &out_compiled, &group_compiled, having_compiled.as_deref(), &rows)?;
+                acc.add(
+                    query,
+                    &out_compiled,
+                    &group_compiled,
+                    having_compiled.as_deref(),
+                    &rows,
+                )?;
             }
             rows[probe_slot] = None;
 
@@ -272,7 +304,13 @@ impl<'c> Executor<'c> {
         }
 
         let out = acc.finish(query, &mut stats);
-        Ok((ResultSet { columns: out_names, rows: out }, stats))
+        Ok((
+            ResultSet {
+                columns: out_names,
+                rows: out,
+            },
+            stats,
+        ))
     }
 
     /// Determines which probe-relation rows can satisfy the WHERE clause
@@ -332,8 +370,9 @@ impl<'c> Executor<'c> {
             }
 
             // Equality atoms binding a probe column to a value computable
-            // from the outer bindings become index-probe keys.
-            let mut probe_cols: Vec<(AttrId, Value)> = Vec::new();
+            // from the outer bindings become index-probe keys (interned, so
+            // the probe hashes u32s and clones nothing).
+            let mut probe_cols: Vec<(AttrId, ValueId)> = Vec::new();
             for atom in &atoms {
                 if let Some((attr, value)) = constant_probe(atom, probe_slot, rows)? {
                     probe_cols.push((attr, value));
@@ -347,10 +386,10 @@ impl<'c> Executor<'c> {
                 (0..probe_rel.len()).collect()
             } else {
                 let attrs: Vec<AttrId> = probe_cols.iter().map(|(a, _)| *a).collect();
-                let key: Vec<Value> = probe_cols.into_iter().map(|(_, v)| v).collect();
+                let key: Vec<ValueId> = probe_cols.into_iter().map(|(_, v)| v).collect();
                 let index = self.index_for(probe_rel, &attrs);
                 stats.index_probes += 1;
-                let found = index.lookup(&key).to_vec();
+                let found = index.lookup_ids(&key).to_vec();
                 stats.rows_examined += found.len();
                 found
             };
@@ -375,19 +414,26 @@ impl<'c> Executor<'c> {
     /// Returns (building and caching on first use) a hash index on `attrs`.
     fn index_for(&self, rel: &Relation, attrs: &[AttrId]) -> Arc<Index> {
         let key = (rel.schema().name().to_owned(), attrs.to_vec());
-        let mut cache = self.index_cache.lock();
-        Arc::clone(cache.entry(key).or_insert_with(|| Arc::new(rel.build_index(attrs))))
+        let mut cache = self.index_cache.lock().expect("index cache poisoned");
+        Arc::clone(
+            cache
+                .entry(key)
+                .or_insert_with(|| Arc::new(rel.build_index(attrs))),
+        )
     }
 }
 
 /// If `atom` is an equality binding a probe-table column to an expression
-/// evaluable without the probe table, returns the column id and its value.
+/// evaluable without the probe table, returns the column id and its interned
+/// value.
 fn constant_probe(
     atom: &CompiledExpr,
     probe_slot: usize,
     rows: &[Option<&Tuple>],
-) -> Result<Option<(AttrId, Value)>> {
-    let CompiledExpr::Eq(lhs, rhs) = atom else { return Ok(None) };
+) -> Result<Option<(AttrId, ValueId)>> {
+    let CompiledExpr::Eq(lhs, rhs) = atom else {
+        return Ok(None);
+    };
     let (attr, other) = match (lhs.as_ref(), rhs.as_ref()) {
         (CompiledExpr::Col { table, attr }, other)
             if *table == probe_slot && !other.references_slot(probe_slot) =>
@@ -401,7 +447,7 @@ fn constant_probe(
         }
         _ => return Ok(None),
     };
-    Ok(Some((attr, other.eval(rows)?)))
+    Ok(Some((attr, other.eval_id(rows)?)))
 }
 
 /// Expands the SELECT list into `(output names, output expressions)`.
@@ -432,18 +478,26 @@ fn expand_select_items(
     Ok((names, exprs))
 }
 
+/// Per-group state: the projection of the first row seen plus the distinct
+/// HAVING keys observed so far.
+type GroupState = (Vec<ValueId>, HashSet<Vec<ValueId>>);
+
 /// Accumulates joined rows into either a plain (optionally DISTINCT) result
 /// or grouped state for GROUP BY / HAVING.
+///
+/// All keys and projections are interned [`ValueId`]s while accumulating —
+/// hashing and deduplication work on `u32`s — and are resolved to [`Value`]s
+/// once, at [`Accumulator::finish`].
 enum Accumulator {
     Plain {
-        rows: Vec<Vec<Value>>,
-        seen: Option<HashSet<Vec<Value>>>,
+        rows: Vec<Vec<ValueId>>,
+        seen: Option<HashSet<Vec<ValueId>>>,
     },
     Grouped {
         /// group key -> (projection of the first row seen, distinct HAVING keys)
-        groups: HashMap<Vec<Value>, (Vec<Value>, HashSet<Vec<Value>>)>,
+        groups: HashMap<Vec<ValueId>, GroupState>,
         /// insertion order of group keys, for deterministic output
-        order: Vec<Vec<Value>>,
+        order: Vec<Vec<ValueId>>,
     },
 }
 
@@ -452,10 +506,17 @@ impl Accumulator {
         if query.group_by.is_empty() {
             Accumulator::Plain {
                 rows: Vec::new(),
-                seen: if query.distinct { Some(HashSet::new()) } else { None },
+                seen: if query.distinct {
+                    Some(HashSet::new())
+                } else {
+                    None
+                },
             }
         } else {
-            Accumulator::Grouped { groups: HashMap::new(), order: Vec::new() }
+            Accumulator::Grouped {
+                groups: HashMap::new(),
+                order: Vec::new(),
+            }
         }
     }
 
@@ -469,8 +530,10 @@ impl Accumulator {
     ) -> Result<()> {
         match self {
             Accumulator::Plain { rows: out, seen } => {
-                let row: Vec<Value> =
-                    out_exprs.iter().map(|e| e.eval(rows)).collect::<Result<_>>()?;
+                let row: Vec<ValueId> = out_exprs
+                    .iter()
+                    .map(|e| e.eval_id(rows))
+                    .collect::<Result<_>>()?;
                 match seen {
                     Some(set) => {
                         if set.insert(row.clone()) {
@@ -481,20 +544,28 @@ impl Accumulator {
                 }
             }
             Accumulator::Grouped { groups, order } => {
-                let key: Vec<Value> =
-                    group_exprs.iter().map(|e| e.eval(rows)).collect::<Result<_>>()?;
+                let key: Vec<ValueId> = group_exprs
+                    .iter()
+                    .map(|e| e.eval_id(rows))
+                    .collect::<Result<_>>()?;
                 let entry = match groups.get_mut(&key) {
                     Some(e) => e,
                     None => {
-                        let projection: Vec<Value> =
-                            out_exprs.iter().map(|e| e.eval(rows)).collect::<Result<_>>()?;
+                        let projection: Vec<ValueId> = out_exprs
+                            .iter()
+                            .map(|e| e.eval_id(rows))
+                            .collect::<Result<_>>()?;
                         order.push(key.clone());
-                        groups.entry(key.clone()).or_insert((projection, HashSet::new()))
+                        groups
+                            .entry(key.clone())
+                            .or_insert((projection, HashSet::new()))
                     }
                 };
                 if let Some(having) = having_exprs {
-                    let distinct_key: Vec<Value> =
-                        having.iter().map(|e| e.eval(rows)).collect::<Result<_>>()?;
+                    let distinct_key: Vec<ValueId> = having
+                        .iter()
+                        .map(|e| e.eval_id(rows))
+                        .collect::<Result<_>>()?;
                     entry.1.insert(distinct_key);
                 }
             }
@@ -503,7 +574,7 @@ impl Accumulator {
     }
 
     fn finish(self, query: &SelectQuery, stats: &mut ExecStats) -> Vec<Vec<Value>> {
-        let rows = match self {
+        let id_rows = match self {
             Accumulator::Plain { rows, .. } => rows,
             Accumulator::Grouped { mut groups, order } => {
                 let mut out = Vec::new();
@@ -525,8 +596,12 @@ impl Accumulator {
                 out
             }
         };
-        stats.output_rows = rows.len();
-        rows
+        stats.output_rows = id_rows.len();
+        // Resolve ids to owned values once, at the result-set boundary.
+        id_rows
+            .into_iter()
+            .map(|row| row.into_iter().map(|id| id.resolve().clone()).collect())
+            .collect()
     }
 }
 
@@ -557,7 +632,8 @@ mod tests {
         ];
         let mut rel = Relation::new(schema);
         for r in rows {
-            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
         }
         rel
     }
@@ -578,7 +654,8 @@ mod tests {
             ["01", "212", "_", "_", "NYC", "_"],
             ["_", "_", "_", "_", "_", "_"],
         ] {
-            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect())).unwrap();
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
         }
         rel
     }
@@ -634,7 +711,11 @@ mod tests {
             .group(Expr::col("t", "AC"))
             .group(Expr::col("t", "PN"))
             .having_count_distinct_gt(
-                vec![Expr::col("t", "STR"), Expr::col("t", "CT"), Expr::col("t", "ZIP")],
+                vec![
+                    Expr::col("t", "STR"),
+                    Expr::col("t", "CT"),
+                    Expr::col("t", "ZIP"),
+                ],
                 1,
             )
     }
@@ -679,7 +760,11 @@ mod tests {
             assert_eq!(result.len(), 1, "strategy {strategy:?}");
             assert_eq!(
                 result.rows()[0],
-                vec![Value::from("01"), Value::from("908"), Value::from("1111111")]
+                vec![
+                    Value::from("01"),
+                    Value::from("908"),
+                    Value::from("1111111")
+                ]
             );
         }
     }
@@ -688,8 +773,14 @@ mod tests {
     fn cnf_and_dnf_strategies_agree_on_results() {
         let c = catalog();
         let q = qc_query();
-        let cnf = Executor::new(&c).with_strategy(Strategy::cnf()).run(&q).unwrap();
-        let dnf = Executor::new(&c).with_strategy(Strategy::dnf()).run(&q).unwrap();
+        let cnf = Executor::new(&c)
+            .with_strategy(Strategy::cnf())
+            .run(&q)
+            .unwrap();
+        let dnf = Executor::new(&c)
+            .with_strategy(Strategy::dnf())
+            .run(&q)
+            .unwrap();
         let mut cnf_rows = cnf.rows().to_vec();
         let mut dnf_rows = dnf.rows().to_vec();
         cnf_rows.sort();
@@ -701,10 +792,14 @@ mod tests {
     fn dnf_strategy_uses_indexes_and_scans_less() {
         let c = catalog();
         let q = qc_query();
-        let (_, cnf_stats) =
-            Executor::new(&c).with_strategy(Strategy::cnf()).run_with_stats(&q).unwrap();
-        let (_, dnf_stats) =
-            Executor::new(&c).with_strategy(Strategy::dnf()).run_with_stats(&q).unwrap();
+        let (_, cnf_stats) = Executor::new(&c)
+            .with_strategy(Strategy::cnf())
+            .run_with_stats(&q)
+            .unwrap();
+        let (_, dnf_stats) = Executor::new(&c)
+            .with_strategy(Strategy::dnf())
+            .run_with_stats(&q)
+            .unwrap();
         assert_eq!(cnf_stats.index_probes, 0);
         assert!(dnf_stats.index_probes > 0);
         assert!(dnf_stats.rows_examined <= cnf_stats.rows_examined);
@@ -786,23 +881,35 @@ mod tests {
         let q = SelectQuery::new()
             .item(SelectItem::wildcard("t"))
             .from(TableRef::aliased("nope", "t"));
-        assert!(matches!(Executor::new(&c).run(&q), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            Executor::new(&c).run(&q),
+            Err(SqlError::UnknownTable(_))
+        ));
 
         let q = SelectQuery::new()
             .item(SelectItem::wildcard("t"))
             .from(TableRef::aliased("cust", "t"))
             .from(TableRef::aliased("T2", "t"));
-        assert!(matches!(Executor::new(&c).run(&q), Err(SqlError::DuplicateAlias(_))));
+        assert!(matches!(
+            Executor::new(&c).run(&q),
+            Err(SqlError::DuplicateAlias(_))
+        ));
     }
 
     #[test]
     fn error_on_malformed_queries() {
         let c = catalog();
         let no_items = SelectQuery::new().from(TableRef::named("cust"));
-        assert!(matches!(Executor::new(&c).run(&no_items), Err(SqlError::Unsupported(_))));
+        assert!(matches!(
+            Executor::new(&c).run(&no_items),
+            Err(SqlError::Unsupported(_))
+        ));
 
         let no_from = SelectQuery::new().item(SelectItem::wildcard("t"));
-        assert!(matches!(Executor::new(&c).run(&no_from), Err(SqlError::Unsupported(_))));
+        assert!(matches!(
+            Executor::new(&c).run(&no_from),
+            Err(SqlError::Unsupported(_))
+        ));
 
         let having_without_group = SelectQuery::new()
             .item(SelectItem::wildcard("t"))
@@ -818,7 +925,10 @@ mod tests {
     fn empty_outer_relation_yields_empty_result() {
         let mut c = Catalog::new();
         c.register(cust());
-        c.register_as("empty_tab", Relation::new(tableau_t2().schema().renamed("empty_tab")));
+        c.register_as(
+            "empty_tab",
+            Relation::new(tableau_t2().schema().renamed("empty_tab")),
+        );
         let q = SelectQuery::new()
             .item(SelectItem::wildcard("t"))
             .from(TableRef::aliased("cust", "t"))
@@ -887,8 +997,7 @@ mod tests {
                 Expr::col("t", "CT").eq(Expr::col("ty", "CT")),
             ]));
         for strategy in [Strategy::cnf(), Strategy::dnf()] {
-            let result =
-                Executor::new(&c).with_strategy(strategy).run(&q).unwrap();
+            let result = Executor::new(&c).with_strategy(strategy).run(&q).unwrap();
             // Matches: id 1 -> (CC=01, CT=NYC): Mike, Rick, Joe, Jim; id 2 -> Ian.
             assert_eq!(result.len(), 5, "strategy {strategy:?}");
         }

@@ -125,8 +125,7 @@ fn cnf_of_nnf(expr: &Expr) -> Expr {
                 }
                 result = next;
             }
-            let clauses: Vec<Expr> =
-                result.into_iter().map(|disjuncts| Expr::or(disjuncts)).collect();
+            let clauses: Vec<Expr> = result.into_iter().map(Expr::or).collect();
             Expr::and(clauses)
         }
         atom => atom.clone(),
@@ -166,7 +165,7 @@ fn dnf_of_nnf(expr: &Expr) -> Expr {
                 }
                 result = next;
             }
-            let terms: Vec<Expr> = result.into_iter().map(|conjs| Expr::and(conjs)).collect();
+            let terms: Vec<Expr> = result.into_iter().map(Expr::and).collect();
             Expr::or(terms)
         }
         atom => atom.clone(),
@@ -232,15 +231,9 @@ mod tests {
 
     #[test]
     fn already_normal_forms_are_stable() {
-        let cnf_shape = Expr::and(vec![
-            Expr::or(vec![atom("A"), atom("B")]),
-            atom("C"),
-        ]);
+        let cnf_shape = Expr::and(vec![Expr::or(vec![atom("A"), atom("B")]), atom("C")]);
         assert_eq!(to_cnf(&cnf_shape), cnf_shape);
-        let dnf_shape = Expr::or(vec![
-            Expr::and(vec![atom("A"), atom("B")]),
-            atom("C"),
-        ]);
+        let dnf_shape = Expr::or(vec![Expr::and(vec![atom("A"), atom("B")]), atom("C")]);
         assert_eq!(to_dnf(&dnf_shape), dnf_shape);
     }
 
@@ -315,10 +308,7 @@ mod tests {
 
     #[test]
     fn apply_respects_requested_form() {
-        let e = Expr::or(vec![
-            Expr::and(vec![atom("A"), atom("B")]),
-            atom("C"),
-        ]);
+        let e = Expr::or(vec![Expr::and(vec![atom("A"), atom("B")]), atom("C")]);
         assert_eq!(apply(NormalForm::AsWritten, Some(&e)), Some(e.clone()));
         assert_eq!(apply(NormalForm::Dnf, Some(&e)), Some(to_dnf(&e)));
         assert_eq!(apply(NormalForm::Cnf, Some(&e)), Some(to_cnf(&e)));

@@ -16,10 +16,17 @@ fn main() {
     let sigma = cfd_datagen::fig2_cfd_set();
 
     // --- Reasoning (Section 3) ---------------------------------------------
-    println!("Σ (Fig. 2) is consistent: {}", sigma.is_consistent().unwrap());
+    println!(
+        "Σ (Fig. 2) is consistent: {}",
+        sigma.is_consistent().unwrap()
+    );
 
     // Example 3.2: {ψ1 = (A→B, (_‖b)), ψ2 = (B→C, (_‖c))} ⊨ (A→C, (a‖_)).
-    let abc = cfd_relation::Schema::builder("R").text("A").text("B").text("C").build();
+    let abc = cfd_relation::Schema::builder("R")
+        .text("A")
+        .text("B")
+        .text("C")
+        .build();
     let psi1 = NormalCfd::parse(&abc, ["A"], &["_"], "B", "b").unwrap();
     let psi2 = NormalCfd::parse(&abc, ["B"], &["_"], "C", "c").unwrap();
     let phi = NormalCfd::parse(&abc, ["A"], &["a"], "C", "_").unwrap();
@@ -46,11 +53,16 @@ fn main() {
     // --- Merged detection (Section 4.2) -------------------------------------
     let cfds = vec![phi3_with_fd(), phi5()];
     let merged = MergedTableaux::build(&cfds).unwrap();
-    println!("\nMerged tableaux (Fig. 7): T^X_Σ =\n{}", merged.x_relation("TX"));
+    println!(
+        "\nMerged tableaux (Fig. 7): T^X_Σ =\n{}",
+        merged.x_relation("TX")
+    );
     println!("T^Y_Σ =\n{}", merged.y_relation("TY"));
 
     let detector = Detector::new();
-    let report = detector.detect_set_merged(&cfds, Arc::new(data.clone())).unwrap();
+    let report = detector
+        .detect_set_merged(&cfds, Arc::new(data.clone()))
+        .unwrap();
     println!("Merged detection on Fig. 1:\n{report}");
 
     // --- Repair --------------------------------------------------------------

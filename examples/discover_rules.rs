@@ -10,15 +10,28 @@ use cfd_discovery::{discover_constant_cfds, discover_fds, DiscoveryConfig};
 
 fn main() {
     // Learn from a clean sample…
-    let clean = TaxGenerator::new(TaxConfig { size: 3_000, noise_percent: 0.0, seed: 1 })
-        .generate()
-        .relation;
-    let config = DiscoveryConfig { max_lhs_size: 1, min_support: 3, min_confidence: 1.0 };
+    let clean = TaxGenerator::new(TaxConfig {
+        size: 3_000,
+        noise_percent: 0.0,
+        seed: 1,
+    })
+    .generate()
+    .relation;
+    let config = DiscoveryConfig {
+        max_lhs_size: 1,
+        min_support: 3,
+        min_confidence: 1.0,
+    };
 
     let fds = discover_fds(&clean, &config);
     println!("discovered {} exact single-attribute FDs, e.g.:", fds.len());
     for d in fds.iter().take(8) {
-        println!("  {} -> {} (confidence {:.2})", d.cfd.lhs_names().join(","), d.cfd.rhs_names()[0], d.confidence);
+        println!(
+            "  {} -> {} (confidence {:.2})",
+            d.cfd.lhs_names().join(","),
+            d.cfd.rhs_names()[0],
+            d.confidence
+        );
     }
 
     let cfds = discover_constant_cfds(&clean, &config);
@@ -34,9 +47,13 @@ fn main() {
     }
 
     // …then audit a noisy instance with the discovered zip→state constraint.
-    let noisy = TaxGenerator::new(TaxConfig { size: 3_000, noise_percent: 6.0, seed: 2 })
-        .generate()
-        .relation;
+    let noisy = TaxGenerator::new(TaxConfig {
+        size: 3_000,
+        noise_percent: 6.0,
+        seed: 2,
+    })
+    .generate()
+    .relation;
     if let Some(zip_state) = cfds
         .iter()
         .find(|d| d.cfd.lhs_names() == vec!["ZIP"] && d.cfd.rhs_names() == vec!["ST"])

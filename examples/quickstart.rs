@@ -18,7 +18,11 @@ fn main() {
         println!(
             "{} is {}",
             cfd.name().unwrap_or("cfd"),
-            if cfd.satisfied_by(&data) { "satisfied" } else { "VIOLATED" }
+            if cfd.satisfied_by(&data) {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 

@@ -12,8 +12,12 @@ use std::time::Instant;
 
 fn main() {
     // 20K tax records, 5% of which carry an injected error.
-    let generated = TaxGenerator::new(TaxConfig { size: 20_000, noise_percent: 5.0, seed: 2026 })
-        .generate();
+    let generated = TaxGenerator::new(TaxConfig {
+        size: 20_000,
+        noise_percent: 5.0,
+        seed: 2026,
+    })
+    .generate();
     println!(
         "generated {} tax records, {} of them dirty",
         generated.relation.len(),
@@ -38,15 +42,31 @@ fn main() {
     // 4-way parallel detection.
     let start = Instant::now();
     let per_cfd = detector.detect_set(&cfds, Arc::clone(&data)).unwrap();
-    println!("per-CFD detection: {:?}, {} findings", start.elapsed(), per_cfd.total());
+    println!(
+        "per-CFD detection: {:?}, {} findings",
+        start.elapsed(),
+        per_cfd.total()
+    );
 
     let start = Instant::now();
-    let merged = detector.detect_set_merged(&cfds, Arc::clone(&data)).unwrap();
-    println!("merged detection:  {:?}, {} findings", start.elapsed(), merged.total());
+    let merged = detector
+        .detect_set_merged(&cfds, Arc::clone(&data))
+        .unwrap();
+    println!(
+        "merged detection:  {:?}, {} findings",
+        start.elapsed(),
+        merged.total()
+    );
 
     let start = Instant::now();
-    let parallel = detector.detect_set_parallel(&cfds, Arc::clone(&data), 4).unwrap();
-    println!("parallel (4 thr):  {:?}, {} findings", start.elapsed(), parallel.total());
+    let parallel = detector
+        .detect_set_parallel(&cfds, Arc::clone(&data), 4)
+        .unwrap();
+    println!(
+        "parallel (4 thr):  {:?}, {} findings",
+        start.elapsed(),
+        parallel.total()
+    );
 
     // Repair and re-validate.
     let start = Instant::now();
@@ -58,6 +78,8 @@ fn main() {
         repair.cost,
         repair.satisfied
     );
-    let after = detector.detect_set(&cfds, Arc::new(repair.repaired)).unwrap();
+    let after = detector
+        .detect_set(&cfds, Arc::new(repair.repaired))
+        .unwrap();
     println!("violations after repair: {}", after.total());
 }

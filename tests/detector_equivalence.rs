@@ -1,132 +1,245 @@
-//! Property-based tests: the SQL-based detector, under every evaluation
-//! strategy, agrees with the independent direct detector on arbitrary data
-//! and arbitrary CFDs, and the paper's invariants about query generation
+//! Property-style tests (deterministic randomized, offline — no proptest):
+//! the SQL-based detector, under every evaluation strategy, agrees with the
+//! independent direct detector on arbitrary data and arbitrary CFDs; the
+//! interned detection path returns byte-identical reports to the retained
+//! value-comparison path; and the paper's invariants about query generation
 //! hold (query size independent of tableau size, merged vs per-CFD
 //! consistency of the QC component).
 
 use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::rng::StdRng;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
 use cfd_detect::{Detector, DirectDetector};
 use cfd_relation::{Relation, Schema, Tuple, Value};
 use cfd_sql::Strategy as SqlStrategy;
-use proptest::prelude::*;
 use std::sync::Arc;
 
+const CASES: usize = 64;
+
 /// Small value alphabet: collisions are likely, so FD/CFD violations are too.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![Just(Value::from("a")), Just(Value::from("b")), Just(Value::from("c"))]
+fn random_value(rng: &mut StdRng) -> Value {
+    Value::from(["a", "b", "c"][rng.gen_range(0usize..3)])
 }
 
 fn schema() -> Schema {
-    Schema::builder("r").text("A").text("B").text("C").text("D").build()
+    Schema::builder("r")
+        .text("A")
+        .text("B")
+        .text("C")
+        .text("D")
+        .build()
 }
 
 /// A relation with up to 24 rows over the 4-attribute schema.
-fn relation_strategy() -> impl Strategy<Value = Relation> {
-    prop::collection::vec(prop::collection::vec(value_strategy(), 4), 0..24).prop_map(|rows| {
-        let mut rel = Relation::new(schema());
-        for row in rows {
-            rel.push(Tuple::new(row)).unwrap();
-        }
-        rel
-    })
+fn random_relation(rng: &mut StdRng) -> Relation {
+    let mut rel = Relation::new(schema());
+    for _ in 0..rng.gen_range(0usize..24) {
+        let row: Vec<Value> = (0..4).map(|_| random_value(rng)).collect();
+        rel.push(Tuple::new(row)).unwrap();
+    }
+    rel
 }
 
 /// A pattern cell: a constant from the alphabet or the unnamed variable.
-fn pattern_cell() -> impl Strategy<Value = PatternValue> {
-    prop_oneof![
-        3 => Just(PatternValue::Wildcard),
-        2 => value_strategy().prop_map(PatternValue::Const),
-    ]
+fn random_cell(rng: &mut StdRng) -> PatternValue {
+    if rng.gen_bool(0.6) {
+        PatternValue::Wildcard
+    } else {
+        PatternValue::constant(random_value(rng))
+    }
 }
 
 /// A CFD over the fixed schema: X = {A, B}, Y = {C} or {C, D}, 1..4 pattern rows.
-fn cfd_strategy() -> impl Strategy<Value = Cfd> {
-    let row = (prop::collection::vec(pattern_cell(), 2), prop::collection::vec(pattern_cell(), 2));
-    (prop::collection::vec(row, 1..4), any::<bool>()).prop_map(|(rows, wide_rhs)| {
-        let schema = schema();
-        let lhs = schema.resolve_all(["A", "B"]).unwrap();
-        let rhs = if wide_rhs {
-            schema.resolve_all(["C", "D"]).unwrap()
-        } else {
-            schema.resolve_all(["C"]).unwrap()
-        };
-        let mut tableau = PatternTableau::new();
-        for (l, r) in rows {
-            let r = if wide_rhs { r } else { r[..1].to_vec() };
-            tableau.push(PatternTuple::new(l, r));
-        }
-        Cfd::from_parts(schema, lhs, rhs, tableau).unwrap()
-    })
+fn random_cfd(rng: &mut StdRng) -> Cfd {
+    let schema = schema();
+    let lhs = schema.resolve_all(["A", "B"]).unwrap();
+    let wide_rhs = rng.gen_bool(0.5);
+    let rhs = if wide_rhs {
+        schema.resolve_all(["C", "D"]).unwrap()
+    } else {
+        schema.resolve_all(["C"]).unwrap()
+    };
+    let mut tableau = PatternTableau::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        let l: Vec<PatternValue> = (0..2).map(|_| random_cell(rng)).collect();
+        let r: Vec<PatternValue> = (0..rhs.len()).map(|_| random_cell(rng)).collect();
+        tableau.push(PatternTuple::new(l, r));
+    }
+    Cfd::from_parts(schema, lhs, rhs, tableau).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The SQL detector (any strategy) and the direct detector are identical.
-    #[test]
-    fn sql_equals_direct(rel in relation_strategy(), cfd in cfd_strategy()) {
+/// The SQL detector (any strategy) and the direct detector are identical.
+#[test]
+fn sql_equals_direct() {
+    let mut rng = StdRng::seed_from_u64(0xD7EC7);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let cfd = random_cfd(&mut rng);
         let expected = DirectDetector::new().detect(&cfd, &rel);
         let shared = Arc::new(rel);
-        for strategy in [SqlStrategy::dnf(), SqlStrategy::cnf(), SqlStrategy::dnf_unindexed(), SqlStrategy::as_written()] {
+        for strategy in [
+            SqlStrategy::dnf(),
+            SqlStrategy::cnf(),
+            SqlStrategy::dnf_unindexed(),
+            SqlStrategy::as_written(),
+        ] {
             let got = Detector::new()
                 .with_strategy(strategy)
                 .detect_shared(&cfd, Arc::clone(&shared))
                 .unwrap()
                 .0;
-            prop_assert_eq!(&got, &expected, "strategy {:?}", strategy);
+            assert_eq!(
+                got, expected,
+                "case {case}, strategy {strategy:?}, cfd {cfd}"
+            );
         }
     }
+}
 
-    /// Detection is empty iff the CFD is satisfied (semantics agreement with cfd-core).
-    #[test]
-    fn detection_matches_satisfaction(rel in relation_strategy(), cfd in cfd_strategy()) {
+/// The interned detection path returns byte-identical `Violations` to the
+/// value-comparison path on arbitrary data and CFDs.
+#[test]
+fn interned_equals_value_path_on_random_cases() {
+    let mut rng = StdRng::seed_from_u64(0x1D5);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let cfd = random_cfd(&mut rng);
+        let interned = DirectDetector::new().detect(&cfd, &rel);
+        let value_path = DirectDetector::new().detect_value_path(&cfd, &rel);
+        assert_eq!(
+            interned, value_path,
+            "case {case}: interned vs value path, cfd {cfd}"
+        );
+    }
+}
+
+/// The acceptance check of the interning refactor: on a ≥10k-tuple generated
+/// tax workload, the interned detectors (direct hash path and SQL path)
+/// report exactly the same violation sets as the Value-comparison path.
+#[test]
+fn interned_equals_value_path_on_generated_workload() {
+    let noisy = TaxGenerator::new(TaxConfig {
+        size: 10_000,
+        noise_percent: 6.0,
+        seed: 2026,
+    })
+    .generate()
+    .relation;
+    assert!(noisy.len() >= 10_000);
+    let workload = CfdWorkload::new(77);
+    let cfds = [
+        workload.zip_state_full(),
+        workload.single(EmbeddedFd::ZipCityToState, 150, 100.0),
+        workload.single(EmbeddedFd::AreaToCity, 150, 60.0),
+        workload.single(EmbeddedFd::StateMaritalToExemption, 60, 100.0),
+    ];
+    let shared = Arc::new(noisy.clone());
+    for cfd in &cfds {
+        let value_path = DirectDetector::new().detect_value_path(cfd, &noisy);
+        let interned = DirectDetector::new().detect(cfd, &noisy);
+        assert_eq!(
+            interned,
+            value_path,
+            "interned direct detection differs from the value path for {:?}",
+            cfd.name()
+        );
+        let sql = Detector::new()
+            .detect_shared(cfd, Arc::clone(&shared))
+            .unwrap()
+            .0;
+        assert_eq!(
+            sql,
+            value_path,
+            "interned SQL detection differs from the value path for {:?}",
+            cfd.name()
+        );
+    }
+    // The workload as a whole must catch the injected noise.
+    let total: usize = cfds
+        .iter()
+        .map(|c| DirectDetector::new().detect(c, &noisy).total())
+        .sum();
+    assert!(total > 0, "workload CFDs must catch the injected noise");
+}
+
+/// Detection is empty iff the CFD is satisfied (semantics agreement with cfd-core).
+#[test]
+fn detection_matches_satisfaction() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let cfd = random_cfd(&mut rng);
         let report = Detector::new().detect(&cfd, &rel).unwrap();
-        prop_assert_eq!(report.is_clean(), cfd.satisfied_by(&rel));
+        assert_eq!(
+            report.is_clean(),
+            cfd.satisfied_by(&rel),
+            "case {case}, cfd {cfd}"
+        );
     }
+}
 
-    /// The merged query pair finds exactly the same single-tuple (QC)
-    /// violations as running one query pair per CFD.
-    #[test]
-    fn merged_qc_equals_per_cfd_qc(
-        rel in relation_strategy(),
-        cfd_a in cfd_strategy(),
-        cfd_b in cfd_strategy(),
-    ) {
-        let cfds = vec![cfd_a, cfd_b];
+/// The merged query pair finds exactly the same single-tuple (QC)
+/// violations as running one query pair per CFD.
+#[test]
+fn merged_qc_equals_per_cfd_qc() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let cfds = vec![random_cfd(&mut rng), random_cfd(&mut rng)];
         let shared = Arc::new(rel);
-        let per_cfd = Detector::new().detect_set(&cfds, Arc::clone(&shared)).unwrap();
-        let merged = Detector::new().detect_set_merged(&cfds, Arc::clone(&shared)).unwrap();
-        prop_assert_eq!(per_cfd.constant_violations(), merged.constant_violations());
-        // Multi-tuple violations use different key spaces, but emptiness must agree
-        // with the semantic satisfaction of the set.
+        let per_cfd = Detector::new()
+            .detect_set(&cfds, Arc::clone(&shared))
+            .unwrap();
+        let merged = Detector::new()
+            .detect_set_merged(&cfds, Arc::clone(&shared))
+            .unwrap();
+        assert_eq!(
+            per_cfd.constant_violations(),
+            merged.constant_violations(),
+            "case {case}"
+        );
+        // Multi-tuple violations use different key spaces, but emptiness must
+        // agree with the semantic satisfaction of the set.
         let all_satisfied = cfds.iter().all(|c| c.satisfied_by(&shared));
-        prop_assert_eq!(merged.is_clean(), all_satisfied);
-        prop_assert_eq!(per_cfd.is_clean(), all_satisfied);
+        assert_eq!(merged.is_clean(), all_satisfied, "case {case}");
+        assert_eq!(per_cfd.is_clean(), all_satisfied, "case {case}");
     }
+}
 
-    /// Query size (number of WHERE atoms) does not depend on the tableau size.
-    #[test]
-    fn query_size_independent_of_tableau(cfd in cfd_strategy()) {
+/// Query size (number of WHERE atoms) does not depend on the tableau size.
+#[test]
+fn query_size_independent_of_tableau() {
+    let mut rng = StdRng::seed_from_u64(0x51CE);
+    for _ in 0..CASES {
+        let cfd = random_cfd(&mut rng);
         let detector = Detector::new();
         let (qc, qv) = detector.sql_for(&cfd, "r");
         let expected_qc_atoms = cfd.lhs().len() * 3 + cfd.rhs().len() * 3;
-        prop_assert_eq!(qc.where_clause.unwrap().atom_count(), expected_qc_atoms);
-        prop_assert_eq!(qv.where_clause.unwrap().atom_count(), cfd.lhs().len() * 3);
-        prop_assert_eq!(qv.group_by.len(), cfd.lhs().len());
+        assert_eq!(qc.where_clause.unwrap().atom_count(), expected_qc_atoms);
+        assert_eq!(qv.where_clause.unwrap().atom_count(), cfd.lhs().len() * 3);
+        assert_eq!(qv.group_by.len(), cfd.lhs().len());
     }
+}
 
-    /// Parallel set detection returns exactly the same report as serial.
-    #[test]
-    fn parallel_equals_serial(
-        rel in relation_strategy(),
-        cfd_a in cfd_strategy(),
-        cfd_b in cfd_strategy(),
-        cfd_c in cfd_strategy(),
-    ) {
-        let cfds = vec![cfd_a, cfd_b, cfd_c];
+/// Parallel set detection returns exactly the same report as serial.
+#[test]
+fn parallel_equals_serial() {
+    let mut rng = StdRng::seed_from_u64(0x9A9A);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let cfds = vec![
+            random_cfd(&mut rng),
+            random_cfd(&mut rng),
+            random_cfd(&mut rng),
+        ];
         let shared = Arc::new(rel);
-        let serial = Detector::new().detect_set(&cfds, Arc::clone(&shared)).unwrap();
-        let parallel = Detector::new().detect_set_parallel(&cfds, Arc::clone(&shared), 3).unwrap();
-        prop_assert_eq!(serial, parallel);
+        let serial = Detector::new()
+            .detect_set(&cfds, Arc::clone(&shared))
+            .unwrap();
+        let parallel = Detector::new()
+            .detect_set_parallel(&cfds, Arc::clone(&shared), 3)
+            .unwrap();
+        assert_eq!(serial, parallel, "case {case}");
     }
 }

@@ -34,7 +34,7 @@ fn example_3_1_consistency() {
     let schema = RSchema::builder("R").text("A").text("B").build();
     let p1 = NormalCfd::parse(&schema, ["A"], &["_"], "B", "b").unwrap();
     let p2 = NormalCfd::parse(&schema, ["A"], &["_"], "B", "c").unwrap();
-    assert!(cfd_core::is_consistent(&[p1.clone()]));
+    assert!(cfd_core::is_consistent(std::slice::from_ref(&p1)));
     assert!(!cfd_core::is_consistent(&[p1, p2]));
     // The Fig. 2 constraint set, in contrast, is consistent.
     assert!(cfd_datagen::fig2_cfd_set().is_consistent().unwrap());
@@ -52,8 +52,9 @@ fn example_3_2_implication_and_derivation() {
     // Reconstruct the derivation (1)-(5) of Example 3.2 with the rules of I.
     let step3 = cfd_core::inference::fd3(&[psi1], &psi2).unwrap().unwrap();
     let a = schema.resolve("A").unwrap();
-    let step4 =
-        cfd_core::inference::fd5(&step3, a, cfd_relation::Value::from("a")).unwrap().unwrap();
+    let step4 = cfd_core::inference::fd5(&step3, a, cfd_relation::Value::from("a"))
+        .unwrap()
+        .unwrap();
     let step5 = cfd_core::inference::fd6(&step4).unwrap().unwrap();
     assert_eq!(step5, phi);
     // Soundness of every step w.r.t. the semantic implication.
@@ -82,14 +83,21 @@ fn example_4_1_detection_queries_on_fig1() {
     // QC returns t1 and t2 (the 908/NYC tuples).
     assert_eq!(report.constant_violations().len(), 2);
     let nm = cust_schema().resolve("NM").unwrap();
-    let names: Vec<_> =
-        report.constant_violations().iter().map(|t| t[nm.index()].clone()).collect();
+    let names: Vec<_> = report
+        .constant_violations()
+        .iter()
+        .map(|t| t[nm.index()].clone())
+        .collect();
     assert!(names.contains(&cfd_relation::Value::from("Mike")));
     assert!(names.contains(&cfd_relation::Value::from("Rick")));
     // The generated SQL has the Fig. 5 shape.
     let (qc, qv) = detector.sql_for(&phi2(), "cust");
-    assert!(qc.to_string().contains("SELECT t.* FROM cust t, Tp tp WHERE"));
-    assert!(qv.to_string().contains("HAVING count(distinct t.STR, t.CT, t.ZIP) > 1"));
+    assert!(qc
+        .to_string()
+        .contains("SELECT t.* FROM cust t, Tp tp WHERE"));
+    assert!(qv
+        .to_string()
+        .contains("HAVING count(distinct t.STR, t.CT, t.ZIP) > 1"));
 }
 
 #[test]
@@ -102,9 +110,14 @@ fn fig6_to_fig8_merged_tableaux_pipeline() {
     assert_eq!(merged.len(), 4);
 
     let data = Arc::new(cust_instance());
-    let report = Detector::new().detect_set_merged(&cfds, Arc::clone(&data)).unwrap();
+    let report = Detector::new()
+        .detect_set_merged(&cfds, Arc::clone(&data))
+        .unwrap();
     assert!(
-        report.multi_tuple_keys().iter().any(|k| k.contains(&cfd_relation::Value::from("NYC"))),
+        report
+            .multi_tuple_keys()
+            .iter()
+            .any(|k| k.contains(&cfd_relation::Value::from("NYC"))),
         "the NYC group must be flagged: {report}"
     );
     // The per-CFD validation agrees on whether violations exist at all.
@@ -118,8 +131,10 @@ fn section6_repair_example_requires_lhs_modification() {
     // Σ = {(A → B, (_ ‖ _)), (C → B, {(c1, b1), (c2, b2)})}.
     let schema = RSchema::builder("R").text("A").text("B").text("C").build();
     let mut rel = cfd_relation::Relation::new(schema.clone());
-    rel.push_values(vec!["a1".into(), "b1".into(), "c1".into()]).unwrap();
-    rel.push_values(vec!["a1".into(), "b2".into(), "c2".into()]).unwrap();
+    rel.push_values(vec!["a1".into(), "b1".into(), "c1".into()])
+        .unwrap();
+    rel.push_values(vec!["a1".into(), "b2".into(), "c2".into()])
+        .unwrap();
     let sigma = vec![
         Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap(),
         Cfd::builder(schema.clone(), ["C"], ["B"])
@@ -128,7 +143,10 @@ fn section6_repair_example_requires_lhs_modification() {
             .build()
             .unwrap(),
     ];
-    assert!(CfdSet::from_cfds(sigma.clone()).unwrap().is_consistent().unwrap());
+    assert!(CfdSet::from_cfds(sigma.clone())
+        .unwrap()
+        .is_consistent()
+        .unwrap());
     assert!(!sigma.iter().all(|c| c.satisfied_by(&rel)));
 
     let result = Repairer::new().repair(&sigma, &rel);
@@ -136,7 +154,10 @@ fn section6_repair_example_requires_lhs_modification() {
     let a = schema.resolve("A").unwrap();
     let c = schema.resolve("C").unwrap();
     assert!(
-        result.modifications.iter().any(|m| m.attr == a || m.attr == c),
+        result
+            .modifications
+            .iter()
+            .any(|m| m.attr == a || m.attr == c),
         "the paper's example cannot be repaired by RHS-only edits"
     );
 }

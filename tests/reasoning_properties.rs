@@ -1,77 +1,86 @@
-//! Property-based tests for the reasoning machinery of Section 3:
-//! normalization preserves satisfaction, consistency witnesses really satisfy
-//! the set, implication is sound on sampled instances, and minimal covers are
-//! equivalent to (and never larger than) their input.
+//! Property-style tests (deterministic randomized, offline — no proptest)
+//! for the reasoning machinery of Section 3: normalization preserves
+//! satisfaction, consistency witnesses really satisfy the set, implication is
+//! sound on sampled instances, and minimal covers are equivalent to (and
+//! never larger than) their input.
 
 use cfd_core::{consistency, Cfd, NormalCfd, PatternValue};
+use cfd_datagen::rng::StdRng;
 use cfd_relation::{Relation, Schema, Tuple, Value};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn schema() -> Schema {
     Schema::builder("r").text("A").text("B").text("C").build()
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![Just(Value::from("x")), Just(Value::from("y")), Just(Value::from("z"))]
+fn random_value(rng: &mut StdRng) -> Value {
+    Value::from(["x", "y", "z"][rng.gen_range(0usize..3)])
 }
 
-fn pattern_cell() -> impl Strategy<Value = PatternValue> {
-    prop_oneof![
-        2 => Just(PatternValue::Wildcard),
-        1 => value_strategy().prop_map(PatternValue::Const),
-    ]
+fn random_cell(rng: &mut StdRng) -> PatternValue {
+    if rng.gen_bool(2.0 / 3.0) {
+        PatternValue::Wildcard
+    } else {
+        PatternValue::constant(random_value(rng))
+    }
 }
 
 /// A normal-form CFD over the 3-attribute schema with a 1- or 2-attribute LHS.
-fn normal_cfd_strategy() -> impl Strategy<Value = NormalCfd> {
-    (0usize..3, 0usize..3, prop::collection::vec(pattern_cell(), 3))
-        .prop_map(|(rhs_idx, lhs_variant, cells)| {
-            let schema = schema();
-            let attrs: Vec<_> = schema.attr_ids().collect();
-            let rhs = attrs[rhs_idx];
-            let lhs: Vec<_> = attrs
-                .iter()
-                .copied()
-                .filter(|a| *a != rhs)
-                .take(1 + lhs_variant % 2)
-                .collect();
-            let lhs_pattern = cells[..lhs.len()].to_vec();
-            let rhs_pattern = cells[2].clone();
-            NormalCfd::new(schema, lhs, lhs_pattern, rhs, rhs_pattern).unwrap()
-        })
+fn random_normal_cfd(rng: &mut StdRng) -> NormalCfd {
+    let schema = schema();
+    let attrs: Vec<_> = schema.attr_ids().collect();
+    let rhs = attrs[rng.gen_range(0usize..3)];
+    let lhs_variant = rng.gen_range(0usize..3);
+    let lhs: Vec<_> = attrs
+        .iter()
+        .copied()
+        .filter(|a| *a != rhs)
+        .take(1 + lhs_variant % 2)
+        .collect();
+    let lhs_pattern: Vec<PatternValue> = (0..lhs.len()).map(|_| random_cell(rng)).collect();
+    let rhs_pattern = random_cell(rng);
+    NormalCfd::new(schema, lhs, lhs_pattern, rhs, rhs_pattern).unwrap()
 }
 
-fn relation_strategy() -> impl Strategy<Value = Relation> {
-    prop::collection::vec(prop::collection::vec(value_strategy(), 3), 0..16).prop_map(|rows| {
-        let mut rel = Relation::new(schema());
-        for row in rows {
-            rel.push(Tuple::new(row)).unwrap();
-        }
-        rel
-    })
+fn random_relation(rng: &mut StdRng) -> Relation {
+    let mut rel = Relation::new(schema());
+    for _ in 0..rng.gen_range(0usize..16) {
+        let row: Vec<Value> = (0..3).map(|_| random_value(rng)).collect();
+        rel.push(Tuple::new(row)).unwrap();
+    }
+    rel
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A general CFD is satisfied iff every CFD of its normalization is.
-    #[test]
-    fn normalization_preserves_satisfaction(rel in relation_strategy(), n in normal_cfd_strategy()) {
-        // Build a general CFD by denormalizing a couple of normal ones that
-        // share the embedded FD, then compare satisfaction.
+/// A general CFD is satisfied iff every CFD of its normalization is.
+#[test]
+fn normalization_preserves_satisfaction() {
+    let mut rng = StdRng::seed_from_u64(0x0401);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let n = random_normal_cfd(&mut rng);
+        // Build a general CFD by denormalizing, then compare satisfaction.
         let generals = NormalCfd::denormalize(std::slice::from_ref(&n)).unwrap();
         for general in &generals {
             let renormalized = NormalCfd::normalize(general).unwrap();
             let direct = general.satisfied_by(&rel);
-            let via_normal = renormalized.iter().all(|m| m.to_cfd().unwrap().satisfied_by(&rel));
-            prop_assert_eq!(direct, via_normal);
+            let via_normal = renormalized
+                .iter()
+                .all(|m| m.to_cfd().unwrap().satisfied_by(&rel));
+            assert_eq!(direct, via_normal, "case {case}");
         }
     }
+}
 
-    /// If the consistency check produces a witness, the single-tuple instance
-    /// built from it satisfies every CFD of the set.
-    #[test]
-    fn consistency_witness_satisfies_sigma(cfds in prop::collection::vec(normal_cfd_strategy(), 1..5)) {
+/// If the consistency check produces a witness, the single-tuple instance
+/// built from it satisfies every CFD of the set.
+#[test]
+fn consistency_witness_satisfies_sigma() {
+    let mut rng = StdRng::seed_from_u64(0x0402);
+    for case in 0..CASES {
+        let cfds: Vec<NormalCfd> = (0..rng.gen_range(1usize..5))
+            .map(|_| random_normal_cfd(&mut rng))
+            .collect();
         match consistency::find_witness(&cfds) {
             None => {
                 // Inconsistent: there must be no single-tuple model among the
@@ -81,7 +90,10 @@ proptest! {
                     let mut rel = Relation::new(schema.clone());
                     rel.push(Tuple::new(vec![Value::from(v); 3])).unwrap();
                     let all = cfds.iter().all(|c| c.to_cfd().unwrap().satisfied_by(&rel));
-                    prop_assert!(!all, "claimed inconsistent but {v}-tuple satisfies all");
+                    assert!(
+                        !all,
+                        "case {case}: claimed inconsistent but {v}-tuple satisfies all"
+                    );
                 }
             }
             Some(witness) => {
@@ -93,68 +105,93 @@ proptest! {
                 let mut rel = Relation::new(schema);
                 rel.push(tuple).unwrap();
                 for c in &cfds {
-                    prop_assert!(c.to_cfd().unwrap().satisfied_by(&rel), "witness violates {c}");
+                    assert!(
+                        c.to_cfd().unwrap().satisfied_by(&rel),
+                        "case {case}: witness violates {c}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Soundness of implication: if Σ ⊨ ϕ then every sampled instance that
-    /// satisfies Σ also satisfies ϕ.
-    #[test]
-    fn implication_is_sound_on_samples(
-        sigma in prop::collection::vec(normal_cfd_strategy(), 0..4),
-        phi in normal_cfd_strategy(),
-        rel in relation_strategy(),
-    ) {
+/// Soundness of implication: if Σ ⊨ ϕ then every sampled instance that
+/// satisfies Σ also satisfies ϕ.
+#[test]
+fn implication_is_sound_on_samples() {
+    let mut rng = StdRng::seed_from_u64(0x0403);
+    for case in 0..CASES {
+        let sigma: Vec<NormalCfd> = (0..rng.gen_range(0usize..4))
+            .map(|_| random_normal_cfd(&mut rng))
+            .collect();
+        let phi = random_normal_cfd(&mut rng);
+        let rel = random_relation(&mut rng);
         if cfd_core::implies(&sigma, &phi) {
             let sigma_holds = sigma.iter().all(|c| c.to_cfd().unwrap().satisfied_by(&rel));
             if sigma_holds {
-                prop_assert!(
+                assert!(
                     phi.to_cfd().unwrap().satisfied_by(&rel),
-                    "Σ ⊨ ϕ claimed, but found instance satisfying Σ and violating ϕ"
+                    "case {case}: Σ ⊨ ϕ claimed, but found instance satisfying Σ and violating ϕ"
                 );
             }
         }
     }
+}
 
-    /// The minimal cover is equivalent to its (consistent) input and not larger.
-    #[test]
-    fn minimal_cover_is_equivalent_and_no_larger(
-        sigma in prop::collection::vec(normal_cfd_strategy(), 1..5),
-    ) {
+/// The minimal cover is equivalent to its (consistent) input and not larger.
+#[test]
+fn minimal_cover_is_equivalent_and_no_larger() {
+    let mut rng = StdRng::seed_from_u64(0x0404);
+    for case in 0..CASES {
+        let sigma: Vec<NormalCfd> = (0..rng.gen_range(1usize..5))
+            .map(|_| random_normal_cfd(&mut rng))
+            .collect();
         let cover = cfd_core::minimal_cover(&sigma);
         if consistency::is_consistent(&sigma) {
-            prop_assert!(cfd_core::mincover::equivalent(&sigma, &cover));
-            prop_assert!(cover.len() <= sigma.len());
+            assert!(
+                cfd_core::mincover::equivalent(&sigma, &cover),
+                "case {case}"
+            );
+            assert!(cover.len() <= sigma.len(), "case {case}");
         } else {
-            prop_assert!(cover.is_empty());
+            assert!(cover.is_empty(), "case {case}");
         }
     }
+}
 
-    /// Members of Σ are always implied by Σ (reflexivity of implication).
-    #[test]
-    fn sigma_implies_its_members(sigma in prop::collection::vec(normal_cfd_strategy(), 1..5)) {
+/// Members of Σ are always implied by Σ (reflexivity of implication).
+#[test]
+fn sigma_implies_its_members() {
+    let mut rng = StdRng::seed_from_u64(0x0405);
+    for case in 0..CASES {
+        let sigma: Vec<NormalCfd> = (0..rng.gen_range(1usize..5))
+            .map(|_| random_normal_cfd(&mut rng))
+            .collect();
         for phi in &sigma {
-            prop_assert!(cfd_core::implies(&sigma, phi));
+            assert!(cfd_core::implies(&sigma, phi), "case {case}: {phi}");
         }
     }
+}
 
-    /// Repairing always yields an instance satisfying a consistent Σ, and a
-    /// clean instance is never modified.
-    #[test]
-    fn repair_reaches_satisfaction(
-        rel in relation_strategy(),
-        n in normal_cfd_strategy(),
-    ) {
+/// Repairing always yields an instance satisfying a consistent Σ, and a
+/// clean instance is never modified.
+#[test]
+fn repair_reaches_satisfaction() {
+    let mut rng = StdRng::seed_from_u64(0x0406);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng);
+        let n = random_normal_cfd(&mut rng);
         let generals: Vec<Cfd> = NormalCfd::denormalize(std::slice::from_ref(&n)).unwrap();
         if !consistency::is_consistent(std::slice::from_ref(&n)) {
-            return Ok(());
+            continue;
         }
         let result = cfd_repair::Repairer::new().repair(&generals, &rel);
-        prop_assert!(result.satisfied, "repair failed for {n} on {rel}");
+        assert!(
+            result.satisfied,
+            "case {case}: repair failed for {n} on {rel}"
+        );
         if generals.iter().all(|c| c.satisfied_by(&rel)) {
-            prop_assert_eq!(result.changes(), 0);
+            assert_eq!(result.changes(), 0, "case {case}");
         }
     }
 }
