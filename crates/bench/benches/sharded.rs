@@ -1,0 +1,56 @@
+//! Criterion bench for the sharded detection engine: `DirectDetector` (one
+//! thread) vs `ShardedDetector` at 2/4/8 shards on the generated tax
+//! workload at 10k and 100k rows. The `merged_cfds` bench records the
+//! interned-vs-naive and per-CFD-vs-merged comparisons; this one records the
+//! sharding speedup (the CI workflow uploads its output as an artifact —
+//! the ≥2× target is against the direct series on a multi-core runner).
+
+use cfd_bench::tax_data;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::{DirectDetector, ShardedDetector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let workload = CfdWorkload::new(53);
+    let cfds = vec![
+        workload.single(EmbeddedFd::ZipToState, 100, 100.0),
+        workload.single(EmbeddedFd::ZipCityToState, 100, 100.0),
+        workload.single(EmbeddedFd::AreaToCity, 100, 60.0),
+    ];
+    for size in [10_000usize, 100_000] {
+        let data = tax_data(size, 5.0, 47);
+        // Sanity outside the timed region: every shard count reports the
+        // same bytes as the direct oracle on this workload.
+        let direct = DirectDetector::new().detect_set(&cfds, &data);
+        for shards in [2, 4, 8] {
+            assert_eq!(
+                ShardedDetector::new(shards).detect_set(&cfds, &data),
+                direct,
+                "sharded({shards}) diverged at {size} rows"
+            );
+        }
+
+        let mut group = c.benchmark_group(format!("sharded_detect/{size}"));
+        group
+            .sample_size(if size >= 100_000 { 5 } else { 10 })
+            .measurement_time(Duration::from_secs(if size >= 100_000 { 20 } else { 5 }));
+        group.bench_function("direct_1_thread", |b| {
+            b.iter(|| DirectDetector::new().detect_set(&cfds, &data));
+        });
+        for shards in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("sharded", shards),
+                &shards,
+                |b, &shards| {
+                    let detector = ShardedDetector::new(shards);
+                    b.iter(|| detector.detect_set(&cfds, &data));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

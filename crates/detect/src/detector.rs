@@ -1,9 +1,12 @@
 //! The high-level detector: runs the generated SQL queries on the in-memory
-//! engine, per CFD, merged, or across threads.
+//! engine, per CFD, merged, or across threads — plus the [`DetectorKind`]
+//! selector dispatching over every detection path of the crate.
 
+use crate::direct::DirectDetector;
 use crate::merge::MergedTableaux;
 use crate::merged;
 use crate::report::Violations;
+use crate::sharded::ShardedDetector;
 use crate::single;
 use cfd_core::Cfd;
 use cfd_relation::Relation;
@@ -12,6 +15,67 @@ use std::sync::Arc;
 
 /// Result alias: detection surfaces SQL-layer errors unchanged.
 pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Selects one of the crate's detection engines behind a single entry point
+/// ([`DetectorKind::detect_set`]). All variants report identical violation
+/// sets, with one documented exception: [`DetectorKind::SqlMerged`] reports
+/// multi-tuple keys over the *merged* `X`-attribute union (Section 4.2) when
+/// given more than one CFD, so its `QV` key space differs from the per-CFD
+/// paths' — its `QC` component and its emptiness still agree exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The single-threaded hash-based oracle ([`DirectDetector`]).
+    Direct,
+    /// One SQL `QC`/`QV` query pair per CFD ([`Detector::detect_set`]).
+    Sql,
+    /// The single merged SQL query pair of Section 4.2
+    /// ([`Detector::detect_set_merged`]).
+    SqlMerged,
+    /// One SQL query pair per CFD, spread over worker threads
+    /// ([`Detector::detect_set_parallel`]).
+    SqlParallel {
+        /// Worker thread count (clamped to the CFD count).
+        threads: usize,
+    },
+    /// Hash-sharded parallel detection ([`ShardedDetector`]): rows are
+    /// partitioned by interned LHS key and scanned on scoped worker threads.
+    Sharded {
+        /// Shard/worker count (clamped to ≥ 1).
+        shards: usize,
+    },
+}
+
+impl DetectorKind {
+    /// Detects the violations of `cfds` on `data` with the selected engine.
+    pub fn detect_set(&self, cfds: &[Cfd], data: Arc<Relation>) -> Result<Violations> {
+        match self {
+            DetectorKind::Direct => Ok(DirectDetector::new().detect_set(cfds, &data)),
+            DetectorKind::Sql => Detector::new().detect_set(cfds, data),
+            DetectorKind::SqlMerged => Detector::new().detect_set_merged(cfds, data),
+            DetectorKind::SqlParallel { threads } => {
+                Detector::new().detect_set_parallel(cfds, data, *threads)
+            }
+            DetectorKind::Sharded { shards } => {
+                Ok(ShardedDetector::new(*shards).detect_set(cfds, &data))
+            }
+        }
+    }
+
+    /// Every selectable engine, for exhaustive differential sweeps.
+    pub fn all(parallelism: usize) -> [DetectorKind; 5] {
+        [
+            DetectorKind::Direct,
+            DetectorKind::Sql,
+            DetectorKind::SqlMerged,
+            DetectorKind::SqlParallel {
+                threads: parallelism,
+            },
+            DetectorKind::Sharded {
+                shards: parallelism,
+            },
+        ]
+    }
+}
 
 /// Execution counters for one detection run (one CFD or one merged set).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -407,6 +471,24 @@ mod tests {
             .detect_set_parallel(&[phi2()], Arc::clone(&rel), 16)
             .unwrap();
         assert_eq!(one.constant_violations().len(), 2);
+    }
+
+    #[test]
+    fn detector_kind_dispatches_every_engine() {
+        let rel = Arc::new(cust_instance());
+        let cfds = vec![phi2(), phi3_with_fd(), phi5()];
+        let reference = DirectDetector::new().detect_set(&cfds, &rel);
+        for kind in DetectorKind::all(3) {
+            let got = kind.detect_set(&cfds, Arc::clone(&rel)).unwrap();
+            // SqlMerged reports QV keys over the merged X union; the other
+            // engines must agree byte for byte.
+            if kind == DetectorKind::SqlMerged {
+                assert_eq!(got.constant_violations(), reference.constant_violations());
+                assert_eq!(got.is_clean(), reference.is_clean());
+            } else {
+                assert_eq!(got, reference, "kind {kind:?}");
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,49 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Value, ValueId};
+use cfd_relation::{Relation, Tuple, Value, ValueId};
 use std::collections::{HashMap, HashSet};
+
+/// The combined `QC`+`QV` scan over an arbitrary subset of tuples — the
+/// shared core of [`DirectDetector::detect`] (all rows) and the per-shard
+/// workers of [`ShardedDetector`](crate::ShardedDetector) (one hash
+/// partition each). Single pass: the LHS projection is computed once per
+/// tuple and reused for the constant check and as the group key. Keeping
+/// both callers on this one function is what makes the sharded determinism
+/// contract ("byte-identical to the direct path") hold by construction.
+pub(crate) fn detect_tuples<'a>(cfd: &Cfd, tuples: impl Iterator<Item = &'a Tuple>) -> Violations {
+    let lhs = cfd.lhs();
+    let rhs = cfd.rhs();
+    let mut out = Violations::new();
+    let mut groups: HashMap<Vec<ValueId>, HashSet<Vec<ValueId>>> = HashMap::new();
+    let mut matched_cache: HashMap<Vec<ValueId>, bool> = HashMap::new();
+    for tuple in tuples {
+        let x_vals = tuple.project_ids(lhs);
+        let y_vals = tuple.project_ids(rhs);
+        // QC: matches a pattern on X but contradicts one of its constants on Y.
+        for pattern in cfd.tableau().iter() {
+            if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
+                out.add_constant_violation(tuple.to_values());
+                break;
+            }
+        }
+        // QV: group by X among pattern-matched keys, compare distinct Y.
+        // Whether an X value matches some pattern depends on the X value
+        // only, so the check is memoized per key.
+        let matched = *matched_cache
+            .entry(x_vals.clone())
+            .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(&x_vals)));
+        if matched {
+            groups.entry(x_vals).or_default().insert(y_vals);
+        }
+    }
+    for (key, y_projs) in groups {
+        if y_projs.len() > 1 {
+            out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+    }
+    out
+}
 
 /// Stateless direct detector.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,47 +72,10 @@ impl DirectDetector {
     ///
     /// Entirely interned: pattern matching, grouping and the distinct-`Y`
     /// sets all work on [`ValueId`]s (`u32` compares and hashes); values are
-    /// resolved only when a finding enters the report.
+    /// resolved only when a finding enters the report. The scan itself is
+    /// [`detect_tuples`], shared with the sharded workers.
     pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Violations {
-        let mut out = Violations::new();
-        let lhs = cfd.lhs();
-        let rhs = cfd.rhs();
-
-        // QC: tuples matching a pattern on X but contradicting a constant on Y.
-        for (_, tuple) in rel.iter() {
-            let x_vals = tuple.project_ids(lhs);
-            let y_vals = tuple.project_ids(rhs);
-            for pattern in cfd.tableau().iter() {
-                if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
-                    out.add_constant_violation(tuple.to_values());
-                    break;
-                }
-            }
-        }
-
-        // QV: groups agreeing (and matching a pattern) on X with more than one
-        // distinct Y projection. Whether an X value matches some pattern
-        // depends on the X value only, so the check is memoized per key.
-        let mut groups: HashMap<Vec<ValueId>, HashSet<Vec<ValueId>>> = HashMap::new();
-        let mut matched_cache: HashMap<Vec<ValueId>, bool> = HashMap::new();
-        for (_, tuple) in rel.iter() {
-            let key = tuple.project_ids(lhs);
-            let matched = *matched_cache
-                .entry(key.clone())
-                .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(&key)));
-            if matched {
-                groups
-                    .entry(key)
-                    .or_default()
-                    .insert(tuple.project_ids(rhs));
-            }
-        }
-        for (key, y_projs) in groups {
-            if y_projs.len() > 1 {
-                out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
-            }
-        }
-        out
+        detect_tuples(cfd, rel.rows().iter())
     }
 
     /// The pre-interning reference implementation: identical semantics to

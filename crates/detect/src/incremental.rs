@@ -1,50 +1,143 @@
-//! Incremental violation detection for insertions.
+//! Incremental violation detection over a stream of batched edits.
 //!
 //! The paper detects violations by scanning the whole instance. In a data
-//! cleaning pipeline, new tuples usually arrive in batches into an instance
-//! that is already known to be clean; re-running the full query pair then
-//! wastes a pass over data that cannot have become inconsistent by itself.
-//! This module provides the natural incremental variant (an extension beyond
-//! the paper): given a *clean* base instance and a batch of inserted tuples,
-//! it reports exactly the violations of the combined instance, touching the
-//! base only through hash-index probes on the CFDs' LHS attributes.
+//! cleaning pipeline the instance *evolves*: tuples arrive and are retired in
+//! batches, and re-running the full query pair on every batch wastes a pass
+//! over data whose status cannot have changed. This module provides the
+//! natural incremental engine (an extension beyond the paper): an
+//! [`IncrementalDetector`] owns the current instance together with per-CFD
+//! hash indexes on the LHS attributes ([`cfd_relation::Index`], updated in
+//! place via `insert_row`/`remove_row`) and per-CFD violation state, and
+//! maintains exactly the violations a from-scratch
+//! [`DirectDetector`](crate::DirectDetector) run would report — at the cost
+//! of touching only the LHS groups an edit actually lands in.
 //!
-//! The key observation mirrors the `QC`/`QV` split:
+//! Three entry points mirror the maintenance lifecycle:
 //!
-//! * single-tuple violations can only be caused by the inserted tuples
-//!   themselves (the base is clean), so only the batch is checked against the
-//!   pattern constants;
-//! * multi-tuple violations of the combined instance must involve at least
-//!   one inserted tuple, so it suffices to group the inserted tuples by the
-//!   LHS and compare each group against (a) itself and (b) the base tuples
-//!   with the same LHS value, fetched through an index probe.
+//! * [`IncrementalDetector::detect_insertions`] — a non-mutating preview:
+//!   the violations of `current ∪ batch` that involve at least one batch
+//!   tuple. Single-tuple (`QC`) violations are checked on the batch alone;
+//!   multi-tuple (`QV`) groups combine the batch **with itself** and with
+//!   the current rows fetched through the index.
+//! * [`IncrementalDetector::detect_deletions`] — the deletion-side preview:
+//!   the currently-reported violations that deleting the batch would
+//!   *resolve* (deletions never create violations, so the interesting
+//!   question is what they clean up).
+//! * [`IncrementalDetector::apply_batch`] — full batched maintenance: apply
+//!   a mixed insert/delete batch to the owned instance, update the indexes
+//!   and violation state group-locally, and return the complete report of
+//!   the *new* instance — identical to re-detecting from scratch.
+//!
+//! The engine does not require the instance to be clean: construction scans
+//! the initial relation once and carries any pre-existing violations forward.
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Tuple, ValueId};
+use cfd_relation::{Index, Relation, RelationError, Schema, Tuple, ValueId};
 use std::collections::{HashMap, HashSet};
 
-/// Incremental detector over a clean base instance.
-#[derive(Debug)]
-pub struct IncrementalDetector<'a> {
-    base: &'a Relation,
-    /// One index per CFD, on that CFD's LHS attributes.
-    indexes: Vec<cfd_relation::Index>,
-    cfds: Vec<Cfd>,
+/// One edit of a mixed maintenance batch (see
+/// [`IncrementalDetector::apply_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Append a tuple to the instance.
+    Insert(Tuple),
+    /// Remove one occurrence of an identical tuple (bag semantics). Deleting
+    /// a tuple with no live occurrence is a no-op.
+    Delete(Tuple),
 }
 
-impl<'a> IncrementalDetector<'a> {
-    /// Builds the detector, indexing the base relation once per CFD.
-    ///
-    /// The base is assumed to satisfy every CFD (as it would after running
-    /// full detection and repairing); violations caused purely by base tuples
-    /// are not re-reported.
-    pub fn new(base: &'a Relation, cfds: Vec<Cfd>) -> Self {
-        let indexes = cfds.iter().map(|c| base.build_index(c.lhs())).collect();
+/// Per-CFD incremental state: the LHS index plus the current violation
+/// summary, both maintained group-locally under edits.
+#[derive(Debug)]
+struct CfdState {
+    /// LHS-key → live row slots, kept in sync via `insert_row`/`remove_row`.
+    index: Index,
+    /// Memoized "does this LHS key match some pattern row" checks (a key's
+    /// verdict never changes, the tableau is fixed).
+    match_cache: HashMap<Vec<ValueId>, bool>,
+    /// Full cell vectors of live `QC`-violating tuples → live occurrence
+    /// count. Keys vanish when their count drops to zero.
+    qc: HashMap<Vec<ValueId>, usize>,
+    /// LHS keys currently having more than one distinct `Y` projection among
+    /// live, pattern-matched rows.
+    violating_keys: HashSet<Vec<ValueId>>,
+}
+
+/// Dead-slot floor below which [`IncrementalDetector`] never compacts:
+/// keeps short streams free of rebuild churn while still bounding a
+/// long-running engine's memory to `O(live)`.
+const COMPACT_MIN_DEAD: usize = 1024;
+
+/// Incremental detection engine owning the evolving instance.
+#[derive(Debug)]
+pub struct IncrementalDetector {
+    rows: Vec<Tuple>,
+    /// Liveness per slot; slots are append-only within a batch, so index
+    /// posting lists stay valid without renumbering. When dead slots
+    /// outnumber live ones (past [`COMPACT_MIN_DEAD`]), `apply_batch`
+    /// compacts: live rows are renumbered and all per-CFD state is rebuilt,
+    /// so memory tracks the live size rather than total inserts ever seen.
+    alive: Vec<bool>,
+    live: usize,
+    /// Full cell vector → live slots, for bag-semantics deletion by value.
+    by_value: HashMap<Vec<ValueId>, Vec<usize>>,
+    cfds: Vec<Cfd>,
+    states: Vec<CfdState>,
+    schema: Schema,
+}
+
+impl IncrementalDetector {
+    /// Builds the engine over an initial instance, indexing it once per CFD
+    /// and computing its current violation state. The instance does **not**
+    /// have to be clean; pre-existing violations are reported alongside
+    /// stream-induced ones.
+    pub fn new(base: Relation, cfds: Vec<Cfd>) -> Self {
+        // Indexes need the borrowed relation; afterwards the rows are moved
+        // out (no clone — this is also the compaction path).
+        let indexes: Vec<Index> = cfds.iter().map(|c| base.build_index(c.lhs())).collect();
+        let (schema, rows) = base.into_parts();
+        let mut by_value: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
+        for (slot, tuple) in rows.iter().enumerate() {
+            by_value.entry(tuple.ids().to_vec()).or_default().push(slot);
+        }
+        let live = rows.len();
+        let states = cfds
+            .iter()
+            .zip(indexes)
+            .map(|(cfd, index)| {
+                let mut match_cache = HashMap::new();
+                let mut qc: HashMap<Vec<ValueId>, usize> = HashMap::new();
+                for tuple in &rows {
+                    if qc_violates(cfd, tuple) {
+                        *qc.entry(tuple.ids().to_vec()).or_insert(0) += 1;
+                    }
+                }
+                let mut violating_keys = HashSet::new();
+                for (key, slots) in index.iter() {
+                    let matched = *match_cache
+                        .entry(key.clone())
+                        .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(key)));
+                    if matched && distinct_y_exceeds_one(cfd, &rows, slots.iter().copied()) {
+                        violating_keys.insert(key.clone());
+                    }
+                }
+                CfdState {
+                    index,
+                    match_cache,
+                    qc,
+                    violating_keys,
+                }
+            })
+            .collect();
         IncrementalDetector {
-            base,
-            indexes,
+            rows,
+            alive: vec![true; live],
+            live,
+            by_value,
             cfds,
+            states,
+            schema,
         }
     }
 
@@ -53,68 +146,358 @@ impl<'a> IncrementalDetector<'a> {
         &self.cfds
     }
 
-    /// Detects all violations of `base ∪ batch` that involve the batch.
-    pub fn detect_insertions(&self, batch: &[Tuple]) -> Violations {
+    /// Number of live tuples in the maintained instance.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the maintained instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The schema of the maintained instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The complete violation report of the current instance — what a
+    /// from-scratch [`DirectDetector::detect_set`](crate::DirectDetector)
+    /// over [`IncrementalDetector::current_relation`] would return.
+    pub fn violations(&self) -> Violations {
         let mut out = Violations::new();
-        for (cfd, index) in self.cfds.iter().zip(&self.indexes) {
-            self.detect_one(cfd, index, batch, &mut out);
+        for state in &self.states {
+            for cells in state.qc.keys() {
+                out.add_constant_violation(cells.iter().map(|id| id.resolve().clone()).collect());
+            }
+            for key in &state.violating_keys {
+                out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+            }
         }
         out
     }
 
-    fn detect_one(
-        &self,
-        cfd: &Cfd,
-        index: &cfd_relation::Index,
-        batch: &[Tuple],
-        out: &mut Violations,
-    ) {
-        let lhs = cfd.lhs();
-        let rhs = cfd.rhs();
+    /// Materializes the current instance (live rows, insertion order). Meant
+    /// for audits and differential tests; detection itself never needs it.
+    pub fn current_relation(&self) -> Relation {
+        let rows: Vec<Tuple> = self
+            .rows
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(t, _)| t.clone())
+            .collect();
+        Relation::from_rows(self.schema.clone(), rows).expect("live rows match the schema")
+    }
 
-        // Single-tuple (QC-style) violations among the inserted tuples.
-        // Interned: constant-cell checks are u32 compares.
-        for tuple in batch {
-            let x_vals = tuple.project_ids(lhs);
-            let y_vals = tuple.project_ids(rhs);
-            for pattern in cfd.tableau().iter() {
-                if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
+    /// Detects all violations of `current ∪ batch` that involve at least one
+    /// batch tuple, without modifying the engine. Conflicts **among batch
+    /// tuples** are reported the same as batch-vs-current conflicts: the
+    /// group a batch tuple lands in is evaluated over the union.
+    ///
+    /// Batch tuples must have the instance's arity.
+    pub fn detect_insertions(&self, batch: &[Tuple]) -> Violations {
+        let mut out = Violations::new();
+        for (cfd, state) in self.cfds.iter().zip(&self.states) {
+            let lhs = cfd.lhs();
+            let rhs = cfd.rhs();
+
+            // Single-tuple (QC-style) violations among the inserted tuples.
+            for tuple in batch {
+                if qc_violates(cfd, tuple) {
                     out.add_constant_violation(tuple.to_values());
-                    break;
+                }
+            }
+
+            // Multi-tuple (QV-style) violations: group the batch by LHS
+            // value, keep only groups matching some pattern, and union each
+            // group with itself and with the live rows sharing that LHS
+            // value (via the maintained index).
+            let mut groups: HashMap<Vec<ValueId>, Vec<&Tuple>> = HashMap::new();
+            for tuple in batch {
+                groups
+                    .entry(tuple.project_ids(lhs))
+                    .or_default()
+                    .push(tuple);
+            }
+            for (key, members) in groups {
+                if !cfd.tableau().iter().any(|p| p.lhs_matches_ids(&key)) {
+                    continue;
+                }
+                let mut y_projections: HashSet<Vec<ValueId>> =
+                    members.iter().map(|t| t.project_ids(rhs)).collect();
+                for &slot in state.index.lookup_ids(&key) {
+                    y_projections.insert(self.rows[slot].project_ids(rhs));
+                }
+                if y_projections.len() > 1 {
+                    out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+                }
+            }
+        }
+        out
+    }
+
+    /// The violations of the current instance that deleting `batch` (bag
+    /// semantics — one occurrence per listed tuple) would **resolve**,
+    /// without modifying the engine: the set difference between the current
+    /// report and the report of the shrunken instance. Deletions never
+    /// create violations, so this preview is the deletion-side answer to
+    /// [`IncrementalDetector::detect_insertions`].
+    ///
+    /// Reports are merged across CFDs, and the difference is taken on the
+    /// *merged* reports: an item only counts as resolved when no CFD still
+    /// produces it afterwards (two CFDs sharing an LHS can report the same
+    /// key — resolving it for one of them resolves nothing).
+    pub fn detect_deletions(&self, batch: &[Tuple]) -> Violations {
+        // How many occurrences of each exact tuple the batch removes.
+        let mut del_counts: HashMap<Vec<ValueId>, usize> = HashMap::new();
+        for tuple in batch {
+            *del_counts.entry(tuple.ids().to_vec()).or_insert(0) += 1;
+        }
+        // Clamp to the live population (deleting an absent tuple is a no-op).
+        for (cells, count) in del_counts.iter_mut() {
+            let live = self.by_value.get(cells).map_or(0, Vec::len);
+            *count = (*count).min(live);
+        }
+
+        // Simulate the merged report of `current \ batch`: per CFD, every
+        // state entry survives unless the deletions kill it. Only groups the
+        // batch touches need re-evaluation; the rest carry over.
+        let mut after = Violations::new();
+        for (cfd, state) in self.cfds.iter().zip(&self.states) {
+            let lhs = cfd.lhs();
+            let rhs = cfd.rhs();
+
+            // QC entries survive while live occurrences remain.
+            for cells in state.qc.keys() {
+                let deleted = del_counts.get(cells).copied().unwrap_or(0);
+                let live = self.by_value.get(cells).map_or(0, Vec::len);
+                if live > deleted {
+                    after.add_constant_violation(
+                        cells.iter().map(|id| id.resolve().clone()).collect(),
+                    );
+                }
+            }
+
+            // Violating groups: recompute the touched ones with the deleted
+            // occurrences subtracted; untouched ones stay violating.
+            let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
+            for (cells, &deleted) in &del_counts {
+                if deleted > 0 {
+                    touched.insert(project_cells(cells, lhs));
+                }
+            }
+            for key in &state.violating_keys {
+                let still_violating = if touched.contains(key) {
+                    let mut y_counts: HashMap<Vec<ValueId>, usize> = HashMap::new();
+                    for &slot in state.index.lookup_ids(key) {
+                        *y_counts
+                            .entry(self.rows[slot].project_ids(rhs))
+                            .or_insert(0) += 1;
+                    }
+                    for (cells, &deleted) in &del_counts {
+                        if deleted > 0 && project_cells(cells, lhs) == *key {
+                            if let Some(c) = y_counts.get_mut(&project_cells(cells, rhs)) {
+                                *c = c.saturating_sub(deleted);
+                            }
+                        }
+                    }
+                    y_counts.values().filter(|&&c| c > 0).count() > 1
+                } else {
+                    true
+                };
+                if still_violating {
+                    after.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
                 }
             }
         }
 
-        // Multi-tuple (QV-style) violations: group the batch by LHS value,
-        // keep only groups matching some pattern, and union each group with
-        // the base tuples sharing that LHS value (via the prebuilt index).
-        let mut groups: HashMap<Vec<ValueId>, Vec<&Tuple>> = HashMap::new();
-        for tuple in batch {
-            groups
-                .entry(tuple.project_ids(lhs))
-                .or_default()
-                .push(tuple);
+        // Resolved = current merged report − simulated merged report.
+        let before = self.violations();
+        let mut out = Violations::new();
+        for t in before.constant_violations() {
+            if !after.constant_violations().contains(t) {
+                out.add_constant_violation(t.clone());
+            }
         }
-        for (key, members) in groups {
-            if !cfd.tableau().iter().any(|p| p.lhs_matches_ids(&key)) {
-                continue;
+        for k in before.multi_tuple_keys() {
+            if !after.multi_tuple_keys().contains(k) {
+                out.add_multi_tuple_key(k.clone());
             }
-            let mut y_projections: HashSet<Vec<ValueId>> =
-                members.iter().map(|t| t.project_ids(rhs)).collect();
-            for &row in index.lookup_ids(&key) {
-                y_projections.insert(self.base.rows()[row].project_ids(rhs));
+        }
+        out
+    }
+
+    /// Applies a mixed insert/delete batch to the owned instance, updating
+    /// the per-CFD indexes and violation state group-locally, and returns
+    /// the complete violation report of the **new** instance (equal to a
+    /// from-scratch detection run — including conflicts created entirely
+    /// within this batch).
+    ///
+    /// Errors (leaving the engine untouched) if any tuple's arity differs
+    /// from the instance schema. Deleting a tuple with no live occurrence is
+    /// a no-op.
+    ///
+    /// The state update itself is group-local (`O(batch)` plus the touched
+    /// groups); materializing the returned report costs `O(current
+    /// violations)`. Streams that keep heavily-dirty instances and don't
+    /// need a report per batch can ignore the return value — the next
+    /// [`IncrementalDetector::violations`] call produces the same report on
+    /// demand.
+    pub fn apply_batch(&mut self, ops: &[BatchOp]) -> Result<Violations, RelationError> {
+        for op in ops {
+            let t = match op {
+                BatchOp::Insert(t) | BatchOp::Delete(t) => t,
+            };
+            if t.arity() != self.schema.arity() {
+                return Err(RelationError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    got: t.arity(),
+                });
             }
-            if y_projections.len() > 1 {
-                out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+
+        // Per-CFD set of LHS keys whose group membership changed.
+        let mut touched: Vec<HashSet<Vec<ValueId>>> =
+            self.states.iter().map(|_| HashSet::new()).collect();
+
+        for op in ops {
+            match op {
+                BatchOp::Insert(tuple) => {
+                    let slot = self.rows.len();
+                    self.rows.push(tuple.clone());
+                    self.alive.push(true);
+                    self.live += 1;
+                    self.by_value
+                        .entry(tuple.ids().to_vec())
+                        .or_default()
+                        .push(slot);
+                    for ((cfd, state), touched) in
+                        self.cfds.iter().zip(&mut self.states).zip(&mut touched)
+                    {
+                        state.index.insert_row(slot, tuple);
+                        touched.insert(tuple.project_ids(cfd.lhs()));
+                        if qc_violates(cfd, tuple) {
+                            *state.qc.entry(tuple.ids().to_vec()).or_insert(0) += 1;
+                        }
+                    }
+                }
+                BatchOp::Delete(tuple) => {
+                    let cells = tuple.ids().to_vec();
+                    let Some(slot) = self.by_value.get_mut(&cells).and_then(Vec::pop) else {
+                        continue; // no live occurrence: no-op
+                    };
+                    if self.by_value.get(&cells).is_some_and(Vec::is_empty) {
+                        self.by_value.remove(&cells);
+                    }
+                    self.alive[slot] = false;
+                    self.live -= 1;
+                    for ((cfd, state), touched) in
+                        self.cfds.iter().zip(&mut self.states).zip(&mut touched)
+                    {
+                        state.index.remove_row(slot, tuple);
+                        touched.insert(tuple.project_ids(cfd.lhs()));
+                        if qc_violates(cfd, tuple) {
+                            if let Some(count) = state.qc.get_mut(&cells) {
+                                *count -= 1;
+                                if *count == 0 {
+                                    state.qc.remove(&cells);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-evaluate only the touched groups.
+        for ((cfd, state), touched) in self.cfds.iter().zip(&mut self.states).zip(&touched) {
+            for key in touched {
+                let matched = *state
+                    .match_cache
+                    .entry(key.clone())
+                    .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(key)));
+                if !matched {
+                    continue;
+                }
+                let slots = state.index.lookup_ids(key).iter().copied();
+                if distinct_y_exceeds_one(cfd, &self.rows, slots) {
+                    state.violating_keys.insert(key.clone());
+                } else {
+                    state.violating_keys.remove(key);
+                }
+            }
+        }
+
+        self.maybe_compact();
+        Ok(self.violations())
+    }
+
+    /// Rebuilds the engine over the live rows when dead slots dominate,
+    /// bounding memory to `O(live)` over arbitrarily long streams. Amortized
+    /// cost: a compaction scans `O(live)` rows and is triggered only after
+    /// at least as many deletions, and the rebuilt state is identical
+    /// (construction and maintenance compute the same summaries), so
+    /// reports are unaffected.
+    fn maybe_compact(&mut self) {
+        let dead = self.rows.len() - self.live;
+        if dead <= self.live.max(COMPACT_MIN_DEAD) {
+            return;
+        }
+        // Move the live rows out — no per-tuple clone; the rebuild then
+        // moves them straight back in through `Relation::into_parts`.
+        let rows = std::mem::take(&mut self.rows);
+        let alive = std::mem::take(&mut self.alive);
+        let live_rows: Vec<Tuple> = rows
+            .into_iter()
+            .zip(alive)
+            .filter_map(|(t, a)| a.then_some(t))
+            .collect();
+        let rel = Relation::from_rows(self.schema.clone(), live_rows)
+            .expect("live rows match the schema");
+        let cfds = std::mem::take(&mut self.cfds);
+        *self = IncrementalDetector::new(rel, cfds);
+    }
+}
+
+/// Whether `tuple` alone violates some pattern row of `cfd` (the `QC` check).
+fn qc_violates(cfd: &Cfd, tuple: &Tuple) -> bool {
+    let x = tuple.project_ids(cfd.lhs());
+    let y = tuple.project_ids(cfd.rhs());
+    cfd.tableau()
+        .iter()
+        .any(|p| p.lhs_matches_ids(&x) && !p.rhs_matches_ids(&y))
+}
+
+/// Projects a full cell vector onto attribute ids (cells are schema-ordered).
+fn project_cells(cells: &[ValueId], attrs: &[cfd_relation::AttrId]) -> Vec<ValueId> {
+    attrs.iter().map(|a| cells[a.index()]).collect()
+}
+
+/// Whether the rows at `slots` have more than one distinct `Y` projection
+/// (early exit at the second distinct value).
+fn distinct_y_exceeds_one(cfd: &Cfd, rows: &[Tuple], slots: impl Iterator<Item = usize>) -> bool {
+    let rhs = cfd.rhs();
+    let mut first: Option<Vec<ValueId>> = None;
+    for slot in slots {
+        let y = rows[slot].project_ids(rhs);
+        match &first {
+            None => first = Some(y),
+            Some(seen) => {
+                if *seen != y {
+                    return true;
+                }
             }
         }
     }
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::detector::Detector;
+    use crate::direct::DirectDetector;
     use cfd_datagen::cust::{cust_instance, cust_schema, phi2, phi3_with_fd};
     use cfd_datagen::records::{TaxConfig, TaxGenerator};
     use cfd_datagen::{CfdWorkload, EmbeddedFd};
@@ -136,19 +519,18 @@ mod tests {
 
     #[test]
     fn clean_insertions_report_nothing() {
-        let base = clean_base();
-        let detector = IncrementalDetector::new(&base, vec![phi2(), phi3_with_fd()]);
+        let detector = IncrementalDetector::new(clean_base(), vec![phi2(), phi3_with_fd()]);
         let batch = vec![tuple(&[
             "01", "215", "5555555", "Deb", "Oak Ave.", "PHI", "02394",
         ])];
         assert!(detector.detect_insertions(&batch).is_clean());
         assert_eq!(detector.cfds().len(), 2);
+        assert!(detector.violations().is_clean());
     }
 
     #[test]
     fn constant_violation_in_the_batch_is_caught() {
-        let base = clean_base();
-        let detector = IncrementalDetector::new(&base, vec![phi2()]);
+        let detector = IncrementalDetector::new(clean_base(), vec![phi2()]);
         // Area code 908 but city NYC: violates the (01, 908, _ ‖ _, MH, _) row.
         let bad = tuple(&["01", "908", "9999999", "Eve", "Pine St.", "NYC", "07974"]);
         let report = detector.detect_insertions(std::slice::from_ref(&bad));
@@ -158,8 +540,7 @@ mod tests {
 
     #[test]
     fn conflict_between_batch_and_base_is_caught() {
-        let base = clean_base();
-        let detector = IncrementalDetector::new(&base, vec![phi3_with_fd()]);
+        let detector = IncrementalDetector::new(clean_base(), vec![phi3_with_fd()]);
         // Same (CC, AC) as Ian but a different city: a multi-tuple violation
         // that only exists in the combined instance.
         let bad = tuple(&["44", "131", "7777777", "Una", "Low Rd.", "GLA", "G1"]);
@@ -171,16 +552,43 @@ mod tests {
         );
     }
 
+    /// Regression pin for the within-batch insertion path: two batch tuples
+    /// that conflict only with *each other* (their group has no base rows)
+    /// must be reported, both by the preview and by `apply_batch`. An
+    /// implementation that checks each inserted tuple against the pre-batch
+    /// state alone misses this group.
     #[test]
     fn conflict_within_the_batch_is_caught() {
         let base = clean_base();
-        let detector = IncrementalDetector::new(&base, vec![phi3_with_fd()]);
         let batch = vec![
             tuple(&["49", "030", "1", "Ann", "A St.", "BER", "10115"]),
             tuple(&["49", "030", "2", "Bob", "B St.", "MUC", "80331"]),
         ];
-        let report = detector.detect_insertions(&batch);
-        assert_eq!(report.multi_tuple_keys().len(), 1);
+        let expected_key = vec![Value::from("49"), Value::from("030")];
+
+        let detector = IncrementalDetector::new(base.clone(), vec![phi3_with_fd()]);
+        let preview = detector.detect_insertions(&batch);
+        assert_eq!(preview.multi_tuple_keys().len(), 1);
+        assert_eq!(
+            preview.multi_tuple_keys().iter().next().unwrap(),
+            &expected_key
+        );
+
+        let mut engine = IncrementalDetector::new(base, vec![phi3_with_fd()]);
+        let applied = engine
+            .apply_batch(
+                &batch
+                    .iter()
+                    .cloned()
+                    .map(BatchOp::Insert)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(applied.multi_tuple_keys().len(), 1);
+        assert_eq!(
+            applied.multi_tuple_keys().iter().next().unwrap(),
+            &expected_key
+        );
     }
 
     #[test]
@@ -207,7 +615,8 @@ mod tests {
             CfdWorkload::new(1).single(EmbeddedFd::AreaToCity, 200, 100.0),
         ];
 
-        let incremental = IncrementalDetector::new(&base, cfds.clone()).detect_insertions(&batch);
+        let incremental =
+            IncrementalDetector::new(base.clone(), cfds.clone()).detect_insertions(&batch);
 
         let mut combined = base.clone();
         for t in &batch {
@@ -224,8 +633,198 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        let base = clean_base();
-        let detector = IncrementalDetector::new(&base, vec![phi2(), phi3_with_fd()]);
+        let mut detector = IncrementalDetector::new(clean_base(), vec![phi2(), phi3_with_fd()]);
         assert!(detector.detect_insertions(&[]).is_clean());
+        assert!(detector.detect_deletions(&[]).is_clean());
+        assert!(detector.apply_batch(&[]).unwrap().is_clean());
+    }
+
+    #[test]
+    fn construction_reports_preexisting_violations() {
+        // The unfixed Fig. 1 instance violates ϕ2 on t1 and t2.
+        let engine = IncrementalDetector::new(cust_instance(), vec![phi2()]);
+        let report = engine.violations();
+        assert_eq!(report.constant_violations().len(), 2);
+        assert_eq!(
+            report,
+            DirectDetector::new().detect(&phi2(), &cust_instance())
+        );
+    }
+
+    #[test]
+    fn apply_batch_maintains_the_full_report() {
+        let schema = cust_schema();
+        let mut engine = IncrementalDetector::new(clean_base(), vec![phi2(), phi3_with_fd()]);
+        // Insert a conflicting pair, then delete one of them again.
+        let a = tuple(&["49", "030", "1", "Ann", "A St.", "BER", "10115"]);
+        let b = tuple(&["49", "030", "2", "Bob", "B St.", "MUC", "80331"]);
+        let after_insert = engine
+            .apply_batch(&[BatchOp::Insert(a.clone()), BatchOp::Insert(b.clone())])
+            .unwrap();
+        assert_eq!(after_insert.multi_tuple_keys().len(), 1);
+        assert_eq!(engine.len(), clean_base().len() + 2);
+
+        let after_delete = engine.apply_batch(&[BatchOp::Delete(b)]).unwrap();
+        assert!(after_delete.is_clean(), "deleting Bob resolves the group");
+        assert_eq!(engine.len(), clean_base().len() + 1);
+
+        // The maintained report always equals a from-scratch run.
+        assert_eq!(engine.schema(), &schema);
+        let from_scratch =
+            DirectDetector::new().detect_set(engine.cfds(), &engine.current_relation());
+        assert_eq!(engine.violations(), from_scratch);
+    }
+
+    #[test]
+    fn detect_deletions_previews_resolved_violations() {
+        // Dirty base: Fig. 1's t1/t2 violate ϕ2 (both are QC violations with
+        // distinct cells, and no QV group).
+        let engine = IncrementalDetector::new(cust_instance(), vec![phi2()]);
+        let t1 = cust_instance().row(0).unwrap().clone();
+        // Deleting t1 resolves its QC violation (its only occurrence)…
+        let resolved = engine.detect_deletions(std::slice::from_ref(&t1));
+        assert_eq!(resolved.constant_violations().len(), 1);
+        // …but the engine itself is unchanged (preview only).
+        assert_eq!(engine.violations().constant_violations().len(), 2);
+        // Deleting an unrelated clean tuple resolves nothing.
+        let t6 = cust_instance().row(5).unwrap().clone();
+        assert!(engine
+            .detect_deletions(std::slice::from_ref(&t6))
+            .is_clean());
+        // Deleting a tuple that is not in the instance is a no-op.
+        let ghost = tuple(&["00", "000", "0", "No", "One", "NW", "00000"]);
+        assert!(engine
+            .detect_deletions(std::slice::from_ref(&ghost))
+            .is_clean());
+    }
+
+    #[test]
+    fn detect_deletions_keeps_groups_with_remaining_conflicts() {
+        let schema = cust_schema();
+        let mut rel = Relation::new(schema);
+        // Three tuples in one (CC, AC) group with two distinct cities: the
+        // group stays violating unless the odd one out is removed.
+        rel.push(tuple(&["49", "030", "1", "Ann", "A St.", "BER", "10115"]))
+            .unwrap();
+        rel.push(tuple(&["49", "030", "2", "Bob", "B St.", "BER", "10115"]))
+            .unwrap();
+        rel.push(tuple(&["49", "030", "3", "Cid", "C St.", "MUC", "80331"]))
+            .unwrap();
+        let engine = IncrementalDetector::new(rel.clone(), vec![phi3_with_fd()]);
+        assert_eq!(engine.violations().multi_tuple_keys().len(), 1);
+        // Deleting Ann leaves Bob vs Cid conflicting: nothing resolved.
+        assert!(engine
+            .detect_deletions(std::slice::from_ref(rel.row(0).unwrap()))
+            .is_clean());
+        // Deleting Cid resolves the group.
+        let resolved = engine.detect_deletions(std::slice::from_ref(rel.row(2).unwrap()));
+        assert_eq!(resolved.multi_tuple_keys().len(), 1);
+        // Deleting Ann *and* Bob also resolves it (one distinct Y remains).
+        let resolved =
+            engine.detect_deletions(&[rel.row(0).unwrap().clone(), rel.row(1).unwrap().clone()]);
+        assert_eq!(resolved.multi_tuple_keys().len(), 1);
+    }
+
+    /// Regression pin: two CFDs sharing an LHS report the *same* key, so the
+    /// resolved-set must be computed on the merged report — resolving the
+    /// group for one CFD while the other still violates resolves nothing.
+    #[test]
+    fn deletion_preview_is_cross_cfd_on_shared_lhs_keys() {
+        use cfd_relation::Schema;
+        let schema = Schema::builder("r")
+            .text("A")
+            .text("B")
+            .text("C")
+            .text("D")
+            .build();
+        let to_c = Cfd::fd(schema.clone(), ["A", "B"], ["C"]).unwrap();
+        let to_d = Cfd::fd(schema.clone(), ["A", "B"], ["D"]).unwrap();
+        let rows: Vec<Tuple> = [
+            ["a", "b", "x", "p"],
+            ["a", "b", "y", "q"],
+            ["a", "b", "x", "r"],
+        ]
+        .iter()
+        .map(|r| Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+        .collect();
+        let rel = Relation::from_rows(schema, rows.clone()).unwrap();
+        let mut engine = IncrementalDetector::new(rel, vec![to_c, to_d]);
+        assert_eq!(engine.violations().multi_tuple_keys().len(), 1);
+
+        // Deleting (a,b,y,q) collapses C to {x} but leaves D = {p,r}: the
+        // key [a,b] is still reported afterwards, so nothing is resolved.
+        let preview = engine.detect_deletions(std::slice::from_ref(&rows[1]));
+        assert!(
+            preview.is_clean(),
+            "key still violating under the second CFD must not count as resolved"
+        );
+        let applied = engine
+            .apply_batch(&[BatchOp::Delete(rows[1].clone())])
+            .unwrap();
+        assert_eq!(applied.multi_tuple_keys().len(), 1);
+
+        // Also deleting (a,b,x,r) collapses D to {p}: now the key resolves.
+        let preview = engine.detect_deletions(std::slice::from_ref(&rows[2]));
+        assert_eq!(preview.multi_tuple_keys().len(), 1);
+    }
+
+    #[test]
+    fn deleting_one_of_two_identical_qc_violators_resolves_nothing() {
+        let mut rel = cust_instance();
+        let dup = rel.row(0).unwrap().clone();
+        rel.push(dup.clone()).unwrap();
+        let mut engine = IncrementalDetector::new(rel, vec![phi2()]);
+        // t1 appears twice; deleting one occurrence keeps the QC entry live.
+        assert!(engine
+            .detect_deletions(std::slice::from_ref(&dup))
+            .constant_violations()
+            .is_empty());
+        let report = engine.apply_batch(&[BatchOp::Delete(dup.clone())]).unwrap();
+        assert_eq!(report.constant_violations().len(), 2);
+        // Deleting the second occurrence resolves it.
+        let report = engine.apply_batch(&[BatchOp::Delete(dup)]).unwrap();
+        assert_eq!(report.constant_violations().len(), 1);
+    }
+
+    #[test]
+    fn long_streams_compact_to_live_size() {
+        let mut engine = IncrementalDetector::new(clean_base(), vec![phi2(), phi3_with_fd()]);
+        let live_target = engine.len();
+        // Churn far past the compaction floor: every batch inserts and then
+        // deletes the same tuple, so the live size never changes.
+        let t = tuple(&["01", "215", "5555555", "Deb", "Oak Ave.", "PHI", "02394"]);
+        for _ in 0..(3 * COMPACT_MIN_DEAD) {
+            let report = engine
+                .apply_batch(&[BatchOp::Insert(t.clone()), BatchOp::Delete(t.clone())])
+                .unwrap();
+            assert!(report.is_clean());
+        }
+        assert_eq!(engine.len(), live_target);
+        assert!(
+            engine.rows.len() <= live_target + 2 * COMPACT_MIN_DEAD + 2,
+            "slot vector must be bounded by compaction, got {} slots for {} live rows",
+            engine.rows.len(),
+            live_target
+        );
+        // Post-compaction state still answers exactly like from scratch.
+        let report = engine.apply_batch(&[BatchOp::Insert(t)]).unwrap();
+        assert_eq!(
+            report,
+            DirectDetector::new().detect_set(engine.cfds(), &engine.current_relation())
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_before_any_mutation() {
+        let mut engine = IncrementalDetector::new(clean_base(), vec![phi2()]);
+        let before = engine.len();
+        let err = engine
+            .apply_batch(&[
+                BatchOp::Insert(tuple(&["01", "215", "1", "Ok", "St.", "PHI", "02394"])),
+                BatchOp::Insert(Tuple::new(vec![Value::from("short")])),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert_eq!(engine.len(), before, "failed batch must not be applied");
     }
 }

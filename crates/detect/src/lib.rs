@@ -23,9 +23,16 @@
 //! * [`merge`] — tableau merging with `@` and tuple ids (Fig. 6/7),
 //! * [`merged`] — the merged query pair with `CASE` masking (Section 4.2.2),
 //! * [`detector`] — the high-level [`Detector`] that runs those queries on
-//!   the in-memory SQL engine (per-CFD, merged, or in parallel),
+//!   the in-memory SQL engine (per-CFD, merged, or in parallel), and the
+//!   [`DetectorKind`] selector dispatching over every engine,
 //! * [`direct`] — an independent hash-based detector used as a test oracle
-//!   and as a non-SQL fast path.
+//!   and as a non-SQL fast path,
+//! * [`sharded`] — the [`ShardedDetector`]: rows hash-partitioned by interned
+//!   LHS key and scanned on scoped worker threads, byte-identical reports to
+//!   the direct path (extension beyond the paper),
+//! * [`incremental`] — the [`IncrementalDetector`] stream engine: batched
+//!   insert/delete maintenance with group-local index updates (extension
+//!   beyond the paper).
 //!
 //! ```
 //! use cfd_datagen::cust::{cust_instance, phi2};
@@ -42,10 +49,12 @@ pub mod incremental;
 pub mod merge;
 pub mod merged;
 pub mod report;
+pub mod sharded;
 pub mod single;
 
-pub use detector::{DetectStats, Detector};
+pub use detector::{DetectStats, Detector, DetectorKind};
 pub use direct::DirectDetector;
-pub use incremental::IncrementalDetector;
+pub use incremental::{BatchOp, IncrementalDetector};
 pub use merge::MergedTableaux;
 pub use report::Violations;
+pub use sharded::ShardedDetector;

@@ -43,13 +43,23 @@ impl MergedTableaux {
             }
         }
 
-        // Union of X and Y attributes, ordered by schema position.
-        let mut x_ids: Vec<_> = cfds.iter().flat_map(|c| c.lhs().iter().copied()).collect();
-        x_ids.sort();
-        x_ids.dedup();
-        let mut y_ids: Vec<_> = cfds.iter().flat_map(|c| c.rhs().iter().copied()).collect();
-        y_ids.sort();
-        y_ids.dedup();
+        // Union of X and Y attributes, in first-appearance order across the
+        // CFDs' own attribute lists. For a single CFD this reproduces its
+        // declared X/Y order exactly, so the merged queries report the same
+        // multi-tuple keys (byte for byte) as the per-CFD paths; for sets it
+        // is still deterministic in the input order.
+        let mut x_ids: Vec<_> = Vec::new();
+        for a in cfds.iter().flat_map(|c| c.lhs()) {
+            if !x_ids.contains(a) {
+                x_ids.push(*a);
+            }
+        }
+        let mut y_ids: Vec<_> = Vec::new();
+        for a in cfds.iter().flat_map(|c| c.rhs()) {
+            if !y_ids.contains(a) {
+                y_ids.push(*a);
+            }
+        }
         let x_attrs: Vec<String> = x_ids
             .iter()
             .map(|a| schema.attr_name(*a).to_owned())
@@ -191,7 +201,8 @@ mod tests {
         // ϕ3 = ([CC, AC] → [CT]) with 3 rows (incl. the FD row), ϕ5 = ([CT] → [AC]).
         let merged = MergedTableaux::build(&[phi3_with_fd(), phi5()]).unwrap();
         assert_eq!(merged.x_attrs(), &["CC", "AC", "CT"]);
-        assert_eq!(merged.y_attrs(), &["AC", "CT"]);
+        // First-appearance order: ϕ3's RHS (CT) precedes ϕ5's (AC).
+        assert_eq!(merged.y_attrs(), &["CT", "AC"]);
         assert_eq!(merged.len(), 4);
 
         let tx = merged.x_relation("TX");

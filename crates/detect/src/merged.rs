@@ -211,7 +211,7 @@ mod tests {
         let sql = qv_merged(&merged, "cust", "TXY").to_string();
         assert!(sql.contains("CASE tp.X_CC WHEN '@' THEN '@' ELSE t.CC END"));
         assert!(sql.contains("GROUP BY"));
-        assert!(sql.contains("count(distinct CASE tp.Y_AC WHEN '@' THEN '@' ELSE t.AC END"));
+        assert!(sql.contains("count(distinct CASE tp.Y_CT WHEN '@' THEN '@' ELSE t.CT END"));
         let paper = qv_merged_paper(&merged, "cust", "TX", "TY").to_string();
         assert!(paper.contains("txp.id = typ.id"));
         assert!(paper.contains("FROM cust t, TX txp, TY typ"));

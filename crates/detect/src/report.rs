@@ -64,6 +64,16 @@ impl Violations {
         self.constant_violations.extend(other.constant_violations);
         self.multi_tuple_keys.extend(other.multi_tuple_keys);
     }
+
+    /// The canonical serialized form of the report: the [`fmt::Display`]
+    /// rendering as bytes. Equal reports always render to equal bytes; the
+    /// converse does *not* hold (rendering erases value types — `Int(5)` and
+    /// `Str("5")` print alike), so the differential harness asserts `Eq`
+    /// **and** byte equality: the former catches typed divergences, the
+    /// latter pins the user-visible rendering.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.to_string().into_bytes()
+    }
 }
 
 impl fmt::Display for Violations {
@@ -129,6 +139,20 @@ mod tests {
         a.merge(b);
         assert_eq!(a.constant_violations().len(), 1);
         assert_eq!(a.multi_tuple_keys().len(), 1);
+    }
+
+    #[test]
+    fn canonical_bytes_match_iff_reports_are_equal() {
+        let mut a = Violations::new();
+        a.add_constant_violation(vec![Value::from("x")]);
+        a.add_multi_tuple_key(vec![Value::from("k")]);
+        // Same content inserted in the opposite order: identical bytes.
+        let mut b = Violations::new();
+        b.add_multi_tuple_key(vec![Value::from("k")]);
+        b.add_constant_violation(vec![Value::from("x")]);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        b.add_constant_violation(vec![Value::from("y")]);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
     }
 
     #[test]

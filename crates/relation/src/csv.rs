@@ -35,13 +35,16 @@ pub fn to_csv(rel: &Relation) -> String {
 /// Parses CSV text into an instance of `schema`.
 ///
 /// The header must list exactly the schema's attribute names in order; every
-/// cell is parsed according to the attribute's primitive type.
+/// cell is parsed according to the attribute's primitive type. Records are
+/// split quote-aware, so quoted fields may contain delimiters *and* newlines.
+/// An empty unquoted cell is NULL; a quoted empty cell (`""`) is the empty
+/// string — the distinction [`to_csv`] relies on for round-trip stability.
 pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
-    let mut lines = text.lines();
-    let header = lines
+    let mut records = split_records(text).into_iter();
+    let header = records
         .next()
         .ok_or_else(|| RelationError::Parse("empty input".into()))?;
-    let header_names: Vec<String> = split_line(header);
+    let header_names: Vec<String> = split_line(&header).into_iter().map(|(s, _)| s).collect();
     let expected: Vec<&str> = schema
         .attributes()
         .iter()
@@ -57,26 +60,71 @@ pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
     }
 
     let mut rel = Relation::new(schema.clone());
-    for (line_no, line) in lines.enumerate() {
-        if line.trim().is_empty() {
+    for (line_no, line) in records.enumerate() {
+        // Blank lines are separators in multi-column files — but a
+        // single-column relation legitimately serializes a NULL row as an
+        // empty record, so those must parse as data.
+        if line.trim().is_empty() && schema.arity() > 1 {
             continue;
         }
-        let cells = split_line(line);
+        let cells = split_line(&line);
         if cells.len() != schema.arity() {
             return Err(RelationError::Parse(format!(
-                "line {} has {} cells, expected {}",
+                "record {} has {} cells, expected {}",
                 line_no + 2,
                 cells.len(),
                 schema.arity()
             )));
         }
         let mut values = Vec::with_capacity(cells.len());
-        for (id, cell) in schema.attr_ids().zip(cells.iter()) {
-            values.push(parse_cell(schema, id.index(), cell)?);
+        for (id, (cell, quoted)) in schema.attr_ids().zip(cells.iter()) {
+            values.push(parse_cell(schema, id.index(), cell, *quoted)?);
         }
         rel.push(Tuple::new(values))?;
     }
     Ok(rel)
+}
+
+/// Splits the input into records on newlines *outside* quoted fields; a `"`
+/// toggles quotedness exactly as in [`split_line`]. A `\r` immediately before
+/// an unquoted record break is dropped, so `\r\n` files parse too.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                in_quotes = chars.peek() == Some(&'"');
+                cur.push('"');
+                if in_quotes {
+                    cur.push('"');
+                    chars.next();
+                }
+            }
+            '"' => {
+                in_quotes = true;
+                cur.push('"');
+            }
+            '\n' if !in_quotes => {
+                if cur.ends_with('\r') {
+                    cur.pop();
+                }
+                records.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        // Mirror the record-break branch: a CRLF file without a final
+        // newline must not leak its last '\r' into the last cell.
+        if cur.ends_with('\r') {
+            cur.pop();
+        }
+        records.push(cur);
+    }
+    records
 }
 
 fn render_cell(v: &Value) -> String {
@@ -85,7 +133,10 @@ fn render_cell(v: &Value) -> String {
         Value::Bool(b) => b.to_string(),
         Value::Int(i) => i.to_string(),
         Value::Str(s) => {
-            if s.contains(',') || s.contains('"') || s.contains('\n') {
+            if s.is_empty() {
+                // Distinguishes the empty string from NULL (empty unquoted).
+                "\"\"".to_owned()
+            } else if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.clone()
@@ -94,9 +145,12 @@ fn render_cell(v: &Value) -> String {
     }
 }
 
-fn split_line(line: &str) -> Vec<String> {
+/// Splits one record into its cells, reporting for each whether any part of
+/// it was quoted (NULL vs empty-string disambiguation).
+fn split_line(line: &str) -> Vec<(String, bool)> {
     let mut cells = Vec::new();
     let mut cur = String::new();
+    let mut quoted = false;
     let mut in_quotes = false;
     let mut chars = line.chars().peekable();
     while let Some(c) = chars.next() {
@@ -109,19 +163,23 @@ fn split_line(line: &str) -> Vec<String> {
                     in_quotes = false;
                 }
             }
-            '"' => in_quotes = true,
+            '"' => {
+                in_quotes = true;
+                quoted = true;
+            }
             ',' if !in_quotes => {
-                cells.push(std::mem::take(&mut cur));
+                cells.push((std::mem::take(&mut cur), quoted));
+                quoted = false;
             }
             _ => cur.push(c),
         }
     }
-    cells.push(cur);
+    cells.push((cur, quoted));
     cells
 }
 
-fn parse_cell(schema: &Schema, idx: usize, cell: &str) -> Result<Value> {
-    if cell.is_empty() {
+fn parse_cell(schema: &Schema, idx: usize, cell: &str, quoted: bool) -> Result<Value> {
+    if cell.is_empty() && !quoted {
         return Ok(Value::Null);
     }
     let attr = &schema.attributes()[idx];
@@ -210,5 +268,121 @@ mod tests {
         let text = "NAME,SA\nann,1\n\nbob,2\n";
         let rel = from_csv(&schema(), text).unwrap();
         assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn quoted_field_with_delimiters_and_newlines_round_trips() {
+        let mut rel = Relation::new(schema());
+        rel.push(Tuple::new(vec![
+            Value::from("line one\nline two, with comma"),
+            Value::Int(7),
+        ]))
+        .unwrap();
+        rel.push(Tuple::new(vec![
+            Value::from("a \"quoted\"\ncomma, too"),
+            Value::Int(8),
+        ]))
+        .unwrap();
+        let text = to_csv(&rel);
+        // The embedded newlines must not introduce extra records.
+        let back = from_csv(&schema(), &text).unwrap();
+        assert_eq!(back, rel);
+        assert_eq!(
+            back.row(0).unwrap()[AttrId(0)],
+            Value::from("line one\nline two, with comma")
+        );
+    }
+
+    #[test]
+    fn quoted_newline_is_not_a_record_break() {
+        let text = "NAME,SA\n\"ann\nsmith\",3\nbob,4\n";
+        let rel = from_csv(&schema(), text).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(0).unwrap()[AttrId(0)], Value::from("ann\nsmith"));
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("bob"));
+    }
+
+    #[test]
+    fn crlf_records_parse() {
+        let text = "NAME,SA\r\nann,1\r\nbob,2\r\n";
+        let rel = from_csv(&schema(), text).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("bob"));
+        // Same file without the final newline: the last record must not
+        // keep its '\r' (it would corrupt the cell / fail integer parsing).
+        let rel = from_csv(&schema(), "NAME,SA\r\nann,1\r\nbob,2\r").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1).unwrap()[AttrId(1)], Value::Int(2));
+    }
+
+    #[test]
+    fn empty_trailing_column_is_null_and_round_trips() {
+        let s = Schema::builder("t").text("A").text("B").text("C").build();
+        let text = "A,B,C\nx,y,\n";
+        let rel = from_csv(&s, text).unwrap();
+        assert_eq!(rel.row(0).unwrap()[AttrId(2)], Value::Null);
+        let back = from_csv(&s, &to_csv(&rel)).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn quoted_empty_in_a_typed_column_is_an_error_not_null() {
+        // `""` means the empty *string*, never NULL — in an integer column
+        // that is a parse error, not a missing value. Use an unquoted empty
+        // cell for NULL.
+        assert!(from_csv(&schema(), "NAME,SA\nann,\"\"\n").is_err());
+        let ok = from_csv(&schema(), "NAME,SA\nann,\n").unwrap();
+        assert_eq!(ok.row(0).unwrap()[AttrId(1)], Value::Null);
+    }
+
+    #[test]
+    fn quoted_empty_is_the_empty_string_not_null() {
+        let s = Schema::builder("t").text("A").text("B").build();
+        let mut rel = Relation::new(s.clone());
+        rel.push(Tuple::new(vec![Value::from(""), Value::Null]))
+            .unwrap();
+        let text = to_csv(&rel);
+        assert_eq!(text, "A,B\n\"\",\n");
+        let back = from_csv(&s, &text).unwrap();
+        assert_eq!(back.row(0).unwrap()[AttrId(0)], Value::from(""));
+        assert_eq!(back.row(0).unwrap()[AttrId(1)], Value::Null);
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn single_column_null_rows_round_trip() {
+        // A one-attribute relation serializes a NULL row as an empty record;
+        // it must come back as a row, not be skipped as a blank separator.
+        let s = Schema::builder("t").text("A").build();
+        let mut rel = Relation::new(s.clone());
+        rel.push(Tuple::new(vec![Value::from("x")])).unwrap();
+        rel.push(Tuple::new(vec![Value::Null])).unwrap();
+        rel.push(Tuple::new(vec![Value::from("y")])).unwrap();
+        let back = from_csv(&s, &to_csv(&rel)).unwrap();
+        assert_eq!(back, rel);
+        // Whitespace is data for a single text column, not a blank line.
+        let ws = from_csv(&s, "A\n \n").unwrap();
+        assert_eq!(ws.row(0).unwrap()[AttrId(0)], Value::from(" "));
+        // Multi-column files keep treating blank lines as separators.
+        let multi = from_csv(&schema(), "NAME,SA\nann,1\n\nbob,2\n").unwrap();
+        assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_is_stable_through_the_interner() {
+        use crate::interner::ValueId;
+        // Parsing the same text twice yields tuples with identical interned
+        // cells, and a second round trip is byte-identical to the first.
+        let text = "NAME,SA\n\"wei, jr.\",1\n\"multi\nline\",2\n,3\n";
+        let a = from_csv(&schema(), text).unwrap();
+        let b = from_csv(&schema(), text).unwrap();
+        for (ta, tb) in a.rows().iter().zip(b.rows()) {
+            assert_eq!(ta.ids(), tb.ids(), "interned cells must coincide");
+        }
+        let once = to_csv(&a);
+        let again = to_csv(&from_csv(&schema(), &once).unwrap());
+        assert_eq!(once, again);
+        // NULL keeps its fixed id through the round trip.
+        assert_eq!(a.row(2).unwrap().ids()[0], ValueId::NULL);
     }
 }

@@ -13,6 +13,7 @@
 use crate::interner::ValueId;
 use crate::relation::Relation;
 use crate::schema::AttrId;
+use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -34,6 +35,38 @@ impl Index {
             attrs: attrs.to_vec(),
             map,
         }
+    }
+
+    /// Registers `row` (identified by its slot number) under the key obtained
+    /// by projecting `tuple` onto this index's attributes. Used by the
+    /// incremental detection engine to keep per-shard indexes in sync with
+    /// inserted tuples without rebuilding.
+    pub fn insert_row(&mut self, row: usize, tuple: &Tuple) {
+        self.map
+            .entry(tuple.project_ids(&self.attrs))
+            .or_default()
+            .push(row);
+    }
+
+    /// Unregisters `row` from the key obtained by projecting `tuple` onto
+    /// this index's attributes, dropping the key when its posting list
+    /// empties. Returns `false` if the row was not present under that key.
+    ///
+    /// `tuple` must be the same tuple the row was inserted with: the index
+    /// stores no back-pointers, so the caller supplies the key material.
+    pub fn remove_row(&mut self, row: usize, tuple: &Tuple) -> bool {
+        let key = tuple.project_ids(&self.attrs);
+        let Some(rows) = self.map.get_mut(&key) else {
+            return false;
+        };
+        let Some(pos) = rows.iter().position(|&r| r == row) else {
+            return false;
+        };
+        rows.remove(pos);
+        if rows.is_empty() {
+            self.map.remove(&key);
+        }
+        true
     }
 
     /// The attributes this index covers, in key order.
@@ -185,6 +218,32 @@ mod tests {
         assert_eq!(key, vec![Value::from("2"), Value::from("x")]);
         assert_eq!(idx.lookup(&key), &[2]);
         assert!(idx.reorder_key(&[AttrId(1)], &[Value::from("x")]).is_none());
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_a_rebuild() {
+        let r = rel();
+        let attrs = [AttrId(0)];
+        let rebuilt = r.build_index(&attrs);
+        let mut maintained = Relation::new(r.schema().clone()).build_index(&attrs);
+        for (i, t) in r.iter() {
+            maintained.insert_row(i, t);
+        }
+        for (key, rows) in rebuilt.iter() {
+            assert_eq!(maintained.lookup_ids(key), rows.as_slice());
+        }
+        assert_eq!(maintained.distinct_keys(), rebuilt.distinct_keys());
+
+        // Removing row 0 keeps row 1 reachable under the shared key.
+        assert!(maintained.remove_row(0, r.row(0).unwrap()));
+        assert_eq!(maintained.lookup(&[Value::from("1")]), &[1]);
+        // Removing the last row of a key drops the key entirely.
+        assert!(maintained.remove_row(2, r.row(2).unwrap()));
+        assert!(maintained.lookup(&[Value::from("2")]).is_empty());
+        assert_eq!(maintained.distinct_keys(), 1);
+        // Double-remove and unknown rows report false.
+        assert!(!maintained.remove_row(2, r.row(2).unwrap()));
+        assert!(!maintained.remove_row(7, r.row(0).unwrap()));
     }
 
     #[test]

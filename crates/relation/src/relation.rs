@@ -55,6 +55,13 @@ impl Relation {
         &self.schema
     }
 
+    /// Consumes the instance, returning its schema and rows without cloning
+    /// — the constructor path for engines that take ownership (the inverse
+    /// of [`Relation::from_rows`]).
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
+        (self.schema, self.rows)
+    }
+
     /// Number of tuples (`SZ` in the paper's experiments).
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -280,6 +287,13 @@ mod tests {
         assert!(ok.is_ok());
         let bad = Relation::from_rows(schema(), vec![Tuple::nulls(3)]);
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn into_parts_round_trips_through_from_rows() {
+        let rel = Relation::from_rows(schema(), vec![row("1", "x"), row("2", "y")]).unwrap();
+        let (s, rows) = rel.clone().into_parts();
+        assert_eq!(Relation::from_rows(s, rows).unwrap(), rel);
     }
 
     #[test]

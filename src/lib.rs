@@ -9,7 +9,8 @@
 //! * [`sql`] — the SQL AST/executor used by the detection queries.
 //! * [`core`] — CFDs, pattern tableaux, satisfaction, consistency, the
 //!   inference system and minimal covers.
-//! * [`detect`] — SQL-based and direct violation detection.
+//! * [`detect`] — SQL-based, direct, hash-sharded parallel and incremental
+//!   (streaming) violation detection, selectable via [`DetectorKind`].
 //! * [`repair`] — heuristic, cost-based repair (Section 6).
 //! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
 //! * [`datagen`] — the `cust` running example and the synthetic tax-records
@@ -25,11 +26,40 @@ pub use cfd_relation as relation;
 pub use cfd_repair as repair;
 pub use cfd_sql as sql;
 
+pub use cfd_detect::DetectorKind;
+
+use std::sync::Arc;
+
+/// Detects the violations of `cfds` on `data` with the selected engine —
+/// the facade-level entry point over every detection path of the workspace.
+///
+/// ```
+/// use cfd::prelude::*;
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(cust_instance());
+/// let cfds = cfd::datagen::fig2_cfd_set();
+/// let direct =
+///     cfd::detect_violations(DetectorKind::Direct, cfds.cfds(), Arc::clone(&data)).unwrap();
+/// let sharded =
+///     cfd::detect_violations(DetectorKind::Sharded { shards: 4 }, cfds.cfds(), data).unwrap();
+/// assert_eq!(direct, sharded);
+/// ```
+pub fn detect_violations(
+    kind: DetectorKind,
+    cfds: &[cfd_core::Cfd],
+    data: Arc<cfd_relation::Relation>,
+) -> Result<cfd_detect::Violations, cfd_sql::SqlError> {
+    kind.detect_set(cfds, data)
+}
+
 /// Commonly used items, importable with `use cfd::prelude::*;`.
 pub mod prelude {
     pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
     pub use cfd_datagen::cust::{cust_instance, cust_schema};
-    pub use cfd_detect::{Detector, Violations};
+    pub use cfd_detect::{
+        BatchOp, Detector, DetectorKind, IncrementalDetector, ShardedDetector, Violations,
+    };
     pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, Value};
     pub use cfd_repair::Repairer;
     pub use cfd_sql::{Catalog, Executor, Strategy};

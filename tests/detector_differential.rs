@@ -1,0 +1,272 @@
+//! Differential test harness across all detector paths.
+//!
+//! Four independent implementations compute the Section 4 violation sets:
+//!
+//! 1. [`DirectDetector`] — the single-threaded hash-based oracle;
+//! 2. the SQL `QC`/`QV` query pair ([`Detector::detect`]);
+//! 3. the merged-tableaux SQL path ([`Detector::detect_set_merged`], the
+//!    Section 4.2 `CASE`-masked single query pair);
+//! 4. [`ShardedDetector`] — hash-partitioned parallel detection.
+//!
+//! On dozens of seeded randomized workloads (deterministic xoshiro256++
+//! [`StdRng`], varying size, noise, constants ratio, tableau size and CFD
+//! arity) every path must produce the **identical sorted violation set** —
+//! compared byte for byte via [`Violations::canonical_bytes`], not merely up
+//! to `Eq`. The merged path is exercised per CFD (where its `QV` key space
+//! coincides with the per-CFD paths') and additionally on whole sets for its
+//! documented weaker guarantee (identical `QC` component, agreeing
+//! emptiness).
+//!
+//! The `#[ignore]`d 100k-row case is the CI-sized version of the same
+//! harness (`cargo test --release -- --include-ignored`).
+
+use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::rng::StdRng;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::{Detector, DetectorKind, DirectDetector, ShardedDetector, Violations};
+use cfd_relation::{Relation, Schema, Tuple, Value};
+use std::sync::Arc;
+
+/// Typed equality (catches value-type divergences Display would erase) plus
+/// byte equality of the rendered report (pins the user-visible form).
+fn assert_identical(got: &Violations, want: &Violations, what: &str) {
+    assert_eq!(got, want, "{what} (typed Eq)");
+    assert_eq!(
+        got.canonical_bytes(),
+        want.canonical_bytes(),
+        "{what} (rendered bytes)"
+    );
+}
+
+/// Runs all four paths on one CFD and asserts byte-identical reports.
+fn assert_paths_agree_on_one_cfd(cfd: &Cfd, rel: &Relation, label: &str) -> Violations {
+    let direct = DirectDetector::new().detect(cfd, rel);
+    let shared = Arc::new(rel.clone());
+
+    let sql = Detector::new()
+        .detect_shared(cfd, Arc::clone(&shared))
+        .unwrap()
+        .0;
+    assert_identical(
+        &sql,
+        &direct,
+        &format!("{label}: SQL qc/qv path vs the direct oracle"),
+    );
+
+    // A single-CFD merged tableau has the CFD's own X as its attribute
+    // union, so even the QV key space must coincide.
+    let merged = Detector::new()
+        .detect_set_merged(std::slice::from_ref(cfd), Arc::clone(&shared))
+        .unwrap();
+    assert_identical(
+        &merged,
+        &direct,
+        &format!("{label}: merged-tableaux path vs the direct oracle"),
+    );
+
+    for shards in [2, 4] {
+        let sharded = ShardedDetector::new(shards).detect(cfd, rel);
+        assert_identical(
+            &sharded,
+            &direct,
+            &format!("{label}: sharded path ({shards} shards) vs the direct oracle"),
+        );
+    }
+    direct
+}
+
+/// Set-level agreement: the per-CFD paths byte-identically, the merged path
+/// on its documented guarantee.
+fn assert_paths_agree_on_set(cfds: &[Cfd], rel: &Relation, label: &str) {
+    let direct = DirectDetector::new().detect_set(cfds, rel);
+    let shared = Arc::new(rel.clone());
+    let sql = Detector::new()
+        .detect_set(cfds, Arc::clone(&shared))
+        .unwrap();
+    assert_identical(&sql, &direct, &format!("{label}: SQL set"));
+    let sharded = ShardedDetector::new(4).detect_set(cfds, rel);
+    assert_identical(&sharded, &direct, &format!("{label}: sharded set"));
+    let merged = Detector::new()
+        .detect_set_merged(cfds, Arc::clone(&shared))
+        .unwrap();
+    assert_eq!(
+        merged.constant_violations(),
+        direct.constant_violations(),
+        "{label}: merged set QC"
+    );
+    assert_eq!(
+        merged.is_clean(),
+        direct.is_clean(),
+        "{label}: merged set emptiness"
+    );
+    // The DetectorKind dispatch goes through the same engines.
+    for kind in [
+        DetectorKind::Direct,
+        DetectorKind::Sql,
+        DetectorKind::SqlParallel { threads: 3 },
+        DetectorKind::Sharded { shards: 4 },
+    ] {
+        let got = kind.detect_set(cfds, Arc::clone(&shared)).unwrap();
+        assert_identical(&got, &direct, &format!("{label}: DetectorKind {kind:?}"));
+    }
+}
+
+/// ≥20 seeded tax workloads sweeping noise, constants ratio and CFD arity.
+#[test]
+fn tax_workloads_agree_across_all_paths() {
+    // (size, noise%, gen seed) × (embedded FD, tableau size, consts%).
+    let fds = [
+        EmbeddedFd::ZipToState,              // arity 2
+        EmbeddedFd::ZipCityToState,          // arity 3
+        EmbeddedFd::AreaToCity,              // arity 3
+        EmbeddedFd::AreaCityToState,         // arity 4
+        EmbeddedFd::StateMaritalToExemption, // arity 3, tax side
+    ];
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut cases = 0usize;
+    let mut dirty_cases = 0usize;
+    for round in 0..8 {
+        let size = 300 + rng.gen_range(0usize..500);
+        let noise = [0.0, 2.0, 8.0, 15.0][rng.gen_range(0usize..4)];
+        let data = TaxGenerator::new(TaxConfig {
+            size,
+            noise_percent: noise,
+            seed: 1000 + round,
+        })
+        .generate()
+        .relation;
+        let workload = CfdWorkload::new(round * 31 + 7);
+        for &fd in &fds[..3 + (round as usize % 3)] {
+            let tab = 20 + rng.gen_range(0usize..120);
+            let consts = [0.0, 40.0, 100.0][rng.gen_range(0usize..3)];
+            let cfd = workload.single(fd, tab, consts);
+            let label = format!(
+                "round {round}, {fd:?}, SZ={size}, NOISE={noise}, TABSZ={tab}, CONSTS={consts}"
+            );
+            let report = assert_paths_agree_on_one_cfd(&cfd, &data, &label);
+            cases += 1;
+            if !report.is_clean() {
+                dirty_cases += 1;
+            }
+        }
+        // And the whole workload as one set.
+        let set: Vec<Cfd> = fds[..3]
+            .iter()
+            .map(|&fd| workload.single(fd, 40, 60.0))
+            .collect();
+        assert_paths_agree_on_set(&set, &data, &format!("round {round} set"));
+    }
+    assert!(
+        cases >= 20,
+        "harness must sweep at least 20 workloads, got {cases}"
+    );
+    assert!(
+        dirty_cases > 0,
+        "the sweep must include workloads with real violations"
+    );
+}
+
+fn random_schema_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0usize..5) {
+        0 => Value::Null,
+        i => Value::from(["a", "b", "c", "d"][i - 1]),
+    }
+}
+
+fn small_schema() -> Schema {
+    Schema::builder("r")
+        .text("A")
+        .text("B")
+        .text("C")
+        .text("D")
+        .build()
+}
+
+fn random_cfd(rng: &mut StdRng) -> Cfd {
+    let schema = small_schema();
+    let (lhs, rhs) = match rng.gen_range(0usize..3) {
+        0 => (
+            schema.resolve_all(["A"]).unwrap(),
+            schema.resolve_all(["C"]).unwrap(),
+        ),
+        1 => (
+            schema.resolve_all(["A", "B"]).unwrap(),
+            schema.resolve_all(["C", "D"]).unwrap(),
+        ),
+        _ => (
+            schema.resolve_all(["A", "B", "C"]).unwrap(),
+            schema.resolve_all(["D"]).unwrap(),
+        ),
+    };
+    let mut tableau = PatternTableau::new();
+    for _ in 0..rng.gen_range(1usize..5) {
+        let cell = |rng: &mut StdRng| {
+            if rng.gen_bool(0.55) {
+                PatternValue::Wildcard
+            } else {
+                PatternValue::constant(["a", "b", "c", "d"][rng.gen_range(0usize..4)])
+            }
+        };
+        let l: Vec<PatternValue> = (0..lhs.len()).map(|_| cell(rng)).collect();
+        let r: Vec<PatternValue> = (0..rhs.len()).map(|_| cell(rng)).collect();
+        tableau.push(PatternTuple::new(l, r));
+    }
+    Cfd::from_parts(schema, lhs, rhs, tableau).unwrap()
+}
+
+/// Randomized small relations (NULLs included, collision-heavy alphabet):
+/// the adversarial counterpart to the generated workloads.
+#[test]
+fn randomized_relations_agree_across_all_paths() {
+    let mut rng = StdRng::seed_from_u64(0x5EED5);
+    for case in 0..32 {
+        let mut rel = Relation::new(small_schema());
+        for _ in 0..rng.gen_range(0usize..40) {
+            rel.push(Tuple::new(
+                (0..4).map(|_| random_schema_value(&mut rng)).collect(),
+            ))
+            .unwrap();
+        }
+        let cfd = random_cfd(&mut rng);
+        assert_paths_agree_on_one_cfd(&cfd, &rel, &format!("random case {case}"));
+        let set = vec![random_cfd(&mut rng), random_cfd(&mut rng)];
+        assert_paths_agree_on_set(&set, &rel, &format!("random set {case}"));
+    }
+}
+
+/// The CI-sized differential run: the 100k-row generated tax workload
+/// (`cargo test --release -- --include-ignored`). The SQL paths are bounded
+/// to one CFD to keep the job inside minutes; the direct/sharded comparison
+/// covers the full set.
+#[test]
+#[ignore = "100k-row differential sweep; run with --include-ignored (CI job)"]
+fn tax_workload_100k_agrees_across_all_paths() {
+    let data = TaxGenerator::new(TaxConfig {
+        size: 100_000,
+        noise_percent: 5.0,
+        seed: 424_242,
+    })
+    .generate()
+    .relation;
+    assert_eq!(data.len(), 100_000);
+    let workload = CfdWorkload::new(99);
+    let cfds = vec![
+        workload.single(EmbeddedFd::ZipToState, 120, 100.0),
+        workload.single(EmbeddedFd::ZipCityToState, 120, 60.0),
+        workload.single(EmbeddedFd::AreaToCity, 120, 40.0),
+        workload.single(EmbeddedFd::AreaCityToState, 60, 50.0),
+    ];
+    let direct = DirectDetector::new().detect_set(&cfds, &data);
+    assert!(!direct.is_clean(), "5% noise must be detected at 100k rows");
+    for shards in [2, 4, 8] {
+        let sharded = ShardedDetector::new(shards).detect_set(&cfds, &data);
+        assert_identical(
+            &sharded,
+            &direct,
+            &format!("sharded({shards}) vs direct at 100k rows"),
+        );
+    }
+    // SQL paths on the first CFD only (bounded runtime).
+    assert_paths_agree_on_one_cfd(&cfds[0], &data, "100k ZipToState");
+}
