@@ -4,7 +4,7 @@
 use crate::error::{CfdError, Result};
 use crate::pattern::PatternValue;
 use crate::tableau::{PatternTableau, PatternTuple};
-use cfd_relation::{AttrId, Relation, Schema, Value, ValueId};
+use cfd_relation::{project_cols, AttrId, Relation, Schema, Value, ValueId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -204,6 +204,9 @@ impl Cfd {
 
     fn violations_internal(&self, rel: &Relation, stop_at_first: bool) -> Vec<ViolationWitness> {
         let mut out = Vec::new();
+        // Columnar scan: only the X ∪ Y columns are touched, as slices.
+        let lhs_cols = rel.columns_for(&self.lhs);
+        let rhs_cols = rel.columns_for(&self.rhs);
         for (pattern_idx, pattern) in self.tableau.iter().enumerate() {
             // Effective attribute lists for this row: skip don't-care cells.
             let lhs_eff: Vec<AttrId> = self
@@ -220,13 +223,18 @@ impl Cfd {
                 .filter(|(_, p)| !p.is_dont_care())
                 .map(|(a, _)| *a)
                 .collect();
+            let lhs_eff_cols = rel.columns_for(&lhs_eff);
+            let rhs_eff_cols = rel.columns_for(&rhs_eff);
 
             // Group matching tuples by their (interned) X projection.
             let mut groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
-            for (i, t) in rel.iter() {
-                let x_vals = t.project_ids(&self.lhs);
+            for i in 0..rel.len() {
+                let x_vals = project_cols(&lhs_cols, i);
                 if pattern.lhs_matches_ids(&x_vals) {
-                    groups.entry(t.project_ids(&lhs_eff)).or_default().push(i);
+                    groups
+                        .entry(project_cols(&lhs_eff_cols, i))
+                        .or_default()
+                        .push(i);
                 }
             }
 
@@ -234,17 +242,17 @@ impl Cfd {
                 // Single-tuple (constant) violations: RHS constants not matched.
                 let mut constant_violators = Vec::new();
                 for &i in &members {
-                    let t = rel.row(i).expect("member in range");
-                    let y_vals = t.project_ids(&self.rhs);
-                    if !pattern.rhs_matches_ids(&y_vals) {
+                    if !pattern.rhs_matches_ids(&project_cols(&rhs_cols, i)) {
                         constant_violators.push(i);
                     }
                 }
                 // Multi-tuple violations: two members with different Y projections.
                 let mut y_groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
                 for &i in &members {
-                    let t = rel.row(i).expect("member in range");
-                    y_groups.entry(t.project_ids(&rhs_eff)).or_default().push(i);
+                    y_groups
+                        .entry(project_cols(&rhs_eff_cols, i))
+                        .or_default()
+                        .push(i);
                 }
                 let multi = y_groups.len() > 1;
 
@@ -484,7 +492,7 @@ mod tests {
     fn multi_tuple_violation_detected() {
         // Break the plain FD [CC, AC] -> [CT] by giving area code 131 two cities.
         let mut rel = cust_instance();
-        let mut extra = rel.row(5).unwrap().clone();
+        let mut extra = rel.row(5).unwrap().to_tuple();
         extra.set(AttrId(3), Value::from("Amy"));
         extra.set(AttrId(5), Value::from("GLA"));
         rel.push(extra).unwrap();
@@ -588,7 +596,7 @@ mod tests {
         assert!(cfd.satisfied_by(&cust_instance()));
         // Now corrupt Ben's city: the @-free RHS cell (CT = PHI) is violated.
         let mut rel = cust_instance();
-        rel.rows_mut()[4].set(AttrId(5), Value::from("NYC"));
+        rel.set_value(4, AttrId(5), Value::from("NYC"));
         assert!(!cfd.satisfied_by(&rel));
     }
 

@@ -12,17 +12,90 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Tuple, Value, ValueId};
+use cfd_relation::{project_cols_into, Relation, Tuple, Value, ValueId};
 use std::collections::{HashMap, HashSet};
 
-/// The combined `QC`+`QV` scan over an arbitrary subset of tuples — the
-/// shared core of [`DirectDetector::detect`] (all rows) and the per-shard
+/// Per-LHS-key state of the columnar scan, fused so each row costs a single
+/// hash lookup: the memoized "matches some pattern" verdict and the
+/// distinct-`Y` tracking (we only ever need to know whether a group has
+/// *more than one* distinct `Y` projection, so the first projection plus a
+/// tripped flag replaces a whole `HashSet`).
+enum GroupState {
+    /// No pattern row matches this LHS key — `QV` never applies.
+    Unmatched,
+    /// Matched; every row so far shares this one `Y` projection.
+    OneY(Vec<ValueId>),
+    /// Matched; at least two distinct `Y` projections seen — a violation.
+    ManyY,
+}
+
+/// The combined `QC`+`QV` columnar scan over a subset of rows (`None` = all
+/// rows) — the shared core of [`DirectDetector::detect`] and the per-shard
 /// workers of [`ShardedDetector`](crate::ShardedDetector) (one hash
-/// partition each). Single pass: the LHS projection is computed once per
-/// tuple and reused for the constant check and as the group key. Keeping
-/// both callers on this one function is what makes the sharded determinism
-/// contract ("byte-identical to the direct path") hold by construction.
-pub(crate) fn detect_tuples<'a>(cfd: &Cfd, tuples: impl Iterator<Item = &'a Tuple>) -> Violations {
+/// partition each). The scan gathers the `X ∪ Y` column slices once and
+/// walks only those columns: per row it reads `|X| + |Y|` contiguous cells
+/// into reused scratch buffers (independent of the schema width), performs
+/// one group-map lookup, and allocates only when a *new* LHS key appears.
+/// Keeping both callers on this one function is what makes the sharded
+/// determinism contract ("byte-identical to the direct path") hold by
+/// construction.
+pub(crate) fn detect_rows(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]>) -> Violations {
+    let xcols = rel.columns_for(cfd.lhs());
+    let ycols = rel.columns_for(cfd.rhs());
+    let mut out = Violations::new();
+    let mut groups: HashMap<Vec<ValueId>, GroupState> = HashMap::new();
+    let mut x_scratch: Vec<ValueId> = Vec::with_capacity(xcols.len());
+    let mut y_scratch: Vec<ValueId> = Vec::with_capacity(ycols.len());
+    let mut scan = |i: usize| {
+        project_cols_into(&xcols, i, &mut x_scratch);
+        project_cols_into(&ycols, i, &mut y_scratch);
+        // QC: matches a pattern on X but contradicts one of its constants on Y.
+        for pattern in cfd.tableau().iter() {
+            if pattern.lhs_matches_ids(&x_scratch) && !pattern.rhs_matches_ids(&y_scratch) {
+                out.add_constant_violation(rel.row(i).expect("row in range").to_values());
+                break;
+            }
+        }
+        // QV: group by X among pattern-matched keys, compare distinct Y.
+        // Whether an X value matches some pattern depends on the X value
+        // only, so the verdict lives in the group entry itself.
+        match groups.get_mut(x_scratch.as_slice()) {
+            Some(state) => {
+                if let GroupState::OneY(first) = state {
+                    if *first != y_scratch {
+                        *state = GroupState::ManyY;
+                    }
+                }
+            }
+            None => {
+                let matched = cfd.tableau().iter().any(|p| p.lhs_matches_ids(&x_scratch));
+                let state = if matched {
+                    GroupState::OneY(y_scratch.clone())
+                } else {
+                    GroupState::Unmatched
+                };
+                groups.insert(x_scratch.clone(), state);
+            }
+        }
+    };
+    match rows {
+        Some(rows) => rows.iter().for_each(|&i| scan(i as usize)),
+        None => (0..rel.len()).for_each(scan),
+    }
+    for (key, state) in groups {
+        if matches!(state, GroupState::ManyY) {
+            out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+    }
+    out
+}
+
+/// The row-store era `QC`+`QV` scan over owned tuples: identical semantics
+/// to the columnar scan, but reading one heap-allocated [`Tuple`] per row. It
+/// is kept as the reference/baseline path — the detector-equivalence tests
+/// prove the columnar scan returns byte-identical [`Violations`], and the
+/// `columnar` bench measures the struct-of-arrays layout against it.
+pub fn detect_tuples<'a>(cfd: &Cfd, tuples: impl Iterator<Item = &'a Tuple>) -> Violations {
     let lhs = cfd.lhs();
     let rhs = cfd.rhs();
     let mut out = Violations::new();
@@ -31,16 +104,12 @@ pub(crate) fn detect_tuples<'a>(cfd: &Cfd, tuples: impl Iterator<Item = &'a Tupl
     for tuple in tuples {
         let x_vals = tuple.project_ids(lhs);
         let y_vals = tuple.project_ids(rhs);
-        // QC: matches a pattern on X but contradicts one of its constants on Y.
         for pattern in cfd.tableau().iter() {
             if pattern.lhs_matches_ids(&x_vals) && !pattern.rhs_matches_ids(&y_vals) {
                 out.add_constant_violation(tuple.to_values());
                 break;
             }
         }
-        // QV: group by X among pattern-matched keys, compare distinct Y.
-        // Whether an X value matches some pattern depends on the X value
-        // only, so the check is memoized per key.
         let matched = *matched_cache
             .entry(x_vals.clone())
             .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(&x_vals)));
@@ -70,12 +139,21 @@ impl DirectDetector {
     /// query pair: full tuples for single-tuple violations, `X`-projection
     /// keys for multi-tuple violations.
     ///
-    /// Entirely interned: pattern matching, grouping and the distinct-`Y`
-    /// sets all work on [`ValueId`]s (`u32` compares and hashes); values are
+    /// Entirely interned and columnar: pattern matching, grouping and the
+    /// distinct-`Y` sets all work on [`ValueId`]s (`u32` compares and
+    /// hashes) read straight from the `X ∪ Y` column slices; values are
     /// resolved only when a finding enters the report. The scan itself is
-    /// [`detect_tuples`], shared with the sharded workers.
+    /// the crate-internal `detect_rows`, shared with the sharded workers.
     pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Violations {
-        detect_tuples(cfd, rel.rows().iter())
+        detect_rows(cfd, rel, None)
+    }
+
+    /// The row-store era scan ([`detect_tuples`]) over pre-materialized
+    /// tuples: the baseline the `columnar` bench compares the
+    /// struct-of-arrays layout against. Returns the same report as
+    /// [`DirectDetector::detect`] on `rel.to_tuples()`.
+    pub fn detect_row_era(&self, cfd: &Cfd, rows: &[Tuple]) -> Violations {
+        detect_tuples(cfd, rows.iter())
     }
 
     /// The pre-interning reference implementation: identical semantics to
@@ -169,7 +247,7 @@ mod tests {
         let mut rel = cust_instance();
         // Give Rick a different street: the (01, 908, 1111111) group now has
         // two distinct Y projections.
-        rel.rows_mut()[1].set(AttrId(4), Value::from("Other Ave."));
+        rel.set_value(1, AttrId(4), Value::from("Other Ave."));
         let v = DirectDetector::new().detect(&phi2(), &rel);
         assert_eq!(v.multi_tuple_keys().len(), 1);
         let key = v.multi_tuple_keys().iter().next().unwrap();

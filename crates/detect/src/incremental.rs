@@ -33,7 +33,9 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Index, Relation, RelationError, Schema, Tuple, ValueId};
+use cfd_relation::{
+    project_attrs, project_cols, Index, Relation, RelationError, Schema, Tuple, ValueId,
+};
 use std::collections::{HashMap, HashSet};
 
 /// One edit of a mixed maintenance batch (see
@@ -72,45 +74,52 @@ const COMPACT_MIN_DEAD: usize = 1024;
 /// Incremental detection engine owning the evolving instance.
 #[derive(Debug)]
 pub struct IncrementalDetector {
-    rows: Vec<Tuple>,
+    /// The slot store: a columnar [`Relation`] holding every slot ever
+    /// appended (live and dead); cells are read through its column slices.
+    store: Relation,
     /// Liveness per slot; slots are append-only within a batch, so index
     /// posting lists stay valid without renumbering. When dead slots
     /// outnumber live ones (past [`COMPACT_MIN_DEAD`]), `apply_batch`
-    /// compacts: live rows are renumbered and all per-CFD state is rebuilt,
-    /// so memory tracks the live size rather than total inserts ever seen.
+    /// compacts: live rows are gathered column-wise into a fresh store and
+    /// all per-CFD state is rebuilt, so memory tracks the live size rather
+    /// than total inserts ever seen.
     alive: Vec<bool>,
     live: usize,
     /// Full cell vector → live slots, for bag-semantics deletion by value.
     by_value: HashMap<Vec<ValueId>, Vec<usize>>,
     cfds: Vec<Cfd>,
     states: Vec<CfdState>,
-    schema: Schema,
 }
 
 impl IncrementalDetector {
     /// Builds the engine over an initial instance, indexing it once per CFD
     /// and computing its current violation state. The instance does **not**
     /// have to be clean; pre-existing violations are reported alongside
-    /// stream-induced ones.
+    /// stream-induced ones. The relation is taken over as the engine's slot
+    /// store — no copy (this is also the compaction path).
     pub fn new(base: Relation, cfds: Vec<Cfd>) -> Self {
-        // Indexes need the borrowed relation; afterwards the rows are moved
-        // out (no clone — this is also the compaction path).
         let indexes: Vec<Index> = cfds.iter().map(|c| base.build_index(c.lhs())).collect();
-        let (schema, rows) = base.into_parts();
         let mut by_value: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
-        for (slot, tuple) in rows.iter().enumerate() {
-            by_value.entry(tuple.ids().to_vec()).or_default().push(slot);
+        for (slot, row) in base.iter() {
+            by_value.entry(row.to_ids()).or_default().push(slot);
         }
-        let live = rows.len();
+        let live = base.len();
         let states = cfds
             .iter()
             .zip(indexes)
             .map(|(cfd, index)| {
                 let mut match_cache = HashMap::new();
                 let mut qc: HashMap<Vec<ValueId>, usize> = HashMap::new();
-                for tuple in &rows {
-                    if qc_violates(cfd, tuple) {
-                        *qc.entry(tuple.ids().to_vec()).or_insert(0) += 1;
+                // Columnar QC pass: only the X ∪ Y columns are read; the
+                // full cell vector is materialized for violators only.
+                let xcols = base.columns_for(cfd.lhs());
+                let ycols = base.columns_for(cfd.rhs());
+                for i in 0..base.len() {
+                    let x = project_cols(&xcols, i);
+                    let y = project_cols(&ycols, i);
+                    if qc_violates_ids(cfd, &x, &y) {
+                        let cells = base.row(i).expect("row in range").to_ids();
+                        *qc.entry(cells).or_insert(0) += 1;
                     }
                 }
                 let mut violating_keys = HashSet::new();
@@ -118,7 +127,7 @@ impl IncrementalDetector {
                     let matched = *match_cache
                         .entry(key.clone())
                         .or_insert_with(|| cfd.tableau().iter().any(|p| p.lhs_matches_ids(key)));
-                    if matched && distinct_y_exceeds_one(cfd, &rows, slots.iter().copied()) {
+                    if matched && distinct_y_exceeds_one(&ycols, slots.iter().copied()) {
                         violating_keys.insert(key.clone());
                     }
                 }
@@ -131,13 +140,12 @@ impl IncrementalDetector {
             })
             .collect();
         IncrementalDetector {
-            rows,
+            store: base,
             alive: vec![true; live],
             live,
             by_value,
             cfds,
             states,
-            schema,
         }
     }
 
@@ -158,7 +166,7 @@ impl IncrementalDetector {
 
     /// The schema of the maintained instance.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.store.schema()
     }
 
     /// The complete violation report of the current instance — what a
@@ -177,17 +185,17 @@ impl IncrementalDetector {
         out
     }
 
-    /// Materializes the current instance (live rows, insertion order). Meant
-    /// for audits and differential tests; detection itself never needs it.
+    /// Materializes the current instance (live rows, insertion order) by a
+    /// column-wise gather of the live slots. Meant for audits and
+    /// differential tests; detection itself never needs it.
     pub fn current_relation(&self) -> Relation {
-        let rows: Vec<Tuple> = self
-            .rows
+        let keep: Vec<usize> = self
+            .alive
             .iter()
-            .zip(&self.alive)
-            .filter(|(_, &a)| a)
-            .map(|(t, _)| t.clone())
+            .enumerate()
+            .filter_map(|(slot, &a)| a.then_some(slot))
             .collect();
-        Relation::from_rows(self.schema.clone(), rows).expect("live rows match the schema")
+        self.store.gather_rows(&keep)
     }
 
     /// Detects all violations of `current ∪ batch` that involve at least one
@@ -212,7 +220,9 @@ impl IncrementalDetector {
             // Multi-tuple (QV-style) violations: group the batch by LHS
             // value, keep only groups matching some pattern, and union each
             // group with itself and with the live rows sharing that LHS
-            // value (via the maintained index).
+            // value (via the maintained index, projected straight off the
+            // store's Y columns).
+            let rhs_cols = self.store.columns_for(rhs);
             let mut groups: HashMap<Vec<ValueId>, Vec<&Tuple>> = HashMap::new();
             for tuple in batch {
                 groups
@@ -227,7 +237,7 @@ impl IncrementalDetector {
                 let mut y_projections: HashSet<Vec<ValueId>> =
                     members.iter().map(|t| t.project_ids(rhs)).collect();
                 for &slot in state.index.lookup_ids(&key) {
-                    y_projections.insert(self.rows[slot].project_ids(rhs));
+                    y_projections.insert(project_cols(&rhs_cols, slot));
                 }
                 if y_projections.len() > 1 {
                     out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
@@ -281,23 +291,22 @@ impl IncrementalDetector {
 
             // Violating groups: recompute the touched ones with the deleted
             // occurrences subtracted; untouched ones stay violating.
+            let rhs_cols = self.store.columns_for(rhs);
             let mut touched: HashSet<Vec<ValueId>> = HashSet::new();
             for (cells, &deleted) in &del_counts {
                 if deleted > 0 {
-                    touched.insert(project_cells(cells, lhs));
+                    touched.insert(project_attrs(cells, lhs));
                 }
             }
             for key in &state.violating_keys {
                 let still_violating = if touched.contains(key) {
                     let mut y_counts: HashMap<Vec<ValueId>, usize> = HashMap::new();
                     for &slot in state.index.lookup_ids(key) {
-                        *y_counts
-                            .entry(self.rows[slot].project_ids(rhs))
-                            .or_insert(0) += 1;
+                        *y_counts.entry(project_cols(&rhs_cols, slot)).or_insert(0) += 1;
                     }
                     for (cells, &deleted) in &del_counts {
-                        if deleted > 0 && project_cells(cells, lhs) == *key {
-                            if let Some(c) = y_counts.get_mut(&project_cells(cells, rhs)) {
+                        if deleted > 0 && project_attrs(cells, lhs) == *key {
+                            if let Some(c) = y_counts.get_mut(&project_attrs(cells, rhs)) {
                                 *c = c.saturating_sub(deleted);
                             }
                         }
@@ -345,13 +354,14 @@ impl IncrementalDetector {
     /// [`IncrementalDetector::violations`] call produces the same report on
     /// demand.
     pub fn apply_batch(&mut self, ops: &[BatchOp]) -> Result<Violations, RelationError> {
+        let arity = self.store.schema().arity();
         for op in ops {
             let t = match op {
                 BatchOp::Insert(t) | BatchOp::Delete(t) => t,
             };
-            if t.arity() != self.schema.arity() {
+            if t.arity() != arity {
                 return Err(RelationError::ArityMismatch {
-                    expected: self.schema.arity(),
+                    expected: arity,
                     got: t.arity(),
                 });
             }
@@ -364,8 +374,10 @@ impl IncrementalDetector {
         for op in ops {
             match op {
                 BatchOp::Insert(tuple) => {
-                    let slot = self.rows.len();
-                    self.rows.push(tuple.clone());
+                    let slot = self.store.len();
+                    self.store
+                        .push_ids(tuple.ids())
+                        .expect("batch arity validated above");
                     self.alive.push(true);
                     self.live += 1;
                     self.by_value
@@ -375,7 +387,7 @@ impl IncrementalDetector {
                     for ((cfd, state), touched) in
                         self.cfds.iter().zip(&mut self.states).zip(&mut touched)
                     {
-                        state.index.insert_row(slot, tuple);
+                        state.index.insert_row(slot, tuple.ids());
                         touched.insert(tuple.project_ids(cfd.lhs()));
                         if qc_violates(cfd, tuple) {
                             *state.qc.entry(tuple.ids().to_vec()).or_insert(0) += 1;
@@ -395,7 +407,7 @@ impl IncrementalDetector {
                     for ((cfd, state), touched) in
                         self.cfds.iter().zip(&mut self.states).zip(&mut touched)
                     {
-                        state.index.remove_row(slot, tuple);
+                        state.index.remove_row(slot, tuple.ids());
                         touched.insert(tuple.project_ids(cfd.lhs()));
                         if qc_violates(cfd, tuple) {
                             if let Some(count) = state.qc.get_mut(&cells) {
@@ -412,6 +424,7 @@ impl IncrementalDetector {
 
         // Re-evaluate only the touched groups.
         for ((cfd, state), touched) in self.cfds.iter().zip(&mut self.states).zip(&touched) {
+            let rhs_cols = self.store.columns_for(cfd.rhs());
             for key in touched {
                 let matched = *state
                     .match_cache
@@ -421,7 +434,7 @@ impl IncrementalDetector {
                     continue;
                 }
                 let slots = state.index.lookup_ids(key).iter().copied();
-                if distinct_y_exceeds_one(cfd, &self.rows, slots) {
+                if distinct_y_exceeds_one(&rhs_cols, slots) {
                     state.violating_keys.insert(key.clone());
                 } else {
                     state.violating_keys.remove(key);
@@ -440,21 +453,14 @@ impl IncrementalDetector {
     /// (construction and maintenance compute the same summaries), so
     /// reports are unaffected.
     fn maybe_compact(&mut self) {
-        let dead = self.rows.len() - self.live;
+        let dead = self.store.len() - self.live;
         if dead <= self.live.max(COMPACT_MIN_DEAD) {
             return;
         }
-        // Move the live rows out — no per-tuple clone; the rebuild then
-        // moves them straight back in through `Relation::into_parts`.
-        let rows = std::mem::take(&mut self.rows);
-        let alive = std::mem::take(&mut self.alive);
-        let live_rows: Vec<Tuple> = rows
-            .into_iter()
-            .zip(alive)
-            .filter_map(|(t, a)| a.then_some(t))
-            .collect();
-        let rel = Relation::from_rows(self.schema.clone(), live_rows)
-            .expect("live rows match the schema");
+        // Column-wise gather of the live slots into a fresh store (u32
+        // copies, no per-row allocation); the rebuild takes it over without
+        // further copying.
+        let rel = self.current_relation();
         let cfds = std::mem::take(&mut self.cfds);
         *self = IncrementalDetector::new(rel, cfds);
     }
@@ -464,23 +470,24 @@ impl IncrementalDetector {
 fn qc_violates(cfd: &Cfd, tuple: &Tuple) -> bool {
     let x = tuple.project_ids(cfd.lhs());
     let y = tuple.project_ids(cfd.rhs());
-    cfd.tableau()
-        .iter()
-        .any(|p| p.lhs_matches_ids(&x) && !p.rhs_matches_ids(&y))
+    qc_violates_ids(cfd, &x, &y)
 }
 
-/// Projects a full cell vector onto attribute ids (cells are schema-ordered).
-fn project_cells(cells: &[ValueId], attrs: &[cfd_relation::AttrId]) -> Vec<ValueId> {
-    attrs.iter().map(|a| cells[a.index()]).collect()
+/// The `QC` check on already-projected `X`/`Y` cell ids.
+fn qc_violates_ids(cfd: &Cfd, x: &[ValueId], y: &[ValueId]) -> bool {
+    cfd.tableau()
+        .iter()
+        .any(|p| p.lhs_matches_ids(x) && !p.rhs_matches_ids(y))
 }
 
 /// Whether the rows at `slots` have more than one distinct `Y` projection
-/// (early exit at the second distinct value).
-fn distinct_y_exceeds_one(cfd: &Cfd, rows: &[Tuple], slots: impl Iterator<Item = usize>) -> bool {
-    let rhs = cfd.rhs();
+/// (early exit at the second distinct value), read straight off the
+/// pre-gathered `Y` column slices (`rhs_cols` — gathered once per CFD by the
+/// caller, since the columns are invariant across the keys of one pass).
+fn distinct_y_exceeds_one(rhs_cols: &[&[ValueId]], slots: impl Iterator<Item = usize>) -> bool {
     let mut first: Option<Vec<ValueId>> = None;
     for slot in slots {
-        let y = rows[slot].project_ids(rhs);
+        let y = project_cols(rhs_cols, slot);
         match &first {
             None => first = Some(y),
             Some(seen) => {
@@ -512,8 +519,8 @@ mod tests {
     fn clean_base() -> Relation {
         let mut rel = cust_instance();
         let ct = cust_schema().resolve("CT").unwrap();
-        rel.rows_mut()[0].set(ct, Value::from("MH"));
-        rel.rows_mut()[1].set(ct, Value::from("MH"));
+        rel.set_value(0, ct, Value::from("MH"));
+        rel.set_value(1, ct, Value::from("MH"));
         rel
     }
 
@@ -609,7 +616,7 @@ mod tests {
         })
         .generate()
         .relation;
-        let batch: Vec<Tuple> = batch_rel.rows().to_vec();
+        let batch: Vec<Tuple> = batch_rel.to_tuples();
         let cfds = vec![
             CfdWorkload::new(1).zip_state_full(),
             CfdWorkload::new(1).single(EmbeddedFd::AreaToCity, 200, 100.0),
@@ -680,14 +687,14 @@ mod tests {
         // Dirty base: Fig. 1's t1/t2 violate ϕ2 (both are QC violations with
         // distinct cells, and no QV group).
         let engine = IncrementalDetector::new(cust_instance(), vec![phi2()]);
-        let t1 = cust_instance().row(0).unwrap().clone();
+        let t1 = cust_instance().row(0).unwrap().to_tuple();
         // Deleting t1 resolves its QC violation (its only occurrence)…
         let resolved = engine.detect_deletions(std::slice::from_ref(&t1));
         assert_eq!(resolved.constant_violations().len(), 1);
         // …but the engine itself is unchanged (preview only).
         assert_eq!(engine.violations().constant_violations().len(), 2);
         // Deleting an unrelated clean tuple resolves nothing.
-        let t6 = cust_instance().row(5).unwrap().clone();
+        let t6 = cust_instance().row(5).unwrap().to_tuple();
         assert!(engine
             .detect_deletions(std::slice::from_ref(&t6))
             .is_clean());
@@ -714,14 +721,16 @@ mod tests {
         assert_eq!(engine.violations().multi_tuple_keys().len(), 1);
         // Deleting Ann leaves Bob vs Cid conflicting: nothing resolved.
         assert!(engine
-            .detect_deletions(std::slice::from_ref(rel.row(0).unwrap()))
+            .detect_deletions(&[rel.row(0).unwrap().to_tuple()])
             .is_clean());
         // Deleting Cid resolves the group.
-        let resolved = engine.detect_deletions(std::slice::from_ref(rel.row(2).unwrap()));
+        let resolved = engine.detect_deletions(&[rel.row(2).unwrap().to_tuple()]);
         assert_eq!(resolved.multi_tuple_keys().len(), 1);
         // Deleting Ann *and* Bob also resolves it (one distinct Y remains).
-        let resolved =
-            engine.detect_deletions(&[rel.row(0).unwrap().clone(), rel.row(1).unwrap().clone()]);
+        let resolved = engine.detect_deletions(&[
+            rel.row(0).unwrap().to_tuple(),
+            rel.row(1).unwrap().to_tuple(),
+        ]);
         assert_eq!(resolved.multi_tuple_keys().len(), 1);
     }
 
@@ -771,7 +780,7 @@ mod tests {
     #[test]
     fn deleting_one_of_two_identical_qc_violators_resolves_nothing() {
         let mut rel = cust_instance();
-        let dup = rel.row(0).unwrap().clone();
+        let dup = rel.row(0).unwrap().to_tuple();
         rel.push(dup.clone()).unwrap();
         let mut engine = IncrementalDetector::new(rel, vec![phi2()]);
         // t1 appears twice; deleting one occurrence keeps the QC entry live.
@@ -801,9 +810,9 @@ mod tests {
         }
         assert_eq!(engine.len(), live_target);
         assert!(
-            engine.rows.len() <= live_target + 2 * COMPACT_MIN_DEAD + 2,
-            "slot vector must be bounded by compaction, got {} slots for {} live rows",
-            engine.rows.len(),
+            engine.store.len() <= live_target + 2 * COMPACT_MIN_DEAD + 2,
+            "slot store must be bounded by compaction, got {} slots for {} live rows",
+            engine.store.len(),
             live_target
         );
         // Post-compaction state still answers exactly like from scratch.

@@ -37,10 +37,10 @@
 //!   per-shard scans exhaustive. Sharding by anything finer (e.g. row ranges)
 //!   would split groups and lose violations.
 
-use crate::direct::{detect_tuples, DirectDetector};
+use crate::direct::{detect_rows, DirectDetector};
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{Relation, Tuple};
+use cfd_relation::{Relation, ValueId};
 use std::num::NonZeroUsize;
 
 /// Hash-sharded parallel detector (see the module docs for the contract).
@@ -49,12 +49,14 @@ pub struct ShardedDetector {
     shards: usize,
 }
 
-/// FNV-1a over the little-endian bytes of the interned key. Fixed offset
-/// basis and prime: the partition is reproducible across runs and platforms.
-fn shard_of(tuple: &Tuple, lhs: &[cfd_relation::AttrId], shards: usize) -> usize {
+/// FNV-1a over the little-endian bytes of the interned LHS key, read
+/// column-wise (`lhs_cols` are the LHS column slices in key order). Fixed
+/// offset basis and prime: the partition is reproducible across runs and
+/// platforms.
+fn shard_of(lhs_cols: &[&[ValueId]], row: usize, shards: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for attr in lhs {
-        for byte in tuple.id_at(*attr).raw().to_le_bytes() {
+    for col in lhs_cols {
+        for byte in col[row].raw().to_le_bytes() {
             h ^= u64::from(byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -85,16 +87,16 @@ impl ShardedDetector {
         if self.shards == 1 || rel.len() < self.shards * 2 {
             return DirectDetector::new().detect(cfd, rel);
         }
-        let lhs = cfd.lhs();
-
-        // Partition pass: row indices by hash of the interned LHS key.
-        // (Built per bucket — `vec![..; n]` clones, and clones don't keep
-        // the pre-allocated capacity.)
+        // Partition pass: row indices by hash of the interned LHS key, read
+        // straight from the LHS columns — the pass touches |X| column
+        // slices, nothing else. (Buckets built per bucket — `vec![..; n]`
+        // clones, and clones don't keep the pre-allocated capacity.)
+        let lhs_cols = rel.columns_for(cfd.lhs());
         let mut buckets: Vec<Vec<u32>> = (0..self.shards)
             .map(|_| Vec::with_capacity(rel.len() / self.shards + 1))
             .collect();
-        for (i, tuple) in rel.iter() {
-            buckets[shard_of(tuple, lhs, self.shards)].push(i as u32);
+        for i in 0..rel.len() {
+            buckets[shard_of(&lhs_cols, i, self.shards)].push(i as u32);
         }
 
         // One scoped worker per shard; panics propagate (a lost shard must
@@ -140,11 +142,11 @@ impl Default for ShardedDetector {
     }
 }
 
-/// One shard's work: the shared `QC`+`QV` scan ([`detect_tuples`] — the same
-/// function the direct path runs over all rows) restricted to the shard's
-/// row indices.
+/// One shard's work: the shared columnar `QC`+`QV` scan ([`detect_rows`] —
+/// the same function the direct path runs over all rows) restricted to the
+/// shard's row indices.
 fn detect_shard(cfd: &Cfd, rel: &Relation, rows: &[u32]) -> Violations {
-    detect_tuples(cfd, rows.iter().map(|&row| &rel.rows()[row as usize]))
+    detect_rows(cfd, rel, Some(rows))
 }
 
 #[cfg(test)]
@@ -153,7 +155,7 @@ mod tests {
     use cfd_datagen::cust::{cust_instance, fig2_cfd_set, phi1, phi2, phi3_with_fd, phi5};
     use cfd_datagen::records::{TaxConfig, TaxGenerator};
     use cfd_datagen::{CfdWorkload, EmbeddedFd};
-    use cfd_relation::{AttrId, Schema, Value};
+    use cfd_relation::{AttrId, Schema, Tuple, Value};
 
     #[test]
     fn byte_identical_to_direct_on_the_running_example() {
@@ -232,9 +234,12 @@ mod tests {
     fn shard_assignment_is_deterministic() {
         let rel = cust_instance();
         let lhs: Vec<AttrId> = (0..2).map(AttrId).collect();
-        for (_, t) in rel.iter() {
-            assert_eq!(shard_of(t, &lhs, 5), shard_of(t, &lhs, 5));
+        let cols = rel.columns_for(&lhs);
+        for i in 0..rel.len() {
+            assert_eq!(shard_of(&cols, i, 5), shard_of(&cols, i, 5));
         }
+        // Rows with identical LHS keys land in the same shard.
+        assert_eq!(shard_of(&cols, 0, 5), shard_of(&cols, 1, 5));
     }
 
     #[test]

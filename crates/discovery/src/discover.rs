@@ -1,7 +1,7 @@
 //! Levelwise discovery of FDs and constant CFD patterns.
 
 use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
-use cfd_relation::{AttrId, Relation, Value};
+use cfd_relation::{AttrId, Relation, ValueId};
 use std::collections::HashMap;
 
 /// Parameters of the discovery search.
@@ -94,23 +94,23 @@ pub fn discover_constant_cfds(rel: &Relation, config: &DiscoveryConfig) -> Vec<D
             if lhs.contains(&rhs) {
                 continue;
             }
-            let groups = rel.group_by(&lhs);
+            // Columnar: group on interned LHS keys, read the RHS column
+            // directly, and resolve constants only for the reported rows.
+            let groups = rel.group_by_ids(&lhs);
+            let rhs_col = rel.column(rhs);
             let mut rows = Vec::new();
             let mut support = 0usize;
             for (key, members) in &groups {
                 if members.len() < config.min_support {
                     continue;
                 }
-                let mut rhs_values: Vec<&Value> =
-                    members.iter().map(|&i| &rel.rows()[i][rhs]).collect();
-                rhs_values.sort();
-                rhs_values.dedup();
-                if rhs_values.len() == 1 {
+                let mut rhs_ids: Vec<ValueId> = members.iter().map(|&i| rhs_col[i]).collect();
+                rhs_ids.sort_unstable();
+                rhs_ids.dedup();
+                if rhs_ids.len() == 1 {
                     rows.push(PatternTuple::new(
-                        key.iter()
-                            .map(|v| PatternValue::constant(v.clone()))
-                            .collect(),
-                        vec![PatternValue::constant(rhs_values[0].clone())],
+                        key.iter().map(|v| PatternValue::Const(*v)).collect(),
+                        vec![PatternValue::Const(rhs_ids[0])],
                     ));
                     support += members.len();
                 }
@@ -139,14 +139,16 @@ pub fn discover_constant_cfds(rel: &Relation, config: &DiscoveryConfig) -> Vec<D
 
 /// Confidence of `X → A`: the fraction of tuples that would remain after
 /// keeping, in every `X`-group, only the tuples with the plurality `A` value.
-/// Returns `(confidence, number of X-groups)`.
+/// Returns `(confidence, number of X-groups)`. Entirely id-based: grouping
+/// and plurality counting touch only the `X ∪ {A}` columns.
 fn fd_confidence(rel: &Relation, lhs: &[AttrId], rhs: AttrId) -> (f64, usize) {
-    let groups = rel.group_by(lhs);
+    let groups = rel.group_by_ids(lhs);
+    let rhs_col = rel.column(rhs);
     let mut kept = 0usize;
     for members in groups.values() {
-        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        let mut counts: HashMap<ValueId, usize> = HashMap::new();
         for &i in members {
-            *counts.entry(&rel.rows()[i][rhs]).or_insert(0) += 1;
+            *counts.entry(rhs_col[i]).or_insert(0) += 1;
         }
         kept += counts.values().copied().max().unwrap_or(0);
     }

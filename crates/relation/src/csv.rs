@@ -8,9 +8,9 @@
 
 use crate::domain::AttrType;
 use crate::error::{RelationError, Result};
+use crate::interner::ValueId;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// Serializes the relation as CSV text (header + one line per row).
@@ -39,6 +39,10 @@ pub fn to_csv(rel: &Relation) -> String {
 /// split quote-aware, so quoted fields may contain delimiters *and* newlines.
 /// An empty unquoted cell is NULL; a quoted empty cell (`""`) is the empty
 /// string — the distinction [`to_csv`] relies on for round-trip stability.
+///
+/// Cells stream straight into the relation's columns (interned as they are
+/// parsed — no intermediate [`crate::Tuple`] per record), and arity/type
+/// errors report both the record and the offending column.
 pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
     let mut records = split_records(text).into_iter();
     let header = records
@@ -60,6 +64,9 @@ pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
     }
 
     let mut rel = Relation::new(schema.clone());
+    // Scratch row reused across records: cells are interned as they are
+    // parsed and appended column-wise, no per-record tuple allocation.
+    let mut ids: Vec<ValueId> = Vec::with_capacity(schema.arity());
     for (line_no, line) in records.enumerate() {
         // Blank lines are separators in multi-column files — but a
         // single-column relation legitimately serializes a NULL row as an
@@ -67,20 +74,45 @@ pub fn from_csv(schema: &Schema, text: &str) -> Result<Relation> {
         if line.trim().is_empty() && schema.arity() > 1 {
             continue;
         }
+        let record_no = line_no + 2; // 1-based, after the header line
         let cells = split_line(&line);
         if cells.len() != schema.arity() {
+            let detail = if cells.len() < schema.arity() {
+                format!(
+                    "missing column {} (`{}`)",
+                    cells.len() + 1,
+                    schema.attributes()[cells.len()].name
+                )
+            } else {
+                format!("unexpected extra cell at column {}", schema.arity() + 1)
+            };
             return Err(RelationError::Parse(format!(
-                "record {} has {} cells, expected {}",
-                line_no + 2,
+                "record {} has {} cells, expected {}: {}",
+                record_no,
                 cells.len(),
-                schema.arity()
+                schema.arity(),
+                detail
             )));
         }
-        let mut values = Vec::with_capacity(cells.len());
+        ids.clear();
         for (id, (cell, quoted)) in schema.attr_ids().zip(cells.iter()) {
-            values.push(parse_cell(schema, id.index(), cell, *quoted)?);
+            let col = id.index();
+            let value = parse_cell(schema, col, cell, *quoted).map_err(|e| {
+                let msg = match e {
+                    RelationError::Parse(m) => m,
+                    other => other.to_string(),
+                };
+                RelationError::Parse(format!(
+                    "record {}, column {} (`{}`): {}",
+                    record_no,
+                    col + 1,
+                    schema.attributes()[col].name,
+                    msg
+                ))
+            })?;
+            ids.push(ValueId::from_value(value));
         }
-        rel.push(Tuple::new(values))?;
+        rel.push_ids(&ids)?;
     }
     Ok(rel)
 }
@@ -185,16 +217,14 @@ fn parse_cell(schema: &Schema, idx: usize, cell: &str, quoted: bool) -> Result<V
     let attr = &schema.attributes()[idx];
     match attr.domain.attr_type() {
         AttrType::Text => Ok(Value::Str(cell.to_owned())),
-        AttrType::Integer => cell.parse::<i64>().map(Value::Int).map_err(|_| {
-            RelationError::Parse(format!("`{cell}` is not an integer ({})", attr.name))
-        }),
+        AttrType::Integer => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RelationError::Parse(format!("`{cell}` is not an integer"))),
         AttrType::Boolean => match cell {
             "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
             "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
-            _ => Err(RelationError::Parse(format!(
-                "`{cell}` is not a boolean ({})",
-                attr.name
-            ))),
+            _ => Err(RelationError::Parse(format!("`{cell}` is not a boolean"))),
         },
     }
 }
@@ -203,6 +233,7 @@ fn parse_cell(schema: &Schema, idx: usize, cell: &str, quoted: bool) -> Result<V
 mod tests {
     use super::*;
     use crate::schema::AttrId;
+    use crate::tuple::Tuple;
 
     fn schema() -> Schema {
         Schema::builder("t").text("NAME").integer("SA").build()
@@ -249,9 +280,40 @@ mod tests {
     }
 
     #[test]
+    fn type_errors_report_record_and_column() {
+        // Second data record (record 3 counting the header), second column.
+        let text = "NAME,SA\nann,1\nbob,notanumber\n";
+        let err = from_csv(&schema(), text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("record 3, column 2 (`SA`)"),
+            "message must pinpoint record and column, got: {msg}"
+        );
+        assert!(msg.contains("`notanumber` is not an integer"), "{msg}");
+    }
+
+    #[test]
     fn wrong_cell_count_is_an_error() {
         let text = "NAME,SA\nann\n";
         assert!(from_csv(&schema(), text).is_err());
+    }
+
+    #[test]
+    fn arity_errors_report_record_and_column() {
+        // Too few cells: names the first missing column.
+        let err = from_csv(&schema(), "NAME,SA\nann,1\nbob\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record 3 has 1 cells, expected 2"), "{msg}");
+        assert!(msg.contains("missing column 2 (`SA`)"), "{msg}");
+        // Too many cells: points at the first surplus column.
+        let err = from_csv(&schema(), "NAME,SA\nann,1,EXTRA\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("record 2 has 3 cells, expected 2"), "{msg}");
+        assert!(msg.contains("unexpected extra cell at column 3"), "{msg}");
+        // A failed record must not leave partial columns behind (the loader
+        // appends a record only after every cell parsed).
+        let err = from_csv(&schema(), "NAME,SA\nann,oops\n").unwrap_err();
+        assert!(err.to_string().contains("record 2, column 2"));
     }
 
     #[test]
@@ -376,13 +438,13 @@ mod tests {
         let text = "NAME,SA\n\"wei, jr.\",1\n\"multi\nline\",2\n,3\n";
         let a = from_csv(&schema(), text).unwrap();
         let b = from_csv(&schema(), text).unwrap();
-        for (ta, tb) in a.rows().iter().zip(b.rows()) {
-            assert_eq!(ta.ids(), tb.ids(), "interned cells must coincide");
+        for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.to_ids(), tb.to_ids(), "interned cells must coincide");
         }
         let once = to_csv(&a);
         let again = to_csv(&from_csv(&schema(), &once).unwrap());
         assert_eq!(once, again);
         // NULL keeps its fixed id through the round trip.
-        assert_eq!(a.row(2).unwrap().ids()[0], ValueId::NULL);
+        assert_eq!(a.row(2).unwrap().id_at(AttrId(0)), ValueId::NULL);
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::interner::ValueId;
 use crate::relation::Relation;
+use crate::row::{project_attrs, project_cols};
 use crate::schema::AttrId;
-use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -25,11 +25,13 @@ pub struct Index {
 }
 
 impl Index {
-    /// Builds the index by a single scan of `rel`.
+    /// Builds the index by a single column-wise scan of `rel`: only the
+    /// indexed columns are touched, one contiguous slice each.
     pub fn build(rel: &Relation, attrs: &[AttrId]) -> Self {
+        let cols = rel.columns_for(attrs);
         let mut map: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
-        for (i, t) in rel.iter() {
-            map.entry(t.project_ids(attrs)).or_default().push(i);
+        for i in 0..rel.len() {
+            map.entry(project_cols(&cols, i)).or_default().push(i);
         }
         Index {
             attrs: attrs.to_vec(),
@@ -38,24 +40,26 @@ impl Index {
     }
 
     /// Registers `row` (identified by its slot number) under the key obtained
-    /// by projecting `tuple` onto this index's attributes. Used by the
-    /// incremental detection engine to keep per-shard indexes in sync with
-    /// inserted tuples without rebuilding.
-    pub fn insert_row(&mut self, row: usize, tuple: &Tuple) {
+    /// by projecting the schema-ordered `cells` onto this index's attributes.
+    /// Used by the incremental detection engine to keep per-CFD indexes in
+    /// sync with inserted tuples without rebuilding. `cells` is the row's
+    /// full cell vector ([`crate::Tuple::ids`] or [`crate::RowRef::to_ids`]).
+    pub fn insert_row(&mut self, row: usize, cells: &[ValueId]) {
         self.map
-            .entry(tuple.project_ids(&self.attrs))
+            .entry(project_attrs(cells, &self.attrs))
             .or_default()
             .push(row);
     }
 
-    /// Unregisters `row` from the key obtained by projecting `tuple` onto
-    /// this index's attributes, dropping the key when its posting list
-    /// empties. Returns `false` if the row was not present under that key.
+    /// Unregisters `row` from the key obtained by projecting the
+    /// schema-ordered `cells` onto this index's attributes, dropping the key
+    /// when its posting list empties. Returns `false` if the row was not
+    /// present under that key.
     ///
-    /// `tuple` must be the same tuple the row was inserted with: the index
+    /// `cells` must be the same cells the row was inserted with: the index
     /// stores no back-pointers, so the caller supplies the key material.
-    pub fn remove_row(&mut self, row: usize, tuple: &Tuple) -> bool {
-        let key = tuple.project_ids(&self.attrs);
+    pub fn remove_row(&mut self, row: usize, cells: &[ValueId]) -> bool {
+        let key = project_attrs(cells, &self.attrs);
         let Some(rows) = self.map.get_mut(&key) else {
             return false;
         };
@@ -227,7 +231,7 @@ mod tests {
         let rebuilt = r.build_index(&attrs);
         let mut maintained = Relation::new(r.schema().clone()).build_index(&attrs);
         for (i, t) in r.iter() {
-            maintained.insert_row(i, t);
+            maintained.insert_row(i, &t.to_ids());
         }
         for (key, rows) in rebuilt.iter() {
             assert_eq!(maintained.lookup_ids(key), rows.as_slice());
@@ -235,15 +239,15 @@ mod tests {
         assert_eq!(maintained.distinct_keys(), rebuilt.distinct_keys());
 
         // Removing row 0 keeps row 1 reachable under the shared key.
-        assert!(maintained.remove_row(0, r.row(0).unwrap()));
+        assert!(maintained.remove_row(0, &r.row(0).unwrap().to_ids()));
         assert_eq!(maintained.lookup(&[Value::from("1")]), &[1]);
         // Removing the last row of a key drops the key entirely.
-        assert!(maintained.remove_row(2, r.row(2).unwrap()));
+        assert!(maintained.remove_row(2, &r.row(2).unwrap().to_ids()));
         assert!(maintained.lookup(&[Value::from("2")]).is_empty());
         assert_eq!(maintained.distinct_keys(), 1);
         // Double-remove and unknown rows report false.
-        assert!(!maintained.remove_row(2, r.row(2).unwrap()));
-        assert!(!maintained.remove_row(7, r.row(0).unwrap()));
+        assert!(!maintained.remove_row(2, &r.row(2).unwrap().to_ids()));
+        assert!(!maintained.remove_row(7, &r.row(0).unwrap().to_ids()));
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //!
 //! Ids are assigned in first-intern order, so **`ValueId` ordering is not
 //! `Value` ordering**. Code that needs the total order of
-//! [`Value`](crate::Value) (sorted active domains, deterministic reports)
+//! [`Value`] (sorted active domains, deterministic reports)
 //! must resolve ids first. Similarly, ids must never be persisted: they are
 //! only stable within one process.
 

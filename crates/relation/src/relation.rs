@@ -1,53 +1,81 @@
-//! In-memory relation instances.
+//! In-memory relation instances — the columnar storage layer.
 //!
-//! A [`Relation`] is a schema plus a vector of rows. It intentionally keeps
-//! a very small surface: insertion (with optional domain checking), iteration,
-//! projection and grouping. Query processing proper lives in `cfd-sql`.
+//! # Storage layout
+//!
+//! A [`Relation`] is stored **struct-of-arrays**: one `Vec<ValueId>` column
+//! per attribute plus a live-row count (the explicit count also covers the
+//! zero-arity edge case, where no column exists to derive it from). The CFD
+//! detection queries (`QC`/`QV`, Section 4 of the paper) and incremental
+//! maintenance only ever touch the attributes in `X ∪ Y` of each CFD, so a
+//! columnar layout lets every scan walk just those few contiguous columns
+//! instead of dragging all attributes of every row through cache — and pays
+//! zero per-row heap allocations.
+//!
+//! Rows are read through copy-free [`RowRef`] views ([`Relation::row`],
+//! [`Relation::iter`]) or, on the hottest paths, straight through
+//! [`Relation::column`] slices. The owned [`Tuple`] remains the
+//! *boundary* type: builders push tuples, batch edits carry tuples, and
+//! [`RowRef::to_tuple`] materializes one on demand.
+//!
+//! # Determinism contract
+//!
+//! All mutators are deterministic and order-preserving: `push` appends,
+//! [`Relation::retain_rows`] and [`Relation::gather_rows`] keep insertion
+//! order, and no operation depends on hash-map iteration order. Detectors
+//! rely on this — identical construction sequences yield cell-for-cell
+//! identical relations (and therefore byte-identical violation reports).
+//! Query processing proper lives in `cfd-sql`.
 
 use crate::error::{RelationError, Result};
 use crate::index::Index;
 use crate::interner::ValueId;
+use crate::row::{project_cols, RowRef};
 use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
 
-/// An in-memory instance `I` of a relation schema `R`.
+/// An in-memory instance `I` of a relation schema `R`, stored column-wise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Tuple>,
+    /// One column per attribute, all of equal length.
+    columns: Vec<Vec<ValueId>>,
+    /// Live-row count (columns cannot express it at arity 0).
+    rows: usize,
 }
 
 impl Relation {
     /// Creates an empty instance of `schema`.
     pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
         Relation {
             schema,
-            rows: Vec::new(),
+            columns,
+            rows: 0,
         }
     }
 
-    /// Creates an empty instance with pre-allocated capacity.
+    /// Creates an empty instance with pre-allocated per-column capacity.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let columns = (0..schema.arity())
+            .map(|_| Vec::with_capacity(capacity))
+            .collect();
         Relation {
             schema,
-            rows: Vec::with_capacity(capacity),
+            columns,
+            rows: 0,
         }
     }
 
     /// Creates an instance from existing rows, validating arity.
     pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
-        for row in &rows {
-            if row.arity() != schema.arity() {
-                return Err(RelationError::ArityMismatch {
-                    expected: schema.arity(),
-                    got: row.arity(),
-                });
-            }
+        let mut rel = Relation::with_capacity(schema, rows.len());
+        for row in rows {
+            rel.push(row)?;
         }
-        Ok(Relation { schema, rows })
+        Ok(rel)
     }
 
     /// The schema of the instance.
@@ -55,48 +83,73 @@ impl Relation {
         &self.schema
     }
 
-    /// Consumes the instance, returning its schema and rows without cloning
-    /// — the constructor path for engines that take ownership (the inverse
-    /// of [`Relation::from_rows`]).
+    /// Consumes the instance, returning its schema and rows as owned tuples
+    /// (the inverse of [`Relation::from_rows`]). This is a boundary
+    /// operation: it materializes one [`Tuple`] per row.
     pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
-        (self.schema, self.rows)
+        let rows = self.to_tuples();
+        (self.schema, rows)
     }
 
     /// Number of tuples (`SZ` in the paper's experiments).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows
     }
 
     /// Whether the instance is empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows == 0
     }
 
-    /// All rows in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+    /// The column of attribute `id`: one interned cell per row, in row
+    /// order. This is the tight-loop accessor every columnar scan builds on
+    /// (panics when `id` is out of range — schemas are fixed, so callers
+    /// always hold valid ids).
+    pub fn column(&self, id: AttrId) -> &[ValueId] {
+        &self.columns[id.index()]
     }
 
-    /// Mutable access to the rows (used by the repair algorithm, which edits
-    /// attribute values in place).
-    pub fn rows_mut(&mut self) -> &mut [Tuple] {
-        &mut self.rows
+    /// The columns of the given attributes, in `ids` order — the usual
+    /// prelude of a scan over `X ∪ Y`.
+    pub fn columns_for(&self, ids: &[AttrId]) -> Vec<&[ValueId]> {
+        ids.iter().map(|id| self.column(*id)).collect()
     }
 
-    /// The row at `idx`, if present.
-    pub fn row(&self, idx: usize) -> Option<&Tuple> {
-        self.rows.get(idx)
+    /// A copy-free view of the row at `idx`, if present.
+    pub fn row(&self, idx: usize) -> Option<RowRef<'_>> {
+        (idx < self.rows).then(|| RowRef::new(&self.columns, idx))
+    }
+
+    /// Iterates `(row_index, RowRef)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, RowRef<'_>)> + '_ {
+        (0..self.rows).map(move |i| (i, RowRef::new(&self.columns, i)))
+    }
+
+    /// Materializes every row as an owned [`Tuple`] (boundary use: tests,
+    /// serialization, the row-era reference paths).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.rows)
+            .map(|i| RowRef::new(&self.columns, i).to_tuple())
+            .collect()
     }
 
     /// Appends a tuple after checking its arity.
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
-        if tuple.arity() != self.schema.arity() {
+        self.push_ids(tuple.ids())
+    }
+
+    /// Appends a row given as schema-ordered cell ids, column-wise.
+    pub fn push_ids(&mut self, cells: &[ValueId]) -> Result<()> {
+        if cells.len() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {
                 expected: self.schema.arity(),
-                got: tuple.arity(),
+                got: cells.len(),
             });
         }
-        self.rows.push(tuple);
+        for (column, cell) in self.columns.iter_mut().zip(cells) {
+            column.push(*cell);
+        }
+        self.rows += 1;
         Ok(())
     }
 
@@ -123,38 +176,99 @@ impl Relation {
                 });
             }
         }
-        self.rows.push(tuple);
+        self.push(tuple)
+    }
+
+    /// Inserts a tuple at row position `idx` (shifting later rows down),
+    /// column-wise. `idx` may equal [`Relation::len`] (append).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx > len()`, mirroring [`Vec::insert`] — a position past
+    /// the end is a caller bug, not a recoverable condition (arity mismatches,
+    /// by contrast, are reported as errors like every other mutator does).
+    pub fn insert_row(&mut self, idx: usize, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        assert!(idx <= self.rows, "insert_row index out of range");
+        for (column, cell) in self.columns.iter_mut().zip(tuple.ids()) {
+            column.insert(idx, *cell);
+        }
+        self.rows += 1;
         Ok(())
     }
 
-    /// Iterates `(row_index, &Tuple)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tuple)> + '_ {
-        self.rows.iter().enumerate()
+    /// Removes the row at `idx` (shifting later rows up), column-wise,
+    /// returning it as an owned tuple. `None` when out of range.
+    pub fn remove_row(&mut self, idx: usize) -> Option<Tuple> {
+        if idx >= self.rows {
+            return None;
+        }
+        let cells: Vec<ValueId> = self.columns.iter_mut().map(|c| c.remove(idx)).collect();
+        self.rows -= 1;
+        Some(Tuple::from_ids(cells))
     }
 
-    /// Projects the whole instance onto `ids`, keeping duplicates.
+    /// Overwrites one cell with an interned id. Returns `false` when the row
+    /// or attribute is out of range. This is the in-place edit the repair
+    /// algorithm uses (it replaces the row-store era `rows_mut()[i].set()`).
+    pub fn set_id(&mut self, row: usize, attr: AttrId, v: ValueId) -> bool {
+        if row >= self.rows {
+            return false;
+        }
+        match self.columns.get_mut(attr.index()) {
+            Some(column) => {
+                column[row] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites one cell with a value (interning it). Returns `false` when
+    /// the row or attribute is out of range.
+    pub fn set_value(&mut self, row: usize, attr: AttrId, v: Value) -> bool {
+        self.set_id(row, attr, ValueId::from_value(v))
+    }
+
+    /// Projects the whole instance onto `ids`, keeping duplicates. Runs
+    /// column-wise and resolves ids only at the boundary.
     pub fn project(&self, ids: &[AttrId]) -> Vec<Vec<Value>> {
-        self.rows.iter().map(|t| t.project(ids)).collect()
+        let cols = self.columns_for(ids);
+        (0..self.rows)
+            .map(|i| cols.iter().map(|c| c[i].resolve().clone()).collect())
+            .collect()
     }
 
     /// Groups row indices by their projection onto `ids`.
     ///
     /// This is the building block for the `QV` detection query's
     /// `GROUP BY t[X]` and for the equivalence classes used by repair.
+    /// Routed through the id-based columnar path ([`Relation::group_by_ids`])
+    /// — the interner is injective, so resolving the group keys at the
+    /// boundary is a bijection and cannot merge or split groups.
     pub fn group_by(&self, ids: &[AttrId]) -> HashMap<Vec<Value>, Vec<usize>> {
-        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for (i, t) in self.rows.iter().enumerate() {
-            groups.entry(t.project(ids)).or_default().push(i);
-        }
-        groups
+        self.group_by_ids(ids)
+            .into_iter()
+            .map(|(key, rows)| {
+                let resolved = key.iter().map(|c| c.resolve().clone()).collect();
+                (resolved, rows)
+            })
+            .collect()
     }
 
     /// Interned variant of [`Relation::group_by`]: keys are dictionary ids,
-    /// so grouping hashes `u32`s instead of cloning values.
+    /// so grouping hashes `u32`s, touches only the projected columns and
+    /// clones nothing.
     pub fn group_by_ids(&self, ids: &[AttrId]) -> HashMap<Vec<ValueId>, Vec<usize>> {
+        let cols = self.columns_for(ids);
         let mut groups: HashMap<Vec<ValueId>, Vec<usize>> = HashMap::new();
-        for (i, t) in self.rows.iter().enumerate() {
-            groups.entry(t.project_ids(ids)).or_default().push(i);
+        for i in 0..self.rows {
+            groups.entry(project_cols(&cols, i)).or_default().push(i);
         }
         groups
     }
@@ -165,10 +279,11 @@ impl Relation {
     }
 
     /// The set of distinct values of a single attribute (its *active
-    /// domain*), sorted by [`Value`] order (dictionary ids are dedup'd first
-    /// so only distinct values are resolved and cloned).
+    /// domain*), sorted by [`Value`] order. One pass over the column;
+    /// dictionary ids are dedup'd first so only distinct values are resolved
+    /// and cloned.
     pub fn active_domain(&self, id: AttrId) -> Vec<Value> {
-        let mut ids: Vec<ValueId> = self.rows.iter().map(|t| t.id_at(id)).collect();
+        let mut ids: Vec<ValueId> = self.column(id).to_vec();
         ids.sort_unstable();
         ids.dedup();
         let mut vals: Vec<Value> = ids.into_iter().map(|c| c.resolve().clone()).collect();
@@ -176,23 +291,48 @@ impl Relation {
         vals
     }
 
-    /// Retains only the rows whose indices are in `keep` (sorted or not).
-    /// Used by tests and by repair roll-backs.
+    /// Retains only the rows whose indices are in `keep` (sorted or not),
+    /// preserving insertion order, column-wise in place. Used by tests and
+    /// by repair roll-backs.
     pub fn retain_rows(&mut self, keep: &[usize]) {
-        let keep_set: std::collections::HashSet<usize> = keep.iter().copied().collect();
-        let mut idx = 0usize;
-        self.rows.retain(|_| {
-            let k = keep_set.contains(&idx);
-            idx += 1;
-            k
-        });
+        let mut mask = vec![false; self.rows];
+        for &i in keep {
+            if i < self.rows {
+                mask[i] = true;
+            }
+        }
+        for column in &mut self.columns {
+            let mut idx = 0usize;
+            column.retain(|_| {
+                let k = mask[idx];
+                idx += 1;
+                k
+            });
+        }
+        self.rows = mask.iter().filter(|&&k| k).count();
+    }
+
+    /// A new relation containing the rows at `rows`, in the given order
+    /// (duplicates allowed). Column-wise gather — the compaction /
+    /// materialization primitive of the incremental engine.
+    pub fn gather_rows(&self, rows: &[usize]) -> Relation {
+        let columns: Vec<Vec<ValueId>> = self
+            .columns
+            .iter()
+            .map(|c| rows.iter().map(|&i| c[i]).collect())
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            rows: rows.len(),
+        }
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.rows {
+        for (_, t) in self.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -236,6 +376,9 @@ mod tests {
                 got: 1
             }
         );
+        // A failed push must not leave a partial row in any column.
+        assert!(rel.is_empty());
+        assert!(rel.column(AttrId(0)).is_empty());
     }
 
     #[test]
@@ -258,6 +401,20 @@ mod tests {
     }
 
     #[test]
+    fn columns_store_cells_in_row_order() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("1", "x")).unwrap();
+        rel.push(row("2", "y")).unwrap();
+        let a = rel.column(AttrId(0));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].resolve(), &Value::from("1"));
+        assert_eq!(a[1].resolve(), &Value::from("2"));
+        let cols = rel.columns_for(&[AttrId(1), AttrId(0)]);
+        assert_eq!(cols[0][0].resolve(), &Value::from("x"));
+        assert_eq!(cols[1][0].resolve(), &Value::from("1"));
+    }
+
+    #[test]
     fn group_by_collects_indices() {
         let mut rel = Relation::new(schema());
         rel.push(row("1", "x")).unwrap();
@@ -267,6 +424,21 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[&vec![Value::from("1")]], vec![0, 1]);
         assert_eq!(groups[&vec![Value::from("2")]], vec![2]);
+    }
+
+    #[test]
+    fn group_by_agrees_with_group_by_ids() {
+        let mut rel = Relation::new(schema());
+        for (a, b) in [("1", "x"), ("1", "x"), ("2", "x"), ("1", "y")] {
+            rel.push(row(a, b)).unwrap();
+        }
+        let by_val = rel.group_by(&[AttrId(0), AttrId(1)]);
+        let by_ids = rel.group_by_ids(&[AttrId(0), AttrId(1)]);
+        assert_eq!(by_val.len(), by_ids.len());
+        for (key, rows) in by_ids {
+            let resolved: Vec<Value> = key.iter().map(|c| c.resolve().clone()).collect();
+            assert_eq!(by_val[&resolved], rows);
+        }
     }
 
     #[test]
@@ -293,6 +465,7 @@ mod tests {
     fn into_parts_round_trips_through_from_rows() {
         let rel = Relation::from_rows(schema(), vec![row("1", "x"), row("2", "y")]).unwrap();
         let (s, rows) = rel.clone().into_parts();
+        assert_eq!(rows, rel.to_tuples());
         assert_eq!(Relation::from_rows(s, rows).unwrap(), rel);
     }
 
@@ -305,6 +478,54 @@ mod tests {
         rel.retain_rows(&[0, 2, 4]);
         assert_eq!(rel.len(), 3);
         assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("2"));
+        assert_eq!(rel.column(AttrId(0)).len(), 3);
+    }
+
+    #[test]
+    fn gather_rows_selects_in_given_order() {
+        let mut rel = Relation::new(schema());
+        for i in 0..4 {
+            rel.push(row(&i.to_string(), "v")).unwrap();
+        }
+        let gathered = rel.gather_rows(&[3, 1, 1]);
+        assert_eq!(gathered.len(), 3);
+        assert_eq!(gathered.row(0).unwrap()[AttrId(0)], Value::from("3"));
+        assert_eq!(gathered.row(1).unwrap()[AttrId(0)], Value::from("1"));
+        assert_eq!(gathered.row(2).unwrap()[AttrId(0)], Value::from("1"));
+        assert_eq!(gathered.schema(), rel.schema());
+    }
+
+    #[test]
+    fn insert_and_remove_rows_shift_column_wise() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("a", "1")).unwrap();
+        rel.push(row("c", "3")).unwrap();
+        rel.insert_row(1, row("b", "2")).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("b"));
+        assert_eq!(rel.row(2).unwrap()[AttrId(0)], Value::from("c"));
+        assert!(rel.insert_row(3, row("d", "4")).is_ok(), "append position");
+
+        let removed = rel.remove_row(1).unwrap();
+        assert_eq!(removed, row("b", "2"));
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.row(1).unwrap()[AttrId(0)], Value::from("c"));
+        assert!(rel.remove_row(7).is_none());
+        // Arity still validated.
+        assert!(rel.insert_row(0, Tuple::nulls(5)).is_err());
+    }
+
+    #[test]
+    fn set_id_and_set_value_edit_in_place() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("a", "1")).unwrap();
+        assert!(rel.set_value(0, AttrId(1), Value::from("edited")));
+        assert_eq!(rel.row(0).unwrap()[AttrId(1)], Value::from("edited"));
+        let id = ValueId::from_value(Value::from("by-id"));
+        assert!(rel.set_id(0, AttrId(0), id));
+        assert_eq!(rel.column(AttrId(0))[0], id);
+        assert!(!rel.set_value(5, AttrId(0), Value::from("x")));
+        assert!(!rel.set_value(0, AttrId(9), Value::from("x")));
     }
 
     #[test]
@@ -317,11 +538,32 @@ mod tests {
     }
 
     #[test]
+    fn iter_yields_row_views_in_order() {
+        let mut rel = Relation::new(schema());
+        rel.push(row("1", "x")).unwrap();
+        rel.push(row("2", "y")).unwrap();
+        let collected: Vec<(usize, Tuple)> = rel.iter().map(|(i, r)| (i, r.to_tuple())).collect();
+        assert_eq!(collected, vec![(0, row("1", "x")), (1, row("2", "y"))]);
+    }
+
+    #[test]
     fn display_lists_rows() {
         let mut rel = Relation::new(schema());
         rel.push(row("1", "x")).unwrap();
         let s = rel.to_string();
         assert!(s.contains("r(A: TEXT, B: TEXT)"));
         assert!(s.contains("(1, x)"));
+    }
+
+    #[test]
+    fn zero_arity_relation_counts_rows() {
+        let s = Schema::builder("unit").build();
+        let mut rel = Relation::new(s);
+        rel.push(Tuple::new(vec![])).unwrap();
+        rel.push(Tuple::new(vec![])).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1).unwrap().arity(), 0);
+        rel.retain_rows(&[0]);
+        assert_eq!(rel.len(), 1);
     }
 }

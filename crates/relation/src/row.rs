@@ -1,0 +1,265 @@
+//! Zero-copy row views over columnar relations.
+//!
+//! A [`RowRef`] is a *view* of one row of a [`Relation`](crate::Relation):
+//! a borrow of the relation's column vectors plus a row index. Reading a
+//! cell is one array index into the owning column — no tuple is materialized
+//! and nothing is cloned. `RowRef` mirrors the read API of
+//! [`Tuple`] (`id_at`, `project_ids`, `agree_on`, `Index`,
+//! `Display`, …) so detection, SQL evaluation and repair can consume rows
+//! without caring how they are stored.
+//!
+//! # Borrow rules
+//!
+//! A `RowRef<'a>` immutably borrows the relation it was taken from for its
+//! whole lifetime `'a`. Any mutation of the relation (`push`, `set_id`,
+//! `retain_rows`, …) therefore requires all outstanding views to be dropped
+//! first — the borrow checker enforces the "no view outlives an edit" rule
+//! statically, which is what makes handing plain `&[ValueId]` column slices
+//! and `RowRef`s to scan loops safe. `RowRef` is `Copy`: passing it around
+//! costs two words and never touches the heap.
+//!
+//! For an *owned* row (builders, batch edits, serialization), convert with
+//! [`RowRef::to_tuple`] — [`Tuple`] remains the owned boundary
+//! type.
+
+use crate::interner::ValueId;
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// Builds the row-`row` projection key from already-gathered column slices
+/// (the output of [`crate::Relation::columns_for`]): one cell per column, in
+/// column order. This is *the* per-row idiom of every columnar scan — group
+/// keys, index keys, `Y` projections — kept in one place so a future change
+/// of key representation lands everywhere at once.
+#[inline]
+pub fn project_cols(cols: &[&[ValueId]], row: usize) -> Vec<ValueId> {
+    cols.iter().map(|c| c[row]).collect()
+}
+
+/// The scratch-buffer variant of [`project_cols`]: clears `into` and refills
+/// it, so steady-state scans allocate nothing per row.
+#[inline]
+pub fn project_cols_into(cols: &[&[ValueId]], row: usize, into: &mut Vec<ValueId>) {
+    into.clear();
+    into.extend(cols.iter().map(|c| c[row]));
+}
+
+/// Projects a full schema-ordered cell vector ([`Tuple::ids`] /
+/// [`RowRef::to_ids`]) onto an attribute list — the row-sided sibling of
+/// [`project_cols`], centralized for the same reason: index keys and
+/// incremental-engine keys must always share one shape.
+#[inline]
+pub fn project_attrs(cells: &[ValueId], attrs: &[AttrId]) -> Vec<ValueId> {
+    attrs.iter().map(|a| cells[a.index()]).collect()
+}
+
+/// A copy-free view of one row of a columnar [`Relation`](crate::Relation).
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    columns: &'a [Vec<ValueId>],
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Creates a view of `row` over `columns` (crate-internal: only
+    /// [`Relation`](crate::Relation) hands out views, which guarantees the
+    /// index is in range for every column).
+    pub(crate) fn new(columns: &'a [Vec<ValueId>], row: usize) -> Self {
+        RowRef { columns, row }
+    }
+
+    /// The row index inside the owning relation.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+
+    /// Number of fields (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The interned cell id at attribute `id` (panics when out of range).
+    /// This is the hot-path read: one array index into the column.
+    pub fn id_at(&self, id: AttrId) -> ValueId {
+        self.columns[id.index()][self.row]
+    }
+
+    /// The interned cell id at attribute `id`, if in range.
+    pub fn id(&self, id: AttrId) -> Option<ValueId> {
+        self.columns.get(id.index()).map(|c| c[self.row])
+    }
+
+    /// The value at attribute `id`, if in range (resolved at the boundary).
+    pub fn get(&self, id: AttrId) -> Option<&'static Value> {
+        self.id(id).map(ValueId::resolve)
+    }
+
+    /// Iterates the interned cell ids in attribute order.
+    pub fn ids(&self) -> impl Iterator<Item = ValueId> + 'a {
+        let row = self.row;
+        self.columns.iter().map(move |c| c[row])
+    }
+
+    /// The cell ids as an owned, schema-ordered vector.
+    pub fn to_ids(&self) -> Vec<ValueId> {
+        self.ids().collect()
+    }
+
+    /// Iterates the cell values (resolved through the interner).
+    pub fn values(&self) -> impl Iterator<Item = &'static Value> + 'a {
+        self.ids().map(ValueId::resolve)
+    }
+
+    /// The cells as owned values (boundary/serialization use).
+    pub fn to_values(&self) -> Vec<Value> {
+        self.ids().map(|id| id.resolve().clone()).collect()
+    }
+
+    /// Materializes the row as an owned [`Tuple`] (the boundary type for
+    /// builders, batch edits and tests).
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::from_ids(self.to_ids())
+    }
+
+    /// Interned projection onto `ids` (the paper's `t[X]`), preserving the
+    /// order of `ids`. Directly usable as a hash key — `u32`s, no cloning.
+    pub fn project_ids(&self, ids: &[AttrId]) -> Vec<ValueId> {
+        ids.iter().map(|id| self.id_at(*id)).collect()
+    }
+
+    /// Projection onto `ids` as owned values (boundary use).
+    pub fn project(&self, ids: &[AttrId]) -> Vec<Value> {
+        ids.iter()
+            .map(|id| self.id_at(*id).resolve().clone())
+            .collect()
+    }
+
+    /// Borrowing projection: interner-resolved references, no cloning.
+    pub fn project_ref(&self, ids: &[AttrId]) -> Vec<&'static Value> {
+        ids.iter().map(|id| self.id_at(*id).resolve()).collect()
+    }
+
+    /// `t1[X] = t2[X]`: whether the projections of the two rows onto `ids`
+    /// agree field-by-field. Interned: one `u32` compare per field.
+    pub fn agree_on(&self, other: &RowRef<'_>, ids: &[AttrId]) -> bool {
+        ids.iter().all(|id| self.id(*id) == other.id(*id))
+    }
+}
+
+/// Row views compare by cell — two views of different relations (or slots)
+/// are equal iff their cells are, mirroring [`Tuple`] equality.
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity() == other.arity() && self.ids().eq(other.ids())
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialEq<Tuple> for RowRef<'_> {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.arity() == other.arity() && self.ids().eq(other.ids().iter().copied())
+    }
+}
+
+impl PartialEq<RowRef<'_>> for Tuple {
+    fn eq(&self, other: &RowRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl Index<AttrId> for RowRef<'_> {
+    type Output = Value;
+
+    fn index(&self, id: AttrId) -> &Value {
+        self.id_at(id).resolve()
+    }
+}
+
+impl fmt::Display for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::builder("r").text("A").text("B").text("C").build();
+        let mut rel = Relation::new(schema);
+        for r in [["1", "x", "p"], ["2", "y", "q"]] {
+            rel.push(Tuple::new(r.iter().map(|s| Value::from(*s)).collect()))
+                .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn view_reads_match_the_owned_tuple() {
+        let r = rel();
+        let view = r.row(1).unwrap();
+        let owned = view.to_tuple();
+        assert_eq!(view.arity(), 3);
+        assert_eq!(view.index(), 1);
+        assert_eq!(view, owned);
+        assert_eq!(owned, view);
+        for a in r.schema().attr_ids() {
+            assert_eq!(view.id_at(a), owned.id_at(a));
+            assert_eq!(view.get(a), owned.get(a));
+            assert_eq!(view[a], owned[a]);
+        }
+        assert_eq!(view.to_values(), owned.to_values());
+        assert_eq!(view.to_string(), owned.to_string());
+    }
+
+    #[test]
+    fn projections_agree_with_tuple_projections() {
+        let r = rel();
+        let view = r.row(0).unwrap();
+        let owned = view.to_tuple();
+        let ids = [AttrId(2), AttrId(0)];
+        assert_eq!(view.project_ids(&ids), owned.project_ids(&ids));
+        assert_eq!(view.project(&ids), owned.project(&ids));
+        assert_eq!(view.project_ref(&ids), owned.project_ref(&ids));
+    }
+
+    #[test]
+    fn agree_on_and_out_of_range() {
+        let r = rel();
+        let a = r.row(0).unwrap();
+        let b = r.row(1).unwrap();
+        assert!(a.agree_on(&b, &[]));
+        assert!(!a.agree_on(&b, &[AttrId(0)]));
+        assert!(a.agree_on(&a, &[AttrId(0), AttrId(1), AttrId(2)]));
+        assert!(a.id(AttrId(9)).is_none());
+        assert!(a.get(AttrId(9)).is_none());
+        // Out of range on both sides -> both None -> "agree" (never hit by
+        // well-formed callers, mirrors Tuple::agree_on).
+        assert!(a.agree_on(&b, &[AttrId(9)]));
+    }
+
+    #[test]
+    fn views_are_copy_and_compare_across_relations() {
+        let r1 = rel();
+        let r2 = rel();
+        let v1 = r1.row(0).unwrap();
+        let v2 = v1; // Copy
+        assert_eq!(v1, v2);
+        assert_eq!(v1, r2.row(0).unwrap());
+        assert_ne!(v1, r2.row(1).unwrap());
+    }
+}

@@ -1,4 +1,4 @@
-//! Data tuples.
+//! Data tuples — the *owned* row boundary type.
 //!
 //! A [`Tuple`] is a fixed-arity vector of interned cell ids ([`ValueId`])
 //! aligned with a [`Schema`](crate::Schema). Projection onto attribute lists
@@ -6,6 +6,11 @@
 //! grouping, detection and repair. Cells are stored as dictionary ids so all
 //! of those reduce to `u32` compares; the [`Value`]-typed accessors resolve
 //! through the global interner at the API boundary.
+//!
+//! Since the storage layer went columnar ([`crate::relation`]), relations no
+//! longer *store* tuples: `Tuple` is the owned boundary form — what builders
+//! push, batch edits carry, and [`crate::RowRef::to_tuple`] materializes —
+//! while in-store rows are read through copy-free [`crate::RowRef`] views.
 
 use crate::interner::ValueId;
 use crate::schema::AttrId;

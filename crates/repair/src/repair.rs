@@ -2,7 +2,7 @@
 
 use crate::cost::{placeholder, CostModel};
 use cfd_core::{Cfd, ViolationKind};
-use cfd_relation::{AttrId, Relation, Value};
+use cfd_relation::{AttrId, Relation, Value, ValueId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -152,6 +152,8 @@ impl Repairer {
     }
 
     /// Overwrites RHS attributes that contradict a pattern constant.
+    /// Current cells are compared as interned ids straight off the columns;
+    /// values are resolved only when a modification is recorded.
     fn resolve_constant_violations(
         &self,
         cfd: &Cfd,
@@ -167,15 +169,15 @@ impl Repairer {
             let pattern = &cfd.tableau().rows()[w.pattern_index];
             for &row_idx in &w.rows {
                 for (attr, cell) in cfd.rhs().iter().zip(pattern.rhs()) {
-                    if let Some(target) = cell.as_const() {
-                        let current = rel.rows()[row_idx][*attr].clone();
-                        if &current != target {
-                            rel.rows_mut()[row_idx].set(*attr, target.clone());
+                    if let Some(target) = cell.const_id() {
+                        let current = rel.column(*attr)[row_idx];
+                        if current != target {
+                            rel.set_id(row_idx, *attr, target);
                             modifications.push(Modification {
                                 row: row_idx,
                                 attr: *attr,
-                                old: current,
-                                new: target.clone(),
+                                old: current.resolve().clone(),
+                                new: target.resolve().clone(),
                             });
                         }
                     }
@@ -185,7 +187,9 @@ impl Repairer {
     }
 
     /// Resolves multi-tuple violations per equivalence class by moving the
-    /// minority to the plurality `Y` projection.
+    /// minority to the plurality `Y` projection. Counting runs on interned
+    /// id keys; count ties break deterministically on the resolved values
+    /// (never on hash-map iteration order).
     fn resolve_group_violations(
         &self,
         cfd: &Cfd,
@@ -199,25 +203,37 @@ impl Repairer {
             .collect();
         for w in witnesses {
             // Count the Y projections in this class and pick the plurality.
-            let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut counts: HashMap<Vec<ValueId>, usize> = HashMap::new();
             for &row_idx in &w.rows {
-                *counts
-                    .entry(rel.rows()[row_idx].project(cfd.rhs()))
-                    .or_insert(0) += 1;
+                let key = rel.row(row_idx).expect("witness row in range");
+                *counts.entry(key.project_ids(cfd.rhs())).or_insert(0) += 1;
             }
-            let Some((target, _)) = counts.into_iter().max_by_key(|(_, c)| *c) else {
+            // Resolve each distinct key once, then pick the highest count,
+            // breaking ties on the smallest resolved key (deterministic and
+            // allocation-free inside the comparison loop).
+            let resolved: Vec<(Vec<ValueId>, usize, Vec<&Value>)> = counts
+                .into_iter()
+                .map(|(k, c)| {
+                    let vals: Vec<&Value> = k.iter().map(|id| id.resolve()).collect();
+                    (k, c, vals)
+                })
+                .collect();
+            let Some((target, _, _)) = resolved
+                .into_iter()
+                .max_by(|(_, ca, va), (_, cb, vb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+            else {
                 continue;
             };
             for &row_idx in &w.rows {
                 for (pos, attr) in cfd.rhs().iter().enumerate() {
-                    let current = rel.rows()[row_idx][*attr].clone();
+                    let current = rel.column(*attr)[row_idx];
                     if current != target[pos] {
-                        rel.rows_mut()[row_idx].set(*attr, target[pos].clone());
+                        rel.set_id(row_idx, *attr, target[pos]);
                         modifications.push(Modification {
                             row: row_idx,
                             attr: *attr,
-                            old: current,
-                            new: target[pos].clone(),
+                            old: current.resolve().clone(),
+                            new: target[pos].resolve().clone(),
                         });
                     }
                 }
@@ -253,10 +269,10 @@ impl Repairer {
                 .map(|(a, _)| *a)
                 .or_else(|| cfd.lhs().first().copied());
             let Some(attr) = attr else { continue };
-            let old = rel.rows()[row_idx][attr].clone();
+            let old = rel.column(attr)[row_idx].resolve().clone();
             let new = placeholder(*placeholder_counter);
             *placeholder_counter += 1;
-            rel.rows_mut()[row_idx].set(attr, new.clone());
+            rel.set_value(row_idx, attr, new.clone());
             modifications.push(Modification {
                 row: row_idx,
                 attr,
@@ -290,11 +306,11 @@ mod tests {
             "both t1 and t2 need their city fixed"
         );
         let ct = cust_schema().resolve("CT").unwrap();
-        assert_eq!(result.repaired.rows()[0][ct], Value::from("MH"));
-        assert_eq!(result.repaired.rows()[1][ct], Value::from("MH"));
+        assert_eq!(result.repaired.row(0).unwrap()[ct], Value::from("MH"));
+        assert_eq!(result.repaired.row(1).unwrap()[ct], Value::from("MH"));
         assert!(result.cost >= 2.0);
         // Untouched rows stay untouched.
-        assert_eq!(result.repaired.rows()[4], rel.rows()[4]);
+        assert_eq!(result.repaired.row(4).unwrap(), rel.row(4).unwrap());
     }
 
     #[test]
@@ -323,9 +339,8 @@ mod tests {
         let b = schema.resolve("B").unwrap();
         assert!(result
             .repaired
-            .rows()
             .iter()
-            .all(|t| t[b] == Value::from("PHI")));
+            .all(|(_, t)| t[b] == Value::from("PHI")));
     }
 
     #[test]

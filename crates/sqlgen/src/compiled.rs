@@ -1,7 +1,7 @@
 //! Compiled expressions: column references resolved to `(table slot, AttrId)`
 //! and literals resolved to interned [`ValueId`]s.
 //!
-//! The symbolic [`Expr`](crate::ast::Expr) AST is convenient to build and
+//! The symbolic [`Expr`] AST is convenient to build and
 //! render, but evaluating it per joined row resolves attribute names through
 //! hash maps and clones cell values. The detection workloads evaluate the
 //! WHERE clause for up to `SZ × TABSZ` row pairs (hundreds of millions for
@@ -14,7 +14,7 @@
 
 use crate::ast::Expr;
 use crate::error::{Result, SqlError};
-use cfd_relation::{AttrId, Relation, Tuple, Value, ValueId};
+use cfd_relation::{AttrId, Relation, RowRef, Value, ValueId};
 use std::sync::Arc;
 
 /// An expression with all column references resolved to table slots and all
@@ -133,17 +133,19 @@ impl CompiledExpr {
     /// Evaluates to an interned value id. `rows[slot]` may be `None` for
     /// tables not yet bound; referencing such a slot is an error.
     ///
-    /// This is the hot path: every comparison is a `u32` compare and boolean
+    /// This is the hot path: row slots hold copy-free [`RowRef`] views into
+    /// the columnar store, a column read is one array index into the bound
+    /// relation's column, every comparison is a `u32` compare and boolean
     /// results are the fixed [`ValueId::TRUE`]/[`ValueId::FALSE`] ids.
-    pub fn eval_id(&self, rows: &[Option<&Tuple>]) -> Result<ValueId> {
+    pub fn eval_id(&self, rows: &[Option<RowRef<'_>>]) -> Result<ValueId> {
         match self {
             CompiledExpr::Col { table, attr } => {
-                let tuple = rows
+                let row = rows
                     .get(*table)
                     .copied()
                     .flatten()
                     .ok_or_else(|| SqlError::Unsupported("unbound table slot".into()))?;
-                Ok(tuple.id_at(*attr))
+                Ok(row.id_at(*attr))
             }
             CompiledExpr::Lit(id) => Ok(*id),
             CompiledExpr::Eq(a, b) => Ok(bool_id(a.eval_id(rows)? == b.eval_id(rows)?)),
@@ -182,12 +184,12 @@ impl CompiledExpr {
     }
 
     /// Evaluates to an owned value (boundary use; resolves the id).
-    pub fn eval(&self, rows: &[Option<&Tuple>]) -> Result<Value> {
+    pub fn eval(&self, rows: &[Option<RowRef<'_>>]) -> Result<Value> {
         Ok(self.eval_id(rows)?.resolve().clone())
     }
 
     /// Evaluates as a predicate; non-boolean results are an error.
-    pub fn eval_bool(&self, rows: &[Option<&Tuple>]) -> Result<bool> {
+    pub fn eval_bool(&self, rows: &[Option<RowRef<'_>>]) -> Result<bool> {
         let id = self.eval_id(rows)?;
         if id == ValueId::TRUE {
             Ok(true)
@@ -287,7 +289,7 @@ mod tests {
     #[test]
     fn boolean_results_use_fixed_ids() {
         let ts = tables();
-        let rows: Vec<Option<&Tuple>> = vec![None, None];
+        let rows: Vec<Option<RowRef>> = vec![None, None];
         let truthy = CompiledExpr::compile(&Expr::lit(1).eq(Expr::lit(1)), &ts).unwrap();
         assert_eq!(truthy.eval_id(&rows).unwrap(), ValueId::TRUE);
         let falsy = CompiledExpr::compile(&Expr::lit(1).eq(Expr::lit(2)), &ts).unwrap();
@@ -299,7 +301,7 @@ mod tests {
     fn unbound_slot_is_an_error_but_short_circuit_avoids_it() {
         let ts = tables();
         let tab_row = ts[1].1.row(0).unwrap();
-        let rows: Vec<Option<&Tuple>> = vec![None, Some(tab_row)];
+        let rows: Vec<Option<RowRef>> = vec![None, Some(tab_row)];
         let needs_t = CompiledExpr::compile(&Expr::col("t", "A"), &ts).unwrap();
         assert!(needs_t.eval(&rows).is_err());
         // The independent disjunct is true, so the data column is never read.

@@ -1,17 +1,22 @@
 //! Scalar expression evaluation over joined rows.
 //!
 //! A [`Bindings`] value represents one row of the (partial) join computed by
-//! the executor: for each FROM-clause alias it holds the schema and the
-//! current tuple. Expressions are evaluated against those bindings.
+//! the executor: for each FROM-clause alias it holds the schema and a
+//! copy-free [`RowRef`] view into the bound relation's columns. Expressions
+//! are evaluated against those bindings — reading a column is one array
+//! index into the owning column, and nothing is materialized per row. This
+//! is the symbolic reference evaluator; the executor's hot path runs the
+//! [compiled](crate::compiled::CompiledExpr) form over the same row views.
 
 use crate::ast::Expr;
 use crate::error::{Result, SqlError};
-use cfd_relation::{Schema, Tuple, Value};
+use cfd_relation::{RowRef, Schema, Value};
 
-/// The row context an expression is evaluated in: one bound tuple per alias.
+/// The row context an expression is evaluated in: one bound row view per
+/// alias.
 #[derive(Debug, Clone)]
 pub struct Bindings<'a> {
-    entries: Vec<(&'a str, &'a Schema, &'a Tuple)>,
+    entries: Vec<(&'a str, &'a Schema, RowRef<'a>)>,
 }
 
 impl<'a> Bindings<'a> {
@@ -23,11 +28,11 @@ impl<'a> Bindings<'a> {
     }
 
     /// Adds (or replaces) the binding for `alias`.
-    pub fn bind(&mut self, alias: &'a str, schema: &'a Schema, tuple: &'a Tuple) {
+    pub fn bind(&mut self, alias: &'a str, schema: &'a Schema, row: RowRef<'a>) {
         if let Some(slot) = self.entries.iter_mut().find(|(a, _, _)| *a == alias) {
-            *slot = (alias, schema, tuple);
+            *slot = (alias, schema, row);
         } else {
-            self.entries.push((alias, schema, tuple));
+            self.entries.push((alias, schema, row));
         }
     }
 
@@ -41,8 +46,8 @@ impl<'a> Bindings<'a> {
         self.entries.iter().any(|(a, _, _)| *a == alias)
     }
 
-    /// The tuple bound to `alias`.
-    pub fn tuple(&self, alias: &str) -> Option<&'a Tuple> {
+    /// The row view bound to `alias`.
+    pub fn row(&self, alias: &str) -> Option<RowRef<'a>> {
         self.entries
             .iter()
             .find(|(a, _, _)| *a == alias)
@@ -59,7 +64,7 @@ impl<'a> Bindings<'a> {
 
     /// Resolves `alias.column` to the bound value.
     pub fn value(&self, alias: &str, column: &str) -> Result<&'a Value> {
-        let (_, schema, tuple) = self
+        let (_, schema, row) = self
             .entries
             .iter()
             .find(|(a, _, _)| *a == alias)
@@ -70,7 +75,12 @@ impl<'a> Bindings<'a> {
                 table: alias.to_owned(),
                 column: column.to_owned(),
             })?;
-        Ok(&tuple[id])
+        // The schema resolved the column, so a missing cell can only mean the
+        // binding paired a row with the wrong schema — a caller bug, not an
+        // unknown column; surface it loudly (as the pre-columnar index did).
+        Ok(row
+            .get(id)
+            .expect("bound row matches the schema it was bound with"))
     }
 }
 
@@ -139,22 +149,24 @@ pub fn eval_predicate(expr: &Expr, bindings: &Bindings<'_>) -> Result<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfd_relation::Schema;
+    use cfd_relation::{Relation, Schema, Tuple};
 
     fn schema() -> Schema {
         Schema::builder("r").text("A").text("B").build()
     }
 
-    fn tuple(a: &str, b: &str) -> Tuple {
-        Tuple::new(vec![Value::from(a), Value::from(b)])
+    fn rel(a: &str, b: &str) -> Relation {
+        let mut rel = Relation::new(schema());
+        rel.push(Tuple::new(vec![Value::from(a), Value::from(b)]))
+            .unwrap();
+        rel
     }
 
     #[test]
     fn column_resolution() {
-        let s = schema();
-        let t = tuple("x", "y");
+        let r = rel("x", "y");
         let mut b = Bindings::new();
-        b.bind("t", &s, &t);
+        b.bind("t", r.schema(), r.row(0).unwrap());
         assert_eq!(
             eval_expr(&Expr::col("t", "B"), &b).unwrap(),
             Value::from("y")
@@ -171,10 +183,9 @@ mod tests {
 
     #[test]
     fn comparisons_and_connectives() {
-        let s = schema();
-        let t = tuple("x", "y");
+        let r = rel("x", "y");
         let mut b = Bindings::new();
-        b.bind("t", &s, &t);
+        b.bind("t", r.schema(), r.row(0).unwrap());
         let p = Expr::and(vec![
             Expr::col("t", "A").eq(Expr::str("x")),
             Expr::col("t", "B").ne(Expr::str("z")),
@@ -191,10 +202,9 @@ mod tests {
     #[test]
     fn short_circuit_does_not_touch_unbound_tables() {
         // OR short-circuits before reaching the column of an unbound alias.
-        let s = schema();
-        let t = tuple("x", "y");
+        let r = rel("x", "y");
         let mut b = Bindings::new();
-        b.bind("t", &s, &t);
+        b.bind("t", r.schema(), r.row(0).unwrap());
         let p = Expr::or(vec![
             Expr::col("t", "A").eq(Expr::str("x")),
             Expr::col("missing", "A").eq(Expr::str("x")),
@@ -204,13 +214,15 @@ mod tests {
 
     #[test]
     fn case_expression_masks_values() {
-        let s = schema();
-        let t = tuple("NYC", "y");
+        let r = rel("NYC", "y");
         let tp_schema = Schema::builder("tp").text("A").text("B").build();
-        let tp = tuple("@", "_");
+        let mut tp_rel = Relation::new(tp_schema);
+        tp_rel
+            .push(Tuple::new(vec![Value::from("@"), Value::from("_")]))
+            .unwrap();
         let mut b = Bindings::new();
-        b.bind("t", &s, &t);
-        b.bind("tp", &tp_schema, &tp);
+        b.bind("t", r.schema(), r.row(0).unwrap());
+        b.bind("tp", tp_rel.schema(), tp_rel.row(0).unwrap());
         // CASE tp.A WHEN '@' THEN '@' ELSE t.A END  ->  '@'
         let mask_a = Expr::case(
             Expr::col("tp", "A"),
@@ -238,13 +250,12 @@ mod tests {
 
     #[test]
     fn bindings_rebind_and_unbind() {
-        let s = schema();
-        let t1 = tuple("1", "a");
-        let t2 = tuple("2", "b");
+        let r1 = rel("1", "a");
+        let r2 = rel("2", "b");
         let mut b = Bindings::new();
-        b.bind("t", &s, &t1);
+        b.bind("t", r1.schema(), r1.row(0).unwrap());
         assert_eq!(b.value("t", "A").unwrap(), &Value::from("1"));
-        b.bind("t", &s, &t2);
+        b.bind("t", r2.schema(), r2.row(0).unwrap());
         assert_eq!(b.value("t", "A").unwrap(), &Value::from("2"));
         assert!(b.is_bound("t"));
         b.unbind("t");
@@ -253,13 +264,16 @@ mod tests {
     }
 
     #[test]
-    fn schema_and_tuple_accessors() {
-        let s = schema();
-        let t = tuple("1", "a");
+    fn schema_and_row_accessors() {
+        let r = rel("1", "a");
         let mut b = Bindings::new();
-        b.bind("t", &s, &t);
+        b.bind("t", r.schema(), r.row(0).unwrap());
         assert_eq!(b.schema("t").unwrap().name(), "r");
-        assert_eq!(b.tuple("t").unwrap(), &t);
+        assert_eq!(
+            b.row("t").unwrap(),
+            Tuple::new(vec![Value::from("1"), Value::from("a")])
+        );
         assert!(b.schema("nope").is_none());
+        assert!(b.row("nope").is_none());
     }
 }

@@ -28,7 +28,7 @@ use crate::catalog::Catalog;
 use crate::compiled::CompiledExpr;
 use crate::error::{Result, SqlError};
 use crate::normal_form::{self, NormalForm};
-use cfd_relation::{AttrId, Index, Relation, Tuple, Value, ValueId};
+use cfd_relation::{AttrId, Index, Relation, RowRef, Value, ValueId};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -241,7 +241,8 @@ impl<'c> Executor<'c> {
 
         let probe_rel = Arc::clone(&tables[probe_slot].1);
         let outer_sizes: Vec<usize> = outer_slots.iter().map(|&s| tables[s].1.len()).collect();
-        let mut rows: Vec<Option<&Tuple>> = vec![None; tables.len()];
+        // One copy-free row view per FROM slot; binding a row is two words.
+        let mut rows: Vec<Option<RowRef<'_>>> = vec![None; tables.len()];
 
         if outer_sizes.contains(&0) {
             let out = acc.finish(query, &mut stats);
@@ -321,7 +322,7 @@ impl<'c> Executor<'c> {
         probe_slot: usize,
         probe_rel: &'a Relation,
         where_clause: Option<&CompiledExpr>,
-        rows: &mut Vec<Option<&'a Tuple>>,
+        rows: &mut Vec<Option<RowRef<'a>>>,
         stats: &mut ExecStats,
     ) -> Result<Vec<usize>> {
         let Some(clause) = where_clause else {
@@ -429,7 +430,7 @@ impl<'c> Executor<'c> {
 fn constant_probe(
     atom: &CompiledExpr,
     probe_slot: usize,
-    rows: &[Option<&Tuple>],
+    rows: &[Option<RowRef<'_>>],
 ) -> Result<Option<(AttrId, ValueId)>> {
     let CompiledExpr::Eq(lhs, rhs) = atom else {
         return Ok(None);
@@ -526,7 +527,7 @@ impl Accumulator {
         out_exprs: &[CompiledExpr],
         group_exprs: &[CompiledExpr],
         having_exprs: Option<&[CompiledExpr]>,
-        rows: &[Option<&Tuple>],
+        rows: &[Option<RowRef<'_>>],
     ) -> Result<()> {
         match self {
             Accumulator::Plain { rows: out, seen } => {
@@ -750,7 +751,7 @@ mod tests {
         // distinct (STR, CT, ZIP) projections and QV must report that key.
         let mut data = cust();
         let str_id = data.schema().resolve("STR").unwrap();
-        data.rows_mut()[1].set(str_id, Value::from("Other Ave."));
+        data.set_value(1, str_id, Value::from("Other Ave."));
         let mut c = Catalog::new();
         c.register(data);
         c.register(tableau_t2());

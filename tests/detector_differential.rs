@@ -17,6 +17,10 @@
 //! documented weaker guarantee (identical `QC` component, agreeing
 //! emptiness).
 //!
+//! The randomized workloads additionally run once through `cfd-repair` and
+//! re-detect on the repaired instance, so the in-place columnar cell edits
+//! are differentially checked across every read path as well.
+//!
 //! The `#[ignore]`d 100k-row case is the CI-sized version of the same
 //! harness (`cargo test --release -- --include-ignored`).
 
@@ -26,6 +30,7 @@ use cfd_datagen::rng::StdRng;
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
 use cfd_detect::{Detector, DetectorKind, DirectDetector, ShardedDetector, Violations};
 use cfd_relation::{Relation, Schema, Tuple, Value};
+use cfd_repair::Repairer;
 use std::sync::Arc;
 
 /// Typed equality (catches value-type divergences Display would erase) plus
@@ -216,10 +221,15 @@ fn random_cfd(rng: &mut StdRng) -> Cfd {
 }
 
 /// Randomized small relations (NULLs included, collision-heavy alphabet):
-/// the adversarial counterpart to the generated workloads.
+/// the adversarial counterpart to the generated workloads. Each workload is
+/// additionally pushed through `cfd-repair` once, and every detector path
+/// must agree byte-for-byte on the *repaired* instance too — repair edits
+/// cells in place through the columnar store, so this differentially checks
+/// the post-edit state of the relation across all read paths.
 #[test]
 fn randomized_relations_agree_across_all_paths() {
     let mut rng = StdRng::seed_from_u64(0x5EED5);
+    let mut repaired_clean = 0usize;
     for case in 0..32 {
         let mut rel = Relation::new(small_schema());
         for _ in 0..rng.gen_range(0usize..40) {
@@ -232,7 +242,29 @@ fn randomized_relations_agree_across_all_paths() {
         assert_paths_agree_on_one_cfd(&cfd, &rel, &format!("random case {case}"));
         let set = vec![random_cfd(&mut rng), random_cfd(&mut rng)];
         assert_paths_agree_on_set(&set, &rel, &format!("random set {case}"));
+
+        // Repair once, then re-detect on the edited instance.
+        let result = Repairer::new().repair(&set, &rel);
+        assert_eq!(result.repaired.len(), rel.len(), "repair never drops rows");
+        assert_paths_agree_on_set(
+            &set,
+            &result.repaired,
+            &format!("random set {case} after repair"),
+        );
+        if result.satisfied {
+            repaired_clean += 1;
+            assert!(
+                DirectDetector::new()
+                    .detect_set(&set, &result.repaired)
+                    .is_clean(),
+                "case {case}: satisfied repair must re-detect clean"
+            );
+        }
     }
+    assert!(
+        repaired_clean > 0,
+        "the sweep must include successfully repaired workloads"
+    );
 }
 
 /// The CI-sized differential run: the 100k-row generated tax workload

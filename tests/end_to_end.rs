@@ -50,10 +50,10 @@ fn clean_data_passes_and_noisy_data_fails_validation() {
 
     // Every reported single-tuple violation corresponds to an injected error:
     // its row must be one of the generator's dirty rows.
-    let dirty: std::collections::HashSet<&cfd_relation::Tuple> = noisy
+    let dirty: std::collections::HashSet<cfd_relation::Tuple> = noisy
         .dirty_rows
         .iter()
-        .map(|&i| noisy.relation.row(i).unwrap())
+        .map(|&i| noisy.relation.row(i).unwrap().to_tuple())
         .collect();
     for tuple in noisy_report.constant_violations() {
         let as_tuple = cfd_relation::Tuple::new(tuple.clone());

@@ -136,7 +136,7 @@ fn apply_batch_equals_from_scratch_after_every_batch() {
         // The materialized instance matches the mirror as a bag (the engine
         // deletes the most recent live occurrence of a duplicate value, the
         // mirror a specific position, so only the multiset is comparable).
-        let mut got = engine.current_relation().rows().to_vec();
+        let mut got = engine.current_relation().to_tuples();
         let mut want = mirror.clone();
         got.sort();
         want.sort();
