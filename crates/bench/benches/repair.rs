@@ -1,0 +1,135 @@
+//! Repair-engine bench: the full-rescan pass loop vs the equivalence-class
+//! engine with incremental violation maintenance.
+//!
+//! The workload is the noisy tax-records generator at 10k and 100k rows
+//! (5% noise) under two CFDs with real repair work of both kinds:
+//! `zip_state_full` (all-constant tableau — single-tuple pins) and an
+//! `AreaToCity` constant CFD (pins plus multi-tuple merges on collisions).
+//!
+//! * `heuristic` — [`RepairKind::Heuristic`]: every pass re-runs
+//!   `cfd.violations(rel)` from scratch for every CFD
+//!   (`O(passes × |Σ| × |I|)`);
+//! * `equiv_class` — [`RepairKind::EquivClass`]: one seeding detection pass,
+//!   then per-`GROUP BY X`-group re-checks of only the groups each edit
+//!   touched.
+//!
+//! Outside the timed region the bench asserts both engines terminate with
+//! instances that every detector path reports as violation-free, and that
+//! the class engine is byte-deterministic across runs. Besides the harness
+//! output it writes `crates/bench/BENCH_repair.json` — machine-readable
+//! `{rows, series, ns_per_iter, speedup}` records — which CI uploads as an
+//! artifact next to `BENCH_columnar.json`.
+
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::{Detector, DirectDetector, ShardedDetector};
+use cfd_repair::RepairKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Times `f` over `iters` iterations (after one warm-up call), returning the
+/// mean ns/iter — the number recorded in `BENCH_repair.json`.
+fn time_ns_per_iter<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() / iters as u128
+}
+
+fn bench(c: &mut Criterion) {
+    let workload = CfdWorkload::new(11);
+    let cfds = vec![
+        workload.zip_state_full(),
+        workload.single(EmbeddedFd::AreaToCity, 300, 100.0),
+    ];
+    let mut json_entries: Vec<String> = Vec::new();
+
+    for rows in [10_000usize, 100_000] {
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: rows,
+            noise_percent: 5.0,
+            seed: 1234,
+        })
+        .generate()
+        .relation;
+        assert!(
+            cfds.iter().any(|c| !c.satisfied_by(&noisy)),
+            "workload must carry violations at {rows} rows"
+        );
+
+        // Sanity outside the timed region: both engines leave instances that
+        // the direct, SQL, merged and sharded detector paths all report as
+        // violation-free, and the class engine is deterministic.
+        let heuristic = RepairKind::Heuristic.repair(&cfds, &noisy);
+        let class = RepairKind::EquivClass.repair(&cfds, &noisy);
+        for (name, result) in [("heuristic", &heuristic), ("equiv_class", &class)] {
+            assert!(result.satisfied, "{name} must converge at {rows} rows");
+            let repaired = Arc::new(result.repaired.clone());
+            assert!(DirectDetector::new()
+                .detect_set(&cfds, &repaired)
+                .is_clean());
+            assert!(ShardedDetector::new(4)
+                .detect_set(&cfds, &repaired)
+                .is_clean());
+            let sql = Detector::new()
+                .detect_set(&cfds, Arc::clone(&repaired))
+                .unwrap();
+            assert!(sql.is_clean(), "{name}: SQL path found residue");
+            let merged = Detector::new().detect_set_merged(&cfds, repaired).unwrap();
+            assert!(merged.is_clean(), "{name}: merged path found residue");
+        }
+        let again = RepairKind::EquivClass.repair(&cfds, &noisy);
+        assert_eq!(again.modifications, class.modifications);
+        assert_eq!(again.repaired, class.repaired);
+
+        let mut group = c.benchmark_group(format!("repair/{rows}"));
+        group
+            .sample_size(if rows >= 100_000 { 3 } else { 10 })
+            .measurement_time(Duration::from_secs(if rows >= 100_000 { 30 } else { 10 }));
+        group.bench_function("heuristic", |b| {
+            b.iter(|| RepairKind::Heuristic.repair(&cfds, &noisy));
+        });
+        group.bench_function("equiv_class", |b| {
+            b.iter(|| RepairKind::EquivClass.repair(&cfds, &noisy));
+        });
+        group.finish();
+
+        // Hand-timed JSON series (the criterion shim prints text only).
+        let iters = if rows >= 100_000 { 3 } else { 10 };
+        let heuristic_ns = time_ns_per_iter(iters, || RepairKind::Heuristic.repair(&cfds, &noisy));
+        let class_ns = time_ns_per_iter(iters, || RepairKind::EquivClass.repair(&cfds, &noisy));
+        let speedup = heuristic_ns as f64 / class_ns as f64;
+        json_entries.push(format!(
+            "{{\"rows\": {rows}, \"series\": \"heuristic\", \"ns_per_iter\": {heuristic_ns}}}"
+        ));
+        json_entries.push(format!(
+            "{{\"rows\": {rows}, \"series\": \"equiv_class\", \"ns_per_iter\": {class_ns}, \
+             \"speedup_vs_heuristic\": {speedup:.2}}}"
+        ));
+        println!(
+            "repair/{rows}: heuristic {heuristic_ns} ns/iter, equiv_class {class_ns} ns/iter \
+             ({speedup:.2}x)"
+        );
+    }
+
+    // BENCH_repair.json: one JSON document, entries in measurement order.
+    let mut json = String::from("{\n  \"bench\": \"repair\",\n  \"entries\": [\n");
+    for (i, e) in json_entries.iter().enumerate() {
+        let sep = if i + 1 == json_entries.len() { "" } else { "," };
+        let _ = writeln!(json, "    {e}{sep}");
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_repair.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -194,12 +194,17 @@ impl Cfd {
         self.violations_internal(rel, true).into_iter().next()
     }
 
-    /// Finds all violation witnesses (one per violating tuple, de-duplicated).
+    /// Finds all violation witnesses (one per violating tuple, de-duplicated),
+    /// in the deterministic order `(pattern_index, rows, kind)` — repair
+    /// engines apply edits in witness order, so the order itself is part of
+    /// the byte-determinism contract (no hash-map iteration order leaks out).
     ///
     /// This is the straightforward semantic detector; the `cfd-detect` crate
     /// provides the scalable SQL-based detectors used by the experiments.
     pub fn violations(&self, rel: &Relation) -> Vec<ViolationWitness> {
-        self.violations_internal(rel, false)
+        let mut out = self.violations_internal(rel, false);
+        out.sort_by(ViolationWitness::deterministic_cmp);
+        out
     }
 
     fn violations_internal(&self, rel: &Relation, stop_at_first: bool) -> Vec<ViolationWitness> {
@@ -282,6 +287,30 @@ impl Cfd {
         }
         out
     }
+
+    /// The cell-level repair obligations of one witness (see
+    /// [`WitnessCells`]): which cells a repair must force equal, and which it
+    /// must pin to a pattern constant. Don't-care (`@`) positions induce no
+    /// obligation. The returned merge/pin lists follow the CFD's RHS
+    /// attribute order and the witness's (sorted) row order, so consuming
+    /// them in order is deterministic.
+    pub fn witness_cells(&self, w: &ViolationWitness) -> WitnessCells {
+        let pattern = &self.tableau.rows()[w.pattern_index];
+        let mut cells = WitnessCells::default();
+        for (attr, cell) in self.rhs.iter().zip(pattern.rhs()) {
+            if cell.is_dont_care() {
+                continue;
+            }
+            if let Some(target) = cell.const_id() {
+                for &row in &w.rows {
+                    cells.pins.push((row, *attr, target));
+                }
+            } else if w.kind == ViolationKind::MultiTuple && w.rows.len() > 1 {
+                cells.merges.push((*attr, w.rows.clone()));
+            }
+        }
+        cells
+    }
 }
 
 impl fmt::Display for Cfd {
@@ -326,6 +355,39 @@ pub struct ViolationWitness {
     /// Indices of the involved rows (one row for single-tuple violations, the
     /// whole agreeing group for multi-tuple violations).
     pub rows: Vec<usize>,
+}
+
+impl ViolationWitness {
+    /// Total order `(pattern_index, rows, kind)` used to report witnesses in
+    /// a deterministic order (single-tuple before multi-tuple on equal rows).
+    pub fn deterministic_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.pattern_index, &self.rows, self.kind as u8).cmp(&(
+            other.pattern_index,
+            &other.rows,
+            other.kind as u8,
+        ))
+    }
+}
+
+/// The repair obligations induced by one [`ViolationWitness`] — the
+/// witness → equivalence-class plumbing consumed by `cfd-repair`.
+///
+/// Every repair of a violated pattern must either edit a left-hand-side cell
+/// (taking the tuple out of the pattern's scope) or make the right-hand side
+/// consistent. The latter decomposes into two cell-level obligation kinds:
+///
+/// * **merges** — for every effective (non-don't-care), non-constant RHS
+///   attribute of a multi-tuple witness, the cells of all witness rows must
+///   agree, i.e. they belong to one equivalence class;
+/// * **pins** — an RHS pattern *constant* forces every matching row's cell to
+///   that exact value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WitnessCells {
+    /// `(attribute, rows)`: the cells `(row, attribute)` for each listed row
+    /// must all hold the same value.
+    pub merges: Vec<(AttrId, Vec<usize>)>,
+    /// `(row, attribute, target)`: the cell must hold exactly `target`.
+    pub pins: Vec<(usize, AttrId, ValueId)>,
 }
 
 /// Builder returned by [`Cfd::builder`].
@@ -620,6 +682,79 @@ mod tests {
         let all = phi2().violations(&rel);
         assert!(all.contains(&first));
         assert!(phi1().first_violation(&rel).is_none());
+    }
+
+    #[test]
+    fn violations_are_reported_in_deterministic_order() {
+        let rel = cust_instance();
+        let first = phi2().violations(&rel);
+        for _ in 0..8 {
+            assert_eq!(phi2().violations(&rel), first);
+        }
+        // Sorted by (pattern_index, rows, kind).
+        for w in first.windows(2) {
+            assert_ne!(
+                w[0].deterministic_cmp(&w[1]),
+                std::cmp::Ordering::Greater,
+                "witnesses out of order: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_cells_pin_rhs_constants() {
+        // ϕ3's (44, 141 || GLA) row violated by a single tuple: the CT cell
+        // is pinned to GLA.
+        let mut rel = Relation::new(cust_schema());
+        rel.push(Tuple::new(
+            ["44", "141", "5555555", "Una", "Kelvin Way", "EDI", "G12"]
+                .iter()
+                .map(|s| Value::from(*s))
+                .collect(),
+        ))
+        .unwrap();
+        let cfd = phi3();
+        let w = &cfd.violations(&rel)[0];
+        let cells = cfd.witness_cells(w);
+        assert!(cells.merges.is_empty());
+        let ct = cust_schema().resolve("CT").unwrap();
+        assert_eq!(cells.pins, vec![(0, ct, ValueId::of(&Value::from("GLA")))]);
+    }
+
+    #[test]
+    fn witness_cells_merge_multi_tuple_groups() {
+        // Plain FD [CC, AC] -> [CT] broken on rows 5 and 6: their CT cells
+        // must be forced equal (no pin — the pattern cell is a wildcard).
+        let mut rel = cust_instance();
+        let mut extra = rel.row(5).unwrap().to_tuple();
+        extra.set(AttrId(3), Value::from("Amy"));
+        extra.set(AttrId(5), Value::from("GLA"));
+        rel.push(extra).unwrap();
+        let f2 = Cfd::fd(cust_schema(), ["CC", "AC"], ["CT"]).unwrap();
+        let w = &f2.violations(&rel)[0];
+        assert_eq!(w.kind, ViolationKind::MultiTuple);
+        let cells = f2.witness_cells(w);
+        assert!(cells.pins.is_empty());
+        assert_eq!(cells.merges, vec![(AttrId(5), vec![5, 6])]);
+    }
+
+    #[test]
+    fn witness_cells_skip_dont_care_positions() {
+        let schema = cust_schema();
+        let cfd = Cfd::builder(schema, ["CC", "AC", "CT"], ["CT", "AC"])
+            .pattern(["01", "215", "@"], ["PHI", "@"])
+            .build()
+            .unwrap();
+        let mut rel = cust_instance();
+        rel.set_value(4, AttrId(5), Value::from("NYC"));
+        let w = &cfd.violations(&rel)[0];
+        let cells = cfd.witness_cells(w);
+        // Only the CT = PHI pin survives; the @ position induces nothing.
+        assert_eq!(
+            cells.pins,
+            vec![(4, AttrId(5), ValueId::of(&Value::from("PHI")))]
+        );
+        assert!(cells.merges.is_empty());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod normalize;
 pub mod pattern;
 pub mod tableau;
 
-pub use cfd::{Cfd, CfdBuilder, ViolationKind, ViolationWitness};
+pub use cfd::{Cfd, CfdBuilder, ViolationKind, ViolationWitness, WitnessCells};
 pub use cfdset::CfdSet;
 pub use consistency::{is_consistent, is_consistent_binding};
 pub use error::{CfdError, Result};

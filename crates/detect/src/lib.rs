@@ -32,7 +32,11 @@
 //!   the direct path (extension beyond the paper),
 //! * [`incremental`] — the [`IncrementalDetector`] stream engine: batched
 //!   insert/delete maintenance with group-local index updates (extension
-//!   beyond the paper).
+//!   beyond the paper),
+//! * [`recheck`] — [`recheck_lhs_key`]: per-`GROUP BY X`-group violation
+//!   re-checking through a maintained LHS [`cfd_relation::Index`], the
+//!   incremental-maintenance entry point the repair engine drives after
+//!   each applied edit (extension beyond the paper).
 //!
 //! ```
 //! use cfd_datagen::cust::{cust_instance, phi2};
@@ -48,6 +52,7 @@ pub mod direct;
 pub mod incremental;
 pub mod merge;
 pub mod merged;
+pub mod recheck;
 pub mod report;
 pub mod sharded;
 pub mod single;
@@ -56,5 +61,6 @@ pub use detector::{DetectStats, Detector, DetectorKind};
 pub use direct::DirectDetector;
 pub use incremental::{BatchOp, IncrementalDetector};
 pub use merge::MergedTableaux;
+pub use recheck::recheck_lhs_key;
 pub use report::Violations;
 pub use sharded::ShardedDetector;

@@ -1,0 +1,196 @@
+//! Narrow per-group re-checking — the incremental-violation-maintenance
+//! entry point consumed by `cfd-repair`.
+//!
+//! After a repair engine edits a handful of cells, re-running a full
+//! detection pass per CFD (as the pass-loop heuristic does) costs
+//! `O(passes × |Σ| × |I|)`. But a cell edit can only create or resolve
+//! violations inside the `GROUP BY X` groups it touches: the group the row
+//! left, the group it joined (when an `X` attribute changed), or the group it
+//! already sat in (when a `Y` attribute changed). Given an [`Index`] over the
+//! CFD's LHS attributes, those groups are a hash lookup away — so re-checking
+//! after an edit is `O(|touched groups|)` instead of `O(|I|)`.
+//!
+//! [`recheck_lhs_key`] is that re-check: it evaluates exactly the `QC`/`QV`
+//! semantics of [`Cfd::violations`] restricted to one LHS group, via the
+//! columnar machinery (`Y` column slices, interned-id pattern matches).
+//!
+//! # Contract
+//!
+//! * `index` must cover `cfd.lhs()` **in LHS order** and be in sync with
+//!   `rel` (maintained through [`Index::insert_row`] / [`Index::remove_row`]
+//!   as cells are edited).
+//! * `cfd` must not contain the don't-care symbol `@` (merged-tableaux CFDs
+//!   group by *effective* attribute subsets, which a full-LHS index cannot
+//!   reproduce; callers fall back to [`Cfd::violations`] for those — checked
+//!   by a `debug_assert`).
+//! * The returned witnesses are exactly the subset of [`Cfd::violations`]
+//!   whose group key equals `key`, in the same deterministic
+//!   `(pattern_index, rows, kind)` order — byte-determinism of repair rests
+//!   on this.
+
+use cfd_core::{Cfd, ViolationKind, ViolationWitness};
+use cfd_relation::{project_cols, Index, Relation, ValueId};
+
+/// Re-checks one `GROUP BY X` group of `cfd` for violations.
+///
+/// `key` is the group's interned LHS projection (in `cfd.lhs()` order);
+/// the group's rows are resolved through `index`. Returns the violation
+/// witnesses of that group only — see the [module docs](self) for the full
+/// contract.
+pub fn recheck_lhs_key(
+    cfd: &Cfd,
+    rel: &Relation,
+    index: &Index,
+    key: &[ValueId],
+) -> Vec<ViolationWitness> {
+    debug_assert!(
+        !cfd.has_dont_care(),
+        "recheck_lhs_key groups by the full LHS; don't-care tableaux need Cfd::violations"
+    );
+    debug_assert_eq!(
+        index.attrs(),
+        cfd.lhs(),
+        "the index must cover the CFD's LHS attributes in order"
+    );
+    let mut out = Vec::new();
+    let rows = index.lookup_ids(key);
+    if rows.is_empty() {
+        return out;
+    }
+    // Index posting lists can lose row order across remove/insert cycles;
+    // witnesses carry sorted rows (matching Cfd::violations).
+    let mut rows: Vec<usize> = rows.to_vec();
+    rows.sort_unstable();
+
+    let rhs_cols = rel.columns_for(cfd.rhs());
+    for (pattern_idx, pattern) in cfd.tableau().iter().enumerate() {
+        if !pattern.lhs_matches_ids(key) {
+            continue;
+        }
+        let mut first_y: Option<Vec<ValueId>> = None;
+        let mut multi = false;
+        for &row in &rows {
+            let y = project_cols(&rhs_cols, row);
+            if !pattern.rhs_matches_ids(&y) {
+                out.push(ViolationWitness {
+                    pattern_index: pattern_idx,
+                    kind: ViolationKind::SingleTuple,
+                    rows: vec![row],
+                });
+            }
+            match &first_y {
+                None => first_y = Some(y),
+                Some(f) if *f != y => multi = true,
+                Some(_) => {}
+            }
+        }
+        if multi {
+            out.push(ViolationWitness {
+                pattern_index: pattern_idx,
+                kind: ViolationKind::MultiTuple,
+                rows: rows.clone(),
+            });
+        }
+    }
+    out.sort_by(ViolationWitness::deterministic_cmp);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::{cust_instance, phi2, phi3};
+    use cfd_datagen::records::{TaxConfig, TaxGenerator};
+    use cfd_datagen::{CfdWorkload, EmbeddedFd};
+    use cfd_relation::Value;
+    use std::collections::BTreeSet;
+
+    /// Rechecking every group of an instance must reproduce Cfd::violations
+    /// exactly (same witnesses, same per-group order).
+    fn assert_recheck_covers_full_detection(cfd: &Cfd, rel: &Relation, label: &str) {
+        let index = rel.build_index(cfd.lhs());
+        let mut keys: BTreeSet<Vec<ValueId>> = BTreeSet::new();
+        for (key, _) in index.iter() {
+            keys.insert(key.clone());
+        }
+        let mut rechecked: Vec<ViolationWitness> = keys
+            .iter()
+            .flat_map(|key| recheck_lhs_key(cfd, rel, &index, key))
+            .collect();
+        rechecked.sort_by(ViolationWitness::deterministic_cmp);
+        assert_eq!(rechecked, cfd.violations(rel), "{label}");
+    }
+
+    #[test]
+    fn recheck_agrees_with_full_detection_on_the_running_example() {
+        let rel = cust_instance();
+        assert_recheck_covers_full_detection(&phi2(), &rel, "phi2");
+        assert_recheck_covers_full_detection(&phi3(), &rel, "phi3");
+    }
+
+    #[test]
+    fn recheck_agrees_with_full_detection_on_noisy_tax_data() {
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 500,
+            noise_percent: 10.0,
+            seed: 7,
+        })
+        .generate()
+        .relation;
+        let workload = CfdWorkload::new(3);
+        for (fd, tab, consts) in [
+            (EmbeddedFd::ZipToState, 60, 100.0),
+            (EmbeddedFd::AreaToCity, 80, 40.0),
+            (EmbeddedFd::StateMaritalToExemption, 40, 60.0),
+        ] {
+            let cfd = workload.single(fd, tab, consts);
+            assert_recheck_covers_full_detection(&cfd, &noisy, &format!("{fd:?}"));
+        }
+    }
+
+    #[test]
+    fn recheck_of_a_clean_or_absent_group_is_empty() {
+        let rel = cust_instance();
+        let cfd = phi2();
+        let index = rel.build_index(cfd.lhs());
+        // A clean group: Ben's (01, 215, 3333333).
+        let clean_key: Vec<ValueId> = ["01", "215", "3333333"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        assert!(recheck_lhs_key(&cfd, &rel, &index, &clean_key).is_empty());
+        // A key no row carries.
+        let absent: Vec<ValueId> = ["99", "999", "0000000"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        assert!(recheck_lhs_key(&cfd, &rel, &index, &absent).is_empty());
+    }
+
+    #[test]
+    fn recheck_tracks_index_maintenance_after_an_edit() {
+        // Fix t1's city through the columnar edit path, maintain the index,
+        // and observe the group's violation set shrink.
+        let mut rel = cust_instance();
+        let cfd = phi2();
+        let mut index = rel.build_index(cfd.lhs());
+        let key: Vec<ValueId> = ["01", "908", "1111111"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        let before = recheck_lhs_key(&cfd, &rel, &index, &key);
+        assert_eq!(before.len(), 2, "t1 and t2 both violate the 908 pattern");
+
+        let ct = rel.schema().resolve("CT").unwrap();
+        for row in [0usize, 1] {
+            let old = rel.row(row).unwrap().to_ids();
+            rel.set_value(row, ct, Value::from("MH"));
+            let new = rel.row(row).unwrap().to_ids();
+            // CT is not an LHS attribute of phi2, so the index is unchanged —
+            // but exercise the maintenance calls anyway.
+            index.remove_row(row, &old);
+            index.insert_row(row, &new);
+        }
+        assert!(recheck_lhs_key(&cfd, &rel, &index, &key).is_empty());
+    }
+}

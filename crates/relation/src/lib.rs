@@ -57,11 +57,13 @@ pub mod domain;
 pub mod error;
 pub mod index;
 pub mod interner;
+pub mod placeholder;
 pub mod relation;
 pub mod row;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod weights;
 
 pub use builder::RelationBuilder;
 pub use domain::{AttrType, Domain};
@@ -73,3 +75,4 @@ pub use row::{project_attrs, project_cols, project_cols_into, RowRef};
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use weights::TupleWeights;

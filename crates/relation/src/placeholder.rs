@@ -1,0 +1,179 @@
+//! Typed placeholder values for repair-time LHS edits.
+//!
+//! The repair algorithm of Section 6 sometimes has to overwrite an attribute
+//! on the *left-hand side* of an embedded FD with a fresh value, taking the
+//! tuple out of a pattern's scope. Two properties make such a value a usable
+//! placeholder:
+//!
+//! 1. **Freshness** — it must differ from every value occurring in any
+//!    interned relation or pattern tableau, or the "fresh" value could land
+//!    the tuple in *another* group and create new violations. Minting goes
+//!    through the global interner: a candidate is only accepted when
+//!    [`ValueId::get`] reports it has never been interned, which proves it
+//!    cannot occur in any interned data loaded so far. Data that merely
+//!    *looks* like a placeholder (e.g. a real string starting with
+//!    `__unknown_`) was interned before the mint, so the mint skips past it —
+//!    no string prefix is ever trusted.
+//! 2. **Type fidelity** — the placeholder should respect the column's
+//!    declared [`AttrType`], so an `INTEGER` column never receives a stray
+//!    `Value::Str`. Text columns receive fresh strings, integer columns fresh
+//!    negative sentinels counting up from `i64::MIN`. Boolean columns have no
+//!    fresh value at all (the domain is finite), so they fall back to a text
+//!    placeholder — the one documented, explicit bypass; callers that prefer
+//!    untyped placeholders everywhere can request [`AttrType::Text`]
+//!    directly.
+//!
+//! Placeholder-ness is tracked in a registry of minted [`ValueId`]s, **not**
+//! by inspecting the value: [`is_placeholder`] is an id-set membership test.
+//! Real data that happens to share a placeholder's spelling and was interned
+//! **before** the mint is therefore never misclassified — the mint skips
+//! every already-interned spelling, so such data keeps its own,
+//! never-registered id. The one residual ambiguity is inherent to a
+//! value-identity registry: data first interned **after** a mint that
+//! exactly spells an existing placeholder dedups to the placeholder's id and
+//! is indistinguishable from it (the spellings — `__unknown_N`,
+//! `i64::MIN + N` — are chosen to make that practically impossible for
+//! organic data).
+
+use crate::domain::AttrType;
+use crate::interner::ValueId;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Global mint counter: every candidate uses a number never tried before, so
+/// minting is lock-free until the final registry insert.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static RwLock<HashSet<ValueId>> {
+    static REGISTRY: OnceLock<RwLock<HashSet<ValueId>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// The deterministic spelling of the `n`-th placeholder candidate for a
+/// column of primitive type `ty`: fresh strings for text (and boolean, see
+/// the module docs for the bypass), `i64::MIN`-anchored sentinels for
+/// integers. Callers that need reproducible placeholder sequences (the
+/// repair engines number candidates per run) enumerate these and decide
+/// per candidate whether it is usable against *their* data.
+pub fn candidate(ty: AttrType, n: u64) -> Value {
+    match ty {
+        AttrType::Text | AttrType::Boolean => Value::Str(format!("__unknown_{n}")),
+        AttrType::Integer => Value::Int(i64::MIN.wrapping_add(n as i64)),
+    }
+}
+
+/// Interns `v` and registers its id as a placeholder. The caller guarantees
+/// freshness with respect to its data (the usual proof: [`ValueId::get`]
+/// returned `None` just before the call).
+pub fn register(v: Value) -> ValueId {
+    let id = ValueId::from_value(v);
+    registry()
+        .write()
+        .expect("placeholder registry poisoned")
+        .insert(id);
+    id
+}
+
+/// Mints a globally fresh placeholder for a column of primitive type `ty`.
+///
+/// The returned id denotes a value that had never been interned before the
+/// call — hence occurs in no interned relation — and is registered as a
+/// placeholder for [`is_placeholder`]. The global counter makes successive
+/// mints distinct but **not reproducible across repeated runs in one
+/// process**; reproducible consumers use [`candidate`]/[`register`] with
+/// their own numbering instead.
+pub fn mint(ty: AttrType) -> ValueId {
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let cand = candidate(ty, n);
+        if ValueId::get(&cand).is_some() {
+            // Already interned: the spelling exists in real data (or a
+            // previous mint); skip it — freshness over recognizability.
+            continue;
+        }
+        return register(cand);
+    }
+}
+
+/// Whether `id` denotes a minted placeholder. Pure registry membership: a
+/// real data value spelled like a placeholder but interned before the mint
+/// is *not* one (see the module docs for the post-mint aliasing caveat).
+pub fn is_placeholder(id: ValueId) -> bool {
+    registry()
+        .read()
+        .expect("placeholder registry poisoned")
+        .contains(&id)
+}
+
+/// Value-typed form of [`is_placeholder`] for boundary code that holds a
+/// resolved [`Value`]. A value that was never interned cannot be a
+/// placeholder (placeholders are interned at mint time).
+pub fn is_placeholder_value(v: &Value) -> bool {
+    ValueId::get(v).is_some_and(is_placeholder)
+}
+
+/// Number of placeholders minted so far (diagnostics).
+pub fn minted_count() -> usize {
+    registry()
+        .read()
+        .expect("placeholder registry poisoned")
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_fresh_and_registered() {
+        let a = mint(AttrType::Text);
+        let b = mint(AttrType::Text);
+        assert_ne!(a, b, "every mint is fresh");
+        assert!(is_placeholder(a));
+        assert!(is_placeholder(b));
+        assert!(is_placeholder_value(a.resolve()));
+    }
+
+    #[test]
+    fn typed_mints_respect_the_column_type() {
+        let t = mint(AttrType::Text);
+        assert!(matches!(t.resolve(), Value::Str(_)));
+        let i = mint(AttrType::Integer);
+        assert!(matches!(i.resolve(), Value::Int(_)));
+        // Boolean has no fresh value: documented bypass to text.
+        let b = mint(AttrType::Boolean);
+        assert!(matches!(b.resolve(), Value::Str(_)));
+    }
+
+    #[test]
+    fn lookalike_data_is_not_a_placeholder() {
+        // Real data that *spells* like a placeholder: interned before any
+        // mint would pick that number, so the registry never contains it.
+        let fake = Value::from("__unknown_999999999");
+        let fake_id = ValueId::from_value(fake.clone());
+        assert!(!is_placeholder(fake_id));
+        assert!(!is_placeholder_value(&fake));
+        // And minting skips every already-interned spelling.
+        for _ in 0..4 {
+            let m = mint(AttrType::Text);
+            assert_ne!(m, fake_id);
+        }
+    }
+
+    #[test]
+    fn never_interned_values_are_not_placeholders() {
+        assert!(!is_placeholder_value(&Value::from(
+            "__placeholder_probe_never_interned__"
+        )));
+        assert!(!is_placeholder_value(&Value::Null));
+    }
+
+    #[test]
+    fn minted_count_grows() {
+        let before = minted_count();
+        mint(AttrType::Integer);
+        assert!(minted_count() > before);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-row tuple weights — the `w(t)` of the cost-based repair framework.
+//!
+//! Bohannon et al. (SIGMOD 2005), whose framework the paper's Section 6
+//! builds on, price a repair as `Σ w(t) · dist(v, v')` over modified cells:
+//! tuples with high confidence (provenance, curation) get large weights and
+//! are expensive to touch, dubious tuples are cheap. This sidecar keeps those
+//! weights *next to* a [`Relation`](crate::Relation) without widening the
+//! columnar store: a dense `Vec<f64>` prefix of explicit overrides plus a
+//! default weight for every row beyond it. The default instance weighs every
+//! row `1.0`, which degrades the weighted cost model to plain edit counting.
+
+use std::fmt;
+
+/// A per-row weight sidecar: explicit overrides for a prefix of rows, a
+/// shared default for the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleWeights {
+    overrides: Vec<f64>,
+    default_weight: f64,
+}
+
+impl Default for TupleWeights {
+    fn default() -> Self {
+        TupleWeights::uniform(1.0)
+    }
+}
+
+impl TupleWeights {
+    /// Every row weighs `w`.
+    pub fn uniform(w: f64) -> Self {
+        TupleWeights {
+            overrides: Vec::new(),
+            default_weight: w,
+        }
+    }
+
+    /// Explicit weights for rows `0..weights.len()`; rows beyond weigh 1.0.
+    pub fn from_vec(weights: Vec<f64>) -> Self {
+        TupleWeights {
+            overrides: weights,
+            default_weight: 1.0,
+        }
+    }
+
+    /// The weight of `row`: its override if set, the default otherwise.
+    pub fn get(&self, row: usize) -> f64 {
+        self.overrides
+            .get(row)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Sets the weight of one row, padding the override prefix with the
+    /// default weight if needed.
+    pub fn set(&mut self, row: usize, w: f64) {
+        if self.overrides.len() <= row {
+            self.overrides.resize(row + 1, self.default_weight);
+        }
+        self.overrides[row] = w;
+    }
+
+    /// The weight rows without an explicit override receive.
+    pub fn default_weight(&self) -> f64 {
+        self.default_weight
+    }
+
+    /// Number of rows with an explicit override.
+    pub fn override_len(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+impl fmt::Display for TupleWeights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "weights({} override(s), default {})",
+            self.overrides.len(),
+            self.default_weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_uniform_one() {
+        let w = TupleWeights::default();
+        assert_eq!(w.get(0), 1.0);
+        assert_eq!(w.get(123_456), 1.0);
+        assert_eq!(w.override_len(), 0);
+    }
+
+    #[test]
+    fn from_vec_overrides_a_prefix() {
+        let w = TupleWeights::from_vec(vec![2.0, 0.5]);
+        assert_eq!(w.get(0), 2.0);
+        assert_eq!(w.get(1), 0.5);
+        assert_eq!(w.get(2), 1.0, "rows beyond the prefix use the default");
+    }
+
+    #[test]
+    fn set_pads_with_the_default() {
+        let mut w = TupleWeights::uniform(3.0);
+        w.set(2, 9.0);
+        assert_eq!(w.get(0), 3.0);
+        assert_eq!(w.get(1), 3.0);
+        assert_eq!(w.get(2), 9.0);
+        assert_eq!(w.get(3), 3.0);
+        assert_eq!(w.override_len(), 3);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let w = TupleWeights::from_vec(vec![2.0]);
+        assert_eq!(w.to_string(), "weights(1 override(s), default 1)");
+    }
+}

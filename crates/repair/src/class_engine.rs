@@ -1,0 +1,390 @@
+//! The equivalence-class repair engine with incremental violation
+//! maintenance.
+//!
+//! # Algorithm
+//!
+//! 1. **Seed** — per-CFD LHS [`Index`]es are built once, and one detection
+//!    pass per CFD yields the initial witness set. The pass is group-driven
+//!    ([`cfd_detect::recheck_lhs_key`] over every index key): pattern
+//!    matching on `X` is decided once per *group* instead of once per row,
+//!    so seeding costs `O(|Tp| × #groups + |I|)` rather than the
+//!    `O(|Tp| × |I|)` of the row-wise scan — the large-constant-tableau
+//!    workloads of Section 5 have orders of magnitude fewer groups than
+//!    rows. (CFDs with don't-care cells fall back to [`Cfd::violations`].)
+//! 2. **Classes** — every witness contributes its cell obligations
+//!    ([`Cfd::witness_cells`]): multi-tuple witnesses union the involved
+//!    RHS cells into equivalence classes, RHS pattern constants pin classes
+//!    (see [`crate::classes`]).
+//! 3. **Targets** — each unpinned class takes the candidate value (among the
+//!    values its cells currently hold) minimizing the weighted cost
+//!    `Σ weight(row) × dist(current, candidate)` under the configured
+//!    [`CostModel`](crate::cost::CostModel); ties break on the smallest
+//!    resolved [`Value`]. Pinned
+//!    classes take their pin. Classes with *conflicting* pins cannot be
+//!    satisfied by RHS edits (Section 6's motivating observation) — an LHS
+//!    attribute of one involved row is overwritten with a fresh typed
+//!    placeholder instead.
+//! 4. **Incremental re-check** — applying an edit marks only the `GROUP BY
+//!    X` groups it can affect as dirty (the group a row left/joined when an
+//!    LHS attribute changed — tracked through [`Index::remove_row`] /
+//!    [`Index::insert_row`] — or the row's current group when an RHS
+//!    attribute changed). The next round re-detects **only those groups**
+//!    via [`cfd_detect::recheck_lhs_key`]; nothing is ever re-scanned from
+//!    scratch. A round whose exact witness signature was already seen is a
+//!    proven cross-CFD oscillation and forces one LHS edit. Rounds continue
+//!    until no witnesses remain, only unsatisfiable work is left with LHS
+//!    edits disabled, or the round budget is exhausted.
+//!
+//! # Determinism
+//!
+//! Witnesses are processed in the sorted order [`Cfd::violations`] /
+//! [`cfd_detect::recheck_lhs_key`] guarantee, dirty keys live in `BTreeSet`s,
+//! classes finalize sorted, and target ties break on resolved values — no
+//! hash-map iteration order or interner id numbering influences any choice,
+//! so identical inputs produce identical modification sequences.
+//!
+//! CFDs whose tableaux contain the don't-care symbol `@` (merged tableaux)
+//! group by effective attribute subsets that a full-LHS index cannot
+//! reproduce; such CFDs are handled soundly by falling back to a full
+//! [`Cfd::violations`] scan whenever an edit touches their scope.
+
+use crate::classes::{CellClass, CellClasses};
+use crate::repair::{
+    lhs_edit_attr, mint_placeholder_for, Modification, RepairConfig, RepairResult,
+};
+use cfd_core::{Cfd, ViolationWitness};
+use cfd_detect::recheck_lhs_key;
+use cfd_relation::{project_attrs, AttrId, Index, Relation, Value, ValueId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Entry point: repairs `rel` w.r.t. `cfds` under `config`.
+pub(crate) fn repair(cfds: &[Cfd], rel: &Relation, config: &RepairConfig) -> RepairResult {
+    Engine::new(cfds, rel, config).run()
+}
+
+/// One witness's identity within a round signature:
+/// `(cfd index, pattern index, kind, rows)`.
+type WitnessSig = (usize, usize, u8, Vec<usize>);
+
+struct Engine<'a> {
+    cfds: &'a [Cfd],
+    config: &'a RepairConfig,
+    rel: Relation,
+    /// Whether CFD `i` supports keyed re-checking (no don't-care cells).
+    keyed: Vec<bool>,
+    /// Per-CFD LHS index (only for keyed CFDs), maintained across edits.
+    indexes: Vec<Option<Index>>,
+    /// Per-CFD dirty LHS keys accumulated since the last re-check.
+    dirty: Vec<BTreeSet<Vec<ValueId>>>,
+    /// Per-CFD "needs a full re-scan" flag (don't-care CFDs only).
+    scan_all: Vec<bool>,
+    modifications: Vec<Modification>,
+    /// Run-scoped placeholder candidate number (reproducibility across
+    /// runs — see [`mint_placeholder_for`]).
+    placeholder_counter: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfds: &'a [Cfd], rel: &Relation, config: &'a RepairConfig) -> Self {
+        let rel = rel.clone();
+        let keyed: Vec<bool> = cfds.iter().map(|c| !c.has_dont_care()).collect();
+        let indexes: Vec<Option<Index>> = cfds
+            .iter()
+            .zip(&keyed)
+            .map(|(c, &k)| k.then(|| rel.build_index(c.lhs())))
+            .collect();
+        Engine {
+            cfds,
+            config,
+            rel,
+            keyed,
+            indexes,
+            dirty: vec![BTreeSet::new(); cfds.len()],
+            scan_all: vec![false; cfds.len()],
+            modifications: Vec::new(),
+            placeholder_counter: 0,
+        }
+    }
+
+    fn run(mut self) -> RepairResult {
+        // Seed the dirty set from one (group-driven) detection pass.
+        let mut witnesses = self.seed_witnesses();
+
+        let mut rounds = 0usize;
+        // Witness signatures of every round seen so far: a round whose exact
+        // violation scope reappeared is a proven oscillation (the b1→b2→b1
+        // cross-CFD cycles of Section 6), the only situation that warrants a
+        // forced LHS edit. A count-based stall check would compare different
+        // scopes (full seed set vs dirty groups only) and could destroy a
+        // correct LHS cell on a transiently-growing cascade that the next
+        // round's RHS edits would have converged anyway.
+        let mut seen_rounds: HashSet<Vec<WitnessSig>> = HashSet::new();
+        while !witnesses.is_empty() && rounds < self.config.max_passes {
+            rounds += 1;
+            let mut signature: Vec<WitnessSig> = witnesses
+                .iter()
+                .map(|(i, w)| (*i, w.pattern_index, w.kind as u8, w.rows.clone()))
+                .collect();
+            signature.sort_unstable();
+            let cycling = !seen_rounds.insert(signature);
+
+            // Build the cell classes of this round's witnesses.
+            let mut classes = CellClasses::new(self.rel.schema().arity());
+            for (cfd_idx, w) in &witnesses {
+                let cells = self.cfds[*cfd_idx].witness_cells(w);
+                for (attr, rows) in &cells.merges {
+                    for &row in rows.iter().skip(1) {
+                        classes.union((rows[0], *attr), (row, *attr));
+                    }
+                }
+                for &(row, attr, target) in &cells.pins {
+                    classes.pin(row, attr, target, *cfd_idx, w.pattern_index);
+                }
+            }
+
+            // Plan: RHS edits per class, LHS edits per conflicted class.
+            let mut edits: Vec<(usize, AttrId, ValueId)> = Vec::new();
+            let mut victims: Vec<(usize, usize, usize)> = Vec::new();
+            let mut conflict_rows: BTreeSet<usize> = BTreeSet::new();
+            for class in classes.into_classes() {
+                if let Some(conflict) = class.conflict {
+                    // Break the later-arriving constraint: overwrite an LHS
+                    // attribute of its row. The class's *other* obligations
+                    // (its kept pin, its merges) are deliberately left
+                    // unresolved this round — remember every involved row so
+                    // their groups are re-examined next round, or those
+                    // obligations would be dropped on the floor.
+                    victims.push((
+                        conflict.conflicting.cfd,
+                        conflict.conflicting.pattern,
+                        conflict.conflicting.row,
+                    ));
+                    conflict_rows.extend(class.cells.iter().map(|&(row, _)| row));
+                    continue;
+                }
+                let target = match class.pin {
+                    Some(pin) => pin.target,
+                    None => self.choose_target(&class),
+                };
+                for &(row, attr) in &class.cells {
+                    if self.rel.column(attr)[row] != target {
+                        edits.push((row, attr, target));
+                    }
+                }
+            }
+
+            // Proven oscillation without pin conflicts (cross-CFD cycles):
+            // force one LHS edit on the first open witness.
+            if cycling && victims.is_empty() {
+                if let Some((cfd_idx, w)) = witnesses.first() {
+                    if let Some(&row) = w.rows.first() {
+                        victims.push((*cfd_idx, w.pattern_index, row));
+                    }
+                }
+            }
+            if !self.config.allow_lhs_edits {
+                victims.clear();
+            }
+            victims.sort_unstable();
+            victims.dedup();
+
+            if edits.is_empty() && victims.is_empty() {
+                // Only unsatisfiable classes remain and LHS edits are off.
+                break;
+            }
+
+            edits.sort_unstable_by_key(|&(row, attr, _)| (row, attr));
+            for (row, attr, target) in edits {
+                self.apply_edit(row, attr, target);
+            }
+            for (cfd_idx, pattern_idx, row) in victims {
+                if let Some(attr) = lhs_edit_attr(&self.cfds[cfd_idx], pattern_idx) {
+                    let ph = mint_placeholder_for(
+                        &self.rel,
+                        attr,
+                        self.config.typed_placeholders,
+                        &mut self.placeholder_counter,
+                    );
+                    self.apply_edit(row, attr, ph);
+                }
+            }
+            // Conflicted classes resolved nothing: queue every group their
+            // rows sit in (post-edit keys) so the surviving obligations are
+            // re-derived next round.
+            for row in conflict_rows {
+                self.dirty_row_groups(row);
+            }
+
+            witnesses = self.collect_dirty_witnesses();
+        }
+
+        let satisfied = self.is_clean();
+        let config = self.config;
+        let Engine {
+            rel, modifications, ..
+        } = self;
+        RepairResult::finish(rel, modifications, rounds, satisfied, &config.cost_model)
+    }
+
+    /// One full detection pass, group-driven through the LHS indexes where
+    /// possible (see the [module docs](self)); don't-care CFDs take the
+    /// row-wise scan. Keys are visited in sorted order, so the seed witness
+    /// list is deterministic.
+    fn seed_witnesses(&self) -> Vec<(usize, ViolationWitness)> {
+        let mut out = Vec::new();
+        for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
+            match &self.indexes[cfd_idx] {
+                Some(index) => {
+                    let mut keys: Vec<&Vec<ValueId>> = index.iter().map(|(k, _)| k).collect();
+                    keys.sort_unstable();
+                    for key in keys {
+                        out.extend(
+                            recheck_lhs_key(cfd, &self.rel, index, key)
+                                .into_iter()
+                                .map(|w| (cfd_idx, w)),
+                        );
+                    }
+                }
+                None => out.extend(cfd.violations(&self.rel).into_iter().map(|w| (cfd_idx, w))),
+            }
+        }
+        out
+    }
+
+    /// Full-semantics satisfaction check, priced like the seed pass: every
+    /// group of every keyed CFD is re-checked through its index (equivalent
+    /// to `Cfd::satisfied_by`, proven by the recheck coverage tests);
+    /// don't-care CFDs use the row-wise check.
+    fn is_clean(&self) -> bool {
+        self.cfds
+            .iter()
+            .enumerate()
+            .all(|(cfd_idx, cfd)| match &self.indexes[cfd_idx] {
+                Some(index) => index
+                    .iter()
+                    .all(|(key, _)| recheck_lhs_key(cfd, &self.rel, index, key).is_empty()),
+                None => cfd.satisfied_by(&self.rel),
+            })
+    }
+
+    /// The weighted cost-minimal target of an unpinned class: among the
+    /// values the cells currently hold, minimize
+    /// `Σ weight(row) × dist(current, candidate)`; break cost ties on the
+    /// smallest resolved value (with unit distance and uniform weights this
+    /// degrades to the plurality vote with deterministic ties).
+    fn choose_target(&self, class: &CellClass) -> ValueId {
+        let model = &self.config.cost_model;
+        let current: Vec<(usize, ValueId)> = class
+            .cells
+            .iter()
+            .map(|&(row, attr)| (row, self.rel.column(attr)[row]))
+            .collect();
+        let mut candidates: Vec<ValueId> = current.iter().map(|&(_, id)| id).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut best: Option<(f64, &'static Value, ValueId)> = None;
+        for &cand in &candidates {
+            let cand_value = cand.resolve();
+            let cost: f64 = current
+                .iter()
+                .filter(|&&(_, cur)| cur != cand)
+                .map(|&(row, cur)| {
+                    model.weight(row) * model.distance.distance(cur.resolve(), cand_value)
+                })
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((best_cost, best_value, _)) => {
+                    cost + 1e-12 < *best_cost
+                        || ((cost - best_cost).abs() <= 1e-12 && cand_value < best_value)
+                }
+            };
+            if better {
+                best = Some((cost, cand_value, cand));
+            }
+        }
+        best.expect("a class always has at least one cell").2
+    }
+
+    /// Applies one cell edit: updates the relation, the per-CFD LHS indexes,
+    /// the dirty-key sets and the modification log.
+    fn apply_edit(&mut self, row: usize, attr: AttrId, new_id: ValueId) {
+        let old_cells: Vec<ValueId> = self.rel.row(row).expect("edit row in range").to_ids();
+        let old_id = old_cells[attr.index()];
+        if old_id == new_id {
+            return;
+        }
+        self.rel.set_id(row, attr, new_id);
+        let mut new_cells = old_cells.clone();
+        new_cells[attr.index()] = new_id;
+        self.modifications.push(Modification {
+            row,
+            attr,
+            old: old_id.resolve().clone(),
+            new: new_id.resolve().clone(),
+        });
+
+        for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
+            let in_lhs = cfd.lhs().contains(&attr);
+            let in_rhs = cfd.rhs().contains(&attr);
+            if !in_lhs && !in_rhs {
+                continue;
+            }
+            if !self.keyed[cfd_idx] {
+                self.scan_all[cfd_idx] = true;
+                continue;
+            }
+            if in_lhs {
+                let index = self.indexes[cfd_idx]
+                    .as_mut()
+                    .expect("keyed CFDs carry an index");
+                index.remove_row(row, &old_cells);
+                index.insert_row(row, &new_cells);
+                self.dirty[cfd_idx].insert(project_attrs(&old_cells, cfd.lhs()));
+            }
+            // The row's current group needs a re-check in both cases.
+            self.dirty[cfd_idx].insert(project_attrs(&new_cells, cfd.lhs()));
+        }
+    }
+
+    /// Marks every CFD's group containing `row` (under its current key) for
+    /// re-checking — used for the rows of conflicted classes, whose
+    /// obligations were deliberately left unresolved this round.
+    fn dirty_row_groups(&mut self, row: usize) {
+        let cells: Vec<ValueId> = self.rel.row(row).expect("row in range").to_ids();
+        for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
+            if !self.keyed[cfd_idx] {
+                self.scan_all[cfd_idx] = true;
+                continue;
+            }
+            self.dirty[cfd_idx].insert(project_attrs(&cells, cfd.lhs()));
+        }
+    }
+
+    /// Drains the dirty sets into the next round's witnesses: keyed CFDs
+    /// re-check only their dirty groups, don't-care CFDs re-scan when
+    /// touched.
+    fn collect_dirty_witnesses(&mut self) -> Vec<(usize, ViolationWitness)> {
+        let mut out = Vec::new();
+        for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
+            if std::mem::take(&mut self.scan_all[cfd_idx]) {
+                out.extend(cfd.violations(&self.rel).into_iter().map(|w| (cfd_idx, w)));
+                continue;
+            }
+            let keys = std::mem::take(&mut self.dirty[cfd_idx]);
+            let index = match &self.indexes[cfd_idx] {
+                Some(index) => index,
+                None => continue,
+            };
+            for key in keys {
+                out.extend(
+                    recheck_lhs_key(cfd, &self.rel, index, &key)
+                        .into_iter()
+                        .map(|w| (cfd_idx, w)),
+                );
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,291 @@
+//! Cell equivalence classes — the union-find core of the class-based repair
+//! engine.
+//!
+//! Repairing a set of violation witnesses is a constraint problem over
+//! *cells* `(row, attribute)`:
+//!
+//! * a multi-tuple witness forces the witness rows' cells of each
+//!   (effective, non-constant) RHS attribute to **agree** — they join one
+//!   equivalence class and will receive a single target value;
+//! * an RHS pattern constant **pins** a cell's class to that constant;
+//! * two different pins reaching the same class are a **conflict**: no
+//!   assignment of RHS values can satisfy both, which is exactly the
+//!   cross-CFD interaction Section 6 uses to motivate LHS edits — the engine
+//!   resolves a conflicted class by editing an LHS attribute of one involved
+//!   row instead.
+//!
+//! The classes are built with a sparse union-find (only cells that occur in
+//! witnesses are materialized), with the **smallest cell as the root** of
+//! every class, and finalized into a sorted [`CellClass`] list — given the
+//! same union/pin call sequence the output is fully deterministic, and the
+//! engine feeds calls in sorted witness order.
+
+use cfd_relation::{AttrId, ValueId};
+use std::collections::HashMap;
+
+/// A cell: one attribute of one row.
+pub type Cell = (usize, AttrId);
+
+/// A pin: a cell whose class must take `target`, with provenance (which CFD
+/// and pattern row demanded it) so conflict fallbacks know which constraint
+/// to break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pin {
+    /// The pinned-to constant.
+    pub target: ValueId,
+    /// The row whose cell was pinned.
+    pub row: usize,
+    /// The pinned attribute.
+    pub attr: AttrId,
+    /// Index of the CFD (in the engine's input order) that demanded the pin.
+    pub cfd: usize,
+    /// Index of the pattern row within that CFD's tableau.
+    pub pattern: usize,
+}
+
+/// Two pins with different targets reaching one class. `kept` landed first
+/// (in sorted witness order), `conflicting` second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinConflict {
+    /// The pin that arrived first and is kept on the class.
+    pub kept: Pin,
+    /// The later, incompatible pin.
+    pub conflicting: Pin,
+}
+
+/// One finalized equivalence class of cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellClass {
+    /// The member cells, sorted by `(row, attr)`.
+    pub cells: Vec<Cell>,
+    /// The class's pin, when exactly one target was demanded.
+    pub pin: Option<Pin>,
+    /// The first conflict observed, when incompatible targets were demanded.
+    pub conflict: Option<PinConflict>,
+}
+
+/// Union-find over cells with pin tracking. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct CellClasses {
+    arity: usize,
+    /// Sparse parent map over flattened cell keys; roots map to themselves.
+    parent: HashMap<u64, u64>,
+    /// Root → the first pin that reached the class.
+    pins: HashMap<u64, Pin>,
+    /// Root → the first conflict that reached the class.
+    conflicts: HashMap<u64, PinConflict>,
+}
+
+impl CellClasses {
+    /// Classes over cells of a relation with the given schema arity.
+    pub fn new(arity: usize) -> Self {
+        CellClasses {
+            arity: arity.max(1),
+            ..CellClasses::default()
+        }
+    }
+
+    fn key(&self, cell: Cell) -> u64 {
+        cell.0 as u64 * self.arity as u64 + cell.1.index() as u64
+    }
+
+    fn cell_of(&self, key: u64) -> Cell {
+        (
+            (key / self.arity as u64) as usize,
+            AttrId((key % self.arity as u64) as usize),
+        )
+    }
+
+    /// Find with path halving; first touch makes the cell its own root.
+    fn find(&mut self, key: u64) -> u64 {
+        let mut k = *self.parent.entry(key).or_insert(key);
+        while k != self.parent[&k] {
+            let grandparent = self.parent[&self.parent[&k]];
+            self.parent.insert(k, grandparent);
+            k = grandparent;
+        }
+        // Path-halve the entry point too.
+        self.parent.insert(key, k);
+        k
+    }
+
+    /// Merges the classes of `a` and `b`. The smaller cell key becomes the
+    /// root; pins and conflicts migrate to it (first pin wins, incompatible
+    /// pins record a conflict).
+    pub fn union(&mut self, a: Cell, b: Cell) {
+        let ra = self.find(self.key(a));
+        let rb = self.find(self.key(b));
+        if ra == rb {
+            return;
+        }
+        let (root, child) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(child, root);
+        if let Some(child_pin) = self.pins.remove(&child) {
+            match self.pins.get(&root) {
+                Some(root_pin) if root_pin.target != child_pin.target => {
+                    let conflict = PinConflict {
+                        kept: *root_pin,
+                        conflicting: child_pin,
+                    };
+                    self.conflicts.entry(root).or_insert(conflict);
+                }
+                Some(_) => {}
+                None => {
+                    self.pins.insert(root, child_pin);
+                }
+            }
+        }
+        if let Some(child_conflict) = self.conflicts.remove(&child) {
+            self.conflicts.entry(root).or_insert(child_conflict);
+        }
+    }
+
+    /// Pins the class of `(row, attr)` to `target` (provenance: CFD `cfd`,
+    /// pattern row `pattern`). A second, different target records a conflict.
+    pub fn pin(&mut self, row: usize, attr: AttrId, target: ValueId, cfd: usize, pattern: usize) {
+        let root = self.find(self.key((row, attr)));
+        let pin = Pin {
+            target,
+            row,
+            attr,
+            cfd,
+            pattern,
+        };
+        match self.pins.get(&root) {
+            Some(existing) if existing.target != target => {
+                let conflict = PinConflict {
+                    kept: *existing,
+                    conflicting: pin,
+                };
+                self.conflicts.entry(root).or_insert(conflict);
+            }
+            Some(_) => {}
+            None => {
+                self.pins.insert(root, pin);
+            }
+        }
+    }
+
+    /// Finalizes into the class list, sorted by each class's smallest cell;
+    /// member cells sorted by `(row, attr)`.
+    pub fn into_classes(mut self) -> Vec<CellClass> {
+        let keys: Vec<u64> = self.parent.keys().copied().collect();
+        let mut members: HashMap<u64, Vec<u64>> = HashMap::new();
+        for key in keys {
+            let root = self.find(key);
+            members.entry(root).or_default().push(key);
+        }
+        let mut classes: Vec<CellClass> = members
+            .into_iter()
+            .map(|(root, mut member_keys)| {
+                member_keys.sort_unstable();
+                CellClass {
+                    cells: member_keys.iter().map(|&k| self.cell_of(k)).collect(),
+                    pin: self.pins.get(&root).copied(),
+                    conflict: self.conflicts.get(&root).copied(),
+                }
+            })
+            .collect();
+        classes.sort_by(|a, b| a.cells.cmp(&b.cells));
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::Value;
+
+    fn id(s: &str) -> ValueId {
+        ValueId::from_value(Value::from(s))
+    }
+
+    #[test]
+    fn unions_form_transitive_classes() {
+        let mut c = CellClasses::new(4);
+        c.union((0, AttrId(1)), (1, AttrId(1)));
+        c.union((1, AttrId(1)), (2, AttrId(1)));
+        c.union((5, AttrId(2)), (6, AttrId(2)));
+        let classes = c.into_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes[0].cells,
+            vec![(0, AttrId(1)), (1, AttrId(1)), (2, AttrId(1))]
+        );
+        assert_eq!(classes[1].cells, vec![(5, AttrId(2)), (6, AttrId(2))]);
+        assert!(classes.iter().all(|cl| cl.pin.is_none()));
+        assert!(classes.iter().all(|cl| cl.conflict.is_none()));
+    }
+
+    #[test]
+    fn pin_travels_to_the_merged_class() {
+        let mut c = CellClasses::new(4);
+        c.pin(1, AttrId(0), id("x"), 0, 0);
+        c.union((0, AttrId(0)), (1, AttrId(0)));
+        let classes = c.into_classes();
+        assert_eq!(classes.len(), 1);
+        let pin = classes[0].pin.expect("pin survives the union");
+        assert_eq!(pin.target, id("x"));
+        assert_eq!((pin.row, pin.attr), (1, AttrId(0)));
+        assert!(classes[0].conflict.is_none());
+    }
+
+    #[test]
+    fn agreeing_pins_do_not_conflict() {
+        let mut c = CellClasses::new(4);
+        c.union((0, AttrId(0)), (1, AttrId(0)));
+        c.pin(0, AttrId(0), id("same"), 0, 0);
+        c.pin(1, AttrId(0), id("same"), 1, 3);
+        let classes = c.into_classes();
+        assert!(classes[0].conflict.is_none());
+        assert_eq!(classes[0].pin.unwrap().target, id("same"));
+    }
+
+    #[test]
+    fn incompatible_pins_record_a_conflict_with_provenance() {
+        // The Section 6 example shape: one class, two different constants.
+        let mut c = CellClasses::new(3);
+        c.pin(0, AttrId(1), id("b1"), 1, 0);
+        c.pin(1, AttrId(1), id("b2"), 1, 1);
+        c.union((0, AttrId(1)), (1, AttrId(1)));
+        let classes = c.into_classes();
+        assert_eq!(classes.len(), 1);
+        let conflict = classes[0].conflict.expect("conflict must be recorded");
+        assert_eq!(conflict.kept.target, id("b1"));
+        assert_eq!(conflict.conflicting.target, id("b2"));
+        assert_eq!(conflict.conflicting.row, 1);
+        assert_eq!(conflict.conflicting.cfd, 1);
+        assert_eq!(conflict.conflicting.pattern, 1);
+    }
+
+    #[test]
+    fn conflict_via_late_pin_on_a_merged_class() {
+        let mut c = CellClasses::new(3);
+        c.union((0, AttrId(2)), (1, AttrId(2)));
+        c.pin(0, AttrId(2), id("p"), 0, 0);
+        c.pin(1, AttrId(2), id("q"), 0, 1);
+        let classes = c.into_classes();
+        let conflict = classes[0].conflict.unwrap();
+        assert_eq!(conflict.kept.target, id("p"));
+        assert_eq!(conflict.conflicting.target, id("q"));
+    }
+
+    #[test]
+    fn finalization_is_deterministic_regardless_of_insertion_batching() {
+        let build = |order: &[(Cell, Cell)]| {
+            let mut c = CellClasses::new(8);
+            for &(a, b) in order {
+                c.union(a, b);
+            }
+            c.into_classes()
+        };
+        let pairs: Vec<(Cell, Cell)> = vec![
+            ((3, AttrId(1)), (0, AttrId(1))),
+            ((0, AttrId(1)), (7, AttrId(1))),
+            ((2, AttrId(0)), (9, AttrId(0))),
+        ];
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        assert_eq!(build(&pairs), build(&reversed));
+    }
+}

@@ -1,91 +1,231 @@
-//! The cost model for repairs.
+//! The weighted cost model for repairs.
 //!
 //! Following the cost-based framework of Bohannon et al. (SIGMOD 2005) that
 //! Section 6 builds on, the cost of a repair is the sum over modified cells
-//! of `weight(tuple) × distance(old, new)`. Tuple weights default to 1 (no
-//! provenance/accuracy information); the distance is 1 for changing a value
-//! and a configurable (cheaper) cost for inventing a fresh placeholder, which
-//! biases the heuristic towards value modifications that stay inside the
-//! active domain.
+//! of `weight(tuple) × dist(old, new)`:
+//!
+//! * **`weight(tuple)`** comes from a per-row [`TupleWeights`] sidecar
+//!   (default 1.0 for every row) — tuples with provenance/accuracy backing
+//!   get large weights and become expensive to touch;
+//! * **`dist(old, new)`** is a pluggable [`ValueDistance`]:
+//!   [`UnitDistance`] (any change costs 1 — pure edit counting on interned
+//!   ids) or [`NormalizedEditDistance`] (Levenshtein over resolved strings,
+//!   normalized to `[0, 1]`, so fixing a typo is cheaper than rewriting the
+//!   value); custom metrics plug in through the same trait.
+//!
+//! Fresh placeholders minted for LHS edits (see
+//! [`cfd_relation::placeholder`]) are priced by a separate (higher) distance
+//! — no meaningful value distance exists to a value invented from thin air,
+//! and the surcharge biases engines towards staying inside the active
+//! domain.
+//!
+//! A repair's total cost prices the **net** per-cell change (first `old` →
+//! final `new`), not the raw modification log: a cell that oscillates across
+//! passes before settling is charged once, and a cell that returns to its
+//! original value is not charged at all. See
+//! [`RepairResult::cost`](crate::RepairResult::cost).
 
-use cfd_relation::Value;
+use cfd_relation::{placeholder, TupleWeights, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A distance between two attribute values, used to price replacing one with
+/// the other. Implementations must return `0.0` for equal values and a
+/// positive number otherwise; keeping the range within `[0, 1]` makes
+/// distances comparable across metrics.
+pub trait ValueDistance: fmt::Debug + Send + Sync {
+    /// `dist(old, new)`.
+    fn distance(&self, old: &Value, new: &Value) -> f64;
+}
+
+/// Exact/unit distance: every change costs 1 — equality on interned ids is
+/// all that matters. This is the default and reproduces plain edit counting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitDistance;
+
+impl ValueDistance for UnitDistance {
+    fn distance(&self, old: &Value, new: &Value) -> f64 {
+        if old == new {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Levenshtein distance over resolved strings, normalized by the longer
+/// length to `[0, 1]`. Non-string pairs (and mixed types) fall back to unit
+/// distance — there is no meaningful edit distance between an integer and a
+/// string.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalizedEditDistance;
+
+impl ValueDistance for NormalizedEditDistance {
+    fn distance(&self, old: &Value, new: &Value) -> f64 {
+        if old == new {
+            return 0.0;
+        }
+        match (old, new) {
+            (Value::Str(a), Value::Str(b)) => {
+                let la = a.chars().count();
+                let lb = b.chars().count();
+                let longest = la.max(lb);
+                if longest == 0 {
+                    0.0
+                } else {
+                    levenshtein(a, b) as f64 / longest as f64
+                }
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// Plain two-row Levenshtein over `char`s.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
 
 /// Weights and distances used to price a repair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
-    /// Default weight of a tuple (all tuples share it unless overridden).
-    pub tuple_weight: f64,
-    /// Distance charged for replacing a value with a different concrete value.
+    /// Per-row tuple weights (`w(t)` of the SIGMOD 2005 framework). The
+    /// default weighs every row 1.0.
+    pub weights: TupleWeights,
+    /// Scale applied to concrete replacements (on top of the value
+    /// distance).
     pub replace_distance: f64,
-    /// Distance charged for replacing a value with a fresh placeholder
-    /// (an LHS edit that removes the tuple from a pattern's scope).
+    /// Distance charged for replacing a value with a fresh placeholder (an
+    /// LHS edit that removes the tuple from a pattern's scope). Placeholder
+    /// edits bypass the value-distance metric.
     pub placeholder_distance: f64,
+    /// The value-distance metric for concrete replacements.
+    pub distance: Arc<dyn ValueDistance>,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            tuple_weight: 1.0,
+            weights: TupleWeights::default(),
             replace_distance: 1.0,
             placeholder_distance: 1.5,
+            distance: Arc::new(UnitDistance),
         }
     }
 }
 
 impl CostModel {
-    /// The cost of changing `old` into `new` in a tuple of weight
-    /// [`CostModel::tuple_weight`]. Identical values cost nothing.
-    pub fn change_cost(&self, old: &Value, new: &Value) -> f64 {
-        if old == new {
-            0.0
-        } else if is_placeholder(new) {
-            self.tuple_weight * self.placeholder_distance
-        } else {
-            self.tuple_weight * self.replace_distance
+    /// A cost model using [`NormalizedEditDistance`] for replacements.
+    pub fn with_edit_distance() -> Self {
+        CostModel {
+            distance: Arc::new(NormalizedEditDistance),
+            ..CostModel::default()
         }
     }
-}
 
-/// Whether a value is one of the fresh placeholders introduced by LHS edits.
-pub fn is_placeholder(v: &Value) -> bool {
-    matches!(v, Value::Str(s) if s.starts_with("__unknown_"))
-}
+    /// The weight of `row`.
+    pub fn weight(&self, row: usize) -> f64 {
+        self.weights.get(row)
+    }
 
-/// Builds the `i`-th fresh placeholder value.
-pub fn placeholder(i: usize) -> Value {
-    Value::Str(format!("__unknown_{i}"))
+    /// The cost of changing `old` into `new` in `row`:
+    /// `weight(row) × dist(old, new)` (scaled by
+    /// [`CostModel::replace_distance`]), or
+    /// `weight(row) × placeholder_distance` when `new` is a minted
+    /// placeholder. Identical values cost nothing.
+    pub fn change_cost(&self, row: usize, old: &Value, new: &Value) -> f64 {
+        if old == new {
+            0.0
+        } else if placeholder::is_placeholder_value(new) {
+            self.weight(row) * self.placeholder_distance
+        } else {
+            self.weight(row) * self.replace_distance * self.distance.distance(old, new)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_relation::AttrType;
 
     #[test]
     fn identical_values_cost_nothing() {
         let m = CostModel::default();
-        assert_eq!(m.change_cost(&Value::from("a"), &Value::from("a")), 0.0);
+        assert_eq!(m.change_cost(0, &Value::from("a"), &Value::from("a")), 0.0);
     }
 
     #[test]
     fn replacement_and_placeholder_costs() {
         let m = CostModel::default();
-        assert_eq!(m.change_cost(&Value::from("a"), &Value::from("b")), 1.0);
-        assert_eq!(m.change_cost(&Value::from("a"), &placeholder(3)), 1.5);
+        assert_eq!(m.change_cost(0, &Value::from("a"), &Value::from("b")), 1.0);
+        let ph = placeholder::mint(AttrType::Text).resolve();
+        assert_eq!(m.change_cost(0, &Value::from("a"), ph), 1.5);
     }
 
     #[test]
-    fn weights_scale_costs() {
+    fn per_row_weights_scale_costs() {
+        let mut weights = TupleWeights::uniform(2.0);
+        weights.set(3, 0.25);
         let m = CostModel {
-            tuple_weight: 2.0,
+            weights,
             ..CostModel::default()
         };
-        assert_eq!(m.change_cost(&Value::from("a"), &Value::from("b")), 2.0);
+        assert_eq!(m.change_cost(0, &Value::from("a"), &Value::from("b")), 2.0);
+        assert_eq!(m.change_cost(3, &Value::from("a"), &Value::from("b")), 0.25);
     }
 
     #[test]
-    fn placeholder_detection() {
-        assert!(is_placeholder(&placeholder(0)));
-        assert!(!is_placeholder(&Value::from("ordinary")));
-        assert!(!is_placeholder(&Value::Int(7)));
+    fn unit_distance_is_all_or_nothing() {
+        let d = UnitDistance;
+        assert_eq!(d.distance(&Value::from("abc"), &Value::from("abc")), 0.0);
+        assert_eq!(d.distance(&Value::from("abc"), &Value::from("abd")), 1.0);
+        assert_eq!(d.distance(&Value::Int(1), &Value::Int(2)), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_scales_with_similarity() {
+        let d = NormalizedEditDistance;
+        assert_eq!(d.distance(&Value::from("NYC"), &Value::from("NYC")), 0.0);
+        // One substitution out of three characters.
+        let typo = d.distance(&Value::from("NYC"), &Value::from("NYA"));
+        assert!((typo - 1.0 / 3.0).abs() < 1e-9, "got {typo}");
+        // A full rewrite costs 1.
+        assert_eq!(d.distance(&Value::from("abc"), &Value::from("xyz")), 1.0);
+        // Mixed types fall back to unit distance.
+        assert_eq!(d.distance(&Value::Int(5), &Value::from("5")), 1.0);
+        assert_eq!(d.distance(&Value::Int(5), &Value::Int(6)), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("07974", "07975"), 1);
+    }
+
+    #[test]
+    fn edit_distance_model_prices_typos_cheaper() {
+        let m = CostModel::with_edit_distance();
+        let typo = m.change_cost(0, &Value::from("07974"), &Value::from("07975"));
+        let rewrite = m.change_cost(0, &Value::from("07974"), &Value::from("EH4 1DT"));
+        assert!(typo < rewrite, "typo {typo} vs rewrite {rewrite}");
     }
 }

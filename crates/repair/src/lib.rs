@@ -1,4 +1,4 @@
-//! # cfd-repair — heuristic repair of CFD violations (Section 6)
+//! # cfd-repair — cost-based repair of CFD violations (Section 6)
 //!
 //! The paper shows that finding a minimal repair w.r.t. a set of CFDs is
 //! NP-complete (Theorem 6.1) and observes that, unlike standard FDs, CFD
@@ -6,23 +6,35 @@
 //! only: sometimes an attribute on the *left-hand side* of an embedded FD
 //! must change. The repair algorithm itself is deferred in the paper ("we
 //! defer report on the heuristic"); this crate implements the approach the
-//! paper sketches — cost-based attribute-value modification in the style of
-//! Bohannon et al. (SIGMOD 2005) extended to pattern tableaux:
+//! paper sketches — cost-based attribute-value modification in the framework
+//! of Bohannon et al. (SIGMOD 2005) extended to pattern tableaux — as two
+//! engines behind the [`RepairKind`] selector:
 //!
-//! 1. single-tuple violations are resolved by overwriting the offending RHS
-//!    attribute with the pattern constant;
-//! 2. multi-tuple violations are resolved per equivalence class (tuples that
-//!    agree and match a pattern on `X`) by moving the minority to the
-//!    plurality `Y` value;
-//! 3. when neither step makes progress (the cross-CFD interaction the paper
-//!    uses to motivate LHS edits), one LHS attribute of a violating tuple is
-//!    set to a fresh value, which removes it from the pattern's scope.
+//! * [`RepairKind::EquivClass`] (default) — explicit **cell equivalence
+//!   classes** ([`classes`]): a union-find over `(row, attribute)` cells
+//!   forced equal by multi-tuple witnesses or pinned by pattern constants,
+//!   class targets chosen by minimizing the **weighted cost**
+//!   `Σ weight(row) × dist(current, candidate)` under a pluggable
+//!   [`ValueDistance`] metric, and **incremental violation maintenance**:
+//!   after the single seeding detection pass, each applied edit re-checks
+//!   only the `GROUP BY X` groups it touched (via
+//!   [`cfd_detect::recheck_lhs_key`] over maintained LHS indexes). Pin
+//!   conflicts — the cross-CFD interaction that forces LHS edits — are
+//!   detected structurally and resolved with fresh typed placeholders
+//!   ([`cfd_relation::placeholder`]).
+//! * [`RepairKind::Heuristic`] — the pass-loop reference engine: re-detect
+//!   everything every pass, resolve witnesses one by one, LHS-edit on
+//!   stall. Kept for differential testing against the class engine.
 //!
-//! The result carries the full modification list and its cost under a
-//! configurable [`CostModel`], and is re-verified against the input CFDs.
+//! Both engines are **deterministic** (witnesses sorted, ties broken on
+//! resolved values, no hash-order dependence) and both report the full
+//! modification log plus its **net** cost under the configured [`CostModel`]
+//! — each modified cell priced once from its original to its final value.
 
+pub mod class_engine;
+pub mod classes;
 pub mod cost;
 pub mod repair;
 
-pub use cost::CostModel;
-pub use repair::{Modification, RepairConfig, RepairResult, Repairer};
+pub use cost::{CostModel, NormalizedEditDistance, UnitDistance, ValueDistance};
+pub use repair::{Modification, RepairConfig, RepairKind, RepairResult, Repairer};

@@ -11,7 +11,9 @@
 //!   inference system and minimal covers.
 //! * [`detect`] — SQL-based, direct, hash-sharded parallel and incremental
 //!   (streaming) violation detection, selectable via [`DetectorKind`].
-//! * [`repair`] — heuristic, cost-based repair (Section 6).
+//! * [`repair`] — cost-based repair (Section 6): the equivalence-class
+//!   engine with incremental violation maintenance, plus the pass-loop
+//!   reference heuristic, selectable via [`RepairKind`].
 //! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
 //! * [`datagen`] — the `cust` running example and the synthetic tax-records
 //!   workload used by the evaluation.
@@ -27,6 +29,7 @@ pub use cfd_repair as repair;
 pub use cfd_sql as sql;
 
 pub use cfd_detect::DetectorKind;
+pub use cfd_repair::RepairKind;
 
 use std::sync::Arc;
 
@@ -53,6 +56,26 @@ pub fn detect_violations(
     kind.detect_set(cfds, data)
 }
 
+/// Repairs `rel` with respect to `cfds` using the selected engine — the
+/// facade-level entry point over both repair paths of the workspace.
+///
+/// ```
+/// use cfd::prelude::*;
+///
+/// let data = cust_instance();
+/// let cfds: Vec<Cfd> = cfd::datagen::fig2_cfd_set().into_iter().collect();
+/// let by_classes = cfd::repair_violations(RepairKind::EquivClass, &cfds, &data);
+/// let by_passes = cfd::repair_violations(RepairKind::Heuristic, &cfds, &data);
+/// assert!(by_classes.satisfied && by_passes.satisfied);
+/// ```
+pub fn repair_violations(
+    kind: RepairKind,
+    cfds: &[cfd_core::Cfd],
+    rel: &cfd_relation::Relation,
+) -> cfd_repair::RepairResult {
+    kind.repair(cfds, rel)
+}
+
 /// Commonly used items, importable with `use cfd::prelude::*;`.
 pub mod prelude {
     pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
@@ -60,7 +83,7 @@ pub mod prelude {
     pub use cfd_detect::{
         BatchOp, Detector, DetectorKind, IncrementalDetector, ShardedDetector, Violations,
     };
-    pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, Value};
-    pub use cfd_repair::Repairer;
+    pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, TupleWeights, Value};
+    pub use cfd_repair::{CostModel, RepairKind, RepairResult, Repairer};
     pub use cfd_sql::{Catalog, Executor, Strategy};
 }

@@ -17,9 +17,12 @@
 //! documented weaker guarantee (identical `QC` component, agreeing
 //! emptiness).
 //!
-//! The randomized workloads additionally run once through `cfd-repair` and
-//! re-detect on the repaired instance, so the in-place columnar cell edits
-//! are differentially checked across every read path as well.
+//! The randomized workloads additionally run through **both** `cfd-repair`
+//! engines (the pass-loop heuristic and the equivalence-class engine), and
+//! every detector path must agree byte-for-byte on each repaired instance —
+//! so the in-place columnar cell edits are differentially checked across
+//! every read path, and whenever an engine reports `satisfied`, all four
+//! detector paths must report its instance violation-free.
 //!
 //! The `#[ignore]`d 100k-row case is the CI-sized version of the same
 //! harness (`cargo test --release -- --include-ignored`).
@@ -30,7 +33,7 @@ use cfd_datagen::rng::StdRng;
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
 use cfd_detect::{Detector, DetectorKind, DirectDetector, ShardedDetector, Violations};
 use cfd_relation::{Relation, Schema, Tuple, Value};
-use cfd_repair::Repairer;
+use cfd_repair::RepairKind;
 use std::sync::Arc;
 
 /// Typed equality (catches value-type divergences Display would erase) plus
@@ -243,27 +246,40 @@ fn randomized_relations_agree_across_all_paths() {
         let set = vec![random_cfd(&mut rng), random_cfd(&mut rng)];
         assert_paths_agree_on_set(&set, &rel, &format!("random set {case}"));
 
-        // Repair once, then re-detect on the edited instance.
-        let result = Repairer::new().repair(&set, &rel);
-        assert_eq!(result.repaired.len(), rel.len(), "repair never drops rows");
-        assert_paths_agree_on_set(
-            &set,
-            &result.repaired,
-            &format!("random set {case} after repair"),
-        );
-        if result.satisfied {
-            repaired_clean += 1;
-            assert!(
-                DirectDetector::new()
-                    .detect_set(&set, &result.repaired)
-                    .is_clean(),
-                "case {case}: satisfied repair must re-detect clean"
+        // Repair with both engines, then re-detect on each edited instance:
+        // every detector path must agree byte-for-byte on the repaired
+        // relations, and a satisfied engine must leave an instance all four
+        // paths report as violation-free.
+        let mut satisfied_both = true;
+        for kind in [RepairKind::Heuristic, RepairKind::EquivClass] {
+            let result = kind.repair(&set, &rel);
+            assert_eq!(
+                result.repaired.len(),
+                rel.len(),
+                "{kind:?} repair never drops rows"
             );
+            assert_paths_agree_on_set(
+                &set,
+                &result.repaired,
+                &format!("random set {case} after {kind:?} repair"),
+            );
+            satisfied_both &= result.satisfied;
+            if result.satisfied {
+                assert!(
+                    DirectDetector::new()
+                        .detect_set(&set, &result.repaired)
+                        .is_clean(),
+                    "case {case}: satisfied {kind:?} repair must re-detect clean"
+                );
+            }
+        }
+        if satisfied_both {
+            repaired_clean += 1;
         }
     }
     assert!(
         repaired_clean > 0,
-        "the sweep must include successfully repaired workloads"
+        "the sweep must include workloads both engines fully repair"
     );
 }
 

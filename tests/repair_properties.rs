@@ -1,0 +1,132 @@
+//! Property tests for the repair layer, across both [`RepairKind`] engines.
+//!
+//! * `repair_idempotence_*` — for seeded random noisy datagen instances,
+//!   repairing an already-repaired instance makes **0 modifications** and
+//!   `satisfied` stays true, under both engines;
+//! * `repairs_are_deterministic_across_runs` — identical inputs yield
+//!   byte-identical modification logs, repaired instances and costs;
+//! * the `#[ignore]`d heavy variant runs the same idempotence sweep at CI
+//!   scale (`cargo test --release -- --include-ignored`).
+
+use cfd_core::Cfd;
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::rng::StdRng;
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_repair::{RepairKind, RepairResult};
+
+const BOTH: [RepairKind; 2] = [RepairKind::Heuristic, RepairKind::EquivClass];
+
+/// A seeded noisy tax workload plus CFDs both engines can fully repair
+/// (constant tableaux pin targets; the plain-FD component exercises merges).
+fn workload(size: usize, noise: f64, seed: u64) -> (Vec<Cfd>, cfd_relation::Relation) {
+    let noisy = TaxGenerator::new(TaxConfig {
+        size,
+        noise_percent: noise,
+        seed,
+    })
+    .generate()
+    .relation;
+    let gen = CfdWorkload::new(seed ^ 0xABCD);
+    let cfds = vec![
+        gen.zip_state_full(),
+        gen.single(EmbeddedFd::AreaToCity, 120, 100.0),
+        gen.single(EmbeddedFd::StateMaritalToExemption, 60, 100.0),
+    ];
+    (cfds, noisy)
+}
+
+fn assert_idempotent(kind: RepairKind, cfds: &[Cfd], rel: &cfd_relation::Relation, label: &str) {
+    let first: RepairResult = kind.repair(cfds, rel);
+    assert!(first.satisfied, "{label}: {kind:?} must converge");
+    let second = kind.repair(cfds, &first.repaired);
+    assert_eq!(
+        second.changes(),
+        0,
+        "{label}: {kind:?} re-repair must be a no-op, got {:?}",
+        second.modifications
+    );
+    assert!(
+        second.satisfied,
+        "{label}: {kind:?} satisfaction must persist"
+    );
+    assert_eq!(second.cost, 0.0, "{label}: a no-op repair costs nothing");
+    assert_eq!(
+        second.repaired, first.repaired,
+        "{label}: re-repair must not move a single cell"
+    );
+}
+
+#[test]
+fn repair_idempotence_on_seeded_noisy_instances() {
+    let mut rng = StdRng::seed_from_u64(0x1DE0_7E57);
+    for case in 0..6 {
+        let size = 200 + rng.gen_range(0usize..400);
+        let noise = [2.0, 5.0, 12.0][rng.gen_range(0usize..3)];
+        let seed = 9000 + case;
+        let (cfds, noisy) = workload(size, noise, seed);
+        assert!(
+            cfds.iter().any(|c| !c.satisfied_by(&noisy)) || noise == 0.0,
+            "case {case}: the workload should usually carry violations"
+        );
+        for kind in BOTH {
+            assert_idempotent(
+                kind,
+                &cfds,
+                &noisy,
+                &format!("case {case} (SZ={size}, NOISE={noise})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn repairs_are_deterministic_across_runs() {
+    let (cfds, noisy) = workload(500, 8.0, 777);
+    for kind in BOTH {
+        let first = kind.repair(&cfds, &noisy);
+        assert!(first.satisfied);
+        for run in 0..3 {
+            let again = kind.repair(&cfds, &noisy);
+            assert_eq!(
+                again.modifications, first.modifications,
+                "{kind:?} run {run}: modification logs diverged"
+            );
+            assert_eq!(again.repaired, first.repaired, "{kind:?} run {run}");
+            assert_eq!(again.cost, first.cost, "{kind:?} run {run}");
+            assert_eq!(again.passes, first.passes, "{kind:?} run {run}");
+        }
+    }
+}
+
+#[test]
+fn net_cost_never_exceeds_raw_touch_pricing() {
+    // The net fold can only drop or collapse per-cell charges.
+    let (cfds, noisy) = workload(400, 10.0, 31);
+    for kind in BOTH {
+        let result = kind.repair(&cfds, &noisy);
+        assert!(result.satisfied);
+        assert!(result.net_modifications().len() <= result.changes());
+        assert!(result.cost <= result.changes() as f64 * 1.5 + 1e-9);
+        assert!(result.cost > 0.0, "{kind:?}: real repairs cost something");
+    }
+}
+
+/// CI-sized idempotence + determinism sweep
+/// (`cargo test --release -- --include-ignored`).
+#[test]
+#[ignore = "large repair property sweep; run with --include-ignored (CI job)"]
+fn repair_idempotence_at_ci_scale() {
+    for (size, noise, seed) in [(20_000, 5.0, 51), (50_000, 3.0, 52)] {
+        let (cfds, noisy) = workload(size, noise, seed);
+        for kind in BOTH {
+            assert_idempotent(kind, &cfds, &noisy, &format!("SZ={size}, NOISE={noise}"));
+        }
+    }
+    // Determinism at scale for the class engine.
+    let (cfds, noisy) = workload(50_000, 5.0, 53);
+    let first = RepairKind::EquivClass.repair(&cfds, &noisy);
+    let again = RepairKind::EquivClass.repair(&cfds, &noisy);
+    assert!(first.satisfied);
+    assert_eq!(again.modifications, first.modifications);
+    assert_eq!(again.repaired, first.repaired);
+}
