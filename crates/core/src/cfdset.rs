@@ -89,6 +89,27 @@ impl CfdSet {
         Ok(consistency::is_consistent(&self.normalize()?))
     }
 
+    /// Prepare-time validation: errors with [`CfdError::Inconsistent`] when
+    /// the set admits no nonempty satisfying instance (Section 3.1), so an
+    /// engine can reject a hopeless rule set **before any data is touched**.
+    ///
+    /// CFDs whose tableaux contain the don't-care symbol `@` are merged-
+    /// tableaux artifacts (Section 4.2) that the normal form cannot express;
+    /// they are *skipped* by this check (the consistency verdict covers the
+    /// `@`-free subset), rather than rejected like
+    /// [`CfdSet::is_consistent`] would.
+    pub fn ensure_consistent(&self) -> Result<()> {
+        let mut normal = Vec::new();
+        for cfd in self.cfds.iter().filter(|c| !c.has_dont_care()) {
+            normal.extend(NormalCfd::normalize(cfd)?);
+        }
+        if consistency::is_consistent(&normal) {
+            Ok(())
+        } else {
+            Err(CfdError::Inconsistent)
+        }
+    }
+
     /// Whether this set implies the given normal-form CFD.
     pub fn implies(&self, phi: &NormalCfd) -> Result<bool> {
         Ok(implication::implies(&self.normalize()?, phi))
@@ -238,6 +259,47 @@ mod tests {
     fn fig2_set_is_consistent() {
         let set = fig2_cfds();
         assert!(set.is_consistent().unwrap());
+        set.ensure_consistent().unwrap();
+    }
+
+    #[test]
+    fn ensure_consistent_rejects_conflicting_constants() {
+        // (A -> B, (_ ‖ b)) plus (A -> B, (_ ‖ c)): every tuple would need
+        // B = b and B = c at once — Example 3.1's inconsistency.
+        let s = Schema::builder("r").text("A").text("B").build();
+        let to_b = Cfd::builder(s.clone(), ["A"], ["B"])
+            .pattern(["_"], ["b"])
+            .build()
+            .unwrap();
+        let to_c = Cfd::builder(s, ["A"], ["B"])
+            .pattern(["_"], ["c"])
+            .build()
+            .unwrap();
+        let set = CfdSet::from_cfds(vec![to_b.clone(), to_c]).unwrap();
+        assert_eq!(set.ensure_consistent().unwrap_err(), CfdError::Inconsistent);
+        // A single one of them is fine.
+        CfdSet::from_cfds(vec![to_b])
+            .unwrap()
+            .ensure_consistent()
+            .unwrap();
+    }
+
+    #[test]
+    fn ensure_consistent_skips_dont_care_tableaux() {
+        // A merged-style tableau with @ cells would make `is_consistent`
+        // error out; `ensure_consistent` checks the @-free subset instead.
+        let s = cust_schema();
+        let merged_style = Cfd::builder(s.clone(), ["CC", "AC"], ["CT"])
+            .pattern(["01", "@"], ["@"])
+            .build()
+            .unwrap();
+        let plain = Cfd::builder(s, ["CC", "AC"], ["CT"])
+            .pattern(["01", "215"], ["PHI"])
+            .build()
+            .unwrap();
+        let set = CfdSet::from_cfds(vec![merged_style, plain]).unwrap();
+        assert!(set.is_consistent().is_err(), "normal form rejects @");
+        set.ensure_consistent().unwrap();
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub enum CfdError {
         /// Second schema name.
         right: String,
     },
+    /// The CFD set is inconsistent: no nonempty instance satisfies it
+    /// (Section 3.1), so preparing it for detection or repair is pointless —
+    /// every tuple of every instance would violate it.
+    Inconsistent,
     /// An error bubbled up from the relational substrate.
     Relation(RelationError),
 }
@@ -64,6 +68,9 @@ impl fmt::Display for CfdError {
             }
             CfdError::MixedSchemas { left, right } => {
                 write!(f, "CFDs defined over different schemas: `{left}` vs `{right}`")
+            }
+            CfdError::Inconsistent => {
+                write!(f, "the CFD set is inconsistent: no nonempty instance satisfies it")
             }
             CfdError::Relation(e) => write!(f, "relation error: {e}"),
         }

@@ -12,7 +12,7 @@
 
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{project_cols_into, Relation, Tuple, Value, ValueId};
+use cfd_relation::{project_cols, project_cols_into, Index, Relation, Tuple, Value, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Per-LHS-key state of the columnar scan, fused so each row costs a single
@@ -84,6 +84,67 @@ pub(crate) fn detect_rows(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]>) -> Vi
     }
     for (key, state) in groups {
         if matches!(state, GroupState::ManyY) {
+            out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+    }
+    out
+}
+
+/// The group-driven `QC`+`QV` scan over a **prebuilt** LHS [`Index`] — the
+/// prepared-engine counterpart of [`DirectDetector::detect`], consumed by a serving
+/// session that builds its per-CFD indexes once and shares them between
+/// detection and the repair engine's dirty-group tracking.
+///
+/// Semantics are identical to [`DirectDetector::detect`] (the
+/// detector-equivalence tests pin byte-identical [`Violations`]): per index
+/// group, the pattern match on `X` is decided once per *key* instead of once
+/// per row, `QC` violators contribute their full tuples and groups with more
+/// than one distinct `Y` projection contribute their key. Grouping therefore
+/// costs nothing at detection time — it was paid once when the index was
+/// built — so a repeated detection over an unchanged instance is
+/// `O(|Tp| × #groups + |I_matched|)` with no hashing at all.
+///
+/// # Contract
+///
+/// * `index` must cover `cfd.lhs()` in LHS order and be in sync with `rel`
+///   (same rows, maintained through [`Index::insert_row`] /
+///   [`Index::remove_row`] across edits).
+/// * `cfd` must not contain the don't-care symbol `@` (merged tableaux group
+///   by *effective* attribute subsets a full-LHS index cannot reproduce);
+///   callers fall back to [`DirectDetector::detect`] for those.
+pub fn detect_with_index(cfd: &Cfd, rel: &Relation, index: &Index) -> Violations {
+    debug_assert!(
+        !cfd.has_dont_care(),
+        "detect_with_index groups by the full LHS; don't-care tableaux need detect_rows"
+    );
+    debug_assert_eq!(
+        index.attrs(),
+        cfd.lhs(),
+        "the index must cover the CFD's LHS attributes in order"
+    );
+    let ycols = rel.columns_for(cfd.rhs());
+    let mut out = Violations::new();
+    let mut matching: Vec<&cfd_core::PatternTuple> = Vec::new();
+    for (key, rows) in index.iter() {
+        matching.clear();
+        matching.extend(cfd.tableau().iter().filter(|p| p.lhs_matches_ids(key)));
+        if matching.is_empty() {
+            continue;
+        }
+        let mut first_y: Option<Vec<ValueId>> = None;
+        let mut multi = false;
+        for &row in rows {
+            let y = project_cols(&ycols, row);
+            if matching.iter().any(|p| !p.rhs_matches_ids(&y)) {
+                out.add_constant_violation(rel.row(row).expect("row in range").to_values());
+            }
+            match &first_y {
+                None => first_y = Some(y),
+                Some(seen) if *seen != y => multi = true,
+                Some(_) => {}
+            }
+        }
+        if multi {
             out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
         }
     }
@@ -275,6 +336,64 @@ mod tests {
         let rel = cust_instance();
         let v = DirectDetector::new().detect_set(&[phi1(), phi2(), phi3_with_fd()], &rel);
         assert_eq!(v.constant_violations().len(), 2);
+    }
+
+    #[test]
+    fn index_driven_detection_matches_the_row_scan() {
+        use cfd_datagen::records::{TaxConfig, TaxGenerator};
+        use cfd_datagen::{CfdWorkload, EmbeddedFd};
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 700,
+            noise_percent: 9.0,
+            seed: 51,
+        })
+        .generate()
+        .relation;
+        let workload = CfdWorkload::new(2);
+        for (fd, tab, consts) in [
+            (EmbeddedFd::ZipToState, 80, 100.0),
+            (EmbeddedFd::AreaToCity, 60, 40.0),
+            (EmbeddedFd::StateMaritalToExemption, 40, 0.0),
+        ] {
+            let cfd = workload.single(fd, tab, consts);
+            let index = noisy.build_index(cfd.lhs());
+            let via_index = detect_with_index(&cfd, &noisy, &index);
+            let via_scan = DirectDetector::new().detect(&cfd, &noisy);
+            assert_eq!(via_index, via_scan, "{fd:?}");
+            assert_eq!(via_index.canonical_bytes(), via_scan.canonical_bytes());
+        }
+        // And on the running example, multi-tuple keys included.
+        let mut rel = cust_instance();
+        rel.set_value(1, AttrId(4), Value::from("Other Ave."));
+        let cfd = phi2();
+        let index = rel.build_index(cfd.lhs());
+        assert_eq!(
+            detect_with_index(&cfd, &rel, &index),
+            DirectDetector::new().detect(&cfd, &rel)
+        );
+    }
+
+    #[test]
+    fn index_driven_detection_tracks_maintained_indexes() {
+        // Edit a cell, maintain the index, re-detect through the same index.
+        let mut rel = cust_instance();
+        let cfd = phi2();
+        let mut index = rel.build_index(cfd.lhs());
+        assert_eq!(
+            detect_with_index(&cfd, &rel, &index)
+                .constant_violations()
+                .len(),
+            2
+        );
+        let ct = rel.schema().resolve("CT").unwrap();
+        for row in [0usize, 1] {
+            let old = rel.row(row).unwrap().to_ids();
+            rel.set_value(row, ct, Value::from("MH"));
+            let new = rel.row(row).unwrap().to_ids();
+            index.remove_row(row, &old);
+            index.insert_row(row, &new);
+        }
+        assert!(detect_with_index(&cfd, &rel, &index).is_clean());
     }
 
     #[test]

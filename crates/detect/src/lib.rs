@@ -58,9 +58,9 @@ pub mod sharded;
 pub mod single;
 
 pub use detector::{DetectStats, Detector, DetectorKind};
-pub use direct::DirectDetector;
+pub use direct::{detect_with_index, DirectDetector};
 pub use incremental::{BatchOp, IncrementalDetector};
 pub use merge::MergedTableaux;
 pub use recheck::recheck_lhs_key;
-pub use report::Violations;
+pub use report::{ViolationItem, Violations};
 pub use sharded::ShardedDetector;

@@ -65,6 +65,27 @@ impl Violations {
         self.multi_tuple_keys.extend(other.multi_tuple_keys);
     }
 
+    /// Iterates the report as typed [`ViolationItem`]s — single-tuple
+    /// violations first, then multi-tuple keys, both in their ordered-set
+    /// order. This is the form a session's `explain` accessor consumes, so
+    /// report iteration and provenance lookup fuse into one loop:
+    ///
+    /// ```ignore
+    /// for item in session.detect()?.items() {
+    ///     for explanation in session.explain(&item)? { /* … */ }
+    /// }
+    /// ```
+    pub fn items(&self) -> impl Iterator<Item = ViolationItem> + '_ {
+        self.constant_violations
+            .iter()
+            .map(|t| ViolationItem::Constant(t.clone()))
+            .chain(
+                self.multi_tuple_keys
+                    .iter()
+                    .map(|k| ViolationItem::MultiTupleKey(k.clone())),
+            )
+    }
+
     /// The canonical serialized form of the report: the [`fmt::Display`]
     /// rendering as bytes. Equal reports always render to equal bytes; the
     /// converse does *not* hold (rendering erases value types — `Int(5)` and
@@ -73,6 +94,28 @@ impl Violations {
     /// latter pins the user-visible rendering.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         self.to_string().into_bytes()
+    }
+}
+
+/// One finding of a [`Violations`] report, tagged with its kind — the unit
+/// of iteration [`Violations::items`] yields and a session's `explain`
+/// provenance accessor takes back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationItem {
+    /// A single-tuple (`QC`) violation: the full violating tuple.
+    Constant(Vec<Value>),
+    /// A multi-tuple (`QV`) violation: the `X`-projection key of a group
+    /// with more than one distinct `Y` projection.
+    MultiTupleKey(Vec<Value>),
+}
+
+impl ViolationItem {
+    /// The carried values (the full tuple or the group key).
+    pub fn values(&self) -> &[Value] {
+        match self {
+            ViolationItem::Constant(t) => t,
+            ViolationItem::MultiTupleKey(k) => k,
+        }
     }
 }
 
@@ -153,6 +196,23 @@ mod tests {
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
         b.add_constant_violation(vec![Value::from("y")]);
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn items_iterate_both_kinds_in_order() {
+        let mut v = Violations::new();
+        v.add_multi_tuple_key(vec![Value::from("k")]);
+        v.add_constant_violation(vec![Value::from("x"), Value::from("y")]);
+        let items: Vec<ViolationItem> = v.items().collect();
+        assert_eq!(
+            items,
+            vec![
+                ViolationItem::Constant(vec![Value::from("x"), Value::from("y")]),
+                ViolationItem::MultiTupleKey(vec![Value::from("k")]),
+            ]
+        );
+        assert_eq!(items[0].values().len(), 2);
+        assert_eq!(items[1].values(), &[Value::from("k")]);
     }
 
     #[test]

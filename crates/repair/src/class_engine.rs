@@ -19,7 +19,7 @@
 //!    values its cells currently hold) minimizing the weighted cost
 //!    `Σ weight(row) × dist(current, candidate)` under the configured
 //!    [`CostModel`](crate::cost::CostModel); ties break on the smallest
-//!    resolved [`Value`]. Pinned
+//!    resolved [`cfd_relation::Value`]. Pinned
 //!    classes take their pin. Classes with *conflicting* pins cannot be
 //!    satisfied by RHS edits (Section 6's motivating observation) — an LHS
 //!    attribute of one involved row is overwritten with a fresh typed
@@ -54,12 +54,28 @@ use crate::repair::{
 };
 use cfd_core::{Cfd, ViolationWitness};
 use cfd_detect::recheck_lhs_key;
-use cfd_relation::{project_attrs, AttrId, Index, Relation, Value, ValueId};
+use cfd_relation::{project_attrs, AttrId, Index, Relation, ValueId};
 use std::collections::{BTreeSet, HashSet};
 
 /// Entry point: repairs `rel` w.r.t. `cfds` under `config`.
 pub(crate) fn repair(cfds: &[Cfd], rel: &Relation, config: &RepairConfig) -> RepairResult {
-    Engine::new(cfds, rel, config).run()
+    Engine::new(cfds, rel, config, None).run()
+}
+
+/// Entry point with **prebuilt** per-CFD LHS indexes (one slot per CFD, in
+/// CFD order; `None` slots — and don't-care CFDs, whose slot is ignored —
+/// fall back to the engine's own handling). Each supplied index must cover
+/// its CFD's LHS attributes in order and be in sync with `rel`; the engine
+/// takes them over and maintains them across its edits. Results are
+/// byte-identical to [`repair`] — seeding visits index keys in sorted order,
+/// so index provenance never influences a choice.
+pub(crate) fn repair_with_indexes(
+    cfds: &[Cfd],
+    rel: &Relation,
+    config: &RepairConfig,
+    indexes: Vec<Option<Index>>,
+) -> RepairResult {
+    Engine::new(cfds, rel, config, Some(indexes)).run()
 }
 
 /// One witness's identity within a round signature:
@@ -85,13 +101,40 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfds: &'a [Cfd], rel: &Relation, config: &'a RepairConfig) -> Self {
+    fn new(
+        cfds: &'a [Cfd],
+        rel: &Relation,
+        config: &'a RepairConfig,
+        prebuilt: Option<Vec<Option<Index>>>,
+    ) -> Self {
         let rel = rel.clone();
         let keyed: Vec<bool> = cfds.iter().map(|c| !c.has_dont_care()).collect();
+        let mut prebuilt = prebuilt
+            .map(|v| {
+                debug_assert_eq!(v.len(), cfds.len(), "one index slot per CFD");
+                v.into_iter().map(Some).collect::<Vec<_>>()
+            })
+            .unwrap_or_else(|| vec![None; cfds.len()]);
         let indexes: Vec<Option<Index>> = cfds
             .iter()
             .zip(&keyed)
-            .map(|(c, &k)| k.then(|| rel.build_index(c.lhs())))
+            .enumerate()
+            .map(|(i, (c, &k))| {
+                if !k {
+                    return None;
+                }
+                match prebuilt.get_mut(i).and_then(Option::take).flatten() {
+                    Some(index) => {
+                        debug_assert_eq!(
+                            index.attrs(),
+                            c.lhs(),
+                            "prebuilt index must cover the CFD's LHS in order"
+                        );
+                        Some(index)
+                    }
+                    None => Some(rel.build_index(c.lhs())),
+                }
+            })
             .collect();
         Engine {
             cfds,
@@ -271,40 +314,15 @@ impl<'a> Engine<'a> {
     /// values the cells currently hold, minimize
     /// `Σ weight(row) × dist(current, candidate)`; break cost ties on the
     /// smallest resolved value (with unit distance and uniform weights this
-    /// degrades to the plurality vote with deterministic ties).
+    /// degrades to the plurality vote with deterministic ties). The selection
+    /// rule itself lives in [`CostModel::class_target`](crate::cost::CostModel::class_target)
+    /// so provenance accessors can report the same choice.
     fn choose_target(&self, class: &CellClass) -> ValueId {
-        let model = &self.config.cost_model;
-        let current: Vec<(usize, ValueId)> = class
-            .cells
-            .iter()
-            .map(|&(row, attr)| (row, self.rel.column(attr)[row]))
-            .collect();
-        let mut candidates: Vec<ValueId> = current.iter().map(|&(_, id)| id).collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-
-        let mut best: Option<(f64, &'static Value, ValueId)> = None;
-        for &cand in &candidates {
-            let cand_value = cand.resolve();
-            let cost: f64 = current
-                .iter()
-                .filter(|&&(_, cur)| cur != cand)
-                .map(|&(row, cur)| {
-                    model.weight(row) * model.distance.distance(cur.resolve(), cand_value)
-                })
-                .sum();
-            let better = match &best {
-                None => true,
-                Some((best_cost, best_value, _)) => {
-                    cost + 1e-12 < *best_cost
-                        || ((cost - best_cost).abs() <= 1e-12 && cand_value < best_value)
-                }
-            };
-            if better {
-                best = Some((cost, cand_value, cand));
-            }
-        }
-        best.expect("a class always has at least one cell").2
+        self.config
+            .cost_model
+            .class_target(&self.rel, &class.cells)
+            .expect("a class always has at least one cell")
+            .0
     }
 
     /// Applies one cell edit: updates the relation, the per-CFD LHS indexes,

@@ -25,7 +25,7 @@
 //! original value is not charged at all. See
 //! [`RepairResult::cost`](crate::RepairResult::cost).
 
-use cfd_relation::{placeholder, TupleWeights, Value};
+use cfd_relation::{placeholder, AttrId, Relation, TupleWeights, Value, ValueId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -141,6 +141,55 @@ impl CostModel {
     /// The weight of `row`.
     pub fn weight(&self, row: usize) -> f64 {
         self.weights.get(row)
+    }
+
+    /// The weighted cost-minimal target of an equivalence class of cells:
+    /// among the values the `(row, attribute)` cells currently hold in
+    /// `rel`, the candidate minimizing
+    /// `Σ weight(row) × dist(current, candidate)` over the disagreeing
+    /// cells, with cost ties broken on the smallest resolved [`Value`].
+    /// Returns the chosen target and that minimal selection cost, or `None`
+    /// for an empty class.
+    ///
+    /// This is the exact target-selection rule of the equivalence-class
+    /// repair engine (which delegates here), exposed so a session's
+    /// `explain` accessor can report the class target a repair *would*
+    /// choose — with its cost — without running the repair.
+    pub fn class_target(
+        &self,
+        rel: &Relation,
+        cells: &[(usize, AttrId)],
+    ) -> Option<(ValueId, f64)> {
+        let current: Vec<(usize, ValueId)> = cells
+            .iter()
+            .map(|&(row, attr)| (row, rel.column(attr)[row]))
+            .collect();
+        let mut candidates: Vec<ValueId> = current.iter().map(|&(_, id)| id).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut best: Option<(f64, &'static Value, ValueId)> = None;
+        for &cand in &candidates {
+            let cand_value = cand.resolve();
+            let cost: f64 = current
+                .iter()
+                .filter(|&&(_, cur)| cur != cand)
+                .map(|&(row, cur)| {
+                    self.weight(row) * self.distance.distance(cur.resolve(), cand_value)
+                })
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((best_cost, best_value, _)) => {
+                    cost + 1e-12 < *best_cost
+                        || ((cost - best_cost).abs() <= 1e-12 && cand_value < best_value)
+                }
+            };
+            if better {
+                best = Some((cost, cand_value, cand));
+            }
+        }
+        best.map(|(cost, _, id)| (id, cost))
     }
 
     /// The cost of changing `old` into `new` in `row`:

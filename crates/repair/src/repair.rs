@@ -281,6 +281,30 @@ impl Repairer {
         }
     }
 
+    /// Like [`Repairer::repair`], but handing the equivalence-class engine
+    /// **prebuilt** per-CFD LHS indexes (one slot per CFD in CFD order) so a
+    /// prepared session can share the indexes it already maintains for
+    /// detection instead of letting the engine rebuild them from scratch.
+    ///
+    /// Every supplied index must cover its CFD's LHS attributes in order and
+    /// be in sync with `rel`; `None` slots (and slots of don't-care CFDs)
+    /// are built or handled internally as usual. The pass-loop heuristic
+    /// does not use LHS indexes, so it ignores them. Results are
+    /// **byte-identical** to [`Repairer::repair`] on the same inputs.
+    pub fn repair_with_indexes(
+        &self,
+        cfds: &[Cfd],
+        rel: &Relation,
+        indexes: Vec<Option<cfd_relation::Index>>,
+    ) -> RepairResult {
+        match self.config.kind {
+            RepairKind::Heuristic => self.repair_heuristic(cfds, rel),
+            RepairKind::EquivClass => {
+                class_engine::repair_with_indexes(cfds, rel, &self.config, indexes)
+            }
+        }
+    }
+
     /// The pass-loop heuristic: re-detect everything each pass, resolve
     /// witness by witness, fall back to an LHS edit on stall.
     fn repair_heuristic(&self, cfds: &[Cfd], rel: &Relation) -> RepairResult {
@@ -961,6 +985,63 @@ mod tests {
             let shown = m.to_string();
             assert!(shown.contains("->"));
         }
+    }
+
+    #[test]
+    fn prebuilt_indexes_give_byte_identical_repairs() {
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 350,
+            noise_percent: 10.0,
+            seed: 90,
+        })
+        .generate();
+        let workload = CfdWorkload::new(4);
+        let cfds = vec![
+            workload.zip_state_full(),
+            workload.single(EmbeddedFd::AreaToCity, 150, 100.0),
+        ];
+        for kind in BOTH {
+            let repairer = Repairer::with_config(RepairConfig {
+                kind,
+                ..RepairConfig::default()
+            });
+            let fresh = repairer.repair(&cfds, &noisy.relation);
+            let shared: Vec<Option<cfd_relation::Index>> = cfds
+                .iter()
+                .map(|c| Some(noisy.relation.build_index(c.lhs())))
+                .collect();
+            let reused = repairer.repair_with_indexes(&cfds, &noisy.relation, shared);
+            assert_eq!(reused.modifications, fresh.modifications, "{kind:?}");
+            assert_eq!(reused.repaired, fresh.repaired, "{kind:?}");
+            assert_eq!(reused.cost, fresh.cost, "{kind:?}");
+            assert_eq!(reused.passes, fresh.passes, "{kind:?}");
+            assert_eq!(reused.satisfied, fresh.satisfied, "{kind:?}");
+            // `None` slots fall back to internal index building.
+            let partial = repairer.repair_with_indexes(
+                &cfds,
+                &noisy.relation,
+                vec![None, Some(noisy.relation.build_index(cfds[1].lhs()))],
+            );
+            assert_eq!(partial.modifications, fresh.modifications, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn class_target_helper_matches_engine_choice() {
+        // Two rows say PHI, one says NYC: the unit-distance class target is
+        // the plurality value, with its selection cost.
+        let schema = Schema::builder("r").text("A").text("B").build();
+        let mut rel = Relation::new(schema.clone());
+        for b in ["PHI", "PHI", "NYC"] {
+            rel.push_values(vec![Value::from("x"), Value::from(b)])
+                .unwrap();
+        }
+        let b = schema.resolve("B").unwrap();
+        let model = CostModel::default();
+        let (target, cost) = model.class_target(&rel, &[(0, b), (1, b), (2, b)]).unwrap();
+        assert_eq!(target.resolve(), &Value::from("PHI"));
+        assert!((cost - 1.0).abs() < 1e-9, "one disagreeing row, got {cost}");
+        assert!(model.class_target(&rel, &[]).is_none());
     }
 
     #[test]

@@ -177,7 +177,27 @@ impl<'c> Executor<'c> {
     }
 
     /// Runs a query, returning its result and execution counters.
+    ///
+    /// Equivalent to [`Executor::prepare`] followed by
+    /// [`PreparedQuery::run_with_stats`], except that the derived hash
+    /// indexes live in the *executor's* cache and are reused across `run`
+    /// calls on the same `Executor`.
     pub fn run_with_stats(&self, query: &SelectQuery) -> Result<(ResultSet, ExecStats)> {
+        self.prepare(query)?.execute(&self.index_cache)
+    }
+
+    /// Compiles a query against the catalog once, returning a reusable
+    /// [`PreparedQuery`].
+    ///
+    /// Preparation performs every per-query cost of [`Executor::run`] that
+    /// does not depend on the probe data itself: FROM-clause resolution
+    /// (binding `Arc`s to the catalog's relations), SELECT/GROUP BY/HAVING
+    /// expansion, the CNF/DNF rewrite of the WHERE clause, and compilation of
+    /// every expression down to `(slot, AttrId)` column reads and interned
+    /// literals. Repeated [`PreparedQuery::run`] calls skip all of it — the
+    /// prepared-statement pattern a serving engine runs its fixed detection
+    /// queries through.
+    pub fn prepare(&self, query: &SelectQuery) -> Result<PreparedQuery> {
         if query.items.is_empty() {
             return Err(SqlError::Unsupported("empty SELECT list".into()));
         }
@@ -236,55 +256,129 @@ impl<'c> Executor<'c> {
             None => None,
         };
 
+        Ok(PreparedQuery {
+            query: query.clone(),
+            strategy: self.strategy,
+            tables,
+            probe_slot,
+            outer_slots,
+            out_names,
+            out_compiled,
+            group_compiled,
+            having_compiled,
+            where_compiled,
+            index_cache: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// A query compiled once against a fixed catalog snapshot and re-runnable
+/// many times (see [`Executor::prepare`]).
+///
+/// The prepared form owns `Arc`s of the bound relations, so it outlives the
+/// [`Catalog`] and the [`Executor`] it was prepared with, and it is
+/// `Send + Sync` — one prepared query can serve concurrent readers. Each
+/// `PreparedQuery` carries its **own** derived-index cache: the hash indexes
+/// built for DNF probe predicates persist across [`PreparedQuery::run`]
+/// calls instead of being rebuilt per execution.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    query: SelectQuery,
+    strategy: Strategy,
+    tables: Vec<(String, Arc<Relation>)>,
+    probe_slot: usize,
+    outer_slots: Vec<usize>,
+    out_names: Vec<String>,
+    out_compiled: Vec<CompiledExpr>,
+    group_compiled: Vec<CompiledExpr>,
+    having_compiled: Option<Vec<CompiledExpr>>,
+    where_compiled: Option<CompiledExpr>,
+    index_cache: IndexCache,
+}
+
+impl PreparedQuery {
+    /// The strategy the query was prepared with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The query this plan was compiled from.
+    pub fn query(&self) -> &SelectQuery {
+        &self.query
+    }
+
+    /// Executes the prepared plan, returning only its result.
+    pub fn run(&self) -> Result<ResultSet> {
+        self.run_with_stats().map(|(rs, _)| rs)
+    }
+
+    /// Executes the prepared plan, returning its result and counters.
+    /// Results are identical to [`Executor::run_with_stats`] on the same
+    /// query and catalog contents.
+    pub fn run_with_stats(&self) -> Result<(ResultSet, ExecStats)> {
+        self.execute(&self.index_cache)
+    }
+
+    /// The shared execution core: the join/filter/accumulate loops, with the
+    /// derived-index cache supplied by the caller (the executor's for
+    /// one-shot runs, the plan's own for prepared runs).
+    fn execute(&self, index_cache: &IndexCache) -> Result<(ResultSet, ExecStats)> {
+        let query = &self.query;
         let mut stats = ExecStats::default();
         let mut acc = Accumulator::new(query);
 
-        let probe_rel = Arc::clone(&tables[probe_slot].1);
-        let outer_sizes: Vec<usize> = outer_slots.iter().map(|&s| tables[s].1.len()).collect();
+        let probe_rel = Arc::clone(&self.tables[self.probe_slot].1);
+        let outer_sizes: Vec<usize> = self
+            .outer_slots
+            .iter()
+            .map(|&s| self.tables[s].1.len())
+            .collect();
         // One copy-free row view per FROM slot; binding a row is two words.
-        let mut rows: Vec<Option<RowRef<'_>>> = vec![None; tables.len()];
+        let mut rows: Vec<Option<RowRef<'_>>> = vec![None; self.tables.len()];
 
         if outer_sizes.contains(&0) {
             let out = acc.finish(query, &mut stats);
             return Ok((
                 ResultSet {
-                    columns: out_names,
+                    columns: self.out_names.clone(),
                     rows: out,
                 },
                 stats,
             ));
         }
 
-        let mut counters = vec![0usize; outer_slots.len()];
+        let mut counters = vec![0usize; self.outer_slots.len()];
         loop {
-            for (pos, &slot) in outer_slots.iter().enumerate() {
-                rows[slot] = tables[slot].1.row(counters[pos]);
+            for (pos, &slot) in self.outer_slots.iter().enumerate() {
+                rows[slot] = self.tables[slot].1.row(counters[pos]);
             }
-            rows[probe_slot] = None;
+            rows[self.probe_slot] = None;
 
-            let candidates = self.probe_candidates(
-                probe_slot,
+            let candidates = probe_candidates(
+                self.strategy,
+                index_cache,
+                self.probe_slot,
                 &probe_rel,
-                where_compiled.as_ref(),
+                self.where_compiled.as_ref(),
                 &mut rows,
                 &mut stats,
             )?;
 
             for row_idx in candidates {
-                rows[probe_slot] = probe_rel.row(row_idx);
+                rows[self.probe_slot] = probe_rel.row(row_idx);
                 stats.joined_rows += 1;
                 acc.add(
                     query,
-                    &out_compiled,
-                    &group_compiled,
-                    having_compiled.as_deref(),
+                    &self.out_compiled,
+                    &self.group_compiled,
+                    self.having_compiled.as_deref(),
                     &rows,
                 )?;
             }
-            rows[probe_slot] = None;
+            rows[self.probe_slot] = None;
 
             // Advance the outer counter; stop when it wraps around.
-            if outer_slots.is_empty() {
+            if self.outer_slots.is_empty() {
                 break;
             }
             let mut pos = 0;
@@ -295,11 +389,11 @@ impl<'c> Executor<'c> {
                 }
                 counters[pos] = 0;
                 pos += 1;
-                if pos == outer_slots.len() {
+                if pos == self.outer_slots.len() {
                     break;
                 }
             }
-            if pos == outer_slots.len() {
+            if pos == self.outer_slots.len() {
                 break;
             }
         }
@@ -307,121 +401,122 @@ impl<'c> Executor<'c> {
         let out = acc.finish(query, &mut stats);
         Ok((
             ResultSet {
-                columns: out_names,
+                columns: self.out_names.clone(),
                 rows: out,
             },
             stats,
         ))
     }
+}
 
-    /// Determines which probe-relation rows can satisfy the WHERE clause
-    /// under the current outer bindings, returning their indices sorted.
-    #[allow(clippy::too_many_arguments)]
-    fn probe_candidates<'a>(
-        &self,
-        probe_slot: usize,
-        probe_rel: &'a Relation,
-        where_clause: Option<&CompiledExpr>,
-        rows: &mut Vec<Option<RowRef<'a>>>,
-        stats: &mut ExecStats,
-    ) -> Result<Vec<usize>> {
-        let Some(clause) = where_clause else {
-            stats.rows_examined += probe_rel.len();
-            return Ok((0..probe_rel.len()).collect());
+/// Determines which probe-relation rows can satisfy the WHERE clause
+/// under the current outer bindings, returning their indices sorted.
+#[allow(clippy::too_many_arguments)]
+fn probe_candidates<'a>(
+    strategy: Strategy,
+    index_cache: &IndexCache,
+    probe_slot: usize,
+    probe_rel: &'a Relation,
+    where_clause: Option<&CompiledExpr>,
+    rows: &mut Vec<Option<RowRef<'a>>>,
+    stats: &mut ExecStats,
+) -> Result<Vec<usize>> {
+    let Some(clause) = where_clause else {
+        stats.rows_examined += probe_rel.len();
+        return Ok((0..probe_rel.len()).collect());
+    };
+
+    if !strategy.use_indexes {
+        // Full scan evaluating the whole clause.
+        let mut matched = Vec::new();
+        for (i, tuple) in probe_rel.iter() {
+            stats.rows_examined += 1;
+            rows[probe_slot] = Some(tuple);
+            if clause.eval_bool(rows)? {
+                matched.push(i);
+            }
+        }
+        rows[probe_slot] = None;
+        return Ok(matched);
+    }
+
+    // Indexed evaluation: treat the clause as a disjunction of conjuncts.
+    let disjuncts: Vec<&CompiledExpr> = match clause {
+        CompiledExpr::Or(ops) => ops.iter().collect(),
+        other => vec![other],
+    };
+
+    let mut matched: HashSet<usize> = HashSet::new();
+    for disjunct in disjuncts {
+        let atoms: Vec<&CompiledExpr> = match disjunct {
+            CompiledExpr::And(ops) => ops.iter().collect(),
+            atom => vec![atom],
         };
 
-        if !self.strategy.use_indexes {
-            // Full scan evaluating the whole clause.
-            let mut matched = Vec::new();
-            for (i, tuple) in probe_rel.iter() {
-                stats.rows_examined += 1;
-                rows[probe_slot] = Some(tuple);
-                if clause.eval_bool(rows)? {
-                    matched.push(i);
-                }
+        // Atoms not mentioning the probe table are decided right away;
+        // a false one rules out the whole disjunct without touching data.
+        let mut skip = false;
+        for atom in atoms.iter().filter(|a| !a.references_slot(probe_slot)) {
+            if !atom.eval_bool(rows)? {
+                skip = true;
+                break;
             }
-            rows[probe_slot] = None;
-            return Ok(matched);
+        }
+        if skip {
+            continue;
         }
 
-        // Indexed evaluation: treat the clause as a disjunction of conjuncts.
-        let disjuncts: Vec<&CompiledExpr> = match clause {
-            CompiledExpr::Or(ops) => ops.iter().collect(),
-            other => vec![other],
+        // Equality atoms binding a probe column to a value computable
+        // from the outer bindings become index-probe keys (interned, so
+        // the probe hashes u32s and clones nothing).
+        let mut probe_cols: Vec<(AttrId, ValueId)> = Vec::new();
+        for atom in &atoms {
+            if let Some((attr, value)) = constant_probe(atom, probe_slot, rows)? {
+                probe_cols.push((attr, value));
+            }
+        }
+        probe_cols.sort_by_key(|(a, _)| *a);
+        probe_cols.dedup_by(|a, b| a.0 == b.0);
+
+        let candidate_rows: Vec<usize> = if probe_cols.is_empty() {
+            stats.rows_examined += probe_rel.len();
+            (0..probe_rel.len()).collect()
+        } else {
+            let attrs: Vec<AttrId> = probe_cols.iter().map(|(a, _)| *a).collect();
+            let key: Vec<ValueId> = probe_cols.into_iter().map(|(_, v)| v).collect();
+            let index = index_for(index_cache, probe_rel, &attrs);
+            stats.index_probes += 1;
+            let found = index.lookup_ids(&key).to_vec();
+            stats.rows_examined += found.len();
+            found
         };
 
-        let mut matched: HashSet<usize> = HashSet::new();
-        for disjunct in disjuncts {
-            let atoms: Vec<&CompiledExpr> = match disjunct {
-                CompiledExpr::And(ops) => ops.iter().collect(),
-                atom => vec![atom],
-            };
-
-            // Atoms not mentioning the probe table are decided right away;
-            // a false one rules out the whole disjunct without touching data.
-            let mut skip = false;
-            for atom in atoms.iter().filter(|a| !a.references_slot(probe_slot)) {
-                if !atom.eval_bool(rows)? {
-                    skip = true;
-                    break;
-                }
-            }
-            if skip {
+        for row_idx in candidate_rows {
+            if matched.contains(&row_idx) {
                 continue;
             }
-
-            // Equality atoms binding a probe column to a value computable
-            // from the outer bindings become index-probe keys (interned, so
-            // the probe hashes u32s and clones nothing).
-            let mut probe_cols: Vec<(AttrId, ValueId)> = Vec::new();
-            for atom in &atoms {
-                if let Some((attr, value)) = constant_probe(atom, probe_slot, rows)? {
-                    probe_cols.push((attr, value));
-                }
+            rows[probe_slot] = probe_rel.row(row_idx);
+            if disjunct.eval_bool(rows)? {
+                matched.insert(row_idx);
             }
-            probe_cols.sort_by_key(|(a, _)| *a);
-            probe_cols.dedup_by(|a, b| a.0 == b.0);
-
-            let candidate_rows: Vec<usize> = if probe_cols.is_empty() {
-                stats.rows_examined += probe_rel.len();
-                (0..probe_rel.len()).collect()
-            } else {
-                let attrs: Vec<AttrId> = probe_cols.iter().map(|(a, _)| *a).collect();
-                let key: Vec<ValueId> = probe_cols.into_iter().map(|(_, v)| v).collect();
-                let index = self.index_for(probe_rel, &attrs);
-                stats.index_probes += 1;
-                let found = index.lookup_ids(&key).to_vec();
-                stats.rows_examined += found.len();
-                found
-            };
-
-            for row_idx in candidate_rows {
-                if matched.contains(&row_idx) {
-                    continue;
-                }
-                rows[probe_slot] = probe_rel.row(row_idx);
-                if disjunct.eval_bool(rows)? {
-                    matched.insert(row_idx);
-                }
-            }
-            rows[probe_slot] = None;
         }
-
-        let mut result: Vec<usize> = matched.into_iter().collect();
-        result.sort_unstable();
-        Ok(result)
+        rows[probe_slot] = None;
     }
 
-    /// Returns (building and caching on first use) a hash index on `attrs`.
-    fn index_for(&self, rel: &Relation, attrs: &[AttrId]) -> Arc<Index> {
-        let key = (rel.schema().name().to_owned(), attrs.to_vec());
-        let mut cache = self.index_cache.lock().expect("index cache poisoned");
-        Arc::clone(
-            cache
-                .entry(key)
-                .or_insert_with(|| Arc::new(rel.build_index(attrs))),
-        )
-    }
+    let mut result: Vec<usize> = matched.into_iter().collect();
+    result.sort_unstable();
+    Ok(result)
+}
+
+/// Returns (building and caching on first use) a hash index on `attrs`.
+fn index_for(index_cache: &IndexCache, rel: &Relation, attrs: &[AttrId]) -> Arc<Index> {
+    let key = (rel.schema().name().to_owned(), attrs.to_vec());
+    let mut cache = index_cache.lock().expect("index cache poisoned");
+    Arc::clone(
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(rel.build_index(attrs))),
+    )
 }
 
 /// If `atom` is an equality binding a probe-table column to an expression
@@ -964,6 +1059,61 @@ mod tests {
         assert_eq!(result.len(), 1);
         assert_eq!(stats.output_rows, 1);
         assert_eq!(stats.joined_rows, 1);
+    }
+
+    #[test]
+    fn prepared_queries_match_one_shot_runs() {
+        let c = catalog();
+        for strategy in [Strategy::cnf(), Strategy::dnf(), Strategy::as_written()] {
+            let exec = Executor::new(&c).with_strategy(strategy);
+            for query in [qc_query(), qv_query()] {
+                let (oneshot, oneshot_stats) = exec.run_with_stats(&query).unwrap();
+                let prepared = exec.prepare(&query).unwrap();
+                assert_eq!(prepared.strategy(), strategy);
+                assert_eq!(prepared.query(), &query);
+                // Repeated runs of the same plan are stable and identical to
+                // the one-shot path, counters included.
+                for _ in 0..3 {
+                    let (rs, stats) = prepared.run_with_stats().unwrap();
+                    assert_eq!(rs, oneshot, "strategy {strategy:?}");
+                    assert_eq!(stats, oneshot_stats, "strategy {strategy:?}");
+                }
+                assert_eq!(prepared.run().unwrap(), oneshot);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_queries_outlive_catalog_and_executor() {
+        // The prepared plan owns Arcs of the bound relations: dropping the
+        // catalog and executor must not invalidate it, and it is Send + Sync.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let prepared = {
+            let c = catalog();
+            let exec = Executor::new(&c);
+            exec.prepare(&qc_query()).unwrap()
+        };
+        assert_send_sync(&prepared);
+        let result = prepared.run().unwrap();
+        assert_eq!(result.column_values("NM").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn prepare_rejects_malformed_queries() {
+        let c = catalog();
+        let exec = Executor::new(&c);
+        let no_items = SelectQuery::new().from(TableRef::named("cust"));
+        assert!(matches!(
+            exec.prepare(&no_items),
+            Err(SqlError::Unsupported(_))
+        ));
+        let unknown = SelectQuery::new()
+            .item(SelectItem::wildcard("t"))
+            .from(TableRef::aliased("nope", "t"));
+        assert!(matches!(
+            exec.prepare(&unknown),
+            Err(SqlError::UnknownTable(_))
+        ));
     }
 
     #[test]

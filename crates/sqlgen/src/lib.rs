@@ -47,5 +47,5 @@ pub use ast::{Expr, Having, SelectItem, SelectQuery, TableRef};
 pub use catalog::Catalog;
 pub use compiled::CompiledExpr;
 pub use error::{Result, SqlError};
-pub use exec::{ExecStats, Executor, ResultSet, Strategy};
+pub use exec::{ExecStats, Executor, PreparedQuery, ResultSet, Strategy};
 pub use normal_form::{to_cnf, to_dnf, NormalForm};

@@ -65,9 +65,15 @@ fn main() {
         .unwrap();
     println!("Merged detection on Fig. 1:\n{report}");
 
-    // --- Repair --------------------------------------------------------------
-    let all: Vec<_> = sigma.into_iter().collect();
-    let repair = Repairer::new().repair(&all, &data);
+    // --- Repair through a prepared session ----------------------------------
+    let engine = Engine::builder()
+        .rule_set(sigma)
+        .build()
+        .expect("the Fig. 2 set is consistent");
+    let mut session = engine
+        .session(std::sync::Arc::new(data))
+        .expect("schema matches");
+    let repair = session.repair(RepairKind::EquivClass).expect("repair runs");
     println!(
         "Repair of Fig. 1 w.r.t. Fig. 2: {} change(s), satisfied = {}",
         repair.changes(),

@@ -1,12 +1,13 @@
 //! Discovering FDs and constant CFD patterns from data (the "future work"
-//! extension of Section 7), then using the discovered constraints to audit a
-//! noisy version of the same workload.
+//! extension of Section 7), then compiling the discovered constraints into
+//! a prepared `Engine` to audit a noisy version of the same workload.
 //!
 //! Run with `cargo run --release --example discover_rules`.
 
 use cfd::prelude::*;
 use cfd_datagen::records::{TaxConfig, TaxGenerator};
 use cfd_discovery::{discover_constant_cfds, discover_fds, DiscoveryConfig};
+use std::sync::Arc;
 
 fn main() {
     // Learn from a clean sample…
@@ -58,7 +59,13 @@ fn main() {
         .iter()
         .find(|d| d.cfd.lhs_names() == vec!["ZIP"] && d.cfd.rhs_names() == vec!["ST"])
     {
-        let report = Detector::new().detect(&zip_state.cfd, &noisy).unwrap();
+        // Mined rules go through the same builder-time validation as
+        // hand-written ones (schema check, consistency) before serving.
+        let engine = Engine::builder()
+            .rule(zip_state.cfd.clone())
+            .build()
+            .expect("a mined constraint is consistent");
+        let report = engine.detect(Arc::new(noisy)).unwrap();
         println!(
             "\nauditing a noisy instance with the discovered zip→state CFD: {} findings",
             report.total()

@@ -1,6 +1,8 @@
 //! Auditing a synthetic tax-records table — the workload of the paper's
-//! evaluation: generate noisy data, validate a set of real-world CFDs with
-//! the merged query pair, then repair and re-validate.
+//! evaluation — through the prepared `Engine`/`Session` API: compile the
+//! constraint set once, serve detection with several engines, stream a
+//! batch of late-arriving records with incremental maintenance, then
+//! repair and re-validate from the same handle.
 //!
 //! Run with `cargo run --release --example tax_audit`.
 
@@ -27,50 +29,71 @@ fn main() {
     // The constraints of Section 5: zip→state, zip+city→state, area-code→city,
     // state+marital-status→exemption, plus state+salary→tax-rate.
     let workload = CfdWorkload::new(7);
-    let cfds = vec![
+    let cfds = [
         workload.zip_state_full(),
         workload.single(EmbeddedFd::ZipCityToState, 500, 100.0),
         workload.single(EmbeddedFd::AreaToCity, 400, 100.0),
         workload.single(EmbeddedFd::StateMaritalToExemption, 100, 100.0),
         workload.single(EmbeddedFd::StateSalaryToTax, 50, 100.0),
     ];
-
     let data = Arc::new(generated.relation.clone());
-    let detector = Detector::new();
 
     // Per-CFD query pairs (2 × |Σ| passes) vs the merged pair (2 passes) vs
-    // 4-way parallel detection.
+    // 4-way parallel detection: one compiled engine per serving strategy,
+    // all sharing the validated rule set.
+    for kind in [
+        DetectorKind::Sql,
+        DetectorKind::SqlMerged,
+        DetectorKind::SqlParallel { threads: 4 },
+        DetectorKind::Direct,
+    ] {
+        let engine = Engine::builder()
+            .rules(cfds.iter().cloned())
+            .config(EngineConfig::builder().detector(kind).build().unwrap())
+            .build()
+            .expect("consistent rules");
+        let mut session = engine.session(Arc::clone(&data)).unwrap();
+        let start = Instant::now();
+        let report = session.detect().expect("detection succeeds");
+        println!(
+            "{kind:?} detection: {:?}, {} findings",
+            start.elapsed(),
+            report.total()
+        );
+    }
+
+    // The serving path: one prepared engine, one session, streamed updates.
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .build()
+        .expect("consistent rules");
+    let mut session = engine.session(Arc::clone(&data)).unwrap();
+
+    let late = TaxGenerator::new(TaxConfig {
+        size: 500,
+        noise_percent: 10.0,
+        seed: 2027,
+    })
+    .generate();
+    let batch: Vec<BatchOp> = late
+        .relation
+        .to_tuples()
+        .into_iter()
+        .map(BatchOp::Insert)
+        .collect();
     let start = Instant::now();
-    let per_cfd = detector.detect_set(&cfds, Arc::clone(&data)).unwrap();
+    let after_batch = session.apply_batch(&batch).expect("batch applies");
     println!(
-        "per-CFD detection: {:?}, {} findings",
+        "streamed {} late records in {:?} (group-local maintenance), report now {} findings",
+        batch.len(),
         start.elapsed(),
-        per_cfd.total()
+        after_batch.total()
     );
 
+    // Repair and re-validate from the same handle. The session's shared LHS
+    // indexes feed the equivalence-class engine's dirty-group tracking.
     let start = Instant::now();
-    let merged = detector
-        .detect_set_merged(&cfds, Arc::clone(&data))
-        .unwrap();
-    println!(
-        "merged detection:  {:?}, {} findings",
-        start.elapsed(),
-        merged.total()
-    );
-
-    let start = Instant::now();
-    let parallel = detector
-        .detect_set_parallel(&cfds, Arc::clone(&data), 4)
-        .unwrap();
-    println!(
-        "parallel (4 thr):  {:?}, {} findings",
-        start.elapsed(),
-        parallel.total()
-    );
-
-    // Repair and re-validate.
-    let start = Instant::now();
-    let repair = Repairer::new().repair(&cfds, &generated.relation);
+    let repair = session.repair(RepairKind::EquivClass).expect("repair runs");
     println!(
         "repair: {} cell change(s) in {:?}, cost {:.1}, satisfied afterwards: {}",
         repair.changes(),
@@ -78,8 +101,8 @@ fn main() {
         repair.cost,
         repair.satisfied
     );
-    let after = detector
-        .detect_set(&cfds, Arc::new(repair.repaired))
-        .unwrap();
-    println!("violations after repair: {}", after.total());
+    let clean = engine
+        .detect(Arc::new(repair.repaired))
+        .expect("re-validation succeeds");
+    println!("violations after repair: {}", clean.total());
 }

@@ -1,0 +1,298 @@
+//! One consolidated engine configuration.
+//!
+//! Detection and repair options used to be scattered — shard/thread counts
+//! on [`DetectorKind`], the SQL strategy on `cfd_detect::Detector`, weights,
+//! distances and placeholder typing on `cfd_repair::RepairConfig`.
+//! [`EngineConfig`] gathers all of them behind one **validated** builder:
+//! invalid combinations (zero shards, a zero round budget, negative weights,
+//! …) are rejected at [`EngineConfigBuilder::build`] with
+//! [`Error::Config`] instead of panicking or silently misbehaving deep
+//! inside a run.
+
+use crate::error::{Error, Result};
+use cfd_detect::DetectorKind;
+use cfd_repair::{CostModel, RepairConfig, RepairKind};
+use cfd_sql::Strategy;
+
+/// The complete configuration of an [`Engine`](crate::Engine): which
+/// detection engine serves [`Session::detect`](crate::Session::detect),
+/// which SQL evaluation strategy the compiled query plans use, and the full
+/// repair configuration (engine kind, round budget, cost model, LHS-edit
+/// policy). Construct via [`EngineConfig::builder`]; the `Default` instance
+/// is the validated default configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    detector: DetectorKind,
+    strategy: Strategy,
+    repair: RepairConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            detector: DetectorKind::Direct,
+            strategy: Strategy::default(),
+            repair: RepairConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a configuration builder from the validated defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// The detection engine [`Session::detect`](crate::Session::detect)
+    /// dispatches to.
+    pub fn detector(&self) -> DetectorKind {
+        self.detector
+    }
+
+    /// The SQL evaluation strategy of the compiled detection queries.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The repair configuration (kind, round budget, cost model, LHS-edit
+    /// policy, placeholder typing).
+    pub fn repair(&self) -> &RepairConfig {
+        &self.repair
+    }
+}
+
+/// Builder for [`EngineConfig`]; every setter is chainable and
+/// [`EngineConfigBuilder::build`] validates the combination.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Selects the detection engine (default: [`DetectorKind::Direct`]).
+    pub fn detector(mut self, kind: DetectorKind) -> Self {
+        self.config.detector = kind;
+        self
+    }
+
+    /// Selects the SQL evaluation strategy (default: DNF with index probes).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Selects the default repair engine (default:
+    /// [`RepairKind::EquivClass`]).
+    pub fn repair_kind(mut self, kind: RepairKind) -> Self {
+        self.config.repair.kind = kind;
+        self
+    }
+
+    /// Maximum repair passes/rounds (default 16; must be ≥ 1).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.config.repair.max_passes = passes;
+        self
+    }
+
+    /// The cost model pricing repairs and selecting class targets.
+    ///
+    /// Per-row `TupleWeights` overrides are positional: they refer to row
+    /// indices of the instance a session currently serves, and do not
+    /// follow tuples across batches that delete rows (see
+    /// [`Session::apply_batch`](crate::Session::apply_batch)).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.config.repair.cost_model = model;
+        self
+    }
+
+    /// Whether repairs may fall back to LHS placeholder edits (default
+    /// `true`).
+    pub fn allow_lhs_edits(mut self, allow: bool) -> Self {
+        self.config.repair.allow_lhs_edits = allow;
+        self
+    }
+
+    /// Whether LHS placeholders respect the column's declared type (default
+    /// `true`).
+    pub fn typed_placeholders(mut self, typed: bool) -> Self {
+        self.config.repair.typed_placeholders = typed;
+        self
+    }
+
+    /// Validates the combination and returns the configuration.
+    ///
+    /// Rejected combinations (each with [`Error::Config`]):
+    ///
+    /// * `DetectorKind::Sharded { shards: 0 }` — a shard count of zero has
+    ///   no partition to scan;
+    /// * `DetectorKind::SqlParallel { threads: 0 }` — likewise for worker
+    ///   threads;
+    /// * `max_passes == 0` — a zero round budget cannot repair anything
+    ///   while still reporting `satisfied = false` on dirty data;
+    /// * non-finite or negative `replace_distance`/`placeholder_distance` —
+    ///   cost minimization over such prices is meaningless;
+    /// * a non-finite or negative tuple weight (default or override) — same.
+    pub fn build(self) -> Result<EngineConfig> {
+        let config = self.config;
+        match config.detector {
+            DetectorKind::Sharded { shards: 0 } => {
+                return Err(Error::Config("shard count must be at least 1".into()));
+            }
+            DetectorKind::SqlParallel { threads: 0 } => {
+                return Err(Error::Config("thread count must be at least 1".into()));
+            }
+            _ => {}
+        }
+        if config.repair.max_passes == 0 {
+            return Err(Error::Config("max_passes must be at least 1".into()));
+        }
+        let model = &config.repair.cost_model;
+        for (name, d) in [
+            ("replace_distance", model.replace_distance),
+            ("placeholder_distance", model.placeholder_distance),
+        ] {
+            if !d.is_finite() || d < 0.0 {
+                return Err(Error::Config(format!(
+                    "{name} must be finite and non-negative, got {d}"
+                )));
+            }
+        }
+        let weights = &model.weights;
+        let valid = |w: f64| w.is_finite() && w >= 0.0;
+        if !valid(weights.default_weight()) {
+            return Err(Error::Config(format!(
+                "default tuple weight must be finite and non-negative, got {}",
+                weights.default_weight()
+            )));
+        }
+        if let Some(row) = (0..weights.override_len()).find(|&r| !valid(weights.get(r))) {
+            return Err(Error::Config(format!(
+                "tuple weight of row {row} must be finite and non-negative, got {}",
+                weights.get(row)
+            )));
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relation::TupleWeights;
+
+    #[test]
+    fn defaults_validate() {
+        let config = EngineConfig::builder().build().unwrap();
+        assert_eq!(config.detector(), DetectorKind::Direct);
+        assert_eq!(config.strategy(), Strategy::dnf());
+        assert_eq!(config.repair().kind, RepairKind::EquivClass);
+        assert_eq!(config.repair().max_passes, 16);
+        assert!(config.repair().allow_lhs_edits);
+        assert!(config.repair().typed_placeholders);
+    }
+
+    #[test]
+    fn every_setter_reaches_the_config() {
+        let config = EngineConfig::builder()
+            .detector(DetectorKind::Sharded { shards: 4 })
+            .strategy(Strategy::cnf())
+            .repair_kind(RepairKind::Heuristic)
+            .max_passes(5)
+            .cost_model(CostModel::with_edit_distance())
+            .allow_lhs_edits(false)
+            .typed_placeholders(false)
+            .build()
+            .unwrap();
+        assert_eq!(config.detector(), DetectorKind::Sharded { shards: 4 });
+        assert_eq!(config.strategy(), Strategy::cnf());
+        assert_eq!(config.repair().kind, RepairKind::Heuristic);
+        assert_eq!(config.repair().max_passes, 5);
+        assert!(!config.repair().allow_lhs_edits);
+        assert!(!config.repair().typed_placeholders);
+    }
+
+    #[test]
+    fn zero_shards_are_rejected() {
+        let err = EngineConfig::builder()
+            .detector(DetectorKind::Sharded { shards: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("shard")));
+    }
+
+    #[test]
+    fn zero_parallel_threads_are_rejected() {
+        let err = EngineConfig::builder()
+            .detector(DetectorKind::SqlParallel { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("thread")));
+    }
+
+    #[test]
+    fn zero_max_passes_is_rejected() {
+        let err = EngineConfig::builder().max_passes(0).build().unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("max_passes")));
+    }
+
+    #[test]
+    fn non_finite_replace_distance_is_rejected() {
+        let err = EngineConfig::builder()
+            .cost_model(CostModel {
+                replace_distance: f64::NAN,
+                ..CostModel::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("replace_distance")));
+    }
+
+    #[test]
+    fn negative_placeholder_distance_is_rejected() {
+        let err = EngineConfig::builder()
+            .cost_model(CostModel {
+                placeholder_distance: -1.0,
+                ..CostModel::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("placeholder_distance")));
+    }
+
+    #[test]
+    fn invalid_tuple_weights_are_rejected() {
+        // A negative default weight.
+        let err = EngineConfig::builder()
+            .cost_model(CostModel {
+                weights: TupleWeights::uniform(-2.0),
+                ..CostModel::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("default tuple weight")));
+        // A non-finite per-row override.
+        let mut weights = TupleWeights::default();
+        weights.set(3, f64::INFINITY);
+        let err = EngineConfig::builder()
+            .cost_model(CostModel {
+                weights,
+                ..CostModel::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("row 3")));
+    }
+
+    #[test]
+    fn valid_nonzero_combinations_pass() {
+        for kind in [
+            DetectorKind::Direct,
+            DetectorKind::Sql,
+            DetectorKind::SqlMerged,
+            DetectorKind::SqlParallel { threads: 2 },
+            DetectorKind::Sharded { shards: 8 },
+        ] {
+            EngineConfig::builder().detector(kind).build().unwrap();
+        }
+    }
+}

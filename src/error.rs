@@ -1,0 +1,148 @@
+//! The unified facade error type.
+//!
+//! Every fallible facade entry point — [`EngineBuilder::build`],
+//! [`Engine::session`], [`Session`] methods, and the one-shot free functions
+//! — returns [`Error`], so applications match on **one** enum instead of
+//! juggling `cfd_sql::SqlError`, `cfd_relation::RelationError` and
+//! `cfd_core::CfdError` per call site. The layer-specific errors convert in
+//! via `From` and remain inspectable through the corresponding variants (and
+//! [`std::error::Error::source`]).
+//!
+//! [`EngineBuilder::build`]: crate::EngineBuilder::build
+//! [`Engine::session`]: crate::Engine::session
+//! [`Session`]: crate::Session
+
+use cfd_core::CfdError;
+use cfd_relation::RelationError;
+use cfd_sql::SqlError;
+use std::fmt;
+
+/// Convenient result alias for facade operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The single error type of the facade API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Building or reasoning about the rule set failed (pattern arity,
+    /// mixed schemas, normalization, …).
+    Rules(CfdError),
+    /// The rule set is inconsistent: no nonempty instance satisfies it
+    /// (Section 3.1). Raised at **builder time**, before any data is
+    /// touched — an engine serving such rules would flag every tuple.
+    InconsistentRules,
+    /// An invalid engine configuration (see
+    /// [`EngineConfigBuilder::build`](crate::EngineConfigBuilder::build)
+    /// for the validated combinations).
+    Config(String),
+    /// The session data's schema differs from the schema the rules were
+    /// compiled against.
+    SchemaMismatch {
+        /// Schema name of the compiled rules.
+        rules: String,
+        /// Schema name of the offered data.
+        data: String,
+    },
+    /// An error bubbled up from the SQL substrate.
+    Sql(SqlError),
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rules(e) => write!(f, "rule error: {e}"),
+            Error::InconsistentRules => write!(
+                f,
+                "inconsistent rule set: no nonempty instance satisfies it (Section 3.1)"
+            ),
+            Error::Config(msg) => write!(f, "invalid engine configuration: {msg}"),
+            Error::SchemaMismatch { rules, data } => write!(
+                f,
+                "schema mismatch: rules compiled for `{rules}`, data is `{data}`"
+            ),
+            Error::Sql(e) => write!(f, "sql error: {e}"),
+            Error::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Rules(e) => Some(e),
+            Error::Sql(e) => Some(e),
+            Error::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfdError> for Error {
+    fn from(e: CfdError) -> Self {
+        match e {
+            CfdError::Inconsistent => Error::InconsistentRules,
+            // A relation error is the same problem wherever it was raised:
+            // it always surfaces as `Error::Relation`, never nested inside
+            // the rules variant.
+            CfdError::Relation(e) => Error::Relation(e),
+            other => Error::Rules(other),
+        }
+    }
+}
+
+impl From<SqlError> for Error {
+    fn from(e: SqlError) -> Self {
+        Error::Sql(e)
+    }
+}
+
+impl From<RelationError> for Error {
+    fn from(e: RelationError) -> Self {
+        Error::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_sources() {
+        let rules: Error = CfdError::EmptyRhs.into();
+        assert!(matches!(rules, Error::Rules(_)));
+        assert!(rules.to_string().contains("right-hand side"));
+        assert!(rules.source().is_some());
+
+        let inconsistent: Error = CfdError::Inconsistent.into();
+        assert_eq!(inconsistent, Error::InconsistentRules);
+        assert!(inconsistent.to_string().contains("inconsistent"));
+        assert!(inconsistent.source().is_none());
+
+        // A relation error surfaces as Error::Relation no matter which
+        // layer raised it.
+        let via_core: Error = CfdError::Relation(RelationError::Parse("bad".into())).into();
+        let direct: Error = RelationError::Parse("bad".into()).into();
+        assert_eq!(via_core, direct);
+        assert!(matches!(via_core, Error::Relation(_)));
+
+        let sql: Error = SqlError::UnknownTable("T".into()).into();
+        assert!(sql.to_string().contains("T"));
+        assert!(sql.source().is_some());
+
+        let rel: Error = RelationError::Parse("bad".into()).into();
+        assert!(rel.to_string().contains("bad"));
+        assert!(rel.source().is_some());
+
+        let cfg = Error::Config("shards must be > 0".into());
+        assert!(cfg.to_string().contains("shards"));
+
+        let mismatch = Error::SchemaMismatch {
+            rules: "cust".into(),
+            data: "tax".into(),
+        };
+        assert!(mismatch.to_string().contains("cust"));
+        assert!(mismatch.to_string().contains("tax"));
+    }
+}

@@ -2,18 +2,47 @@
 //!
 //! Facade crate for the reproduction of *Conditional Functional Dependencies
 //! for Data Cleaning* (Bohannon, Fan, Geerts, Jia, Kementsietsidis,
-//! ICDE 2007). It re-exports the workspace crates so applications can depend
-//! on a single crate:
+//! ICDE 2007), built around a two-level **prepared-state** model:
 //!
-//! * [`relation`] — values, schemas, tuples, in-memory relations.
+//! 1. **[`Engine`]** — a rule set compiled once: schema-checked,
+//!    consistency-validated (Section 3), `QC`/`QV` detection queries
+//!    generated (Section 4), per-CFD recheck plans decided. Immutable,
+//!    `Send + Sync`, cheap to clone — built via [`EngineBuilder`] with an
+//!    [`EngineConfig`].
+//! 2. **[`Session`]** — one dataset served against that engine:
+//!    [`Session::detect`], [`Session::repair`] (Section 6),
+//!    [`Session::apply_batch`] streaming with incremental maintenance, and
+//!    [`Session::explain`] provenance for every finding. The per-dataset
+//!    LHS indexes are built once and shared between detection and repair.
+//!
+//! ```
+//! use cfd::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::builder()
+//!     .rule_set(cfd::datagen::fig2_cfd_set())
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.session(Arc::new(cust_instance())).unwrap();
+//! let report = session.detect().unwrap();
+//! assert_eq!(report.constant_violations().len(), 2);
+//! let repair = session.repair(RepairKind::EquivClass).unwrap();
+//! assert!(repair.satisfied);
+//! ```
+//!
+//! Every fallible facade call returns the single [`Error`] enum. The free
+//! functions [`detect_violations`] / [`repair_violations`] remain as thin
+//! one-shot wrappers over a throwaway engine.
+//!
+//! The workspace crates stay importable for lower-level use:
+//!
+//! * [`relation`] — values, schemas, tuples, in-memory columnar relations.
 //! * [`sql`] — the SQL AST/executor used by the detection queries.
 //! * [`core`] — CFDs, pattern tableaux, satisfaction, consistency, the
 //!   inference system and minimal covers.
 //! * [`detect`] — SQL-based, direct, hash-sharded parallel and incremental
 //!   (streaming) violation detection, selectable via [`DetectorKind`].
-//! * [`repair`] — cost-based repair (Section 6): the equivalence-class
-//!   engine with incremental violation maintenance, plus the pass-loop
-//!   reference heuristic, selectable via [`RepairKind`].
+//! * [`repair`] — cost-based repair (Section 6) behind [`RepairKind`].
 //! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
 //! * [`datagen`] — the `cust` running example and the synthetic tax-records
 //!   workload used by the evaluation.
@@ -28,13 +57,26 @@ pub use cfd_relation as relation;
 pub use cfd_repair as repair;
 pub use cfd_sql as sql;
 
-pub use cfd_detect::DetectorKind;
+mod config;
+mod engine;
+mod error;
+mod session;
+
+pub use cfd_detect::{DetectorKind, ViolationItem};
 pub use cfd_repair::RepairKind;
+pub use config::{EngineConfig, EngineConfigBuilder};
+pub use engine::{Engine, EngineBuilder};
+pub use error::{Error, Result};
+pub use session::{Explanation, PlannedEdit, Session};
 
 use std::sync::Arc;
 
-/// Detects the violations of `cfds` on `data` with the selected engine —
-/// the facade-level entry point over every detection path of the workspace.
+/// One-shot detection: compiles `cfds` into a throwaway [`Engine`]
+/// configured for `kind` and detects on `data`.
+///
+/// Prefer building an [`Engine`] once when the same rules serve repeated
+/// calls — this wrapper re-validates and re-compiles the rule set every
+/// time (and, like the builder, rejects inconsistent rule sets).
 ///
 /// ```
 /// use cfd::prelude::*;
@@ -52,38 +94,55 @@ pub fn detect_violations(
     kind: DetectorKind,
     cfds: &[cfd_core::Cfd],
     data: Arc<cfd_relation::Relation>,
-) -> Result<cfd_detect::Violations, cfd_sql::SqlError> {
-    kind.detect_set(cfds, data)
+) -> Result<cfd_detect::Violations> {
+    Engine::builder()
+        .rules(cfds.iter().cloned())
+        .config(EngineConfig::builder().detector(kind).build()?)
+        .build()?
+        .detect(data)
 }
 
-/// Repairs `rel` with respect to `cfds` using the selected engine — the
-/// facade-level entry point over both repair paths of the workspace.
+/// One-shot repair: compiles `cfds` into a throwaway [`Engine`] and repairs
+/// `data` with the selected engine kind.
+///
+/// Configuration and rule problems surface as [`Error`]s instead of
+/// panicking; prefer a long-lived [`Engine`] for repeated repairs.
 ///
 /// ```
 /// use cfd::prelude::*;
+/// use std::sync::Arc;
 ///
-/// let data = cust_instance();
+/// let data = Arc::new(cust_instance());
 /// let cfds: Vec<Cfd> = cfd::datagen::fig2_cfd_set().into_iter().collect();
-/// let by_classes = cfd::repair_violations(RepairKind::EquivClass, &cfds, &data);
-/// let by_passes = cfd::repair_violations(RepairKind::Heuristic, &cfds, &data);
+/// let by_classes =
+///     cfd::repair_violations(RepairKind::EquivClass, &cfds, Arc::clone(&data)).unwrap();
+/// let by_passes = cfd::repair_violations(RepairKind::Heuristic, &cfds, data).unwrap();
 /// assert!(by_classes.satisfied && by_passes.satisfied);
 /// ```
 pub fn repair_violations(
     kind: RepairKind,
     cfds: &[cfd_core::Cfd],
-    rel: &cfd_relation::Relation,
-) -> cfd_repair::RepairResult {
-    kind.repair(cfds, rel)
+    data: Arc<cfd_relation::Relation>,
+) -> Result<cfd_repair::RepairResult> {
+    Engine::builder()
+        .rules(cfds.iter().cloned())
+        .build()?
+        .repair(data, kind)
 }
 
 /// Commonly used items, importable with `use cfd::prelude::*;`.
 pub mod prelude {
+    pub use crate::{
+        Engine, EngineBuilder, EngineConfig, EngineConfigBuilder, Error, Explanation, PlannedEdit,
+        Session,
+    };
     pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
     pub use cfd_datagen::cust::{cust_instance, cust_schema};
     pub use cfd_detect::{
-        BatchOp, Detector, DetectorKind, IncrementalDetector, ShardedDetector, Violations,
+        BatchOp, Detector, DetectorKind, IncrementalDetector, ShardedDetector, ViolationItem,
+        Violations,
     };
     pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, TupleWeights, Value};
-    pub use cfd_repair::{CostModel, RepairKind, RepairResult, Repairer};
-    pub use cfd_sql::{Catalog, Executor, Strategy};
+    pub use cfd_repair::{CostModel, RepairConfig, RepairKind, RepairResult, Repairer};
+    pub use cfd_sql::{Catalog, Executor, PreparedQuery, Strategy};
 }

@@ -27,7 +27,8 @@
 //! The `#[ignore]`d 100k-row case is the CI-sized version of the same
 //! harness (`cargo test --release -- --include-ignored`).
 
-use cfd_core::{Cfd, PatternTableau, PatternTuple, PatternValue};
+use cfd::{Engine, EngineConfig, Error};
+use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
 use cfd_datagen::records::{TaxConfig, TaxGenerator};
 use cfd_datagen::rng::StdRng;
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
@@ -81,7 +82,89 @@ fn assert_paths_agree_on_one_cfd(cfd: &Cfd, rel: &Relation, label: &str) -> Viol
             &format!("{label}: sharded path ({shards} shards) vs the direct oracle"),
         );
     }
+    assert_prepared_session_agrees(std::slice::from_ref(cfd), rel, label);
     direct
+}
+
+/// Prepared-vs-oneshot differential: the same workload served through a
+/// reused `Engine`/`Session` must report byte-identically per configured
+/// `DetectorKind`, and session repairs must be byte-identical to the
+/// one-shot engines. Inconsistent rule sets (which the randomized sweep
+/// does generate) must be *rejected at build time* — that rejection path is
+/// asserted instead.
+fn assert_prepared_session_agrees(cfds: &[Cfd], rel: &Relation, label: &str) {
+    let consistent = CfdSet::from_cfds(cfds.to_vec())
+        .expect("differential workloads share a schema")
+        .ensure_consistent()
+        .is_ok();
+    if !consistent {
+        let err = Engine::builder()
+            .rules(cfds.iter().cloned())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::InconsistentRules,
+            "{label}: inconsistent sets must be rejected at build time"
+        );
+        return;
+    }
+    let shared = Arc::new(rel.clone());
+    for kind in [
+        DetectorKind::Direct,
+        DetectorKind::Sql,
+        DetectorKind::SqlMerged,
+        DetectorKind::SqlParallel { threads: 3 },
+        DetectorKind::Sharded { shards: 4 },
+    ] {
+        let engine = Engine::builder()
+            .rules(cfds.iter().cloned())
+            .config(EngineConfig::builder().detector(kind).build().unwrap())
+            .build()
+            .unwrap();
+        let mut session = engine.session(Arc::clone(&shared)).unwrap();
+        let prepared = session.detect().unwrap();
+        let oneshot = kind.detect_set(cfds, Arc::clone(&shared)).unwrap();
+        assert_identical(
+            &prepared,
+            &oneshot,
+            &format!("{label}: prepared session vs one-shot ({kind:?})"),
+        );
+        // Reuse: a second detect through the cached prepared state.
+        let again = session.detect().unwrap();
+        assert_identical(
+            &again,
+            &oneshot,
+            &format!("{label}: reused session ({kind:?})"),
+        );
+    }
+    // Both repair engines through one reused session, byte-identical to the
+    // one-shot facade path on the same snapshot.
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .build()
+        .unwrap();
+    let mut session = engine.session(Arc::clone(&shared)).unwrap();
+    for kind in [RepairKind::Heuristic, RepairKind::EquivClass] {
+        let prepared = session.repair(kind).unwrap();
+        let oneshot = kind.repair(cfds, rel);
+        assert_eq!(
+            prepared.modifications, oneshot.modifications,
+            "{label}: session {kind:?} modification log"
+        );
+        assert_eq!(
+            prepared.repaired, oneshot.repaired,
+            "{label}: session {kind:?} repaired instance"
+        );
+        assert_eq!(
+            prepared.cost, oneshot.cost,
+            "{label}: session {kind:?} cost"
+        );
+        assert_eq!(
+            prepared.satisfied, oneshot.satisfied,
+            "{label}: session {kind:?} satisfied"
+        );
+    }
 }
 
 /// Set-level agreement: the per-CFD paths byte-identically, the merged path
@@ -118,6 +201,7 @@ fn assert_paths_agree_on_set(cfds: &[Cfd], rel: &Relation, label: &str) {
         let got = kind.detect_set(cfds, Arc::clone(&shared)).unwrap();
         assert_identical(&got, &direct, &format!("{label}: DetectorKind {kind:?}"));
     }
+    assert_prepared_session_agrees(cfds, rel, label);
 }
 
 /// ≥20 seeded tax workloads sweeping noise, constants ratio and CFD arity.
