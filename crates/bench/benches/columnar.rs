@@ -10,8 +10,11 @@
 //! * `row_era` — [`DirectDetector::detect_row_era`] over pre-materialized
 //!   `Vec<Tuple>`: the row-store era scan (one heap allocation per row held
 //!   alive, every cell of every row pulled through cache);
+//! * `rowhash` — [`DirectDetector::detect_rowhash`]: the columnar store
+//!   scanned with the pre-vectorization per-row hash loop (one projected
+//!   key `Vec` hashed per row);
 //! * `columnar` — [`DirectDetector::detect`] over the columnar [`Relation`]:
-//!   the same scan reading only the 3 `X ∪ Y` column slices;
+//!   the vectorized block kernel reading only the 3 `X ∪ Y` column slices;
 //! * `columnar_sharded/N` — [`ShardedDetector`] on the columnar store (the
 //!   partition pass also reads only the LHS columns).
 //!
@@ -101,6 +104,11 @@ fn bench(c: &mut Criterion) {
             columnar_report,
             "row-era and columnar scans diverged at {rows} rows"
         );
+        assert_eq!(
+            direct.detect_rowhash(&cfd, &data),
+            columnar_report,
+            "rowhash and vectorized scans diverged at {rows} rows"
+        );
         for shards in [2usize, 4] {
             assert_eq!(
                 ShardedDetector::new(shards).detect(&cfd, &data),
@@ -115,6 +123,9 @@ fn bench(c: &mut Criterion) {
             .measurement_time(Duration::from_secs(if rows >= 100_000 { 20 } else { 5 }));
         group.bench_function("row_era", |b| {
             b.iter(|| direct.detect_row_era(&cfd, &tuples));
+        });
+        group.bench_function("rowhash", |b| {
+            b.iter(|| direct.detect_rowhash(&cfd, &data));
         });
         group.bench_function("columnar", |b| {
             b.iter(|| direct.detect(&cfd, &data));
@@ -134,9 +145,13 @@ fn bench(c: &mut Criterion) {
         // Hand-timed JSON series (the criterion shim prints text only).
         let iters = if rows >= 100_000 { 5 } else { 20 };
         let row_era_ns = time_ns_per_iter(iters, || direct.detect_row_era(&cfd, &tuples));
+        let rowhash_ns = time_ns_per_iter(iters, || direct.detect_rowhash(&cfd, &data));
         let columnar_ns = time_ns_per_iter(iters, || direct.detect(&cfd, &data));
         json_entries.push(format!(
             "{{\"rows\": {rows}, \"shards\": 1, \"series\": \"row_era\", \"ns_per_iter\": {row_era_ns}}}"
+        ));
+        json_entries.push(format!(
+            "{{\"rows\": {rows}, \"shards\": 1, \"series\": \"rowhash\", \"ns_per_iter\": {rowhash_ns}}}"
         ));
         json_entries.push(format!(
             "{{\"rows\": {rows}, \"shards\": 1, \"series\": \"columnar\", \"ns_per_iter\": {columnar_ns}}}"
@@ -149,9 +164,10 @@ fn bench(c: &mut Criterion) {
             ));
         }
         println!(
-            "columnar_detect/{rows}: row_era {row_era_ns} ns/iter, columnar {columnar_ns} ns/iter \
-             ({:.2}x)",
-            row_era_ns as f64 / columnar_ns as f64
+            "columnar_detect/{rows}: row_era {row_era_ns} ns/iter, rowhash {rowhash_ns} ns/iter, \
+             columnar {columnar_ns} ns/iter ({:.2}x over row_era, {:.2}x over rowhash)",
+            row_era_ns as f64 / columnar_ns as f64,
+            rowhash_ns as f64 / columnar_ns as f64
         );
     }
 

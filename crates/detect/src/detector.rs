@@ -43,6 +43,11 @@ pub enum DetectorKind {
         /// Shard/worker count (clamped to ≥ 1).
         shards: usize,
     },
+    /// Cost-based adaptive detection ([`Planner`](crate::Planner)): a
+    /// per-CFD strategy (direct / sharded / merged / index-driven) chosen
+    /// from data statistics and rule shape. Reports are byte-identical to
+    /// [`DetectorKind::Direct`] — only the execution path adapts.
+    Auto,
 }
 
 impl DetectorKind {
@@ -58,11 +63,12 @@ impl DetectorKind {
             DetectorKind::Sharded { shards } => {
                 Ok(ShardedDetector::new(*shards).detect_set(cfds, &data))
             }
+            DetectorKind::Auto => Ok(crate::Planner::new().detect_set(cfds, &data)),
         }
     }
 
     /// Every selectable engine, for exhaustive differential sweeps.
-    pub fn all(parallelism: usize) -> [DetectorKind; 5] {
+    pub fn all(parallelism: usize) -> [DetectorKind; 6] {
         [
             DetectorKind::Direct,
             DetectorKind::Sql,
@@ -73,6 +79,7 @@ impl DetectorKind {
             DetectorKind::Sharded {
                 shards: parallelism,
             },
+            DetectorKind::Auto,
         ]
     }
 }

@@ -10,9 +10,10 @@
 //! * it is the non-SQL fast path used by the repair algorithm, which needs to
 //!   know the violating row indices rather than tuple values.
 
+use crate::kernels::{scan_group, ScanScratch};
 use crate::report::Violations;
 use cfd_core::Cfd;
-use cfd_relation::{project_cols, project_cols_into, Index, Relation, Tuple, Value, ValueId};
+use cfd_relation::{project_cols_into, Index, Relation, Tuple, Value, ValueId};
 use std::collections::{HashMap, HashSet};
 
 /// Per-LHS-key state of the columnar scan, fused so each row costs a single
@@ -32,14 +33,25 @@ enum GroupState {
 /// The combined `QC`+`QV` columnar scan over a subset of rows (`None` = all
 /// rows) — the shared core of [`DirectDetector::detect`] and the per-shard
 /// workers of [`ShardedDetector`](crate::ShardedDetector) (one hash
-/// partition each). The scan gathers the `X ∪ Y` column slices once and
-/// walks only those columns: per row it reads `|X| + |Y|` contiguous cells
-/// into reused scratch buffers (independent of the schema width), performs
-/// one group-map lookup, and allocates only when a *new* LHS key appears.
-/// Keeping both callers on this one function is what makes the sharded
-/// determinism contract ("byte-identical to the direct path") hold by
-/// construction.
+/// partition each). Since the vectorized kernels landed this is a thin
+/// wrapper over [`scan_group`](crate::kernels::scan_group) with a
+/// call-local scratch; callers that scan repeatedly (set detection, the
+/// planner) hold a [`ScanScratch`](crate::kernels::ScanScratch) and call
+/// the kernel directly. Keeping every caller on the one kernel is what
+/// makes the sharded determinism contract ("byte-identical to the direct
+/// path") hold by construction.
 pub(crate) fn detect_rows(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]>) -> Violations {
+    let mut out = Violations::new();
+    scan_group(&[cfd], rel, rows, &mut ScanScratch::new(), &mut out);
+    out
+}
+
+/// The row-at-a-time hash scan the vectorized kernels replaced: projects
+/// `X`/`Y` into scratch vectors per row and keys the group table by owned
+/// `Vec<ValueId>` (one allocation per new LHS group). Kept as the reference
+/// and benchmark baseline — the kernel tests pin byte-identical reports,
+/// and the `columnar` bench measures the speedup at 100k rows.
+pub(crate) fn detect_rows_rowhash(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]>) -> Violations {
     let xcols = rel.columns_for(cfd.lhs());
     let ycols = rel.columns_for(cfd.rhs());
     let mut out = Violations::new();
@@ -104,6 +116,11 @@ pub(crate) fn detect_rows(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]>) -> Vi
 /// built — so a repeated detection over an unchanged instance is
 /// `O(|Tp| × #groups + |I_matched|)` with no hashing at all.
 ///
+/// When **every** pattern row is constant on the whole LHS, only the keys
+/// spelled out in the tableau can match any pattern at all, so the scan
+/// probes those keys directly instead of iterating the index —
+/// `O(|Tp| + |I_matched|)`, independent of the group count.
+///
 /// # Contract
 ///
 /// * `index` must cover `cfd.lhs()` in LHS order and be in sync with `rel`
@@ -125,27 +142,64 @@ pub fn detect_with_index(cfd: &Cfd, rel: &Relation, index: &Index) -> Violations
     let ycols = rel.columns_for(cfd.rhs());
     let mut out = Violations::new();
     let mut matching: Vec<&cfd_core::PatternTuple> = Vec::new();
-    for (key, rows) in index.iter() {
+    // Reused across every group and row: no per-row allocation anywhere in
+    // the loop (the `Y` projection is gathered into this one buffer, and
+    // the distinct-`Y` check compares column cells at two row indices).
+    let mut y_scratch: Vec<ValueId> = Vec::with_capacity(ycols.len());
+    let mut check_group = |key: &[ValueId], rows: &[usize], out: &mut Violations| {
         matching.clear();
         matching.extend(cfd.tableau().iter().filter(|p| p.lhs_matches_ids(key)));
         if matching.is_empty() {
-            continue;
+            return;
         }
-        let mut first_y: Option<Vec<ValueId>> = None;
+        let mut first_row: Option<usize> = None;
         let mut multi = false;
         for &row in rows {
-            let y = project_cols(&ycols, row);
-            if matching.iter().any(|p| !p.rhs_matches_ids(&y)) {
+            project_cols_into(&ycols, row, &mut y_scratch);
+            if matching.iter().any(|p| !p.rhs_matches_ids(&y_scratch)) {
                 out.add_constant_violation(rel.row(row).expect("row in range").to_values());
             }
-            match &first_y {
-                None => first_y = Some(y),
-                Some(seen) if *seen != y => multi = true,
-                Some(_) => {}
+            match first_row {
+                None => first_row = Some(row),
+                Some(first) => {
+                    if !multi && ycols.iter().any(|col| col[first] != col[row]) {
+                        multi = true;
+                    }
+                }
             }
         }
         if multi {
             out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+    };
+    let all_const = cfd
+        .tableau()
+        .iter()
+        .all(|p| p.lhs().iter().all(cfd_core::PatternValue::is_const));
+    if all_const {
+        // Probe path: only the tableau's own keys can match any pattern —
+        // look them up instead of walking every group (duplicate keys are
+        // skipped; re-checking one would only re-insert into the report's
+        // ordered sets, but the work is pointless).
+        let mut probed: Vec<Vec<ValueId>> = Vec::with_capacity(cfd.tableau().len());
+        for pattern in cfd.tableau().iter() {
+            let key: Vec<ValueId> = pattern
+                .lhs()
+                .iter()
+                .map(|c| c.const_id().expect("all-constant LHS"))
+                .collect();
+            if probed.contains(&key) {
+                continue;
+            }
+            let rows = index.lookup_ids(&key);
+            if !rows.is_empty() {
+                check_group(&key, rows, &mut out);
+            }
+            probed.push(key);
+        }
+    } else {
+        for (key, rows) in index.iter() {
+            check_group(key, rows, &mut out);
         }
     }
     out
@@ -201,12 +255,22 @@ impl DirectDetector {
     /// keys for multi-tuple violations.
     ///
     /// Entirely interned and columnar: pattern matching, grouping and the
-    /// distinct-`Y` sets all work on [`ValueId`]s (`u32` compares and
+    /// distinct-`Y` tracking all work on [`ValueId`]s (`u32` compares and
     /// hashes) read straight from the `X ∪ Y` column slices; values are
     /// resolved only when a finding enters the report. The scan itself is
-    /// the crate-internal `detect_rows`, shared with the sharded workers.
+    /// the vectorized block kernel
+    /// ([`scan_group`]), shared with the
+    /// sharded workers and the adaptive planner.
     pub fn detect(&self, cfd: &Cfd, rel: &Relation) -> Violations {
         detect_rows(cfd, rel, None)
+    }
+
+    /// The row-at-a-time hash scan the vectorized kernels replaced (owned
+    /// `Vec<ValueId>` group keys, one allocation per new LHS group) — the
+    /// performance baseline of the `columnar` bench. Returns the same
+    /// report as [`DirectDetector::detect`].
+    pub fn detect_rowhash(&self, cfd: &Cfd, rel: &Relation) -> Violations {
+        detect_rows_rowhash(cfd, rel, None)
     }
 
     /// The row-store era scan ([`detect_tuples`]) over pre-materialized
@@ -261,12 +325,15 @@ impl DirectDetector {
         out
     }
 
-    /// Detects violations of a set of CFDs by running [`DirectDetector::detect`]
-    /// per CFD and merging the reports.
+    /// Detects violations of a set of CFDs by running the vectorized scan
+    /// per CFD into one report, reusing one
+    /// [`ScanScratch`] across the whole set —
+    /// equal to merging per-CFD [`DirectDetector::detect`] reports.
     pub fn detect_set(&self, cfds: &[Cfd], rel: &Relation) -> Violations {
         let mut out = Violations::new();
+        let mut scratch = ScanScratch::new();
         for cfd in cfds {
-            out.merge(self.detect(cfd, rel));
+            scan_group(&[cfd], rel, None, &mut scratch, &mut out);
         }
         out
     }
@@ -371,6 +438,32 @@ mod tests {
             detect_with_index(&cfd, &rel, &index),
             DirectDetector::new().detect(&cfd, &rel)
         );
+    }
+
+    #[test]
+    fn all_constant_tableaux_probe_instead_of_iterating() {
+        // Every pattern row fully constant on the LHS: the index path must
+        // take the key-probe branch — including duplicate tableau keys and
+        // constants absent from the data — and still report byte-identically
+        // to the full scan.
+        let rel = cust_instance();
+        let schema = rel.schema().clone();
+        let cfd = Cfd::builder(schema, ["CC", "ZIP"], ["STR", "CT"])
+            .pattern(["01", "07974"], ["_", "NJC"])
+            .pattern(["01", "07974"], ["Tree Ave.", "_"]) // duplicate key
+            .pattern(["01", "99999"], ["_", "AK"]) // key not in the data
+            .pattern(["44", "EH4 1DT"], ["_", "EDI"])
+            .build()
+            .unwrap();
+        assert!(cfd
+            .tableau()
+            .iter()
+            .all(|p| p.lhs().iter().all(cfd_core::PatternValue::is_const)));
+        let index = rel.build_index(cfd.lhs());
+        let probed = detect_with_index(&cfd, &rel, &index);
+        let scanned = DirectDetector::new().detect(&cfd, &rel);
+        assert_eq!(probed, scanned);
+        assert_eq!(probed.canonical_bytes(), scanned.canonical_bytes());
     }
 
     #[test]

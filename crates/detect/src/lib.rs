@@ -50,8 +50,10 @@
 pub mod detector;
 pub mod direct;
 pub mod incremental;
+pub mod kernels;
 pub mod merge;
 pub mod merged;
+pub mod planner;
 pub mod recheck;
 pub mod report;
 pub mod sharded;
@@ -60,7 +62,9 @@ pub mod single;
 pub use detector::{DetectStats, Detector, DetectorKind};
 pub use direct::{detect_with_index, DirectDetector};
 pub use incremental::{BatchOp, IncrementalDetector};
+pub use kernels::{scan_group, ScanScratch};
 pub use merge::MergedTableaux;
+pub use planner::{DetectionPlan, PlanStep, Planner, StepStrategy};
 pub use recheck::recheck_lhs_key;
 pub use report::{ViolationItem, Violations};
 pub use sharded::ShardedDetector;

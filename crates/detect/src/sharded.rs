@@ -49,11 +49,28 @@ pub struct ShardedDetector {
     shards: usize,
 }
 
+/// The machine's available parallelism (≥ 1) — the one source both
+/// [`ShardedDetector::default`] and the adaptive planner derive worker
+/// counts from. Falls back to 1 when the runtime cannot tell.
+///
+/// Cached after the first call: `std::thread::available_parallelism` reads
+/// cgroup quota files on Linux (tens of µs per call), which would otherwise
+/// tax every planner construction on the serving path.
+pub fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// FNV-1a over the little-endian bytes of the interned LHS key, read
 /// column-wise (`lhs_cols` are the LHS column slices in key order). Fixed
 /// offset basis and prime: the partition is reproducible across runs and
-/// platforms.
-fn shard_of(lhs_cols: &[&[ValueId]], row: usize, shards: usize) -> usize {
+/// platforms. Shared with the planner's sharded execution of fused
+/// same-LHS steps.
+pub(crate) fn shard_of(lhs_cols: &[&[ValueId]], row: usize, shards: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for col in lhs_cols {
         for byte in col[row].raw().to_le_bytes() {
@@ -132,13 +149,12 @@ impl ShardedDetector {
 }
 
 impl Default for ShardedDetector {
-    /// One shard per available core (at least 2 — the whole point is to
-    /// overlap shard scans).
+    /// One shard per available core ([`available_cores`] — the same source
+    /// the planner sizes shard counts from), but at least 2: the whole
+    /// point of this detector is to overlap shard scans, and explicit
+    /// counts remain honored through [`ShardedDetector::new`].
     fn default() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(2);
-        ShardedDetector::new(cores.max(2))
+        ShardedDetector::new(available_cores().max(2))
     }
 }
 

@@ -61,6 +61,7 @@ pub mod placeholder;
 pub mod relation;
 pub mod row;
 pub mod schema;
+pub mod stats;
 pub mod tuple;
 pub mod value;
 pub mod weights;
@@ -73,6 +74,7 @@ pub use interner::ValueId;
 pub use relation::Relation;
 pub use row::{project_attrs, project_cols, project_cols_into, RowRef};
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
+pub use stats::{ColumnStats, GroupStats, NdvSketch, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;
 pub use weights::TupleWeights;

@@ -39,13 +39,14 @@ fn main() {
     let data = Arc::new(generated.relation.clone());
 
     // Per-CFD query pairs (2 × |Σ| passes) vs the merged pair (2 passes) vs
-    // 4-way parallel detection: one compiled engine per serving strategy,
-    // all sharing the validated rule set.
+    // 4-way parallel detection vs the cost-based planner: one compiled
+    // engine per serving strategy, all sharing the validated rule set.
     for kind in [
         DetectorKind::Sql,
         DetectorKind::SqlMerged,
         DetectorKind::SqlParallel { threads: 4 },
         DetectorKind::Direct,
+        DetectorKind::Auto,
     ] {
         let engine = Engine::builder()
             .rules(cfds.iter().cloned())

@@ -70,6 +70,12 @@ pub struct EngineConfigBuilder {
 
 impl EngineConfigBuilder {
     /// Selects the detection engine (default: [`DetectorKind::Direct`]).
+    ///
+    /// [`DetectorKind::Auto`] delegates the choice to the cost-based
+    /// detection planner: per CFD (or fused same-LHS group), the session
+    /// picks direct, sharded, merged or index-driven execution from column
+    /// statistics of the served snapshot, with provenance available through
+    /// [`Session::detection_plan`](crate::Session::detection_plan).
     pub fn detector(mut self, kind: DetectorKind) -> Self {
         self.config.detector = kind;
         self
@@ -291,6 +297,7 @@ mod tests {
             DetectorKind::SqlMerged,
             DetectorKind::SqlParallel { threads: 2 },
             DetectorKind::Sharded { shards: 8 },
+            DetectorKind::Auto,
         ] {
             EngineConfig::builder().detector(kind).build().unwrap();
         }

@@ -6,8 +6,8 @@
 //! the `QC`/`QV` detection queries of Fig. 5 generated once per CFD and the
 //! per-CFD keyed/recheck plans decided up front. Serving a dataset is then
 //! [`Engine::session`] — all per-dataset state (LHS indexes, prepared query
-//! plans, the embedded stream detector) lives in the [`Session`], never in
-//! the engine.
+//! plans, column statistics for the adaptive detection planner, the
+//! embedded stream detector) lives in the [`Session`], never in the engine.
 
 use crate::config::EngineConfig;
 use crate::error::Result;

@@ -41,7 +41,9 @@
 //! * [`core`] — CFDs, pattern tableaux, satisfaction, consistency, the
 //!   inference system and minimal covers.
 //! * [`detect`] — SQL-based, direct, hash-sharded parallel and incremental
-//!   (streaming) violation detection, selectable via [`DetectorKind`].
+//!   (streaming) violation detection, selectable via [`DetectorKind`] —
+//!   including [`DetectorKind::Auto`], the cost-based adaptive planner over
+//!   vectorized columnar scan kernels.
 //! * [`repair`] — cost-based repair (Section 6) behind [`RepairKind`].
 //! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
 //! * [`datagen`] — the `cust` running example and the synthetic tax-records
@@ -62,7 +64,7 @@ mod engine;
 mod error;
 mod session;
 
-pub use cfd_detect::{DetectorKind, ViolationItem};
+pub use cfd_detect::{DetectionPlan, DetectorKind, PlanStep, Planner, StepStrategy, ViolationItem};
 pub use cfd_repair::RepairKind;
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use engine::{Engine, EngineBuilder};
@@ -139,8 +141,8 @@ pub mod prelude {
     pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
     pub use cfd_datagen::cust::{cust_instance, cust_schema};
     pub use cfd_detect::{
-        BatchOp, Detector, DetectorKind, IncrementalDetector, ShardedDetector, ViolationItem,
-        Violations,
+        BatchOp, DetectionPlan, Detector, DetectorKind, IncrementalDetector, Planner,
+        ShardedDetector, StepStrategy, ViolationItem, Violations,
     };
     pub use cfd_relation::{AttrType, Domain, Relation, Schema, Tuple, TupleWeights, Value};
     pub use cfd_repair::{CostModel, RepairConfig, RepairKind, RepairResult, Repairer};

@@ -24,9 +24,12 @@ use crate::engine::{Engine, DATA_NAME, JOINED_NAME, TABLEAU_NAME};
 use crate::error::{Error, Result};
 use cfd_core::{Cfd, PatternTuple, ViolationKind, ViolationWitness, WitnessCells};
 use cfd_detect::{
-    detect_with_index, BatchOp, DirectDetector, ShardedDetector, ViolationItem, Violations,
+    detect_with_index, BatchOp, DetectionPlan, DirectDetector, Planner, ShardedDetector,
+    ViolationItem, Violations,
 };
-use cfd_relation::{project_cols, AttrId, Index, Relation, Schema, Tuple, Value, ValueId};
+use cfd_relation::{
+    project_cols, AttrId, Index, Relation, RelationStats, Schema, Tuple, Value, ValueId,
+};
 use cfd_repair::{RepairKind, RepairResult, Repairer};
 use cfd_sql::{Catalog, Executor, PreparedQuery};
 use cfd_sql::{ResultSet, SelectQuery};
@@ -56,6 +59,13 @@ pub struct Session {
     prepared: Option<Vec<(PreparedQuery, PreparedQuery)>>,
     /// The prepared merged pair (Section 4.2), when the engine compiled one.
     prepared_merged: Option<(PreparedQuery, PreparedQuery)>,
+    /// Column/group statistics of the snapshot, collected lazily by the
+    /// first [`DetectorKind::Auto`] detection and grown on demand as the
+    /// planner asks about new attribute sets. Bound to the snapshot:
+    /// invalidated (with [`Session::detection_plan`]) by every applied batch.
+    stats: Option<RelationStats>,
+    /// The detection plan of the most recent [`DetectorKind::Auto`] run.
+    plan: Option<DetectionPlan>,
 }
 
 impl Session {
@@ -75,6 +85,8 @@ impl Session {
             indexes: None,
             prepared: None,
             prepared_merged: None,
+            stats: None,
+            plan: None,
         })
     }
 
@@ -127,7 +139,11 @@ impl Session {
     /// * `Sql` / `SqlParallel` — the prepared `QC`/`QV` plans, sequential or
     ///   spread over scoped worker threads;
     /// * `SqlMerged` — the prepared merged pair (Section 4.2);
-    /// * `Sharded` — hash-partitioned parallel scan of the snapshot.
+    /// * `Sharded` — hash-partitioned parallel scan of the snapshot;
+    /// * `Auto` — the cost-based [`Planner`](cfd_detect::Planner): per-CFD
+    ///   strategies chosen from cached column statistics of the snapshot
+    ///   (index-driven steps reuse the session's shared LHS indexes); the
+    ///   chosen plan is kept for inspection via [`Session::detection_plan`].
     ///
     /// Reports are byte-identical to running the same [`DetectorKind`] from
     /// scratch on [`Session::snapshot`] — the differential harness pins
@@ -181,7 +197,47 @@ impl Session {
                 let snapshot = self.snapshot();
                 Ok(ShardedDetector::new(shards).detect_set(self.engine.rules().cfds(), &snapshot))
             }
+            DetectorKind::Auto => {
+                let snapshot = self.snapshot();
+                let planner = Planner::new();
+                // The plan is prepared state like the indexes and compiled
+                // SQL: computed once per snapshot (batches invalidate it
+                // with the statistics it came from) and served from cache
+                // on repeated detections.
+                if self.plan.is_none() {
+                    if self.stats.is_none() {
+                        self.stats = Some(RelationStats::new(&snapshot));
+                    }
+                    // Indexes amortize across detections on a served
+                    // snapshot, so plan with `index_reusable = true`.
+                    self.plan = Some(planner.plan(
+                        self.engine.rules().cfds(),
+                        &snapshot,
+                        self.stats.as_mut().expect("just ensured"),
+                        true,
+                    ));
+                }
+                if self.plan.as_ref().expect("just ensured").needs_indexes() {
+                    self.ensure_indexes();
+                }
+                Ok(planner.execute(
+                    self.plan.as_ref().expect("just ensured"),
+                    self.engine.rules().cfds(),
+                    &snapshot,
+                    self.indexes.as_deref(),
+                ))
+            }
         }
+    }
+
+    /// The plan chosen by the most recent [`DetectorKind::Auto`] detection
+    /// on this session: per fused step, the strategy the cost model picked,
+    /// every scored candidate, and the group-cardinality estimate it was
+    /// based on. `None` before the first `Auto` detection and after every
+    /// applied batch (a batch invalidates the statistics the plan was built
+    /// from).
+    pub fn detection_plan(&self) -> Option<&DetectionPlan> {
+        self.plan.as_ref()
     }
 
     /// Repairs the current instance with the given engine kind (all other
@@ -230,11 +286,16 @@ impl Session {
             .as_mut()
             .expect("just ensured")
             .apply_batch(ops)?;
-        // The snapshot and everything bound to it are now stale.
+        // The snapshot and everything bound to it are now stale — including
+        // the column statistics and the detection plan derived from them:
+        // the planner must never choose a strategy against counts of a
+        // superseded instance.
         self.snapshot = None;
         self.indexes = None;
         self.prepared = None;
         self.prepared_merged = None;
+        self.stats = None;
+        self.plan = None;
         Ok(report)
     }
 

@@ -1,12 +1,15 @@
 //! Differential test harness across all detector paths.
 //!
-//! Four independent implementations compute the Section 4 violation sets:
+//! Five independent implementations compute the Section 4 violation sets:
 //!
 //! 1. [`DirectDetector`] — the single-threaded hash-based oracle;
 //! 2. the SQL `QC`/`QV` query pair ([`Detector::detect`]);
 //! 3. the merged-tableaux SQL path ([`Detector::detect_set_merged`], the
 //!    Section 4.2 `CASE`-masked single query pair);
-//! 4. [`ShardedDetector`] — hash-partitioned parallel detection.
+//! 4. [`ShardedDetector`] — hash-partitioned parallel detection;
+//! 5. [`DetectorKind::Auto`] — the cost-based adaptive planner, whose every
+//!    chosen strategy (direct, sharded, fused-merged, index-driven) must be
+//!    invisible in the report.
 //!
 //! On dozens of seeded randomized workloads (deterministic xoshiro256++
 //! [`StdRng`], varying size, noise, constants ratio, tableau size and CFD
@@ -116,6 +119,7 @@ fn assert_prepared_session_agrees(cfds: &[Cfd], rel: &Relation, label: &str) {
         DetectorKind::SqlMerged,
         DetectorKind::SqlParallel { threads: 3 },
         DetectorKind::Sharded { shards: 4 },
+        DetectorKind::Auto,
     ] {
         let engine = Engine::builder()
             .rules(cfds.iter().cloned())
@@ -197,6 +201,7 @@ fn assert_paths_agree_on_set(cfds: &[Cfd], rel: &Relation, label: &str) {
         DetectorKind::Sql,
         DetectorKind::SqlParallel { threads: 3 },
         DetectorKind::Sharded { shards: 4 },
+        DetectorKind::Auto,
     ] {
         let got = kind.detect_set(cfds, Arc::clone(&shared)).unwrap();
         assert_identical(&got, &direct, &format!("{label}: DetectorKind {kind:?}"));
@@ -399,6 +404,31 @@ fn tax_workload_100k_agrees_across_all_paths() {
             &format!("sharded({shards}) vs direct at 100k rows"),
         );
     }
+    // The adaptive planner on the full set, one-shot and through a served
+    // session (which plans with reusable indexes — potentially a different
+    // strategy mix, same report).
+    let shared = Arc::new(data.clone());
+    let auto = DetectorKind::Auto
+        .detect_set(&cfds, Arc::clone(&shared))
+        .unwrap();
+    assert_identical(&auto, &direct, "Auto one-shot vs direct at 100k rows");
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .config(
+            EngineConfig::builder()
+                .detector(DetectorKind::Auto)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let mut session = engine.session(Arc::clone(&shared)).unwrap();
+    let served = session.detect().unwrap();
+    assert_identical(&served, &direct, "Auto session vs direct at 100k rows");
+    assert!(
+        session.detection_plan().is_some(),
+        "an Auto detection must leave its plan for inspection"
+    );
     // SQL paths on the first CFD only (bounded runtime).
     assert_paths_agree_on_one_cfd(&cfds[0], &data, "100k ZipToState");
 }

@@ -1,0 +1,170 @@
+//! Facade-level tests of the cost-based adaptive detection planner
+//! (`DetectorKind::Auto`): plan provenance through the session, statistics
+//! invalidation across streamed batches, and byte-identity of every adaptive
+//! report to the direct oracle.
+
+use cfd::{DetectorKind, Engine, EngineConfig, Session, StepStrategy};
+use cfd_core::Cfd;
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_detect::{BatchOp, DirectDetector};
+use cfd_relation::{Relation, Schema, Tuple, Value};
+use std::sync::Arc;
+
+fn abc_schema() -> Schema {
+    Schema::builder("r").text("A").text("B").text("C").build()
+}
+
+/// `rows` tuples with `A = i mod distinct_a` (the planner's group count),
+/// `B` and `C` on small cycles.
+fn synthetic(rows: usize, distinct_a: usize) -> Relation {
+    let mut rel = Relation::new(abc_schema());
+    for i in 0..rows {
+        rel.push(Tuple::new(vec![
+            Value::from(format!("a{}", i % distinct_a)),
+            Value::from(format!("b{}", i % 7)),
+            Value::from(format!("c{}", i % 3)),
+        ]))
+        .unwrap();
+    }
+    rel
+}
+
+fn auto_session(data: Relation) -> (Session, Cfd) {
+    let cfd = Cfd::fd(abc_schema(), ["A"], ["B"]).unwrap();
+    let engine = Engine::builder()
+        .rule(cfd.clone())
+        .config(
+            EngineConfig::builder()
+                .detector(DetectorKind::Auto)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    (engine.session(Arc::new(data)).unwrap(), cfd)
+}
+
+/// A served `Auto` session plans index-driven execution on few-group data
+/// (its LHS indexes amortize), and exposes the choice through
+/// [`Session::detection_plan`].
+#[test]
+fn session_plans_index_driven_on_few_groups() {
+    let (mut session, cfd) = auto_session(synthetic(8_000, 80));
+    assert!(
+        session.detection_plan().is_none(),
+        "no plan before the first Auto detection"
+    );
+    let report = session.detect().unwrap();
+    let plan = session.detection_plan().expect("Auto leaves its plan");
+    assert_eq!(plan.strategy_for(0), Some(StepStrategy::IndexDriven));
+    let direct = DirectDetector::new().detect(&cfd, &session.snapshot());
+    assert_eq!(report, direct);
+    assert_eq!(report.canonical_bytes(), direct.canonical_bytes());
+}
+
+/// The stale-stats regression: a batch that floods the instance with
+/// unique LHS keys must invalidate the cached statistics, so the next
+/// `Auto` detection re-plans — flipping from index-driven to a direct scan
+/// instead of serving the superseded plan. (The flip is core-count
+/// independent: both strategies are single-threaded.)
+#[test]
+fn apply_batch_invalidates_stats_and_replans() {
+    let (mut session, cfd) = auto_session(synthetic(8_000, 80));
+    session.detect().unwrap();
+    assert_eq!(
+        session
+            .detection_plan()
+            .and_then(|plan| plan.strategy_for(0)),
+        Some(StepStrategy::IndexDriven),
+        "few groups over reusable indexes must start index-driven"
+    );
+
+    // 8k inserted rows with globally unique A values: group count jumps
+    // from 80 to ~8k, which prices per-group index iteration out.
+    let ops: Vec<BatchOp> = (0..8_000)
+        .map(|i| {
+            BatchOp::Insert(Tuple::new(vec![
+                Value::from(format!("u{i}")),
+                Value::from(format!("b{}", i % 7)),
+                Value::from("c0"),
+            ]))
+        })
+        .collect();
+    session.apply_batch(&ops).unwrap();
+    assert!(
+        session.detection_plan().is_none(),
+        "a batch must drop the plan with the stats it was built from"
+    );
+
+    let report = session.detect().unwrap();
+    let plan = session.detection_plan().expect("re-planned after batch");
+    assert_eq!(
+        plan.strategy_for(0),
+        Some(StepStrategy::Direct),
+        "near-unique keys must re-plan to the direct scan"
+    );
+    assert_eq!(plan.rows(), 16_000, "the new plan prices the new instance");
+    let direct = DirectDetector::new().detect(&cfd, &session.snapshot());
+    assert_eq!(report, direct);
+    assert_eq!(report.canonical_bytes(), direct.canonical_bytes());
+}
+
+/// Byte-identity of a reused `Auto` session across a stream of mixed
+/// batches on the generated tax workload — after every batch the adaptive
+/// report must equal a from-scratch direct detection of the new instance.
+#[test]
+fn streamed_batches_stay_byte_identical_to_direct() {
+    let generated = TaxGenerator::new(TaxConfig {
+        size: 1_500,
+        noise_percent: 6.0,
+        seed: 77,
+    })
+    .generate()
+    .relation;
+    let workload = cfd_datagen::CfdWorkload::new(5);
+    let cfds = vec![
+        workload.single(cfd_datagen::EmbeddedFd::ZipToState, 60, 70.0),
+        workload.single(cfd_datagen::EmbeddedFd::AreaToCity, 60, 40.0),
+    ];
+    let extra = TaxGenerator::new(TaxConfig {
+        size: 300,
+        noise_percent: 25.0,
+        seed: 78,
+    })
+    .generate()
+    .relation;
+
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .config(
+            EngineConfig::builder()
+                .detector(DetectorKind::Auto)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let mut session = engine.session(Arc::new(generated.clone())).unwrap();
+
+    let first = session.detect().unwrap();
+    let direct = DirectDetector::new().detect_set(&cfds, &generated);
+    assert!(!direct.is_clean(), "the workload must carry violations");
+    assert_eq!(first.canonical_bytes(), direct.canonical_bytes());
+
+    let base_tuples = generated.to_tuples();
+    for (round, chunk) in extra.to_tuples().chunks(100).enumerate() {
+        let mut ops: Vec<BatchOp> = chunk.iter().cloned().map(BatchOp::Insert).collect();
+        // Interleave deletions of rows known to be live.
+        ops.push(BatchOp::Delete(base_tuples[round * 3].clone()));
+        ops.push(BatchOp::Delete(base_tuples[round * 3 + 1].clone()));
+        session.apply_batch(&ops).unwrap();
+        let adaptive = session.detect().unwrap();
+        let oracle = DirectDetector::new().detect_set(&cfds, &session.snapshot());
+        assert_eq!(adaptive, oracle, "round {round} (typed Eq)");
+        assert_eq!(
+            adaptive.canonical_bytes(),
+            oracle.canonical_bytes(),
+            "round {round} (rendered bytes)"
+        );
+    }
+}
