@@ -1,0 +1,351 @@
+//! Serving-layer bench: mixed read+stream throughput through a
+//! multi-tenant `cfd_serve::Server`.
+//!
+//! Three measurements, all on the tax workload (two CFDs, 5% noise):
+//!
+//! * `read_only` — 4 reader threads hammering `Server::detect` against a
+//!   quiescent tenant: the snapshot-read ceiling (requests/sec and
+//!   violations/sec, where every read of a report with `v` violations
+//!   counts `v`);
+//! * `mixed` — the same 4 readers while 4 writer threads stream
+//!   micro-batches into the same tenant: read + write requests/sec under
+//!   contention. Readers are served from published snapshots, so the mixed
+//!   read rate stays within the same order as the quiescent ceiling rather
+//!   than collapsing to the write rate;
+//! * `reader_during_bulk_write` — the directed probe of the same property:
+//!   one deliberately huge stream (8 000 ops in a single flush) while the
+//!   main thread keeps reading; the JSON records how many reads completed
+//!   *inside* the flush window. Blocked readers would record ~0.
+//!
+//! Outside the timed regions the bench asserts the serving contracts: the
+//! published report is byte-identical to from-scratch detection after the
+//! run, and a panic injected into one tenant's worker (poisoning its writer
+//! lock) leaves the *other* tenant serving byte-identical reports while the
+//! faulted tenant recovers on its next write.
+//!
+//! Besides the harness output it writes `crates/bench/BENCH_serving.json`,
+//! which CI uploads next to the other bench artifacts.
+
+use cfd::prelude::*;
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_serve::{Server, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BASE_ROWS: usize = 5_000;
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const BATCHES_PER_WRITER: usize = 25;
+const OPS_PER_BATCH: usize = 20;
+const BULK_OPS: usize = 8_000;
+
+fn tax_engine() -> Engine {
+    let w = CfdWorkload::new(11);
+    Engine::builder()
+        .rules([
+            w.single(EmbeddedFd::ZipToState, 120, 100.0),
+            w.single(EmbeddedFd::AreaToCity, 100, 60.0),
+        ])
+        .build()
+        .expect("workload rules are consistent")
+}
+
+fn tax_relation(size: usize, seed: u64) -> Relation {
+    TaxGenerator::new(TaxConfig {
+        size,
+        noise_percent: 5.0,
+        seed,
+    })
+    .generate()
+    .relation
+}
+
+fn server() -> Server {
+    Server::with_config(ServerConfig {
+        workers: 4,
+        max_batch_ops: 64,
+        max_batch_delay: Duration::from_millis(1),
+    })
+}
+
+struct MixedStats {
+    reads: u64,
+    writes: u64,
+    violations_read: u64,
+    elapsed: Duration,
+}
+
+/// Runs `writers × batches` streams while `READERS` reader threads read
+/// continuously; with `writers == 0` this is the read-only baseline (each
+/// reader then performs a fixed read count instead of spinning).
+fn mixed_sweep(server: &Server, tenant: &str, writers: usize, write_rows: &[Tuple]) -> MixedStats {
+    let reads = AtomicU64::new(0);
+    let violations_read = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut writer_handles = Vec::new();
+        for w in 0..writers {
+            let server = server.clone();
+            let rows: Vec<Tuple> = write_rows
+                .chunks(write_rows.len() / writers.max(1))
+                .nth(w)
+                .expect("one slice per writer")
+                .to_vec();
+            let writes = &writes;
+            writer_handles.push(scope.spawn(move || {
+                for batch in rows.chunks(OPS_PER_BATCH) {
+                    let ops = batch.iter().cloned().map(BatchOp::Insert).collect();
+                    server.stream(tenant, ops).expect("stream succeeds");
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        let reader_handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let server = server.clone();
+                let (reads, violations_read, done) = (&reads, &violations_read, &done);
+                scope.spawn(move || {
+                    let mut local = 0u64;
+                    loop {
+                        let report = server.detect(tenant).expect("tenant exists");
+                        violations_read.fetch_add(report.total() as u64, Ordering::Relaxed);
+                        local += 1;
+                        if writers == 0 {
+                            if local >= 5_000 {
+                                break;
+                            }
+                        } else if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    reads.fetch_add(local, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for handle in writer_handles {
+            handle.join().expect("writer thread");
+        }
+        done.store(true, Ordering::Release);
+        for handle in reader_handles {
+            handle.join().expect("reader thread");
+        }
+    });
+    MixedStats {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        violations_read: violations_read.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// One huge stream flush with a concurrent reader: returns how many reads
+/// completed strictly inside the flush window, plus the flush duration.
+fn reads_during_bulk_write(server: &Server, tenant: &str, rows: &[Tuple]) -> (u64, Duration) {
+    let writing = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        let writer = {
+            let server = server.clone();
+            let ops: Vec<BatchOp> = rows.iter().cloned().map(BatchOp::Insert).collect();
+            let writing = &writing;
+            scope.spawn(move || {
+                let start = Instant::now();
+                server.stream(tenant, ops).expect("bulk stream succeeds");
+                writing.store(false, Ordering::Release);
+                start.elapsed()
+            })
+        };
+        let mut reads = 0u64;
+        while writing.load(Ordering::Acquire) {
+            std::hint::black_box(server.detect(tenant).expect("tenant exists"));
+            reads += 1;
+        }
+        let flush = writer.join().expect("writer thread");
+        // The last read may have finished after the flush did; everything
+        // before it ran inside the window.
+        (reads.saturating_sub(1), flush)
+    })
+}
+
+fn rate(count: u64, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = tax_engine();
+    let streamed = tax_relation(WRITERS * BATCHES_PER_WRITER * OPS_PER_BATCH, 8).to_tuples();
+    let bulk = tax_relation(BULK_OPS, 9).to_tuples();
+
+    // ---- Contract assertions, outside every timed region. ----
+    {
+        let server = server();
+        for (name, seed) in [("alpha", 31u64), ("bravo", 32)] {
+            server
+                .create_tenant(
+                    name,
+                    engine.clone(),
+                    Arc::new(tax_relation(BASE_ROWS, seed)),
+                )
+                .expect("create tenant");
+        }
+        // Panic isolation: poison alpha's writer lock; bravo must serve
+        // byte-identical reports and alpha must recover on its next write.
+        // The default panic hook would spray a backtrace into the bench
+        // output for a panic that is injected on purpose — mute it.
+        let bravo_before = server.detect("bravo").expect("bravo serves");
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = server
+            .inject_worker_panic("alpha")
+            .expect_err("the injected panic is contained as an error");
+        std::panic::set_hook(hook);
+        assert!(err.is_worker_panic());
+        let bravo_after = server.detect("bravo").expect("bravo still serves");
+        assert_eq!(
+            bravo_before.canonical_bytes(),
+            bravo_after.canonical_bytes(),
+            "a panic in one tenant must not change what another serves"
+        );
+        let snap = server
+            .stream("alpha", vec![BatchOp::Insert(streamed[0].clone())])
+            .expect("alpha recovers from the poisoned lock");
+        assert_eq!(snap.generation(), 1);
+        let fresh = server.detect_fresh("alpha").expect("fresh detection");
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+        println!("serving/panic_isolation: contained; unaffected tenant byte-identical");
+    }
+
+    // ---- Read-only baseline. ----
+    let baseline = {
+        let server = server();
+        server
+            .create_tenant("t", engine.clone(), Arc::new(tax_relation(BASE_ROWS, 7)))
+            .expect("create tenant");
+        mixed_sweep(&server, "t", 0, &[])
+    };
+    let baseline_reads_per_sec = rate(baseline.reads, baseline.elapsed);
+    println!(
+        "serving/read_only: {} reads in {:?} ({:.0} reads/s, {:.0} violations/s)",
+        baseline.reads,
+        baseline.elapsed,
+        baseline_reads_per_sec,
+        rate(baseline.violations_read, baseline.elapsed),
+    );
+
+    // ---- Mixed readers + writers. ----
+    let (mixed, final_len) = {
+        let server = server();
+        server
+            .create_tenant("t", engine.clone(), Arc::new(tax_relation(BASE_ROWS, 7)))
+            .expect("create tenant");
+        let stats = mixed_sweep(&server, "t", WRITERS, &streamed);
+        // Post-run contract: published == from-scratch, all rows landed.
+        let snap = server.snapshot("t").expect("tenant exists");
+        assert_eq!(snap.relation().len(), BASE_ROWS + streamed.len());
+        let fresh = server.detect_fresh("t").expect("fresh detection");
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+        (stats, snap.relation().len())
+    };
+    let mixed_reads_per_sec = rate(mixed.reads, mixed.elapsed);
+    let mixed_writes_per_sec = rate(mixed.writes, mixed.elapsed);
+    let mixed_requests_per_sec = rate(mixed.reads + mixed.writes, mixed.elapsed);
+    println!(
+        "serving/mixed: {} reads + {} write batches in {:?} \
+         ({:.0} req/s; {:.0} reads/s; {:.0} violations/s; final {} rows)",
+        mixed.reads,
+        mixed.writes,
+        mixed.elapsed,
+        mixed_requests_per_sec,
+        mixed_reads_per_sec,
+        rate(mixed.violations_read, mixed.elapsed),
+        final_len,
+    );
+
+    // ---- Directed readers-unblocked probe. ----
+    let (reads_in_flush, flush) = {
+        let server = server();
+        server
+            .create_tenant("t", engine.clone(), Arc::new(tax_relation(BASE_ROWS, 7)))
+            .expect("create tenant");
+        reads_during_bulk_write(&server, "t", &bulk)
+    };
+    assert!(
+        reads_in_flush > 0,
+        "reads must complete while a {BULK_OPS}-op flush is applying \
+         (snapshot isolation); got none in {flush:?}"
+    );
+    println!(
+        "serving/reader_during_bulk_write: {reads_in_flush} reads completed \
+         inside one {BULK_OPS}-op flush ({flush:?})"
+    );
+
+    // Harness series (the criterion shim prints text): one mixed sweep per
+    // iteration on a fresh tenant.
+    let mut group = c.benchmark_group("serving");
+    group
+        .sample_size(3)
+        .measurement_time(Duration::from_secs(10));
+    group.bench_function("mixed_4r4w", |b| {
+        let server = server();
+        server
+            .create_tenant("iter", engine.clone(), Arc::new(tax_relation(BASE_ROWS, 7)))
+            .expect("create tenant");
+        b.iter(|| {
+            // Re-streaming the same rows is fine: relation length grows,
+            // reports stay exact; drop/recreate would measure setup instead.
+            std::hint::black_box(mixed_sweep(&server, "iter", WRITERS, &streamed));
+        });
+    });
+    group.finish();
+
+    // ---- BENCH_serving.json. ----
+    let mut json = String::from("{\n  \"bench\": \"serving\",\n  \"entries\": [\n");
+    let entries = [
+        format!(
+            "{{\"workload\": \"read_only_{READERS}r\", \"requests_per_sec\": {:.1}, \
+             \"violations_per_sec\": {:.1}}}",
+            baseline_reads_per_sec,
+            rate(baseline.violations_read, baseline.elapsed),
+        ),
+        format!(
+            "{{\"workload\": \"mixed_{READERS}r{WRITERS}w\", \"requests_per_sec\": {:.1}, \
+             \"reads_per_sec\": {:.1}, \"writes_per_sec\": {:.1}, \
+             \"violations_per_sec\": {:.1}, \"read_rate_vs_quiescent\": {:.3}}}",
+            mixed_requests_per_sec,
+            mixed_reads_per_sec,
+            mixed_writes_per_sec,
+            rate(mixed.violations_read, mixed.elapsed),
+            mixed_reads_per_sec / baseline_reads_per_sec,
+        ),
+        format!(
+            "{{\"workload\": \"reader_during_bulk_write\", \"bulk_ops\": {BULK_OPS}, \
+             \"reads_inside_flush\": {reads_in_flush}, \"flush_ms\": {:.1}, \
+             \"readers_blocked\": false}}",
+            flush.as_secs_f64() * 1e3,
+        ),
+        String::from(
+            "{\"workload\": \"panic_isolation\", \"contained\": true, \
+             \"unaffected_tenant_byte_identical\": true, \
+             \"faulted_tenant_recovered\": true}",
+        ),
+    ];
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(json, "    {e}{sep}");
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serving.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

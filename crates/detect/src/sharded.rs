@@ -150,11 +150,16 @@ impl ShardedDetector {
 
 impl Default for ShardedDetector {
     /// One shard per available core ([`available_cores`] — the same source
-    /// the planner sizes shard counts from), but at least 2: the whole
-    /// point of this detector is to overlap shard scans, and explicit
-    /// counts remain honored through [`ShardedDetector::new`].
+    /// the planner sizes shard counts from), down to a single shard on
+    /// 1-core hosts: spawning a second worker there pays thread overhead
+    /// with zero overlap, contradicting the planner's own
+    /// never-spawn-when-unamortizable rule (at one shard, [`detect`]
+    /// degenerates to the direct scan). Explicit counts remain honored
+    /// through [`ShardedDetector::new`].
+    ///
+    /// [`detect`]: ShardedDetector::detect
     fn default() -> Self {
-        ShardedDetector::new(available_cores().max(2))
+        ShardedDetector::new(available_cores())
     }
 }
 
@@ -272,8 +277,13 @@ mod tests {
     }
 
     #[test]
-    fn default_uses_at_least_two_shards() {
-        assert!(ShardedDetector::default().shards() >= 2);
+    fn default_matches_the_available_cores() {
+        // One shard per core, never a forced minimum of 2: on a 1-core host
+        // the default must not pay spawn overhead for zero overlap.
+        assert_eq!(ShardedDetector::default().shards(), available_cores());
+        assert!(ShardedDetector::default().shards() >= 1);
+        // Explicit counts are still honored verbatim (clamped to >= 1).
+        assert_eq!(ShardedDetector::new(7).shards(), 7);
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! tableaux, indexes and threads, and [`ValueId::resolve`] can hand out
 //! `&'static Value` borrows without lifetime gymnastics.
 //!
+//! # Panic robustness
+//!
+//! Because the state is append-only, it is valid after *any* panic: every
+//! insertion either fully registers a value (map entry + arena slot, under
+//! one write guard) or does not happen. Lock poisoning is therefore
+//! recovered with [`PoisonError::into_inner`] instead of propagating — a
+//! thread that panicked *near* the interner (or even while holding the
+//! guard) must never wedge every other thread of a multi-tenant process
+//! into a panic cascade.
+//!
 //! # The equality contract
 //!
 //! The interner is *injective*: two [`ValueId`]s are equal **iff** the
@@ -43,7 +53,7 @@
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// Dictionary id of an interned [`Value`]. Equality of ids is equivalent to
 /// equality of the underlying values; comparison is a single `u32` compare.
@@ -64,7 +74,12 @@ impl ValueId {
         if v.is_null() {
             return ValueId::NULL;
         }
-        if let Some(&id) = state().read().expect("interner poisoned").map.get(v) {
+        if let Some(&id) = state()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .get(v)
+        {
             return ValueId(id);
         }
         ValueId::from_value(v.clone())
@@ -77,10 +92,15 @@ impl ValueId {
             return ValueId::NULL;
         }
         let lock = state();
-        if let Some(&id) = lock.read().expect("interner poisoned").map.get(&v) {
+        if let Some(&id) = lock
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .get(&v)
+        {
             return ValueId(id);
         }
-        let mut st = lock.write().expect("interner poisoned");
+        let mut st = lock.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(&id) = st.map.get(&v) {
             return ValueId(id);
         }
@@ -100,7 +120,7 @@ impl ValueId {
         }
         state()
             .read()
-            .expect("interner poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .map
             .get(v)
             .copied()
@@ -109,7 +129,10 @@ impl ValueId {
 
     /// The interned value this id denotes.
     pub fn resolve(self) -> &'static Value {
-        state().read().expect("interner poisoned").values[self.0 as usize]
+        state()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values[self.0 as usize]
     }
 
     /// The raw dictionary index (diagnostics / tests only).
@@ -161,7 +184,11 @@ fn state() -> &'static RwLock<InternerState> {
 
 /// Number of distinct values interned so far (diagnostics).
 pub fn interned_count() -> usize {
-    state().read().expect("interner poisoned").values.len()
+    state()
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .values
+        .len()
 }
 
 #[cfg(test)]
@@ -233,6 +260,37 @@ mod tests {
         assert_eq!(ValueId::get(&probe), None, "a lookup miss must not insert");
         let id = ValueId::of(&probe);
         assert_eq!(ValueId::get(&probe), Some(id));
+    }
+
+    #[test]
+    fn interning_survives_a_panicked_thread_holding_the_lock() {
+        // A thread panics while holding the write guard: the lock is now
+        // poisoned, but the append-only state is valid — every accessor must
+        // recover and keep serving instead of cascading the panic. (The
+        // interner is process-global, so this also proves recovery for every
+        // other test sharing this binary.)
+        let before = ValueId::of(&Value::from("poison-survivor-before"));
+        let panicked = std::thread::spawn(|| {
+            let _guard = state().write().unwrap_or_else(PoisonError::into_inner);
+            panic!("deliberate panic while holding the interner lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "the thread must actually panic");
+        // Reads, writes and lookups all still work across the poisoned lock.
+        assert_eq!(ValueId::of(&Value::from("poison-survivor-before")), before);
+        let after = ValueId::of(&Value::from("poison-survivor-after"));
+        assert_ne!(after, before);
+        assert_eq!(after.resolve(), &Value::from("poison-survivor-after"));
+        assert_eq!(
+            ValueId::get(&Value::from("poison-survivor-after")),
+            Some(after)
+        );
+        assert!(interned_count() > 0);
+        // And a *fresh* thread can intern too — the process is not wedged.
+        let from_thread = std::thread::spawn(|| ValueId::of(&Value::from("poison-survivor-after")))
+            .join()
+            .expect("interning on a new thread succeeds after poisoning");
+        assert_eq!(from_thread, after);
     }
 
     #[test]

@@ -40,12 +40,16 @@ use crate::interner::ValueId;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// Global mint counter: every candidate uses a number never tried before, so
 /// minting is lock-free until the final registry insert.
 static COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// The registry is append-only (ids are inserted, never removed), so it is
+/// valid after any panic; lock poisoning is recovered with
+/// [`PoisonError::into_inner`] — one panicked thread must never wedge every
+/// other tenant of the process (same contract as the interner).
 fn registry() -> &'static RwLock<HashSet<ValueId>> {
     static REGISTRY: OnceLock<RwLock<HashSet<ValueId>>> = OnceLock::new();
     REGISTRY.get_or_init(|| RwLock::new(HashSet::new()))
@@ -71,7 +75,7 @@ pub fn register(v: Value) -> ValueId {
     let id = ValueId::from_value(v);
     registry()
         .write()
-        .expect("placeholder registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(id);
     id
 }
@@ -103,7 +107,7 @@ pub fn mint(ty: AttrType) -> ValueId {
 pub fn is_placeholder(id: ValueId) -> bool {
     registry()
         .read()
-        .expect("placeholder registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .contains(&id)
 }
 
@@ -118,7 +122,7 @@ pub fn is_placeholder_value(v: &Value) -> bool {
 pub fn minted_count() -> usize {
     registry()
         .read()
-        .expect("placeholder registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .len()
 }
 
@@ -168,6 +172,27 @@ mod tests {
             "__placeholder_probe_never_interned__"
         )));
         assert!(!is_placeholder_value(&Value::Null));
+    }
+
+    #[test]
+    fn minting_survives_a_panicked_thread_holding_the_registry() {
+        // Same contract as the interner: the registry is append-only and
+        // valid after a panic, so poisoning is recovered, never propagated.
+        let before = mint(AttrType::Text);
+        let panicked = std::thread::spawn(|| {
+            let _guard = registry().write().unwrap_or_else(PoisonError::into_inner);
+            panic!("deliberate panic while holding the placeholder registry");
+        })
+        .join();
+        assert!(panicked.is_err(), "the thread must actually panic");
+        assert!(is_placeholder(before), "pre-panic mints stay registered");
+        let after = mint(AttrType::Integer);
+        assert!(is_placeholder(after));
+        assert_ne!(after, before);
+        let from_thread = std::thread::spawn(|| mint(AttrType::Text))
+            .join()
+            .expect("minting on a new thread succeeds after poisoning");
+        assert!(is_placeholder(from_thread));
     }
 
     #[test]

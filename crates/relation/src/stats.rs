@@ -24,10 +24,17 @@
 //! (fixed FNV-1a hashing, no `RandomState`), so a planner re-run over the
 //! same snapshot reproduces the same plan.
 //!
-//! Stats are bound to one snapshot: the cache is keyed by nothing but the
-//! relation the accessors receive, so callers (the `Session` facade) must
-//! drop the cache when the instance changes. The accessors `debug_assert`
-//! on the row count to catch stale reuse early.
+//! Stats are bound to one snapshot, and that binding is enforced at
+//! **runtime**: every accessor keys the cache by the relation's row count
+//! and discards all cached answers when the offered relation's count
+//! differs — so a caller that misses an invalidation gets fresh (correct)
+//! statistics instead of silently planning from a superseded instance.
+//! This replaced a debug-only assertion: release builds (the only builds
+//! that serve traffic) were previously unprotected. The row count cannot
+//! distinguish two *different* same-sized instances, so callers that swap
+//! content without changing the size (the `Session` facade invalidates on
+//! every applied batch, covering this) must still drop the cache
+//! explicitly.
 
 use crate::interner::ValueId;
 use crate::relation::Relation;
@@ -175,10 +182,21 @@ impl RelationStats {
         self.rows
     }
 
+    /// The runtime staleness guard: when the offered relation's row count
+    /// differs from the one the cache is keyed by, every cached answer
+    /// describes a superseded instance — drop them all and re-key. A real
+    /// check (not a `debug_assert`) because stale stats in a release build
+    /// would silently mis-plan detection.
+    fn rebind_if_stale(&mut self, rel: &Relation) {
+        if rel.len() != self.rows {
+            *self = RelationStats::new(rel);
+        }
+    }
+
     /// Distinct-value statistics of one column (computed on first request,
     /// cached after).
     pub fn column_stats(&mut self, rel: &Relation, attr: AttrId) -> ColumnStats {
-        debug_assert_eq!(rel.len(), self.rows, "stats are bound to one snapshot");
+        self.rebind_if_stale(rel);
         if let Some(stats) = self.columns.get(&attr) {
             return *stats;
         }
@@ -209,7 +227,7 @@ impl RelationStats {
     /// composite keys a `GROUP BY attrs` produces (computed on first
     /// request, cached per attribute set).
     pub fn group_stats(&mut self, rel: &Relation, attrs: &[AttrId]) -> GroupStats {
-        debug_assert_eq!(rel.len(), self.rows, "stats are bound to one snapshot");
+        self.rebind_if_stale(rel);
         if let Some(stats) = self.groups.get(attrs) {
             return *stats;
         }
@@ -360,6 +378,34 @@ mod tests {
         let a = stats.column_stats(&rel, AttrId(0));
         assert!(a.ndv <= 20_000.0);
         assert!(a.ndv > 15_000.0, "estimate {} far too low", a.ndv);
+    }
+
+    #[test]
+    fn stale_reuse_rebinds_instead_of_serving_superseded_counts() {
+        // Regression for the release-mode staleness hole: reusing a stats
+        // cache against a grown instance used to be guarded only by a
+        // debug_assert, so release builds silently planned from stale
+        // counts. This test is meaningful in BOTH profiles — it asserts the
+        // *answers*, not the assertion.
+        let small = relation_with(100, 4, 2);
+        let mut stats = RelationStats::new(&small);
+        assert_eq!(stats.column_stats(&small, AttrId(0)).ndv, 4.0);
+        assert_eq!(stats.group_stats(&small, &[AttrId(0), AttrId(1)]).keys, 4.0);
+
+        // Same attribute, different (bigger) instance through the SAME
+        // cache: the runtime key must invalidate and recount.
+        let grown = relation_with(1_000, 17, 5);
+        let a = stats.column_stats(&grown, AttrId(0));
+        assert_eq!(a.rows, 1_000, "stats must describe the offered instance");
+        assert_eq!(a.ndv, 17.0, "stale cached count must not survive");
+        assert_eq!(stats.rows(), 1_000, "cache re-keys to the new snapshot");
+        let g = stats.group_stats(&grown, &[AttrId(0), AttrId(1)]);
+        assert_eq!(g.keys, 85.0);
+
+        // Shrinking works too (deletion-heavy batches).
+        let shrunk = relation_with(50, 3, 3);
+        assert_eq!(stats.column_stats(&shrunk, AttrId(0)).ndv, 3.0);
+        assert_eq!(stats.rows(), 50);
     }
 
     #[test]

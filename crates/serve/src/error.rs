@@ -1,0 +1,84 @@
+//! The serving-layer error type.
+
+use std::fmt;
+
+/// Convenient result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything a [`Server`](crate::Server) request can fail with.
+///
+/// Faults stay scoped to the request that hit them: an `Err` returned to one
+/// caller never changes what any other caller observes — in particular
+/// [`ServeError::Cfd`]`(`[`cfd::Error::WorkerPanicked`]`)` means *this*
+/// request's worker panicked and was contained, not that the server (or even
+/// the tenant) is down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// An error bubbled up from the CFD engine underneath (including
+    /// [`cfd::Error::WorkerPanicked`] when a worker executing the request
+    /// panicked and the panic was contained).
+    Cfd(cfd::Error),
+    /// The named tenant does not exist (never created, or dropped).
+    UnknownTenant(String),
+    /// A tenant with this name already exists.
+    DuplicateTenant(String),
+    /// The server is shutting down and no longer admits requests.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Cfd(e) => write!(f, "engine error: {e}"),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
+            ServeError::DuplicateTenant(name) => write!(f, "tenant `{name}` already exists"),
+            ServeError::ShutDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Cfd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cfd::Error> for ServeError {
+    fn from(e: cfd::Error) -> Self {
+        ServeError::Cfd(e)
+    }
+}
+
+impl ServeError {
+    /// Whether this error reports a contained worker panic.
+    pub fn is_worker_panic(&self) -> bool {
+        matches!(self, ServeError::Cfd(cfd::Error::WorkerPanicked))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_sources() {
+        let panic: ServeError = cfd::Error::WorkerPanicked.into();
+        assert!(panic.is_worker_panic());
+        assert!(panic.to_string().contains("panicked"));
+        assert!(panic.source().is_some());
+
+        let unknown = ServeError::UnknownTenant("acme".into());
+        assert!(unknown.to_string().contains("acme"));
+        assert!(unknown.source().is_none());
+        assert!(!unknown.is_worker_panic());
+
+        let dup = ServeError::DuplicateTenant("acme".into());
+        assert!(dup.to_string().contains("already exists"));
+
+        assert!(ServeError::ShutDown.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Concurrent multi-tenant serving layer over prepared CFD engines.
+//!
+//! [`Server`] holds many [`Engine`](cfd::Engine)/`Session` pairs — one per
+//! named **tenant** — and admits concurrent detect / repair / stream
+//! requests from any number of threads onto one bounded worker pool.
+//!
+//! ```
+//! use cfd_serve::{Server, ServerConfig};
+//! use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
+//! use std::sync::Arc;
+//!
+//! let engine = cfd::Engine::builder().rule_set(fig2_cfd_set()).build()?;
+//! let server = Server::new();
+//! server.create_tenant("acme", engine, Arc::new(cust_instance()))?;
+//!
+//! // Reads are served from the tenant's published snapshot — O(1), never
+//! // blocked by writes in progress.
+//! let report = server.detect("acme")?;
+//! assert!(!report.is_clean());
+//! # Ok::<(), cfd_serve::ServeError>(())
+//! ```
+//!
+//! # The three contracts
+//!
+//! 1. **No cross-tenant failure propagation.** A request that fails — up to
+//!    and including a panic inside the engine, contained and surfaced as
+//!    [`cfd::Error::WorkerPanicked`] — affects only its own tenant, and
+//!    even there only the write path until the next write recovers it.
+//!    Every other tenant keeps serving byte-identical reports throughout.
+//! 2. **Snapshot isolation.** Each tenant publishes an immutable
+//!    [`TenantSnapshot`] (relation + full report + generation) as one
+//!    atomic `Arc` swap. Readers clone the `Arc` and never wait on
+//!    writers; a held snapshot remains valid and self-consistent forever.
+//! 3. **Micro-batched writes.** Concurrent [`Server::stream`] calls per
+//!    tenant coalesce into single `Session::apply_batch` group commits,
+//!    bounded in size ([`ServerConfig::max_batch_ops`]) and latency
+//!    ([`ServerConfig::max_batch_delay`]); the published report after
+//!    every flush is byte-identical to from-scratch detection.
+//!
+//! The worker pool ([`ServerConfig::workers`], default = available cores)
+//! is shared across tenants and gives the server its admission control: at
+//! most that many requests run at once; the rest queue FIFO.
+
+pub mod error;
+mod pool;
+mod server;
+mod tenant;
+
+pub use error::{Result, ServeError};
+pub use server::{Server, ServerConfig};
+pub use tenant::TenantSnapshot;

@@ -1,0 +1,172 @@
+//! The bounded worker pool every request is admitted on.
+//!
+//! N OS threads drain one shared job queue; a request is a closure plus a
+//! response channel the submitting thread blocks on. The pool is the
+//! admission control of the server: at most `workers` requests execute at
+//! once, the rest queue in FIFO order — one tenant flooding the queue delays
+//! others but can never *wedge* them, because:
+//!
+//! * every job body runs under [`std::panic::catch_unwind`], so a panicking
+//!   request kills neither its worker thread (the pool never shrinks) nor
+//!   the process — the submitter receives
+//!   [`cfd::Error::WorkerPanicked`] instead;
+//! * jobs never block on other *queued* jobs (the tenant layer's group
+//!   commit guarantees a batch leader is always a running job), so the queue
+//!   always drains.
+
+use crate::error::{Result, ServeError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue.
+pub(crate) struct WorkerPool {
+    /// `None` once shutdown has begun; dropping the sender is what lets the
+    /// workers' `recv` loops terminate.
+    tx: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (≥ 1) threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("cfd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawning a serve worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Runs `f` on a pool worker, blocking the calling thread until the
+    /// result is back. A panic inside `f` is contained on the worker and
+    /// surfaces here as [`cfd::Error::WorkerPanicked`].
+    pub fn submit<T, F>(&self, f: F) -> Result<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T> + Send + 'static,
+    {
+        let (rtx, rrx) = channel::<Result<T>>();
+        let job: Job = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f))
+                .unwrap_or(Err(ServeError::Cfd(cfd::Error::WorkerPanicked)));
+            // A send failure means the submitter gave up (shutdown); the
+            // result is simply dropped.
+            let _ = rtx.send(result);
+        });
+        {
+            let guard = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+            match guard.as_ref() {
+                Some(tx) => tx.send(job).map_err(|_| ServeError::ShutDown)?,
+                None => return Err(ServeError::ShutDown),
+            }
+        }
+        // The job always sends exactly once (panics are caught above); the
+        // only way the sender drops without sending is the job being dropped
+        // unexecuted during shutdown.
+        rrx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+
+    /// Stops admitting jobs, drains the queue, and joins every worker.
+    /// Idempotent; called by `Drop`.
+    pub fn shut_down(&self) {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        drop(tx);
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            // A worker cannot panic (job bodies are caught), but a join
+            // error must not poison shutdown either.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shut_down();
+    }
+}
+
+/// One worker: take the queue lock only long enough to dequeue, run the job
+/// unlocked, exit when every sender is gone.
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submits_run_and_return() {
+        let pool = WorkerPool::new(2);
+        let out = pool.submit(|| Ok(21 * 2)).unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained_and_the_pool_keeps_serving() {
+        let pool = WorkerPool::new(1);
+        let err = pool.submit::<u32, _>(|| panic!("request bug")).unwrap_err();
+        assert!(err.is_worker_panic());
+        // The single worker survived the panic and still serves.
+        for i in 0..8u32 {
+            assert_eq!(pool.submit(move || Ok(i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let results: Vec<u32> = std::thread::scope(|scope| {
+            (0..16u32)
+                .map(|i| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || pool.submit(move || Ok(i * i)).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16u32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let pool = WorkerPool::new(2);
+        pool.shut_down();
+        let err = pool.submit(|| Ok(())).unwrap_err();
+        assert_eq!(err, ServeError::ShutDown);
+        // Idempotent.
+        pool.shut_down();
+    }
+}

@@ -1,0 +1,353 @@
+//! The multi-tenant server: a tenant registry plus the shared worker pool
+//! every request is admitted on.
+
+use crate::error::{Result, ServeError};
+use crate::pool::WorkerPool;
+use crate::tenant::{BatchConfig, Tenant, TenantSnapshot};
+use cfd::Engine;
+use cfd_detect::sharded::available_cores;
+use cfd_detect::{BatchOp, Violations};
+use cfd_relation::Relation;
+use cfd_repair::{RepairKind, RepairResult};
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads in the shared pool — the maximum number of requests
+    /// executing at once across all tenants. Defaults to the number of
+    /// available cores (always ≥ 1).
+    pub workers: usize,
+    /// Micro-batching size bound: a streaming flush triggers as soon as
+    /// this many ops are pending on a tenant. Defaults to 256.
+    pub max_batch_ops: usize,
+    /// Micro-batching latency bound: a flush leader collects concurrent
+    /// writes for at most this long before applying whatever it has.
+    /// `Duration::ZERO` disables coalescing-by-waiting (each leader flushes
+    /// immediately, still merging whatever arrived while the previous flush
+    /// ran). Defaults to 1 ms.
+    pub max_batch_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: available_cores(),
+            max_batch_ops: 256,
+            max_batch_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+struct Inner {
+    pool: WorkerPool,
+    batch: BatchConfig,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+}
+
+/// A concurrent multi-tenant serving front end over prepared CFD
+/// [`Engine`]s.
+///
+/// The server holds one tenant (engine + write-side session +
+/// published read-side snapshot) per name and admits every request —
+/// detect, repair, stream — onto one bounded worker pool shared by all
+/// tenants.
+///
+/// # Contracts
+///
+/// * **No cross-tenant failure propagation.** Any error returned by a
+///   request — including a contained panic
+///   ([`cfd::Error::WorkerPanicked`]) — is scoped to that request's
+///   tenant. Every other tenant keeps serving reports byte-identical to
+///   what it would have served had the fault never happened, and even the
+///   faulting tenant's *readers* keep being served from its last published
+///   snapshot.
+/// * **Snapshot isolation.** Reads ([`Server::detect`],
+///   [`Server::snapshot`], [`Server::repair`]) serve the tenant's last
+///   published [`TenantSnapshot`] and never block on writes in progress;
+///   writes publish relation + report + generation as one atomic swap.
+/// * **Micro-batched writes.** Concurrent [`Server::stream`] calls to the
+///   same tenant coalesce into one `Session::apply_batch` (group commit),
+///   bounded by [`ServerConfig::max_batch_ops`] and
+///   [`ServerConfig::max_batch_delay`]; every participant receives the
+///   snapshot its ops landed in.
+///
+/// `Server` is `Clone` (a cheap handle) and all methods take `&self`:
+/// share one server across however many request threads you have.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Starts a server with default [`ServerConfig`].
+    pub fn new() -> Server {
+        Server::with_config(ServerConfig::default())
+    }
+
+    /// Starts a server with explicit tunables (each clamped to its
+    /// meaningful minimum: at least one worker, batches of at least one op).
+    pub fn with_config(config: ServerConfig) -> Server {
+        Server {
+            inner: Arc::new(Inner {
+                pool: WorkerPool::new(config.workers.max(1)),
+                batch: BatchConfig {
+                    max_batch_ops: config.max_batch_ops.max(1),
+                    max_batch_delay: config.max_batch_delay,
+                },
+                tenants: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Creates a tenant serving `data` under `engine`, running the initial
+    /// full detection on the pool, and publishes its generation-0 snapshot.
+    ///
+    /// Fails with [`ServeError::DuplicateTenant`] if the name is taken and
+    /// propagates schema mismatches between `data` and the engine.
+    pub fn create_tenant(
+        &self,
+        name: impl Into<String>,
+        engine: Engine,
+        data: Arc<Relation>,
+    ) -> Result<Arc<TenantSnapshot>> {
+        let name = name.into();
+        // Reserve the name first so two concurrent creates of the same
+        // tenant cannot both run the (expensive) initial detection.
+        {
+            let tenants = self.read_tenants();
+            if tenants.contains_key(&name) {
+                return Err(ServeError::DuplicateTenant(name));
+            }
+        }
+        let batch = self.inner.batch;
+        let tenant = self
+            .inner
+            .pool
+            .submit(move || Tenant::open(engine, data, batch))?;
+        let tenant = Arc::new(tenant);
+        let snapshot = tenant.published();
+        let mut tenants = self.write_tenants();
+        if tenants.contains_key(&name) {
+            return Err(ServeError::DuplicateTenant(name));
+        }
+        tenants.insert(name, tenant);
+        Ok(snapshot)
+    }
+
+    /// Removes a tenant. In-flight requests holding its `Arc` finish
+    /// normally against their snapshot; new requests get
+    /// [`ServeError::UnknownTenant`].
+    pub fn drop_tenant(&self, name: &str) -> Result<()> {
+        match self.write_tenants().remove(name) {
+            Some(_) => Ok(()),
+            None => Err(ServeError::UnknownTenant(name.to_string())),
+        }
+    }
+
+    /// The current tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_tenants().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The tenant's current published snapshot (relation + report +
+    /// generation). Never blocks on writes in progress.
+    pub fn snapshot(&self, tenant: &str) -> Result<Arc<TenantSnapshot>> {
+        Ok(self.tenant(tenant)?.published())
+    }
+
+    /// The tenant's current full violation report — the incrementally
+    /// maintained report of its published snapshot, byte-identical to a
+    /// from-scratch detection of that instance. Served directly from the
+    /// snapshot: never blocks on writes, costs one `Arc` clone.
+    pub fn detect(&self, tenant: &str) -> Result<Arc<Violations>> {
+        Ok(Arc::clone(self.tenant(tenant)?.published().report()))
+    }
+
+    /// From-scratch detection over the tenant's published snapshot with the
+    /// engine's configured detector, executed on the pool — the expensive
+    /// verification path ([`Server::detect`] must agree byte-for-byte).
+    pub fn detect_fresh(&self, tenant: &str) -> Result<Violations> {
+        let tenant = self.tenant(tenant)?;
+        self.inner.pool.submit(move || tenant.detect_from_scratch())
+    }
+
+    /// Repairs the tenant's published snapshot on the pool. A pure read:
+    /// the tenant's instance is not modified — the repaired relation is
+    /// returned to the caller.
+    pub fn repair(&self, tenant: &str, kind: RepairKind) -> Result<RepairResult> {
+        let tenant = self.tenant(tenant)?;
+        self.inner.pool.submit(move || tenant.repair(kind))
+    }
+
+    /// Streams write ops into a tenant, coalescing with concurrent writers
+    /// into micro-batches (see [`ServerConfig`]), and returns the snapshot
+    /// published by the flush containing these ops.
+    pub fn stream(&self, tenant: &str, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
+        let tenant = self.tenant(tenant)?;
+        self.inner.pool.submit(move || tenant.stream(ops))
+    }
+
+    /// Fault injection for tests and benches: runs a request against
+    /// `tenant` that panics **while holding the tenant's writer lock** —
+    /// the worst-case request fault. Returns the contained panic as
+    /// `Err(`[`ServeError::Cfd`]`(`[`cfd::Error::WorkerPanicked`]`))`.
+    ///
+    /// The containment contract this exists to demonstrate: after this
+    /// returns, the faulted tenant still serves its published snapshot, its
+    /// next write recovers the poisoned lock transparently, and every other
+    /// tenant is untouched.
+    pub fn inject_worker_panic(&self, tenant: &str) -> Result<()> {
+        let tenant = self.tenant(tenant)?;
+        self.inner.pool.submit(move || {
+            tenant.crash_holding_writer();
+        })
+    }
+
+    /// Stops admitting requests, drains in-flight work, and joins the
+    /// worker threads. Idempotent. Subsequent requests return
+    /// [`ServeError::ShutDown`]; snapshot reads keep working (they never
+    /// need the pool).
+    pub fn shut_down(&self) {
+        self.inner.pool.shut_down();
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>> {
+        self.read_tenants()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))
+    }
+
+    fn read_tenants(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Tenant>>> {
+        // The map holds only Arcs; it is valid after any panic.
+        self.inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_tenants(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Tenant>>> {
+        self.inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
+
+    fn engine() -> Engine {
+        Engine::builder()
+            .rule_set(fig2_cfd_set())
+            .build()
+            .expect("fig2 rules are consistent")
+    }
+
+    fn server_with_tenant(name: &str) -> Server {
+        let server = Server::with_config(ServerConfig {
+            workers: 2,
+            max_batch_ops: 64,
+            max_batch_delay: Duration::ZERO,
+        });
+        server
+            .create_tenant(name, engine(), Arc::new(cust_instance()))
+            .expect("create tenant");
+        server
+    }
+
+    #[test]
+    fn lifecycle_create_list_drop() {
+        let server = server_with_tenant("acme");
+        assert_eq!(server.tenants(), vec!["acme".to_string()]);
+        let dup = server
+            .create_tenant("acme", engine(), Arc::new(cust_instance()))
+            .unwrap_err();
+        assert_eq!(dup, ServeError::DuplicateTenant("acme".into()));
+        server
+            .create_tenant("beta", engine(), Arc::new(cust_instance()))
+            .unwrap();
+        assert_eq!(
+            server.tenants(),
+            vec!["acme".to_string(), "beta".to_string()]
+        );
+        server.drop_tenant("acme").unwrap();
+        assert_eq!(
+            server.drop_tenant("acme").unwrap_err(),
+            ServeError::UnknownTenant("acme".into())
+        );
+        assert_eq!(
+            server.detect("acme").unwrap_err(),
+            ServeError::UnknownTenant("acme".into())
+        );
+        assert_eq!(server.tenants(), vec!["beta".to_string()]);
+    }
+
+    #[test]
+    fn detect_matches_fresh_detection() {
+        let server = server_with_tenant("acme");
+        let served = server.detect("acme").unwrap();
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(served.canonical_bytes(), fresh.canonical_bytes());
+        assert!(!served.is_clean(), "cust instance has seeded violations");
+    }
+
+    #[test]
+    fn stream_publishes_new_generations() {
+        let server = server_with_tenant("acme");
+        let row = cust_instance().to_tuples()[0].clone();
+        let snap = server
+            .stream("acme", vec![BatchOp::Insert(row.clone())])
+            .unwrap();
+        assert_eq!(snap.generation(), 1);
+        let snap = server.stream("acme", vec![BatchOp::Delete(row)]).unwrap();
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.relation().len(), cust_instance().len());
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn an_injected_panic_is_contained_and_the_tenant_recovers() {
+        let server = server_with_tenant("acme");
+        let before = server.detect("acme").unwrap();
+        let err = server.inject_worker_panic("acme").unwrap_err();
+        assert!(err.is_worker_panic());
+        // Readers: still served, unchanged.
+        let after = server.detect("acme").unwrap();
+        assert_eq!(before.canonical_bytes(), after.canonical_bytes());
+        // Writers: the poisoned writer lock is recovered transparently.
+        let row = cust_instance().to_tuples()[0].clone();
+        let snap = server.stream("acme", vec![BatchOp::Insert(row)]).unwrap();
+        assert_eq!(snap.generation(), 1);
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn shutdown_stops_pool_requests_but_not_snapshot_reads() {
+        let server = server_with_tenant("acme");
+        server.shut_down();
+        assert_eq!(
+            server.stream("acme", Vec::new()).unwrap_err(),
+            ServeError::ShutDown
+        );
+        assert!(server.detect_fresh("acme").is_err());
+        // Snapshot reads bypass the pool entirely.
+        assert!(!server.detect("acme").unwrap().is_clean());
+        server.shut_down(); // idempotent
+    }
+}

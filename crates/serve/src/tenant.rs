@@ -1,0 +1,429 @@
+//! One tenant: a prepared engine, a write-side session, a published
+//! read-side snapshot, and the micro-batching machinery between them.
+//!
+//! # Snapshot isolation
+//!
+//! Each tenant splits its state into two halves:
+//!
+//! * the **writer half** — the authoritative [`Session`] behind a mutex;
+//!   only batch flushes lock it, and only one flush runs at a time;
+//! * the **reader half** — an immutable [`TenantSnapshot`] (`Arc<Relation>`
+//!   plus the full violation report of exactly that instance plus a
+//!   generation counter) behind an `RwLock<Arc<..>>` that is only ever
+//!   held long enough to swap or clone the `Arc`.
+//!
+//! Readers therefore **never block on writers**: a detect during a
+//! long-running flush serves the previous snapshot immediately, and the
+//! report a reader sees is always consistent with the relation in the same
+//! snapshot — there is no torn state, because the writer publishes
+//! relation + report + generation as one atomic `Arc` swap.
+//!
+//! # Micro-batching (group commit)
+//!
+//! Streamed writes coalesce: the first writer into an empty pending buffer
+//! becomes the **leader** and collects follower ops until either the batch
+//! size bound is reached or the latency bound expires, then applies the
+//! whole batch through one [`Session::apply_batch`] call and publishes one
+//! new snapshot, handing every participant the same result. Because the
+//! leader is by construction a *running* request (it elected itself on its
+//! own worker), a pending batch always has a live owner — queued work can
+//! wait on running work, never on other queued work, so the pool cannot
+//! deadlock.
+//!
+//! # Failure containment
+//!
+//! A panic during a flush is caught *inside* the writer lock scope, the
+//! session is rebuilt from the last published snapshot (cheap: sessions are
+//! lazy), and every waiter of that batch receives
+//! [`cfd::Error::WorkerPanicked`]. The published snapshot is untouched —
+//! readers keep being served — and the next write starts from known-good
+//! state. An injected fault that panics while *holding* the writer lock
+//! (see [`Tenant::crash_holding_writer`]) additionally exercises mutex
+//! poison recovery: the poisoned lock is reclaimed, the session reset, and
+//! the poison flag cleared.
+
+use crate::error::{Result, ServeError};
+use cfd::{Engine, Session};
+use cfd_detect::{BatchOp, Violations};
+use cfd_relation::Relation;
+use cfd_repair::{RepairKind, RepairResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// The micro-batching knobs of one tenant (copied from the
+/// [`ServerConfig`](crate::ServerConfig) at tenant creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchConfig {
+    /// Flush as soon as this many ops are pending (trigger threshold, not a
+    /// cap — a single oversized request still flushes as one batch).
+    pub max_batch_ops: usize,
+    /// Flush at the latest this long after the leader started collecting.
+    pub max_batch_delay: Duration,
+}
+
+/// An immutable, internally consistent view of one tenant at one moment:
+/// the instance, the complete violation report **of exactly that
+/// instance**, and the generation (number of applied batches) that
+/// produced it.
+///
+/// Snapshots are what readers are served from; holding one never blocks any
+/// writer, and a held snapshot stays valid (and byte-identical to a
+/// from-scratch detection over [`TenantSnapshot::relation`]) forever, no
+/// matter how far the tenant advances.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    relation: Arc<Relation>,
+    report: Arc<Violations>,
+    generation: u64,
+}
+
+impl TenantSnapshot {
+    /// The instance this snapshot captured.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// The full violation report of [`TenantSnapshot::relation`] —
+    /// maintained incrementally, byte-identical to a from-scratch
+    /// detection of that relation.
+    pub fn report(&self) -> &Arc<Violations> {
+        &self.report
+    }
+
+    /// How many batches had been applied when this snapshot was published
+    /// (0 = the snapshot of tenant creation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// The pending micro-batch of one tenant.
+struct Pending {
+    ops: Vec<BatchOp>,
+    /// One response channel per *follower* (the leader gets its result
+    /// directly).
+    waiters: Vec<Sender<Result<Arc<TenantSnapshot>>>>,
+    /// Whether a leader is currently collecting. Cleared atomically with
+    /// taking the batch, so every op lands in exactly one flush.
+    leader: bool,
+}
+
+pub(crate) struct Tenant {
+    engine: Engine,
+    batch: BatchConfig,
+    /// The authoritative write-side session. Serialized; poisoning is
+    /// recovered by rebuilding from the published snapshot.
+    writer: Mutex<Session>,
+    /// The read-side snapshot readers clone. Swapped wholesale by flushes.
+    published: RwLock<Arc<TenantSnapshot>>,
+    pending: Mutex<Pending>,
+    /// Signals the collecting leader that the size bound was crossed.
+    batch_grew: Condvar,
+}
+
+impl Tenant {
+    /// Opens a tenant: schema-checks `data` against the engine, primes the
+    /// write-side stream state, and publishes generation 0 (the full report
+    /// of `data`).
+    pub fn open(engine: Engine, data: Arc<Relation>, batch: BatchConfig) -> Result<Tenant> {
+        let mut session = engine.session(data).map_err(ServeError::from)?;
+        // An empty batch primes the incremental detector and returns the
+        // complete report of the current instance.
+        let report = session.apply_batch(&[]).map_err(ServeError::from)?;
+        let relation = session.snapshot();
+        let snapshot = Arc::new(TenantSnapshot {
+            relation,
+            report: Arc::new(report),
+            generation: 0,
+        });
+        Ok(Tenant {
+            engine,
+            batch,
+            writer: Mutex::new(session),
+            published: RwLock::new(snapshot),
+            pending: Mutex::new(Pending {
+                ops: Vec::new(),
+                waiters: Vec::new(),
+                leader: false,
+            }),
+            batch_grew: Condvar::new(),
+        })
+    }
+
+    /// The currently published snapshot (cheap: clones one `Arc` under a
+    /// momentary read lock — never blocks on a flush in progress).
+    pub fn published(&self) -> Arc<TenantSnapshot> {
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// From-scratch detection over the currently published snapshot with
+    /// the tenant engine's configured detector — the verification path
+    /// (the published report must be byte-identical to this).
+    pub fn detect_from_scratch(&self) -> Result<Violations> {
+        let snapshot = self.published();
+        let mut session = self
+            .engine
+            .session(Arc::clone(&snapshot.relation))
+            .map_err(ServeError::from)?;
+        session.detect().map_err(ServeError::from)
+    }
+
+    /// Repairs the currently published snapshot. Pure read: runs on the
+    /// snapshot `Arc`, mutates nothing, never touches the writer half.
+    pub fn repair(&self, kind: RepairKind) -> Result<RepairResult> {
+        let snapshot = self.published();
+        let mut session = self
+            .engine
+            .session(Arc::clone(&snapshot.relation))
+            .map_err(ServeError::from)?;
+        session.repair(kind).map_err(ServeError::from)
+    }
+
+    /// Streams `ops` into the tenant, coalescing with concurrent writers
+    /// (see the module docs), and returns the snapshot published by the
+    /// flush that contained them — whose report covers these ops and
+    /// possibly later ones from the same batch.
+    pub fn stream(&self, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
+        let (tx, rx) = channel();
+        let lead = {
+            let mut pending = self.lock_pending();
+            pending.ops.extend(ops);
+            let crossed = pending.ops.len() >= self.batch.max_batch_ops;
+            let lead = if pending.leader {
+                pending.waiters.push(tx);
+                false
+            } else {
+                pending.leader = true;
+                true
+            };
+            if crossed {
+                // Wake a collecting leader early (no-op when we lead).
+                self.batch_grew.notify_all();
+            }
+            lead
+        };
+        if lead {
+            self.lead_flush()
+        } else {
+            // The leader either sends a result or — if it panicked between
+            // taking the batch and sending — drops our sender.
+            rx.recv()
+                .unwrap_or(Err(ServeError::Cfd(cfd::Error::WorkerPanicked)))
+        }
+    }
+
+    /// The leader side of one group commit: collect until a bound trips,
+    /// take the batch, apply, publish, notify.
+    fn lead_flush(&self) -> Result<Arc<TenantSnapshot>> {
+        let deadline = Instant::now() + self.batch.max_batch_delay;
+        let (ops, waiters) = {
+            let mut pending = self.lock_pending();
+            loop {
+                if pending.ops.len() >= self.batch.max_batch_ops {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = self
+                    .batch_grew
+                    .wait_timeout(pending, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                pending = guard;
+            }
+            // Taking the batch and stepping down as leader is one atomic
+            // step under the pending lock: every op lands in exactly one
+            // flush, and the next writer elects itself leader of the next.
+            pending.leader = false;
+            (
+                std::mem::take(&mut pending.ops),
+                std::mem::take(&mut pending.waiters),
+            )
+        };
+        let result = self.apply(ops);
+        for waiter in waiters {
+            let _ = waiter.send(result.clone());
+        }
+        result
+    }
+
+    /// Applies one coalesced batch through the writer session and publishes
+    /// the resulting snapshot. Panics inside the apply are caught *here*,
+    /// inside the lock scope: the session is rebuilt from the last
+    /// published snapshot and the error is returned — the lock is released
+    /// clean, not poisoned, and readers never notice.
+    fn apply(&self, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
+        let mut session = self.lock_writer()?;
+        let applied = {
+            let session = &mut *session;
+            catch_unwind(AssertUnwindSafe(|| {
+                session
+                    .apply_batch(&ops)
+                    .map(|report| (report, session.snapshot()))
+            }))
+        };
+        match applied {
+            Ok(Ok((report, relation))) => {
+                // Publish while still holding the writer lock: flushes are
+                // serialized, so generations are strictly increasing and the
+                // published snapshot always equals the writer state.
+                let mut published = self
+                    .published
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let snapshot = Arc::new(TenantSnapshot {
+                    relation,
+                    report: Arc::new(report),
+                    generation: published.generation + 1,
+                });
+                *published = Arc::clone(&snapshot);
+                Ok(snapshot)
+            }
+            Ok(Err(e)) => {
+                // A rejected batch (arity mismatch, …) may have been
+                // half-applied by the stream engine: reset to the last
+                // published (known-good) state before reporting it.
+                self.reset_session(&mut session)?;
+                Err(ServeError::Cfd(e))
+            }
+            Err(_panic) => {
+                self.reset_session(&mut session)?;
+                Err(ServeError::Cfd(cfd::Error::WorkerPanicked))
+            }
+        }
+    }
+
+    /// Locks the writer session, recovering from poisoning: a poisoned lock
+    /// means some request panicked while holding it (only possible through
+    /// faults outside [`Tenant::apply`]'s own catch, e.g. the injected
+    /// crash), so the session state is unknown — rebuild it from the last
+    /// published snapshot and clear the poison flag.
+    fn lock_writer(&self) -> Result<MutexGuard<'_, Session>> {
+        match self.writer.lock() {
+            Ok(guard) => Ok(guard),
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                self.reset_session(&mut guard)?;
+                self.writer.clear_poison();
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Rebuilds the writer session from the last published snapshot —
+    /// the recovery step after a panic or a rejected batch. Cheap: sessions
+    /// are lazy, and the published relation `Arc` is shared, not cloned.
+    fn reset_session(&self, session: &mut Session) -> Result<()> {
+        let relation = Arc::clone(&self.published().relation);
+        *session = self.engine.session(relation).map_err(ServeError::from)?;
+        Ok(())
+    }
+
+    fn lock_pending(&self) -> MutexGuard<'_, Pending> {
+        // Pending holds only plain data (ops + channels + a flag); it is
+        // valid after any panic, so poisoning is recovered, not propagated.
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fault injection for tests and the serving bench: panics on the
+    /// calling (pool worker) thread **while holding the writer lock** — the
+    /// worst-case fault, poisoning the tenant's most central mutex. The
+    /// containment contract says this must surface as
+    /// [`cfd::Error::WorkerPanicked`] to this request only: other tenants
+    /// are unaffected, this tenant's readers keep being served from the
+    /// published snapshot, and its next write recovers the lock.
+    pub fn crash_holding_writer(&self) -> ! {
+        let _guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        panic!("injected tenant fault (holding the writer lock)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
+    use cfd_relation::Tuple;
+
+    fn tenant() -> Tenant {
+        let engine = Engine::builder()
+            .rule_set(fig2_cfd_set())
+            .build()
+            .expect("fig2 rules are consistent");
+        Tenant::open(
+            engine,
+            Arc::new(cust_instance()),
+            BatchConfig {
+                max_batch_ops: 64,
+                max_batch_delay: Duration::ZERO,
+            },
+        )
+        .expect("schema matches")
+    }
+
+    #[test]
+    fn opening_publishes_the_full_report_at_generation_zero() {
+        let tenant = tenant();
+        let snap = tenant.published();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.relation().len(), cust_instance().len());
+        let fresh = tenant.detect_from_scratch().unwrap();
+        assert_eq!(
+            snap.report().canonical_bytes(),
+            fresh.canonical_bytes(),
+            "published report must be byte-identical to from-scratch"
+        );
+    }
+
+    #[test]
+    fn streaming_advances_generations_and_keeps_reports_consistent() {
+        let tenant = tenant();
+        let row = cust_instance().to_tuples()[0].clone();
+        let snap = tenant.stream(vec![BatchOp::Insert(row)]).unwrap();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.relation().len(), cust_instance().len() + 1);
+        let fresh = tenant.detect_from_scratch().unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn a_rejected_batch_resets_to_the_published_state() {
+        let tenant = tenant();
+        let good = cust_instance().to_tuples()[0].clone();
+        let err = tenant
+            .stream(vec![
+                BatchOp::Insert(good.clone()),
+                BatchOp::Insert(Tuple::nulls(2)), // wrong arity: rejected
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Cfd(_)));
+        // Nothing from the failed batch leaked: still generation 0, and the
+        // next (valid) batch applies cleanly on the recovered session.
+        let snap = tenant.published();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.relation().len(), cust_instance().len());
+        let snap = tenant.stream(vec![BatchOp::Insert(good)]).unwrap();
+        assert_eq!(snap.generation(), 1);
+        let fresh = tenant.detect_from_scratch().unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn repair_is_a_pure_read() {
+        let tenant = tenant();
+        let before = tenant.published();
+        let result = tenant.repair(RepairKind::EquivClass).unwrap();
+        assert!(result.satisfied);
+        assert!(result.changes() > 0, "cust instance has violations");
+        let after = tenant.published();
+        assert_eq!(after.generation(), before.generation());
+        assert_eq!(after.relation().len(), before.relation().len());
+    }
+}

@@ -1,0 +1,357 @@
+//! Serving-layer concurrency tests: many client threads hammering one
+//! server, asserting the three contracts of the crate docs —
+//! byte-identical reports under interleaved reads and writes, no
+//! cross-tenant failure propagation, and micro-batch coalescing.
+//!
+//! Everything here runs meaningfully in release mode (CI runs this file
+//! under `--release`): the assertions are behavioral, not `debug_assert!`s.
+
+use cfd::Engine;
+use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_detect::BatchOp;
+use cfd_relation::Tuple;
+use cfd_repair::RepairKind;
+use cfd_serve::{ServeError, Server, ServerConfig, TenantSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The tax workload engine: two CFDs over the 15-attribute tax schema.
+fn tax_engine() -> Engine {
+    let w = CfdWorkload::new(11);
+    Engine::builder()
+        .rules([
+            w.single(EmbeddedFd::ZipToState, 120, 100.0),
+            w.single(EmbeddedFd::AreaToCity, 100, 60.0),
+        ])
+        .build()
+        .expect("workload rules are consistent")
+}
+
+fn tax_rows(size: usize, seed: u64) -> Vec<Tuple> {
+    TaxGenerator::new(TaxConfig {
+        size,
+        noise_percent: 5.0,
+        seed,
+    })
+    .generate()
+    .relation
+    .to_tuples()
+}
+
+fn cust_engine() -> Engine {
+    Engine::builder()
+        .rule_set(fig2_cfd_set())
+        .build()
+        .expect("fig2 rules are consistent")
+}
+
+/// Checks that a snapshot is internally consistent: its report must be
+/// byte-identical to a from-scratch detection of its relation.
+fn assert_snapshot_consistent(engine: &Engine, snapshot: &TenantSnapshot) {
+    let mut session = engine
+        .session(Arc::clone(snapshot.relation()))
+        .expect("snapshot relation matches the engine schema");
+    let fresh = session.detect().expect("detection succeeds");
+    assert_eq!(
+        snapshot.report().canonical_bytes(),
+        fresh.canonical_bytes(),
+        "published report diverged from from-scratch detection \
+         at generation {}",
+        snapshot.generation()
+    );
+}
+
+/// The hammer: 4 writer threads stream inserts (one also deletes) while 4
+/// reader threads continuously read. Readers must observe monotonically
+/// increasing generations; every sampled snapshot and the final state must
+/// be byte-identical to from-scratch detection.
+#[test]
+fn hammer_interleaved_reads_and_writes_stay_byte_identical() {
+    const WRITERS: usize = 4;
+    const BATCHES_PER_WRITER: usize = 10;
+    const OPS_PER_BATCH: usize = 10;
+    const DELETED: usize = 10;
+
+    let base = 2_000;
+    let engine = tax_engine();
+    let base_rel = Arc::new(
+        TaxGenerator::new(TaxConfig {
+            size: base,
+            noise_percent: 5.0,
+            seed: 7,
+        })
+        .generate()
+        .relation,
+    );
+    let streamed = tax_rows(WRITERS * BATCHES_PER_WRITER * OPS_PER_BATCH, 8);
+
+    let server = Server::with_config(ServerConfig {
+        workers: 4,
+        max_batch_ops: 8,
+        max_batch_delay: Duration::from_millis(1),
+    });
+    server
+        .create_tenant("hammer", engine.clone(), base_rel)
+        .expect("create tenant");
+
+    let writers_done = AtomicBool::new(false);
+    let sampled: Vec<Arc<TenantSnapshot>> = std::thread::scope(|scope| {
+        // Writers: each streams its own slice of the generated rows.
+        let writer_handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let server = server.clone();
+                let rows: Vec<Tuple> = streamed
+                    .chunks(BATCHES_PER_WRITER * OPS_PER_BATCH)
+                    .nth(w)
+                    .expect("one slice per writer")
+                    .to_vec();
+                scope.spawn(move || {
+                    for batch in rows.chunks(OPS_PER_BATCH) {
+                        let ops = batch.iter().cloned().map(BatchOp::Insert).collect();
+                        let snap = server.stream("hammer", ops).expect("stream succeeds");
+                        assert!(snap.generation() >= 1);
+                    }
+                    if w == 0 {
+                        // Writer 0 also deletes the first rows it inserted —
+                        // its earlier stream() calls returned, so the tuples
+                        // are live and each delete removes exactly one row.
+                        let ops = rows[..DELETED]
+                            .iter()
+                            .cloned()
+                            .map(BatchOp::Delete)
+                            .collect();
+                        server.stream("hammer", ops).expect("deletes succeed");
+                    }
+                })
+            })
+            .collect();
+
+        // Readers: spin until the writers finish, checking monotonicity and
+        // sampling snapshots for post-hoc consistency verification.
+        let reader_handles: Vec<_> = (0..4)
+            .map(|_| {
+                let server = server.clone();
+                let done = &writers_done;
+                scope.spawn(move || {
+                    let mut last_generation = 0;
+                    let mut reads = 0usize;
+                    let mut first = None;
+                    let last = loop {
+                        let snap = server.snapshot("hammer").expect("tenant exists");
+                        assert!(
+                            snap.generation() >= last_generation,
+                            "snapshot generations must never move backwards"
+                        );
+                        last_generation = snap.generation();
+                        // detect() must keep serving under write load.
+                        let report = server.detect("hammer").expect("tenant exists");
+                        std::hint::black_box(report);
+                        if first.is_none() {
+                            first = Some(Arc::clone(&snap));
+                        }
+                        reads += 1;
+                        if done.load(Ordering::Acquire) {
+                            break snap;
+                        }
+                        std::thread::yield_now();
+                    };
+                    assert!(reads > 0);
+                    [first.expect("looped at least once"), last]
+                })
+            })
+            .collect();
+
+        for handle in writer_handles {
+            handle.join().expect("writer thread");
+        }
+        writers_done.store(true, Ordering::Release);
+        reader_handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+
+    // Final state: exact row count, and the published report byte-identical
+    // to from-scratch detection with the engine's configured detector.
+    let total_streamed = WRITERS * BATCHES_PER_WRITER * OPS_PER_BATCH;
+    let snap = server.snapshot("hammer").unwrap();
+    assert_eq!(snap.relation().len(), base + total_streamed - DELETED);
+    assert!(snap.generation() >= 1);
+    let fresh = server.detect_fresh("hammer").unwrap();
+    assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+
+    // Every sampled snapshot — including mid-stream ones — was internally
+    // consistent.
+    for snapshot in &sampled {
+        assert_snapshot_consistent(&engine, snapshot);
+    }
+}
+
+/// A panic injected into one tenant's worker (while it holds that tenant's
+/// writer lock — the worst case) leaves every other tenant serving
+/// byte-identical reports, and the faulted tenant itself recovers on its
+/// next write.
+#[test]
+fn a_tenant_panic_never_propagates_across_tenants() {
+    let server = Server::with_config(ServerConfig {
+        workers: 2,
+        max_batch_ops: 16,
+        max_batch_delay: Duration::ZERO,
+    });
+    for (name, seed) in [("alpha", 21u64), ("bravo", 22), ("charlie", 23)] {
+        let data = TaxGenerator::new(TaxConfig {
+            size: 500,
+            noise_percent: 5.0,
+            seed,
+        })
+        .generate()
+        .relation;
+        server
+            .create_tenant(name, tax_engine(), Arc::new(data))
+            .expect("create tenant");
+    }
+    let before_alpha = server.detect("alpha").unwrap();
+    let before_charlie = server.detect("charlie").unwrap();
+
+    for round in 0..3 {
+        let err = server.inject_worker_panic("bravo").unwrap_err();
+        assert!(err.is_worker_panic(), "round {round}: {err}");
+
+        // The other tenants serve byte-identical reports, and those reports
+        // still match from-scratch detection.
+        let after_alpha = server.detect("alpha").unwrap();
+        let after_charlie = server.detect("charlie").unwrap();
+        assert_eq!(
+            before_alpha.canonical_bytes(),
+            after_alpha.canonical_bytes()
+        );
+        assert_eq!(
+            before_charlie.canonical_bytes(),
+            after_charlie.canonical_bytes()
+        );
+        let fresh = server.detect_fresh("alpha").unwrap();
+        assert_eq!(after_alpha.canonical_bytes(), fresh.canonical_bytes());
+
+        // Even the faulted tenant's READERS were never interrupted…
+        let bravo_snapshot = server.snapshot("bravo").unwrap();
+        assert_eq!(bravo_snapshot.generation(), round);
+
+        // …and its write path recovers the poisoned lock transparently.
+        let row = tax_rows(1, 99 + round).pop().unwrap();
+        let snap = server
+            .stream("bravo", vec![BatchOp::Insert(row)])
+            .expect("the tenant recovers");
+        assert_eq!(snap.generation(), round + 1);
+        let fresh = server.detect_fresh("bravo").unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    // The unrelated tenants also still accept writes.
+    let row = tax_rows(1, 1234).pop().unwrap();
+    let snap = server
+        .stream("alpha", vec![BatchOp::Insert(row)])
+        .expect("alpha unaffected");
+    assert_eq!(snap.generation(), 1);
+}
+
+/// Concurrent single-op streams coalesce into shared flushes: with a
+/// generous latency bound, 8 concurrent writers of one op each must land in
+/// strictly fewer than 8 generations, every participant receiving the
+/// snapshot of the flush that contained its op.
+#[test]
+fn concurrent_single_op_streams_coalesce_into_group_commits() {
+    let engine = cust_engine();
+    let server = Server::with_config(ServerConfig {
+        workers: 4,
+        max_batch_ops: 4,
+        max_batch_delay: Duration::from_millis(200),
+    });
+    server
+        .create_tenant("acme", engine.clone(), Arc::new(cust_instance()))
+        .expect("create tenant");
+
+    let rows = cust_instance().to_tuples();
+    let snaps: Vec<Arc<TenantSnapshot>> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|i| {
+                let server = server.clone();
+                let row = rows[i % rows.len()].clone();
+                scope.spawn(move || {
+                    server
+                        .stream("acme", vec![BatchOp::Insert(row)])
+                        .expect("stream succeeds")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("client thread"))
+            .collect()
+    });
+
+    // All 8 ops landed…
+    let last = server.snapshot("acme").unwrap();
+    assert_eq!(last.relation().len(), cust_instance().len() + 8);
+    // …in fewer flushes than requests (group commit), each participant
+    // holding an internally consistent snapshot covering its own op.
+    let max_generation = snaps.iter().map(|s| s.generation()).max().unwrap();
+    assert!(
+        max_generation < 8,
+        "8 concurrent one-op streams must coalesce, got {max_generation} flushes"
+    );
+    assert_eq!(last.generation(), max_generation);
+    for snap in &snaps {
+        assert_snapshot_consistent(&engine, snap);
+    }
+    let fresh = server.detect_fresh("acme").unwrap();
+    assert_eq!(last.report().canonical_bytes(), fresh.canonical_bytes());
+}
+
+/// Tenant lifecycle and addressing errors are scoped, typed and
+/// recoverable.
+#[test]
+fn lifecycle_and_addressing_errors() {
+    let server = Server::with_config(ServerConfig {
+        workers: 1,
+        max_batch_ops: 4,
+        max_batch_delay: Duration::ZERO,
+    });
+    let unknown = |e: ServeError| matches!(e, ServeError::UnknownTenant(_));
+
+    assert!(unknown(server.snapshot("ghost").unwrap_err()));
+    assert!(unknown(server.detect("ghost").unwrap_err()));
+    assert!(unknown(server.detect_fresh("ghost").unwrap_err()));
+    assert!(unknown(server.stream("ghost", Vec::new()).unwrap_err()));
+    assert!(unknown(
+        server.repair("ghost", RepairKind::EquivClass).unwrap_err()
+    ));
+    assert!(unknown(server.inject_worker_panic("ghost").unwrap_err()));
+    assert!(unknown(server.drop_tenant("ghost").unwrap_err()));
+
+    server
+        .create_tenant("acme", cust_engine(), Arc::new(cust_instance()))
+        .unwrap();
+    assert_eq!(
+        server
+            .create_tenant("acme", cust_engine(), Arc::new(cust_instance()))
+            .unwrap_err(),
+        ServeError::DuplicateTenant("acme".into())
+    );
+
+    // Repair through the server is a pure read on the snapshot.
+    let before = server.snapshot("acme").unwrap();
+    let repair = server.repair("acme", RepairKind::EquivClass).unwrap();
+    assert!(repair.satisfied);
+    assert!(repair.changes() > 0, "cust instance is dirty");
+    let after = server.snapshot("acme").unwrap();
+    assert_eq!(after.generation(), before.generation());
+
+    // Dropping frees the name for a fresh tenant at generation 0.
+    server.drop_tenant("acme").unwrap();
+    server
+        .create_tenant("acme", cust_engine(), Arc::new(cust_instance()))
+        .unwrap();
+    assert_eq!(server.snapshot("acme").unwrap().generation(), 0);
+}

@@ -42,6 +42,12 @@ pub enum Error {
         /// Schema name of the offered data.
         data: String,
     },
+    /// A detection worker thread panicked. The panic was contained at the
+    /// thread join — the session (and every other session of the process)
+    /// remains usable; re-running the request re-executes the work from the
+    /// prepared state. In a multi-tenant deployment this is the variant that
+    /// keeps one tenant's fault from taking down the others.
+    WorkerPanicked,
     /// An error bubbled up from the SQL substrate.
     Sql(SqlError),
     /// An error bubbled up from the relational substrate.
@@ -60,6 +66,10 @@ impl fmt::Display for Error {
             Error::SchemaMismatch { rules, data } => write!(
                 f,
                 "schema mismatch: rules compiled for `{rules}`, data is `{data}`"
+            ),
+            Error::WorkerPanicked => write!(
+                f,
+                "a detection worker thread panicked; the session remains usable"
             ),
             Error::Sql(e) => write!(f, "sql error: {e}"),
             Error::Relation(e) => write!(f, "relation error: {e}"),
@@ -144,5 +154,9 @@ mod tests {
         };
         assert!(mismatch.to_string().contains("cust"));
         assert!(mismatch.to_string().contains("tax"));
+
+        let panicked = Error::WorkerPanicked;
+        assert!(panicked.to_string().contains("panicked"));
+        assert!(panicked.source().is_none());
     }
 }

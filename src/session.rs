@@ -178,10 +178,7 @@ impl Session {
                             Ok::<_, Error>(out)
                         }));
                     }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("detection worker panicked"))
-                        .collect::<Vec<_>>()
+                    handles.into_iter().map(join_worker).collect::<Vec<_>>()
                 });
                 let mut out = Violations::new();
                 for r in results {
@@ -625,6 +622,15 @@ impl Session {
     }
 }
 
+/// Joins one scoped detection worker, converting a worker panic into
+/// [`Error::WorkerPanicked`] instead of re-panicking on the serving thread.
+/// The session's prepared state is only ever *read* by workers, so after a
+/// contained panic the session stays fully usable — the next `detect()`
+/// re-runs the same prepared plans.
+fn join_worker<T>(handle: std::thread::ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
+    handle.join().map_err(|_| Error::WorkerPanicked)?
+}
+
 /// Binds one compiled `QC`/`QV` pair to a data snapshot: an ephemeral
 /// catalog + executor compile the plans once; the returned
 /// [`PreparedQuery`]s own `Arc`s of both relations and outlive the catalog.
@@ -703,3 +709,32 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Session>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use cfd_datagen::cust::{cust_instance, phi2};
+
+    #[test]
+    fn worker_panics_surface_as_errors_and_leave_the_session_usable() {
+        // The exact join the SqlParallel path performs, against a worker
+        // that panics: the panic must come back as Error::WorkerPanicked,
+        // not abort the joining (serving) thread.
+        let joined: Result<Violations> = std::thread::scope(|scope| {
+            let ok = scope.spawn(|| Ok(Violations::new()));
+            let bad = scope.spawn(|| -> Result<Violations> { panic!("worker bug") });
+            let first = join_worker(ok);
+            assert!(first.is_ok());
+            join_worker(bad)
+        });
+        assert_eq!(joined.unwrap_err(), Error::WorkerPanicked);
+
+        // A session on the same thread keeps serving afterwards: prepared
+        // state is read-only to workers, so nothing was corrupted.
+        let engine = Engine::builder().rule(phi2()).build().unwrap();
+        let mut session = engine.session(Arc::new(cust_instance())).unwrap();
+        let report = session.detect().unwrap();
+        assert_eq!(report.constant_violations().len(), 2);
+    }
+}
