@@ -13,6 +13,12 @@
 //!   then per-`GROUP BY X`-group re-checks of only the groups each edit
 //!   touched.
 //!
+//! At 100k rows the class engine additionally runs a **worker-thread
+//! sweep** (1/2/4/8 threads, `equiv_class_t{n}` series with
+//! `speedup_vs_t1`) — the component-parallel planning and batched-recheck
+//! paths must be byte-identical to the sequential engine at every budget,
+//! asserted outside the timed region.
+//!
 //! Outside the timed region the bench asserts both engines terminate with
 //! instances that every detector path reports as violation-free, and that
 //! the class engine is byte-deterministic across runs. Besides the harness
@@ -23,7 +29,7 @@
 use cfd_datagen::records::{TaxConfig, TaxGenerator};
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
 use cfd_detect::{Detector, DirectDetector, ShardedDetector};
-use cfd_repair::RepairKind;
+use cfd_repair::{RepairConfig, RepairKind, Repairer};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -114,6 +120,47 @@ fn bench(c: &mut Criterion) {
             "repair/{rows}: heuristic {heuristic_ns} ns/iter, equiv_class {class_ns} ns/iter \
              ({speedup:.2}x)"
         );
+
+        // Worker-thread sweep of the class engine, 100k only: 10k rows sit
+        // below the spawn-amortization floor, where every budget runs the
+        // identical sequential path. Byte-identity across the sweep is
+        // asserted outside the timed region; `speedup_vs_t1` is the
+        // parallel-efficiency number CI tracks.
+        if rows >= 100_000 {
+            let repair_at = |threads: usize| {
+                Repairer::with_config(RepairConfig {
+                    kind: RepairKind::EquivClass,
+                    threads,
+                    ..RepairConfig::default()
+                })
+                .repair(&cfds, &noisy)
+            };
+            let baseline = repair_at(1);
+            assert_eq!(baseline.modifications, class.modifications);
+            assert_eq!(baseline.repaired, class.repaired);
+            let mut t1_ns = 0u128;
+            for threads in [1usize, 2, 4, 8] {
+                let sweep = repair_at(threads);
+                assert_eq!(
+                    sweep.modifications, baseline.modifications,
+                    "parallel repair at {threads} threads must be byte-identical"
+                );
+                assert_eq!(sweep.repaired, baseline.repaired);
+                let ns = time_ns_per_iter(iters, || repair_at(threads));
+                if threads == 1 {
+                    t1_ns = ns;
+                }
+                let speedup = t1_ns as f64 / ns as f64;
+                json_entries.push(format!(
+                    "{{\"rows\": {rows}, \"series\": \"equiv_class_t{threads}\", \
+                     \"ns_per_iter\": {ns}, \"speedup_vs_t1\": {speedup:.2}}}"
+                ));
+                println!(
+                    "repair/{rows}: equiv_class_t{threads} {ns} ns/iter \
+                     ({speedup:.2}x vs t1)"
+                );
+            }
+        }
     }
 
     // BENCH_repair.json: one JSON document, entries in measurement order.

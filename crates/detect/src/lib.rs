@@ -65,6 +65,6 @@ pub use incremental::{BatchOp, IncrementalDetector};
 pub use kernels::{scan_group, ScanScratch};
 pub use merge::MergedTableaux;
 pub use planner::{DetectionPlan, PlanStep, Planner, StepStrategy};
-pub use recheck::recheck_lhs_key;
+pub use recheck::{recheck_lhs_key, recheck_lhs_keys, RecheckScratch};
 pub use report::{ViolationItem, Violations};
-pub use sharded::ShardedDetector;
+pub use sharded::{available_cores, ShardedDetector, MIN_ROWS_PER_WORKER};

@@ -52,14 +52,10 @@
 use crate::direct::detect_with_index;
 use crate::kernels::{scan_group, ScanScratch, FUSE_MAX};
 use crate::report::Violations;
-use crate::sharded::{available_cores, shard_of};
+use crate::sharded::{available_cores, shard_of, MIN_ROWS_PER_WORKER};
 use cfd_core::Cfd;
 use cfd_relation::{Index, Relation, RelationStats};
 use std::fmt;
-
-/// Sharding needs at least this many rows per worker before thread spawn
-/// and partitioning overhead can amortize.
-const MIN_SHARD_ROWS: usize = 8_192;
 
 // Abstract cost units (≈ ns of the vectorized kernels on one core).
 /// Hashing one key column cell into the block hash.
@@ -423,10 +419,10 @@ impl Planner {
     /// Shard-count proposal for `rows`, or `None` when sharding cannot pay
     /// (single worker budget, or too few rows per worker).
     fn shard_count(&self, rows: usize) -> Option<usize> {
-        if self.parallelism < 2 || rows < 2 * MIN_SHARD_ROWS {
+        if self.parallelism < 2 || rows < 2 * MIN_ROWS_PER_WORKER {
             return None;
         }
-        Some(self.parallelism.min(rows / MIN_SHARD_ROWS).max(2))
+        Some(self.parallelism.min(rows / MIN_ROWS_PER_WORKER).max(2))
     }
 
     /// Estimated cost of one fused block scan over `group`.

@@ -13,6 +13,14 @@
 //! [`recheck_lhs_key`] is that re-check: it evaluates exactly the `QC`/`QV`
 //! semantics of [`Cfd::violations`] restricted to one LHS group, via the
 //! columnar machinery (`Y` column slices, interned-id pattern matches).
+//! [`recheck_lhs_keys`] is its **batched** form: one call re-checks a whole
+//! round's worth of dirtied groups through the [`BLOCK`]-chunked column
+//! access of the vectorized kernels, resolving the RHS column slices once
+//! per batch (not once per key), deciding the pattern-independent
+//! multi-tuple verdict in one column-major pass per group, and reusing a
+//! caller-held [`RecheckScratch`] so the steady state allocates nothing per
+//! key — the entry point the parallel repair engine fans out over worker
+//! threads.
 //!
 //! # Contract
 //!
@@ -26,26 +34,66 @@
 //! * The returned witnesses are exactly the subset of [`Cfd::violations`]
 //!   whose group key equals `key`, in the same deterministic
 //!   `(pattern_index, rows, kind)` order — byte-determinism of repair rests
-//!   on this.
+//!   on this. [`recheck_lhs_keys`] emits each key's witnesses in the order
+//!   the keys were given, each key's block internally in that same order,
+//!   so batching a sorted key list is byte-identical to looping
+//!   [`recheck_lhs_key`] over it.
 
+use crate::kernels::BLOCK;
 use cfd_core::{Cfd, ViolationKind, ViolationWitness};
-use cfd_relation::{project_cols, Index, Relation, ValueId};
+use cfd_relation::{Index, Relation, ValueId};
+
+/// Reusable buffers for [`recheck_lhs_keys`]: cleared between groups but
+/// never shrunk, so repeated batched re-checks (one per repair round, or one
+/// per worker chunk) allocate nothing per key in the steady state — the same
+/// arena discipline as the kernels' `ScanScratch`.
+#[derive(Debug, Default)]
+pub struct RecheckScratch {
+    /// Sorted row ids of the group under check.
+    rows: Vec<usize>,
+}
+
+impl RecheckScratch {
+    /// Fresh scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        RecheckScratch::default()
+    }
+}
 
 /// Re-checks one `GROUP BY X` group of `cfd` for violations.
 ///
 /// `key` is the group's interned LHS projection (in `cfd.lhs()` order);
 /// the group's rows are resolved through `index`. Returns the violation
 /// witnesses of that group only — see the [module docs](self) for the full
-/// contract.
+/// contract. Equivalent to a one-key [`recheck_lhs_keys`] batch.
 pub fn recheck_lhs_key(
     cfd: &Cfd,
     rel: &Relation,
     index: &Index,
     key: &[ValueId],
 ) -> Vec<ViolationWitness> {
+    recheck_lhs_keys(cfd, rel, index, &[key], &mut RecheckScratch::new())
+}
+
+/// Re-checks a batch of `GROUP BY X` groups of `cfd` in one call.
+///
+/// Byte-identical to flat-mapping [`recheck_lhs_key`] over `keys` in order,
+/// but vectorized: the RHS column slices are resolved once per batch, each
+/// group's rows are gathered into the reusable `scratch` (no per-key
+/// allocation in steady state), the group's Y cells are compared
+/// column-major in [`BLOCK`]-sized chunks, and the pattern-independent
+/// multi-tuple verdict is decided once per group instead of once per
+/// pattern. See the [module docs](self) for the full contract.
+pub fn recheck_lhs_keys<K: AsRef<[ValueId]>>(
+    cfd: &Cfd,
+    rel: &Relation,
+    index: &Index,
+    keys: &[K],
+    scratch: &mut RecheckScratch,
+) -> Vec<ViolationWitness> {
     debug_assert!(
         !cfd.has_dont_care(),
-        "recheck_lhs_key groups by the full LHS; don't-care tableaux need Cfd::violations"
+        "recheck groups by the full LHS; don't-care tableaux need Cfd::violations"
     );
     debug_assert_eq!(
         index.attrs(),
@@ -53,46 +101,69 @@ pub fn recheck_lhs_key(
         "the index must cover the CFD's LHS attributes in order"
     );
     let mut out = Vec::new();
-    let rows = index.lookup_ids(key);
-    if rows.is_empty() {
+    if keys.is_empty() {
         return out;
     }
-    // Index posting lists can lose row order across remove/insert cycles;
-    // witnesses carry sorted rows (matching Cfd::violations).
-    let mut rows: Vec<usize> = rows.to_vec();
-    rows.sort_unstable();
-
     let rhs_cols = rel.columns_for(cfd.rhs());
-    for (pattern_idx, pattern) in cfd.tableau().iter().enumerate() {
-        if !pattern.lhs_matches_ids(key) {
+    for key in keys {
+        let key = key.as_ref();
+        let posting = index.lookup_ids(key);
+        if posting.is_empty() {
             continue;
         }
-        let mut first_y: Option<Vec<ValueId>> = None;
+        // Index posting lists can lose row order across remove/insert
+        // cycles; witnesses carry sorted rows (matching Cfd::violations).
+        scratch.rows.clear();
+        scratch.rows.extend_from_slice(posting);
+        scratch.rows.sort_unstable();
+        let rows = &scratch.rows;
+        let group_start = out.len();
+
+        // The multi-tuple verdict does not depend on the pattern (only its
+        // emission does): one block-chunked column-major pass against the
+        // first row's Y representative decides it for every pattern, with no
+        // per-row Y projection materialized.
+        let first = rows[0];
         let mut multi = false;
-        for &row in &rows {
-            let y = project_cols(&rhs_cols, row);
-            if !pattern.rhs_matches_ids(&y) {
+        'scan: for chunk in rows[1..].chunks(BLOCK) {
+            for &row in chunk {
+                if !rhs_cols.iter().all(|col| col[row] == col[first]) {
+                    multi = true;
+                    break 'scan;
+                }
+            }
+        }
+
+        for (pattern_idx, pattern) in cfd.tableau().iter().enumerate() {
+            if !pattern.lhs_matches_ids(key) {
+                continue;
+            }
+            for chunk in rows.chunks(BLOCK) {
+                for &row in chunk {
+                    let clean = pattern
+                        .rhs()
+                        .iter()
+                        .zip(&rhs_cols)
+                        .all(|(cell, col)| cell.matches_id(col[row]));
+                    if !clean {
+                        out.push(ViolationWitness {
+                            pattern_index: pattern_idx,
+                            kind: ViolationKind::SingleTuple,
+                            rows: vec![row],
+                        });
+                    }
+                }
+            }
+            if multi {
                 out.push(ViolationWitness {
                     pattern_index: pattern_idx,
-                    kind: ViolationKind::SingleTuple,
-                    rows: vec![row],
+                    kind: ViolationKind::MultiTuple,
+                    rows: rows.clone(),
                 });
             }
-            match &first_y {
-                None => first_y = Some(y),
-                Some(f) if *f != y => multi = true,
-                Some(_) => {}
-            }
         }
-        if multi {
-            out.push(ViolationWitness {
-                pattern_index: pattern_idx,
-                kind: ViolationKind::MultiTuple,
-                rows: rows.clone(),
-            });
-        }
+        out[group_start..].sort_by(ViolationWitness::deterministic_cmp);
     }
-    out.sort_by(ViolationWitness::deterministic_cmp);
     out
 }
 
@@ -165,6 +236,75 @@ mod tests {
             .map(|s| ValueId::of(&Value::from(*s)))
             .collect();
         assert!(recheck_lhs_key(&cfd, &rel, &index, &absent).is_empty());
+    }
+
+    /// The batched form must be byte-identical to flat-mapping the one-key
+    /// form over the same key list — including witness order — with one
+    /// scratch reused across the whole batch.
+    #[test]
+    fn batched_recheck_equals_the_per_key_loop() {
+        let noisy = TaxGenerator::new(TaxConfig {
+            size: 800,
+            noise_percent: 12.0,
+            seed: 21,
+        })
+        .generate()
+        .relation;
+        let workload = CfdWorkload::new(5);
+        for (fd, tab, consts) in [
+            (EmbeddedFd::ZipToState, 60, 100.0),
+            (EmbeddedFd::AreaToCity, 80, 40.0),
+        ] {
+            let cfd = workload.single(fd, tab, consts);
+            let index = noisy.build_index(cfd.lhs());
+            let keys: BTreeSet<Vec<ValueId>> = index.iter().map(|(k, _)| k.clone()).collect();
+            let keys: Vec<Vec<ValueId>> = keys.into_iter().collect();
+            let looped: Vec<ViolationWitness> = keys
+                .iter()
+                .flat_map(|key| recheck_lhs_key(&cfd, &noisy, &index, key))
+                .collect();
+            let mut scratch = RecheckScratch::new();
+            let batched = recheck_lhs_keys(&cfd, &noisy, &index, &keys, &mut scratch);
+            assert_eq!(batched, looped, "{fd:?}: whole-key-space batch");
+            // Arbitrary sub-batches through the same scratch agree too.
+            let mut chunked = Vec::new();
+            for chunk in keys.chunks(7) {
+                chunked.extend(recheck_lhs_keys(&cfd, &noisy, &index, chunk, &mut scratch));
+            }
+            assert_eq!(chunked, looped, "{fd:?}: chunked batches, reused scratch");
+        }
+    }
+
+    /// A batch containing clean and absent keys contributes nothing for
+    /// them, exactly like the one-key form.
+    #[test]
+    fn batched_recheck_skips_clean_and_absent_groups() {
+        let rel = cust_instance();
+        let cfd = phi2();
+        let index = rel.build_index(cfd.lhs());
+        let dirty: Vec<ValueId> = ["01", "908", "1111111"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        let clean: Vec<ValueId> = ["01", "215", "3333333"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        let absent: Vec<ValueId> = ["99", "999", "0000000"]
+            .iter()
+            .map(|s| ValueId::of(&Value::from(*s)))
+            .collect();
+        let batch = [clean.clone(), dirty.clone(), absent.clone()];
+        let got = recheck_lhs_keys(&cfd, &rel, &index, &batch, &mut RecheckScratch::new());
+        assert_eq!(got, recheck_lhs_key(&cfd, &rel, &index, &dirty));
+        assert!(recheck_lhs_keys(
+            &cfd,
+            &rel,
+            &index,
+            &[clean, absent],
+            &mut RecheckScratch::new()
+        )
+        .is_empty());
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub fn available_cores() -> usize {
     })
 }
 
+/// Spawn-amortization floor: a worker thread needs at least this many rows
+/// (of scan-grade work) before spawn and partitioning overhead can
+/// amortize. The **one** such threshold in the workspace — the detection
+/// planner's shard-count rule and the parallel repair engine's
+/// sequential-fallback rule both derive from it, so 1-core hosts and tiny
+/// workloads never pay thread setup on either path.
+pub const MIN_ROWS_PER_WORKER: usize = 8_192;
+
 /// FNV-1a over the little-endian bytes of the interned LHS key, read
 /// column-wise (`lhs_cols` are the LHS column slices in key order). Fixed
 /// offset basis and prime: the partition is reproducible across runs and

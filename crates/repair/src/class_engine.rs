@@ -43,18 +43,29 @@
 //! hash-map iteration order or interner id numbering influences any choice,
 //! so identical inputs produce identical modification sequences.
 //!
+//! # Parallelism
+//!
+//! Planning fans out over **connected components** of the cell-equivalence
+//! graph (contiguous chunks of the canonical order), and seeding /
+//! dirty-group re-checking / the final satisfaction sweep fan out over
+//! sorted key batches via [`cfd_detect::recheck_lhs_keys`] — all on scoped
+//! worker threads budgeted by [`RepairConfig::threads`] and clamped by the
+//! spawn-amortization rule shared with the detection planner. The apply
+//! phase stays a sequential single-writer merge. Results are byte-identical
+//! at any thread count; [`crate::parallel`] states the full argument.
+//!
 //! CFDs whose tableaux contain the don't-care symbol `@` (merged tableaux)
 //! group by effective attribute subsets that a full-LHS index cannot
 //! reproduce; such CFDs are handled soundly by falling back to a full
 //! [`Cfd::violations`] scan whenever an edit touches their scope.
 
-use crate::classes::{CellClass, CellClasses};
+use crate::classes::CellClasses;
+use crate::parallel::{self, ParallelCtx};
 use crate::repair::{
     lhs_edit_attr, mint_placeholder_for, Modification, RepairConfig, RepairResult,
 };
 use cfd_core::{Cfd, ViolationWitness};
-use cfd_detect::recheck_lhs_key;
-use cfd_relation::{project_attrs, AttrId, Index, Relation, ValueId};
+use cfd_relation::{project_attrs, AttrId, Index, Relation, RelationStats, ValueId};
 use std::collections::{BTreeSet, HashSet};
 
 /// Entry point: repairs `rel` w.r.t. `cfds` under `config`.
@@ -98,6 +109,14 @@ struct Engine<'a> {
     /// Run-scoped placeholder candidate number (reproducibility across
     /// runs — see [`mint_placeholder_for`]).
     placeholder_counter: u64,
+    /// Per-phase spawn decisions (thread budget + amortization clamps) of
+    /// the component-parallel paths — see [`crate::parallel`].
+    ctx: ParallelCtx,
+    /// Seed-time mean `GROUP BY X` group size per keyed CFD (from the
+    /// [`RelationStats`] sketch), sizing the dirty-recheck fan-out: a dirty
+    /// round's work is roughly `#dirty keys × mean group size`. Estimates
+    /// only steer spawn decisions, never results.
+    mean_rows: Vec<f64>,
 }
 
 impl<'a> Engine<'a> {
@@ -115,7 +134,8 @@ impl<'a> Engine<'a> {
                 v.into_iter().map(Some).collect::<Vec<_>>()
             })
             .unwrap_or_else(|| vec![None; cfds.len()]);
-        let indexes: Vec<Option<Index>> = cfds
+        let ctx = ParallelCtx::new(config.threads, rel.len(), config.force_parallel);
+        let mut indexes: Vec<Option<Index>> = cfds
             .iter()
             .zip(&keyed)
             .enumerate()
@@ -123,19 +143,47 @@ impl<'a> Engine<'a> {
                 if !k {
                     return None;
                 }
-                match prebuilt.get_mut(i).and_then(Option::take).flatten() {
-                    Some(index) => {
-                        debug_assert_eq!(
-                            index.attrs(),
-                            c.lhs(),
-                            "prebuilt index must cover the CFD's LHS in order"
-                        );
-                        Some(index)
-                    }
-                    None => Some(rel.build_index(c.lhs())),
-                }
+                let index = prebuilt.get_mut(i).and_then(Option::take).flatten()?;
+                debug_assert_eq!(
+                    index.attrs(),
+                    c.lhs(),
+                    "prebuilt index must cover the CFD's LHS in order"
+                );
+                Some(index)
             })
             .collect();
+        // Build the missing keyed indexes — in parallel when the instance
+        // warrants it (builds are independent; provenance never influences
+        // repair choices, since seeding visits keys in sorted order).
+        let pending: Vec<Option<&[AttrId]>> = cfds
+            .iter()
+            .zip(&keyed)
+            .zip(&indexes)
+            .map(|((c, &k), slot)| (k && slot.is_none()).then(|| c.lhs()))
+            .collect();
+        for (slot, built) in indexes
+            .iter_mut()
+            .zip(parallel::build_indexes(&rel, pending, ctx))
+        {
+            if slot.is_none() {
+                *slot = built;
+            }
+        }
+        let mean_rows: Vec<f64> = if ctx.budget > 1 {
+            let mut stats = RelationStats::new(&rel);
+            cfds.iter()
+                .zip(&keyed)
+                .map(|(c, &k)| {
+                    if k {
+                        stats.group_stats(&rel, c.lhs()).mean_group_size()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        } else {
+            vec![0.0; cfds.len()]
+        };
         Engine {
             cfds,
             config,
@@ -146,6 +194,8 @@ impl<'a> Engine<'a> {
             scan_all: vec![false; cfds.len()],
             modifications: Vec::new(),
             placeholder_counter: 0,
+            ctx,
+            mean_rows,
         }
     }
 
@@ -185,36 +235,25 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            // Plan: RHS edits per class, LHS edits per conflicted class.
-            let mut edits: Vec<(usize, AttrId, ValueId)> = Vec::new();
-            let mut victims: Vec<(usize, usize, usize)> = Vec::new();
-            let mut conflict_rows: BTreeSet<usize> = BTreeSet::new();
-            for class in classes.into_classes() {
-                if let Some(conflict) = class.conflict {
-                    // Break the later-arriving constraint: overwrite an LHS
-                    // attribute of its row. The class's *other* obligations
-                    // (its kept pin, its merges) are deliberately left
-                    // unresolved this round — remember every involved row so
-                    // their groups are re-examined next round, or those
-                    // obligations would be dropped on the floor.
-                    victims.push((
-                        conflict.conflicting.cfd,
-                        conflict.conflicting.pattern,
-                        conflict.conflicting.row,
-                    ));
-                    conflict_rows.extend(class.cells.iter().map(|&(row, _)| row));
-                    continue;
-                }
-                let target = match class.pin {
-                    Some(pin) => pin.target,
-                    None => self.choose_target(&class),
-                };
-                for &(row, attr) in &class.cells {
-                    if self.rel.column(attr)[row] != target {
-                        edits.push((row, attr, target));
-                    }
-                }
-            }
+            // Plan: RHS edits per class, LHS edits per conflicted class —
+            // fanned out over contiguous chunks of the canonical component
+            // order (byte-identical merge; see [`crate::parallel`]).
+            let components = classes.into_components();
+            let plan_workers = self.ctx.workers_for(
+                components
+                    .total_cells()
+                    .saturating_mul(parallel::PLAN_CELL_COST),
+                components.len(),
+            );
+            let plan = parallel::plan_components(
+                &self.rel,
+                &self.config.cost_model,
+                &components,
+                plan_workers,
+            );
+            let mut edits = plan.edits;
+            let mut victims = plan.victims;
+            let conflict_rows: BTreeSet<usize> = plan.conflict_rows.into_iter().collect();
 
             // Proven oscillation without pin conflicts (cross-CFD cycles):
             // force one LHS edit on the first open witness.
@@ -278,15 +317,15 @@ impl<'a> Engine<'a> {
         for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
             match &self.indexes[cfd_idx] {
                 Some(index) => {
-                    let mut keys: Vec<&Vec<ValueId>> = index.iter().map(|(k, _)| k).collect();
+                    let mut keys: Vec<&[ValueId]> =
+                        index.iter().map(|(k, _)| k.as_slice()).collect();
                     keys.sort_unstable();
-                    for key in keys {
-                        out.extend(
-                            recheck_lhs_key(cfd, &self.rel, index, key)
-                                .into_iter()
-                                .map(|w| (cfd_idx, w)),
-                        );
-                    }
+                    let workers = self.ctx.workers_for(self.rel.len(), keys.len());
+                    out.extend(
+                        parallel::recheck_keys_sharded(cfd, &self.rel, index, &keys, workers)
+                            .into_iter()
+                            .map(|w| (cfd_idx, w)),
+                    );
                 }
                 None => out.extend(cfd.violations(&self.rel).into_iter().map(|w| (cfd_idx, w))),
             }
@@ -303,26 +342,12 @@ impl<'a> Engine<'a> {
             .iter()
             .enumerate()
             .all(|(cfd_idx, cfd)| match &self.indexes[cfd_idx] {
-                Some(index) => index
-                    .iter()
-                    .all(|(key, _)| recheck_lhs_key(cfd, &self.rel, index, key).is_empty()),
+                Some(index) => {
+                    let workers = self.ctx.workers_for(self.rel.len(), index.distinct_keys());
+                    parallel::all_groups_clean(cfd, &self.rel, index, workers)
+                }
                 None => cfd.satisfied_by(&self.rel),
             })
-    }
-
-    /// The weighted cost-minimal target of an unpinned class: among the
-    /// values the cells currently hold, minimize
-    /// `Σ weight(row) × dist(current, candidate)`; break cost ties on the
-    /// smallest resolved value (with unit distance and uniform weights this
-    /// degrades to the plurality vote with deterministic ties). The selection
-    /// rule itself lives in [`CostModel::class_target`](crate::cost::CostModel::class_target)
-    /// so provenance accessors can report the same choice.
-    fn choose_target(&self, class: &CellClass) -> ValueId {
-        self.config
-            .cost_model
-            .class_target(&self.rel, &class.cells)
-            .expect("a class always has at least one cell")
-            .0
     }
 
     /// Applies one cell edit: updates the relation, the per-CFD LHS indexes,
@@ -395,13 +420,17 @@ impl<'a> Engine<'a> {
                 Some(index) => index,
                 None => continue,
             };
-            for key in keys {
-                out.extend(
-                    recheck_lhs_key(cfd, &self.rel, index, &key)
-                        .into_iter()
-                        .map(|w| (cfd_idx, w)),
-                );
-            }
+            // `BTreeSet` iteration is sorted, so the batch visits keys in
+            // the order the per-key loop used to; the re-check fan-out is
+            // sized by the seed-time mean group size.
+            let key_refs: Vec<&[ValueId]> = keys.iter().map(|k| k.as_slice()).collect();
+            let units = (key_refs.len() as f64 * self.mean_rows[cfd_idx]).ceil() as usize;
+            let workers = self.ctx.workers_for(units, key_refs.len());
+            out.extend(
+                parallel::recheck_keys_sharded(cfd, &self.rel, index, &key_refs, workers)
+                    .into_iter()
+                    .map(|w| (cfd_idx, w)),
+            );
         }
         out
     }

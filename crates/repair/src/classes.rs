@@ -166,6 +166,15 @@ impl CellClasses {
         }
     }
 
+    /// Finalizes into the canonical [`Components`] partition view — the
+    /// connected components of the cell-equivalence graph in canonical
+    /// order, ready for contiguous chunking across planning workers.
+    pub fn into_components(self) -> Components {
+        Components {
+            classes: self.into_classes(),
+        }
+    }
+
     /// Finalizes into the class list, sorted by each class's smallest cell;
     /// member cells sorted by `(row, attr)`.
     pub fn into_classes(mut self) -> Vec<CellClass> {
@@ -188,6 +197,88 @@ impl CellClasses {
             .collect();
         classes.sort_by(|a, b| a.cells.cmp(&b.cells));
         classes
+    }
+}
+
+/// The connected components of the cell-equivalence graph, finalized in
+/// **canonical order**: each component is identified by its smallest cell
+/// (minimum row, then minimum attribute), and the list is sorted by that
+/// identifier — the order [`CellClasses::into_classes`] guarantees.
+///
+/// Cells in different components never share a class target, so target
+/// planning is embarrassingly parallel across components. The view hands
+/// planning workers **contiguous** chunks of the canonical order
+/// ([`Components::chunks`]); concatenating per-chunk plans in chunk order
+/// therefore reproduces the sequential engine's class-iteration order
+/// exactly, which is what keeps parallel repairs byte-identical at any
+/// worker count.
+#[derive(Debug)]
+pub struct Components {
+    classes: Vec<CellClass>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The components in canonical order.
+    pub fn classes(&self) -> &[CellClass] {
+        &self.classes
+    }
+
+    /// Total member-cell count across all components — the work-size
+    /// measure chunking balances on (target selection is per cell, not per
+    /// component).
+    pub fn total_cells(&self) -> usize {
+        self.classes.iter().map(|c| c.cells.len()).sum()
+    }
+
+    /// Splits the canonical order into at most `parts` **contiguous**
+    /// chunks, balanced by member-cell count (components vary wildly in
+    /// size; a component-count split could hand one worker all the large
+    /// ones). Deterministic: chunk boundaries depend only on the component
+    /// sizes and `parts`. Every chunk is non-empty.
+    pub fn chunks(&self, parts: usize) -> Vec<&[CellClass]> {
+        let n = self.classes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let parts = parts.max(1).min(n);
+        let total = self.total_cells();
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        let mut consumed = 0usize;
+        for part in 0..parts {
+            let remaining = parts - part;
+            let end = if remaining == 1 {
+                n
+            } else {
+                // Absorb an even share of the *remaining* cells, keep at
+                // least one component, and leave one per later chunk.
+                let quota = (total - consumed).div_ceil(remaining);
+                let mut end = start;
+                let mut cells = 0usize;
+                while end < n && (cells < quota || end == start) {
+                    cells += self.classes[end].cells.len();
+                    end += 1;
+                }
+                end.min(n - (remaining - 1))
+            };
+            consumed += self.classes[start..end]
+                .iter()
+                .map(|c| c.cells.len())
+                .sum::<usize>();
+            out.push(&self.classes[start..end]);
+            start = end;
+        }
+        out
     }
 }
 
@@ -268,6 +359,40 @@ mod tests {
         let conflict = classes[0].conflict.unwrap();
         assert_eq!(conflict.kept.target, id("p"));
         assert_eq!(conflict.conflicting.target, id("q"));
+    }
+
+    #[test]
+    fn component_chunks_are_contiguous_balanced_and_exhaustive() {
+        // Components with wildly uneven sizes: 1+1+10+1+1+1 cells.
+        let mut c = CellClasses::new(4);
+        for row in 0..10 {
+            c.union((10, AttrId(0)), (10 + row, AttrId(0)));
+        }
+        for row in [0, 5, 30, 40, 50] {
+            c.union((row, AttrId(1)), (row, AttrId(1)));
+        }
+        // Self-unions only materialize the cell; use pin-free singletons.
+        let components = c.into_components();
+        assert_eq!(components.len(), 6);
+        assert_eq!(components.total_cells(), 15);
+
+        for parts in 1..=10 {
+            let chunks = components.chunks(parts);
+            assert!(!chunks.is_empty() && chunks.len() <= parts.max(1));
+            assert!(chunks.iter().all(|c| !c.is_empty()), "no empty chunks");
+            // Concatenating the chunks reproduces the canonical order.
+            let flat: Vec<&CellClass> = chunks.iter().flat_map(|c| c.iter()).collect();
+            let canonical: Vec<&CellClass> = components.classes().iter().collect();
+            assert_eq!(flat.len(), canonical.len());
+            assert!(flat.iter().zip(&canonical).all(|(a, b)| a == b));
+        }
+        // More parts than components clamps to one component per chunk.
+        assert_eq!(components.chunks(100).len(), 6);
+        assert!(components.chunks(0).len() == 1);
+
+        let empty = CellClasses::new(4).into_components();
+        assert!(empty.is_empty());
+        assert!(empty.chunks(4).is_empty());
     }
 
     #[test]

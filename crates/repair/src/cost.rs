@@ -101,6 +101,25 @@ fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Reusable buffers for repeated [`CostModel::class_target_with`] calls.
+/// Cleared between classes but never shrunk, so a planning worker selecting
+/// targets for a whole component chunk allocates nothing per class in the
+/// steady state (the kernels-style arena discipline).
+#[derive(Debug, Default)]
+pub struct TargetScratch {
+    /// `(row, current id)` per cell of the class under selection.
+    current: Vec<(usize, ValueId)>,
+    /// Sorted, deduplicated candidate ids.
+    candidates: Vec<ValueId>,
+}
+
+impl TargetScratch {
+    /// Fresh scratch (allocates lazily on first use).
+    pub fn new() -> Self {
+        TargetScratch::default()
+    }
+}
+
 /// Weights and distances used to price a repair.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -160,16 +179,33 @@ impl CostModel {
         rel: &Relation,
         cells: &[(usize, AttrId)],
     ) -> Option<(ValueId, f64)> {
-        let current: Vec<(usize, ValueId)> = cells
-            .iter()
-            .map(|&(row, attr)| (row, rel.column(attr)[row]))
-            .collect();
-        let mut candidates: Vec<ValueId> = current.iter().map(|&(_, id)| id).collect();
-        candidates.sort_unstable();
-        candidates.dedup();
+        self.class_target_with(rel, cells, &mut TargetScratch::new())
+    }
+
+    /// [`CostModel::class_target`] with caller-held [`TargetScratch`]: the
+    /// selection is identical, but the working buffers are reused across
+    /// calls — the form the repair engine's planning workers drive so
+    /// steady-state target selection allocates nothing per class.
+    pub fn class_target_with(
+        &self,
+        rel: &Relation,
+        cells: &[(usize, AttrId)],
+        scratch: &mut TargetScratch,
+    ) -> Option<(ValueId, f64)> {
+        scratch.current.clear();
+        scratch.current.extend(
+            cells
+                .iter()
+                .map(|&(row, attr)| (row, rel.column(attr)[row])),
+        );
+        let current = &scratch.current;
+        scratch.candidates.clear();
+        scratch.candidates.extend(current.iter().map(|&(_, id)| id));
+        scratch.candidates.sort_unstable();
+        scratch.candidates.dedup();
 
         let mut best: Option<(f64, &'static Value, ValueId)> = None;
-        for &cand in &candidates {
+        for &cand in &scratch.candidates {
             let cand_value = cand.resolve();
             let cost: f64 = current
                 .iter()

@@ -34,7 +34,9 @@
 pub mod class_engine;
 pub mod classes;
 pub mod cost;
+pub mod parallel;
 pub mod repair;
 
-pub use cost::{CostModel, NormalizedEditDistance, UnitDistance, ValueDistance};
+pub use classes::Components;
+pub use cost::{CostModel, NormalizedEditDistance, TargetScratch, UnitDistance, ValueDistance};
 pub use repair::{Modification, RepairConfig, RepairKind, RepairResult, Repairer};

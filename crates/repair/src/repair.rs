@@ -77,6 +77,22 @@ pub struct RepairConfig {
     /// (`INTEGER` columns receive integer sentinels). When `false`, every
     /// placeholder is a fresh string — the explicit bypass.
     pub typed_placeholders: bool,
+    /// Worker-thread budget of the equivalence-class engine (the pass-loop
+    /// heuristic is unaffected; clamped to ≥ 1 when used). The engine
+    /// additionally clamps the budget by the spawn-amortization rule shared
+    /// with the detection planner ([`cfd_detect::MIN_ROWS_PER_WORKER`]), so
+    /// 1-core hosts and instances too small to amortize thread setup run
+    /// the sequential path regardless of this setting. Repairs are
+    /// **byte-identical at any budget** (see [`crate::parallel`]). Defaults
+    /// to the machine's available cores.
+    pub threads: usize,
+    /// Differential-testing override: honor `threads` even on instances too
+    /// small to amortize thread spawn. Production paths leave this `false`;
+    /// the differential harness sets it to force the component-parallel
+    /// planning and batched-recheck code paths on small workloads, where
+    /// the amortization clamp would otherwise silently fall back to the
+    /// sequential path and make byte-identity assertions vacuous.
+    pub force_parallel: bool,
 }
 
 impl Default for RepairConfig {
@@ -87,6 +103,8 @@ impl Default for RepairConfig {
             cost_model: CostModel::default(),
             allow_lhs_edits: true,
             typed_placeholders: true,
+            threads: cfd_detect::available_cores(),
+            force_parallel: false,
         }
     }
 }

@@ -44,6 +44,9 @@ impl Default for ServerConfig {
 struct Inner {
     pool: WorkerPool,
     batch: BatchConfig,
+    /// Per-request worker-thread cap for repair fan-out — see
+    /// [`Server::repair_thread_cap`].
+    repair_thread_cap: usize,
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
 }
 
@@ -90,16 +93,33 @@ impl Server {
     /// Starts a server with explicit tunables (each clamped to its
     /// meaningful minimum: at least one worker, batches of at least one op).
     pub fn with_config(config: ServerConfig) -> Server {
+        let workers = config.workers.max(1);
         Server {
             inner: Arc::new(Inner {
-                pool: WorkerPool::new(config.workers.max(1)),
+                pool: WorkerPool::new(workers),
                 batch: BatchConfig {
                     max_batch_ops: config.max_batch_ops.max(1),
                     max_batch_delay: config.max_batch_delay,
                 },
+                // With `workers` requests possibly running at once, an even
+                // split of the machine's cores is the most one repair can
+                // claim without starving concurrent requests of other
+                // tenants.
+                repair_thread_cap: (available_cores() / workers).max(1),
                 tenants: RwLock::new(HashMap::new()),
             }),
         }
+    }
+
+    /// The per-request worker-thread cap applied to every
+    /// [`Server::repair`]: `available_cores / pool workers` (at least 1).
+    /// A tenant's configured `repair_threads` budget is clamped to this
+    /// cap, so one tenant's repair cannot monopolize the machine while
+    /// other tenants' requests run — snapshot reads are unaffected either
+    /// way (they never need the pool), and the clamp never changes repair
+    /// *results*, which are byte-identical at any thread count.
+    pub fn repair_thread_cap(&self) -> usize {
+        self.inner.repair_thread_cap
     }
 
     /// Creates a tenant serving `data` under `engine`, running the initial
@@ -179,9 +199,12 @@ impl Server {
     /// Repairs the tenant's published snapshot on the pool. A pure read:
     /// the tenant's instance is not modified — the repaired relation is
     /// returned to the caller.
+    /// The repair's worker fan-out is clamped by
+    /// [`Server::repair_thread_cap`]; the clamp never changes the result.
     pub fn repair(&self, tenant: &str, kind: RepairKind) -> Result<RepairResult> {
         let tenant = self.tenant(tenant)?;
-        self.inner.pool.submit(move || tenant.repair(kind))
+        let cap = self.inner.repair_thread_cap;
+        self.inner.pool.submit(move || tenant.repair(kind, cap))
     }
 
     /// Streams write ops into a tenant, coalescing with concurrent writers

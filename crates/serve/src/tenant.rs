@@ -177,13 +177,23 @@ impl Tenant {
 
     /// Repairs the currently published snapshot. Pure read: runs on the
     /// snapshot `Arc`, mutates nothing, never touches the writer half.
-    pub fn repair(&self, kind: RepairKind) -> Result<RepairResult> {
+    ///
+    /// `thread_cap` bounds the repair engine's worker fan-out: the tenant
+    /// runs with its engine's configured `repair_threads` clamped to the
+    /// cap (and to ≥ 1). The server derives the cap from its pool size so
+    /// one tenant's repair cannot monopolize the machine's cores under
+    /// concurrent requests; the clamp only trades wall-clock — repair
+    /// results are byte-identical at any thread count.
+    pub fn repair(&self, kind: RepairKind, thread_cap: usize) -> Result<RepairResult> {
         let snapshot = self.published();
         let mut session = self
             .engine
             .session(Arc::clone(&snapshot.relation))
             .map_err(ServeError::from)?;
-        session.repair(kind).map_err(ServeError::from)
+        let threads = self.engine.config().repair().threads.min(thread_cap).max(1);
+        session
+            .repair_with_threads(kind, threads)
+            .map_err(ServeError::from)
     }
 
     /// Streams `ops` into the tenant, coalescing with concurrent writers
@@ -419,7 +429,7 @@ mod tests {
     fn repair_is_a_pure_read() {
         let tenant = tenant();
         let before = tenant.published();
-        let result = tenant.repair(RepairKind::EquivClass).unwrap();
+        let result = tenant.repair(RepairKind::EquivClass, 1).unwrap();
         assert!(result.satisfied);
         assert!(result.changes() > 0, "cust instance has violations");
         let after = tenant.published();

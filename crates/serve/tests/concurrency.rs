@@ -309,6 +309,111 @@ fn concurrent_single_op_streams_coalesce_into_group_commits() {
     assert_eq!(last.report().canonical_bytes(), fresh.canonical_bytes());
 }
 
+/// Concurrent repair requests against two tenants run with their worker
+/// fan-out clamped by the server's [`Server::repair_thread_cap`] (an even
+/// core split across pool workers), so one tenant's repair cannot
+/// monopolize the machine — and a third tenant's snapshot reads, which
+/// never need the pool, keep being served at their quiescent rate while
+/// both pool workers are busy repairing. The clamp only trades wall-clock:
+/// both clamped repairs must be byte-identical to a single-threaded repair
+/// of the same snapshot.
+#[test]
+fn concurrent_repairs_are_clamped_and_never_block_snapshot_reads() {
+    let server = Server::with_config(ServerConfig {
+        workers: 2,
+        max_batch_ops: 16,
+        max_batch_delay: Duration::ZERO,
+    });
+    // The clamp rule: an even split of the machine's cores across the
+    // pool's workers, at least 1.
+    let cores = cfd_detect::available_cores();
+    assert_eq!(server.repair_thread_cap(), (cores / 2).max(1));
+
+    // Two repair tenants whose engines ask for an absurd 64-thread repair
+    // budget — the server must clamp it, not honor it.
+    let greedy_engine = || {
+        Engine::builder()
+            .rules([
+                CfdWorkload::new(11).single(EmbeddedFd::ZipToState, 120, 100.0),
+                CfdWorkload::new(11).single(EmbeddedFd::AreaToCity, 100, 60.0),
+            ])
+            .config(
+                cfd::EngineConfig::builder()
+                    .repair_threads(64)
+                    .build()
+                    .expect("valid config"),
+            )
+            .build()
+            .expect("workload rules are consistent")
+    };
+    for (name, seed) in [("alpha", 31u64), ("bravo", 32)] {
+        let data = TaxGenerator::new(TaxConfig {
+            size: 4_000,
+            noise_percent: 5.0,
+            seed,
+        })
+        .generate()
+        .relation;
+        server
+            .create_tenant(name, greedy_engine(), Arc::new(data))
+            .expect("create tenant");
+    }
+    server
+        .create_tenant("reader", cust_engine(), Arc::new(cust_instance()))
+        .expect("create tenant");
+
+    // Baseline: the single-threaded repair of each tenant's snapshot.
+    let sequential = |name: &str| {
+        let snapshot = server.snapshot(name).unwrap();
+        let mut session = greedy_engine()
+            .session(Arc::clone(snapshot.relation()))
+            .expect("snapshot matches engine schema");
+        session
+            .repair_with_threads(RepairKind::EquivClass, 1)
+            .expect("repair succeeds")
+    };
+    let expected_alpha = sequential("alpha");
+    let expected_bravo = sequential("bravo");
+
+    let repairs_done = AtomicBool::new(false);
+    let (alpha, bravo, reads) = std::thread::scope(|scope| {
+        let alpha = scope.spawn(|| server.repair("alpha", RepairKind::EquivClass));
+        let bravo = scope.spawn(|| server.repair("bravo", RepairKind::EquivClass));
+        // The third tenant's snapshot reads bypass the pool entirely: they
+        // must keep completing while both pool workers are busy repairing.
+        let reader = scope.spawn(|| {
+            let mut reads = 0usize;
+            while !repairs_done.load(Ordering::Acquire) {
+                let snap = server.snapshot("reader").expect("reads never blocked");
+                assert_eq!(snap.generation(), 0);
+                let report = server.detect("reader").expect("reads never blocked");
+                assert!(!report.is_clean(), "cust instance has seeded violations");
+                reads += 1;
+                std::thread::yield_now();
+            }
+            reads
+        });
+        let alpha = alpha.join().expect("repair thread").expect("repair ok");
+        let bravo = bravo.join().expect("repair thread").expect("repair ok");
+        repairs_done.store(true, Ordering::Release);
+        (alpha, bravo, reader.join().expect("reader thread"))
+    });
+    assert!(reads > 0, "snapshot reads ran during the repairs");
+
+    // The clamp changed only wall-clock, never the answer: byte-identical
+    // to the single-threaded repairs.
+    for (got, expected) in [(&alpha, &expected_alpha), (&bravo, &expected_bravo)] {
+        assert_eq!(got.modifications, expected.modifications);
+        assert_eq!(got.repaired, expected.repaired);
+        assert_eq!(got.cost.to_bits(), expected.cost.to_bits());
+        assert_eq!(got.satisfied, expected.satisfied);
+        assert!(got.satisfied, "tax workload repairs converge");
+    }
+    // Repairs were pure reads: both tenants still at generation 0.
+    assert_eq!(server.snapshot("alpha").unwrap().generation(), 0);
+    assert_eq!(server.snapshot("bravo").unwrap().generation(), 0);
+}
+
 /// Tenant lifecycle and addressing errors are scoped, typed and
 /// recoverable.
 #[test]

@@ -125,6 +125,16 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Worker-thread budget of the equivalence-class repair engine (default:
+    /// the machine's available cores; must be ≥ 1). The engine clamps the
+    /// budget by the spawn-amortization rule shared with the detection
+    /// planner, so small instances run sequentially regardless; repairs are
+    /// byte-identical at any budget.
+    pub fn repair_threads(mut self, threads: usize) -> Self {
+        self.config.repair.threads = threads;
+        self
+    }
+
     /// Validates the combination and returns the configuration.
     ///
     /// Rejected combinations (each with [`Error::Config`]):
@@ -135,6 +145,8 @@ impl EngineConfigBuilder {
     ///   threads;
     /// * `max_passes == 0` — a zero round budget cannot repair anything
     ///   while still reporting `satisfied = false` on dirty data;
+    /// * `repair_threads == 0` — the repair engine needs at least one
+    ///   worker (one means the sequential path);
     /// * non-finite or negative `replace_distance`/`placeholder_distance` —
     ///   cost minimization over such prices is meaningless;
     /// * a non-finite or negative tuple weight (default or override) — same.
@@ -151,6 +163,11 @@ impl EngineConfigBuilder {
         }
         if config.repair.max_passes == 0 {
             return Err(Error::Config("max_passes must be at least 1".into()));
+        }
+        if config.repair.threads == 0 {
+            return Err(Error::Config(
+                "repair_threads must be at least 1 (1 selects the sequential path)".into(),
+            ));
         }
         let model = &config.repair.cost_model;
         for (name, d) in [
@@ -195,6 +212,8 @@ mod tests {
         assert_eq!(config.repair().max_passes, 16);
         assert!(config.repair().allow_lhs_edits);
         assert!(config.repair().typed_placeholders);
+        assert_eq!(config.repair().threads, cfd_detect::available_cores());
+        assert!(!config.repair().force_parallel);
     }
 
     #[test]
@@ -207,6 +226,7 @@ mod tests {
             .cost_model(CostModel::with_edit_distance())
             .allow_lhs_edits(false)
             .typed_placeholders(false)
+            .repair_threads(3)
             .build()
             .unwrap();
         assert_eq!(config.detector(), DetectorKind::Sharded { shards: 4 });
@@ -215,6 +235,7 @@ mod tests {
         assert_eq!(config.repair().max_passes, 5);
         assert!(!config.repair().allow_lhs_edits);
         assert!(!config.repair().typed_placeholders);
+        assert_eq!(config.repair().threads, 3);
     }
 
     #[test]
@@ -239,6 +260,15 @@ mod tests {
     fn zero_max_passes_is_rejected() {
         let err = EngineConfig::builder().max_passes(0).build().unwrap_err();
         assert!(matches!(err, Error::Config(msg) if msg.contains("max_passes")));
+    }
+
+    #[test]
+    fn zero_repair_threads_are_rejected() {
+        let err = EngineConfig::builder()
+            .repair_threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("repair_threads")));
     }
 
     #[test]

@@ -248,9 +248,26 @@ impl Session {
     /// session over `result.repaired`, or feed the changes back as a
     /// delete/insert batch via [`Session::apply_batch`].
     pub fn repair(&mut self, kind: RepairKind) -> Result<RepairResult> {
+        let threads = self.engine.config().repair().threads;
+        self.repair_with_threads(kind, threads)
+    }
+
+    /// [`Session::repair`] with an explicit worker-thread budget for the
+    /// equivalence-class engine, overriding the configured
+    /// `repair_threads` (clamped to ≥ 1; the engine further clamps by its
+    /// spawn-amortization rule). Results are **byte-identical at any
+    /// budget** — this knob only trades wall-clock for cores, which is how
+    /// the serving layer caps a tenant's repair fan-out without changing
+    /// its answers.
+    pub fn repair_with_threads(
+        &mut self,
+        kind: RepairKind,
+        threads: usize,
+    ) -> Result<RepairResult> {
         let snapshot = self.snapshot();
         let mut config = self.engine.config().repair().clone();
         config.kind = kind;
+        config.threads = threads.max(1);
         let repairer = Repairer::with_config(config);
         // Only the class engine consumes LHS indexes; the pass-loop
         // heuristic re-detects from scratch, so don't build or clone any

@@ -37,7 +37,7 @@ use cfd_datagen::rng::StdRng;
 use cfd_datagen::{CfdWorkload, EmbeddedFd};
 use cfd_detect::{Detector, DetectorKind, DirectDetector, ShardedDetector, Violations};
 use cfd_relation::{Relation, Schema, Tuple, Value};
-use cfd_repair::RepairKind;
+use cfd_repair::{RepairConfig, RepairKind, RepairResult, Repairer};
 use std::sync::Arc;
 
 /// Typed equality (catches value-type divergences Display would erase) plus
@@ -86,6 +86,7 @@ fn assert_paths_agree_on_one_cfd(cfd: &Cfd, rel: &Relation, label: &str) -> Viol
         );
     }
     assert_prepared_session_agrees(std::slice::from_ref(cfd), rel, label);
+    assert_parallel_repair_identical(std::slice::from_ref(cfd), rel, label);
     direct
 }
 
@@ -171,6 +172,55 @@ fn assert_prepared_session_agrees(cfds: &[Cfd], rel: &Relation, label: &str) {
     }
 }
 
+/// Parallel-repair differential: the equivalence-class engine at 2, 4 and
+/// 8 worker threads must produce **byte-identical** results to the
+/// sequential engine — same modification log, same repaired instance, same
+/// cost bits, same placeholder spellings, same satisfaction and pass count.
+/// `force_parallel` overrides the spawn-amortization clamps so the
+/// component-parallel planning and batched-recheck paths genuinely run on
+/// these small instances (without it they would silently fall back to the
+/// sequential path and the assertions would be vacuous). Goes through
+/// [`Repairer`] directly — no engine consistency gate — so inconsistent
+/// sets (which force `PinConflict`s and LHS placeholder edits) are
+/// exercised too.
+fn assert_parallel_repair_identical(cfds: &[Cfd], rel: &Relation, label: &str) -> RepairResult {
+    let repair = |threads: usize, force: bool| {
+        Repairer::with_config(RepairConfig {
+            kind: RepairKind::EquivClass,
+            threads,
+            force_parallel: force,
+            ..RepairConfig::default()
+        })
+        .repair(cfds, rel)
+    };
+    let sequential = repair(1, false);
+    for threads in [2, 4, 8] {
+        let parallel = repair(threads, true);
+        assert_eq!(
+            parallel.modifications, sequential.modifications,
+            "{label}: modification log at {threads} threads"
+        );
+        assert_eq!(
+            parallel.repaired, sequential.repaired,
+            "{label}: repaired instance at {threads} threads"
+        );
+        assert_eq!(
+            parallel.cost.to_bits(),
+            sequential.cost.to_bits(),
+            "{label}: cost bits at {threads} threads"
+        );
+        assert_eq!(
+            parallel.satisfied, sequential.satisfied,
+            "{label}: satisfied at {threads} threads"
+        );
+        assert_eq!(
+            parallel.passes, sequential.passes,
+            "{label}: pass count at {threads} threads"
+        );
+    }
+    sequential
+}
+
 /// Set-level agreement: the per-CFD paths byte-identically, the merged path
 /// on its documented guarantee.
 fn assert_paths_agree_on_set(cfds: &[Cfd], rel: &Relation, label: &str) {
@@ -207,6 +257,7 @@ fn assert_paths_agree_on_set(cfds: &[Cfd], rel: &Relation, label: &str) {
         assert_identical(&got, &direct, &format!("{label}: DetectorKind {kind:?}"));
     }
     assert_prepared_session_agrees(cfds, rel, label);
+    assert_parallel_repair_identical(cfds, rel, label);
 }
 
 /// ≥20 seeded tax workloads sweeping noise, constants ratio and CFD arity.
@@ -372,6 +423,94 @@ fn randomized_relations_agree_across_all_paths() {
     );
 }
 
+/// Section 6's motivating shapes, scaled to many groups: workloads whose
+/// only resolutions are **LHS placeholder edits** — via structural
+/// `PinConflict`s (incompatible pattern constants reaching one merged
+/// class) and via cross-CFD oscillation (the `b1→b2→b1` cycle). The
+/// parallel planner must reproduce the sequential engine's victim choices
+/// and placeholder spellings exactly, at every thread count.
+#[test]
+fn parallel_repair_agrees_on_pin_conflict_and_lhs_edit_workloads() {
+    let schema = Schema::builder("r").text("A").text("B").text("C").build();
+    let lhs_a = schema.resolve_all(["A"]).unwrap();
+    let lhs_c = schema.resolve_all(["C"]).unwrap();
+    let rhs_b = schema.resolve_all(["B"]).unwrap();
+    let fd_a_b = Cfd::from_parts(
+        schema.clone(),
+        lhs_a,
+        rhs_b.clone(),
+        PatternTableau::from_rows(vec![PatternTuple::new(
+            vec![PatternValue::Wildcard],
+            vec![PatternValue::Wildcard],
+        )]),
+    )
+    .unwrap();
+    let c_pins_b = |pairs: &[(&str, &str)]| {
+        Cfd::from_parts(
+            schema.clone(),
+            lhs_c.clone(),
+            rhs_b.clone(),
+            PatternTableau::from_rows(
+                pairs
+                    .iter()
+                    .map(|&(c, b)| {
+                        PatternTuple::new(
+                            vec![PatternValue::constant(c)],
+                            vec![PatternValue::constant(b)],
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .unwrap()
+    };
+    let row = |a: String, b: &str, c: &str| {
+        Tuple::new(vec![Value::from(a), Value::from(b), Value::from(c)])
+    };
+
+    // Shape 1 — structural pin conflicts: each A-group's two rows disagree
+    // on B (the FD merges their B-cells into one class) *and* each row
+    // violates its own C-pattern (B ≠ the pattern constant), so the merged
+    // class is pinned to b1 *and* b2 in the same round. No RHS assignment
+    // satisfies both — every group must take an LHS placeholder edit.
+    let mut conflicted = Relation::new(schema.clone());
+    for i in 0..24 {
+        conflicted.push(row(format!("a{i}"), "b8", "c1")).unwrap();
+        conflicted.push(row(format!("a{i}"), "b9", "c2")).unwrap();
+    }
+    let sigma = vec![fd_a_b.clone(), c_pins_b(&[("c1", "b1"), ("c2", "b2")])];
+    let result = assert_parallel_repair_identical(&sigma, &conflicted, "pin-conflict workload");
+    let lhs_edits = result
+        .modifications
+        .iter()
+        .filter(|m| cfd_relation::placeholder::is_placeholder_value(&m.new))
+        .count();
+    assert!(
+        lhs_edits >= 24,
+        "every conflicted group must force an LHS placeholder edit, got {lhs_edits}"
+    );
+    assert!(result.satisfied, "placeholder edits resolve every conflict");
+
+    // Shape 2 — plain merges with agreeing pins plus noise rows: exercises
+    // the parallel planner's pinned and unpinned target selection together
+    // (components of very different sizes, balanced-chunk planning).
+    let mut mixed = Relation::new(schema.clone());
+    for i in 0..30 {
+        let b = ["b1", "b2", "b3"][i % 3];
+        mixed.push(row(format!("a{}", i / 3), b, "c3")).unwrap();
+    }
+    for i in 0..6 {
+        mixed.push(row(format!("x{i}"), "b9", "c1")).unwrap();
+    }
+    let sigma = vec![fd_a_b, c_pins_b(&[("c1", "b1")])];
+    let result = assert_parallel_repair_identical(&sigma, &mixed, "mixed-merge workload");
+    assert!(result.satisfied);
+    assert!(
+        result.changes() > 0,
+        "the mixed workload must require real edits"
+    );
+}
+
 /// The CI-sized differential run: the 100k-row generated tax workload
 /// (`cargo test --release -- --include-ignored`). The SQL paths are bounded
 /// to one CFD to keep the job inside minutes; the direct/sharded comparison
@@ -431,4 +570,12 @@ fn tax_workload_100k_agrees_across_all_paths() {
     );
     // SQL paths on the first CFD only (bounded runtime).
     assert_paths_agree_on_one_cfd(&cfds[0], &data, "100k ZipToState");
+
+    // Parallel equivalence-class repair at CI scale: 100k rows clear the
+    // spawn-amortization floor, so 2/4/8 threads genuinely fan out — and
+    // must stay byte-identical to the sequential engine. Two CFDs bound
+    // the runtime.
+    let repaired = assert_parallel_repair_identical(&cfds[..2], &data, "100k parallel repair");
+    assert!(repaired.satisfied, "the 100k tax workload repairs fully");
+    assert!(repaired.changes() > 0, "5% noise requires real edits");
 }
