@@ -70,6 +70,7 @@ fn server() -> Server {
         max_batch_ops: 64,
         max_batch_delay: Duration::from_millis(1),
     })
+    .expect("spawn server pool")
 }
 
 struct MixedStats {

@@ -390,7 +390,7 @@ mod tests {
         )
         .unwrap();
         let a_false = NormalCfd::new(
-            s.clone(),
+            s,
             vec![],
             vec![],
             a,

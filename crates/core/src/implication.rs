@@ -384,7 +384,7 @@ mod tests {
         let px = NormalCfd::parse(&s, ["A"], &["x"], "B", "b").unwrap();
         let py = NormalCfd::parse(&s, ["A"], &["y"], "B", "b").unwrap();
         let goal = NormalCfd::parse(&s, ["A"], &["_"], "B", "b").unwrap();
-        assert!(implies(&[px.clone(), py.clone()], &goal));
+        assert!(implies(&[px.clone(), py], &goal));
         // With only one of them it is not entailed.
         assert!(!implies(&[px], &goal));
     }

@@ -501,7 +501,7 @@ mod tests {
             NormalCfd::parse(&s, ["X", "B"], &["_", "_"], "A", "a").unwrap()
         );
         // Soundness relative to the premises:
-        assert!(implies(&[p_x.clone(), p_y.clone()], &got));
+        assert!(implies(&[p_x.clone(), p_y], &got));
         // Missing one value -> rule does not apply.
         assert!(fd7(&sigma, &[p_x], b).unwrap().is_none());
     }

@@ -357,7 +357,7 @@ mod tests {
         let cc = s.resolve("CC").unwrap();
         let ct = s.resolve("CT").unwrap();
         let n = NormalCfd::new(
-            s.clone(),
+            s,
             vec![ac, cc, ac],
             vec![
                 PatternValue::Wildcard,

@@ -135,6 +135,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark parameterized by an input value.
+    // By-value `id` mirrors the real criterion signature the shim must stay
+    // drop-in compatible with.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized>(
         &mut self,
         id: BenchmarkId,

@@ -94,7 +94,7 @@ impl TaxGenerator {
         let schema = tax_schema();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let table = geo::geo_table();
-        let mut relation = Relation::with_capacity(schema.clone(), self.config.size);
+        let mut relation = Relation::with_capacity(schema, self.config.size);
         let mut dirty_rows = Vec::new();
 
         for i in 0..self.config.size {

@@ -200,6 +200,10 @@ impl Detector {
 
     /// Validates a set of CFDs with one query pair per CFD (the naive
     /// `2 × |Σ|`-pass approach of Section 4.2).
+    // Arc by value: every detection entry point shares the same signature
+    // shape so callers hand out snapshots uniformly, even where this
+    // particular path only clones.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn detect_set(&self, cfds: &[Cfd], data: Arc<Relation>) -> Result<Violations> {
         let mut out = Violations::new();
         for cfd in cfds {
@@ -268,6 +272,8 @@ impl Detector {
     /// Validates a set of CFDs with one query pair per CFD, spreading the
     /// CFDs over `threads` worker threads (an extension beyond the paper —
     /// the per-CFD query pairs are embarrassingly parallel).
+    // Arc by value: same signature-uniformity rationale as `detect_set`.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn detect_set_parallel(
         &self,
         cfds: &[Cfd],
@@ -288,7 +294,7 @@ impl Detector {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("detection worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect::<Vec<_>>()
         });
 

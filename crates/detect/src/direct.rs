@@ -64,6 +64,7 @@ pub(crate) fn detect_rows_rowhash(cfd: &Cfd, rel: &Relation, rows: Option<&[u32]
         // QC: matches a pattern on X but contradicts one of its constants on Y.
         for pattern in cfd.tableau().iter() {
             if pattern.lhs_matches_ids(&x_scratch) && !pattern.rhs_matches_ids(&y_scratch) {
+                // wslint: allow(panic_path, "i < rel.len() scan-loop bound makes row(i) infallible")
                 out.add_constant_violation(rel.row(i).expect("row in range").to_values());
                 break;
             }
@@ -157,6 +158,7 @@ pub fn detect_with_index(cfd: &Cfd, rel: &Relation, index: &Index) -> Violations
         for &row in rows {
             project_cols_into(&ycols, row, &mut y_scratch);
             if matching.iter().any(|p| !p.rhs_matches_ids(&y_scratch)) {
+                // wslint: allow(panic_path, "rows come from the relation's own LHS index, always in range")
                 out.add_constant_violation(rel.row(row).expect("row in range").to_values());
             }
             match first_row {
@@ -186,6 +188,7 @@ pub fn detect_with_index(cfd: &Cfd, rel: &Relation, index: &Index) -> Violations
             let key: Vec<ValueId> = pattern
                 .lhs()
                 .iter()
+                // wslint: allow(panic_path, "index-driven path is only selected for all-constant-LHS tableaux")
                 .map(|c| c.const_id().expect("all-constant LHS"))
                 .collect();
             if probed.contains(&key) {

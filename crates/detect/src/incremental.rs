@@ -118,6 +118,7 @@ impl IncrementalDetector {
                     let x = project_cols(&xcols, i);
                     let y = project_cols(&ycols, i);
                     if qc_violates_ids(cfd, &x, &y) {
+                        // wslint: allow(panic_path, "i < base.len() loop bound makes row(i) infallible")
                         let cells = base.row(i).expect("row in range").to_ids();
                         *qc.entry(cells).or_insert(0) += 1;
                     }
@@ -377,6 +378,7 @@ impl IncrementalDetector {
                     let slot = self.store.len();
                     self.store
                         .push_ids(tuple.ids())
+                        // wslint: allow(panic_path, "apply_batch validates every op's arity before any op mutates the store")
                         .expect("batch arity validated above");
                     self.alive.push(true);
                     self.live += 1;
@@ -625,7 +627,7 @@ mod tests {
         let incremental =
             IncrementalDetector::new(base.clone(), cfds.clone()).detect_insertions(&batch);
 
-        let mut combined = base.clone();
+        let mut combined = base;
         for t in &batch {
             combined.push(t.clone()).unwrap();
         }
@@ -666,7 +668,7 @@ mod tests {
         let a = tuple(&["49", "030", "1", "Ann", "A St.", "BER", "10115"]);
         let b = tuple(&["49", "030", "2", "Bob", "B St.", "MUC", "80331"]);
         let after_insert = engine
-            .apply_batch(&[BatchOp::Insert(a.clone()), BatchOp::Insert(b.clone())])
+            .apply_batch(&[BatchOp::Insert(a), BatchOp::Insert(b.clone())])
             .unwrap();
         assert_eq!(after_insert.multi_tuple_keys().len(), 1);
         assert_eq!(engine.len(), clean_base().len() + 2);

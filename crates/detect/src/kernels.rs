@@ -323,6 +323,7 @@ pub fn scan_group(
         for (j, &hit) in scratch.qc_hit.iter().enumerate() {
             if hit {
                 let row = scratch.rows[j] as usize;
+                // wslint: allow(panic_path, "scratch.rows holds row ids copied from this relation's scan")
                 out.add_constant_violation(rel.row(row).expect("row in range").to_values());
             }
         }

@@ -77,11 +77,13 @@ impl MergedTableaux {
                 id += 1;
                 let mut x_cells = vec![PatternValue::DontCare; x_ids.len()];
                 for (attr, cell) in cfd.lhs().iter().zip(row.lhs()) {
+                    // wslint: allow(panic_path, "x_ids is the union of every CFD's LHS, so the position exists")
                     let pos = x_ids.iter().position(|a| a == attr).expect("attr in union");
                     x_cells[pos] = *cell;
                 }
                 let mut y_cells = vec![PatternValue::DontCare; y_ids.len()];
                 for (attr, cell) in cfd.rhs().iter().zip(row.rhs()) {
+                    // wslint: allow(panic_path, "y_ids is the union of every CFD's RHS, so the position exists")
                     let pos = y_ids.iter().position(|a| a == attr).expect("attr in union");
                     y_cells[pos] = *cell;
                 }
@@ -151,6 +153,7 @@ impl MergedTableaux {
             values.extend(x_cells.iter().map(PatternValue::to_value));
             values.extend(y_cells.iter().map(PatternValue::to_value));
             rel.push(Tuple::new(values))
+                // wslint: allow(panic_path, "the row is built attribute-by-attribute to this same schema above")
                 .expect("joined row matches schema");
         }
         rel
@@ -185,6 +188,7 @@ impl MergedTableaux {
             values.push(Value::from(id.to_string()));
             values.extend(cells.iter().map(PatternValue::to_value));
             rel.push(Tuple::new(values))
+                // wslint: allow(panic_path, "the row is built attribute-by-attribute to this same schema above")
                 .expect("merged row matches schema");
         }
         rel

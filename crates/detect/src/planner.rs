@@ -341,11 +341,14 @@ impl Planner {
                 candidates.push((StepStrategy::IndexDriven, cost));
             }
 
+            // `candidates` always holds the Direct entry pushed above, but
+            // the planner must not be able to panic: fall back to Direct
+            // rather than unwrap.
             let (strategy, _) = candidates
                 .iter()
                 .copied()
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("at least one candidate");
+                .unwrap_or((StepStrategy::Direct, f64::INFINITY));
             let tableau_rows = group.iter().map(|&i| shapes[i].tableau_rows).sum();
             steps.push(PlanStep {
                 cfds: group,
@@ -576,7 +579,7 @@ fn scan_group_sharded(cfds: &[&Cfd], rel: &Relation, shards: usize, out: &mut Vi
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("planner shard worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect::<Vec<_>>()
     });
     for report in reports {

@@ -133,7 +133,7 @@ impl ShardedDetector {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect::<Vec<_>>()
         });
 

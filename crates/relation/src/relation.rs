@@ -134,6 +134,11 @@ impl Relation {
     }
 
     /// Appends a tuple after checking its arity.
+    ///
+    /// Takes the tuple by value: pushing *consumes* the row conceptually
+    /// (the columnar store keeps its ids), and the hundreds of call sites
+    /// build their tuples in place.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn push(&mut self, tuple: Tuple) -> Result<()> {
         self.push_ids(tuple.ids())
     }
@@ -187,6 +192,8 @@ impl Relation {
     /// Panics when `idx > len()`, mirroring [`Vec::insert`] — a position past
     /// the end is a caller bug, not a recoverable condition (arity mismatches,
     /// by contrast, are reported as errors like every other mutator does).
+    // By-value for the same reason as `push`: inserting consumes the row.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn insert_row(&mut self, idx: usize, tuple: Tuple) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
             return Err(RelationError::ArityMismatch {

@@ -217,6 +217,7 @@ impl SchemaBuilder {
     /// Finishes the schema, panicking on duplicate attribute names.
     /// Use [`SchemaBuilder::try_build`] for the fallible form.
     pub fn build(self) -> Schema {
+        // wslint: allow(panic_path, "documented panicking convenience constructor; try_build is the fallible form")
         self.try_build().expect("invalid schema")
     }
 

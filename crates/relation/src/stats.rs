@@ -107,6 +107,7 @@ impl NdvSketch {
         if self.mins.len() < self.k {
             return self.mins.len() as f64;
         }
+        // wslint: allow(panic_path, "guarded by the mins.len() < k early return above; k >= 2 by construction")
         let kth = *self.mins.last().expect("k >= 2 entries");
         // (k − 1) / fraction-of-hash-space covered by the k minima.
         let fraction = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);

@@ -353,6 +353,7 @@ impl<'a> Engine<'a> {
     /// Applies one cell edit: updates the relation, the per-CFD LHS indexes,
     /// the dirty-key sets and the modification log.
     fn apply_edit(&mut self, row: usize, attr: AttrId, new_id: ValueId) {
+        // wslint: allow(panic_path, "edits target rows of this same relation; planner never emits an out-of-range row")
         let old_cells: Vec<ValueId> = self.rel.row(row).expect("edit row in range").to_ids();
         let old_id = old_cells[attr.index()];
         if old_id == new_id {
@@ -381,6 +382,7 @@ impl<'a> Engine<'a> {
             if in_lhs {
                 let index = self.indexes[cfd_idx]
                     .as_mut()
+                    // wslint: allow(panic_path, "self.keyed[cfd_idx] was checked; keyed CFDs always carry an index")
                     .expect("keyed CFDs carry an index");
                 index.remove_row(row, &old_cells);
                 index.insert_row(row, &new_cells);
@@ -395,6 +397,7 @@ impl<'a> Engine<'a> {
     /// re-checking — used for the rows of conflicted classes, whose
     /// obligations were deliberately left unresolved this round.
     fn dirty_row_groups(&mut self, row: usize) {
+        // wslint: allow(panic_path, "rows come from this engine's own conflict bookkeeping, always in range")
         let cells: Vec<ValueId> = self.rel.row(row).expect("row in range").to_ids();
         for (cfd_idx, cfd) in self.cfds.iter().enumerate() {
             if !self.keyed[cfd_idx] {

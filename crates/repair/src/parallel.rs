@@ -181,7 +181,7 @@ pub(crate) fn plan_components(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("planning worker must not panic"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
     PlanOutput::merge(parts)
@@ -215,6 +215,7 @@ fn plan_chunk(
             None => {
                 model
                     .class_target_with(rel, &class.cells, scratch)
+                    // wslint: allow(panic_path, "classes are created non-empty and cells are only ever added")
                     .expect("a class always has at least one cell")
                     .0
             }
@@ -256,7 +257,11 @@ pub(crate) fn recheck_keys_sharded(
             .collect();
         let mut out = Vec::new();
         for handle in handles {
-            out.extend(handle.join().expect("recheck worker must not panic"));
+            out.extend(
+                handle
+                    .join()
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p)),
+            );
         }
         out
     })
@@ -289,7 +294,7 @@ pub(crate) fn all_groups_clean(cfd: &Cfd, rel: &Relation, index: &Index, workers
             .collect();
         handles
             .into_iter()
-            .all(|h| h.join().expect("clean-check worker must not panic"))
+            .all(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
     })
 }
 
@@ -319,7 +324,7 @@ pub(crate) fn build_indexes(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.map(|h| h.join().expect("index-build worker must not panic")))
+            .map(|h| h.map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))))
             .collect()
     })
 }

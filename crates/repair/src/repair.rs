@@ -445,12 +445,14 @@ impl Repairer {
             // Count the Y projections in this class and pick the plurality.
             let mut counts: HashMap<Vec<ValueId>, usize> = HashMap::new();
             for &row_idx in &w.rows {
+                // wslint: allow(panic_path, "witness rows were produced by detection over this same relation")
                 let key = rel.row(row_idx).expect("witness row in range");
                 *counts.entry(key.project_ids(cfd.rhs())).or_insert(0) += 1;
             }
             // Resolve each distinct key once, then pick the highest count,
             // breaking ties on the smallest resolved key (deterministic and
             // allocation-free inside the comparison loop).
+            // wslint: allow(hash_iteration, "order-independent: the plurality pick below is max_by with a total-order tie-break")
             let resolved: Vec<(Vec<ValueId>, usize, Vec<&Value>)> = counts
                 .into_iter()
                 .map(|(k, c)| {
@@ -691,7 +693,7 @@ mod tests {
         rel.push_values(vec!["a1".into(), "b8".into(), "c2".into()])
             .unwrap();
         let fd_ab = Cfd::fd(schema.clone(), ["A"], ["B"]).unwrap();
-        let cfd_cb = Cfd::builder(schema.clone(), ["C"], ["B"])
+        let cfd_cb = Cfd::builder(schema, ["C"], ["B"])
             .pattern(["c1"], ["b1"])
             .pattern(["c2"], ["b2"])
             .build()

@@ -24,6 +24,10 @@ pub enum ServeError {
     DuplicateTenant(String),
     /// The server is shutting down and no longer admits requests.
     ShutDown,
+    /// The OS refused to spawn a worker thread while building the pool
+    /// (resource exhaustion). Carries the OS error rendered as text so the
+    /// variant stays `Clone + Eq`.
+    Spawn(String),
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +37,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
             ServeError::DuplicateTenant(name) => write!(f, "tenant `{name}` already exists"),
             ServeError::ShutDown => write!(f, "server is shutting down"),
+            ServeError::Spawn(os) => write!(f, "cannot spawn a serve worker thread: {os}"),
         }
     }
 }
@@ -80,5 +85,11 @@ mod tests {
         assert!(dup.to_string().contains("already exists"));
 
         assert!(ServeError::ShutDown.to_string().contains("shutting down"));
+
+        let spawn = ServeError::Spawn("EAGAIN".into());
+        assert!(spawn.to_string().contains("cannot spawn"));
+        assert!(spawn.to_string().contains("EAGAIN"));
+        assert!(spawn.source().is_none());
+        assert!(!spawn.is_worker_panic());
     }
 }

@@ -10,7 +10,7 @@
 //! use std::sync::Arc;
 //!
 //! let engine = cfd::Engine::builder().rule_set(fig2_cfd_set()).build()?;
-//! let server = Server::new();
+//! let server = Server::new()?;
 //! server.create_tenant("acme", engine, Arc::new(cust_instance()))?;
 //!
 //! // Reads are served from the tenant's published snapshot — O(1), never

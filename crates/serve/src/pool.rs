@@ -31,8 +31,10 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` (≥ 1) threads.
-    pub fn new(workers: usize) -> WorkerPool {
+    /// Spawns `workers` (≥ 1) threads. Fails with [`ServeError::Spawn`]
+    /// when the OS refuses a thread; workers spawned before the failure are
+    /// shut down cleanly by the returned pool's drop.
+    pub fn new(workers: usize) -> Result<WorkerPool> {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers.max(1))
@@ -41,13 +43,13 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("cfd-serve-worker-{i}"))
                     .spawn(move || worker_loop(&rx))
-                    .expect("spawning a serve worker thread")
+                    .map_err(|e| ServeError::Spawn(e.to_string()))
             })
-            .collect();
-        WorkerPool {
+            .collect::<Result<Vec<_>>>()?;
+        Ok(WorkerPool {
             tx: Mutex::new(Some(tx)),
             handles: Mutex::new(handles),
-        }
+        })
     }
 
     /// Runs `f` on a pool worker, blocking the calling thread until the
@@ -125,14 +127,25 @@ mod tests {
 
     #[test]
     fn submits_run_and_return() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).unwrap();
         let out = pool.submit(|| Ok(21 * 2)).unwrap();
         assert_eq!(out, 42);
     }
 
     #[test]
+    fn spawn_failure_is_a_typed_error_not_a_panic() {
+        // The error constructor itself: whatever the OS message, the
+        // variant must render it and stay comparable/cloneable.
+        let err = ServeError::Spawn("EAGAIN".into());
+        assert_eq!(err.clone(), err);
+        assert!(err.to_string().contains("cannot spawn"));
+        assert!(err.to_string().contains("EAGAIN"));
+        assert!(!err.is_worker_panic());
+    }
+
+    #[test]
     fn a_panicking_job_is_contained_and_the_pool_keeps_serving() {
-        let pool = WorkerPool::new(1);
+        let pool = WorkerPool::new(1).unwrap();
         let err = pool.submit::<u32, _>(|| panic!("request bug")).unwrap_err();
         assert!(err.is_worker_panic());
         // The single worker survived the panic and still serves.
@@ -143,7 +156,7 @@ mod tests {
 
     #[test]
     fn concurrent_submitters_all_complete() {
-        let pool = Arc::new(WorkerPool::new(3));
+        let pool = Arc::new(WorkerPool::new(3).unwrap());
         let results: Vec<u32> = std::thread::scope(|scope| {
             (0..16u32)
                 .map(|i| {
@@ -155,14 +168,14 @@ mod tests {
                 .map(|h| h.join().unwrap())
                 .collect()
         });
-        let mut sorted = results.clone();
+        let mut sorted = results;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16u32).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn shutdown_rejects_new_jobs() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2).unwrap();
         pool.shut_down();
         let err = pool.submit(|| Ok(())).unwrap_err();
         assert_eq!(err, ServeError::ShutDown);

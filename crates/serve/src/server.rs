@@ -85,18 +85,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts a server with default [`ServerConfig`].
-    pub fn new() -> Server {
+    /// Starts a server with default [`ServerConfig`]. Fails with
+    /// [`ServeError::Spawn`] when the OS refuses a worker thread.
+    pub fn new() -> Result<Server> {
         Server::with_config(ServerConfig::default())
     }
 
     /// Starts a server with explicit tunables (each clamped to its
-    /// meaningful minimum: at least one worker, batches of at least one op).
-    pub fn with_config(config: ServerConfig) -> Server {
+    /// meaningful minimum: at least one worker, batches of at least one
+    /// op). Fails with [`ServeError::Spawn`] when the OS refuses a worker
+    /// thread instead of panicking mid-construction.
+    // Config by value: a builder-style constructor consumes its config
+    // (callers construct it inline); taking a reference would force a
+    // clone for no benefit on this cold path.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn with_config(config: ServerConfig) -> Result<Server> {
         let workers = config.workers.max(1);
-        Server {
+        Ok(Server {
             inner: Arc::new(Inner {
-                pool: WorkerPool::new(workers),
+                pool: WorkerPool::new(workers)?,
                 batch: BatchConfig {
                     max_batch_ops: config.max_batch_ops.max(1),
                     max_batch_delay: config.max_batch_delay,
@@ -108,7 +115,7 @@ impl Server {
                 repair_thread_cap: (available_cores() / workers).max(1),
                 tenants: RwLock::new(HashMap::new()),
             }),
-        }
+        })
     }
 
     /// The per-request worker-thread cap applied to every
@@ -262,12 +269,6 @@ impl Server {
     }
 }
 
-impl Default for Server {
-    fn default() -> Self {
-        Server::new()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +286,8 @@ mod tests {
             workers: 2,
             max_batch_ops: 64,
             max_batch_delay: Duration::ZERO,
-        });
+        })
+        .expect("spawn server pool");
         server
             .create_tenant(name, engine(), Arc::new(cust_instance()))
             .expect("create tenant");

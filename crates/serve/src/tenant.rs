@@ -258,7 +258,7 @@ impl Tenant {
                 std::mem::take(&mut pending.waiters),
             )
         };
-        let result = self.apply(ops);
+        let result = self.apply(&ops);
         for waiter in waiters {
             let _ = waiter.send(result.clone());
         }
@@ -270,13 +270,13 @@ impl Tenant {
     /// inside the lock scope: the session is rebuilt from the last
     /// published snapshot and the error is returned — the lock is released
     /// clean, not poisoned, and readers never notice.
-    fn apply(&self, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
+    fn apply(&self, ops: &[BatchOp]) -> Result<Arc<TenantSnapshot>> {
         let mut session = self.lock_writer()?;
         let applied = {
             let session = &mut *session;
             catch_unwind(AssertUnwindSafe(|| {
                 session
-                    .apply_batch(&ops)
+                    .apply_batch(ops)
                     .map(|report| (report, session.snapshot()))
             }))
         };
@@ -352,6 +352,7 @@ impl Tenant {
     /// published snapshot, and its next write recovers the lock.
     pub fn crash_holding_writer(&self) -> ! {
         let _guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // wslint: allow(panic_path, "deliberate fault injection; the containment tests exist to catch exactly this panic")
         panic!("injected tenant fault (holding the writer lock)");
     }
 }

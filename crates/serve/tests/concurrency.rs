@@ -92,7 +92,8 @@ fn hammer_interleaved_reads_and_writes_stay_byte_identical() {
         workers: 4,
         max_batch_ops: 8,
         max_batch_delay: Duration::from_millis(1),
-    });
+    })
+    .expect("spawn server pool");
     server
         .create_tenant("hammer", engine.clone(), base_rel)
         .expect("create tenant");
@@ -200,7 +201,8 @@ fn a_tenant_panic_never_propagates_across_tenants() {
         workers: 2,
         max_batch_ops: 16,
         max_batch_delay: Duration::ZERO,
-    });
+    })
+    .expect("spawn server pool");
     for (name, seed) in [("alpha", 21u64), ("bravo", 22), ("charlie", 23)] {
         let data = TaxGenerator::new(TaxConfig {
             size: 500,
@@ -268,7 +270,8 @@ fn concurrent_single_op_streams_coalesce_into_group_commits() {
         workers: 4,
         max_batch_ops: 4,
         max_batch_delay: Duration::from_millis(200),
-    });
+    })
+    .expect("spawn server pool");
     server
         .create_tenant("acme", engine.clone(), Arc::new(cust_instance()))
         .expect("create tenant");
@@ -323,7 +326,8 @@ fn concurrent_repairs_are_clamped_and_never_block_snapshot_reads() {
         workers: 2,
         max_batch_ops: 16,
         max_batch_delay: Duration::ZERO,
-    });
+    })
+    .expect("spawn server pool");
     // The clamp rule: an even split of the machine's cores across the
     // pool's workers, at least 1.
     let cores = cfd_detect::available_cores();
@@ -422,7 +426,8 @@ fn lifecycle_and_addressing_errors() {
         workers: 1,
         max_batch_ops: 4,
         max_batch_delay: Duration::ZERO,
-    });
+    })
+    .expect("spawn server pool");
     let unknown = |e: ServeError| matches!(e, ServeError::UnknownTenant(_));
 
     assert!(unknown(server.snapshot("ghost").unwrap_err()));

@@ -130,6 +130,7 @@ impl Expr {
             }
         }
         match flat.len() {
+            // wslint: allow(panic_path, "pop of a vec whose len was just matched as 1")
             1 => flat.pop().expect("len checked"),
             _ => Expr::And(flat),
         }
@@ -145,6 +146,7 @@ impl Expr {
             }
         }
         match flat.len() {
+            // wslint: allow(panic_path, "pop of a vec whose len was just matched as 1")
             1 => flat.pop().expect("len checked"),
             _ => Expr::Or(flat),
         }

@@ -80,6 +80,7 @@ impl<'a> Bindings<'a> {
         // unknown column; surface it loudly (as the pre-columnar index did).
         Ok(row
             .get(id)
+            // wslint: allow(panic_path, "schema resolved the column; a miss is a caller bug the comment above insists must be loud")
             .expect("bound row matches the schema it was bound with"))
     }
 }
@@ -196,7 +197,7 @@ mod tests {
             Expr::col("t", "B").eq(Expr::str("y")),
         ]);
         assert!(eval_predicate(&q, &b).unwrap());
-        assert!(!eval_predicate(&q.clone().not(), &b).unwrap());
+        assert!(!eval_predicate(&q.not(), &b).unwrap());
     }
 
     #[test]

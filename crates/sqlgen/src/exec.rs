@@ -511,7 +511,12 @@ fn probe_candidates<'a>(
 /// Returns (building and caching on first use) a hash index on `attrs`.
 fn index_for(index_cache: &IndexCache, rel: &Relation, attrs: &[AttrId]) -> Arc<Index> {
     let key = (rel.schema().name().to_owned(), attrs.to_vec());
-    let mut cache = index_cache.lock().expect("index cache poisoned");
+    // Poison recovery: the map only ever holds fully built indexes (an
+    // entry is inserted after `build_index` returns), so the state behind
+    // a poisoned lock is still valid — keep serving it.
+    let mut cache = index_cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(
         cache
             .entry(key)
@@ -676,6 +681,7 @@ impl Accumulator {
                 let mut out = Vec::new();
                 for key in order {
                     let (projection, distinct) =
+                        // wslint: allow(panic_path, "order and groups are inserted in lockstep; every ordered key has a group")
                         groups.remove(&key).expect("group recorded in order");
                     let passes = match &query.having {
                         Some(h) => distinct.len() as u64 > h.greater_than,

@@ -1,0 +1,408 @@
+//! A hand-rolled, dependency-free Rust lexer — token level only.
+//!
+//! The lexer produces a flat token stream that is exact about the things a
+//! text grep cannot be:
+//!
+//! * string, raw-string, byte-string and char literal *contents* never leak
+//!   tokens (`let x = ".unwrap()";` contains no `unwrap` identifier);
+//! * `//` inside a string literal does not start a comment;
+//! * block comments nest (`/* outer /* inner */ still comment */`);
+//! * `'a` lifetimes are distinguished from `'a'` char literals;
+//! * raw strings honour their `#` fences (`r#"..."#`, `r##"..."##`), and
+//!   raw identifiers (`r#match`) are not mistaken for raw strings.
+//!
+//! It is **not** a parser: there is no AST, no expression structure, no name
+//! resolution and no type information. Everything built on top of it
+//! (see [`crate::rules`]) is a heuristic over token patterns and says so.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `for`, `HashMap`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\''`, `b'\n'`).
+    CharLit,
+    /// A string or byte-string literal (`"…"`, `b"…"`).
+    StrLit,
+    /// A raw (byte) string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStrLit,
+    /// A numeric literal (`42`, `0xff`, `1.5e-3`, `2048usize`).
+    NumLit,
+    /// A `//`-to-end-of-line comment, including doc comments.
+    LineComment,
+    /// A (possibly nested) `/* … */` comment, including doc comments.
+    BlockComment,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One token: kind, exact source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a flat token stream. Never fails: unterminated literals
+/// or comments simply extend to the end of the input (the linter's job is
+/// to scan code that already compiles).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    toks: Vec<Token<'a>>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(c) = self.peek_char(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' => self.pos += 1,
+                '\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                '/' if self.peek_char(1) == Some('/') => {
+                    self.line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                '/' if self.peek_char(1) == Some('*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                '"' => {
+                    self.string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                }
+                '\'' => self.lifetime_or_char(start, line),
+                'r' | 'b' => self.maybe_prefixed_literal(start, line),
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::NumLit, start, line);
+                }
+                c if is_ident_start(c) => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                c => {
+                    self.pos += c.len_utf8();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek_char(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(ahead)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.toks.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    /// `// …` up to (not including) the newline.
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek_char(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    /// `/* … */` with nesting; counts contained newlines.
+    fn block_comment(&mut self) {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while let Some(c) = self.peek_char(0) {
+            if c == '/' && self.peek_char(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek_char(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += c.len_utf8();
+            }
+        }
+    }
+
+    /// A `"…"` body with escapes; counts contained newlines. The caller has
+    /// already decided this is a (byte) string.
+    fn string_body(&mut self) {
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek_char(0) {
+            match c {
+                '\\' => {
+                    self.pos += 1;
+                    if let Some(esc) = self.peek_char(0) {
+                        if esc == '\n' {
+                            self.line += 1;
+                        }
+                        self.pos += esc.len_utf8();
+                    }
+                }
+                '"' => {
+                    self.pos += 1;
+                    return;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += c.len_utf8(),
+            }
+        }
+    }
+
+    /// `r…`/`b…` might prefix a literal (`r"…"`, `r#"…"#`, `r#ident`,
+    /// `b'x'`, `b"…"`, `br##"…"##`) or just start an ordinary identifier.
+    fn maybe_prefixed_literal(&mut self, start: usize, line: u32) {
+        let mut ahead = 1; // past the `r`/`b`
+        let first = self.peek_char(0);
+        if first == Some('b') {
+            match self.peek_char(1) {
+                Some('\'') => {
+                    // b'…': a byte-char literal.
+                    self.pos += 2;
+                    self.char_tail();
+                    self.push(TokenKind::CharLit, start, line);
+                    return;
+                }
+                Some('"') => {
+                    // b"…": a byte-string literal.
+                    self.pos += 1;
+                    self.string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                    return;
+                }
+                Some('r') => ahead = 2, // maybe br"…" / br#"…"#
+                _ => {}
+            }
+        }
+        // At `r` (directly, or after a leading `b`): count `#` fences, then
+        // decide raw string vs raw identifier vs plain identifier.
+        if first == Some('r') || ahead == 2 {
+            let mut fences = 0usize;
+            while self.peek_char(ahead + fences) == Some('#') {
+                fences += 1;
+            }
+            match self.peek_char(ahead + fences) {
+                Some('"') => {
+                    self.pos += ahead + fences + 1;
+                    self.raw_string_tail(fences);
+                    self.push(TokenKind::RawStrLit, start, line);
+                    return;
+                }
+                Some(c) if fences == 1 && is_ident_start(c) => {
+                    // r#ident: a raw identifier, not a raw string.
+                    self.pos += ahead + fences;
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Just an identifier that happens to start with `r`/`b`.
+        self.ident();
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// The body of a raw string after the opening quote: runs to a `"`
+    /// followed by `fences` `#` characters. No escapes; newlines counted.
+    fn raw_string_tail(&mut self, fences: usize) {
+        while let Some(c) = self.peek_char(0) {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < fences && self.peek_char(1 + matched) == Some('#') {
+                    matched += 1;
+                }
+                if matched == fences {
+                    self.pos += 1 + fences;
+                    return;
+                }
+                self.pos += 1;
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += c.len_utf8();
+            }
+        }
+    }
+
+    /// After a bare `'`: a lifetime (`'a`, `'_`, `'static`) or a char
+    /// literal (`'a'`, `'\''`, `'∂'`). The discriminator: an ident run
+    /// directly followed by a closing `'` is a char literal; otherwise it is
+    /// a lifetime.
+    fn lifetime_or_char(&mut self, start: usize, line: u32) {
+        match self.peek_char(1) {
+            Some(c) if is_ident_start(c) => {
+                // Scan the ident run after the quote.
+                let mut ahead = 1;
+                while let Some(n) = self.peek_char(ahead) {
+                    if is_ident_continue(n) {
+                        ahead += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek_char(ahead) == Some('\'') {
+                    // 'x' (the run is one char for a valid literal).
+                    self.pos += 1;
+                    self.char_tail();
+                    self.push(TokenKind::CharLit, start, line);
+                } else {
+                    // 'lifetime — consume quote + ident run.
+                    for _ in 0..ahead {
+                        self.pos += self.peek_char(0).map_or(1, char::len_utf8);
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            _ => {
+                // '\n', '(', '1' … : a char literal.
+                self.pos += 1;
+                self.char_tail();
+                self.push(TokenKind::CharLit, start, line);
+            }
+        }
+    }
+
+    /// The rest of a char literal after the opening quote: one (possibly
+    /// escaped) char, then the closing quote.
+    fn char_tail(&mut self) {
+        if self.peek_char(0) == Some('\\') {
+            self.pos += 1;
+            if let Some(esc) = self.peek_char(0) {
+                self.pos += esc.len_utf8();
+                // \u{…} escapes: consume through the closing brace.
+                if esc == 'u' && self.peek_char(0) == Some('{') {
+                    while let Some(c) = self.peek_char(0) {
+                        self.pos += c.len_utf8();
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        } else if let Some(c) = self.peek_char(0) {
+            self.pos += c.len_utf8();
+        }
+        if self.peek_char(0) == Some('\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(c) = self.peek_char(0) {
+            if is_ident_continue(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Numbers: digits, `_` separators, radix prefixes, type suffixes and
+    /// simple float forms (`1.5`, `1e9`, `1.5e-3`). A trailing `.` that is
+    /// not followed by a digit (ranges, method calls) is left alone.
+    fn number(&mut self) {
+        while let Some(c) = self.peek_char(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let at_exponent = (c == 'e' || c == 'E')
+                    && matches!(self.peek_char(1), Some('+' | '-'))
+                    && matches!(self.peek_char(2), Some(d) if d.is_ascii_digit());
+                self.pos += 1;
+                if at_exponent {
+                    self.pos += 1; // the sign; digits follow normally
+                }
+            } else if c == '.' && matches!(self.peek_char(1), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "unwrap"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n\"two\nlines\"\nb /* x\ny */ c";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text.contains(text)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("two"), 2);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! `wslint` — the in-tree workspace linter.
+//!
+//! An offline, dependency-free static-analysis pass over every Rust source
+//! in this workspace. It machine-checks the cross-cutting invariants the
+//! repo's CHANGES.md documents but the compiler cannot see:
+//!
+//! * **poison_unwrap** — shared locks recover from poisoning instead of
+//!   cascading panics (`PoisonError::into_inner`), except in the two
+//!   sanctioned poison-recovery registries;
+//! * **hash_iteration** — report/plan/repair construction never leaks
+//!   `HashMap`/`HashSet` iteration order into canonical bytes;
+//! * **panic_path** — serve/detect/repair/relation/sqlgen request paths
+//!   return typed errors, never `unwrap`/`panic!`;
+//! * **thread_spawn** — unscoped threads only in the serving worker pool;
+//! * **parallelism_source** — one cached `available_parallelism` wrapper.
+//!
+//! # Scope, honestly
+//!
+//! This is a **token-level** checker, not a parser: the lexer
+//! ([`lexer::lex`]) understands strings, raw strings with `#` fences, char
+//! literals vs. lifetimes, nested block comments and doc comments — so a
+//! `.unwrap()` inside a string or doc example is never flagged — but the
+//! rules on top match token patterns, not resolved names. A `HashMap`
+//! hidden behind a type alias, or `std::thread::spawn` renamed through a
+//! `use … as`, will not be seen. That trade (no dependencies, a few
+//! hundred lines, zero build-time cost) is deliberate; the rules are
+//! tripwires for the idioms actually used in this codebase, with an
+//! allow-comment escape hatch that forces the justification into the diff:
+//!
+//! ```text
+//! // wslint: allow(panic_path, "index bounded by the loop over rel.len()")
+//! ```
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{lint_source, Allow, FileFindings, RuleInfo, Violation, RULES};

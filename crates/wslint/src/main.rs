@@ -1,0 +1,151 @@
+//! The `wslint` binary: walks the workspace sources, lints every file,
+//! writes `LINT_REPORT.json`, prints human diagnostics, and exits non-zero
+//! on any unexcused violation.
+//!
+//! Usage: `wslint [--root DIR] [--report FILE]`
+//! Defaults: root = current directory, report = `<root>/LINT_REPORT.json`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wslint::report::render_json;
+use wslint::rules::{lint_source, Allow, Violation, RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a file path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let report_path = report_path.unwrap_or_else(|| root.join("LINT_REPORT.json"));
+
+    let files = match collect_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("wslint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut excused = 0usize;
+    let mut scanned = 0usize;
+    for (path, rel, test_file) in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("wslint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        let findings = lint_source(rel, &src, *test_file);
+        violations.extend(findings.violations);
+        allows.extend(findings.allows);
+        excused += findings.excused;
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let json = render_json(scanned, &violations, &allows);
+    if let Err(e) = std::fs::write(&report_path, json) {
+        eprintln!("wslint: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    for v in &violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
+    }
+    eprintln!(
+        "wslint: {} files, {} violation(s), {} allow(s), {} excused — report at {}",
+        scanned,
+        violations.len(),
+        allows.len(),
+        excused,
+        report_path.display()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wslint: rules in force:");
+        for r in RULES {
+            eprintln!("  {:20} {}", r.name, r.summary);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("wslint: {msg}\nusage: wslint [--root DIR] [--report FILE]");
+    ExitCode::from(2)
+}
+
+/// Collects every `.rs` file under `crates/*/src`, `crates/*/tests`,
+/// `crates/*/benches`, `src/`, and `tests/`, sorted for deterministic
+/// output. Returns `(absolute path, workspace-relative path, is test
+/// context)` triples; bench and test trees count as test context.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String, bool)>> {
+    let mut out = Vec::new();
+    let mut roots: Vec<(PathBuf, bool)> =
+        vec![(root.join("src"), false), (root.join("tests"), true)];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for c in crates {
+            roots.push((c.join("src"), false));
+            roots.push((c.join("tests"), true));
+            roots.push((c.join("benches"), true));
+        }
+    }
+    for (dir, test_ctx) in roots {
+        if dir.is_dir() {
+            walk(root, &dir, test_ctx, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    test_ctx: bool,
+    out: &mut Vec<(PathBuf, String, bool)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(root, &path, test_ctx, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((path.clone(), rel, test_ctx));
+        }
+    }
+    Ok(())
+}

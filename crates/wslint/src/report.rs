@@ -1,0 +1,106 @@
+//! Machine-readable output: a hand-rolled JSON writer for
+//! `LINT_REPORT.json` (no serde — the linter is deliberately
+//! dependency-free).
+
+use crate::rules::{Allow, Violation, RULES};
+
+/// Renders the full lint report as a JSON document.
+pub fn render_json(files_scanned: usize, violations: &[Violation], allows: &[Allow]) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"wslint\",\n");
+    s.push_str("  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(r.name));
+    }
+    s.push_str("],\n");
+    s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str(&format!("  \"violation_count\": {},\n", violations.len()));
+    s.push_str(&format!("  \"allow_count\": {},\n", allows.len()));
+
+    s.push_str("  \"allow_count_by_rule\": {");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let n = allows.iter().filter(|a| a.rule == r.name).count();
+        s.push_str(&format!("{}: {n}", json_str(r.name)));
+    }
+    s.push_str("},\n");
+
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}}}{}\n",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.excerpt),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"allows\": [\n");
+    for (i, a) in allows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+            json_str(&a.rule),
+            json_str(&a.file),
+            a.line,
+            json_str(&a.reason),
+            if i + 1 < allows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_is_parseable_shape() {
+        let v = Violation {
+            rule: "panic_path",
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            excerpt: "x.unwrap()".into(),
+        };
+        let json = render_json(1, &[v], &[]);
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"rule\": \"panic_path\""));
+    }
+}

@@ -36,7 +36,7 @@ fn main() {
         workload.single(EmbeddedFd::StateMaritalToExemption, 100, 100.0),
         workload.single(EmbeddedFd::StateSalaryToTax, 50, 100.0),
     ];
-    let data = Arc::new(generated.relation.clone());
+    let data = Arc::new(generated.relation);
 
     // Per-CFD query pairs (2 × |Σ| passes) vs the merged pair (2 passes) vs
     // 4-way parallel detection vs the cost-based planner: one compiled

@@ -25,6 +25,7 @@ pub struct EngineConfig {
     detector: DetectorKind,
     strategy: Strategy,
     repair: RepairConfig,
+    minimize: bool,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +34,7 @@ impl Default for EngineConfig {
             detector: DetectorKind::Direct,
             strategy: Strategy::default(),
             repair: RepairConfig::default(),
+            minimize: false,
         }
     }
 }
@@ -58,6 +60,12 @@ impl EngineConfig {
     /// policy, placeholder typing).
     pub fn repair(&self) -> &RepairConfig {
         &self.repair
+    }
+
+    /// Whether [`Engine::builder`](crate::Engine::builder) replaces the rule
+    /// set with its minimal cover before compiling plans.
+    pub fn minimize_rules(&self) -> bool {
+        self.minimize
     }
 }
 
@@ -122,6 +130,24 @@ impl EngineConfigBuilder {
     /// `true`).
     pub fn typed_placeholders(mut self, typed: bool) -> Self {
         self.config.repair.typed_placeholders = typed;
+        self
+    }
+
+    /// Whether to replace Σ with its minimal cover (the paper's MINCOVER,
+    /// Section 3.3) at [`Engine`](crate::Engine) build time, before plans
+    /// are compiled (default `false`).
+    ///
+    /// The cover is equivalent to Σ — an instance is clean under the cover
+    /// iff it is clean under Σ — so detection's *verdict* and repair's
+    /// fixpoint are unaffected, while redundant rules stop costing plan
+    /// steps and scans. Note the *report* is keyed by the rules that remain:
+    /// removing a redundant CFD whose LHS differs from its witnesses'
+    /// (e.g. a transitively implied FD) also removes the violation keys only
+    /// that CFD produced. Byte-identical reports are guaranteed when every
+    /// removed rule shares its LHS with a kept rule (duplicates,
+    /// pattern-specialized rows of the same embedded FD).
+    pub fn minimize_rules(mut self, minimize: bool) -> Self {
+        self.config.minimize = minimize;
         self
     }
 

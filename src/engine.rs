@@ -204,8 +204,14 @@ impl EngineBuilder {
     /// tableau relation (plus the merged pair when configured) exactly once;
     /// sessions only ever *bind* these plans to data.
     pub fn build(self) -> Result<Engine> {
-        let rules = CfdSet::from_cfds(self.rules)?;
+        let mut rules = CfdSet::from_cfds(self.rules)?;
         rules.ensure_consistent()?;
+        // With minimize_rules configured, compile the minimal cover instead
+        // of Σ itself (MINCOVER, Section 3.3): equivalent by implication,
+        // fewer plans to compile and fewer steps to execute.
+        if self.config.minimize_rules() {
+            rules = rules.minimal_cover()?;
+        }
 
         let plans: Vec<CfdPlan> = rules
             .iter()

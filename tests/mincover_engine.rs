@@ -1,0 +1,191 @@
+//! MinCover wired into the engine (`EngineConfigBuilder::minimize_rules`).
+//!
+//! Two guarantees, each with the precision it actually has:
+//!
+//! 1. **Byte-identical reports under same-LHS redundancy.** When every rule
+//!    the cover removes shares its LHS with a kept rule — exact duplicates,
+//!    or pattern rows already implied by a kept tableau over the same
+//!    embedded FD — the violation report of the minimized engine is
+//!    byte-for-byte the report of the original Σ (the `QV` key space is
+//!    untouched). Checked on seeded randomized tax workloads.
+//!
+//! 2. **Fewer plan steps on transitively redundant sets.** A rule whose LHS
+//!    differs from every other rule's (e.g. `AB → C` alongside `B → C`)
+//!    costs the cost-based planner its own `PlanStep`; MinCover removes it
+//!    and the compiled plan shrinks. (Same-LHS duplicates would *not* show
+//!    this — the planner fuses same-LHS groups into one step anyway, which
+//!    is exactly why this test uses distinct-LHS redundancy.)
+
+use cfd::{DetectorKind, Engine, EngineConfig};
+use cfd_core::Cfd;
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_relation::{Relation, Schema, Tuple, Value};
+use std::sync::Arc;
+
+fn minimized_config() -> EngineConfig {
+    EngineConfig::builder()
+        .minimize_rules(true)
+        .build()
+        .expect("valid config")
+}
+
+/// Engine-built report for `rules` over `data`, optionally minimized.
+fn report(rules: &[Cfd], data: &Arc<Relation>, minimize: bool) -> (usize, Vec<u8>) {
+    let mut builder = Engine::builder().rules(rules.iter().cloned());
+    if minimize {
+        builder = builder.config(minimized_config());
+    }
+    let engine = builder.build().expect("consistent rules");
+    let kept = engine.rules().len();
+    let bytes = engine
+        .detect(Arc::clone(data))
+        .expect("detection succeeds")
+        .canonical_bytes();
+    (kept, bytes)
+}
+
+/// Seeded randomized workloads: Σ plus same-LHS redundancy (duplicates and
+/// subset tableaux) must minimize to fewer rules while the report stays
+/// byte-identical — to the redundant set's own report *and* to plain Σ's.
+#[test]
+fn minimized_reports_are_byte_identical_on_randomized_workloads() {
+    let mut dirty = 0usize;
+    for round in 0u64..6 {
+        let data = Arc::new(
+            TaxGenerator::new(TaxConfig {
+                size: 300 + (round as usize) * 110,
+                noise_percent: [0.0, 4.0, 9.0][round as usize % 3],
+                seed: 40 + round,
+            })
+            .generate()
+            .relation,
+        );
+        let w = CfdWorkload::new(round * 17 + 3);
+        // Independent embedded FDs (zip→state, area→city): neither implies
+        // anything about the other, so the cover only ever removes the
+        // same-LHS redundancy we add below.
+        let phi1 = w.single(EmbeddedFd::ZipToState, 30 + (round as usize) * 9, 70.0);
+        let phi2 = w.single(EmbeddedFd::AreaToCity, 25, 40.0);
+        let base = vec![phi1.clone(), phi2.clone()];
+
+        // Same-LHS redundancy: exact duplicates, plus a third copy of φ1
+        // (every one of its pattern rows is already implied row-for-row).
+        let redundant = vec![
+            phi1.clone(),
+            phi2.clone(),
+            phi1.clone(),
+            phi2.clone(),
+            phi1.clone(),
+        ];
+
+        let (n_orig, bytes_orig) = report(&redundant, &data, false);
+        let (n_min, bytes_min) = report(&redundant, &data, true);
+        let (_, bytes_base) = report(&base, &data, false);
+
+        assert!(
+            n_min < n_orig,
+            "round {round}: cover must shrink the redundant set ({n_min} !< {n_orig})"
+        );
+        assert_eq!(
+            bytes_min, bytes_orig,
+            "round {round}: minimized report must be byte-identical to the redundant set's"
+        );
+        assert_eq!(
+            bytes_min, bytes_base,
+            "round {round}: minimized report must be byte-identical to plain Σ's"
+        );
+        if !bytes_min.is_empty() {
+            dirty += 1;
+        }
+    }
+    assert!(dirty > 0, "the sweep must include dirty workloads");
+}
+
+fn abc_schema() -> Schema {
+    Schema::builder("r").text("A").text("B").text("C").build()
+}
+
+fn abc_instance() -> Relation {
+    let mut rel = Relation::new(abc_schema());
+    for row in [
+        ["a1", "b1", "c1"],
+        ["a1", "b1", "c1"],
+        ["a2", "b2", "c2"],
+        ["a2", "b2", "c9"], // violates B→C (and AB→C) in b2's group
+        ["a3", "b1", "c1"],
+    ] {
+        rel.push(Tuple::new(row.iter().map(|&v| Value::from(v)).collect()))
+            .expect("row matches schema");
+    }
+    rel
+}
+
+/// `AB → C` is implied by `B → C` but has its own (distinct) LHS, so the
+/// unminimized planner pays a step for it; MinCover removes it.
+#[test]
+fn minimized_rule_set_plans_fewer_steps() {
+    let schema = abc_schema();
+    let rules = [
+        Cfd::fd(schema.clone(), ["A"], ["B"]).expect("valid FD"),
+        Cfd::fd(schema.clone(), ["B"], ["C"]).expect("valid FD"),
+        Cfd::fd(schema, ["A", "B"], ["C"]).expect("valid FD"),
+    ];
+    let data = Arc::new(abc_instance());
+
+    let steps = |minimize: bool| {
+        let config = EngineConfig::builder()
+            .detector(DetectorKind::Auto)
+            .minimize_rules(minimize)
+            .build()
+            .expect("valid config");
+        let engine = Engine::builder()
+            .rules(rules.iter().cloned())
+            .config(config)
+            .build()
+            .expect("consistent rules");
+        let mut session = engine.session(Arc::clone(&data)).expect("session");
+        let report = session.detect().expect("detection succeeds");
+        let steps = session
+            .detection_plan()
+            .expect("Auto keeps its plan")
+            .steps()
+            .len();
+        (steps, report.canonical_bytes(), engine.rules().len())
+    };
+
+    let (steps_orig, _, n_orig) = steps(false);
+    let (steps_min, _, n_min) = steps(true);
+    assert_eq!(n_orig, 3);
+    assert_eq!(n_min, 2, "cover must drop the implied AB→C");
+    assert!(
+        steps_min < steps_orig,
+        "minimized plan must have fewer steps ({steps_min} !< {steps_orig})"
+    );
+
+    // Verdict equivalence (the general guarantee): clean iff clean. The
+    // dropped AB→C keys its witnesses differently, so full byte identity is
+    // not promised here — emptiness agreement is.
+    let clean = Arc::new({
+        let mut rel = Relation::new(abc_schema());
+        for row in [["a1", "b1", "c1"], ["a2", "b2", "c2"]] {
+            rel.push(Tuple::new(row.iter().map(|&v| Value::from(v)).collect()))
+                .expect("row matches schema");
+        }
+        rel
+    });
+    for minimize in [false, true] {
+        let mut builder = Engine::builder().rules(rules.iter().cloned());
+        if minimize {
+            builder = builder.config(minimized_config());
+        }
+        let engine = builder.build().expect("consistent rules");
+        assert!(
+            engine
+                .detect(Arc::clone(&clean))
+                .expect("detection succeeds")
+                .is_clean(),
+            "minimize={minimize}: clean instance must stay clean"
+        );
+    }
+}
