@@ -69,6 +69,7 @@ fn server() -> Server {
         workers: 4,
         max_batch_ops: 64,
         max_batch_delay: Duration::from_millis(1),
+        ..ServerConfig::default()
     })
     .expect("spawn server pool")
 }

@@ -22,6 +22,13 @@ pub enum ServeError {
     UnknownTenant(String),
     /// A tenant with this name already exists.
     DuplicateTenant(String),
+    /// The tenant is at its per-tenant admission limit
+    /// ([`ServerConfig::max_inflight`](crate::ServerConfig::max_inflight)):
+    /// that many pool-executed requests are already in flight for it.
+    /// Load shedding, not a fault — the tenant is healthy; retry once some
+    /// of its in-flight work drains. Snapshot reads are never shed (they
+    /// bypass the pool).
+    TenantBusy(String),
     /// The server is shutting down and no longer admits requests.
     ShutDown,
     /// The OS refused to spawn a worker thread while building the pool
@@ -36,6 +43,11 @@ impl fmt::Display for ServeError {
             ServeError::Cfd(e) => write!(f, "engine error: {e}"),
             ServeError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
             ServeError::DuplicateTenant(name) => write!(f, "tenant `{name}` already exists"),
+            ServeError::TenantBusy(name) => write!(
+                f,
+                "tenant `{name}` is at its admission limit (too many requests in flight); \
+                 retry after in-flight work drains"
+            ),
             ServeError::ShutDown => write!(f, "server is shutting down"),
             ServeError::Spawn(os) => write!(f, "cannot spawn a serve worker thread: {os}"),
         }
@@ -83,6 +95,12 @@ mod tests {
 
         let dup = ServeError::DuplicateTenant("acme".into());
         assert!(dup.to_string().contains("already exists"));
+
+        let busy = ServeError::TenantBusy("acme".into());
+        assert!(busy.to_string().contains("acme"));
+        assert!(busy.to_string().contains("admission limit"));
+        assert!(busy.source().is_none());
+        assert!(!busy.is_worker_panic());
 
         assert!(ServeError::ShutDown.to_string().contains("shutting down"));
 

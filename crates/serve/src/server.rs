@@ -10,6 +10,7 @@ use cfd_detect::{BatchOp, Violations};
 use cfd_relation::Relation;
 use cfd_repair::{RepairKind, RepairResult};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
@@ -29,6 +30,15 @@ pub struct ServerConfig {
     /// immediately, still merging whatever arrived while the previous flush
     /// ran). Defaults to 1 ms.
     pub max_batch_delay: Duration,
+    /// Per-tenant admission quota: at most this many pool-executed requests
+    /// ([`Server::detect_fresh`], [`Server::repair`], [`Server::stream`])
+    /// may be in flight for any one tenant; excess requests are shed
+    /// immediately with [`ServeError::TenantBusy`] instead of queueing, so
+    /// one hot tenant cannot occupy the whole shared pool and starve the
+    /// others. Snapshot reads ([`Server::detect`], [`Server::snapshot`])
+    /// bypass the pool and are never shed. Defaults to `usize::MAX`
+    /// (unlimited).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +47,7 @@ impl Default for ServerConfig {
             workers: available_cores(),
             max_batch_ops: 256,
             max_batch_delay: Duration::from_millis(1),
+            max_inflight: usize::MAX,
         }
     }
 }
@@ -47,6 +58,8 @@ struct Inner {
     /// Per-request worker-thread cap for repair fan-out — see
     /// [`Server::repair_thread_cap`].
     repair_thread_cap: usize,
+    /// Per-tenant admission quota — see [`ServerConfig::max_inflight`].
+    max_inflight: usize,
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
 }
 
@@ -113,6 +126,7 @@ impl Server {
                 // claim without starving concurrent requests of other
                 // tenants.
                 repair_thread_cap: (available_cores() / workers).max(1),
+                max_inflight: config.max_inflight.max(1),
                 tenants: RwLock::new(HashMap::new()),
             }),
         })
@@ -150,10 +164,48 @@ impl Server {
             }
         }
         let batch = self.inner.batch;
+        let max_inflight = self.inner.max_inflight;
         let tenant = self
             .inner
             .pool
-            .submit(move || Tenant::open(engine, data, batch))?;
+            .submit(move || Tenant::open(engine, data, batch, max_inflight))?;
+        self.register_tenant(name, tenant)
+    }
+
+    /// Creates a **disk-backed** tenant served from the store directory
+    /// `dir`: an empty store is created on first use, and an existing one is
+    /// recovered (WAL replay) and served as-is — this is also the restart
+    /// path after a crash. The initial full detection runs on the pool and
+    /// its report is published as generation 0.
+    ///
+    /// Every write to the tenant ([`Server::stream`]) is durable when the
+    /// caller gets its snapshot back — see the durability contract on
+    /// `cfd::store::ColumnStore`. Fails with
+    /// [`ServeError::DuplicateTenant`] if the name is taken.
+    pub fn create_tenant_on_disk(
+        &self,
+        name: impl Into<String>,
+        engine: Engine,
+        dir: impl AsRef<Path>,
+    ) -> Result<Arc<TenantSnapshot>> {
+        let name = name.into();
+        {
+            let tenants = self.read_tenants();
+            if tenants.contains_key(&name) {
+                return Err(ServeError::DuplicateTenant(name));
+            }
+        }
+        let batch = self.inner.batch;
+        let max_inflight = self.inner.max_inflight;
+        let dir = dir.as_ref().to_path_buf();
+        let tenant = self
+            .inner
+            .pool
+            .submit(move || Tenant::open_from_dir(engine, &dir, batch, max_inflight))?;
+        self.register_tenant(name, tenant)
+    }
+
+    fn register_tenant(&self, name: String, tenant: Tenant) -> Result<Arc<TenantSnapshot>> {
         let tenant = Arc::new(tenant);
         let snapshot = tenant.published();
         let mut tenants = self.write_tenants();
@@ -198,9 +250,15 @@ impl Server {
     /// From-scratch detection over the tenant's published snapshot with the
     /// engine's configured detector, executed on the pool — the expensive
     /// verification path ([`Server::detect`] must agree byte-for-byte).
-    pub fn detect_fresh(&self, tenant: &str) -> Result<Violations> {
-        let tenant = self.tenant(tenant)?;
-        self.inner.pool.submit(move || tenant.detect_from_scratch())
+    /// Sheds with [`ServeError::TenantBusy`] when the tenant is at its
+    /// [`ServerConfig::max_inflight`] quota.
+    pub fn detect_fresh(&self, name: &str) -> Result<Violations> {
+        let tenant = self.tenant(name)?;
+        let permit = tenant.admit(name)?;
+        self.inner.pool.submit(move || {
+            let _permit = permit;
+            tenant.detect_from_scratch()
+        })
     }
 
     /// Repairs the tenant's published snapshot on the pool. A pure read:
@@ -208,18 +266,31 @@ impl Server {
     /// returned to the caller.
     /// The repair's worker fan-out is clamped by
     /// [`Server::repair_thread_cap`]; the clamp never changes the result.
-    pub fn repair(&self, tenant: &str, kind: RepairKind) -> Result<RepairResult> {
-        let tenant = self.tenant(tenant)?;
+    /// Sheds with [`ServeError::TenantBusy`] when the tenant is at its
+    /// [`ServerConfig::max_inflight`] quota.
+    pub fn repair(&self, name: &str, kind: RepairKind) -> Result<RepairResult> {
+        let tenant = self.tenant(name)?;
+        let permit = tenant.admit(name)?;
         let cap = self.inner.repair_thread_cap;
-        self.inner.pool.submit(move || tenant.repair(kind, cap))
+        self.inner.pool.submit(move || {
+            let _permit = permit;
+            tenant.repair(kind, cap)
+        })
     }
 
     /// Streams write ops into a tenant, coalescing with concurrent writers
     /// into micro-batches (see [`ServerConfig`]), and returns the snapshot
     /// published by the flush containing these ops.
-    pub fn stream(&self, tenant: &str, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
-        let tenant = self.tenant(tenant)?;
-        self.inner.pool.submit(move || tenant.stream(ops))
+    /// Sheds with [`ServeError::TenantBusy`] when the tenant is at its
+    /// [`ServerConfig::max_inflight`] quota (shed ops are **not** applied —
+    /// resubmit the whole request).
+    pub fn stream(&self, name: &str, ops: Vec<BatchOp>) -> Result<Arc<TenantSnapshot>> {
+        let tenant = self.tenant(name)?;
+        let permit = tenant.admit(name)?;
+        self.inner.pool.submit(move || {
+            let _permit = permit;
+            tenant.stream(ops)
+        })
     }
 
     /// Fault injection for tests and benches: runs a request against
@@ -231,9 +302,14 @@ impl Server {
     /// returns, the faulted tenant still serves its published snapshot, its
     /// next write recovers the poisoned lock transparently, and every other
     /// tenant is untouched.
-    pub fn inject_worker_panic(&self, tenant: &str) -> Result<()> {
-        let tenant = self.tenant(tenant)?;
+    pub fn inject_worker_panic(&self, name: &str) -> Result<()> {
+        let tenant = self.tenant(name)?;
+        let permit = tenant.admit(name)?;
         self.inner.pool.submit(move || {
+            // The permit must release even though this job panics: it rides
+            // the closure's unwind, which is exactly what the admission
+            // quota's leak-freedom contract requires.
+            let _permit = permit;
             tenant.crash_holding_writer();
         })
     }
@@ -286,6 +362,7 @@ mod tests {
             workers: 2,
             max_batch_ops: 64,
             max_batch_delay: Duration::ZERO,
+            ..ServerConfig::default()
         })
         .expect("spawn server pool");
         server
@@ -360,6 +437,108 @@ mod tests {
         assert_eq!(snap.generation(), 1);
         let fresh = server.detect_fresh("acme").unwrap();
         assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn a_tenant_at_its_quota_sheds_with_tenant_busy() {
+        let server = Server::with_config(ServerConfig {
+            workers: 2,
+            max_batch_ops: 64,
+            max_batch_delay: Duration::ZERO,
+            max_inflight: 1,
+        })
+        .expect("spawn server pool");
+        server
+            .create_tenant("acme", engine(), Arc::new(cust_instance()))
+            .expect("create tenant");
+        // Occupy the tenant's single admission slot directly, then watch
+        // every pool-executed request shed deterministically.
+        let tenant = server.tenant("acme").unwrap();
+        let permit = tenant.admit("acme").unwrap();
+        let busy = ServeError::TenantBusy("acme".into());
+        assert_eq!(server.detect_fresh("acme").unwrap_err(), busy);
+        assert_eq!(
+            server.repair("acme", RepairKind::EquivClass).unwrap_err(),
+            busy
+        );
+        let row = cust_instance().to_tuples()[0].clone();
+        assert_eq!(
+            server
+                .stream("acme", vec![BatchOp::Insert(row.clone())])
+                .unwrap_err(),
+            busy
+        );
+        // Shedding is not a fault: snapshot reads keep working throughout,
+        // and releasing the slot restores full service.
+        assert!(!server.detect("acme").unwrap().is_clean());
+        drop(permit);
+        let snap = server.stream("acme", vec![BatchOp::Insert(row)]).unwrap();
+        assert_eq!(snap.generation(), 1);
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn a_contained_panic_releases_its_admission_slot() {
+        let server = Server::with_config(ServerConfig {
+            workers: 2,
+            max_batch_ops: 64,
+            max_batch_delay: Duration::ZERO,
+            max_inflight: 1,
+        })
+        .expect("spawn server pool");
+        server
+            .create_tenant("acme", engine(), Arc::new(cust_instance()))
+            .expect("create tenant");
+        let err = server.inject_worker_panic("acme").unwrap_err();
+        assert!(err.is_worker_panic());
+        // The panicked request's permit was released by unwinding: the
+        // single slot is free again.
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(
+            server.detect("acme").unwrap().canonical_bytes(),
+            fresh.canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn disk_tenants_persist_across_drop_and_recreate() {
+        let dir =
+            std::env::temp_dir().join(format!("cfd-serve-server-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = server_with_tenant("other");
+        server
+            .create_tenant_on_disk("acme", engine(), &dir)
+            .expect("create disk tenant");
+        assert_eq!(
+            server
+                .create_tenant_on_disk("acme", engine(), &dir)
+                .unwrap_err(),
+            ServeError::DuplicateTenant("acme".into())
+        );
+        let ops: Vec<BatchOp> = cust_instance()
+            .to_tuples()
+            .into_iter()
+            .map(BatchOp::Insert)
+            .collect();
+        let snap = server.stream("acme", ops).unwrap();
+        assert_eq!(snap.relation().len(), cust_instance().len());
+        assert!(!snap.report().is_clean());
+        // Drop the tenant (closing its store) and re-create it from the
+        // same directory: the committed data and its report survive.
+        server.drop_tenant("acme").unwrap();
+        let recovered = server
+            .create_tenant_on_disk("acme", engine(), &dir)
+            .expect("reopen disk tenant");
+        assert_eq!(recovered.relation().len(), cust_instance().len());
+        let fresh = server.detect_fresh("acme").unwrap();
+        assert_eq!(
+            recovered.report().canonical_bytes(),
+            fresh.canonical_bytes()
+        );
+        server.drop_tenant("acme").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,9 +33,13 @@
 //! # Failure containment
 //!
 //! A panic during a flush is caught *inside* the writer lock scope, the
-//! session is rebuilt from the last published snapshot (cheap: sessions are
-//! lazy), and every waiter of that batch receives
-//! [`cfd::Error::WorkerPanicked`]. The published snapshot is untouched —
+//! session is rebuilt — from the last published snapshot for in-memory
+//! tenants (cheap: sessions are lazy), or by reopening the store directory
+//! (WAL replay) for disk-backed ones — and every waiter of that batch
+//! receives [`cfd::Error::WorkerPanicked`]. A merely *rejected* batch
+//! (validation error) triggers no rebuild at all: `Session::apply_batch`
+//! is failure-atomic, so the session and all its prepared state stay
+//! valid. The published snapshot is untouched —
 //! readers keep being served — and the next write starts from known-good
 //! state. An injected fault that panics while *holding* the writer lock
 //! (see [`Tenant::crash_holding_writer`]) additionally exercises mutex
@@ -48,6 +52,8 @@ use cfd_detect::{BatchOp, Violations};
 use cfd_relation::Relation;
 use cfd_repair::{RepairKind, RepairResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
@@ -110,9 +116,33 @@ struct Pending {
     leader: bool,
 }
 
+/// An RAII admission slot of one tenant: acquired (via [`Tenant::admit`])
+/// before a pool-executed request is submitted, released when the request
+/// finishes — whether it returned, errored, or panicked (the permit moves
+/// into the job closure, so unwinding drops it too).
+#[derive(Debug)]
+pub(crate) struct AdmissionPermit {
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 pub(crate) struct Tenant {
     engine: Engine,
     batch: BatchConfig,
+    /// Store directory of a disk-backed tenant (`None` = in-memory). Panic
+    /// recovery reopens the session from here instead of rebuilding from
+    /// the published snapshot, so recovery replays the WAL.
+    dir: Option<PathBuf>,
+    /// Pool-executed requests currently in flight for this tenant.
+    inflight: Arc<AtomicUsize>,
+    /// Admission quota: [`Tenant::admit`] sheds requests beyond this many
+    /// in flight (`usize::MAX` = unlimited).
+    max_inflight: usize,
     /// The authoritative write-side session. Serialized; poisoning is
     /// recovered by rebuilding from the published snapshot.
     writer: Mutex<Session>,
@@ -124,15 +154,55 @@ pub(crate) struct Tenant {
 }
 
 impl Tenant {
-    /// Opens a tenant: schema-checks `data` against the engine, primes the
-    /// write-side stream state, and publishes generation 0 (the full report
-    /// of `data`).
-    pub fn open(engine: Engine, data: Arc<Relation>, batch: BatchConfig) -> Result<Tenant> {
+    /// Opens an in-memory tenant: schema-checks `data` against the engine,
+    /// primes the write-side stream state, and publishes generation 0 (the
+    /// full report of `data`).
+    pub fn open(
+        engine: Engine,
+        data: Arc<Relation>,
+        batch: BatchConfig,
+        max_inflight: usize,
+    ) -> Result<Tenant> {
         let mut session = engine.session(data).map_err(ServeError::from)?;
         // An empty batch primes the incremental detector and returns the
         // complete report of the current instance.
         let report = session.apply_batch(&[]).map_err(ServeError::from)?;
-        let relation = session.snapshot();
+        Tenant::from_session(engine, session, report, batch, None, max_inflight)
+    }
+
+    /// Opens a **disk-backed** tenant from its store directory: creates the
+    /// store on first open, recovers it (WAL replay, torn-tail truncation)
+    /// on every later one, runs the initial full detection over the store,
+    /// and publishes generation 0. The directory is remembered — panic
+    /// recovery reopens the session from disk rather than from the
+    /// published snapshot.
+    pub fn open_from_dir(
+        engine: Engine,
+        dir: &Path,
+        batch: BatchConfig,
+        max_inflight: usize,
+    ) -> Result<Tenant> {
+        let mut session = engine.session_on_disk(dir).map_err(ServeError::from)?;
+        let report = session.detect().map_err(ServeError::from)?;
+        Tenant::from_session(
+            engine,
+            session,
+            report,
+            batch,
+            Some(dir.to_path_buf()),
+            max_inflight,
+        )
+    }
+
+    fn from_session(
+        engine: Engine,
+        mut session: Session,
+        report: Violations,
+        batch: BatchConfig,
+        dir: Option<PathBuf>,
+        max_inflight: usize,
+    ) -> Result<Tenant> {
+        let relation = session.snapshot().map_err(ServeError::from)?;
         let snapshot = Arc::new(TenantSnapshot {
             relation,
             report: Arc::new(report),
@@ -141,6 +211,9 @@ impl Tenant {
         Ok(Tenant {
             engine,
             batch,
+            dir,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            max_inflight,
             writer: Mutex::new(session),
             published: RwLock::new(snapshot),
             pending: Mutex::new(Pending {
@@ -150,6 +223,27 @@ impl Tenant {
             }),
             batch_grew: Condvar::new(),
         })
+    }
+
+    /// Takes an admission slot for one pool-executed request, shedding with
+    /// [`ServeError::TenantBusy`] once `max_inflight` requests are already
+    /// in flight for this tenant. The returned permit releases the slot on
+    /// drop — including by unwinding, so a panicking request never leaks
+    /// its slot.
+    pub fn admit(&self, name: &str) -> Result<AdmissionPermit> {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if admitted {
+            Ok(AdmissionPermit {
+                inflight: Arc::clone(&self.inflight),
+            })
+        } else {
+            Err(ServeError::TenantBusy(name.to_string()))
+        }
     }
 
     /// The currently published snapshot (cheap: clones one `Arc` under a
@@ -277,7 +371,7 @@ impl Tenant {
             catch_unwind(AssertUnwindSafe(|| {
                 session
                     .apply_batch(ops)
-                    .map(|report| (report, session.snapshot()))
+                    .and_then(|report| Ok((report, session.snapshot()?)))
             }))
         };
         match applied {
@@ -298,10 +392,11 @@ impl Tenant {
                 Ok(snapshot)
             }
             Ok(Err(e)) => {
-                // A rejected batch (arity mismatch, …) may have been
-                // half-applied by the stream engine: reset to the last
-                // published (known-good) state before reporting it.
-                self.reset_session(&mut session)?;
+                // A rejected batch (arity mismatch, …) is failure-atomic at
+                // the session layer: nothing was applied and every prepared
+                // cache (indexes, plans, statistics) is still valid. Do NOT
+                // reset the session — rebuilding it here would throw that
+                // prepared state away on every malformed request.
                 Err(ServeError::Cfd(e))
             }
             Err(_panic) => {
@@ -328,12 +423,25 @@ impl Tenant {
         }
     }
 
-    /// Rebuilds the writer session from the last published snapshot —
-    /// the recovery step after a panic or a rejected batch. Cheap: sessions
-    /// are lazy, and the published relation `Arc` is shared, not cloned.
+    /// Rebuilds the writer session — the recovery step after a panic.
+    /// In-memory tenants rebuild from the last published snapshot (cheap:
+    /// sessions are lazy, and the published relation `Arc` is shared, not
+    /// cloned). Disk-backed tenants reopen from their store directory, so
+    /// recovery goes through the store's own crash protocol (WAL replay):
+    /// the recovered state is whatever was durably committed.
+    ///
+    /// Rejected batches do **not** come through here: `Session::apply_batch`
+    /// is failure-atomic, so an `Err` leaves the session untouched and
+    /// resetting would only discard valid prepared state.
     fn reset_session(&self, session: &mut Session) -> Result<()> {
+        // Replace (and thereby drop) the old session first: a disk-backed
+        // session's store must close — flushing its final checkpoint —
+        // before a new store opens the same files.
         let relation = Arc::clone(&self.published().relation);
         *session = self.engine.session(relation).map_err(ServeError::from)?;
+        if let Some(dir) = &self.dir {
+            *session = self.engine.session_on_disk(dir).map_err(ServeError::from)?;
+        }
         Ok(())
     }
 
@@ -363,18 +471,26 @@ mod tests {
     use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
     use cfd_relation::Tuple;
 
-    fn tenant() -> Tenant {
-        let engine = Engine::builder()
+    fn engine() -> Engine {
+        Engine::builder()
             .rule_set(fig2_cfd_set())
             .build()
-            .expect("fig2 rules are consistent");
+            .expect("fig2 rules are consistent")
+    }
+
+    fn tenant() -> Tenant {
+        tenant_with_quota(usize::MAX)
+    }
+
+    fn tenant_with_quota(max_inflight: usize) -> Tenant {
         Tenant::open(
-            engine,
+            engine(),
             Arc::new(cust_instance()),
             BatchConfig {
                 max_batch_ops: 64,
                 max_batch_delay: Duration::ZERO,
             },
+            max_inflight,
         )
         .expect("schema matches")
     }
@@ -405,7 +521,7 @@ mod tests {
     }
 
     #[test]
-    fn a_rejected_batch_resets_to_the_published_state() {
+    fn a_rejected_batch_is_failure_atomic() {
         let tenant = tenant();
         let good = cust_instance().to_tuples()[0].clone();
         let err = tenant
@@ -416,14 +532,71 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::Cfd(_)));
         // Nothing from the failed batch leaked: still generation 0, and the
-        // next (valid) batch applies cleanly on the recovered session.
+        // next (valid) batch applies cleanly on the *same*, untouched
+        // session — a rejected batch triggers no session rebuild.
         let snap = tenant.published();
         assert_eq!(snap.generation(), 0);
         assert_eq!(snap.relation().len(), cust_instance().len());
         let snap = tenant.stream(vec![BatchOp::Insert(good)]).unwrap();
         assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.relation().len(), cust_instance().len() + 1);
         let fresh = tenant.detect_from_scratch().unwrap();
         assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+    }
+
+    #[test]
+    fn admission_permits_shed_beyond_the_quota_and_release_on_drop() {
+        let tenant = tenant_with_quota(2);
+        let a = tenant.admit("acme").unwrap();
+        let _b = tenant.admit("acme").unwrap();
+        let busy = tenant.admit("acme").unwrap_err();
+        assert_eq!(busy, ServeError::TenantBusy("acme".into()));
+        drop(a);
+        let _c = tenant.admit("acme").expect("dropped permit frees a slot");
+        assert!(tenant.admit("acme").is_err());
+    }
+
+    #[test]
+    fn a_disk_backed_tenant_persists_across_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("cfd-serve-tenant-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = BatchConfig {
+            max_batch_ops: 64,
+            max_batch_delay: Duration::ZERO,
+        };
+        let row = cust_instance().to_tuples()[0].clone();
+        {
+            let tenant = Tenant::open_from_dir(engine(), &dir, batch, usize::MAX).unwrap();
+            assert_eq!(
+                tenant.published().relation().len(),
+                0,
+                "fresh store is empty"
+            );
+            let mut ops: Vec<BatchOp> = cust_instance()
+                .to_tuples()
+                .into_iter()
+                .map(BatchOp::Insert)
+                .collect();
+            ops.push(BatchOp::Insert(row.clone()));
+            let snap = tenant.stream(ops).unwrap();
+            assert_eq!(snap.relation().len(), cust_instance().len() + 1);
+        }
+        // Reopen: generation restarts at 0, but the committed data — and
+        // its report — survived.
+        let tenant = Tenant::open_from_dir(engine(), &dir, batch, usize::MAX).unwrap();
+        let snap = tenant.published();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.relation().len(), cust_instance().len() + 1);
+        let fresh = tenant.detect_from_scratch().unwrap();
+        assert_eq!(snap.report().canonical_bytes(), fresh.canonical_bytes());
+        // Writes keep working after recovery.
+        let snap = tenant.stream(vec![BatchOp::Delete(row)]).unwrap();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.relation().len(), cust_instance().len());
+        drop(tenant);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn hammer_interleaved_reads_and_writes_stay_byte_identical() {
         workers: 4,
         max_batch_ops: 8,
         max_batch_delay: Duration::from_millis(1),
+        ..ServerConfig::default()
     })
     .expect("spawn server pool");
     server
@@ -201,6 +202,7 @@ fn a_tenant_panic_never_propagates_across_tenants() {
         workers: 2,
         max_batch_ops: 16,
         max_batch_delay: Duration::ZERO,
+        ..ServerConfig::default()
     })
     .expect("spawn server pool");
     for (name, seed) in [("alpha", 21u64), ("bravo", 22), ("charlie", 23)] {
@@ -270,6 +272,7 @@ fn concurrent_single_op_streams_coalesce_into_group_commits() {
         workers: 4,
         max_batch_ops: 4,
         max_batch_delay: Duration::from_millis(200),
+        ..ServerConfig::default()
     })
     .expect("spawn server pool");
     server
@@ -326,6 +329,7 @@ fn concurrent_repairs_are_clamped_and_never_block_snapshot_reads() {
         workers: 2,
         max_batch_ops: 16,
         max_batch_delay: Duration::ZERO,
+        ..ServerConfig::default()
     })
     .expect("spawn server pool");
     // The clamp rule: an even split of the machine's cores across the
@@ -426,6 +430,7 @@ fn lifecycle_and_addressing_errors() {
         workers: 1,
         max_batch_ops: 4,
         max_batch_delay: Duration::ZERO,
+        ..ServerConfig::default()
     })
     .expect("spawn server pool");
     let unknown = |e: ServeError| matches!(e, ServeError::UnknownTenant(_));

@@ -1,0 +1,165 @@
+//! The typed error surface of the storage layer.
+//!
+//! Every fallible store operation returns [`StoreError`] — I/O failures are
+//! captured with the operation and path that raised them (the underlying
+//! `std::io::Error` is flattened to its message so the error stays `Clone`
+//! and comparable, like every other error type of the workspace), and
+//! on-disk corruption is reported as the typed [`StoreError::Corrupt`]
+//! variant rather than a panic: a store must survive torn writes, partial
+//! records and stray bytes by *reporting*, never by unwrapping.
+
+use cfd_relation::RelationError;
+use std::fmt;
+use std::path::Path;
+
+/// Convenient result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// The error type of the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure, tagged with the failed operation
+    /// and the file it targeted.
+    Io {
+        /// What the store was doing (`"open"`, `"read"`, `"write"`,
+        /// `"sync"`, `"rename"`, …).
+        op: &'static str,
+        /// The file or directory the operation targeted.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// On-disk state failed validation (bad magic, CRC mismatch beyond the
+    /// recoverable torn tail, impossible counters, dictionary ids out of
+    /// range).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// The store directory holds data for a different schema than the one
+    /// it is being opened against.
+    SchemaMismatch {
+        /// Schema name recorded in the store's metadata.
+        stored: String,
+        /// Schema name the caller offered.
+        offered: String,
+    },
+    /// The buffer pool cannot make room: every resident frame is pinned.
+    /// Seen only under a pool smaller than the working set of one access —
+    /// configure at least a handful of pages.
+    PoolExhausted {
+        /// The configured pool capacity, in pages.
+        capacity: usize,
+    },
+    /// A batch or edit referenced a row or attribute the store does not
+    /// have, or carried the wrong arity. Raised by upfront validation,
+    /// **before** any byte is logged or written — rejected batches leave
+    /// the store untouched.
+    InvalidOp {
+        /// What was out of range or malformed.
+        detail: String,
+    },
+    /// An error bubbled up from the relational substrate while
+    /// materializing rows.
+    Relation(RelationError),
+}
+
+impl StoreError {
+    /// Wraps an `std::io::Error` with the operation and path that raised it.
+    pub(crate) fn io(op: &'static str, path: &Path, e: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// A corruption finding on `path`.
+    pub(crate) fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, message } => {
+                write!(f, "store io error: {op} {path}: {message}")
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "store corruption in {path}: {detail}")
+            }
+            StoreError::SchemaMismatch { stored, offered } => write!(
+                f,
+                "store schema mismatch: directory holds `{stored}`, opened with `{offered}`"
+            ),
+            StoreError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frame(s) pinned")
+            }
+            StoreError::InvalidOp { detail } => write!(f, "invalid store op: {detail}"),
+            StoreError::Relation(e) => write!(f, "store relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for StoreError {
+    fn from(e: RelationError) -> Self {
+        StoreError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operation_and_path() {
+        let e = StoreError::io(
+            "read",
+            Path::new("/tmp/x/pages.dat"),
+            &std::io::Error::other("boom"),
+        );
+        let text = e.to_string();
+        assert!(text.contains("read"));
+        assert!(text.contains("pages.dat"));
+        assert!(text.contains("boom"));
+        assert_eq!(e.clone(), e);
+    }
+
+    #[test]
+    fn variants_render_their_payloads() {
+        let c = StoreError::corrupt(Path::new("wal.log"), "crc mismatch");
+        assert!(c.to_string().contains("crc mismatch"));
+        let s = StoreError::SchemaMismatch {
+            stored: "cust".into(),
+            offered: "tax".into(),
+        };
+        assert!(s.to_string().contains("cust"));
+        assert!(s.to_string().contains("tax"));
+        let p = StoreError::PoolExhausted { capacity: 4 };
+        assert!(p.to_string().contains('4'));
+        let i = StoreError::InvalidOp {
+            detail: "arity 3 != 7".into(),
+        };
+        assert!(i.to_string().contains("arity"));
+        let r: StoreError = RelationError::Parse("bad".into()).into();
+        assert!(matches!(r, StoreError::Relation(_)));
+        use std::error::Error as _;
+        assert!(r.source().is_some());
+        assert!(p.source().is_none());
+    }
+}

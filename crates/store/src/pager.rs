@@ -1,0 +1,169 @@
+//! The pager: fixed-size pages over one data file.
+//!
+//! The data file is a flat array of [`PAGE_BYTES`]-byte pages holding raw
+//! little-endian `u32` cells (store-local dictionary ids — see
+//! [`Dict`](crate::dict::Dict)). Page numbers are **computed**, never
+//! looked up: the [`ColumnStore`](crate::ColumnStore) addresses page
+//! `chunk * arity + attr`, so the file needs no page directory and grows by
+//! appending. Reading past the current end of the file yields zeroed pages
+//! (the pager is append-consistent: a page is only ever read back after the
+//! cells in it were written through the pool, and recovery rewrites every
+//! cell of the replayed tail).
+
+use crate::error::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Cells per page. 1024 × 4-byte cells = 4 KiB pages.
+pub const PAGE_CELLS: usize = 1024;
+/// Bytes per page.
+pub const PAGE_BYTES: usize = PAGE_CELLS * 4;
+
+/// One open data file addressed in fixed-size pages.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    path: PathBuf,
+    /// Number of whole pages currently in the file. A partial tail page
+    /// (torn final write) is treated as absent and overwritten on the next
+    /// write to it.
+    pages: u64,
+    /// Reused byte buffer for page transfers.
+    scratch: Vec<u8>,
+}
+
+impl Pager {
+    /// Opens (creating if absent) the data file at `path`.
+    pub fn open(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StoreError::io("open", path, &e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::io("stat", path, &e))?
+            .len();
+        Ok(Pager {
+            file,
+            path: path.to_path_buf(),
+            pages: len / PAGE_BYTES as u64,
+            scratch: vec![0u8; PAGE_BYTES],
+        })
+    }
+
+    /// Number of whole pages in the file.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Reads page `id` into `cells` (must hold [`PAGE_CELLS`] cells).
+    /// Pages at or past the end of the file read as zeros.
+    pub fn read_page(&mut self, id: u64, cells: &mut [u32]) -> Result<()> {
+        debug_assert_eq!(cells.len(), PAGE_CELLS);
+        if id >= self.pages {
+            cells.fill(0);
+            return Ok(());
+        }
+        self.file
+            .seek(SeekFrom::Start(id * PAGE_BYTES as u64))
+            .map_err(|e| StoreError::io("seek", &self.path, &e))?;
+        self.file
+            .read_exact(&mut self.scratch)
+            .map_err(|e| StoreError::io("read", &self.path, &e))?;
+        for (i, cell) in cells.iter_mut().enumerate() {
+            let o = i * 4;
+            *cell = u32::from_le_bytes([
+                self.scratch[o],
+                self.scratch[o + 1],
+                self.scratch[o + 2],
+                self.scratch[o + 3],
+            ]);
+        }
+        Ok(())
+    }
+
+    /// Writes page `id` from `cells`, extending the file as needed. Pages
+    /// between the current end and `id` become zero-filled holes (sparse
+    /// where the filesystem supports it) — they are always written before
+    /// being read back, because columns grow in lockstep.
+    pub fn write_page(&mut self, id: u64, cells: &[u32]) -> Result<()> {
+        debug_assert_eq!(cells.len(), PAGE_CELLS);
+        for (i, cell) in cells.iter().enumerate() {
+            self.scratch[i * 4..i * 4 + 4].copy_from_slice(&cell.to_le_bytes());
+        }
+        self.file
+            .seek(SeekFrom::Start(id * PAGE_BYTES as u64))
+            .map_err(|e| StoreError::io("seek", &self.path, &e))?;
+        self.file
+            .write_all(&self.scratch)
+            .map_err(|e| StoreError::io("write", &self.path, &e))?;
+        self.pages = self.pages.max(id + 1);
+        Ok(())
+    }
+
+    /// Flushes the data file's contents to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io("sync", &self.path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cfd-pager-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("pages.dat")
+    }
+
+    #[test]
+    fn pages_round_trip_and_persist() {
+        let path = tmp("roundtrip");
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.pages(), 0);
+        let mut page = vec![0u32; PAGE_CELLS];
+        for (i, c) in page.iter_mut().enumerate() {
+            *c = i as u32 * 3 + 1;
+        }
+        pager.write_page(2, &page).unwrap();
+        assert_eq!(pager.pages(), 3);
+        pager.sync().unwrap();
+        drop(pager);
+
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.pages(), 3);
+        let mut back = vec![0u32; PAGE_CELLS];
+        pager.read_page(2, &mut back).unwrap();
+        assert_eq!(back, page);
+        // The hole pages read as zeros, as does anything past the end.
+        pager.read_page(0, &mut back).unwrap();
+        assert!(back.iter().all(|&c| c == 0));
+        pager.read_page(99, &mut back).unwrap();
+        assert!(back.iter().all(|&c| c == 0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn a_torn_tail_page_is_ignored() {
+        let path = tmp("torn");
+        let mut pager = Pager::open(&path).unwrap();
+        let page = vec![7u32; PAGE_CELLS];
+        pager.write_page(0, &page).unwrap();
+        drop(pager);
+        // Simulate a torn append: half a page of garbage at the end.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&vec![0xAB; PAGE_BYTES / 2]).unwrap();
+        drop(f);
+        let pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.pages(), 1, "partial tail page does not count");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! The streaming violation scan over a [`ColumnStore`].
+//!
+//! Replicates the semantics of the in-memory detector's row-hash scan
+//! (`detect_rows_rowhash` in `cfd-detect`) one column chunk at a time:
+//! per chunk, the LHS/RHS column pages are read through the buffer pool
+//! into scratch vectors, cells are translated store id → runtime id, and
+//! the same `QC`/`QV` group logic runs per live slot. Page memory is
+//! therefore bounded by the pool while the algorithmic state (one group
+//! entry per distinct LHS key) is the same as the in-memory path's.
+//!
+//! Because [`Violations`] is a pair of ordered sets, scan order cannot
+//! influence the report — the result is **byte-identical**
+//! ([`Violations::canonical_bytes`]) to detecting over
+//! [`ColumnStore::materialize`]'d data, which the differential tests pin.
+
+use crate::error::Result;
+use crate::pager::PAGE_CELLS;
+use crate::store::ColumnStore;
+use cfd_core::Cfd;
+use cfd_detect::Violations;
+use cfd_relation::ValueId;
+use std::collections::HashMap;
+
+/// Per-LHS-key state, mirroring the in-memory scan's fused verdict +
+/// distinct-`Y` tracking.
+enum GroupState {
+    /// No pattern row matches this LHS key — `QV` never applies.
+    Unmatched,
+    /// Matched; every row so far shares this one `Y` projection.
+    OneY(Vec<ValueId>),
+    /// Matched; at least two distinct `Y` projections seen — a violation.
+    ManyY,
+}
+
+/// Scans the whole store for violations of one CFD.
+pub(crate) fn scan_store(store: &mut ColumnStore, cfd: &Cfd) -> Result<Violations> {
+    let lhs: Vec<u32> = cfd.lhs().iter().map(|a| a.index() as u32).collect();
+    let rhs: Vec<u32> = cfd.rhs().iter().map(|a| a.index() as u32).collect();
+    let mut out = Violations::new();
+    let mut groups: HashMap<Vec<ValueId>, GroupState> = HashMap::new();
+    let mut qc_slots: Vec<u64> = Vec::new();
+    let mut lhs_cols: Vec<Vec<u32>> = vec![Vec::new(); lhs.len()];
+    let mut rhs_cols: Vec<Vec<u32>> = vec![Vec::new(); rhs.len()];
+    let mut x_scratch: Vec<ValueId> = Vec::with_capacity(lhs.len());
+    let mut y_scratch: Vec<ValueId> = Vec::with_capacity(rhs.len());
+
+    let slots = store.slots();
+    let chunks = slots.div_ceil(PAGE_CELLS as u64);
+    for chunk in 0..chunks {
+        for (k, &attr) in lhs.iter().enumerate() {
+            store.read_chunk(chunk, attr, &mut lhs_cols[k])?;
+        }
+        for (k, &attr) in rhs.iter().enumerate() {
+            store.read_chunk(chunk, attr, &mut rhs_cols[k])?;
+        }
+        let base = chunk * PAGE_CELLS as u64;
+        let end = (base + PAGE_CELLS as u64).min(slots);
+        for slot in base..end {
+            if store.is_dead(slot) {
+                continue;
+            }
+            let off = (slot - base) as usize;
+            x_scratch.clear();
+            for col in &lhs_cols {
+                x_scratch.push(store.translate(col[off])?);
+            }
+            y_scratch.clear();
+            for col in &rhs_cols {
+                y_scratch.push(store.translate(col[off])?);
+            }
+            // QC: matches a pattern on X but contradicts a constant on Y.
+            for pattern in cfd.tableau().iter() {
+                if pattern.lhs_matches_ids(&x_scratch) && !pattern.rhs_matches_ids(&y_scratch) {
+                    qc_slots.push(slot);
+                    break;
+                }
+            }
+            // QV: group by X among pattern-matched keys, compare distinct Y.
+            match groups.get_mut(x_scratch.as_slice()) {
+                Some(state) => {
+                    if let GroupState::OneY(first) = state {
+                        if *first != y_scratch {
+                            *state = GroupState::ManyY;
+                        }
+                    }
+                }
+                None => {
+                    let matched = cfd.tableau().iter().any(|p| p.lhs_matches_ids(&x_scratch));
+                    let state = if matched {
+                        GroupState::OneY(y_scratch.clone())
+                    } else {
+                        GroupState::Unmatched
+                    };
+                    groups.insert(x_scratch.clone(), state);
+                }
+            }
+        }
+    }
+    for (key, state) in groups {
+        if matches!(state, GroupState::ManyY) {
+            out.add_multi_tuple_key(key.iter().map(|id| id.resolve().clone()).collect());
+        }
+    }
+    // Post-pass: materialize the few QC-violating tuples with point reads.
+    let arity = store.schema().arity();
+    for slot in qc_slots {
+        let mut values = Vec::with_capacity(arity);
+        for attr in 0..arity {
+            values.push(store.read_id(slot, attr as u32)?.resolve().clone());
+        }
+        out.add_constant_violation(values);
+    }
+    Ok(out)
+}

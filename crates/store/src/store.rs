@@ -1,0 +1,601 @@
+//! [`ColumnStore`]: the disk-backed columnar instance.
+//!
+//! # Layout of a store directory
+//!
+//! | file        | contents |
+//! |-------------|----------|
+//! | `pages.dat` | fixed-size pages of `u32` store-id cells ([`Pager`]) |
+//! | `dict.dat`  | append-only value dictionary ([`Dict`](crate::dict::Dict)) |
+//! | `wal.log`   | commit records since the last checkpoint ([`Wal`](crate::wal::Wal)) |
+//! | `meta.dat`  | one CRC-framed checkpoint record (schema, slot counts, tombstones) |
+//!
+//! Columns live in **chunk runs**: the cells of attribute `a` for slots
+//! `[c·1024, (c+1)·1024)` occupy page `c · arity + a`, so any column chunk
+//! is one computed page and columns grow in lockstep without a directory.
+//!
+//! # Commit protocol (WAL-before-apply)
+//!
+//! [`ColumnStore::apply_batch`] and [`ColumnStore::set_cells`]:
+//!
+//! 1. validate every op up front — a rejected batch mutates **nothing**;
+//! 2. register all new values in the dictionary and fsync it;
+//! 3. append one commit record to the WAL and fsync it — *the commit
+//!    point*, one fsync per (group-committed) batch;
+//! 4. apply the ops to pages through the buffer pool (no fsync — eviction
+//!    writebacks and the next checkpoint carry them to disk).
+//!
+//! A crash after step 3 loses nothing: open replays the WAL, rewriting
+//! every cell the batch touched. A crash before step 3 loses exactly the
+//! batches that never reported success (a torn tail record is truncated).
+//! Page writes from step 4 that reached disk for an *uncommitted* batch are
+//! harmless — its slots lie at or past the durable slot watermark and the
+//! replayed tail rewrites everything below it.
+//!
+//! # Checkpoints
+//!
+//! When the WAL exceeds [`StoreOptions::wal_checkpoint_bytes`] (and on
+//! drop), the store checkpoints: dictionary fsync → dirty-page flush →
+//! data-file fsync → atomic `meta.dat` replace (tmp + rename + directory
+//! fsync) → WAL truncate. Recovery always ends with a checkpoint, so a
+//! reopened store starts with an empty log.
+
+use crate::dict::Dict;
+use crate::encode::{frame, put_str, put_u32, put_u64, put_value, scan_frames, take_value, Reader};
+use crate::error::{Result, StoreError};
+use crate::pager::{Pager, PAGE_CELLS};
+use crate::pool::{BufferPool, PoolStats};
+use crate::scan::scan_store;
+use crate::wal::{StoreOp, Wal};
+use cfd_core::Cfd;
+use cfd_detect::{BatchOp, Violations};
+use cfd_relation::{AttrType, Domain, Relation, RelationError, Schema, Value, ValueId};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+const META_MAGIC: u32 = 0x4346_4453; // "CFDS"
+const META_VERSION: u32 = 1;
+
+/// Tuning knobs of a [`ColumnStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Buffer-pool capacity in pages (clamped to at least 2). The store's
+    /// page memory never exceeds this — out-of-core scans hold
+    /// `peak_resident <= pool_pages`.
+    pub pool_pages: usize,
+    /// WAL size that triggers a checkpoint after a commit.
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            pool_pages: 256,
+            wal_checkpoint_bytes: 4 << 20,
+        }
+    }
+}
+
+/// A durable, bounded-memory columnar store for one relation.
+///
+/// # Durability contract
+///
+/// * [`ColumnStore::apply_batch`] and [`ColumnStore::set_cells`] return
+///   only after their commit record is fsynced to the WAL: a batch that
+///   reported success is replayed verbatim by any later
+///   [`ColumnStore::open_or_create`], whatever the process did afterwards (crash,
+///   `abort()`, power cut between fsyncs).
+/// * Both are **failure-atomic**: a batch rejected by validation leaves
+///   the store (disk and memory) exactly as it was.
+/// * Detection over a recovered store is byte-identical
+///   ([`Violations::canonical_bytes`]) to detection over a store that
+///   applied the same committed batches without crashing.
+/// * Batches durable at the moment of a crash = exactly those counted by
+///   [`ColumnStore::committed_batches`] after recovery, a prefix of the
+///   apply order.
+pub struct ColumnStore {
+    dir: PathBuf,
+    schema: Schema,
+    arity: usize,
+    pager: Pager,
+    pool: BufferPool,
+    dict: Dict,
+    wal: Wal,
+    /// Physical slots ever allocated (live + tombstoned).
+    slots: u64,
+    /// Tombstoned slots, ordered for deterministic iteration.
+    dead: BTreeSet<u64>,
+    /// Committed batches so far == next WAL sequence number.
+    committed: u64,
+    wal_checkpoint_bytes: u64,
+}
+
+impl std::fmt::Debug for ColumnStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnStore")
+            .field("dir", &self.dir)
+            .field("schema", &self.schema.name())
+            .field("slots", &self.slots)
+            .field("dead", &self.dead.len())
+            .field("committed", &self.committed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ColumnStore {
+    /// Opens the store at `dir`, creating an empty one when no `meta.dat`
+    /// exists yet. An existing store's persisted schema must equal the
+    /// offered one ([`StoreError::SchemaMismatch`] otherwise). Opening
+    /// replays any WAL tail and finishes with a checkpoint, so recovery is
+    /// complete before this returns.
+    pub fn open_or_create(dir: &Path, schema: &Schema, opts: StoreOptions) -> Result<ColumnStore> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io("mkdir", dir, &e))?;
+        let meta_path = dir.join("meta.dat");
+        let meta = if meta_path.exists() {
+            let stored = read_meta(&meta_path)?;
+            if stored.schema != *schema {
+                return Err(StoreError::SchemaMismatch {
+                    stored: describe_schema(&stored.schema),
+                    offered: describe_schema(schema),
+                });
+            }
+            stored
+        } else {
+            let meta = Meta {
+                schema: schema.clone(),
+                slots: 0,
+                committed: 0,
+                dead: BTreeSet::new(),
+            };
+            write_meta(dir, &meta_path, &meta)?;
+            meta
+        };
+        let pager = Pager::open(&dir.join("pages.dat"))?;
+        let dict = Dict::open(&dir.join("dict.dat"))?;
+        let (wal, tail) = Wal::open(&dir.join("wal.log"))?;
+        let mut store = ColumnStore {
+            dir: dir.to_path_buf(),
+            arity: meta.schema.arity(),
+            schema: meta.schema,
+            pager,
+            pool: BufferPool::new(opts.pool_pages),
+            dict,
+            wal,
+            slots: meta.slots,
+            dead: meta.dead,
+            committed: meta.committed,
+            wal_checkpoint_bytes: opts.wal_checkpoint_bytes,
+        };
+        let replayed = !tail.is_empty();
+        for (seq, ops) in tail {
+            if seq != store.committed {
+                return Err(StoreError::corrupt(
+                    &store.dir.join("wal.log"),
+                    format!(
+                        "commit sequence gap: expected {}, found {seq}",
+                        store.committed
+                    ),
+                ));
+            }
+            store.apply_ops(&ops)?;
+            store.committed += 1;
+        }
+        if replayed {
+            store.checkpoint()?;
+        }
+        Ok(store)
+    }
+
+    /// The stored schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live tuples (slots minus tombstones).
+    pub fn len(&self) -> usize {
+        (self.slots - self.dead.len() as u64) as usize
+    }
+
+    /// `true` when the store holds no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical slots ever allocated, including tombstoned ones.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Batches durably committed so far — after recovery, exactly the
+    /// prefix of applied batches whose `apply_batch`/`set_cells` call
+    /// reported success before the crash.
+    pub fn committed_batches(&self) -> u64 {
+        self.committed
+    }
+
+    /// Buffer-pool accounting — `peak_resident` is the store's page-memory
+    /// high-water mark.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The physical slot of each live row, in live-row order. Index `r` of
+    /// the returned vector is the slot backing row `r` of
+    /// [`ColumnStore::materialize`]'s relation — the mapping a repair
+    /// commit uses to turn row edits into [`ColumnStore::set_cells`] ops.
+    pub fn live_slots(&self) -> Vec<u64> {
+        let mut dead = self.dead.iter().copied().peekable();
+        let mut out = Vec::with_capacity(self.len());
+        for slot in 0..self.slots {
+            if dead.peek() == Some(&slot) {
+                dead.next();
+                continue;
+            }
+            out.push(slot);
+        }
+        out
+    }
+
+    /// Durably applies one batch of inserts/deletes. See the type-level
+    /// durability contract; group commit makes this one WAL fsync
+    /// regardless of the batch size.
+    pub fn apply_batch(&mut self, ops: &[BatchOp]) -> Result<()> {
+        let mut store_ops = Vec::with_capacity(ops.len());
+        for op in ops {
+            let tuple = match op {
+                BatchOp::Insert(t) | BatchOp::Delete(t) => t,
+            };
+            // Same error the in-memory stream path raises, so a session is
+            // backend-transparent even in how it rejects a malformed batch.
+            if tuple.arity() != self.arity {
+                return Err(StoreError::Relation(RelationError::ArityMismatch {
+                    expected: self.arity,
+                    got: tuple.arity(),
+                }));
+            }
+            store_ops.push(match op {
+                BatchOp::Insert(t) => StoreOp::Insert(t.to_values()),
+                BatchOp::Delete(t) => StoreOp::Delete(t.to_values()),
+            });
+        }
+        self.commit(&store_ops)
+    }
+
+    /// Durably overwrites cells of live slots — the logged form of a
+    /// repair's edits, committed as one batch (one WAL fsync).
+    pub fn set_cells(&mut self, edits: &[(u64, u32, Value)]) -> Result<()> {
+        let mut store_ops = Vec::with_capacity(edits.len());
+        for &(slot, attr, ref value) in edits {
+            if slot >= self.slots || self.dead.contains(&slot) {
+                return Err(StoreError::InvalidOp {
+                    detail: format!("set_cells targets slot {slot}, which is not live"),
+                });
+            }
+            if attr as usize >= self.arity {
+                return Err(StoreError::InvalidOp {
+                    detail: format!("set_cells attr {attr} out of arity {}", self.arity),
+                });
+            }
+            store_ops.push(StoreOp::SetCell {
+                slot,
+                attr,
+                value: value.clone(),
+            });
+        }
+        self.commit(&store_ops)
+    }
+
+    /// Detects all violations of `cfds` with a streaming, chunk-at-a-time
+    /// scan whose page memory is bounded by the pool. The report is
+    /// byte-identical to detection over [`ColumnStore::materialize`]'d
+    /// data (reports are ordered sets, so scan order is immaterial).
+    pub fn detect(&mut self, cfds: &[Cfd]) -> Result<Violations> {
+        let mut out = Violations::new();
+        for cfd in cfds {
+            out.merge(scan_store(self, cfd)?);
+        }
+        Ok(out)
+    }
+
+    /// Materializes the live tuples as an in-memory [`Relation`] in
+    /// live-slot order (the order [`ColumnStore::live_slots`] documents).
+    pub fn materialize(&mut self) -> Result<Relation> {
+        let mut rel = Relation::with_capacity(self.schema.clone(), self.len());
+        let mut row = vec![ValueId::of(&Value::Null); self.arity];
+        for slot in 0..self.slots {
+            if self.dead.contains(&slot) {
+                continue;
+            }
+            for (attr, cell) in row.iter_mut().enumerate() {
+                *cell = self.read_id(slot, attr as u32)?;
+            }
+            rel.push_ids(&row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Flushes everything to disk and empties the WAL. Called
+    /// automatically when the WAL passes its size threshold, at the end of
+    /// recovery, and on drop.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.dict.sync()?;
+        self.pool.flush_all(&mut self.pager)?;
+        self.pager.sync()?;
+        let meta = Meta {
+            schema: self.schema.clone(),
+            slots: self.slots,
+            committed: self.committed,
+            dead: self.dead.clone(),
+        };
+        write_meta(&self.dir, &self.dir.join("meta.dat"), &meta)?;
+        self.wal.truncate()
+    }
+
+    /// Drops every cached page (flushing dirty ones) so the next scan
+    /// reads cold from disk — used by benchmarks and tests.
+    pub fn drop_page_cache(&mut self) -> Result<()> {
+        self.pool.clear(&mut self.pager)
+    }
+
+    /// The validated-ops half of the commit protocol: dictionary fsync,
+    /// WAL fsync (commit point), page apply, checkpoint when due.
+    fn commit(&mut self, ops: &[StoreOp]) -> Result<()> {
+        for op in ops {
+            match op {
+                StoreOp::Insert(values) => {
+                    for v in values {
+                        self.dict.store_id(ValueId::of(v))?;
+                    }
+                }
+                StoreOp::SetCell { value, .. } => {
+                    self.dict.store_id(ValueId::of(value))?;
+                }
+                StoreOp::Delete(_) => {}
+            }
+        }
+        self.dict.sync()?;
+        self.wal.append_commit(self.committed, ops)?;
+        self.apply_ops(ops)?;
+        self.committed += 1;
+        if self.wal.size() > self.wal_checkpoint_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Applies already-committed ops to pages (both the live path after a
+    /// WAL append and the replay path during recovery run exactly this).
+    fn apply_ops(&mut self, ops: &[StoreOp]) -> Result<()> {
+        for op in ops {
+            match op {
+                StoreOp::Insert(values) => {
+                    if values.len() != self.arity {
+                        return Err(StoreError::corrupt(
+                            &self.dir.join("wal.log"),
+                            format!(
+                                "insert arity {} does not match schema arity {}",
+                                values.len(),
+                                self.arity
+                            ),
+                        ));
+                    }
+                    let slot = self.slots;
+                    for (attr, v) in values.iter().enumerate() {
+                        let sid = self.dict.store_id(ValueId::of(v))?;
+                        self.write_sid(slot, attr as u32, sid)?;
+                    }
+                    self.slots += 1;
+                }
+                StoreOp::Delete(values) => {
+                    if let Some(slot) = self.find_live(values)? {
+                        self.dead.insert(slot);
+                    }
+                }
+                StoreOp::SetCell { slot, attr, value } => {
+                    if *slot >= self.slots
+                        || self.dead.contains(slot)
+                        || *attr as usize >= self.arity
+                    {
+                        return Err(StoreError::corrupt(
+                            &self.dir.join("wal.log"),
+                            format!("set-cell on slot {slot} attr {attr} is out of range"),
+                        ));
+                    }
+                    let sid = self.dict.store_id(ValueId::of(value))?;
+                    self.write_sid(*slot, *attr, sid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// First live slot whose tuple equals `values` (bag-semantics delete
+    /// target), or `None`. Comparison is by store id, so values the
+    /// dictionary has never seen cannot match.
+    fn find_live(&mut self, values: &[Value]) -> Result<Option<u64>> {
+        let mut target = Vec::with_capacity(values.len());
+        for v in values {
+            match ValueId::get(v).and_then(|id| self.dict.lookup(id)) {
+                Some(sid) => target.push(sid),
+                None => return Ok(None),
+            }
+        }
+        'slots: for slot in 0..self.slots {
+            if self.dead.contains(&slot) {
+                continue;
+            }
+            for (attr, &sid) in target.iter().enumerate() {
+                if self.read_sid(slot, attr as u32)? != sid {
+                    continue 'slots;
+                }
+            }
+            return Ok(Some(slot));
+        }
+        Ok(None)
+    }
+
+    /// The page holding `(slot, attr)` and the cell offset within it.
+    fn locate(&self, slot: u64, attr: u32) -> (u64, usize) {
+        let chunk = slot / PAGE_CELLS as u64;
+        let offset = (slot % PAGE_CELLS as u64) as usize;
+        (chunk * self.arity as u64 + u64::from(attr), offset)
+    }
+
+    fn write_sid(&mut self, slot: u64, attr: u32, sid: u32) -> Result<()> {
+        let (page, offset) = self.locate(slot, attr);
+        self.pool.write_cell(&mut self.pager, page, offset, sid)
+    }
+
+    pub(crate) fn read_sid(&mut self, slot: u64, attr: u32) -> Result<u32> {
+        let (page, offset) = self.locate(slot, attr);
+        self.pool.read_cell(&mut self.pager, page, offset)
+    }
+
+    /// The runtime [`ValueId`] stored at `(slot, attr)`.
+    pub(crate) fn read_id(&mut self, slot: u64, attr: u32) -> Result<ValueId> {
+        let sid = self.read_sid(slot, attr)?;
+        self.dict.runtime_id(sid)
+    }
+
+    /// Reads the column chunk of `attr` covering slots
+    /// `[chunk·PAGE_CELLS, …)` into `out` as raw store ids.
+    pub(crate) fn read_chunk(&mut self, chunk: u64, attr: u32, out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        let page = chunk * self.arity as u64 + u64::from(attr);
+        self.pool
+            .read_cells(&mut self.pager, page, 0, PAGE_CELLS, out)
+    }
+
+    pub(crate) fn translate(&self, sid: u32) -> Result<ValueId> {
+        self.dict.runtime_id(sid)
+    }
+
+    pub(crate) fn is_dead(&self, slot: u64) -> bool {
+        self.dead.contains(&slot)
+    }
+}
+
+impl Drop for ColumnStore {
+    fn drop(&mut self) {
+        // Best-effort: a failed checkpoint here is recovered from the WAL
+        // on the next open, so the error is deliberately discarded.
+        let _ = self.checkpoint();
+    }
+}
+
+/// The decoded contents of `meta.dat`.
+struct Meta {
+    schema: Schema,
+    slots: u64,
+    committed: u64,
+    dead: BTreeSet<u64>,
+}
+
+fn describe_schema(s: &Schema) -> String {
+    let attrs: Vec<&str> = s.attributes().iter().map(|a| a.name.as_str()).collect();
+    format!("{}({})", s.name(), attrs.join(", "))
+}
+
+const DOMAIN_TAG_TEXT: u8 = 0;
+const DOMAIN_TAG_INTEGER: u8 = 1;
+const DOMAIN_TAG_BOOLEAN: u8 = 2;
+const DOMAIN_TAG_FINITE: u8 = 3;
+
+fn write_meta(dir: &Path, path: &Path, meta: &Meta) -> Result<()> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, META_MAGIC);
+    put_u32(&mut payload, META_VERSION);
+    put_str(&mut payload, meta.schema.name());
+    put_u32(&mut payload, meta.schema.arity() as u32);
+    for a in meta.schema.attributes() {
+        put_str(&mut payload, &a.name);
+        match &a.domain {
+            Domain::Unrestricted(AttrType::Text) => payload.push(DOMAIN_TAG_TEXT),
+            Domain::Unrestricted(AttrType::Integer) => payload.push(DOMAIN_TAG_INTEGER),
+            Domain::Unrestricted(AttrType::Boolean) => payload.push(DOMAIN_TAG_BOOLEAN),
+            Domain::Finite(values) => {
+                payload.push(DOMAIN_TAG_FINITE);
+                put_u32(&mut payload, values.len() as u32);
+                for v in values {
+                    put_value(&mut payload, v);
+                }
+            }
+        }
+    }
+    put_u64(&mut payload, meta.slots);
+    put_u64(&mut payload, meta.committed);
+    put_u32(&mut payload, meta.dead.len() as u32);
+    for &slot in &meta.dead {
+        put_u64(&mut payload, slot);
+    }
+    let mut record = Vec::new();
+    frame(&mut record, &payload);
+
+    // Atomic replace: a crash leaves either the old or the new checkpoint.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &record).map_err(|e| StoreError::io("write", &tmp, &e))?;
+    let f = std::fs::File::open(&tmp).map_err(|e| StoreError::io("open", &tmp, &e))?;
+    f.sync_all().map_err(|e| StoreError::io("sync", &tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| StoreError::io("rename", path, &e))?;
+    let d = std::fs::File::open(dir).map_err(|e| StoreError::io("open", dir, &e))?;
+    d.sync_all().map_err(|e| StoreError::io("sync", dir, &e))?;
+    Ok(())
+}
+
+fn read_meta(path: &Path) -> Result<Meta> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io("read", path, &e))?;
+    let mut meta: Option<Meta> = None;
+    scan_frames(&bytes, |payload| {
+        let mut r = Reader::new(payload, path);
+        if r.take_u32()? != META_MAGIC {
+            return Err(StoreError::corrupt(path, "bad checkpoint magic"));
+        }
+        let version = r.take_u32()?;
+        if version != META_VERSION {
+            return Err(StoreError::corrupt(
+                path,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let name = r.take_str()?;
+        let arity = r.take_u32()? as usize;
+        let mut builder = Schema::builder(name);
+        for _ in 0..arity {
+            let attr_name = r.take_str()?;
+            let domain = match r.take_u8()? {
+                DOMAIN_TAG_TEXT => Domain::text(),
+                DOMAIN_TAG_INTEGER => Domain::integer(),
+                DOMAIN_TAG_BOOLEAN => Domain::boolean(),
+                DOMAIN_TAG_FINITE => {
+                    let n = r.take_u32()? as usize;
+                    let mut values = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        values.push(take_value(&mut r)?);
+                    }
+                    Domain::finite(values)
+                }
+                tag => {
+                    return Err(StoreError::corrupt(
+                        path,
+                        format!("unknown domain tag {tag}"),
+                    ))
+                }
+            };
+            builder = builder.attr_domain(attr_name, domain);
+        }
+        let slots = r.take_u64()?;
+        let committed = r.take_u64()?;
+        let ndead = r.take_u32()? as usize;
+        let mut dead = BTreeSet::new();
+        for _ in 0..ndead {
+            dead.insert(r.take_u64()?);
+        }
+        meta = Some(Meta {
+            schema: builder.build(),
+            slots,
+            committed,
+            dead,
+        });
+        Ok(())
+    })?;
+    meta.ok_or_else(|| StoreError::corrupt(path, "checkpoint file holds no valid record"))
+}

@@ -1,0 +1,149 @@
+//! Randomized differential test of the pager + buffer pool against a flat
+//! in-memory mirror.
+//!
+//! A tiny pool (4 frames) over a page file many times that size forces
+//! constant eviction and dirty-page writeback while a deterministic
+//! xorshift stream issues tens of thousands of random cell reads and
+//! writes. The invariants:
+//!
+//! * every read returns exactly what the unbounded mirror holds;
+//! * the pool never holds more frames than its capacity
+//!   (`peak_resident <= capacity`);
+//! * after a flush, a **cold reopen** of the page file (fresh pager, fresh
+//!   pool) still reads back the mirror — what the pool wrote back is what
+//!   the file durably contains.
+
+use cfd_store::{BufferPool, Pager, PAGE_CELLS};
+use std::path::PathBuf;
+
+/// Deterministic xorshift64* stream — the test needs no external RNG.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn scratch_file(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "cfd-store-pager-prop-{}-{}.pages",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn random_cell_traffic_matches_an_in_memory_mirror() {
+    const PAGES: u64 = 64;
+    const CAPACITY: usize = 4;
+    const OPS: usize = 30_000;
+
+    let path = scratch_file("traffic");
+    let mut pager = Pager::open(&path).expect("open page file");
+    let mut pool = BufferPool::new(CAPACITY);
+    let mut mirror = vec![0u32; (PAGES as usize) * PAGE_CELLS];
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+
+    for step in 0..OPS {
+        let page = rng.below(PAGES);
+        let offset = rng.below(PAGE_CELLS as u64) as usize;
+        let flat = (page as usize) * PAGE_CELLS + offset;
+        match rng.below(10) {
+            // 60% writes: keep the dirty-frame population high.
+            0..=5 => {
+                let v = rng.next() as u32;
+                pool.write_cell(&mut pager, page, offset, v)
+                    .expect("write_cell");
+                mirror[flat] = v;
+            }
+            // 30% point reads.
+            6..=8 => {
+                let got = pool.read_cell(&mut pager, page, offset).expect("read_cell");
+                assert_eq!(got, mirror[flat], "cell ({page}, {offset}) at step {step}");
+            }
+            // 10% range reads of up to 64 cells.
+            _ => {
+                let len = (rng.below(64) + 1) as usize;
+                let mut out = Vec::new();
+                pool.read_cells(&mut pager, page, offset, len, &mut out)
+                    .expect("read_cells");
+                let end = (offset + len).min(PAGE_CELLS);
+                let want = &mirror
+                    [(page as usize) * PAGE_CELLS + offset..(page as usize) * PAGE_CELLS + end];
+                assert_eq!(out, want, "range ({page}, {offset}+{len}) at step {step}");
+            }
+        }
+        // Occasionally checkpoint (flush) or drop the cache entirely so the
+        // stream also exercises cold re-reads of written-back pages.
+        if step % 4096 == 4095 {
+            pool.flush_all(&mut pager).expect("flush_all");
+        }
+        if step % 10_240 == 10_239 {
+            pool.clear(&mut pager).expect("clear");
+        }
+    }
+
+    let stats = pool.stats();
+    assert_eq!(stats.capacity, CAPACITY);
+    assert!(
+        stats.peak_resident <= CAPACITY,
+        "peak_resident {} exceeded capacity {CAPACITY}",
+        stats.peak_resident
+    );
+    assert!(
+        stats.evictions > 0,
+        "a 4-frame pool over 64 pages must evict"
+    );
+    assert!(stats.writebacks > 0, "dirty evictions must write back");
+
+    // Full sweep through the (still tiny) pool: every cell matches.
+    for page in 0..PAGES {
+        for offset in 0..PAGE_CELLS {
+            let got = pool
+                .read_cell(&mut pager, page, offset)
+                .expect("sweep read");
+            assert_eq!(got, mirror[(page as usize) * PAGE_CELLS + offset]);
+        }
+    }
+
+    // Durability: flush, reopen the file cold, sweep again.
+    pool.flush_all(&mut pager).expect("final flush");
+    pager.sync().expect("sync");
+    drop(pager);
+    drop(pool);
+    let mut pager = Pager::open(&path).expect("reopen page file");
+    let mut pool = BufferPool::new(CAPACITY);
+    for page in 0..PAGES {
+        let mut out = Vec::new();
+        pool.read_cells(&mut pager, page, 0, PAGE_CELLS, &mut out)
+            .expect("cold read");
+        let base = (page as usize) * PAGE_CELLS;
+        assert_eq!(out, &mirror[base..base + PAGE_CELLS], "cold page {page}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn pages_past_the_end_of_file_read_as_zeros() {
+    let path = scratch_file("zeros");
+    let mut pager = Pager::open(&path).expect("open page file");
+    let mut pool = BufferPool::new(2);
+    // Nothing was ever written: any page reads back all-zero.
+    for page in [0u64, 7, 1000] {
+        let got = pool.read_cell(&mut pager, page, 17).expect("read");
+        assert_eq!(got, 0);
+    }
+    let _ = std::fs::remove_file(&path);
+}

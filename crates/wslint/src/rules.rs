@@ -110,12 +110,13 @@ const HASH_SCOPED: [&str; 3] = [
 ];
 
 /// Crates in scope for [`PANIC_PATH`] (their `src/` trees).
-const PANIC_SCOPED: [&str; 5] = [
+const PANIC_SCOPED: [&str; 6] = [
     "crates/serve/src/",
     "crates/detect/src/",
     "crates/repair/src/",
     "crates/relation/src/",
     "crates/sqlgen/src/",
+    "crates/store/src/",
 ];
 
 /// The one file allowed to spawn unscoped threads.

@@ -13,6 +13,40 @@ use crate::error::{Error, Result};
 use cfd_detect::DetectorKind;
 use cfd_repair::{CostModel, RepairConfig, RepairKind};
 use cfd_sql::Strategy;
+use cfd_store::StoreOptions;
+
+/// Storage-layer knobs of disk-backed sessions
+/// ([`Engine::session_on_disk`](crate::Engine::session_on_disk)): the
+/// buffer-pool page budget and the WAL size that triggers a checkpoint.
+/// Maps onto [`cfd_store::StoreOptions`]; the default matches
+/// `StoreOptions::default()` (256 pages = 1 MiB of page cache, 4 MiB WAL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Buffer-pool capacity in pages. The store's page memory never
+    /// exceeds this; must be ≥ 1 (the pool itself clamps to 2).
+    pub pool_pages: usize,
+    /// WAL size in bytes that triggers a checkpoint after a commit.
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        let opts = StoreOptions::default();
+        StorageConfig {
+            pool_pages: opts.pool_pages,
+            wal_checkpoint_bytes: opts.wal_checkpoint_bytes,
+        }
+    }
+}
+
+impl StorageConfig {
+    pub(crate) fn to_options(self) -> StoreOptions {
+        StoreOptions {
+            pool_pages: self.pool_pages,
+            wal_checkpoint_bytes: self.wal_checkpoint_bytes,
+        }
+    }
+}
 
 /// The complete configuration of an [`Engine`](crate::Engine): which
 /// detection engine serves [`Session::detect`](crate::Session::detect),
@@ -26,6 +60,7 @@ pub struct EngineConfig {
     strategy: Strategy,
     repair: RepairConfig,
     minimize: bool,
+    storage: StorageConfig,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +70,7 @@ impl Default for EngineConfig {
             strategy: Strategy::default(),
             repair: RepairConfig::default(),
             minimize: false,
+            storage: StorageConfig::default(),
         }
     }
 }
@@ -66,6 +102,11 @@ impl EngineConfig {
     /// set with its minimal cover before compiling plans.
     pub fn minimize_rules(&self) -> bool {
         self.minimize
+    }
+
+    /// The storage-layer configuration of disk-backed sessions.
+    pub fn storage(&self) -> StorageConfig {
+        self.storage
     }
 }
 
@@ -161,6 +202,14 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the storage-layer knobs used by
+    /// [`Engine::session_on_disk`](crate::Engine::session_on_disk)
+    /// (default: [`StorageConfig::default`]).
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.config.storage = storage;
+        self
+    }
+
     /// Validates the combination and returns the configuration.
     ///
     /// Rejected combinations (each with [`Error::Config`]):
@@ -171,6 +220,8 @@ impl EngineConfigBuilder {
     ///   threads;
     /// * `max_passes == 0` — a zero round budget cannot repair anything
     ///   while still reporting `satisfied = false` on dirty data;
+    /// * `storage.pool_pages == 0` — a disk-backed session needs at least
+    ///   one buffer-pool frame;
     /// * `repair_threads == 0` — the repair engine needs at least one
     ///   worker (one means the sequential path);
     /// * non-finite or negative `replace_distance`/`placeholder_distance` —
@@ -189,6 +240,11 @@ impl EngineConfigBuilder {
         }
         if config.repair.max_passes == 0 {
             return Err(Error::Config("max_passes must be at least 1".into()));
+        }
+        if config.storage.pool_pages == 0 {
+            return Err(Error::Config(
+                "storage pool_pages must be at least 1".into(),
+            ));
         }
         if config.repair.threads == 0 {
             return Err(Error::Config(
@@ -286,6 +342,33 @@ mod tests {
     fn zero_max_passes_is_rejected() {
         let err = EngineConfig::builder().max_passes(0).build().unwrap_err();
         assert!(matches!(err, Error::Config(msg) if msg.contains("max_passes")));
+    }
+
+    #[test]
+    fn zero_storage_pool_pages_are_rejected() {
+        let err = EngineConfig::builder()
+            .storage(StorageConfig {
+                pool_pages: 0,
+                ..StorageConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(msg) if msg.contains("pool_pages")));
+    }
+
+    #[test]
+    fn storage_config_reaches_the_config() {
+        let storage = StorageConfig {
+            pool_pages: 8,
+            wal_checkpoint_bytes: 1024,
+        };
+        let config = EngineConfig::builder().storage(storage).build().unwrap();
+        assert_eq!(config.storage(), storage);
+        assert_eq!(
+            EngineConfig::default().storage(),
+            StorageConfig::default(),
+            "default matches StoreOptions::default()"
+        );
     }
 
     #[test]

@@ -126,6 +126,38 @@ impl Engine {
         Session::new(self.clone(), data)
     }
 
+    /// Opens a **disk-backed** serving session over the store directory
+    /// `dir`, creating an empty store there on first use and recovering
+    /// (WAL replay) from whatever a previous process left behind
+    /// otherwise.
+    ///
+    /// The session serves the store's live tuples exactly as an in-memory
+    /// session serves a [`Relation`]: detection reports are byte-identical
+    /// to the in-memory path, and [`Session::apply_batch`] is durable —
+    /// see the durability contract on [`cfd_store::ColumnStore`]. Storage
+    /// knobs come from [`EngineConfig::storage`].
+    ///
+    /// Errors with [`Error::Config`](crate::Error::Config) for an engine
+    /// with no rules (an empty rule set has no schema to create a store
+    /// with), and with
+    /// [`Error::Store`](crate::Error::Store)`(StoreError::SchemaMismatch)`
+    /// when `dir` holds a store created under a different schema.
+    pub fn session_on_disk(&self, dir: impl AsRef<std::path::Path>) -> Result<Session> {
+        let schema = self.schema().ok_or_else(|| {
+            crate::error::Error::Config(
+                "session_on_disk needs an engine with rules: an empty rule set has no schema \
+                 to create a store with"
+                    .into(),
+            )
+        })?;
+        let store = cfd_store::ColumnStore::open_or_create(
+            dir.as_ref(),
+            schema,
+            self.config().storage().to_options(),
+        )?;
+        Session::on_store(self.clone(), store)
+    }
+
     /// One-shot convenience: open a throwaway session over `data` and
     /// detect with the configured [`DetectorKind`].
     pub fn detect(&self, data: Arc<Relation>) -> Result<Violations> {

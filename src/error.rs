@@ -15,6 +15,7 @@
 use cfd_core::CfdError;
 use cfd_relation::RelationError;
 use cfd_sql::SqlError;
+use cfd_store::StoreError;
 use std::fmt;
 
 /// Convenient result alias for facade operations.
@@ -52,6 +53,9 @@ pub enum Error {
     Sql(SqlError),
     /// An error bubbled up from the relational substrate.
     Relation(RelationError),
+    /// An error bubbled up from the disk-backed storage layer (I/O,
+    /// corruption, pool exhaustion, stored-schema mismatch).
+    Store(StoreError),
 }
 
 impl fmt::Display for Error {
@@ -73,6 +77,7 @@ impl fmt::Display for Error {
             ),
             Error::Sql(e) => write!(f, "sql error: {e}"),
             Error::Relation(e) => write!(f, "relation error: {e}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -83,6 +88,7 @@ impl std::error::Error for Error {
             Error::Rules(e) => Some(e),
             Error::Sql(e) => Some(e),
             Error::Relation(e) => Some(e),
+            Error::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -110,6 +116,16 @@ impl From<SqlError> for Error {
 impl From<RelationError> for Error {
     fn from(e: RelationError) -> Self {
         Error::Relation(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        // A relation error is the same problem wherever it was raised.
+        match e {
+            StoreError::Relation(e) => Error::Relation(e),
+            other => Error::Store(other),
+        }
     }
 }
 
@@ -158,5 +174,17 @@ mod tests {
         let panicked = Error::WorkerPanicked;
         assert!(panicked.to_string().contains("panicked"));
         assert!(panicked.source().is_none());
+
+        let store: Error = StoreError::InvalidOp {
+            detail: "bad slot".into(),
+        }
+        .into();
+        assert!(matches!(store, Error::Store(_)));
+        assert!(store.to_string().contains("bad slot"));
+        assert!(store.source().is_some());
+
+        // A relation error surfaces as Error::Relation even via the store.
+        let via_store: Error = StoreError::Relation(RelationError::Parse("bad".into())).into();
+        assert!(matches!(via_store, Error::Relation(_)));
     }
 }

@@ -45,6 +45,10 @@
 //!   including [`DetectorKind::Auto`], the cost-based adaptive planner over
 //!   vectorized columnar scan kernels.
 //! * [`repair`] — cost-based repair (Section 6) behind [`RepairKind`].
+//! * [`store`] — the durable storage layer behind
+//!   [`Engine::session_on_disk`]: pager, bounded buffer pool, persisted
+//!   value dictionary and a group-commit write-ahead log, serving
+//!   detection over instances larger than memory with crash recovery.
 //! * [`discovery`] — FD / constant-CFD discovery (future work in the paper).
 //! * [`datagen`] — the `cust` running example and the synthetic tax-records
 //!   workload used by the evaluation.
@@ -58,6 +62,7 @@ pub use cfd_discovery as discovery;
 pub use cfd_relation as relation;
 pub use cfd_repair as repair;
 pub use cfd_sql as sql;
+pub use cfd_store as store;
 
 mod config;
 mod engine;
@@ -66,7 +71,8 @@ mod session;
 
 pub use cfd_detect::{DetectionPlan, DetectorKind, PlanStep, Planner, StepStrategy, ViolationItem};
 pub use cfd_repair::RepairKind;
-pub use config::{EngineConfig, EngineConfigBuilder};
+pub use cfd_store::{PoolStats, StoreError, StoreOptions};
+pub use config::{EngineConfig, EngineConfigBuilder, StorageConfig};
 pub use engine::{Engine, EngineBuilder};
 pub use error::{Error, Result};
 pub use session::{Explanation, PlannedEdit, Session};
@@ -136,7 +142,7 @@ pub fn repair_violations(
 pub mod prelude {
     pub use crate::{
         Engine, EngineBuilder, EngineConfig, EngineConfigBuilder, Error, Explanation, PlannedEdit,
-        Session,
+        Session, StorageConfig,
     };
     pub use cfd_core::{Cfd, CfdSet, PatternTableau, PatternTuple, PatternValue};
     pub use cfd_datagen::cust::{cust_instance, cust_schema};

@@ -33,6 +33,7 @@ use cfd_relation::{
 use cfd_repair::{RepairKind, RepairResult, Repairer};
 use cfd_sql::{Catalog, Executor, PreparedQuery};
 use cfd_sql::{ResultSet, SelectQuery};
+use cfd_store::{ColumnStore, PoolStats};
 use std::sync::Arc;
 
 use cfd_detect::DetectorKind;
@@ -47,6 +48,11 @@ use cfd_detect::DetectorKind;
 #[derive(Debug)]
 pub struct Session {
     engine: Engine,
+    /// The disk-backed store of a session opened via
+    /// [`Engine::session_on_disk`]; `None` for in-memory sessions. When
+    /// present it is the authoritative instance — the snapshot is a
+    /// materialized view of it, and batches commit through its WAL.
+    store: Option<ColumnStore>,
     /// Stream maintenance state; created by the first preview/batch call.
     stream: Option<cfd_detect::IncrementalDetector>,
     /// Materialized snapshot of the current instance. `None` only while
@@ -80,6 +86,7 @@ impl Session {
         }
         Ok(Session {
             engine,
+            store: None,
             stream: None,
             snapshot: Some(data),
             indexes: None,
@@ -90,6 +97,55 @@ impl Session {
         })
     }
 
+    /// Opens a session over an already-recovered [`ColumnStore`] (the
+    /// store's schema was checked against the engine's when it was opened).
+    pub(crate) fn on_store(engine: Engine, store: ColumnStore) -> Result<Self> {
+        Ok(Session {
+            engine,
+            store: Some(store),
+            stream: None,
+            snapshot: None,
+            indexes: None,
+            prepared: None,
+            prepared_merged: None,
+            stats: None,
+            plan: None,
+        })
+    }
+
+    /// Whether this session serves a disk-backed store
+    /// ([`Engine::session_on_disk`]) rather than an in-memory relation.
+    pub fn is_disk_backed(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Buffer-pool accounting of the disk-backed store (`None` for
+    /// in-memory sessions). `peak_resident` is the page-memory high-water
+    /// mark — bounded by the configured
+    /// [`StorageConfig::pool_pages`](crate::StorageConfig) however large
+    /// the instance is.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.store.as_ref().map(ColumnStore::pool_stats)
+    }
+
+    /// Batches durably committed by the disk-backed store (`None` for
+    /// in-memory sessions). After a crash and reopen, exactly the batches
+    /// whose [`Session::apply_batch`]/[`Session::ingest`] call reported
+    /// success are counted — the kill-and-recover harness asserts this.
+    pub fn committed_batches(&self) -> Option<u64> {
+        self.store.as_ref().map(ColumnStore::committed_batches)
+    }
+
+    /// Forces the disk-backed store to checkpoint now (no-op result on
+    /// in-memory sessions): dirty pages, dictionary and metadata are made
+    /// durable and the WAL is truncated.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.checkpoint()?;
+        }
+        Ok(())
+    }
+
     /// The engine this session serves.
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -97,19 +153,25 @@ impl Session {
 
     /// The schema of the served instance.
     pub fn schema(&self) -> &Schema {
+        if let Some(store) = &self.store {
+            return store.schema();
+        }
         match (&self.snapshot, &self.stream) {
             (Some(snap), _) => snap.schema(),
             (None, Some(stream)) => stream.schema(),
-            (None, None) => unreachable!("session always holds a snapshot or a stream"),
+            (None, None) => unreachable!("session always holds a snapshot, stream or store"),
         }
     }
 
     /// Number of live rows in the served instance.
     pub fn len(&self) -> usize {
+        if let Some(store) = &self.store {
+            return store.len();
+        }
         match (&self.snapshot, &self.stream) {
             (Some(snap), None) => snap.len(),
             (_, Some(stream)) => stream.len(),
-            (None, None) => unreachable!("session always holds a snapshot or a stream"),
+            (None, None) => unreachable!("session always holds a snapshot, stream or store"),
         }
     }
 
@@ -118,17 +180,22 @@ impl Session {
         self.len() == 0
     }
 
-    /// The current instance as a shared snapshot (re-gathered from the
-    /// stream state when batches have been applied since the last call).
-    pub fn snapshot(&mut self) -> Arc<Relation> {
+    /// The current instance as a shared snapshot: re-gathered from the
+    /// stream state when batches have been applied since the last call, and
+    /// **materialized from the store** (in live-slot order) on disk-backed
+    /// sessions — which is the only way this can fail.
+    pub fn snapshot(&mut self) -> Result<Arc<Relation>> {
         if self.snapshot.is_none() {
-            let stream = self
-                .stream
-                .as_ref()
-                .expect("a stale snapshot implies stream state");
-            self.snapshot = Some(Arc::new(stream.current_relation()));
+            let gathered = if let Some(stream) = &self.stream {
+                stream.current_relation()
+            } else if let Some(store) = self.store.as_mut() {
+                store.materialize()?
+            } else {
+                unreachable!("a stale snapshot implies stream or store state")
+            };
+            self.snapshot = Some(Arc::new(gathered));
         }
-        Arc::clone(self.snapshot.as_ref().expect("just ensured"))
+        Ok(Arc::clone(self.snapshot.as_ref().expect("just ensured")))
     }
 
     /// Detects the violations of the current instance with the engine's
@@ -148,9 +215,24 @@ impl Session {
     /// Reports are byte-identical to running the same [`DetectorKind`] from
     /// scratch on [`Session::snapshot`] — the differential harness pins
     /// this across every engine.
+    ///
+    /// On a **disk-backed** session, the scan-based kinds (`Direct`,
+    /// `Sharded`, `Auto`) run as a streaming scan over the store whose page
+    /// memory is bounded by the buffer pool — byte-identical to the direct
+    /// scan, as all three contractually are — without materializing the
+    /// instance. The SQL kinds materialize a snapshot first (the prepared
+    /// plans need a bound relation).
     pub fn detect(&mut self) -> Result<Violations> {
+        if let Some(store) = self.store.as_mut() {
+            if matches!(
+                self.engine.config().detector(),
+                DetectorKind::Direct | DetectorKind::Sharded { .. } | DetectorKind::Auto
+            ) {
+                return Ok(store.detect(self.engine.rules().cfds())?);
+            }
+        }
         match self.engine.config().detector() {
-            DetectorKind::Direct => Ok(self.detect_direct()),
+            DetectorKind::Direct => self.detect_direct(),
             DetectorKind::Sql => {
                 self.ensure_prepared()?;
                 let mut out = Violations::new();
@@ -191,11 +273,11 @@ impl Session {
                 run_pair(self.prepared_merged.as_ref().expect("just ensured"))
             }
             DetectorKind::Sharded { shards } => {
-                let snapshot = self.snapshot();
+                let snapshot = self.snapshot()?;
                 Ok(ShardedDetector::new(shards).detect_set(self.engine.rules().cfds(), &snapshot))
             }
             DetectorKind::Auto => {
-                let snapshot = self.snapshot();
+                let snapshot = self.snapshot()?;
                 let planner = Planner::new();
                 // The plan is prepared state like the indexes and compiled
                 // SQL: computed once per snapshot (batches invalidate it
@@ -215,7 +297,7 @@ impl Session {
                     ));
                 }
                 if self.plan.as_ref().expect("just ensured").needs_indexes() {
-                    self.ensure_indexes();
+                    self.ensure_indexes()?;
                 }
                 Ok(planner.execute(
                     self.plan.as_ref().expect("just ensured"),
@@ -232,7 +314,8 @@ impl Session {
     /// every scored candidate, and the group-cardinality estimate it was
     /// based on. `None` before the first `Auto` detection and after every
     /// applied batch (a batch invalidates the statistics the plan was built
-    /// from).
+    /// from). Disk-backed sessions run `Auto` as the streaming store scan
+    /// and never populate a plan.
     pub fn detection_plan(&self) -> Option<&DetectionPlan> {
         self.plan.as_ref()
     }
@@ -264,7 +347,7 @@ impl Session {
         kind: RepairKind,
         threads: usize,
     ) -> Result<RepairResult> {
-        let snapshot = self.snapshot();
+        let snapshot = self.snapshot()?;
         let mut config = self.engine.config().repair().clone();
         config.kind = kind;
         config.threads = threads.max(1);
@@ -275,7 +358,7 @@ impl Session {
         if kind == RepairKind::Heuristic {
             return Ok(repairer.repair(self.engine.rules().cfds(), &snapshot));
         }
-        self.ensure_indexes();
+        self.ensure_indexes()?;
         let indexes = self.indexes.as_ref().expect("just ensured").clone();
         Ok(repairer.repair_with_indexes(self.engine.rules().cfds(), &snapshot, indexes))
     }
@@ -293,8 +376,36 @@ impl Session {
     /// batches that delete — use uniform weights (the default) on streaming
     /// sessions, or re-open a session with re-derived weights after
     /// deletions.
+    ///
+    /// # Failure atomicity
+    ///
+    /// A **rejected** batch (e.g. an op whose arity does not match the
+    /// schema) leaves the session exactly as it was: the instance is
+    /// untouched *and* every piece of prepared per-snapshot state — LHS
+    /// indexes, prepared SQL plans, column statistics, the cached
+    /// [`Session::detection_plan`] — remains valid and is **not**
+    /// invalidated. Validation happens before any mutation, and caches are
+    /// only cleared after the batch succeeds, so an error never costs the
+    /// session its prepared state (the root regression test pins this).
+    ///
+    /// On a **disk-backed** session the batch additionally commits through
+    /// the store's WAL before this returns — see the durability contract
+    /// on [`cfd_store::ColumnStore`].
     pub fn apply_batch(&mut self, ops: &[BatchOp]) -> Result<Violations> {
-        self.ensure_stream();
+        if self.store.is_some() {
+            // Validation happens inside the store before any mutation; on
+            // error nothing below runs and all caches stay valid.
+            self.store
+                .as_mut()
+                .expect("just matched")
+                .apply_batch(ops)?;
+            self.invalidate_after_batch();
+            // Stream state (previews) was derived from the superseded
+            // materialization.
+            self.stream = None;
+            return self.detect();
+        }
+        self.ensure_stream()?;
         let report = self
             .stream
             .as_mut()
@@ -304,20 +415,92 @@ impl Session {
         // the column statistics and the detection plan derived from them:
         // the planner must never choose a strategy against counts of a
         // superseded instance.
+        self.invalidate_after_batch();
+        Ok(report)
+    }
+
+    /// Durably applies a batch to a **disk-backed** session without
+    /// computing a violation report — the bulk-load path: the WAL commit
+    /// (one fsync) is the whole cost, detection is deferred until the next
+    /// [`Session::detect`]. Errors with
+    /// [`Error::Config`](crate::Error::Config) on in-memory sessions
+    /// (whose `apply_batch` always maintains a report anyway).
+    ///
+    /// Shares [`Session::apply_batch`]'s failure atomicity: a rejected
+    /// batch mutates nothing and invalidates nothing.
+    pub fn ingest(&mut self, ops: &[BatchOp]) -> Result<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Err(Error::Config(
+                "ingest requires a disk-backed session (use apply_batch on in-memory sessions)"
+                    .into(),
+            ));
+        };
+        store.apply_batch(ops)?;
+        self.invalidate_after_batch();
+        self.stream = None;
+        Ok(())
+    }
+
+    /// Applies a [`RepairResult`] (from [`Session::repair`] on **this**
+    /// session, unmodified) back to the served instance and returns the
+    /// report of the repaired instance.
+    ///
+    /// On a disk-backed session the modifications become one durably
+    /// logged cell-edit batch ([`cfd_store::ColumnStore::set_cells`] —
+    /// one WAL fsync), translated from the result's live-row indices to
+    /// store slots; on an in-memory session the session simply adopts
+    /// `result.repaired` as its new snapshot. Either way the session
+    /// serves the repaired data afterwards.
+    ///
+    /// The result must come from this session's current instance: row
+    /// indices are positions of the snapshot the repair ran over, so
+    /// applying a stale result (after an intervening batch) errors on
+    /// out-of-range rows or silently edits the wrong tuples.
+    pub fn commit_repair(&mut self, result: &RepairResult) -> Result<Violations> {
+        if let Some(store) = self.store.as_mut() {
+            let live = store.live_slots();
+            let mut edits = Vec::with_capacity(result.modifications.len());
+            for m in &result.modifications {
+                let slot = *live.get(m.row).ok_or_else(|| {
+                    Error::Config(format!(
+                        "repair result row {} is out of range for this instance ({} live rows); \
+                         was the result produced by an earlier snapshot?",
+                        m.row,
+                        live.len()
+                    ))
+                })?;
+                edits.push((slot, m.attr.index() as u32, m.new.clone()));
+            }
+            store.set_cells(&edits)?;
+            self.invalidate_after_batch();
+            self.stream = None;
+        } else {
+            // Invalidate first: the repaired relation *is* the new snapshot
+            // and must survive the cache clear.
+            self.invalidate_after_batch();
+            self.snapshot = Some(Arc::new(result.repaired.clone()));
+            self.stream = None;
+        }
+        self.detect()
+    }
+
+    /// Drops every cache bound to the superseded snapshot. Callers decide
+    /// what happens to the stream state (the in-memory batch path keeps it
+    /// — it *is* the instance there).
+    fn invalidate_after_batch(&mut self) {
         self.snapshot = None;
         self.indexes = None;
         self.prepared = None;
         self.prepared_merged = None;
         self.stats = None;
         self.plan = None;
-        Ok(report)
     }
 
     /// Previews the violations `batch` would introduce if inserted — the
     /// violations of `current ∪ batch` involving at least one batch tuple —
     /// without changing the session.
     pub fn preview_insertions(&mut self, batch: &[Tuple]) -> Result<Violations> {
-        self.ensure_stream();
+        self.ensure_stream()?;
         Ok(self
             .stream
             .as_ref()
@@ -328,7 +511,7 @@ impl Session {
     /// Previews the currently-reported violations that deleting `batch`
     /// (bag semantics) would resolve, without changing the session.
     pub fn preview_deletions(&mut self, batch: &[Tuple]) -> Result<Violations> {
-        self.ensure_stream();
+        self.ensure_stream()?;
         Ok(self
             .stream
             .as_ref()
@@ -368,8 +551,8 @@ impl Session {
     /// Results are ordered by `(CFD index, rows, pattern index)` and are
     /// deterministic.
     pub fn explain(&mut self, item: &ViolationItem) -> Result<Vec<Explanation>> {
-        let snapshot = self.snapshot();
-        self.ensure_indexes();
+        let snapshot = self.snapshot()?;
+        self.ensure_indexes()?;
         // A value never interned cannot occur in any relation: no provenance.
         let ids: Option<Vec<ValueId>> = item.values().iter().map(ValueId::get).collect();
         let Some(ids) = ids else {
@@ -554,9 +737,9 @@ impl Session {
     }
 
     /// The `Direct` path: group-driven detection over the shared indexes.
-    fn detect_direct(&mut self) -> Violations {
-        let snapshot = self.snapshot();
-        self.ensure_indexes();
+    fn detect_direct(&mut self) -> Result<Violations> {
+        let snapshot = self.snapshot()?;
+        self.ensure_indexes()?;
         let indexes = self.indexes.as_ref().expect("just ensured");
         let mut out = Violations::new();
         for (cfd, index) in self.engine.rules().iter().zip(indexes) {
@@ -565,14 +748,14 @@ impl Session {
                 None => out.merge(DirectDetector::new().detect(cfd, &snapshot)),
             }
         }
-        out
+        Ok(out)
     }
 
-    fn ensure_indexes(&mut self) {
+    fn ensure_indexes(&mut self) -> Result<()> {
         if self.indexes.is_some() {
-            return;
+            return Ok(());
         }
-        let snapshot = self.snapshot();
+        let snapshot = self.snapshot()?;
         self.indexes = Some(
             self.engine
                 .plans()
@@ -581,13 +764,14 @@ impl Session {
                 .map(|(plan, cfd)| plan.keyed.then(|| snapshot.build_index(cfd.lhs())))
                 .collect(),
         );
+        Ok(())
     }
 
     fn ensure_prepared(&mut self) -> Result<()> {
         if self.prepared.is_some() {
             return Ok(());
         }
-        let snapshot = self.snapshot();
+        let snapshot = self.snapshot()?;
         let strategy = self.engine.config().strategy();
         let mut prepared = Vec::with_capacity(self.engine.plans().len());
         for plan in self.engine.plans() {
@@ -614,7 +798,7 @@ impl Session {
             ))
         })?;
         let (joined, qc, qv) = (Arc::clone(&plan.joined), plan.qc.clone(), plan.qv.clone());
-        let snapshot = self.snapshot();
+        let snapshot = self.snapshot()?;
         let strategy = self.engine.config().strategy();
         self.prepared_merged = Some(prepare_pair(
             &snapshot,
@@ -627,15 +811,16 @@ impl Session {
         Ok(())
     }
 
-    fn ensure_stream(&mut self) {
+    fn ensure_stream(&mut self) -> Result<()> {
         if self.stream.is_some() {
-            return;
+            return Ok(());
         }
-        let base = self.snapshot();
+        let base = self.snapshot()?;
         self.stream = Some(cfd_detect::IncrementalDetector::new(
             (*base).clone(),
             self.engine.rules().cfds().to_vec(),
         ));
+        Ok(())
     }
 }
 

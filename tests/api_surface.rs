@@ -16,7 +16,8 @@ use cfd::prelude::{
     DetectorKind, Domain, Engine, EngineBuilder, EngineConfig, EngineConfigBuilder, Error,
     Explanation, IncrementalDetector, PatternTableau, PatternTuple, PatternValue, PlannedEdit,
     PreparedQuery, Relation, RepairConfig, RepairKind, RepairResult, Repairer, Schema, Session,
-    ShardedDetector, Strategy, Tuple, TupleWeights, Value, ViolationItem, Violations,
+    ShardedDetector, StorageConfig, Strategy, Tuple, TupleWeights, Value, ViolationItem,
+    Violations,
 };
 use cfd_detect::Violations as DetectViolations;
 use cfd_repair::RepairResult as RepairResultAlias;
@@ -43,6 +44,8 @@ const _LIFECYCLE: () = {
     let _: fn(&Engine) -> &EngineConfig = Engine::config;
     let _: fn(&Engine) -> Option<&Schema> = Engine::schema;
     let _: fn(&Engine, Arc<Relation>) -> Result<Session, Error> = Engine::session;
+    let _: fn(&Engine, &std::path::Path) -> Result<Session, Error> =
+        |engine, dir| engine.session_on_disk(dir);
     let _: fn(&Engine, Arc<Relation>) -> Result<Violations, Error> = Engine::detect;
     let _: fn(&Engine, Arc<Relation>, RepairKind) -> Result<RepairResult, Error> = Engine::repair;
 };
@@ -53,10 +56,16 @@ const _SESSION: () = {
     let _: fn(&Session) -> &Schema = Session::schema;
     let _: fn(&Session) -> usize = Session::len;
     let _: fn(&Session) -> bool = Session::is_empty;
-    let _: fn(&mut Session) -> Arc<Relation> = Session::snapshot;
+    let _: fn(&mut Session) -> Result<Arc<Relation>, Error> = Session::snapshot;
     let _: fn(&mut Session) -> Result<Violations, Error> = Session::detect;
     let _: fn(&mut Session, RepairKind) -> Result<RepairResult, Error> = Session::repair;
     let _: fn(&mut Session, &[BatchOp]) -> Result<Violations, Error> = Session::apply_batch;
+    let _: fn(&mut Session, &[BatchOp]) -> Result<(), Error> = Session::ingest;
+    let _: fn(&mut Session, &RepairResult) -> Result<Violations, Error> = Session::commit_repair;
+    let _: fn(&Session) -> bool = Session::is_disk_backed;
+    let _: fn(&Session) -> Option<cfd::PoolStats> = Session::pool_stats;
+    let _: fn(&Session) -> Option<u64> = Session::committed_batches;
+    let _: fn(&mut Session) -> Result<(), Error> = Session::checkpoint;
     let _: fn(&mut Session, &[Tuple]) -> Result<Violations, Error> = Session::preview_insertions;
     let _: fn(&mut Session, &[Tuple]) -> Result<Violations, Error> = Session::preview_deletions;
     let _: fn(&mut Session, &ViolationItem) -> Result<Vec<Explanation>, Error> = Session::explain;

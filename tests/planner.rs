@@ -57,7 +57,7 @@ fn session_plans_index_driven_on_few_groups() {
     let report = session.detect().unwrap();
     let plan = session.detection_plan().expect("Auto leaves its plan");
     assert_eq!(plan.strategy_for(0), Some(StepStrategy::IndexDriven));
-    let direct = DirectDetector::new().detect(&cfd, &session.snapshot());
+    let direct = DirectDetector::new().detect(&cfd, &session.snapshot().unwrap());
     assert_eq!(report, direct);
     assert_eq!(report.canonical_bytes(), direct.canonical_bytes());
 }
@@ -104,7 +104,7 @@ fn apply_batch_invalidates_stats_and_replans() {
         "near-unique keys must re-plan to the direct scan"
     );
     assert_eq!(plan.rows(), 16_000, "the new plan prices the new instance");
-    let direct = DirectDetector::new().detect(&cfd, &session.snapshot());
+    let direct = DirectDetector::new().detect(&cfd, &session.snapshot().unwrap());
     assert_eq!(report, direct);
     assert_eq!(report.canonical_bytes(), direct.canonical_bytes());
 }
@@ -159,7 +159,7 @@ fn streamed_batches_stay_byte_identical_to_direct() {
         ops.push(BatchOp::Delete(base_tuples[round * 3 + 1].clone()));
         session.apply_batch(&ops).unwrap();
         let adaptive = session.detect().unwrap();
-        let oracle = DirectDetector::new().detect_set(&cfds, &session.snapshot());
+        let oracle = DirectDetector::new().detect_set(&cfds, &session.snapshot().unwrap());
         assert_eq!(adaptive, oracle, "round {round} (typed Eq)");
         assert_eq!(
             adaptive.canonical_bytes(),

@@ -1,0 +1,376 @@
+//! Integration tests of the disk-backed session path
+//! ([`Engine::session_on_disk`]): backend transparency (disk vs. memory,
+//! byte-identical reports across every detector kind), failure-atomic
+//! batch rejection, bounded page memory on workloads far larger than the
+//! buffer pool, and the kill-and-recover harness (a child process
+//! `abort()`ed mid-stream must recover to a byte-identical report).
+
+use cfd::prelude::*;
+use cfd::{RepairKind, StorageConfig};
+use cfd_datagen::cust::{cust_instance, fig2_cfd_set};
+use cfd_datagen::records::{TaxConfig, TaxGenerator};
+use cfd_datagen::{CfdWorkload, EmbeddedFd};
+use cfd_relation::Relation;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cfd-store-backend-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tax_cfds(seed: u64) -> Vec<Cfd> {
+    let workload = CfdWorkload::new(seed);
+    [
+        EmbeddedFd::ZipToState,
+        EmbeddedFd::AreaToCity,
+        EmbeddedFd::StateMaritalToExemption,
+    ]
+    .iter()
+    .map(|&fd| workload.single(fd, 40, 60.0))
+    .collect()
+}
+
+fn insert_ops(data: &Relation) -> Vec<BatchOp> {
+    data.to_tuples().into_iter().map(BatchOp::Insert).collect()
+}
+
+/// Satellite regression: a rejected batch must not cost the session its
+/// prepared state — in particular the cached detection plan of
+/// [`DetectorKind::Auto`] must survive, because validation happens before
+/// any mutation or cache invalidation.
+#[test]
+fn a_rejected_batch_preserves_the_cached_detection_plan() {
+    let engine = Engine::builder()
+        .rule_set(fig2_cfd_set())
+        .config(
+            EngineConfig::builder()
+                .detector(DetectorKind::Auto)
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let mut session = engine.session(Arc::new(cust_instance())).unwrap();
+    let before = session.detect().unwrap();
+    let plan = session.detection_plan().expect("Auto detect caches a plan");
+    let steps_before = plan.steps().len();
+
+    let err = session
+        .apply_batch(&[BatchOp::Insert(Tuple::nulls(2))])
+        .unwrap_err();
+    assert!(matches!(err, Error::Relation(_)), "got {err:?}");
+
+    // The plan (and everything else prepared) survived the rejection.
+    let plan = session
+        .detection_plan()
+        .expect("a rejected batch must not clear the cached plan");
+    assert_eq!(plan.steps().len(), steps_before);
+    let after = session.detect().unwrap();
+    assert_eq!(before.canonical_bytes(), after.canonical_bytes());
+}
+
+/// The disk path shares the same contract: rejection commits nothing,
+/// invalidates nothing, and the in-memory error variant is raised.
+#[test]
+fn a_rejected_batch_on_a_disk_session_commits_nothing() {
+    let dir = scratch_dir("reject");
+    let engine = Engine::builder().rule_set(fig2_cfd_set()).build().unwrap();
+    let mut session = engine.session_on_disk(&dir).unwrap();
+    session.apply_batch(&insert_ops(&cust_instance())).unwrap();
+    let before = session.detect().unwrap();
+    assert_eq!(session.committed_batches(), Some(1));
+
+    let err = session
+        .apply_batch(&[
+            BatchOp::Insert(cust_instance().to_tuples()[0].clone()),
+            BatchOp::Insert(Tuple::nulls(3)),
+        ])
+        .unwrap_err();
+    // Identical variant to the in-memory rejection: backend-transparent
+    // even in how a malformed batch fails.
+    assert!(matches!(err, Error::Relation(_)), "got {err:?}");
+    assert_eq!(session.committed_batches(), Some(1));
+    assert_eq!(session.len(), cust_instance().len());
+    let after = session.detect().unwrap();
+    assert_eq!(before.canonical_bytes(), after.canonical_bytes());
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Differential harness over the disk path: for every detector kind, a
+/// disk-backed session must report byte-identically to an in-memory
+/// session over the same instance — whether the kind scans the store
+/// directly (Direct/Sharded/Auto) or materializes first (the SQL kinds).
+#[test]
+fn disk_and_memory_sessions_agree_across_every_detector_kind() {
+    let dir = scratch_dir("differential");
+    let data = TaxGenerator::new(TaxConfig {
+        size: 1_500,
+        noise_percent: 8.0,
+        seed: 77,
+    })
+    .generate()
+    .relation;
+    let cfds = tax_cfds(7);
+    let kinds = [
+        DetectorKind::Direct,
+        DetectorKind::Sql,
+        DetectorKind::SqlParallel { threads: 2 },
+        DetectorKind::SqlMerged,
+        DetectorKind::Sharded { shards: 4 },
+        DetectorKind::Auto,
+    ];
+    let mut populated = false;
+    let mut dirty = false;
+    for kind in kinds {
+        let engine = Engine::builder()
+            .rules(cfds.iter().cloned())
+            .config(
+                EngineConfig::builder()
+                    .detector(kind)
+                    .storage(StorageConfig {
+                        pool_pages: 8,
+                        ..StorageConfig::default()
+                    })
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let memory = engine
+            .session(Arc::new(data.clone()))
+            .unwrap()
+            .detect()
+            .unwrap();
+        // One shared store directory: the first kind populates it, every
+        // later kind reopens it — so this also sweeps clean recovery.
+        let mut session = engine.session_on_disk(&dir).unwrap();
+        if !populated {
+            session.apply_batch(&insert_ops(&data)).unwrap();
+            populated = true;
+        }
+        let disk = session.detect().unwrap();
+        assert_eq!(
+            memory.canonical_bytes(),
+            disk.canonical_bytes(),
+            "disk vs memory report with {kind:?}"
+        );
+        dirty |= !disk.is_clean();
+    }
+    assert!(dirty, "the workload must contain real violations");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance: detect + repair on a workload more than 10× the buffer-pool
+/// budget, with page memory provably bounded (`peak_resident <= capacity`)
+/// and the repaired instance durably committed and clean.
+#[test]
+fn out_of_core_detect_and_repair_stay_within_the_pool_budget() {
+    let dir = scratch_dir("outofcore");
+    let data = TaxGenerator::new(TaxConfig {
+        size: 3_000,
+        noise_percent: 5.0,
+        seed: 11,
+    })
+    .generate()
+    .relation;
+    let cfds = tax_cfds(3);
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .config(
+            EngineConfig::builder()
+                .storage(StorageConfig {
+                    pool_pages: 2, // clamped pool floor: 2 pages = 8 KiB
+                    ..StorageConfig::default()
+                })
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let mut session = engine.session_on_disk(&dir).unwrap();
+    // 3000 rows × 15 attrs = 45 pages of cells — >20× the 2-page pool.
+    session.apply_batch(&insert_ops(&data)).unwrap();
+    let report = session.detect().unwrap();
+    assert!(!report.is_clean(), "noisy workload must have violations");
+
+    let repair = session.repair(RepairKind::EquivClass).unwrap();
+    assert!(repair.satisfied);
+    let after = session.commit_repair(&repair).unwrap();
+    assert!(after.is_clean(), "committed repair leaves a clean instance");
+
+    let stats = session.pool_stats().expect("disk-backed session");
+    assert!(
+        stats.peak_resident <= stats.capacity,
+        "peak_resident {} exceeded pool capacity {}",
+        stats.peak_resident,
+        stats.capacity
+    );
+    assert!(stats.evictions > 0, "an out-of-core scan must evict");
+
+    // The repaired instance is durable: a reopened session is still clean.
+    drop(session);
+    let mut session = engine.session_on_disk(&dir).unwrap();
+    assert!(session.detect().unwrap().is_clean());
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// CI-sized (`--include-ignored`) variant: 40k rows against a 16-page pool.
+#[test]
+#[ignore = "CI-sized; run with --include-ignored in release"]
+fn out_of_core_40k_rows_stay_within_a_16_page_pool() {
+    let dir = scratch_dir("outofcore40k");
+    let data = TaxGenerator::new(TaxConfig {
+        size: 40_000,
+        noise_percent: 5.0,
+        seed: 19,
+    })
+    .generate()
+    .relation;
+    let cfds = tax_cfds(5);
+    let engine = Engine::builder()
+        .rules(cfds.iter().cloned())
+        .config(
+            EngineConfig::builder()
+                .storage(StorageConfig {
+                    pool_pages: 16, // 64 KiB of page memory
+                    ..StorageConfig::default()
+                })
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let mut session = engine.session_on_disk(&dir).unwrap();
+    session.apply_batch(&insert_ops(&data)).unwrap();
+    let disk = session.detect().unwrap();
+    let memory = engine.session(Arc::new(data)).unwrap().detect().unwrap();
+    assert_eq!(memory.canonical_bytes(), disk.canonical_bytes());
+    let repair = session.repair(RepairKind::EquivClass).unwrap();
+    assert!(repair.satisfied);
+    assert!(session.commit_repair(&repair).unwrap().is_clean());
+    let stats = session.pool_stats().unwrap();
+    assert!(
+        stats.peak_resident <= stats.capacity,
+        "peak_resident {} exceeded pool capacity {}",
+        stats.peak_resident,
+        stats.capacity
+    );
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-recover harness
+// ---------------------------------------------------------------------------
+
+/// The deterministic batch sequence both the killed child and the in-memory
+/// reference apply: five batches of cust-derived rows with per-batch name
+/// edits, plus one delete.
+fn kill_batches() -> Vec<Vec<BatchOp>> {
+    let base = cust_instance().to_tuples();
+    let mut batches = Vec::new();
+    for k in 0..5u32 {
+        let mut ops = Vec::new();
+        for (i, t) in base.iter().enumerate() {
+            let mut cells = t.to_values();
+            cells[3] = Value::from(format!("{}-{k}", ["N", "M", "O"][i % 3]).as_str());
+            ops.push(BatchOp::Insert(Tuple::new(cells)));
+        }
+        if k == 3 {
+            // Delete one row inserted by batch 1 (distinct by construction).
+            let mut cells = base[0].to_values();
+            cells[3] = Value::from("N-1");
+            ops.push(BatchOp::Delete(Tuple::new(cells)));
+        }
+        batches.push(ops);
+    }
+    batches
+}
+
+const KILL_DIR_ENV: &str = "CFD_KILL_AND_RECOVER_DIR";
+
+/// Hidden child half of the harness: only does anything when re-executed by
+/// the parent test below with the store directory in the environment.
+/// Applies the deterministic batches — every one reporting success, so
+/// every one fsynced — then dies the hard way, with no destructors, no
+/// checkpoint, no flush.
+#[test]
+#[ignore = "internal child process of kill_and_recover; no-op when run directly"]
+fn kill_and_recover_child() {
+    let Ok(dir) = std::env::var(KILL_DIR_ENV) else {
+        return; // Not re-executed by the parent: nothing to do.
+    };
+    let engine = Engine::builder().rule_set(fig2_cfd_set()).build().unwrap();
+    let mut session = engine.session_on_disk(&dir).unwrap();
+    for ops in kill_batches() {
+        session.apply_batch(&ops).unwrap();
+    }
+    std::process::abort();
+}
+
+/// Kill-and-recover: a child process is `abort()`ed immediately after its
+/// last successful `apply_batch`. Recovery must (a) count exactly the
+/// batches that reported success and (b) produce a violation report
+/// byte-identical to an in-memory session that applied the same batches —
+/// even with torn garbage appended to the WAL after the kill.
+#[test]
+#[ignore = "spawns and aborts a child process; run with --include-ignored"]
+fn kill_and_recover_reports_byte_identically() {
+    use std::io::Write as _;
+    let dir = scratch_dir("kill");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = std::process::Command::new(exe)
+        .args(["--exact", "kill_and_recover_child", "--ignored"])
+        .env(KILL_DIR_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn child");
+    assert!(!status.success(), "the child must die by abort()");
+
+    // A torn half-record at the WAL tail, as a crash mid-append would
+    // leave: recovery must truncate it, not fail.
+    let mut wal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("wal.log"))
+        .expect("child created the store");
+    wal.write_all(&[0x77, 0x01, 0x00, 0x00, 0xba, 0xad, 0xf0])
+        .unwrap();
+    wal.sync_all().unwrap();
+    drop(wal);
+
+    let engine = Engine::builder().rule_set(fig2_cfd_set()).build().unwrap();
+    let batches = kill_batches();
+    let mut recovered = engine.session_on_disk(&dir).unwrap();
+    assert_eq!(
+        recovered.committed_batches(),
+        Some(batches.len() as u64),
+        "exactly the batches that reported success are recovered"
+    );
+    let disk = recovered.detect().unwrap();
+
+    // The uncrashed reference: an in-memory session starting from the same
+    // empty instance, applying the same batches.
+    let mut reference = engine
+        .session(Arc::new(Relation::new(cust_instance().schema().clone())))
+        .unwrap();
+    for ops in &batches {
+        reference.apply_batch(ops).unwrap();
+    }
+    let want = reference.detect().unwrap();
+    assert_eq!(
+        disk.canonical_bytes(),
+        want.canonical_bytes(),
+        "recovered report must be byte-identical to the uncrashed reference"
+    );
+    assert_eq!(recovered.len(), reference.len());
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
